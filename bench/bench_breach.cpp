@@ -1,0 +1,181 @@
+// E3 (§1, §3.3): breach-proofness. Breach every party in the VPN, MPR, and
+// ODoH deployments after an identical browsing/query workload and count the
+// (sensitive identity, sensitive data) records the attacker walks away with.
+// The paper's claim: decoupled providers are *individually breach-proof*.
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/mpr/mpr.hpp"
+#include "systems/odoh/odoh.hpp"
+
+using namespace dcpl;
+
+namespace {
+
+constexpr std::size_t kUsers = 6;
+constexpr std::size_t kFetchesPerUser = 3;
+
+void print_breaches(const char* system, const core::DecouplingAnalysis& a,
+                    const std::vector<core::Party>& parties) {
+  for (const auto& p : parties) {
+    core::BreachReport report = a.breach(p);
+    std::printf("  %-18s breach of %-18s -> %4zu coupled (who,what) records "
+                "%s\n",
+                system, p.c_str(), report.coupled_records,
+                report.coupled() ? "  ** EXPOSED **" : "");
+  }
+}
+
+// Returns coupled records for (vpn breach, worst single MPR party breach).
+std::pair<std::size_t, std::size_t> run_web(bool& shape_ok) {
+  using namespace systems::mpr;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("relay1.example", core::benign_identity("addr:relay1.example"));
+  book.set("relay2.example", core::benign_identity("addr:relay2.example"));
+  book.set("vpn.example", core::benign_identity("addr:vpn.example"));
+
+  SecureOrigin origin(
+      "origin.example",
+      [](const http::Request&) { return http::Response{}; }, log, book, 1);
+  OnionRelay relay1("relay1.example", log, book, 10);
+  OnionRelay relay2("relay2.example", log, book, 11);
+  VpnServer vpn("vpn.example", log, book, 99);
+  sim.add_node(origin);
+  sim.add_node(relay1);
+  sim.add_node(relay2);
+  sim.add_node(vpn);
+
+  std::vector<RelayInfo> chain = {
+      {"relay1.example", relay1.key().public_key},
+      {"relay2.example", relay2.key().public_key}};
+  RelayInfo vpn_info{"vpn.example", vpn.key().public_key};
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    std::string addr = "10.0.0." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:u" + std::to_string(i),
+                                            "network"));
+    clients.push_back(std::make_unique<Client>(
+        addr, "user:u" + std::to_string(i), log, 40 + i));
+    sim.add_node(*clients.back());
+  }
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    for (std::size_t j = 0; j < kFetchesPerUser; ++j) {
+      http::Request req;
+      req.authority = "origin.example";
+      req.path = "/u" + std::to_string(i) + "/p" + std::to_string(j);
+      // Same workload twice: once through the VPN, once through the MPR.
+      clients[i]->fetch_via_vpn(req, vpn_info, "origin.example",
+                                origin.key().public_key, sim, nullptr);
+      clients[i]->fetch_via_relays(req, chain, "origin.example",
+                                   origin.key().public_key, sim, nullptr);
+    }
+  }
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  std::printf("web browsing workload: %zu users x %zu fetches, via VPN and "
+              "via 2-hop MPR\n",
+              kUsers, kFetchesPerUser);
+  print_breaches("vpn", a, {"vpn.example"});
+  print_breaches("mpr", a,
+                 {"relay1.example", "relay2.example", "origin.example"});
+
+  const std::size_t vpn_exposed = a.breach("vpn.example").coupled_records;
+  std::size_t mpr_worst = 0;
+  for (const char* p :
+       {"relay1.example", "relay2.example", "origin.example"}) {
+    mpr_worst = std::max(mpr_worst, a.breach(p).coupled_records);
+  }
+  // The VPN couples every user to the destination they visited (one
+  // distinct pair per user here, since all fetches hit one origin).
+  shape_ok &= vpn_exposed == kUsers;
+  shape_ok &= mpr_worst == 0;
+  return {vpn_exposed, mpr_worst};
+}
+
+void run_dns(bool& shape_ok) {
+  using namespace systems::odoh;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  for (const char* x : {"198.41.0.4", "192.5.6.30", "192.0.2.53",
+                        "resolver.example", "target.example",
+                        "proxy.example"}) {
+    book.set(x, core::benign_identity(std::string("addr:") + x));
+  }
+
+  dns::Zone root_zone("");
+  root_zone.delegate("com", "a.gtld-servers.net", "192.5.6.30");
+  dns::Zone com_zone("com");
+  com_zone.delegate("example.com", "ns1.example.com", "192.0.2.53");
+  dns::Zone example_zone("example.com");
+  for (int i = 0; i < 8; ++i) {
+    example_zone.add_a("site" + std::to_string(i) + ".example.com",
+                       "203.0.113." + std::to_string(10 + i));
+  }
+
+  AuthorityNode root("198.41.0.4", std::move(root_zone), log, book);
+  AuthorityNode tld("192.5.6.30", std::move(com_zone), log, book);
+  AuthorityNode auth("192.0.2.53", std::move(example_zone), log, book);
+  ResolverNode resolver("resolver.example", "198.41.0.4", log, book, 1);
+  ResolverNode target("target.example", "198.41.0.4", log, book, 2);
+  OdohProxy proxy("proxy.example", "target.example", log, book);
+  for (net::Node* n : std::vector<net::Node*>{&root, &tld, &auth, &resolver,
+                                              &target, &proxy}) {
+    sim.add_node(*n);
+  }
+
+  std::vector<std::unique_ptr<StubClient>> clients;
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    std::string addr = "10.0.5." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:d" + std::to_string(i),
+                                            "network"));
+    clients.push_back(std::make_unique<StubClient>(
+        addr, "user:d" + std::to_string(i), log, 70 + i));
+    sim.add_node(*clients.back());
+  }
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    std::string qname = "site" + std::to_string(i) + ".example.com";
+    // Do53 to the classic resolver, and the same query via ODoH.
+    clients[i]->query(qname, Mode::kDo53, "resolver.example",
+                      resolver.key().public_key, "", sim, nullptr);
+    clients[i]->query(qname, Mode::kOdoh, "", target.key().public_key,
+                      "proxy.example", sim, nullptr);
+  }
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  std::printf("\ndns workload: %zu users, same query via Do53 and via "
+              "ODoH\n",
+              kUsers);
+  print_breaches("do53", a, {"resolver.example"});
+  print_breaches("odoh", a, {"proxy.example", "target.example"});
+
+  shape_ok &= a.breach("resolver.example").coupled_records == kUsers;
+  shape_ok &= !a.breach("proxy.example").coupled();
+  shape_ok &= !a.breach("target.example").coupled();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3 (§1/§3.3): single-party breach exposure — coupled "
+              "(identity, data) records per breached party.\n\n");
+  bool shape_ok = true;
+  auto [vpn, mpr] = run_web(shape_ok);
+  run_dns(shape_ok);
+
+  std::printf("\nshape: breaching the VPN exposes the full (who, what) log "
+              "(%zu records); breaching any\nsingle decoupled party exposes "
+              "%zu — the Decoupling Principle makes providers\n"
+              "individually breach-proof.\n",
+              vpn, mpr);
+  std::printf("\nbench_breach: %s\n",
+              shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// E6: cost of the crypto substrate every decoupled hop pays — hashes, AEAD,
+// X25519, HPKE seal/open, RSA blind signatures. google-benchmark timings.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/blind_rsa.hpp"
+#include "crypto/csprng.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+#include "hpke/hpke.hpp"
+
+namespace {
+
+using namespace dcpl;
+using namespace dcpl::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  ChaChaRng rng(1);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HkdfExpand(benchmark::State& state) {
+  Bytes prk = hkdf_extract(to_bytes("salt"), to_bytes("ikm"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hkdf_expand(prk, to_bytes("info"), 32));
+  }
+}
+BENCHMARK(BM_HkdfExpand);
+
+void BM_AeadSeal(benchmark::State& state) {
+  ChaChaRng rng(2);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes pt = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_seal(key, nonce, {}, pt));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1500)->Arg(16384);
+
+void BM_AeadOpen(benchmark::State& state) {
+  ChaChaRng rng(3);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes ct = aead_seal(key, nonce, {}, rng.bytes(1500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_open(key, nonce, {}, ct));
+  }
+}
+BENCHMARK(BM_AeadOpen);
+
+void BM_X25519(benchmark::State& state) {
+  ChaChaRng rng(4);
+  auto kp = X25519KeyPair::generate(rng);
+  auto peer = X25519KeyPair::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519(kp.private_key, peer.public_key));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_HpkeSeal(benchmark::State& state) {
+  ChaChaRng rng(5);
+  auto kp = hpke::KeyPair::generate(rng);
+  Bytes pt = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpke::seal(kp.public_key, {}, {}, pt, rng));
+  }
+}
+BENCHMARK(BM_HpkeSeal)->Arg(256)->Arg(4096);
+
+void BM_HpkeOpen(benchmark::State& state) {
+  ChaChaRng rng(6);
+  auto kp = hpke::KeyPair::generate(rng);
+  Bytes ct = hpke::seal(kp.public_key, {}, {}, rng.bytes(1024), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpke::open(kp, {}, {}, ct));
+  }
+}
+BENCHMARK(BM_HpkeOpen);
+
+const RsaPrivateKey& bench_key(std::size_t bits) {
+  static std::map<std::size_t, RsaPrivateKey> keys;
+  auto it = keys.find(bits);
+  if (it == keys.end()) {
+    ChaChaRng rng(7000 + bits);
+    it = keys.emplace(bits, rsa_generate(bits, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_RsaBlind(benchmark::State& state) {
+  const auto& key = bench_key(static_cast<std::size_t>(state.range(0)));
+  ChaChaRng rng(8);
+  Bytes msg = rng.bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blind(key.pub, msg, rng));
+  }
+}
+BENCHMARK(BM_RsaBlind)->Arg(1024)->Arg(2048);
+
+void BM_RsaBlindSign(benchmark::State& state) {
+  const auto& key = bench_key(static_cast<std::size_t>(state.range(0)));
+  ChaChaRng rng(9);
+  Bytes msg = rng.bytes(32);
+  BlindingState st = blind(key.pub, msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blind_sign(key, st.blinded_message));
+  }
+}
+BENCHMARK(BM_RsaBlindSign)->Arg(1024)->Arg(2048);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& key = bench_key(static_cast<std::size_t>(state.range(0)));
+  ChaChaRng rng(10);
+  Bytes msg = rng.bytes(32);
+  BlindingState st = blind(key.pub, msg, rng);
+  Bytes sig = finalize(key.pub, msg, st,
+                       blind_sign(key, st.blinded_message).value())
+                  .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blind_verify(key.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048);
+
+void BM_RsaKeygen1024(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ChaChaRng rng(20'000 + seed++);
+    benchmark::DoNotOptimize(rsa_generate(1024, rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

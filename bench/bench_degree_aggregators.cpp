@@ -1,0 +1,117 @@
+// E2 (§4.2, degree of decoupling — aggregators): sweep the number of PPM
+// aggregators. Correctness is invariant; the collusion threshold equals the
+// aggregator count; message and byte overhead grow linearly — the paper's
+// "more aggregators help against collusion at a performance cost".
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/ppm/ppm.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::ppm;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t aggregate = 0;
+  std::size_t packets = 0;
+  std::uint64_t wire_bytes = 0;
+  net::Time sim_time_us = 0;
+  double wall_ms = 0;
+  bool decoupled = false;
+};
+
+RunResult run_k(std::size_t k, std::size_t n_clients, std::size_t true_count) {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::vector<net::Address> addrs;
+  for (std::size_t i = 0; i < k; ++i) {
+    addrs.push_back("agg" + std::to_string(i) + ".example");
+  }
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+  std::vector<AggregatorInfo> infos;
+  for (std::size_t i = 0; i < k; ++i) {
+    book.set(addrs[i], core::benign_identity("addr:" + addrs[i]));
+    aggs.push_back(std::make_unique<Aggregator>(addrs[i], i, k, addrs[0], log,
+                                                book, 10 + i));
+    sim.add_node(*aggs.back());
+    infos.push_back(AggregatorInfo{addrs[i], aggs.back()->key().public_key});
+  }
+  aggs[0]->set_peers(addrs);
+
+  book.set("collector.example",
+           core::benign_identity("addr:collector.example"));
+  Collector collector("collector.example", addrs, log, book);
+  sim.add_node(collector);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<core::Party> users;
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    std::string addr = "10.0.3." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:c" + std::to_string(i),
+                                            "network"));
+    clients.push_back(std::make_unique<Client>(
+        addr, "user:c" + std::to_string(i), i + 1, log, 100 + i));
+    sim.add_node(*clients.back());
+    users.push_back(addr);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    clients[i]->submit_bool(i < true_count, infos, sim);
+  }
+  sim.run();
+
+  RunResult r;
+  collector.collect(sim,
+                    [&](std::size_t, std::uint64_t t) { r.aggregate = t; });
+  r.sim_time_us = sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  r.packets = sim.packets_delivered();
+  r.wire_bytes = sim.bytes_delivered();
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  core::DecouplingAnalysis a(log);
+  r.decoupled = a.is_decoupled(users);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kClients = 20;
+  constexpr std::size_t kTrue = 7;
+  std::printf("E2 (§4.2): PPM aggregator sweep (%zu clients, %zu true "
+              "reports)\n\n", kClients, kTrue);
+  std::printf("%6s %10s %10s %12s %14s %10s %12s\n", "k", "aggregate",
+              "packets", "bytes", "sim time ms", "decoupled", "cpu (ms)");
+
+  bool shape_ok = true;
+  std::uint64_t prev_bytes = 0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    RunResult r = run_k(k, kClients, kTrue);
+    std::printf("%6zu %10llu %10zu %12llu %14.1f %10s %12.2f\n", k,
+                static_cast<unsigned long long>(r.aggregate), r.packets,
+                static_cast<unsigned long long>(r.wire_bytes),
+                r.sim_time_us / 1000.0, r.decoupled ? "yes" : "no", r.wall_ms);
+    if (r.aggregate != kTrue) shape_ok = false;       // correctness invariant
+    if (k > 1 && r.wire_bytes <= prev_bytes) shape_ok = false;  // linear cost
+    if (r.decoupled != (k >= 2)) shape_ok = false;  // k=1 is the naive design
+    prev_bytes = r.wire_bytes;
+  }
+
+  std::printf("\nshape: the aggregate is exact for every k; overhead grows "
+              "linearly in k; privacy\nagainst collusion requires breaching "
+              "ALL k aggregators (k = collusion threshold).\nNote k=1 "
+              "degenerates to a single server that could reconstruct inputs "
+              "— the paper's\nnon-collusion assumption (§4.1) is only "
+              "meaningful for k >= 2.\n");
+  std::printf("\nbench_degree_aggregators: %s\n",
+              shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
+  return shape_ok ? 0 : 1;
+}

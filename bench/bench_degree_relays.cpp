@@ -1,0 +1,115 @@
+// E1 (§4.2, degree of decoupling — relays): sweep the relay-chain length
+// from 0 (direct) through 6 (deep onion) and report the cost/benefit curve
+// the paper describes: privacy (minimum colluding set to re-couple) rises
+// with hops, while latency and bytes-on-wire rise too — diminishing privacy
+// return past 2-3 hops at linearly growing cost.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/mpr/mpr.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::mpr;
+
+namespace {
+
+struct RunResult {
+  net::Time latency_us = 0;       // simulated time to first response
+  std::uint64_t wire_bytes = 0;   // total bytes delivered in the simulator
+  std::size_t min_coalition = 0;  // parties needed to re-couple (0 = n/a)
+  bool decoupled = false;
+  double wall_ms = 0;             // host CPU time (crypto cost)
+};
+
+RunResult run_chain(std::size_t hops, std::size_t fetches) {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+  SecureOrigin origin(
+      "origin.example",
+      [](const http::Request&) {
+        http::Response resp;
+        resp.body = Bytes(512, 'x');
+        return resp;
+      },
+      log, book, 1);
+  sim.add_node(origin);
+
+  std::vector<std::unique_ptr<OnionRelay>> relays;
+  std::vector<RelayInfo> chain;
+  for (std::size_t i = 0; i < hops; ++i) {
+    std::string addr = "relay" + std::to_string(i + 1) + ".example";
+    book.set(addr, core::benign_identity("addr:" + addr));
+    relays.push_back(std::make_unique<OnionRelay>(addr, log, book, 10 + i));
+    sim.add_node(*relays.back());
+    chain.push_back(RelayInfo{addr, relays.back()->key().public_key});
+  }
+
+  Client client("10.0.0.1", "user:alice", log, 42);
+  sim.add_node(client);
+
+  net::Time first_response = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < fetches; ++i) {
+    http::Request req;
+    req.authority = "origin.example";
+    req.path = "/page" + std::to_string(i);
+    client.fetch_via_relays(req, chain, "origin.example",
+                            origin.key().public_key, sim,
+                            [&](const http::Response&) {
+                              if (first_response == 0) first_response = sim.now();
+                            });
+  }
+  sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.latency_us = first_response;
+  r.wire_bytes = sim.bytes_delivered();
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+
+  core::DecouplingAnalysis a(log);
+  r.decoupled = a.is_decoupled("10.0.0.1");
+  auto min_c = a.min_recoupling_coalition("10.0.0.1");
+  r.min_coalition = min_c.value_or(0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kFetches = 8;
+  std::printf("E1 (§4.2): degree of decoupling vs. cost — relay chains "
+              "(10 ms/link, %zu fetches)\n\n", kFetches);
+  std::printf("%6s %14s %12s %14s %10s %12s\n", "hops", "latency (ms)",
+              "bytes", "min-collude", "decoupled", "cpu (ms)");
+
+  bool shape_ok = true;
+  net::Time prev_latency = 0;
+  for (std::size_t hops = 0; hops <= 6; ++hops) {
+    RunResult r = run_chain(hops, kFetches);
+    std::printf("%6zu %14.1f %12llu %14zu %10s %12.2f\n", hops,
+                r.latency_us / 1000.0,
+                static_cast<unsigned long long>(r.wire_bytes),
+                r.min_coalition, r.decoupled ? "yes" : "no", r.wall_ms);
+    // Shape checks: latency strictly increases with hops; >=2 hops are
+    // decoupled, 0-1 hops are not.
+    if (hops > 0 && r.latency_us <= prev_latency) shape_ok = false;
+    if ((hops >= 2) != r.decoupled) shape_ok = false;
+    prev_latency = r.latency_us;
+  }
+
+  std::printf("\nshape: latency grows ~linearly with hops; a 1-hop chain is "
+              "a VPN (not decoupled);\n2 hops suffice for decoupling — "
+              "further hops only raise the collusion bar (§4.2's\n"
+              "diminishing returns at growing cost).\n");
+  std::printf("\nbench_degree_relays: %s\n",
+              shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
+  return shape_ok ? 0 : 1;
+}

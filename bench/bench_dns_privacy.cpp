@@ -1,0 +1,115 @@
+// E4 (§2.1, §3.2.2): metadata leakage across the stack for Do53 / DoH /
+// ODoH. An on-path network observer and the resolver itself are examined
+// per mode, together with the latency overhead each increment of privacy
+// costs. Shape: Do53 leaks to everyone; DoH hides from the network but not
+// the resolver; ODoH decouples — at one extra round-trip through the proxy.
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/odoh/odoh.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::odoh;
+
+namespace {
+
+struct ModeResult {
+  net::Time latency_us = 0;
+  bool network_sees_query = false;   // wiretap payload inspection
+  std::string resolver_tuple;        // who answered the user
+  bool decoupled = false;
+};
+
+ModeResult run_mode(Mode mode) {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  for (const char* x : {"198.41.0.4", "192.5.6.30", "192.0.2.53",
+                        "resolver.example", "target.example",
+                        "proxy.example"}) {
+    book.set(x, core::benign_identity(std::string("addr:") + x));
+  }
+  book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+  dns::Zone root_zone("");
+  root_zone.delegate("com", "a.gtld-servers.net", "192.5.6.30");
+  dns::Zone com_zone("com");
+  com_zone.delegate("example.com", "ns1.example.com", "192.0.2.53");
+  dns::Zone example_zone("example.com");
+  example_zone.add_a("www.example.com", "203.0.113.10");
+
+  AuthorityNode root("198.41.0.4", std::move(root_zone), log, book);
+  AuthorityNode tld("192.5.6.30", std::move(com_zone), log, book);
+  AuthorityNode auth("192.0.2.53", std::move(example_zone), log, book);
+  ResolverNode resolver("resolver.example", "198.41.0.4", log, book, 1);
+  ResolverNode target("target.example", "198.41.0.4", log, book, 2);
+  OdohProxy proxy("proxy.example", "target.example", log, book);
+  StubClient client("10.0.0.1", "user:alice", log, 7);
+  for (net::Node* n : std::vector<net::Node*>{&root, &tld, &auth, &resolver,
+                                              &target, &proxy, &client}) {
+    sim.add_node(*n);
+  }
+
+  // Passive on-path adversary: tries to parse every client-originated
+  // payload as a DNS query (exactly what a Do53 sniffer does).
+  bool network_sees_query = false;
+  sim.add_wiretap([&](const net::TraceEntry& e) {
+    if (e.src != "10.0.0.1") return;
+    // The wiretap only gets metadata; payload inspection is modeled by
+    // whether the bytes on this leg were an unencrypted DNS message — true
+    // exactly for protocol "dns".
+    if (e.protocol == "dns") network_sees_query = true;
+  });
+
+  ModeResult r;
+  client.query("www.example.com", mode, "resolver.example",
+               (mode == Mode::kOdoh ? target : resolver).key().public_key,
+               "proxy.example", sim,
+               [&](const dns::Message&) { r.latency_us = sim.now(); });
+  sim.run();
+
+  r.network_sees_query = network_sees_query;
+  core::DecouplingAnalysis a(log);
+  const char* answering =
+      mode == Mode::kOdoh ? "target.example" : "resolver.example";
+  r.resolver_tuple = a.tuple_for(answering).to_string();
+  r.decoupled = a.is_decoupled("10.0.0.1");
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4 (§2.1/§3.2.2): DNS privacy across modes (10 ms links, "
+              "cold caches)\n\n");
+  std::printf("%8s %14s %22s %22s %10s\n", "mode", "latency ms",
+              "net sees query", "resolver knowledge", "decoupled");
+
+  ModeResult do53 = run_mode(Mode::kDo53);
+  ModeResult doh = run_mode(Mode::kDoh);
+  ModeResult odoh = run_mode(Mode::kOdoh);
+
+  auto row = [](const char* name, const ModeResult& r) {
+    std::printf("%8s %14.1f %22s %22s %10s\n", name, r.latency_us / 1000.0,
+                r.network_sees_query ? "YES (plaintext)" : "no (encrypted)",
+                r.resolver_tuple.c_str(), r.decoupled ? "yes" : "no");
+  };
+  row("Do53", do53);
+  row("DoH", doh);
+  row("ODoH", odoh);
+
+  const bool shape_ok =
+      do53.network_sees_query && !doh.network_sees_query &&
+      !odoh.network_sees_query && !do53.decoupled && !doh.decoupled &&
+      odoh.decoupled && odoh.latency_us > doh.latency_us;
+
+  std::printf("\nshape: Do53 leaks the query to the network AND couples it "
+              "at the resolver; DoH\nencrypts in transit but the resolver "
+              "still holds (▲, ●); ODoH decouples at the\ncost of one extra "
+              "proxy hop (%.1f ms vs %.1f ms here).\n",
+              odoh.latency_us / 1000.0, doh.latency_us / 1000.0);
+  std::printf("\nbench_dns_privacy: %s\n",
+              shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
+  return shape_ok ? 0 : 1;
+}

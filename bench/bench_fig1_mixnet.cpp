@@ -1,0 +1,102 @@
+// Figure 1 reproduction: the mix-net architecture. Prints the message flow
+// (sender -> mix chain -> receiver), what each hop could observe, and the
+// batch-forwarding behaviour Chaum used against timing attacks.
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/mixnet/mixnet.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::mixnet;
+
+int main() {
+  std::printf("Figure 1: mix-net decoupling — message flow and per-hop "
+              "knowledge.\n\n");
+
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  constexpr std::size_t kMixes = 3;
+  constexpr std::size_t kBatch = 4;
+
+  std::vector<std::unique_ptr<MixNode>> mixes;
+  std::vector<HopInfo> chain;
+  for (std::size_t i = 0; i < kMixes; ++i) {
+    std::string addr = "mix" + std::to_string(i + 1);
+    book.set(addr, core::benign_identity("addr:" + addr));
+    mixes.push_back(
+        std::make_unique<MixNode>(addr, kBatch, 200'000, log, book, 10 + i));
+    sim.add_node(*mixes.back());
+    chain.push_back(HopInfo{addr, mixes.back()->key().public_key});
+  }
+
+  std::vector<std::unique_ptr<Receiver>> receivers;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::string addr = "rcv" + std::to_string(i + 1);
+    book.set(addr, core::benign_identity("addr:" + addr));
+    receivers.push_back(std::make_unique<Receiver>(addr, log, book, 50 + i));
+    sim.add_node(*receivers.back());
+  }
+
+  std::vector<std::unique_ptr<Sender>> senders;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::string addr = "10.1.0." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:s" + std::to_string(i),
+                                            "network"));
+    senders.push_back(std::make_unique<Sender>(
+        addr, "user:s" + std::to_string(i), log, 100 + i));
+    sim.add_node(*senders.back());
+  }
+
+  // Staggered sends so the batch mixing is visible in the trace.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    sim.at(1 + 500 * i, [&, i] {
+      senders[i]->send_message("message-" + std::to_string(i), chain,
+                               HopInfo{receivers[i]->address(),
+                                       receivers[i]->key().public_key},
+                               sim);
+    });
+  }
+  sim.run();
+
+  std::printf("message flow (time us, src -> dst, payload bytes):\n");
+  for (const auto& e : sim.trace()) {
+    std::printf("  t=%8llu  %-10s -> %-10s  %5zu B  [%s]\n",
+                static_cast<unsigned long long>(e.time), e.src.c_str(),
+                e.dst.c_str(), e.size, e.protocol.c_str());
+  }
+
+  std::printf("\nonion size by hop (layered encryption shrinks inward):\n");
+  // Sizes visible in the trace: sender->mix1 is the largest, each hop strips
+  // one HPKE layer (~enc 32 B + tag 16 B + framing).
+  std::printf("  see trace above: sender->mix1 > mix1->mix2 > mix2->mix3 > "
+              "mix3->rcv\n");
+
+  core::DecouplingAnalysis a(log);
+  std::printf("\nper-hop knowledge (derived):\n%s\n",
+              a.render_table({"10.1.0.1", "mix1", "mix2", "mix3", "rcv1"})
+                  .c_str());
+
+  std::size_t delivered = 0;
+  for (const auto& r : receivers) delivered += r->deliveries().size();
+  std::printf("delivered %zu/%zu messages through %zu mixes (batch=%zu)\n",
+              delivered, kBatch, kMixes, kBatch);
+
+  // Chaum's second contribution in the same 1981 paper: untraceable return
+  // addresses. Receiver 0 replies to sender 0 without learning who that is.
+  ReplyBlock block = senders[0]->make_reply_block(chain, sim);
+  send_reply(block, "ack: received, stay safe", receivers[0]->address(), sim);
+  sim.run();
+  std::printf("\nuntraceable return address: sender 0 got %zu anonymous "
+              "reply(ies): \"%s\"\n",
+              senders[0]->replies().size(),
+              senders[0]->replies().empty()
+                  ? "-"
+                  : senders[0]->replies()[0].c_str());
+
+  const bool ok = delivered == kBatch && senders[0]->replies().size() == 1;
+  std::printf("\nbench_fig1_mixnet: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// PPM hot-path microbenchmarks (google-benchmark): field ops, sharing, and
+// the client-side cost of a sealed submission as the aggregator count grows
+// — the CPU-side complement to E2's message-count sweep.
+#include <benchmark/benchmark.h>
+
+#include "crypto/csprng.hpp"
+#include "hpke/hpke.hpp"
+#include "systems/ppm/field.hpp"
+
+namespace {
+
+using namespace dcpl;
+using namespace dcpl::systems::ppm;
+
+void BM_FieldMul(benchmark::State& state) {
+  crypto::ChaChaRng rng(1);
+  Fp a = Fp::random(rng), b = Fp::random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a * b);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_ShareValue(benchmark::State& state) {
+  crypto::ChaChaRng rng(2);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(share_value(Fp{1}, k, rng));
+  }
+}
+BENCHMARK(BM_ShareValue)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CombineShares(benchmark::State& state) {
+  crypto::ChaChaRng rng(3);
+  auto shares = share_value(Fp{1}, static_cast<std::size_t>(state.range(0)),
+                            rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combine_shares(shares));
+  }
+}
+BENCHMARK(BM_CombineShares)->Arg(2)->Arg(8);
+
+// Full client-side submission cost: k sharings + k HPKE seals.
+void BM_ClientSubmission(benchmark::State& state) {
+  crypto::ChaChaRng rng(4);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<dcpl::hpke::KeyPair> keys;
+  for (std::size_t i = 0; i < k; ++i) {
+    keys.push_back(dcpl::hpke::KeyPair::generate(rng));
+  }
+  for (auto _ : state) {
+    auto x_shares = share_value(Fp{1}, k, rng);
+    auto x2_shares = share_value(Fp{1}, k, rng);
+    for (std::size_t i = 0; i < k; ++i) {
+      Bytes inner = concat({be_encode(x_shares[i].value(), 8),
+                            be_encode(x2_shares[i].value(), 8)});
+      benchmark::DoNotOptimize(
+          dcpl::hpke::seal(keys[i].public_key, {}, {}, inner, rng));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClientSubmission)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// §5.1: "a user can improve DNS privacy by distributing their queries
+// across multiple resolvers, thereby limiting the information available
+// about a given user at each" (Hounsel et al.). Sweep the number of
+// resolvers a client stripes across and measure the browsing-profile
+// fraction and entropy each single resolver reconstructs.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/analysis.hpp"
+#include "core/metrics.hpp"
+#include "systems/odoh/odoh.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::odoh;
+
+namespace {
+
+constexpr std::size_t kDomains = 24;
+
+struct RunResult {
+  double max_profile_fraction = 0;  // worst single resolver
+  double profile_entropy_bits = 0;  // of the resolver-assignment histogram
+};
+
+RunResult run_striping(std::size_t n_resolvers, std::uint64_t seed) {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  dns::Zone zone("");
+  for (std::size_t i = 0; i < kDomains; ++i) {
+    zone.add_a("site" + std::to_string(i) + ".example.com",
+               "203.0.113." + std::to_string(i + 1));
+  }
+  AuthorityNode root("198.41.0.4", std::move(zone), log, book);
+  sim.add_node(root);
+  book.set("198.41.0.4", core::benign_identity("addr:root"));
+
+  std::vector<std::unique_ptr<ResolverNode>> resolvers;
+  for (std::size_t i = 0; i < n_resolvers; ++i) {
+    std::string addr = "resolver" + std::to_string(i) + ".example";
+    book.set(addr, core::benign_identity("addr:" + addr));
+    resolvers.push_back(
+        std::make_unique<ResolverNode>(addr, "198.41.0.4", log, book, 10 + i));
+    sim.add_node(*resolvers.back());
+  }
+
+  book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+  StubClient client("10.0.0.1", "user:alice", log, 7);
+  sim.add_node(client);
+
+  // The user's browsing profile: Zipf-popular domains (the realistic shape
+  // of DNS workloads), each distinct name striped uniformly at random.
+  XoshiroRng stripe(seed);
+  ZipfSampler zipf(kDomains, 1.0);
+  std::set<std::size_t> visited;
+  std::vector<std::size_t> per_resolver(n_resolvers, 0);
+  for (int q = 0; q < 96; ++q) {
+    const std::size_t d = zipf.sample(stripe);
+    const bool first_visit = visited.insert(d).second;
+    const std::size_t pick = stripe.below(n_resolvers);
+    if (first_visit) per_resolver[pick]++;
+    client.query("site" + std::to_string(d) + ".example.com", Mode::kDo53,
+                 resolvers[pick]->address(), {}, "", sim, nullptr);
+  }
+  sim.run();
+  const std::size_t distinct = visited.size();
+
+  // Each resolver's reconstructed profile: distinct query names it coupled
+  // with user:alice.
+  core::DecouplingAnalysis a(log);
+  RunResult r;
+  for (std::size_t i = 0; i < n_resolvers; ++i) {
+    const std::size_t coupled =
+        a.breach(resolvers[i]->address()).coupled_records;
+    r.max_profile_fraction = std::max(
+        r.max_profile_fraction, static_cast<double>(coupled) / distinct);
+  }
+  r.profile_entropy_bits = core::entropy_bits(per_resolver);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§5.1: striping DNS queries across resolvers (%zu domains "
+              "browsed)\n\n", kDomains);
+  std::printf("%12s %26s %22s\n", "resolvers", "max profile at one resolver",
+              "assignment entropy");
+
+  bool shape_ok = true;
+  double prev_fraction = 2.0;
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    RunResult r = run_striping(n, 99);
+    std::printf("%12zu %25.0f%% %19.2f bits\n", n,
+                r.max_profile_fraction * 100, r.profile_entropy_bits);
+    if (n == 1 && r.max_profile_fraction != 1.0) shape_ok = false;
+    if (r.max_profile_fraction > prev_fraction) shape_ok = false;
+    prev_fraction = r.max_profile_fraction;
+  }
+
+  std::printf("\nshape: one resolver holds 100%% of the browsing profile; "
+              "striping shrinks each\nprovider's view monotonically with k. "
+              "Note the Zipf workload keeps the fractions\nabove the naive "
+              "1/k: *popular, repeatedly-queried* domains leak to several "
+              "resolvers\nunder per-query random assignment — Hounsel et "
+              "al.'s argument for sticky per-domain\nassignment. "
+              "Institutional decoupling through diversity (§5.1), with its "
+              "fine print.\n");
+  std::printf("\nbench_striping: %s\n",
+              shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
+  return shape_ok ? 0 : 1;
+}

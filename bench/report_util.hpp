@@ -1,0 +1,51 @@
+// Shared helpers for the report-style bench binaries: each paper artifact
+// (table/figure) is regenerated and printed next to the paper's version.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace dcpl::bench {
+
+struct ExpectedRow {
+  std::string display;   // column header as printed in the paper
+  std::string party;     // party name in the observation log
+  std::string expected;  // the paper's tuple cell
+  // Facets for systems using the ▲H/▲N decomposition (empty = plain tuple).
+  std::vector<std::pair<std::string, std::string>> facets;
+};
+
+/// Prints one derived-vs-paper table; returns true iff every cell matches.
+inline bool print_table(const std::string& title,
+                        const core::DecouplingAnalysis& analysis,
+                        const std::vector<ExpectedRow>& rows) {
+  std::printf("\n== %s\n", title.c_str());
+  std::printf("  %-22s %-16s %-16s %s\n", "party", "derived", "paper",
+              "match");
+  bool all_match = true;
+  for (const auto& row : rows) {
+    const std::string derived =
+        row.facets.empty() ? analysis.tuple_for(row.party).to_string()
+                           : analysis.faceted_tuple(row.party, row.facets);
+    const bool match = derived == row.expected;
+    all_match &= match;
+    std::printf("  %-22s %-16s %-16s %s\n", row.display.c_str(),
+                derived.c_str(), row.expected.c_str(), match ? "yes" : "NO");
+  }
+  return all_match;
+}
+
+inline void print_verdict(const core::DecouplingAnalysis& analysis,
+                          const std::vector<core::Party>& users,
+                          bool paper_says_decoupled) {
+  const bool decoupled = analysis.is_decoupled(users);
+  std::printf("  verdict: %s (paper: %s) — %s\n",
+              decoupled ? "decoupled" : "NOT decoupled",
+              paper_says_decoupled ? "decoupled" : "NOT decoupled",
+              decoupled == paper_says_decoupled ? "reproduced" : "MISMATCH");
+}
+
+}  // namespace dcpl::bench

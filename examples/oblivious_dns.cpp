@@ -1,0 +1,101 @@
+// Oblivious DNS lookups (the paper's §3.2.2).
+//
+// Builds a miniature DNS universe (root -> .com -> example.com), then
+// resolves the same names in three ways — classic Do53, DoH, and ODoH —
+// and prints both the answers and what the resolver infrastructure got to
+// see in each mode.
+//
+// Run: ./build/examples/oblivious_dns
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/odoh/odoh.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::odoh;
+
+int main() {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  for (const char* x : {"198.41.0.4", "192.5.6.30", "192.0.2.53",
+                        "resolver.example", "target.example",
+                        "proxy.example"}) {
+    book.set(x, core::benign_identity(std::string("addr:") + x));
+  }
+  book.set("10.0.0.1", core::sensitive_identity("user:dana", "network"));
+
+  // The hierarchy.
+  dns::Zone root_zone("");
+  root_zone.delegate("com", "a.gtld-servers.net", "192.5.6.30");
+  dns::Zone com_zone("com");
+  com_zone.delegate("example.com", "ns1.example.com", "192.0.2.53");
+  dns::Zone example_zone("example.com");
+  example_zone.add_a("www.example.com", "203.0.113.10");
+  example_zone.add_cname("blog.example.com", "www.example.com");
+  example_zone.add_a("clinic.example.com", "203.0.113.44");
+
+  AuthorityNode root("198.41.0.4", std::move(root_zone), log, book);
+  AuthorityNode tld("192.5.6.30", std::move(com_zone), log, book);
+  AuthorityNode auth("192.0.2.53", std::move(example_zone), log, book);
+  ResolverNode resolver("resolver.example", "198.41.0.4", log, book, 1);
+  ResolverNode target("target.example", "198.41.0.4", log, book, 2);
+  OdohProxy proxy("proxy.example", "target.example", log, book);
+  StubClient client("10.0.0.1", "user:dana", log, 7);
+  for (net::Node* n : std::vector<net::Node*>{&root, &tld, &auth, &resolver,
+                                              &target, &proxy, &client}) {
+    sim.add_node(*n);
+  }
+
+  auto lookup = [&](const char* name, Mode mode, const char* label) {
+    client.query(name, mode, "resolver.example",
+                 (mode == Mode::kOdoh ? target : resolver).key().public_key,
+                 "proxy.example", sim, [&, name, label](const dns::Message& m) {
+                   std::string ip = "<no A record>";
+                   for (const auto& rr : m.answers) {
+                     if (rr.type == dns::RecordType::kA) {
+                       ip = dns::rdata_to_ipv4(rr.rdata);
+                     }
+                   }
+                   std::printf("  %-6s %-22s -> %-15s (t=%.1f ms)\n", label,
+                               name, ip.c_str(), sim.now() / 1000.0);
+                 });
+    sim.run();
+  };
+
+  std::printf("resolving via classic Do53:\n");
+  lookup("www.example.com", Mode::kDo53, "do53");
+  lookup("clinic.example.com", Mode::kDo53, "do53");
+
+  std::printf("\nresolving via DoH (encrypted to the same resolver):\n");
+  lookup("blog.example.com", Mode::kDoh, "doh");
+
+  std::printf("\nresolving via ODoH (proxy + oblivious target):\n");
+  lookup("www.example.com", Mode::kOdoh, "odoh");
+  lookup("clinic.example.com", Mode::kOdoh, "odoh");
+
+  core::DecouplingAnalysis a(log);
+  std::printf("\nknowledge after the runs:\n%s",
+              a.render_table({"10.0.0.1", "resolver.example", "proxy.example",
+                              "target.example"})
+                  .c_str());
+
+  std::printf("\nthe classic resolver's log (Do53/DoH journeys):\n");
+  for (const auto& obs : log.for_party("resolver.example")) {
+    if (obs.atom.kind == core::AtomKind::kSensitiveData ||
+        obs.atom.kind == core::AtomKind::kSensitiveIdentity) {
+      std::printf("  [%s] %s\n", core::kind_symbol(obs.atom.kind),
+                  obs.atom.label.c_str());
+    }
+  }
+  std::printf("\nthe ODoH target's log (queries, but from whom?):\n");
+  for (const auto& obs : log.for_party("target.example")) {
+    std::printf("  [%s] %s\n", core::kind_symbol(obs.atom.kind),
+                obs.atom.label.c_str());
+  }
+  std::printf("\nnote the clinic query appears at the classic resolver tied "
+              "to user:dana, but at the\nODoH target it is tied only to "
+              "addr:proxy.example.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Low-latency onion routing (Tor-style circuits, §3.1.2/§4.3).
+//
+// Builds a 3-hop circuit with telescoping EXTENDs, streams two requests
+// through it, and shows (a) what each relay learned, (b) that every packet
+// on every link is the same 512-byte cell — no size fingerprinting.
+//
+// Run: ./build/examples/onion_browsing
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/mixnet/circuit.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::mixnet;
+
+namespace {
+
+class WebServer final : public net::Node {
+ public:
+  WebServer(net::Address address, core::ObservationLog& log,
+            const core::AddressBook& book)
+      : Node(std::move(address)), log_(&log), book_(&book) {}
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override {
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(),
+                  core::sensitive_data("request:" + to_string(p.payload)),
+                  p.context);
+    Bytes reply = to_bytes("200 OK for [" + to_string(p.payload) + "]");
+    sim.send(net::Packet{address(), p.src, std::move(reply), p.context,
+                         "tcp"});
+  }
+
+ private:
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+}  // namespace
+
+int main() {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::vector<std::unique_ptr<CircuitRelay>> relays;
+  std::vector<CircuitClient::HopDescriptor> path;
+  for (int i = 0; i < 3; ++i) {
+    std::string addr = "or" + std::to_string(i + 1) + ".example";
+    book.set(addr, core::benign_identity("addr:" + addr));
+    relays.push_back(std::make_unique<CircuitRelay>(addr, log, book, 10 + i));
+    sim.add_node(*relays.back());
+    path.push_back({addr, relays.back()->key().public_key});
+  }
+  book.set("web.example", core::benign_identity("addr:web.example"));
+  WebServer server("web.example", log, book);
+  sim.add_node(server);
+  book.set("10.0.0.1", core::sensitive_identity("user:dana", "network"));
+  CircuitClient client("10.0.0.1", "user:dana", log, 42);
+  sim.add_node(client);
+
+  std::map<std::size_t, std::size_t> size_histogram;
+  sim.add_wiretap([&](const net::TraceEntry& e) {
+    if (e.protocol == "circuit") size_histogram[e.size]++;
+  });
+
+  std::printf("building a 3-hop circuit (guard -> middle -> exit)...\n");
+  client.build_circuit(path, sim, [&](bool ok) {
+    std::printf("  circuit %s at t=%.1f ms\n", ok ? "built" : "FAILED",
+                sim.now() / 1000.0);
+  });
+  sim.run();
+
+  for (const char* request : {"GET /sensitive-topic", "GET /another-page"}) {
+    client.send_data("web.example", to_bytes(request), sim,
+                     [&, request](const Bytes& resp) {
+                       std::printf("  %-22s -> %s (t=%.1f ms)\n", request,
+                                   to_string(resp).c_str(),
+                                   sim.now() / 1000.0);
+                     });
+    sim.run();
+  }
+
+  std::printf("\ncell sizes on the wire (count per size):\n");
+  for (auto [size, count] : size_histogram) {
+    std::printf("  %4zu bytes x %zu  %s\n", size, count,
+                size == kCellSize ? "<- every circuit packet" : "");
+  }
+
+  core::DecouplingAnalysis a(log);
+  std::printf("\nwhat each hop learned:\n%s",
+              a.render_table({"10.0.0.1", "or1.example", "or2.example",
+                              "or3.example", "web.example"})
+                  .c_str());
+  std::printf("\nguard knows dana but sees cells; middle knows nobody; exit "
+              "knows the destination\nbut not dana; the server sees requests "
+              "from the exit. Decoupled: %s\n",
+              a.is_decoupled("10.0.0.1") ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Private browsing through a Multi-Party Relay (the paper's §3.2.4).
+//
+// A user fetches three pages through a 2-hop relay chain (the iCloud
+// Private Relay architecture), then the same pages through a VPN, and the
+// example prints what every intermediary actually learned — straight from
+// the instrumented protocol run, not from assumptions.
+//
+// Run: ./build/examples/private_browsing
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/mpr/mpr.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::mpr;
+
+int main() {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  // Realistic-ish link latencies (client is far from relay2).
+  sim.connect("10.64.2.7", "relay1.example", 12'000);
+  sim.connect("relay1.example", "relay2.example", 8'000);
+  sim.connect("relay2.example", "origin.example", 25'000);
+  sim.connect("10.64.2.7", "vpn.example", 15'000);
+  sim.connect("vpn.example", "origin.example", 30'000);
+
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("relay1.example", core::benign_identity("addr:relay1.example"));
+  book.set("relay2.example", core::benign_identity("addr:relay2.example"));
+  book.set("vpn.example", core::benign_identity("addr:vpn.example"));
+  book.set("10.64.2.7", core::sensitive_identity("user:dana", "network"));
+
+  SecureOrigin origin(
+      "origin.example",
+      [](const http::Request& req) {
+        http::Response resp;
+        resp.status = 200;
+        resp.headers = {{"Content-Type", "text/html"}};
+        resp.body = to_bytes("<html>served " + req.path + "</html>");
+        return resp;
+      },
+      log, book, 1);
+  OnionRelay relay1("relay1.example", log, book, 10);
+  OnionRelay relay2("relay2.example", log, book, 11);
+  VpnServer vpn("vpn.example", log, book, 12);
+  Client client("10.64.2.7", "user:dana", log, 42);
+  sim.add_node(origin);
+  sim.add_node(relay1);
+  sim.add_node(relay2);
+  sim.add_node(vpn);
+  sim.add_node(client);
+
+  const std::vector<RelayInfo> chain = {
+      {"relay1.example", relay1.key().public_key},
+      {"relay2.example", relay2.key().public_key}};
+  const RelayInfo vpn_info{"vpn.example", vpn.key().public_key};
+
+  std::printf("fetching 3 pages via the 2-hop relay chain...\n");
+  for (const char* path : {"/health/results", "/news", "/search?q=visa"}) {
+    http::Request req;
+    req.authority = "origin.example";
+    req.path = path;
+    client.fetch_via_relays(req, chain, "origin.example",
+                            origin.key().public_key, sim,
+                            [&, path](const http::Response& resp) {
+                              std::printf("  %-22s -> %d (%zu bytes) at "
+                                          "t=%.1f ms\n",
+                                          path, resp.status, resp.body.size(),
+                                          sim.now() / 1000.0);
+                            });
+  }
+  sim.run();
+
+  std::printf("\n...and the same pages through the VPN:\n");
+  for (const char* path : {"/health/results", "/news", "/search?q=visa"}) {
+    http::Request req;
+    req.authority = "origin.example";
+    req.path = path;
+    client.fetch_via_vpn(req, vpn_info, "origin.example",
+                         origin.key().public_key, sim,
+                         [&, path](const http::Response& resp) {
+                           std::printf("  %-22s -> %d at t=%.1f ms\n", path,
+                                       resp.status, sim.now() / 1000.0);
+                         });
+  }
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  std::printf("\nwhat each party learned (derived from the run):\n%s",
+              a.render_table({"10.64.2.7", "relay1.example", "relay2.example",
+                              "vpn.example", "origin.example"})
+                  .c_str());
+
+  std::printf("\nraw observations at relay1 (entry: sees who, not what):\n");
+  for (const auto& obs : log.for_party("relay1.example")) {
+    std::printf("  [%s] %s\n", core::kind_symbol(obs.atom.kind),
+                obs.atom.label.c_str());
+  }
+  std::printf("\nraw observations at the VPN (sees who AND what):\n");
+  for (const auto& obs : log.for_party("vpn.example")) {
+    std::printf("  [%s] %s\n", core::kind_symbol(obs.atom.kind),
+                obs.atom.label.c_str());
+  }
+
+  std::printf("\nbreach exposure: vpn=%zu records, relay1=%zu, relay2=%zu\n",
+              a.breach("vpn.example").coupled_records,
+              a.breach("relay1.example").coupled_records,
+              a.breach("relay2.example").coupled_records);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Private aggregate statistics with PPM/Prio-style secret sharing (§3.2.5).
+//
+// 50 clients report whether they hit a crash this week. The naive design
+// sends raw (identity, bit) pairs to one server; the decoupled design splits
+// each report across two non-colluding aggregators, optionally through an
+// OHTTP-style proxy. A cheating client trying to stuff the count is caught
+// by the joint validity check.
+//
+// Run: ./build/examples/private_telemetry
+#include <cstdio>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "systems/ppm/ppm.hpp"
+
+using namespace dcpl;
+using namespace dcpl::systems::ppm;
+
+int main() {
+  constexpr std::size_t kClients = 50;
+  constexpr std::size_t kCrashed = 9;  // ground truth
+
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::vector<net::Address> agg_addrs = {"agg-a.example", "agg-b.example"};
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+  std::vector<AggregatorInfo> infos;
+  for (std::size_t i = 0; i < 2; ++i) {
+    book.set(agg_addrs[i], core::benign_identity("addr:" + agg_addrs[i]));
+    aggs.push_back(std::make_unique<Aggregator>(agg_addrs[i], i, 2,
+                                                agg_addrs[0], log, book,
+                                                10 + i));
+    sim.add_node(*aggs.back());
+    infos.push_back(AggregatorInfo{agg_addrs[i], aggs.back()->key().public_key});
+  }
+  aggs[0]->set_peers(agg_addrs);
+
+  book.set("collector.example", core::benign_identity("addr:collector"));
+  Collector collector("collector.example", agg_addrs, log, book);
+  sim.add_node(collector);
+  book.set("proxy.example", core::benign_identity("addr:proxy"));
+  ForwardProxy proxy("proxy.example", log, book);
+  sim.add_node(proxy);
+  TelemetryServer naive("naive.example", log, book);
+  sim.add_node(naive);
+  book.set("naive.example", core::benign_identity("addr:naive"));
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    std::string addr = "10.8.0." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("device:" + std::to_string(i),
+                                            "network"));
+    clients.push_back(std::make_unique<Client>(
+        addr, "device:" + std::to_string(i), i + 1, log, 100 + i));
+    sim.add_node(*clients.back());
+  }
+
+  std::printf("naive telemetry: every device posts (id, crashed?) to one "
+              "server...\n");
+  for (std::size_t i = 0; i < kClients; ++i) {
+    sim.send(net::Packet{clients[i]->address(), "naive.example",
+                         make_plain_report("device:" + std::to_string(i),
+                                           i < kCrashed ? 1 : 0),
+                         sim.new_context(), "telemetry"});
+  }
+  sim.run();
+  std::printf("  server count=%zu total=%llu — and a breach exposes %zu "
+              "(device, report) records\n\n",
+              naive.count(), static_cast<unsigned long long>(naive.total()),
+              core::DecouplingAnalysis(log).breach("naive.example")
+                  .coupled_records);
+
+  std::printf("decoupled telemetry: each report split across 2 aggregators "
+              "via the proxy...\n");
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients[i]->submit_bool(i < kCrashed, infos, sim, "proxy.example");
+  }
+  // One malicious client tries to add 1000 crashes in a single report.
+  clients[0]->submit_bool(false, infos, sim, "proxy.example", Fp{1000},
+                          Fp{1});
+  sim.run();
+
+  std::size_t count = 0;
+  std::uint64_t total = 0;
+  collector.collect(sim, [&](std::size_t c, std::uint64_t t) {
+    count = c;
+    total = t;
+  });
+  sim.run();
+  std::printf("  collector: %llu of %zu devices crashed (ground truth %zu); "
+              "1 bogus report rejected\n",
+              static_cast<unsigned long long>(total), count, kCrashed);
+  std::printf("  aggregator A rejected=%zu, aggregator B rejected=%zu\n\n",
+              aggs[0]->rejected(), aggs[1]->rejected());
+
+  core::DecouplingAnalysis a(log);
+  std::printf("knowledge table:\n%s",
+              a.render_table({"10.8.0.1", "naive.example", "proxy.example",
+                              "agg-a.example", "agg-b.example",
+                              "collector.example"})
+                  .c_str());
+  std::printf("\nbreach exposure: naive server=%zu records, each aggregator="
+              "%zu, collector=%zu\n",
+              a.breach("naive.example").coupled_records,
+              a.breach("agg-a.example").coupled_records,
+              a.breach("collector.example").coupled_records);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Quickstart: apply the Decoupling Principle to YOUR system design.
+//
+// This example shows the core workflow of the library without any of the
+// bundled protocol stacks:
+//   1. describe what each party in your design gets to see (observations),
+//   2. run the decoupling analysis,
+//   3. read the verdict, the per-party knowledge tuples, the single-party
+//      breach reports, and the minimal colluding coalition.
+//
+// We model a hypothetical "cloud photo backup" twice: the naive design and
+// a decoupled redesign, and let the framework judge both.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/analysis.hpp"
+
+using namespace dcpl;
+using namespace dcpl::core;
+
+namespace {
+
+void analyze(const char* title, const ObservationLog& log,
+             const std::vector<Party>& parties) {
+  DecouplingAnalysis analysis(log);
+  std::printf("--- %s ---\n", title);
+  std::printf("%s", analysis.render_table(parties).c_str());
+  std::printf("decoupled: %s\n",
+              analysis.is_decoupled(parties.front()) ? "YES" : "NO");
+  for (std::size_t i = 1; i < parties.size(); ++i) {
+    BreachReport r = analysis.breach(parties[i]);
+    std::printf("breach %-12s -> %zu coupled (identity,data) records%s\n",
+                parties[i].c_str(), r.coupled_records,
+                r.coupled() ? "  ** this party is a honeypot **" : "");
+  }
+  auto coalition = analysis.min_recoupling_coalition(parties.front());
+  if (coalition) {
+    std::printf("minimal colluding set to re-identify users: %zu parties\n\n",
+                *coalition);
+  } else {
+    std::printf("no coalition of providers can re-identify users\n\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Quickstart: decoupling analysis of a photo-backup design\n\n");
+
+  // ---- Design 1: the naive design ----------------------------------------
+  // One backup service authenticates the user AND stores their photos.
+  {
+    ObservationLog log;
+    // The user knows who they are and what they store. Context ids group
+    // observations that are trivially linkable by whoever holds them.
+    log.observe("user", sensitive_identity("user:dana"), /*context=*/1);
+    log.observe("user", sensitive_data("photo:medical-scan.png"), 1);
+    // The backup service sees the login identity and the photo — together.
+    log.observe("backup", sensitive_identity("user:dana"), 2);
+    log.observe("backup", sensitive_data("photo:medical-scan.png"), 2);
+    analyze("naive: one backup service", log, {"user", "backup"});
+  }
+
+  // ---- Design 2: decoupled ------------------------------------------------
+  // An auth provider issues an anonymous storage credential (think blind
+  // signature / Privacy Pass); a storage provider holds encrypted blobs
+  // under that credential. Nobody but the user holds (who AND what).
+  {
+    ObservationLog log;
+    log.observe("user", sensitive_identity("user:dana"), 1);
+    log.observe("user", sensitive_data("photo:medical-scan.png"), 1);
+
+    // Auth provider: knows the account, sees only a blinded credential.
+    log.observe("auth", sensitive_identity("user:dana"), 2);
+    log.observe("auth", benign_data("blinded-credential"), 2);
+
+    // Storage provider: sees an anonymous credential and ciphertext.
+    log.observe("storage", benign_identity("credential:7f3a"), 3);
+    log.observe("storage", benign_data("encrypted-blob:9c2e"), 3);
+
+    analyze("decoupled: auth provider + storage provider", log,
+            {"user", "auth", "storage"});
+  }
+
+  // ---- Design 2 under collusion -------------------------------------------
+  // What if auth and storage secretly share flow identifiers? Model the
+  // extra knowledge explicitly with link(): the analysis shows the exposure.
+  {
+    ObservationLog log;
+    log.observe("user", sensitive_identity("user:dana"), 1);
+    log.observe("user", sensitive_data("photo:medical-scan.png"), 1);
+    log.observe("auth", sensitive_identity("user:dana"), 2);
+    log.observe("auth", benign_data("blinded-credential"), 2);
+    log.observe("storage", benign_identity("credential:7f3a"), 3);
+    // Suppose the blob name itself is sensitive (unencrypted file names!).
+    log.observe("storage", sensitive_data("filename:medical-scan.png"), 3);
+    // And the credential was NOT blinded, so auth can link 2 <-> 3.
+    log.link("auth", 2, 3);
+
+    DecouplingAnalysis analysis(log);
+    std::printf("--- subtle mistake: linkable credential + plaintext names "
+                "---\n");
+    std::printf("auth+storage collusion re-identifies users: %s\n",
+                analysis.coalition_recouples({"auth", "storage"}) ? "YES"
+                                                                  : "no");
+    std::printf("lesson: decoupling needs BOTH unlinkable credentials and "
+                "encrypted payloads.\n");
+  }
+
+  return 0;
+}

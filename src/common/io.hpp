@@ -1,0 +1,89 @@
+// Binary readers/writers used by all wire formats (DNS, HPKE contexts,
+// binary HTTP, onion layers). Big-endian throughout, matching network order.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace dcpl {
+
+/// Thrown by ByteReader on truncated or malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian fields to an owned buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(buf_, be_encode(v, 2)); }
+  void u24(std::uint32_t v) { append(buf_, be_encode(v, 3)); }
+  void u32(std::uint32_t v) { append(buf_, be_encode(v, 4)); }
+  void u64(std::uint64_t v) { append(buf_, be_encode(v, 8)); }
+  void raw(BytesView b) { append(buf_, b); }
+  void raw(std::string_view s) { append(buf_, to_bytes(s)); }
+
+  /// Length-prefixed vector with a `width`-byte big-endian length.
+  void vec(BytesView b, std::size_t width) {
+    append(buf_, be_encode(b.size(), width));
+    append(buf_, b);
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes big-endian fields from a borrowed buffer; throws ParseError on
+/// truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView b) : data_(b) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(be_decode(take(2))); }
+  std::uint32_t u24() { return static_cast<std::uint32_t>(be_decode(take(3))); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(be_decode(take(4))); }
+  std::uint64_t u64() { return be_decode(take(8)); }
+
+  Bytes raw(std::size_t n) {
+    BytesView v = take(n);
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// Reads a `width`-byte length then that many bytes.
+  Bytes vec(std::size_t width) {
+    std::uint64_t len = be_decode(take(width));
+    return raw(static_cast<std::size_t>(len));
+  }
+
+  /// Remaining unread bytes, consumed.
+  Bytes rest() { return raw(remaining()); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return remaining() == 0; }
+
+  /// Absolute-offset peek used by DNS name decompression.
+  BytesView whole() const { return data_; }
+
+ private:
+  BytesView take(std::size_t n) {
+    if (remaining() < n) throw ParseError("ByteReader: truncated input");
+    BytesView v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dcpl

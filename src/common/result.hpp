@@ -1,0 +1,64 @@
+// A small expected-like Result<T> for recoverable failures (decryption
+// failures, malformed wire data at trust boundaries, protocol violations).
+// Programming errors still throw; Result is for inputs an attacker controls.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dcpl {
+
+/// Error payload carried by a failed Result.
+struct Error {
+  std::string message;
+};
+
+/// Holds either a value or an Error. Use ok()/error() to branch and
+/// value()/operator* to unwrap (throws std::logic_error if failed).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error err) : state_(std::move(err)) {}            // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message) {
+    return Result(Error{std::move(message)});
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on success");
+    return std::get<Error>(state_);
+  }
+
+  T& value() & {
+    if (!ok()) throw std::logic_error("Result::value(): " + error_message());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value(): " + error_message());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value(): " + error_message());
+    return std::move(std::get<T>(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::string error_message() const {
+    return std::get<Error>(state_).message;
+  }
+
+  std::variant<T, Error> state_;
+};
+
+}  // namespace dcpl

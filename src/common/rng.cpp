@@ -1,0 +1,78 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcpl {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Rejection sampling over the largest multiple of `bound` that fits.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  for (;;) {
+    std::uint64_t v = u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+double Rng::unit() {
+  // 53 bits of mantissa.
+  return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  cdf_.reserve(n);
+  double total = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.unit();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+XoshiroRng::XoshiroRng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t XoshiroRng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void XoshiroRng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next();
+    for (int j = 0; j < 8 && i < out.size(); ++j, ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+  }
+}
+
+}  // namespace dcpl

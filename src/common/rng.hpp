@@ -1,0 +1,76 @@
+// Deterministic randomness.
+//
+// Everything in this library that needs randomness takes an `Rng&`, and all
+// tests/benches seed it explicitly, so every run is exactly reproducible.
+// Xoshiro256** is the default engine; src/crypto adds a ChaCha20-based
+// generator with the same interface for key material.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dcpl {
+
+/// Abstract random source. Implementations need not be thread-safe.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Returns `n` random bytes.
+  Bytes bytes(std::size_t n) {
+    Bytes b(n);
+    fill(b);
+    return b;
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t u64() {
+    std::uint8_t b[8];
+    fill(b);
+    std::uint64_t v = 0;
+    for (std::uint8_t x : b) v = v << 8 | x;
+    return v;
+  }
+
+  /// Uniform value in [0, bound); bound must be nonzero. Uses rejection
+  /// sampling so the result is unbiased.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double unit();
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, .., n-1} — the
+/// classic shape of web/DNS popularity. Uses inverse-CDF over precomputed
+/// weights; construct once, sample many.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank (0 = most popular).
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Xoshiro256** seeded via SplitMix64. Fast, high-quality, NOT cryptographic.
+class XoshiroRng final : public Rng {
+ public:
+  explicit XoshiroRng(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// Raw engine output (one 64-bit step).
+  std::uint64_t next();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcpl

@@ -1,0 +1,46 @@
+// Maps network addresses to identity atoms.
+//
+// When a node receives a packet it sees the source address (IP-header
+// reality). Whether that constitutes ▲ or △ depends on whose address it is:
+// a user's own address is a sensitive network identity; a relay's address is
+// benign. Systems register this mapping once and call observe_src() from
+// their packet handlers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/knowledge.hpp"
+#include "core/observation.hpp"
+
+namespace dcpl::core {
+
+class AddressBook {
+ public:
+  /// Registers `address` as belonging to the given identity atom.
+  void set(const std::string& address, Atom atom) {
+    atoms_[address] = std::move(atom);
+  }
+
+  std::optional<Atom> lookup(const std::string& address) const {
+    auto it = atoms_.find(address);
+    if (it == atoms_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Logs the identity atom of `src_address` as observed by `party` within
+  /// `context`. Unregistered addresses log as a benign identity.
+  void observe_src(ObservationLog& log, const Party& party,
+                   const std::string& src_address,
+                   std::uint64_t context) const {
+    auto atom = lookup(src_address);
+    log.observe(party, atom ? *atom : benign_identity("addr:" + src_address),
+                context);
+  }
+
+ private:
+  std::map<std::string, Atom> atoms_;
+};
+
+}  // namespace dcpl::core

@@ -1,0 +1,276 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dcpl::core {
+
+namespace {
+
+/// Minimal union-find over arbitrary context ids.
+class UnionFind {
+ public:
+  std::uint64_t find(std::uint64_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    std::uint64_t root = find(it->second);
+    parent_[x] = root;
+    return root;
+  }
+
+  void unite(std::uint64_t a, std::uint64_t b) {
+    parent_[find(a)] = find(b);
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> parent_;
+};
+
+/// Counts UTF-8 codepoints (each paper symbol renders one column wide).
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xc0) != 0x80) ++w;  // count non-continuation bytes
+  }
+  return w;
+}
+
+}  // namespace
+
+std::string KnowledgeTuple::to_string() const {
+  // ▲ dominates △: once a party can identify the user, also knowing benign
+  // identifiers adds nothing (matches the paper's single-symbol cells).
+  std::string identity;
+  if (sensitive_identity) {
+    identity = "▲";
+  } else if (benign_identity) {
+    identity = "△";
+  } else {
+    identity = "-";
+  }
+  std::string data;
+  if (benign_data && sensitive_data) {
+    data = "⊙/●";
+  } else if (sensitive_data) {
+    data = "●";
+  } else if (benign_data) {
+    data = "⊙";
+  } else {
+    data = "-";
+  }
+  return "(" + identity + ", " + data + ")";
+}
+
+DecouplingAnalysis::DecouplingAnalysis(const ObservationLog& log)
+    : log_(&log) {}
+
+KnowledgeTuple DecouplingAnalysis::tuple_for(const Party& party) const {
+  KnowledgeTuple t;
+  for (const Atom& a : log_->atoms_of(party)) {
+    switch (a.kind) {
+      case AtomKind::kSensitiveIdentity:
+        t.sensitive_identity = true;
+        break;
+      case AtomKind::kBenignIdentity:
+        t.benign_identity = true;
+        break;
+      case AtomKind::kSensitiveData:
+        t.sensitive_data = true;
+        break;
+      case AtomKind::kBenignData:
+        t.benign_data = true;
+        break;
+    }
+  }
+  return t;
+}
+
+std::string DecouplingAnalysis::faceted_tuple(
+    const Party& party,
+    const std::vector<std::pair<std::string, std::string>>& facets) const {
+  const std::set<Atom> atoms = log_->atoms_of(party);
+  std::string out = "(";
+  for (const auto& [facet, subscript] : facets) {
+    bool sensitive = false, benign = false;
+    for (const Atom& a : atoms) {
+      if (a.facet != facet) continue;
+      if (a.kind == AtomKind::kSensitiveIdentity) sensitive = true;
+      if (a.kind == AtomKind::kBenignIdentity) benign = true;
+    }
+    out += sensitive ? "▲" : (benign ? "△" : "-");
+    out += subscript;
+    out += ", ";
+  }
+  bool sdata = false, bdata = false;
+  for (const Atom& a : atoms) {
+    if (a.kind == AtomKind::kSensitiveData) sdata = true;
+    if (a.kind == AtomKind::kBenignData) bdata = true;
+  }
+  out += sdata && bdata ? "⊙/●" : (sdata ? "●" : (bdata ? "⊙" : "-"));
+  out += ")";
+  return out;
+}
+
+bool DecouplingAnalysis::is_decoupled(const Party& user) const {
+  return violating_parties(user).empty();
+}
+
+bool DecouplingAnalysis::is_decoupled(const std::vector<Party>& users) const {
+  return violating_parties(users).empty();
+}
+
+std::vector<Party> DecouplingAnalysis::violating_parties(
+    const Party& user) const {
+  return violating_parties(std::vector<Party>{user});
+}
+
+std::vector<Party> DecouplingAnalysis::violating_parties(
+    const std::vector<Party>& users) const {
+  std::vector<Party> out;
+  for (const Party& p : parties()) {
+    if (std::find(users.begin(), users.end(), p) != users.end()) continue;
+    KnowledgeTuple t = tuple_for(p);
+    if (t.sensitive_identity && t.sensitive_data) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t DecouplingAnalysis::coalition_coupled_records(
+    const std::vector<Party>& coalition) const {
+  const std::set<Party> members(coalition.begin(), coalition.end());
+
+  UnionFind uf;
+  for (const ContextLink& l : log_->links()) {
+    if (members.count(l.party)) uf.unite(l.a, l.b);
+  }
+
+  // Gather the coalition's observations per root component.
+  std::map<std::uint64_t, std::set<std::string>> identities;  // root -> labels
+  std::map<std::uint64_t, std::set<std::string>> data;        // root -> labels
+  for (const Observation& o : log_->observations()) {
+    if (!members.count(o.party)) continue;
+    const std::uint64_t root = uf.find(o.context);
+    if (o.atom.kind == AtomKind::kSensitiveIdentity) {
+      identities[root].insert(o.atom.label);
+    } else if (o.atom.kind == AtomKind::kSensitiveData) {
+      data[root].insert(o.atom.label);
+    }
+  }
+
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& [root, ids] : identities) {
+    auto it = data.find(root);
+    if (it == data.end()) continue;
+    for (const auto& id : ids) {
+      for (const auto& d : it->second) pairs.emplace(id, d);
+    }
+  }
+  return pairs.size();
+}
+
+bool DecouplingAnalysis::coalition_recouples(
+    const std::vector<Party>& coalition) const {
+  return coalition_coupled_records(coalition) > 0;
+}
+
+std::optional<std::size_t> DecouplingAnalysis::min_recoupling_coalition(
+    const Party& user) const {
+  std::vector<Party> others;
+  for (const Party& p : parties()) {
+    if (p != user) others.push_back(p);
+  }
+  const std::size_t n = others.size();
+  if (n > 20) return std::nullopt;  // guard against exponential blowup
+
+  std::optional<std::size_t> best;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const std::size_t size =
+        static_cast<std::size_t>(__builtin_popcount(mask));
+    if (best && size >= *best) continue;
+    std::vector<Party> coalition;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) coalition.push_back(others[i]);
+    }
+    if (coalition_recouples(coalition)) best = size;
+  }
+  return best;
+}
+
+BreachReport DecouplingAnalysis::breach(const Party& party) const {
+  BreachReport report;
+  report.party = party;
+  report.tuple = tuple_for(party);
+  report.coupled_records = coalition_coupled_records({party});
+  return report;
+}
+
+std::string DecouplingAnalysis::render_table(
+    const std::vector<Party>& party_order) const {
+  std::vector<std::string> cells;
+  const std::vector<Party> known = parties();
+  for (const Party& p : party_order) {
+    const bool present =
+        std::find(known.begin(), known.end(), p) != known.end();
+    cells.push_back(present ? tuple_for(p).to_string() : "(-)");
+  }
+
+  std::ostringstream head, sep, row;
+  head << "|";
+  sep << "|";
+  row << "|";
+  for (std::size_t i = 0; i < party_order.size(); ++i) {
+    const std::size_t w =
+        std::max(display_width(party_order[i]), display_width(cells[i]));
+    auto pad = [&](const std::string& s) {
+      std::string out = " " + s;
+      out.append(w - display_width(s) + 1, ' ');
+      return out;
+    };
+    head << pad(party_order[i]) << "|";
+    sep << std::string(w + 2, '-') << "|";
+    row << pad(cells[i]) << "|";
+  }
+  return head.str() + "\n" + sep.str() + "\n" + row.str() + "\n";
+}
+
+std::string DecouplingAnalysis::render_report(
+    const std::string& title, const std::vector<Party>& users) const {
+  std::ostringstream out;
+  out << "# " << title << "\n\n";
+  out << render_table(parties()) << "\n";
+
+  const std::vector<Party> violators = violating_parties(users);
+  if (violators.empty()) {
+    out << "verdict: DECOUPLED — only the user holds (▲, ●)\n\n";
+  } else {
+    out << "verdict: NOT decoupled — coupling at:";
+    for (const Party& p : violators) out << " " << p;
+    out << "\n\n";
+  }
+
+  out << "single-party breach exposure:\n";
+  for (const Party& p : parties()) {
+    if (std::find(users.begin(), users.end(), p) != users.end()) continue;
+    BreachReport r = breach(p);
+    out << "  " << p << ": " << r.coupled_records
+        << " coupled (identity, data) records"
+        << (r.coupled() ? "  ** EXPOSED **" : "") << "\n";
+  }
+
+  if (!users.empty()) {
+    auto min_c = min_recoupling_coalition(users.front());
+    out << "minimal re-coupling coalition: "
+        << (min_c ? std::to_string(*min_c) + " parties"
+                  : std::string("none (unlinkable)"))
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dcpl::core

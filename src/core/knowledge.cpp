@@ -1,0 +1,32 @@
+#include "core/knowledge.hpp"
+
+namespace dcpl::core {
+
+const char* kind_symbol(AtomKind kind) {
+  switch (kind) {
+    case AtomKind::kSensitiveIdentity:
+      return "▲";  // ▲
+    case AtomKind::kBenignIdentity:
+      return "△";  // △
+    case AtomKind::kSensitiveData:
+      return "●";  // ●
+    case AtomKind::kBenignData:
+      return "⊙";  // ⊙
+  }
+  return "?";
+}
+
+Atom sensitive_identity(std::string label, std::string facet) {
+  return Atom{AtomKind::kSensitiveIdentity, std::move(label), std::move(facet)};
+}
+Atom benign_identity(std::string label, std::string facet) {
+  return Atom{AtomKind::kBenignIdentity, std::move(label), std::move(facet)};
+}
+Atom sensitive_data(std::string label, std::string facet) {
+  return Atom{AtomKind::kSensitiveData, std::move(label), std::move(facet)};
+}
+Atom benign_data(std::string label, std::string facet) {
+  return Atom{AtomKind::kBenignData, std::move(label), std::move(facet)};
+}
+
+}  // namespace dcpl::core

@@ -1,0 +1,29 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+namespace dcpl::core {
+
+double entropy_bits(const std::vector<std::size_t>& counts) {
+  double total = 0;
+  for (std::size_t c : counts) total += static_cast<double>(c);
+  if (total == 0) return 0.0;
+  double h = 0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double effective_anonymity_set(const std::vector<double>& posterior) {
+  double h = 0;
+  for (double p : posterior) {
+    if (p <= 0) continue;
+    h -= p * std::log2(p);
+  }
+  return std::exp2(h);
+}
+
+}  // namespace dcpl::core

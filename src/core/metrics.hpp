@@ -1,0 +1,27 @@
+// Anonymity and linkability metrics used across benches (§4.2, §4.3).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcpl::core {
+
+/// Shannon entropy (bits) of a discrete distribution given as counts.
+double entropy_bits(const std::vector<std::size_t>& counts);
+
+/// Effective anonymity-set size = 2^entropy of the attacker's posterior
+/// over candidate users (equals N when the posterior is uniform over N).
+double effective_anonymity_set(const std::vector<double>& posterior);
+
+/// Fraction of attacker guesses that are correct.
+struct LinkageResult {
+  std::size_t attempts = 0;
+  std::size_t correct = 0;
+  double success_rate() const {
+    return attempts == 0 ? 0.0 : static_cast<double>(correct) / attempts;
+  }
+};
+
+}  // namespace dcpl::core

@@ -1,0 +1,45 @@
+#include "core/observation.hpp"
+
+#include <algorithm>
+
+namespace dcpl::core {
+
+void ObservationLog::observe(const Party& party, Atom atom,
+                             std::uint64_t context) {
+  observations_.push_back(Observation{party, std::move(atom), context});
+}
+
+void ObservationLog::link(const Party& party, std::uint64_t a,
+                          std::uint64_t b) {
+  links_.push_back(ContextLink{party, a, b});
+}
+
+std::vector<Party> ObservationLog::parties() const {
+  std::set<Party> set;
+  for (const auto& o : observations_) set.insert(o.party);
+  for (const auto& l : links_) set.insert(l.party);
+  return std::vector<Party>(set.begin(), set.end());
+}
+
+std::vector<Observation> ObservationLog::for_party(const Party& party) const {
+  std::vector<Observation> out;
+  std::copy_if(observations_.begin(), observations_.end(),
+               std::back_inserter(out),
+               [&](const Observation& o) { return o.party == party; });
+  return out;
+}
+
+std::set<Atom> ObservationLog::atoms_of(const Party& party) const {
+  std::set<Atom> out;
+  for (const auto& o : observations_) {
+    if (o.party == party) out.insert(o.atom);
+  }
+  return out;
+}
+
+void ObservationLog::clear() {
+  observations_.clear();
+  links_.clear();
+}
+
+}  // namespace dcpl::core

@@ -1,0 +1,69 @@
+// Observation logs: the empirical record of what each party could see.
+//
+// Parties never *declare* their knowledge; protocol code calls observe() at
+// exactly the points where plaintext is in scope (after decryption, when
+// reading a packet's source address, ...). The analysis layer then derives
+// the paper's knowledge tuples from these logs — the paper's tables become
+// *outputs* of running the system, not assumptions.
+//
+// `context` models linkability: two observations made under the same context
+// id are trivially linkable by that party (same connection / same message in
+// flight). A party that maps an inbound flow to an outbound flow (a relay)
+// records a link() edge — this is precisely the knowledge a coalition needs
+// to re-couple identities with data (§4.1, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/knowledge.hpp"
+
+namespace dcpl::core {
+
+using Party = std::string;
+
+struct Observation {
+  Party party;
+  Atom atom;
+  std::uint64_t context;
+};
+
+/// "party knows contexts a and b carry the same flow".
+struct ContextLink {
+  Party party;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+class ObservationLog {
+ public:
+  /// Records that `party` saw `atom` within linkage context `context`.
+  void observe(const Party& party, Atom atom, std::uint64_t context);
+
+  /// Records that `party` can link contexts `a` and `b`.
+  void link(const Party& party, std::uint64_t a, std::uint64_t b);
+
+  const std::vector<Observation>& observations() const { return observations_; }
+  const std::vector<ContextLink>& links() const { return links_; }
+
+  /// All parties that appear in the log, sorted.
+  std::vector<Party> parties() const;
+
+  /// Observations made by one party.
+  std::vector<Observation> for_party(const Party& party) const;
+
+  /// Distinct atoms a party observed.
+  std::set<Atom> atoms_of(const Party& party) const;
+
+  std::size_t size() const { return observations_.size(); }
+  void clear();
+
+ private:
+  std::vector<Observation> observations_;
+  std::vector<ContextLink> links_;
+};
+
+}  // namespace dcpl::core

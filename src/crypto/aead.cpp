@@ -1,0 +1,66 @@
+#include "crypto/aead.hpp"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace dcpl::crypto {
+
+namespace {
+
+Bytes le64(std::uint64_t v) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return b;
+}
+
+// mac_data = aad || pad16 || ct || pad16 || le64(len(aad)) || le64(len(ct))
+Bytes mac_input(BytesView aad, BytesView ct) {
+  Bytes out(aad.begin(), aad.end());
+  out.resize((out.size() + 15) / 16 * 16, 0);
+  append(out, ct);
+  out.resize((out.size() + 15) / 16 * 16, 0);
+  append(out, le64(aad.size()));
+  append(out, le64(ct.size()));
+  return out;
+}
+
+Bytes poly_key(BytesView key, BytesView nonce) {
+  auto block = chacha20_block(key, 0, nonce);
+  return Bytes(block.begin(), block.begin() + 32);
+}
+
+}  // namespace
+
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                BytesView plaintext) {
+  if (key.size() != kAeadKeySize) throw std::invalid_argument("aead: key size");
+  if (nonce.size() != kAeadNonceSize) {
+    throw std::invalid_argument("aead: nonce size");
+  }
+  Bytes ct = chacha20_xor(key, 1, nonce, plaintext);
+  Bytes tag = poly1305_mac(poly_key(key, nonce), mac_input(aad, ct));
+  append(ct, tag);
+  return ct;
+}
+
+Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                        BytesView ciphertext) {
+  if (key.size() != kAeadKeySize) throw std::invalid_argument("aead: key size");
+  if (nonce.size() != kAeadNonceSize) {
+    throw std::invalid_argument("aead: nonce size");
+  }
+  if (ciphertext.size() < kAeadTagSize) {
+    return Result<Bytes>::failure("aead_open: ciphertext too short");
+  }
+  BytesView ct = ciphertext.first(ciphertext.size() - kAeadTagSize);
+  BytesView tag = ciphertext.last(kAeadTagSize);
+  Bytes expected = poly1305_mac(poly_key(key, nonce), mac_input(aad, ct));
+  if (!ct_equal(expected, tag)) {
+    return Result<Bytes>::failure("aead_open: authentication failed");
+  }
+  return chacha20_xor(key, 1, nonce, ct);
+}
+
+}  // namespace dcpl::crypto

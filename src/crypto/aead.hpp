@@ -1,0 +1,23 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace dcpl::crypto {
+
+constexpr std::size_t kAeadKeySize = 32;
+constexpr std::size_t kAeadNonceSize = 12;
+constexpr std::size_t kAeadTagSize = 16;
+
+/// Encrypts `plaintext` under (key, nonce) binding `aad`.
+/// Returns ciphertext || 16-byte tag.
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                BytesView plaintext);
+
+/// Opens ciphertext || tag produced by aead_seal. Fails (never throws) on
+/// forgery or truncation — attacker-controlled input path.
+Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                        BytesView ciphertext);
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,112 @@
+// Arbitrary-precision unsigned integers with the operations RSA needs:
+// schoolbook mul, Knuth Algorithm D division, Montgomery modular
+// exponentiation, extended-Euclid modular inverse, Miller-Rabin primality,
+// and prime generation.
+//
+// Values are non-negative; subtraction that would go negative throws.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace dcpl::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+
+  /// Parses big-endian bytes (leading zeros allowed).
+  static BigInt from_bytes_be(BytesView b);
+
+  /// Parses a hex string (no 0x prefix).
+  static BigInt from_hex(std::string_view hex);
+
+  /// Serializes big-endian. If width > 0, left-pads with zeros to exactly
+  /// `width` bytes (throws if the value does not fit).
+  Bytes to_bytes_be(std::size_t width = 0) const;
+
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Bit `i` (0 = least significant).
+  bool bit(std::size_t i) const;
+
+  std::strong_ordering operator<=>(const BigInt& o) const;
+  bool operator==(const BigInt& o) const = default;
+
+  /// Low `limb_count` limbs as a value (used by Karatsuba splitting).
+  BigInt low_limbs(std::size_t limb_count) const;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;  // throws if o > *this
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Quotient and remainder in one pass.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+
+  /// (this ^ exponent) mod modulus. Montgomery for odd moduli, generic
+  /// square-and-multiply otherwise.
+  BigInt mod_exp(const BigInt& exponent, const BigInt& modulus) const;
+
+  /// Multiplicative inverse mod `modulus`; throws if gcd != 1.
+  BigInt mod_inverse(const BigInt& modulus) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Uniform value in [0, bound).
+  static BigInt random_below(const BigInt& bound, Rng& rng);
+
+  /// Miller-Rabin with `rounds` random bases (plus small-prime sieve).
+  bool is_probable_prime(int rounds, Rng& rng) const;
+
+  /// Random prime with exactly `bits` bits (top two bits set so that a
+  /// product of two such primes has exactly 2*bits bits).
+  static BigInt generate_prime(std::size_t bits, Rng& rng);
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void trim();
+
+  // Little-endian 64-bit limbs; empty means zero.
+  std::vector<std::uint64_t> limbs_;
+
+  friend class Montgomery;
+};
+
+/// Montgomery context for repeated modular multiplication mod an odd modulus.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& modulus);
+
+  /// (base ^ exponent) mod modulus.
+  BigInt mod_exp(const BigInt& base, const BigInt& exponent) const;
+
+ private:
+  std::vector<std::uint64_t> to_mont(const BigInt& a) const;
+  BigInt from_mont(std::vector<std::uint64_t> a) const;
+  std::vector<std::uint64_t> mont_mul(const std::vector<std::uint64_t>& a,
+                                      const std::vector<std::uint64_t>& b) const;
+
+  BigInt n_;
+  std::vector<std::uint64_t> n_limbs_;
+  std::uint64_t n_prime_;  // -n^{-1} mod 2^64
+  BigInt r2_;              // R^2 mod n
+};
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,58 @@
+#include "crypto/blind_rsa.hpp"
+
+namespace dcpl::crypto {
+
+BlindingState blind(const RsaPublicKey& pub, BytesView message, Rng& rng) {
+  const std::size_t em_bits = pub.modulus_bits() - 1;
+  Bytes em = pss_encode(message, em_bits, rng);
+  BigInt m = BigInt::from_bytes_be(em);
+
+  // r uniform in [1, n) with gcd(r, n) = 1.
+  BigInt r;
+  do {
+    r = BigInt::random_below(pub.n, rng);
+  } while (r.is_zero() || BigInt::gcd(r, pub.n) != BigInt(1));
+
+  BigInt blinded = (m * r.mod_exp(pub.e, pub.n)) % pub.n;
+
+  BlindingState state;
+  state.blinded_message = blinded.to_bytes_be(pub.modulus_bytes());
+  state.inv = r.mod_inverse(pub.n);
+  return state;
+}
+
+Result<Bytes> blind_sign(const RsaPrivateKey& priv, BytesView blinded_message) {
+  if (blinded_message.size() != priv.pub.modulus_bytes()) {
+    return Result<Bytes>::failure("blind_sign: wrong message size");
+  }
+  BigInt m = BigInt::from_bytes_be(blinded_message);
+  if (m >= priv.pub.n) {
+    return Result<Bytes>::failure("blind_sign: message out of range");
+  }
+  BigInt s = rsa_private_op(priv, m);
+  return s.to_bytes_be(priv.pub.modulus_bytes());
+}
+
+Result<Bytes> finalize(const RsaPublicKey& pub, BytesView message,
+                       const BlindingState& state, BytesView blind_signature) {
+  if (blind_signature.size() != pub.modulus_bytes()) {
+    return Result<Bytes>::failure("finalize: wrong signature size");
+  }
+  BigInt s_blind = BigInt::from_bytes_be(blind_signature);
+  if (s_blind >= pub.n) {
+    return Result<Bytes>::failure("finalize: signature out of range");
+  }
+  BigInt s = (s_blind * state.inv) % pub.n;
+  Bytes sig = s.to_bytes_be(pub.modulus_bytes());
+  if (!rsa_pss_verify(pub, message, sig)) {
+    return Result<Bytes>::failure("finalize: invalid signature from signer");
+  }
+  return sig;
+}
+
+bool blind_verify(const RsaPublicKey& pub, BytesView message,
+                  BytesView signature) {
+  return rsa_pss_verify(pub, message, signature);
+}
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,81 @@
+#include "crypto/chacha20.hpp"
+
+#include <stdexcept>
+
+namespace dcpl::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(BytesView key, std::uint32_t counter,
+                                            BytesView nonce) {
+  if (key.size() != kChaChaKeySize) throw std::invalid_argument("chacha20: key");
+  if (nonce.size() != kChaChaNonceSize) {
+    throw std::invalid_argument("chacha20: nonce");
+  }
+
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = state[i];
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+Bytes chacha20_xor(BytesView key, std::uint32_t initial_counter,
+                   BytesView nonce, BytesView data) {
+  Bytes out(data.size());
+  std::uint32_t counter = initial_counter;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    auto block = chacha20_block(key, counter++, nonce);
+    std::size_t take = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] = data[off + i] ^ block[i];
+    off += take;
+  }
+  return out;
+}
+
+}  // namespace dcpl::crypto

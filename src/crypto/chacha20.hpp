@@ -1,0 +1,24 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4): 256-bit key, 96-bit nonce,
+// 32-bit block counter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dcpl::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+/// Produces one 64-byte ChaCha20 block for (key, counter, nonce).
+std::array<std::uint8_t, 64> chacha20_block(BytesView key, std::uint32_t counter,
+                                            BytesView nonce);
+
+/// XORs `data` with the ChaCha20 keystream starting at `initial_counter`.
+/// Encrypt and decrypt are the same operation.
+Bytes chacha20_xor(BytesView key, std::uint32_t initial_counter,
+                   BytesView nonce, BytesView data);
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,39 @@
+#include "crypto/csprng.hpp"
+
+#include <cstring>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dcpl::crypto {
+
+ChaChaRng::ChaChaRng(BytesView seed) : key_(Sha256::hash(seed)) {}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed)
+    : ChaChaRng(BytesView(be_encode(seed, 8))) {}
+
+void ChaChaRng::refill() {
+  // Nonce carries the high 64 bits of the block counter; the ChaCha counter
+  // word carries the low 32. This yields a practically unbounded stream.
+  Bytes nonce(kChaChaNonceSize, 0);
+  std::uint64_t hi = block_counter_ >> 32;
+  std::memcpy(nonce.data() + 4, &hi, 8);
+  auto block = chacha20_block(
+      key_, static_cast<std::uint32_t>(block_counter_ & 0xffffffff), nonce);
+  std::memcpy(buffer_, block.data(), 64);
+  available_ = 64;
+  ++block_counter_;
+}
+
+void ChaChaRng::fill(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (available_ == 0) refill();
+    std::size_t take = std::min(available_, out.size() - off);
+    std::memcpy(out.data() + off, buffer_ + (64 - available_), take);
+    available_ -= take;
+    off += take;
+  }
+}
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,35 @@
+#include "crypto/hkdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dcpl::crypto {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  constexpr std::size_t kHash = Sha256::kDigestSize;
+  if (length > 255 * kHash) throw std::invalid_argument("hkdf_expand: length");
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = concat({t, info, BytesView(&counter, 1)});
+    t = hmac_sha256(prk, block);
+    std::size_t take = std::min(kHash, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,17 @@
+// HKDF-SHA256 (RFC 5869).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace dcpl::crypto {
+
+/// HKDF-Extract(salt, ikm) -> 32-byte PRK.
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand(prk, info, length); length <= 255*32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace dcpl::crypto

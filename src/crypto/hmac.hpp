@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace dcpl::crypto {
+
+/// Computes HMAC-SHA256(key, data). Any key length.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace dcpl::crypto

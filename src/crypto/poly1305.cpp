@@ -1,0 +1,166 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dcpl::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+// 26-bit limb implementation (poly1305-donna style).
+Bytes poly1305_mac(BytesView key, BytesView msg) {
+  if (key.size() != kPoly1305KeySize) {
+    throw std::invalid_argument("poly1305: key size");
+  }
+  constexpr std::uint32_t kMask = 0x3ffffff;
+
+  // r is clamped per the spec.
+  std::uint32_t r0 = load_le32(key.data() + 0) & 0x3ffffff;
+  std::uint32_t r1 = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
+  std::uint32_t r2 = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  std::uint32_t r3 = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
+  std::uint32_t r4 = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    std::uint8_t block[16] = {0};
+    std::size_t take = std::min<std::size_t>(16, msg.size() - off);
+    std::memcpy(block, msg.data() + off, take);
+    std::uint32_t hibit = 1u << 24;
+    if (take < 16) {
+      block[take] = 1;  // pad the final partial block with 0x01 then zeros
+      hibit = 0;
+    }
+    off += take;
+
+    h0 += load_le32(block + 0) & kMask;
+    h1 += (load_le32(block + 3) >> 2) & kMask;
+    h2 += (load_le32(block + 6) >> 4) & kMask;
+    h3 += (load_le32(block + 9) >> 6) & kMask;
+    h4 += (load_le32(block + 12) >> 8) | hibit;
+
+    std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 +
+                       static_cast<std::uint64_t>(h1) * s4 +
+                       static_cast<std::uint64_t>(h2) * s3 +
+                       static_cast<std::uint64_t>(h3) * s2 +
+                       static_cast<std::uint64_t>(h4) * s1;
+    std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 +
+                       static_cast<std::uint64_t>(h1) * r0 +
+                       static_cast<std::uint64_t>(h2) * s4 +
+                       static_cast<std::uint64_t>(h3) * s3 +
+                       static_cast<std::uint64_t>(h4) * s2;
+    std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 +
+                       static_cast<std::uint64_t>(h1) * r1 +
+                       static_cast<std::uint64_t>(h2) * r0 +
+                       static_cast<std::uint64_t>(h3) * s4 +
+                       static_cast<std::uint64_t>(h4) * s3;
+    std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 +
+                       static_cast<std::uint64_t>(h1) * r2 +
+                       static_cast<std::uint64_t>(h2) * r1 +
+                       static_cast<std::uint64_t>(h3) * r0 +
+                       static_cast<std::uint64_t>(h4) * s4;
+    std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 +
+                       static_cast<std::uint64_t>(h1) * r3 +
+                       static_cast<std::uint64_t>(h2) * r2 +
+                       static_cast<std::uint64_t>(h3) * r1 +
+                       static_cast<std::uint64_t>(h4) * r0;
+
+    std::uint64_t c = d0 >> 26;
+    h0 = static_cast<std::uint32_t>(d0) & kMask;
+    d1 += c;
+    c = d1 >> 26;
+    h1 = static_cast<std::uint32_t>(d1) & kMask;
+    d2 += c;
+    c = d2 >> 26;
+    h2 = static_cast<std::uint32_t>(d2) & kMask;
+    d3 += c;
+    c = d3 >> 26;
+    h3 = static_cast<std::uint32_t>(d3) & kMask;
+    d4 += c;
+    c = d4 >> 26;
+    h4 = static_cast<std::uint32_t>(d4) & kMask;
+    h0 += static_cast<std::uint32_t>(c) * 5;
+    c = h0 >> 26;
+    h0 &= kMask;
+    h1 += static_cast<std::uint32_t>(c);
+  }
+
+  // Full reduction.
+  std::uint32_t c = h1 >> 26;
+  h1 &= kMask;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= kMask;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= kMask;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= kMask;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= kMask;
+  h1 += c;
+
+  // Compute h + 5 - 2^130 and select it if non-negative.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= kMask;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= kMask;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= kMask;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= kMask;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if g >= 2^130, else zero
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Convert to 32-bit words and add s (the pad) mod 2^128.
+  std::uint32_t w0 = h0 | (h1 << 26);
+  std::uint32_t w1 = (h1 >> 6) | (h2 << 20);
+  std::uint32_t w2 = (h2 >> 12) | (h3 << 14);
+  std::uint32_t w3 = (h3 >> 18) | (h4 << 8);
+
+  std::uint64_t f = static_cast<std::uint64_t>(w0) + load_le32(key.data() + 16);
+  w0 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(w1) + load_le32(key.data() + 20) + (f >> 32);
+  w1 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(w2) + load_le32(key.data() + 24) + (f >> 32);
+  w2 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(w3) + load_le32(key.data() + 28) + (f >> 32);
+  w3 = static_cast<std::uint32_t>(f);
+
+  Bytes tag(kPoly1305TagSize);
+  const std::uint32_t words[4] = {w0, w1, w2, w3};
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * i] = static_cast<std::uint8_t>(words[i]);
+    tag[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    tag[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    tag[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,14 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace dcpl::crypto {
+
+constexpr std::size_t kPoly1305KeySize = 32;
+constexpr std::size_t kPoly1305TagSize = 16;
+
+/// Computes the 16-byte Poly1305 tag of `msg` under a one-time 32-byte key.
+Bytes poly1305_mac(BytesView key, BytesView msg);
+
+}  // namespace dcpl::crypto

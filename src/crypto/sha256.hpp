@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). Streaming and one-shot interfaces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace dcpl::crypto {
+
+/// Incremental SHA-256. Construct, update() any number of times, digest().
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(BytesView data);
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, kDigestSize> digest();
+
+  /// One-shot convenience.
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,244 @@
+#include "crypto/sha512.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/bigint.hpp"
+
+namespace dcpl::crypto {
+
+std::vector<std::uint64_t> first_primes(std::size_t n) {
+  if (n > 100) throw std::invalid_argument("first_primes: n too large");
+  std::vector<std::uint64_t> primes;
+  for (std::uint64_t c = 2; primes.size() < n; ++c) {
+    bool prime = true;
+    for (std::uint64_t p : primes) {
+      if (p * p > c) break;
+      if (c % p == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) primes.push_back(c);
+  }
+  return primes;
+}
+
+namespace {
+
+/// Largest x with x^k <= n, by binary search over BigInt.
+BigInt integer_kth_root(const BigInt& n, int k) {
+  BigInt lo(0);
+  BigInt hi = BigInt(1) << (n.bit_length() / static_cast<std::size_t>(k) + 1);
+  while (lo < hi) {
+    // mid = (lo + hi + 1) / 2
+    BigInt mid = (lo + hi + BigInt(1)) >> 1;
+    BigInt power = mid;
+    for (int i = 1; i < k; ++i) power = power * mid;
+    if (power <= n) {
+      lo = mid;
+    } else {
+      hi = mid - BigInt(1);
+    }
+  }
+  return lo;
+}
+
+std::uint64_t frac_root_bits(std::uint64_t prime, int k, unsigned bits) {
+  // floor(prime^(1/k) * 2^bits) = floor((prime << (k*bits))^(1/k));
+  // the fractional field is the low `bits` bits (primes are never perfect
+  // powers, so the integer part splits off cleanly).
+  BigInt shifted = BigInt(prime) << (static_cast<std::size_t>(k) * bits);
+  BigInt root = integer_kth_root(shifted, k);
+  BigInt frac = root % (BigInt(1) << bits);
+  Bytes be = frac.to_bytes_be(8);
+  return be_decode(be);
+}
+
+}  // namespace
+
+std::uint64_t frac_sqrt_bits(std::uint64_t prime, unsigned bits) {
+  return frac_root_bits(prime, 2, bits);
+}
+
+std::uint64_t frac_cbrt_bits(std::uint64_t prime, unsigned bits) {
+  return frac_root_bits(prime, 3, bits);
+}
+
+namespace {
+
+const std::uint64_t* k512() {
+  static const std::array<std::uint64_t, 80> table = [] {
+    std::array<std::uint64_t, 80> t;
+    auto primes = first_primes(80);
+    for (std::size_t i = 0; i < 80; ++i) t[i] = frac_cbrt_bits(primes[i], 64);
+    return t;
+  }();
+  return table.data();
+}
+
+const std::uint64_t* iv512() {
+  static const std::array<std::uint64_t, 8> table = [] {
+    std::array<std::uint64_t, 8> t;
+    auto primes = first_primes(8);
+    for (std::size_t i = 0; i < 8; ++i) t[i] = frac_sqrt_bits(primes[i], 64);
+    return t;
+  }();
+  return table.data();
+}
+
+const std::uint64_t* iv384() {
+  static const std::array<std::uint64_t, 8> table = [] {
+    std::array<std::uint64_t, 8> t;
+    auto primes = first_primes(16);  // SHA-384 uses primes 9..16
+    for (std::size_t i = 0; i < 8; ++i) {
+      t[i] = frac_sqrt_bits(primes[8 + i], 64);
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+std::uint64_t rotr64(std::uint64_t x, int n) {
+  return (x >> n) | (x << (64 - n));
+}
+
+}  // namespace
+
+Sha512::Sha512() { set_state(iv512()); }
+
+void Sha512::process_block(const std::uint8_t* block) {
+  std::uint64_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < 8; ++j) v = v << 8 | block[8 * i + j];
+    w[i] = v;
+  }
+  for (int i = 16; i < 80; ++i) {
+    std::uint64_t s0 =
+        rotr64(w[i - 15], 1) ^ rotr64(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    std::uint64_t s1 =
+        rotr64(w[i - 2], 19) ^ rotr64(w[i - 2], 61) ^ (w[i - 2] >> 6);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint64_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint64_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  const std::uint64_t* k = k512();
+  for (int i = 0; i < 80; ++i) {
+    std::uint64_t s1 = rotr64(e, 14) ^ rotr64(e, 18) ^ rotr64(e, 41);
+    std::uint64_t ch = (e & f) ^ (~e & g);
+    std::uint64_t t1 = h + s1 + ch + k[i] + w[i];
+    std::uint64_t s0 = rotr64(a, 28) ^ rotr64(a, 34) ^ rotr64(a, 39);
+    std::uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    std::uint64_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha512::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    off += take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (off + kBlockSize <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_, data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+std::array<std::uint8_t, Sha512::kDigestSize> Sha512::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  std::uint8_t pad[kBlockSize * 2] = {0x80};
+  // Pad to 112 mod 128 (16-byte length field).
+  const std::size_t pad_len =
+      (buffered_ < 112) ? (112 - buffered_) : (240 - buffered_);
+  update(BytesView(pad, pad_len));
+  std::uint8_t len_bytes[16] = {0};  // high 64 bits are zero at our sizes
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(BytesView(len_bytes, 16));
+
+  std::array<std::uint8_t, kDigestSize> out;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<std::uint8_t>(h_[i] >> (56 - 8 * j));
+    }
+  }
+  return out;
+}
+
+Bytes Sha512::hash(BytesView data) {
+  Sha512 ctx;
+  ctx.update(data);
+  auto d = ctx.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+Sha384::Sha384() { set_state(iv384()); }
+
+std::array<std::uint8_t, Sha384::kDigestSize> Sha384::digest() {
+  auto full = Sha512::digest();
+  std::array<std::uint8_t, kDigestSize> out;
+  std::copy(full.begin(), full.begin() + kDigestSize, out.begin());
+  return out;
+}
+
+Bytes Sha384::hash(BytesView data) {
+  Sha384 ctx;
+  ctx.update(data);
+  auto d = ctx.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hmac_sha512(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = Sha512::kBlockSize;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = Sha512::hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha512 inner;
+  inner.update(ipad);
+  inner.update(data);
+  auto inner_digest = inner.digest();
+  Sha512 outer;
+  outer.update(opad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  auto d = outer.digest();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace dcpl::crypto

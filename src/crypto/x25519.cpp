@@ -1,0 +1,263 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hkdf.hpp"
+
+namespace dcpl::crypto {
+
+namespace {
+
+// Field element mod p = 2^255 - 19, five 51-bit limbs, little-endian.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (std::uint64_t{1} << 51) - 1;
+
+using u128 = unsigned __int128;
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe c;
+  for (int i = 0; i < 5; ++i) c.v[i] = a.v[i] + b.v[i];
+  return c;
+}
+
+// a - b + 2p, keeping limbs positive.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe c;
+  c.v[0] = a.v[0] + 0xFFFFFFFFFFFDAULL - b.v[0];
+  c.v[1] = a.v[1] + 0xFFFFFFFFFFFFEULL - b.v[1];
+  c.v[2] = a.v[2] + 0xFFFFFFFFFFFFEULL - b.v[2];
+  c.v[3] = a.v[3] + 0xFFFFFFFFFFFFEULL - b.v[3];
+  c.v[4] = a.v[4] + 0xFFFFFFFFFFFFEULL - b.v[4];
+  return c;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                      b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe c;
+  std::uint64_t carry;
+  carry = static_cast<std::uint64_t>(t0 >> 51);
+  c.v[0] = static_cast<std::uint64_t>(t0) & kMask51;
+  t1 += carry;
+  carry = static_cast<std::uint64_t>(t1 >> 51);
+  c.v[1] = static_cast<std::uint64_t>(t1) & kMask51;
+  t2 += carry;
+  carry = static_cast<std::uint64_t>(t2 >> 51);
+  c.v[2] = static_cast<std::uint64_t>(t2) & kMask51;
+  t3 += carry;
+  carry = static_cast<std::uint64_t>(t3 >> 51);
+  c.v[3] = static_cast<std::uint64_t>(t3) & kMask51;
+  t4 += carry;
+  carry = static_cast<std::uint64_t>(t4 >> 51);
+  c.v[4] = static_cast<std::uint64_t>(t4) & kMask51;
+  c.v[0] += carry * 19;
+  carry = c.v[0] >> 51;
+  c.v[0] &= kMask51;
+  c.v[1] += carry;
+  return c;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+// Multiply by a small constant (used with a24 = 121665).
+Fe fe_mul_small(const Fe& a, std::uint64_t s) {
+  Fe c;
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)a.v[i] * s;
+  std::uint64_t carry;
+  carry = static_cast<std::uint64_t>(t[0] >> 51);
+  c.v[0] = static_cast<std::uint64_t>(t[0]) & kMask51;
+  t[1] += carry;
+  carry = static_cast<std::uint64_t>(t[1] >> 51);
+  c.v[1] = static_cast<std::uint64_t>(t[1]) & kMask51;
+  t[2] += carry;
+  carry = static_cast<std::uint64_t>(t[2] >> 51);
+  c.v[2] = static_cast<std::uint64_t>(t[2]) & kMask51;
+  t[3] += carry;
+  carry = static_cast<std::uint64_t>(t[3] >> 51);
+  c.v[3] = static_cast<std::uint64_t>(t[3]) & kMask51;
+  t[4] += carry;
+  carry = static_cast<std::uint64_t>(t[4] >> 51);
+  c.v[4] = static_cast<std::uint64_t>(t[4]) & kMask51;
+  c.v[0] += carry * 19;
+  return c;
+}
+
+void fe_cswap(std::uint64_t swap, Fe& a, Fe& b) {
+  const std::uint64_t mask = ~(swap - 1);  // all-ones if swap==1
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian host assumed (x86-64/aarch64)
+}
+
+Fe fe_frombytes(BytesView b) {
+  Fe f;
+  f.v[0] = load_le64(b.data()) & kMask51;
+  f.v[1] = (load_le64(b.data() + 6) >> 3) & kMask51;
+  f.v[2] = (load_le64(b.data() + 12) >> 6) & kMask51;
+  f.v[3] = (load_le64(b.data() + 19) >> 1) & kMask51;
+  f.v[4] = (load_le64(b.data() + 24) >> 12) & kMask51;
+  return f;
+}
+
+Bytes fe_tobytes(const Fe& in) {
+  Fe t = in;
+  // Carry three times; each pass folds the top carry back in times 19.
+  for (int pass = 0; pass < 3; ++pass) {
+    std::uint64_t carry;
+    for (int i = 0; i < 4; ++i) {
+      carry = t.v[i] >> 51;
+      t.v[i] &= kMask51;
+      t.v[i + 1] += carry;
+    }
+    carry = t.v[4] >> 51;
+    t.v[4] &= kMask51;
+    t.v[0] += carry * 19;
+  }
+  // Now t < 2^255; subtract p if t >= p.
+  // t >= p iff t + 19 >= 2^255.
+  Fe u = t;
+  u.v[0] += 19;
+  for (int i = 0; i < 4; ++i) {
+    u.v[i + 1] += u.v[i] >> 51;
+    u.v[i] &= kMask51;
+  }
+  std::uint64_t ge_p = u.v[4] >> 51;  // 1 iff t >= p
+  u.v[4] &= kMask51;
+  const std::uint64_t mask = ~(ge_p - 1);
+  for (int i = 0; i < 5; ++i) t.v[i] = (t.v[i] & ~mask) | (u.v[i] & mask);
+
+  Bytes out(32, 0);
+  // Pack 5x51 bits little-endian.
+  std::uint64_t w0 = t.v[0] | (t.v[1] << 51);
+  std::uint64_t w1 = (t.v[1] >> 13) | (t.v[2] << 38);
+  std::uint64_t w2 = (t.v[2] >> 26) | (t.v[3] << 25);
+  std::uint64_t w3 = (t.v[3] >> 39) | (t.v[4] << 12);
+  std::memcpy(out.data(), &w0, 8);
+  std::memcpy(out.data() + 8, &w1, 8);
+  std::memcpy(out.data() + 16, &w2, 8);
+  std::memcpy(out.data() + 24, &w3, 8);
+  return out;
+}
+
+// a^(p-2) via square-and-multiply; exponent p-2 = 2^255 - 21.
+Fe fe_invert(const Fe& a) {
+  // Little-endian exponent bytes: 0xeb, 0xff*30, 0x7f.
+  std::uint8_t e[32];
+  std::memset(e, 0xff, sizeof(e));
+  e[0] = 0xeb;
+  e[31] = 0x7f;
+
+  Fe result = fe_one();
+  for (int bit = 254; bit >= 0; --bit) {
+    result = fe_sq(result);
+    if ((e[bit / 8] >> (bit % 8)) & 1) result = fe_mul(result, a);
+  }
+  return result;
+}
+
+}  // namespace
+
+Bytes x25519(BytesView scalar, BytesView u) {
+  if (scalar.size() != kX25519KeySize || u.size() != kX25519KeySize) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+  std::uint8_t k[32];
+  std::memcpy(k, scalar.data(), 32);
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  const Fe x1 = fe_frombytes(u);
+  Fe x2 = fe_one(), z2 = fe_zero(), x3 = x1, z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t kt = (k[t / 8] >> (t % 8)) & 1;
+    swap ^= kt;
+    fe_cswap(swap, x2, x3);
+    fe_cswap(swap, z2, z3);
+    swap = kt;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e, fe_add(aa, fe_mul_small(e, 121665)));
+  }
+  fe_cswap(swap, x2, x3);
+  fe_cswap(swap, z2, z3);
+
+  return fe_tobytes(fe_mul(x2, fe_invert(z2)));
+}
+
+Bytes x25519_public(BytesView scalar) {
+  Bytes base(32, 0);
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair X25519KeyPair::generate(Rng& rng) {
+  X25519KeyPair kp;
+  kp.private_key = rng.bytes(kX25519KeySize);
+  kp.public_key = x25519_public(kp.private_key);
+  return kp;
+}
+
+X25519KeyPair X25519KeyPair::derive(BytesView seed) {
+  X25519KeyPair kp;
+  kp.private_key =
+      hkdf(to_bytes("x25519-derive"), seed, to_bytes("sk"), kX25519KeySize);
+  kp.public_key = x25519_public(kp.private_key);
+  return kp;
+}
+
+Result<Bytes> x25519_shared(BytesView private_key, BytesView peer_public) {
+  Bytes shared = x25519(private_key, peer_public);
+  Bytes zero(kX25519KeySize, 0);
+  if (ct_equal(shared, zero)) {
+    return Result<Bytes>::failure("x25519: low-order peer public key");
+  }
+  return shared;
+}
+
+}  // namespace dcpl::crypto

@@ -1,0 +1,213 @@
+#include "dns/message.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/io.hpp"
+
+namespace dcpl::dns {
+
+std::string canonical_name(std::string_view name) {
+  std::string out(name);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+bool name_in_zone(std::string_view name, std::string_view zone) {
+  std::string n = canonical_name(name);
+  std::string z = canonical_name(zone);
+  if (z.empty()) return true;  // root zone contains everything
+  if (n == z) return true;
+  return n.size() > z.size() && n.ends_with(z) &&
+         n[n.size() - z.size() - 1] == '.';
+}
+
+std::string parent_domain(std::string_view name) {
+  std::string n = canonical_name(name);
+  auto dot = n.find('.');
+  if (dot == std::string::npos) return "";
+  return n.substr(dot + 1);
+}
+
+Bytes encode_name(std::string_view name) {
+  Bytes out;
+  std::string n = canonical_name(name);
+  std::size_t start = 0;
+  while (start < n.size()) {
+    std::size_t dot = n.find('.', start);
+    if (dot == std::string::npos) dot = n.size();
+    const std::size_t len = dot - start;
+    if (len == 0 || len > 63) {
+      throw std::invalid_argument("encode_name: bad label in " + n);
+    }
+    out.push_back(static_cast<std::uint8_t>(len));
+    append(out, to_bytes(n.substr(start, len)));
+    start = dot + 1;
+  }
+  out.push_back(0);
+  return out;
+}
+
+namespace {
+
+/// Decodes a (possibly compressed) name starting at reader position.
+std::string decode_name(ByteReader& r) {
+  std::string out;
+  // Follow at most a bounded number of pointers to reject loops.
+  int jumps = 0;
+  std::size_t pos = r.position();
+  BytesView whole = r.whole();
+  bool jumped = false;
+
+  for (;;) {
+    if (pos >= whole.size()) throw ParseError("dns name: truncated");
+    std::uint8_t len = whole[pos];
+    if ((len & 0xc0) == 0xc0) {
+      if (pos + 1 >= whole.size()) throw ParseError("dns name: bad pointer");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | whole[pos + 1];
+      if (!jumped) {
+        // Consume the 2 pointer bytes from the reader.
+        r.raw(pos + 2 - r.position());
+        jumped = true;
+      }
+      if (++jumps > 16) throw ParseError("dns name: pointer loop");
+      if (target >= pos) throw ParseError("dns name: forward pointer");
+      pos = target;
+      continue;
+    }
+    if (len > 63) throw ParseError("dns name: label too long");
+    if (len == 0) {
+      if (!jumped) r.raw(pos + 1 - r.position());
+      break;
+    }
+    if (pos + 1 + len > whole.size()) throw ParseError("dns name: truncated");
+    if (!out.empty()) out.push_back('.');
+    out.append(reinterpret_cast<const char*>(whole.data() + pos + 1), len);
+    pos += 1 + len;
+  }
+  return canonical_name(out);
+}
+
+ResourceRecord decode_rr(ByteReader& r) {
+  ResourceRecord rr;
+  rr.name = decode_name(r);
+  rr.type = static_cast<RecordType>(r.u16());
+  rr.rclass = r.u16();
+  rr.ttl = r.u32();
+  rr.rdata = r.vec(2);
+  return rr;
+}
+
+void encode_rr(ByteWriter& w, const ResourceRecord& rr) {
+  w.raw(encode_name(rr.name));
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(rr.rclass);
+  w.u32(rr.ttl);
+  w.vec(rr.rdata, 2);
+}
+
+}  // namespace
+
+Bytes Message::encode() const {
+  ByteWriter w;
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (authoritative) flags |= 0x0400;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode) & 0x000f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+  for (const auto& q : questions) {
+    w.raw(encode_name(q.qname));
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(q.qclass);
+  }
+  for (const auto& rr : answers) encode_rr(w, rr);
+  for (const auto& rr : authorities) encode_rr(w, rr);
+  for (const auto& rr : additionals) encode_rr(w, rr);
+  return std::move(w).take();
+}
+
+Result<Message> Message::decode(BytesView data) {
+  try {
+    ByteReader r(data);
+    Message m;
+    m.id = r.u16();
+    const std::uint16_t flags = r.u16();
+    m.is_response = flags & 0x8000;
+    m.authoritative = flags & 0x0400;
+    m.recursion_desired = flags & 0x0100;
+    m.recursion_available = flags & 0x0080;
+    m.rcode = static_cast<Rcode>(flags & 0x000f);
+    const std::uint16_t qd = r.u16(), an = r.u16(), ns = r.u16(), ar = r.u16();
+    for (std::uint16_t i = 0; i < qd; ++i) {
+      Question q;
+      q.qname = decode_name(r);
+      q.qtype = static_cast<RecordType>(r.u16());
+      q.qclass = r.u16();
+      m.questions.push_back(std::move(q));
+    }
+    for (std::uint16_t i = 0; i < an; ++i) m.answers.push_back(decode_rr(r));
+    for (std::uint16_t i = 0; i < ns; ++i) m.authorities.push_back(decode_rr(r));
+    for (std::uint16_t i = 0; i < ar; ++i) m.additionals.push_back(decode_rr(r));
+    return m;
+  } catch (const ParseError& e) {
+    return Result<Message>::failure(e.what());
+  } catch (const std::invalid_argument& e) {
+    return Result<Message>::failure(e.what());
+  }
+}
+
+Bytes a_rdata(std::string_view dotted_quad) {
+  Bytes out;
+  std::string s(dotted_quad);
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, '.')) {
+    int v = std::stoi(part);
+    if (v < 0 || v > 255) throw std::invalid_argument("a_rdata: octet range");
+    out.push_back(static_cast<std::uint8_t>(v));
+  }
+  if (out.size() != 4) throw std::invalid_argument("a_rdata: need 4 octets");
+  return out;
+}
+
+std::string rdata_to_ipv4(BytesView rdata) {
+  if (rdata.size() != 4) throw std::invalid_argument("rdata_to_ipv4: size");
+  std::ostringstream out;
+  out << int{rdata[0]} << "." << int{rdata[1]} << "." << int{rdata[2]} << "."
+      << int{rdata[3]};
+  return out.str();
+}
+
+Bytes name_rdata(std::string_view name) { return encode_name(name); }
+
+Result<std::string> rdata_to_name(BytesView rdata) {
+  try {
+    ByteReader r(rdata);
+    std::string out;
+    for (;;) {
+      std::uint8_t len = r.u8();
+      if (len == 0) break;
+      if ((len & 0xc0) != 0) {
+        return Result<std::string>::failure("rdata_to_name: compressed name");
+      }
+      if (!out.empty()) out.push_back('.');
+      out += to_string(r.raw(len));
+    }
+    return canonical_name(out);
+  } catch (const ParseError& e) {
+    return Result<std::string>::failure(e.what());
+  }
+}
+
+}  // namespace dcpl::dns

@@ -1,0 +1,86 @@
+// DNS wire format (RFC 1035): header, questions, resource records, and
+// domain-name encoding including compression-pointer parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace dcpl::dns {
+
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+constexpr std::uint16_t kClassIn = 1;
+
+/// DNS response codes (subset).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+};
+
+struct Question {
+  std::string qname;  // presentation form, e.g. "www.example.com"
+  RecordType qtype = RecordType::kA;
+  std::uint16_t qclass = kClassIn;
+
+  bool operator==(const Question&) const = default;
+};
+
+struct ResourceRecord {
+  std::string name;
+  RecordType type = RecordType::kA;
+  std::uint16_t rclass = kClassIn;
+  std::uint32_t ttl = 300;
+  Bytes rdata;  // raw; for A records 4 bytes, for NS/CNAME an encoded name
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = false;
+  bool recursion_available = false;
+  bool authoritative = false;
+  Rcode rcode = Rcode::kNoError;
+
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  Bytes encode() const;
+  static Result<Message> decode(BytesView data);
+};
+
+/// Encodes a presentation-form name ("a.b.c") as DNS labels (no compression).
+Bytes encode_name(std::string_view name);
+
+/// Lowercases and strips a trailing dot; "" and "." mean the root.
+std::string canonical_name(std::string_view name);
+
+/// True if `name` equals `zone` or is a subdomain of it.
+bool name_in_zone(std::string_view name, std::string_view zone);
+
+/// Parent domain ("www.example.com" -> "example.com"); "" for TLDs/root.
+std::string parent_domain(std::string_view name);
+
+/// Helpers for rdata of address / name records.
+Bytes a_rdata(std::string_view dotted_quad);
+std::string rdata_to_ipv4(BytesView rdata);
+Bytes name_rdata(std::string_view name);
+Result<std::string> rdata_to_name(BytesView rdata);
+
+}  // namespace dcpl::dns

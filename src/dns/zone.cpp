@@ -1,0 +1,126 @@
+#include "dns/zone.hpp"
+
+#include <stdexcept>
+
+namespace dcpl::dns {
+
+void Zone::add(ResourceRecord rr) {
+  rr.name = canonical_name(rr.name);
+  if (!name_in_zone(rr.name, origin_)) {
+    throw std::invalid_argument("Zone::add: " + rr.name + " not in " + origin_);
+  }
+  records_.emplace(std::make_pair(rr.name, rr.type), std::move(rr));
+}
+
+void Zone::add_a(std::string_view name, std::string_view ipv4,
+                 std::uint32_t ttl) {
+  add(ResourceRecord{canonical_name(name), RecordType::kA, kClassIn, ttl,
+                     a_rdata(ipv4)});
+}
+
+void Zone::add_cname(std::string_view name, std::string_view target,
+                     std::uint32_t ttl) {
+  add(ResourceRecord{canonical_name(name), RecordType::kCname, kClassIn, ttl,
+                     name_rdata(target)});
+}
+
+void Zone::add_txt(std::string_view name, std::string_view text,
+                   std::uint32_t ttl) {
+  Bytes rdata;
+  rdata.push_back(static_cast<std::uint8_t>(text.size()));
+  append(rdata, to_bytes(text));
+  add(ResourceRecord{canonical_name(name), RecordType::kTxt, kClassIn, ttl,
+                     std::move(rdata)});
+}
+
+void Zone::delegate(std::string_view child_zone, std::string_view ns_name,
+                    std::string_view ns_ipv4) {
+  delegations_.push_back(Delegation{canonical_name(child_zone),
+                                    canonical_name(ns_name),
+                                    std::string(ns_ipv4)});
+}
+
+std::vector<ResourceRecord> Zone::lookup(std::string_view name,
+                                         RecordType type) const {
+  std::vector<ResourceRecord> out;
+  auto range = records_.equal_range({canonical_name(name), type});
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+const Delegation* Zone::covering_delegation(std::string_view name) const {
+  const Delegation* best = nullptr;
+  for (const auto& d : delegations_) {
+    if (!name_in_zone(name, d.child_zone)) continue;
+    if (best == nullptr || d.child_zone.size() > best->child_zone.size()) {
+      best = &d;
+    }
+  }
+  return best;
+}
+
+bool Zone::name_exists(std::string_view name) const {
+  const std::string n = canonical_name(name);
+  for (const auto& [key, rr] : records_) {
+    if (key.first == n || name_in_zone(key.first, n)) return true;
+  }
+  return false;
+}
+
+Message Zone::answer(const Message& query) const {
+  Message resp;
+  resp.id = query.id;
+  resp.is_response = true;
+  resp.recursion_desired = query.recursion_desired;
+  if (query.questions.empty()) {
+    resp.rcode = Rcode::kFormErr;
+    return resp;
+  }
+  const Question& q = query.questions.front();
+  resp.questions.push_back(q);
+  const std::string qname = canonical_name(q.qname);
+
+  if (!name_in_zone(qname, origin_)) {
+    resp.rcode = Rcode::kServFail;  // not our zone
+    return resp;
+  }
+
+  // Delegation below us wins over local data (zone cut).
+  if (const Delegation* d = covering_delegation(qname)) {
+    resp.authorities.push_back(ResourceRecord{
+        d->child_zone, RecordType::kNs, kClassIn, 300, name_rdata(d->ns_name)});
+    resp.additionals.push_back(ResourceRecord{
+        d->ns_name, RecordType::kA, kClassIn, 300, a_rdata(d->ns_ipv4)});
+    return resp;  // referral: not authoritative, no answer
+  }
+
+  resp.authoritative = true;
+
+  // Follow CNAME chains within the zone.
+  std::string current = qname;
+  for (int depth = 0; depth < 8; ++depth) {
+    auto exact = lookup(current, q.qtype);
+    if (!exact.empty()) {
+      for (auto& rr : exact) resp.answers.push_back(rr);
+      return resp;
+    }
+    auto cname = lookup(current, RecordType::kCname);
+    if (!cname.empty()) {
+      resp.answers.push_back(cname.front());
+      auto target = rdata_to_name(cname.front().rdata);
+      if (target.ok() && name_in_zone(target.value(), origin_)) {
+        current = target.value();
+        continue;
+      }
+      return resp;  // CNAME points out of zone; client must chase it
+    }
+    break;
+  }
+
+  resp.rcode = name_exists(qname) ? Rcode::kNoError : Rcode::kNxDomain;
+  return resp;
+}
+
+}  // namespace dcpl::dns

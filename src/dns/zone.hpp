@@ -1,0 +1,63 @@
+// Authoritative zone data and query answering (answers, referrals,
+// NXDOMAIN), enough to run a root -> TLD -> authoritative hierarchy inside
+// the simulator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/message.hpp"
+
+namespace dcpl::dns {
+
+/// Glue for a delegated child zone: NS host name plus its address.
+struct Delegation {
+  std::string child_zone;
+  std::string ns_name;
+  std::string ns_ipv4;
+};
+
+class Zone {
+ public:
+  explicit Zone(std::string origin) : origin_(canonical_name(origin)) {}
+
+  const std::string& origin() const { return origin_; }
+
+  /// Adds a record; name must be within the zone.
+  void add(ResourceRecord rr);
+
+  /// Convenience: A record.
+  void add_a(std::string_view name, std::string_view ipv4,
+             std::uint32_t ttl = 300);
+
+  /// Convenience: CNAME record.
+  void add_cname(std::string_view name, std::string_view target,
+                 std::uint32_t ttl = 300);
+
+  /// Convenience: TXT record.
+  void add_txt(std::string_view name, std::string_view text,
+               std::uint32_t ttl = 300);
+
+  /// Registers a delegation of `child_zone` to `ns_name`/`ns_ipv4`.
+  void delegate(std::string_view child_zone, std::string_view ns_name,
+                std::string_view ns_ipv4);
+
+  /// Builds the authoritative response for `query` (first question only).
+  Message answer(const Message& query) const;
+
+  std::vector<ResourceRecord> lookup(std::string_view name,
+                                     RecordType type) const;
+
+ private:
+  /// Deepest delegation containing `name`, or nullptr.
+  const Delegation* covering_delegation(std::string_view name) const;
+
+  bool name_exists(std::string_view name) const;
+
+  std::string origin_;
+  std::multimap<std::pair<std::string, RecordType>, ResourceRecord> records_;
+  std::vector<Delegation> delegations_;
+};
+
+}  // namespace dcpl::dns

@@ -1,0 +1,110 @@
+// HPKE (RFC 9180), base mode, with the ciphersuite
+//   DHKEM(X25519, HKDF-SHA256) + HKDF-SHA256 + ChaCha20-Poly1305
+// (kem_id 0x0020, kdf_id 0x0001, aead_id 0x0003).
+//
+// This is the public-key encryption workhorse for every decoupled protocol
+// in this library: OHTTP request encapsulation, ODoH query encryption,
+// mix-net onion layers, MPR tunnels, and the ECH inner ClientHello.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace dcpl::hpke {
+
+constexpr std::uint16_t kKemId = 0x0020;   // DHKEM(X25519, HKDF-SHA256)
+constexpr std::uint16_t kKdfId = 0x0001;   // HKDF-SHA256
+constexpr std::uint16_t kAeadId = 0x0003;  // ChaCha20-Poly1305
+
+constexpr std::size_t kNk = 32;      // AEAD key size
+constexpr std::size_t kNn = 12;      // AEAD nonce size
+constexpr std::size_t kNt = 16;      // AEAD tag size
+constexpr std::size_t kNsecret = 32; // KEM shared secret size
+constexpr std::size_t kNenc = 32;    // encapsulated key size
+constexpr std::size_t kNpk = 32;     // public key size
+
+/// Recipient key pair for the DHKEM.
+struct KeyPair {
+  Bytes private_key;
+  Bytes public_key;
+
+  static KeyPair generate(Rng& rng);
+  /// RFC 9180 DeriveKeyPair-alike (deterministic from ikm).
+  static KeyPair derive(BytesView ikm);
+};
+
+/// An established HPKE context (sender or recipient side): a sequence of
+/// AEAD operations plus the exporter interface.
+class Context {
+ public:
+  /// Sender: encrypts the next message in sequence.
+  Bytes seal(BytesView aad, BytesView plaintext);
+
+  /// Recipient: decrypts the next message in sequence. Fails on forgery.
+  Result<Bytes> open(BytesView aad, BytesView ciphertext);
+
+  /// Exports a secret bound to this context (RFC 9180 §5.3).
+  Bytes export_secret(BytesView exporter_context, std::size_t length) const;
+
+  const Bytes& key() const { return key_; }
+  const Bytes& base_nonce() const { return base_nonce_; }
+
+ private:
+  friend struct Sender;
+  friend Result<Context> setup_base_recipient(BytesView enc, const KeyPair& kp,
+                                              BytesView info);
+  friend Result<Context> setup_psk_recipient(BytesView enc, const KeyPair& kp,
+                                             BytesView info, BytesView psk,
+                                             BytesView psk_id);
+  friend Context setup_with_schedule(BytesView shared_secret, BytesView info,
+                                     BytesView psk, BytesView psk_id);
+
+  Bytes compute_nonce() const;
+
+  Bytes key_;
+  Bytes base_nonce_;
+  Bytes exporter_secret_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Sender context plus the encapsulated key to transmit.
+struct Sender {
+  Bytes enc;
+  Context context;
+};
+
+/// SetupBaseS: encapsulate to `recipient_public` with application `info`.
+Sender setup_base_sender(BytesView recipient_public, BytesView info, Rng& rng);
+
+/// Deterministic variant used by tests: the ephemeral key comes from
+/// `ephemeral_ikm` instead of an RNG.
+Sender setup_base_sender_deterministic(BytesView recipient_public,
+                                       BytesView info, BytesView ephemeral_ikm);
+
+/// SetupBaseR: decapsulate `enc` with the recipient key pair.
+Result<Context> setup_base_recipient(BytesView enc, const KeyPair& kp,
+                                     BytesView info);
+
+/// SetupPSKS (RFC 9180 mode_psk, 0x01): like base mode but additionally
+/// authenticates both ends via a pre-shared key. `psk` must be at least 32
+/// bytes and `psk_id` non-empty (RFC 9180 §5.1.2); throws otherwise.
+Sender setup_psk_sender(BytesView recipient_public, BytesView info,
+                        BytesView psk, BytesView psk_id, Rng& rng);
+
+/// SetupPSKR: recipient side of mode_psk.
+Result<Context> setup_psk_recipient(BytesView enc, const KeyPair& kp,
+                                    BytesView info, BytesView psk,
+                                    BytesView psk_id);
+
+/// Single-shot seal: returns enc || ciphertext.
+Bytes seal(BytesView recipient_public, BytesView info, BytesView aad,
+           BytesView plaintext, Rng& rng);
+
+/// Single-shot open of enc || ciphertext.
+Result<Bytes> open(const KeyPair& kp, BytesView info, BytesView aad,
+                   BytesView enc_and_ciphertext);
+
+}  // namespace dcpl::hpke

@@ -1,0 +1,74 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+
+namespace dcpl::net {
+
+void Simulator::add_node(Node& node) {
+  auto [it, inserted] = nodes_.emplace(node.address(), &node);
+  if (!inserted) {
+    throw std::invalid_argument("Simulator: duplicate address " +
+                                node.address());
+  }
+}
+
+void Simulator::connect(const Address& a, const Address& b, Time latency_us) {
+  links_[{a, b}] = latency_us;
+  links_[{b, a}] = latency_us;
+}
+
+Time Simulator::latency_between(const Address& a, const Address& b) const {
+  auto it = links_.find({a, b});
+  return it != links_.end() ? it->second : default_latency_;
+}
+
+void Simulator::set_bandwidth(const Address& a, const Address& b,
+                              std::uint64_t bytes_per_ms) {
+  bandwidth_[{a, b}] = bytes_per_ms;
+  bandwidth_[{b, a}] = bytes_per_ms;
+}
+
+void Simulator::send(Packet packet, Time extra_delay) {
+  auto it = nodes_.find(packet.dst);
+  if (it == nodes_.end()) {
+    throw std::out_of_range("Simulator: unknown destination " + packet.dst);
+  }
+  Node* dst = it->second;
+  Time serialization = 0;
+  if (auto bw = bandwidth_.find({packet.src, packet.dst});
+      bw != bandwidth_.end() && bw->second > 0) {
+    serialization = packet.payload.size() * 1000 / bw->second;  // us
+  }
+  const Time deliver_at = now_ + latency_between(packet.src, packet.dst) +
+                          serialization + extra_delay;
+  queue_.push(Event{deliver_at, ++event_seq_,
+                    [this, dst, p = std::move(packet)]() mutable {
+                      TraceEntry entry{now_,      p.src,     p.dst,
+                                       p.payload.size(), p.context, p.protocol};
+                      bytes_delivered_ += entry.size;
+                      trace_.push_back(entry);
+                      for (auto& tap : wiretaps_) tap(entry);
+                      dst->on_packet(p, *this);
+                    }});
+}
+
+void Simulator::at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  queue_.push(Event{t, ++event_seq_, std::move(fn)});
+}
+
+Time Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  return now_;
+}
+
+void Simulator::add_wiretap(std::function<void(const TraceEntry&)> tap) {
+  wiretaps_.push_back(std::move(tap));
+}
+
+}  // namespace dcpl::net

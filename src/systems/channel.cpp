@@ -1,0 +1,78 @@
+#include "systems/channel.hpp"
+
+#include <stdexcept>
+
+#include "crypto/aead.hpp"
+
+namespace dcpl::systems {
+
+namespace {
+constexpr std::string_view kExportLabel = "dcpl response key";
+}  // namespace
+
+RequestState seal_request(BytesView server_public, BytesView info,
+                          BytesView request, Rng& rng) {
+  hpke::Sender sender = hpke::setup_base_sender(server_public, info, rng);
+  Bytes ct = sender.context.seal({}, request);
+
+  RequestState state;
+  state.encapsulated = concat({sender.enc, ct});
+  state.response_key =
+      sender.context.export_secret(to_bytes(kExportLabel), crypto::kAeadKeySize);
+  return state;
+}
+
+Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
+                                 BytesView encapsulated) {
+  if (encapsulated.size() < hpke::kNenc) {
+    return Result<ServerState>::failure("open_request: too short");
+  }
+  auto ctx =
+      hpke::setup_base_recipient(encapsulated.first(hpke::kNenc), server_kp, info);
+  if (!ctx.ok()) return Result<ServerState>::failure(ctx.error().message);
+
+  auto request = ctx.value().open({}, encapsulated.subspan(hpke::kNenc));
+  if (!request.ok()) {
+    return Result<ServerState>::failure(request.error().message);
+  }
+
+  ServerState state;
+  state.request = std::move(request.value());
+  state.response_key = ctx.value().export_secret(to_bytes(kExportLabel),
+                                                 crypto::kAeadKeySize);
+  return state;
+}
+
+Bytes seal_response(BytesView response_key, BytesView response, Rng& rng) {
+  Bytes nonce = rng.bytes(crypto::kAeadNonceSize);
+  Bytes ct = crypto::aead_seal(response_key, nonce, {}, response);
+  return concat({nonce, ct});
+}
+
+Result<Bytes> open_response(BytesView response_key, BytesView sealed) {
+  if (sealed.size() < crypto::kAeadNonceSize) {
+    return Result<Bytes>::failure("open_response: too short");
+  }
+  return crypto::aead_open(response_key, sealed.first(crypto::kAeadNonceSize),
+                           {}, sealed.subspan(crypto::kAeadNonceSize));
+}
+
+Bytes pad_to_bucket(BytesView payload, std::size_t bucket) {
+  if (bucket == 0) throw std::invalid_argument("pad_to_bucket: bucket == 0");
+  Bytes out(payload.begin(), payload.end());
+  out.push_back(0x80);
+  const std::size_t rem = out.size() % bucket;
+  if (rem != 0) out.resize(out.size() + (bucket - rem), 0);
+  return out;
+}
+
+Result<Bytes> unpad(BytesView padded) {
+  std::size_t i = padded.size();
+  while (i > 0 && padded[i - 1] == 0) --i;
+  if (i == 0 || padded[i - 1] != 0x80) {
+    return Result<Bytes>::failure("unpad: malformed padding");
+  }
+  return Bytes(padded.begin(), padded.begin() + static_cast<long>(i - 1));
+}
+
+}  // namespace dcpl::systems

@@ -1,0 +1,222 @@
+#include "systems/ecash/ecash.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::ecash {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kWithdrawRequest = 1,
+  kWithdrawResponse = 2,
+  kSpend = 3,
+  kDepositRequest = 4,
+  kDepositResponse = 5,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bank
+// ---------------------------------------------------------------------------
+
+Bank::Bank(net::Address address, std::size_t rsa_bits,
+           core::ObservationLog& log, const core::AddressBook& book,
+           std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), log_(&log), book_(&book) {
+  key_ = crypto::rsa_generate(rsa_bits, rng_);
+}
+
+void Bank::open_account(const std::string& account, std::uint64_t balance) {
+  accounts_[account] = balance;
+}
+
+std::uint64_t Bank::balance(const std::string& account) const {
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second;
+}
+
+void Bank::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    const auto type = static_cast<MsgType>(r.u8());
+
+    if (type == MsgType::kWithdrawRequest) {
+      std::string account = to_string(r.vec(1));
+      Bytes blinded = r.vec(2);
+
+      // Signer role: learns WHO is withdrawing, but the blinded coin tells
+      // it nothing about WHAT will be spent where.
+      book_->observe_src(*log_, kSigner, p.src, p.context);
+      log_->observe(kSigner, core::sensitive_identity("account:" + account),
+                    p.context);
+      log_->observe(kSigner, core::benign_data("blinded-coin"), p.context);
+
+      auto it = accounts_.find(account);
+      if (it == accounts_.end() || it->second == 0) return;  // no funds
+      auto blind_sig = crypto::blind_sign(key_, blinded);
+      if (!blind_sig.ok()) return;
+      it->second -= 1;
+      ++issued_;
+
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kWithdrawResponse));
+      w.vec(blind_sig.value(), 2);
+      sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                           "ecash"});
+      return;
+    }
+
+    if (type == MsgType::kDepositRequest) {
+      Bytes serial = r.vec(1);
+      Bytes sig = r.vec(2);
+
+      // Verifier role: sees a coin arriving from a seller; the buyer's
+      // identity never appears — unlinkability via blindness.
+      book_->observe_src(*log_, kVerifier, p.src, p.context);
+      log_->observe(kVerifier,
+                    core::sensitive_data("serial:" + to_hex(serial)),
+                    p.context);
+      log_->observe(kVerifier, core::benign_data("deposit-amount:1"),
+                    p.context);
+
+      bool ok = crypto::blind_verify(key_.pub, serial, sig) &&
+                !spent_serials_.count(serial);
+      if (ok) {
+        spent_serials_.insert(serial);
+        ++accepted_;
+      } else {
+        ++rejected_;
+      }
+
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kDepositResponse));
+      w.u8(ok ? 1 : 0);
+      sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                           "ecash"});
+      return;
+    }
+  } catch (const ParseError&) {
+    // drop malformed traffic
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seller
+// ---------------------------------------------------------------------------
+
+Seller::Seller(net::Address address, net::Address bank,
+               crypto::RsaPublicKey bank_key, core::ObservationLog& log,
+               const core::AddressBook& book)
+    : Node(std::move(address)), bank_(std::move(bank)),
+      bank_key_(std::move(bank_key)), log_(&log), book_(&book) {}
+
+void Seller::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    const auto type = static_cast<MsgType>(r.u8());
+
+    if (type == MsgType::kSpend) {
+      std::string item = to_string(r.vec(1));
+      Bytes serial = r.vec(1);
+      Bytes sig = r.vec(2);
+
+      // The buyer presents from a pseudonymous address: the seller sees the
+      // purchase (●) but only an anonymous counterparty (△).
+      book_->observe_src(*log_, address(), p.src, p.context);
+      log_->observe(address(), core::sensitive_data("purchase:" + item),
+                    p.context);
+
+      if (!crypto::blind_verify(bank_key_, serial, sig)) {
+        ++rejected_;
+        return;
+      }
+      // Deposit at the bank for clearing (double-spend check happens there).
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kDepositRequest));
+      w.vec(serial, 1);
+      w.vec(sig, 2);
+      const std::uint64_t ctx = sim.new_context();
+      sim.send(net::Packet{address(), bank_, std::move(w).take(), ctx,
+                           "ecash"});
+      return;
+    }
+
+    if (type == MsgType::kDepositResponse) {
+      if (r.u8() == 1) {
+        ++sales_;
+      } else {
+        ++rejected_;
+      }
+      return;
+    }
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Buyer
+// ---------------------------------------------------------------------------
+
+Buyer::Buyer(net::Address address, net::Address pseudonym, std::string account,
+             net::Address bank, crypto::RsaPublicKey bank_key,
+             core::ObservationLog& log, std::uint64_t seed)
+    : Node(std::move(address)), pseudonym_(std::move(pseudonym)),
+      account_(std::move(account)), bank_(std::move(bank)),
+      bank_key_(std::move(bank_key)), rng_(seed), log_(&log) {}
+
+void Buyer::withdraw(net::Simulator& sim) {
+  Bytes serial = rng_.bytes(32);
+  crypto::BlindingState state = crypto::blind(bank_key_, serial, rng_);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity("account:" + account_),
+                ctx);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kWithdrawRequest));
+  w.vec(to_bytes(account_), 1);
+  w.vec(state.blinded_message, 2);
+  pending_.emplace(ctx, std::make_pair(std::move(serial), std::move(state)));
+  sim.send(net::Packet{address(), bank_, std::move(w).take(), ctx, "ecash"});
+}
+
+bool Buyer::spend(const net::Address& seller, const std::string& item,
+                  net::Simulator& sim) {
+  if (wallet_.empty()) return false;
+  Coin coin = std::move(wallet_.back());
+  wallet_.pop_back();
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity("account:" + account_),
+                ctx);
+  log_->observe(address(), core::sensitive_data("purchase:" + item), ctx);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSpend));
+  w.vec(to_bytes(item), 1);
+  w.vec(coin.serial, 1);
+  w.vec(coin.signature, 2);
+  // Presented over an anonymous channel: source is the pseudonym.
+  sim.send(net::Packet{pseudonym_, seller, std::move(w).take(), ctx, "ecash"});
+  return true;
+}
+
+void Buyer::on_packet(const net::Packet& p, net::Simulator&) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kWithdrawResponse) return;
+    auto it = pending_.find(p.context);
+    if (it == pending_.end()) return;
+    Bytes blind_sig = r.vec(2);
+    auto sig = crypto::finalize(bank_key_, it->second.first, it->second.second,
+                                blind_sig);
+    if (sig.ok()) {
+      wallet_.push_back(Coin{it->second.first, std::move(sig.value())});
+    }
+    pending_.erase(it);
+  } catch (const ParseError&) {
+  }
+}
+
+}  // namespace dcpl::systems::ecash

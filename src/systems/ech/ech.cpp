@@ -1,0 +1,191 @@
+#include "systems/ech/ech.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::ech {
+
+namespace {
+
+/// ClientHello wire sketch: flag, visible SNI, optional ECH blob.
+struct ClientHello {
+  bool has_ech = false;
+  std::string visible_sni;
+  Bytes ech_payload;
+};
+
+Bytes encode_hello(const ClientHello& hello) {
+  ByteWriter w;
+  w.u8(hello.has_ech ? 1 : 0);
+  w.vec(to_bytes(hello.visible_sni), 1);
+  w.vec(hello.ech_payload, 4);
+  return std::move(w).take();
+}
+
+Result<ClientHello> decode_hello(BytesView data) {
+  try {
+    ByteReader r(data);
+    ClientHello hello;
+    hello.has_ech = r.u8() != 0;
+    hello.visible_sni = to_string(r.vec(1));
+    hello.ech_payload = r.vec(4);
+    if (!r.done()) return Result<ClientHello>::failure("hello: trailing");
+    return hello;
+  } catch (const ParseError& e) {
+    return Result<ClientHello>::failure(e.what());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NetworkTap
+// ---------------------------------------------------------------------------
+
+NetworkTap::NetworkTap(net::Address address, net::Address server,
+                       core::ObservationLog& log,
+                       const core::AddressBook& book)
+    : Node(std::move(address)), server_(std::move(server)), log_(&log),
+      book_(&book) {}
+
+void NetworkTap::on_packet(const net::Packet& p, net::Simulator& sim) {
+  auto hello = decode_hello(p.payload);
+  if (hello.ok()) {
+    ++inspected_;
+    // The network always sees IP-layer identity.
+    book_->observe_src(*log_, address(), p.src, p.context);
+    if (hello->has_ech) {
+      // Only the public cover name is visible: benign.
+      log_->observe(address(),
+                    core::benign_data("sni:" + hello->visible_sni), p.context);
+    } else {
+      // Plain TLS: the SNI names the site being visited — sensitive.
+      log_->observe(address(),
+                    core::sensitive_data("sni:" + hello->visible_sni),
+                    p.context);
+    }
+  }
+  // Forward like a router: source address preserved.
+  sim.send(net::Packet{p.src, server_, p.payload, p.context, p.protocol});
+}
+
+// ---------------------------------------------------------------------------
+// TlsServer
+// ---------------------------------------------------------------------------
+
+TlsServer::TlsServer(net::Address address, std::string public_name,
+                     core::ObservationLog& log, const core::AddressBook& book,
+                     std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed),
+      public_name_(std::move(public_name)), log_(&log), book_(&book) {
+  kp_ = hpke::KeyPair::generate(rng_);
+}
+
+void TlsServer::on_packet(const net::Packet& p, net::Simulator& sim) {
+  auto hello = decode_hello(p.payload);
+  if (!hello.ok()) return;
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+
+  std::string negotiated;
+  Bytes response_key;
+  if (hello->has_ech) {
+    auto opened = open_request(kp_, to_bytes(kEchInfo), hello->ech_payload);
+    if (opened.ok()) {
+      negotiated = to_string(opened->request);
+      response_key = std::move(opened->response_key);
+    } else {
+      // GREASE or stale config: fall back to the outer (visible) SNI.
+      negotiated = hello->visible_sni;
+    }
+  } else {
+    negotiated = hello->visible_sni;
+  }
+
+  // ECH or not, the terminating server sees the real SNI: this is the
+  // paper's point — ECH "does not alter what information the TLS server
+  // sees".
+  log_->observe(address(), core::sensitive_data("sni:" + negotiated),
+                p.context);
+  ++handshakes_;
+
+  Bytes payload = to_bytes("handshake-ok:" + negotiated);
+  if (!response_key.empty()) {
+    payload = seal_response(response_key, payload, rng_);
+  }
+  sim.send(net::Packet{address(), p.src, std::move(payload), p.context,
+                       "tls"});
+}
+
+// ---------------------------------------------------------------------------
+// TlsClient
+// ---------------------------------------------------------------------------
+
+TlsClient::TlsClient(net::Address address, std::string user_label,
+                     core::ObservationLog& log, std::uint64_t seed)
+    : Node(std::move(address)), user_label_(std::move(user_label)), rng_(seed),
+      log_(&log) {}
+
+void TlsClient::connect(const std::string& sni, bool use_ech,
+                        const net::Address& tap, BytesView server_ech_key,
+                        const std::string& cover_name, net::Simulator& sim,
+                        DoneCallback cb) {
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(address(), core::sensitive_data("sni:" + sni), ctx);
+
+  ClientHello hello;
+  Pending pending;
+  pending.cb = std::move(cb);
+  if (use_ech) {
+    RequestState state =
+        seal_request(server_ech_key, to_bytes(kEchInfo), to_bytes(sni), rng_);
+    hello.has_ech = true;
+    hello.visible_sni = cover_name;
+    hello.ech_payload = std::move(state.encapsulated);
+    pending.response_key = std::move(state.response_key);
+  } else {
+    hello.visible_sni = sni;
+  }
+
+  pending_[ctx] = std::move(pending);
+  sim.send(net::Packet{address(), tap, encode_hello(hello), ctx, "tls"});
+}
+
+void TlsClient::connect_grease(const std::string& sni,
+                               const net::Address& tap, net::Simulator& sim,
+                               DoneCallback cb) {
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(address(), core::sensitive_data("sni:" + sni), ctx);
+
+  ClientHello hello;
+  hello.has_ech = true;  // looks exactly like real ECH on the wire
+  hello.visible_sni = sni;
+  hello.ech_payload = rng_.bytes(hpke::kNenc + 48);  // plausible size, junk
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending_[ctx] = std::move(pending);
+  sim.send(net::Packet{address(), tap, encode_hello(hello), ctx, "tls"});
+}
+
+void TlsClient::on_packet(const net::Packet& p, net::Simulator&) {
+  auto it = pending_.find(p.context);
+  if (it == pending_.end()) return;
+
+  Bytes payload = p.payload;
+  if (!it->second.response_key.empty()) {
+    auto opened = open_response(it->second.response_key, payload);
+    if (!opened.ok()) return;
+    payload = std::move(opened.value());
+  }
+  std::string text = to_string(payload);
+  const std::string prefix = "handshake-ok:";
+  if (!text.starts_with(prefix)) return;
+  ++completed_;
+  if (it->second.cb) it->second.cb(text.substr(prefix.size()));
+  pending_.erase(it);
+}
+
+}  // namespace dcpl::systems::ech

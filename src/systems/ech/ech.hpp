@@ -1,0 +1,108 @@
+// TLS Encrypted ClientHello sketch (§3.3 cautionary tale).
+//
+// A ClientHello carries the server name (SNI). In plain TLS the on-path
+// network reads it; with ECH the client encrypts the real ClientHello to the
+// server's HPKE key and puts only a public cover name on the outside. The
+// point the paper makes: ECH hides the SNI *from the network*, but the
+// terminating server still sees who (client address) and what (real SNI) —
+// ECH alone does not decouple.
+//
+// The untrusted network is modeled as an explicit on-path middlebox
+// (NetworkTap) that inspects and forwards traffic, preserving the original
+// source address like an IP router would.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl::systems::ech {
+
+inline constexpr std::string_view kEchInfo = "tls ech";
+
+/// On-path observer: reads what a ClientHello exposes, then forwards.
+class NetworkTap final : public net::Node {
+ public:
+  NetworkTap(net::Address address, net::Address server,
+             core::ObservationLog& log, const core::AddressBook& book);
+
+  std::size_t inspected() const { return inspected_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  net::Address server_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t inspected_ = 0;
+};
+
+/// TLS server terminating connections for its hosted names.
+class TlsServer final : public net::Node {
+ public:
+  TlsServer(net::Address address, std::string public_name,
+            core::ObservationLog& log, const core::AddressBook& book,
+            std::uint64_t seed);
+
+  const hpke::KeyPair& ech_key() const { return kp_; }
+  const std::string& public_name() const { return public_name_; }
+  std::size_t handshakes() const { return handshakes_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  std::string public_name_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t handshakes_ = 0;
+};
+
+/// Client performing plain or ECH handshakes through the network tap.
+class TlsClient final : public net::Node {
+ public:
+  using DoneCallback = std::function<void(const std::string& negotiated_sni)>;
+
+  TlsClient(net::Address address, std::string user_label,
+            core::ObservationLog& log, std::uint64_t seed);
+
+  /// Sends a ClientHello for `sni` via `tap`. With `use_ech`, the real SNI
+  /// is sealed to `server_ech_key` and `cover_name` rides on the outside.
+  void connect(const std::string& sni, bool use_ech,
+               const net::Address& tap, BytesView server_ech_key,
+               const std::string& cover_name, net::Simulator& sim,
+               DoneCallback cb = nullptr);
+
+  /// GREASE (RFC 8701 spirit): a client without a real ECH config sends a
+  /// random, undecryptable ECH payload so on-path observers cannot
+  /// distinguish ECH users from non-users. The server falls back to the
+  /// visible SNI.
+  void connect_grease(const std::string& sni, const net::Address& tap,
+                      net::Simulator& sim, DoneCallback cb = nullptr);
+
+  std::size_t completed() const { return completed_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Pending {
+    Bytes response_key;  // empty for plain TLS
+    DoneCallback cb;
+  };
+
+  std::string user_label_;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace dcpl::systems::ech

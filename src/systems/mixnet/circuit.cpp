@@ -1,0 +1,421 @@
+#include "systems/mixnet/circuit.hpp"
+
+#include <stdexcept>
+
+#include "common/io.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace dcpl::systems::mixnet {
+
+namespace {
+
+constexpr std::string_view kCreateInfo = "circuit create";
+// Cell header: cmd (1) + circuit id (4) + body length (2).
+constexpr std::size_t kCellHeader = 7;
+constexpr std::size_t kMaxBody = kCellSize - kCellHeader;
+// Marks a fully-peeled backward message (disambiguates partially-peeled
+// layers, which are indistinguishable from random bytes otherwise).
+constexpr std::uint16_t kBackwardMagic = 0x7e57;
+
+enum class Cmd : std::uint8_t {
+  kCreate = 1,
+  kCreated = 2,
+  kRelayFwd = 3,
+  kRelayBwd = 4,
+};
+
+enum class RelayCmd : std::uint8_t {
+  kExtend = 1,
+  kData = 2,
+  kExtended = 3,
+  kDataResp = 4,
+};
+
+struct Cell {
+  Cmd cmd;
+  std::uint32_t circuit_id;
+  Bytes body;
+};
+
+Bytes encode_cell(const Cell& cell) {
+  if (cell.body.size() > kMaxBody) {
+    throw std::invalid_argument("circuit: cell body too large");
+  }
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(cell.cmd));
+  w.u32(cell.circuit_id);
+  w.u16(static_cast<std::uint16_t>(cell.body.size()));
+  w.raw(cell.body);
+  Bytes out = std::move(w).take();
+  out.resize(kCellSize, 0);  // constant-size cells on every link
+  return out;
+}
+
+Result<Cell> decode_cell(BytesView data) {
+  if (data.size() != kCellSize) {
+    return Result<Cell>::failure("circuit: wrong cell size");
+  }
+  try {
+    ByteReader r(data);
+    Cell cell;
+    cell.cmd = static_cast<Cmd>(r.u8());
+    cell.circuit_id = r.u32();
+    const std::uint16_t len = r.u16();
+    if (len > kMaxBody) return Result<Cell>::failure("circuit: bad length");
+    cell.body = r.raw(len);
+    return cell;
+  } catch (const ParseError& e) {
+    return Result<Cell>::failure(e.what());
+  }
+}
+
+/// One AEAD layer: random nonce || seal(key, nonce, {}, inner).
+Bytes add_layer(BytesView key, BytesView inner, Rng& rng) {
+  Bytes nonce = rng.bytes(crypto::kAeadNonceSize);
+  Bytes ct = crypto::aead_seal(key, nonce, {}, inner);
+  return concat({nonce, ct});
+}
+
+Result<Bytes> peel_layer(BytesView key, BytesView layered) {
+  if (layered.size() < crypto::kAeadNonceSize + crypto::kAeadTagSize) {
+    return Result<Bytes>::failure("circuit: layer too short");
+  }
+  return crypto::aead_open(key, layered.first(crypto::kAeadNonceSize), {},
+                           layered.subspan(crypto::kAeadNonceSize));
+}
+
+struct DerivedKeys {
+  Bytes fwd;
+  Bytes bwd;
+  Bytes confirm;
+};
+
+DerivedKeys derive_keys(BytesView shared) {
+  return DerivedKeys{crypto::hkdf_expand(shared, to_bytes("circuit fwd"), 32),
+                     crypto::hkdf_expand(shared, to_bytes("circuit bwd"), 32),
+                     crypto::hkdf_expand(shared, to_bytes("circuit ok"), 32)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CircuitRelay
+// ---------------------------------------------------------------------------
+
+CircuitRelay::CircuitRelay(net::Address address, core::ObservationLog& log,
+                           const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), log_(&log), book_(&book) {
+  kp_ = hpke::KeyPair::generate(rng_);
+}
+
+void CircuitRelay::on_packet(const net::Packet& p, net::Simulator& sim) {
+  // A plain (non-cell) packet can only be a stream response at an exit.
+  if (p.payload.size() != kCellSize || stream_ctx_.count(p.context)) {
+    auto it = stream_ctx_.find(p.context);
+    if (it == stream_ctx_.end()) return;
+    const std::uint32_t circuit_id = it->second;
+    auto circ = circuits_.find(circuit_id);
+    if (circ == circuits_.end()) return;
+    auto stream = circ->second.pending_streams.find(p.context);
+    if (stream == circ->second.pending_streams.end()) return;
+
+    ByteWriter msg;
+    msg.u16(kBackwardMagic);
+    msg.u8(static_cast<std::uint8_t>(RelayCmd::kDataResp));
+    msg.u16(stream->second);
+    msg.vec(p.payload, 4);
+    deliver_backward(circ->second, msg.bytes(), sim);
+    circ->second.pending_streams.erase(stream);
+    stream_ctx_.erase(it);
+    return;
+  }
+
+  auto cell = decode_cell(p.payload);
+  if (!cell.ok()) return;
+  ++cells_;
+
+  switch (cell->cmd) {
+    case Cmd::kCreate:
+      handle_create(p, sim);
+      return;
+    case Cmd::kRelayFwd:
+      handle_relay_cell(p, sim);
+      return;
+    case Cmd::kCreated: {
+      // From our next hop: the EXTEND we issued succeeded. Tell the client.
+      auto by_next = by_next_.find(cell->circuit_id);
+      if (by_next == by_next_.end()) return;
+      auto circ = circuits_.find(by_next->second);
+      if (circ == circuits_.end()) return;
+      ByteWriter msg;
+      msg.u16(kBackwardMagic);
+      msg.u8(static_cast<std::uint8_t>(RelayCmd::kExtended));
+      msg.vec(cell->body, 2);  // next hop's confirm tag
+      deliver_backward(circ->second, msg.bytes(), sim);
+      return;
+    }
+    case Cmd::kRelayBwd: {
+      handle_backward(cell->circuit_id, cell->body, sim);
+      return;
+    }
+  }
+}
+
+void CircuitRelay::handle_create(const net::Packet& p, net::Simulator& sim) {
+  auto cell = decode_cell(p.payload);
+  auto opened = open_request(kp_, to_bytes(kCreateInfo), cell->body);
+  if (!opened.ok()) return;
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(), core::benign_data("circuit:cell"), p.context);
+
+  DerivedKeys keys = derive_keys(opened->response_key);
+  CircuitState state;
+  state.prev_hop = p.src;
+  state.prev_circuit = cell->circuit_id;
+  state.fwd_key = std::move(keys.fwd);
+  state.bwd_key = std::move(keys.bwd);
+  circuits_[cell->circuit_id] = std::move(state);
+
+  sim.send(net::Packet{address(), p.src,
+                       encode_cell(Cell{Cmd::kCreated, cell->circuit_id,
+                                        std::move(keys.confirm)}),
+                       p.context, "circuit"});
+}
+
+void CircuitRelay::handle_relay_cell(const net::Packet& p,
+                                     net::Simulator& sim) {
+  auto cell = decode_cell(p.payload);
+  auto circ = circuits_.find(cell->circuit_id);
+  if (circ == circuits_.end()) return;
+  CircuitState& state = circ->second;
+
+  auto inner = peel_layer(state.fwd_key, cell->body);
+  if (!inner.ok()) return;
+
+  try {
+    ByteReader r(inner.value());
+    const bool for_me = r.u8() == 1;
+    if (!for_me) {
+      // Pass the next onion layer downstream, re-padded to cell size.
+      if (!state.next_hop) return;
+      Bytes rest = r.rest();
+      const std::uint64_t ctx = sim.new_context();
+      log_->link(address(), p.context, ctx);
+      sim.send(net::Packet{address(), *state.next_hop,
+                           encode_cell(Cell{Cmd::kRelayFwd,
+                                            state.next_circuit, rest}),
+                           ctx, "circuit"});
+      return;
+    }
+
+    const auto relay_cmd = static_cast<RelayCmd>(r.u8());
+    if (relay_cmd == RelayCmd::kExtend) {
+      net::Address next = to_string(r.vec(2));
+      Bytes create_body = r.vec(2);
+      state.next_hop = next;
+      state.next_circuit = next_circuit_id_++;
+      by_next_[state.next_circuit] = cell->circuit_id;
+      const std::uint64_t ctx = sim.new_context();
+      log_->link(address(), p.context, ctx);
+      sim.send(net::Packet{address(), next,
+                           encode_cell(Cell{Cmd::kCreate, state.next_circuit,
+                                            std::move(create_body)}),
+                           ctx, "circuit"});
+      return;
+    }
+    if (relay_cmd == RelayCmd::kData) {
+      // We are the exit for this stream.
+      const std::uint16_t stream_id = r.u16();
+      net::Address dst = to_string(r.vec(2));
+      Bytes payload = r.vec(4);
+      log_->observe(address(),
+                    core::sensitive_data("exit-dst:" + dst), p.context);
+      const std::uint64_t ctx = sim.new_context();
+      log_->link(address(), p.context, ctx);
+      state.pending_streams[ctx] = stream_id;
+      stream_ctx_[ctx] = cell->circuit_id;
+      sim.send(net::Packet{address(), dst, std::move(payload), ctx, "tcp"});
+      return;
+    }
+  } catch (const ParseError&) {
+  }
+}
+
+void CircuitRelay::handle_backward(std::uint32_t next_circuit,
+                                   BytesView payload, net::Simulator& sim) {
+  auto by_next = by_next_.find(next_circuit);
+  if (by_next == by_next_.end()) return;
+  auto circ = circuits_.find(by_next->second);
+  if (circ == circuits_.end()) return;
+  deliver_backward(circ->second, payload, sim);
+}
+
+void CircuitRelay::deliver_backward(CircuitState& state,
+                                    BytesView relay_payload,
+                                    net::Simulator& sim) {
+  Bytes layered = add_layer(state.bwd_key, relay_payload, rng_);
+  sim.send(net::Packet{address(), state.prev_hop,
+                       encode_cell(Cell{Cmd::kRelayBwd, state.prev_circuit,
+                                        std::move(layered)}),
+                       sim.new_context(), "circuit"});
+}
+
+// ---------------------------------------------------------------------------
+// CircuitClient
+// ---------------------------------------------------------------------------
+
+CircuitClient::CircuitClient(net::Address address, std::string user_label,
+                             core::ObservationLog& log, std::uint64_t seed)
+    : Node(std::move(address)), user_label_(std::move(user_label)), rng_(seed),
+      log_(&log) {}
+
+Bytes CircuitClient::wrap_forward(BytesView relay_payload) {
+  // Innermost layer first (for the last established hop), marked for_me=1;
+  // outer layers carry for_me=0 wrappers.
+  ByteWriter inner;
+  inner.u8(1);
+  inner.raw(relay_payload);
+  Bytes body = add_layer(hop_keys_.back().fwd_key, inner.bytes(), rng_);
+  for (std::size_t i = hop_keys_.size() - 1; i-- > 0;) {
+    ByteWriter wrapper;
+    wrapper.u8(0);
+    wrapper.raw(body);
+    body = add_layer(hop_keys_[i].fwd_key, wrapper.bytes(), rng_);
+  }
+  return body;
+}
+
+void CircuitClient::build_circuit(const std::vector<HopDescriptor>& path,
+                                  net::Simulator& sim, BuiltCallback cb) {
+  if (path.empty()) throw std::invalid_argument("circuit: empty path");
+  path_ = path;
+  hop_keys_.clear();
+  built_ = false;
+  built_cb_ = std::move(cb);
+  circuit_id_ = static_cast<std::uint32_t>(rng_.u64() & 0x7fffffff);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+
+  // CREATE to the guard.
+  RequestState create =
+      seal_request(path_[0].public_key, to_bytes(kCreateInfo),
+                   rng_.bytes(32), rng_);
+  DerivedKeys keys = derive_keys(create.response_key);
+  HopKeys hop;
+  hop.fwd_key = std::move(keys.fwd);
+  hop.bwd_key = std::move(keys.bwd);
+  hop.confirm = std::move(keys.confirm);
+  hop_keys_.push_back(std::move(hop));
+
+  sim.send(net::Packet{address(), path_[0].address,
+                       encode_cell(Cell{Cmd::kCreate, circuit_id_,
+                                        std::move(create.encapsulated)}),
+                       ctx, "circuit"});
+}
+
+void CircuitClient::continue_build(net::Simulator& sim) {
+  if (hop_keys_.size() == path_.size()) {
+    built_ = true;
+    if (built_cb_) built_cb_(true);
+    return;
+  }
+  // EXTEND through the established prefix to the next hop.
+  const HopDescriptor& next = path_[hop_keys_.size()];
+  RequestState create = seal_request(next.public_key, to_bytes(kCreateInfo),
+                                     rng_.bytes(32), rng_);
+  DerivedKeys keys = derive_keys(create.response_key);
+  HopKeys hop;
+  hop.fwd_key = std::move(keys.fwd);
+  hop.bwd_key = std::move(keys.bwd);
+  hop.confirm = std::move(keys.confirm);
+
+  ByteWriter msg;
+  msg.u8(static_cast<std::uint8_t>(RelayCmd::kExtend));
+  msg.vec(to_bytes(next.address), 2);
+  msg.vec(create.encapsulated, 2);
+  Bytes body = wrap_forward(msg.bytes());
+  // Only append AFTER wrapping: the EXTEND travels under the old keys.
+  hop_keys_.push_back(std::move(hop));
+
+  sim.send(net::Packet{address(), path_[0].address,
+                       encode_cell(Cell{Cmd::kRelayFwd, circuit_id_,
+                                        std::move(body)}),
+                       sim.new_context(), "circuit"});
+}
+
+bool CircuitClient::send_data(const net::Address& destination,
+                              BytesView payload, net::Simulator& sim,
+                              DataCallback cb) {
+  if (!built_) return false;
+  const std::uint16_t stream_id = next_stream_++;
+  streams_[stream_id] = std::move(cb);
+
+  ByteWriter msg;
+  msg.u8(static_cast<std::uint8_t>(RelayCmd::kData));
+  msg.u16(stream_id);
+  msg.vec(to_bytes(destination), 2);
+  msg.vec(payload, 4);
+  Bytes body = wrap_forward(msg.bytes());
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(),
+                core::sensitive_data("dest:" + destination), ctx);
+  sim.send(net::Packet{address(), path_[0].address,
+                       encode_cell(Cell{Cmd::kRelayFwd, circuit_id_,
+                                        std::move(body)}),
+                       ctx, "circuit"});
+  return true;
+}
+
+void CircuitClient::on_packet(const net::Packet& p, net::Simulator& sim) {
+  auto cell = decode_cell(p.payload);
+  if (!cell.ok() || cell->circuit_id != circuit_id_) return;
+
+  if (cell->cmd == Cmd::kCreated) {
+    // Guard handshake complete; verify key confirmation.
+    if (!ct_equal(cell->body, hop_keys_[0].confirm)) return;
+    continue_build(sim);
+    return;
+  }
+  if (cell->cmd != Cmd::kRelayBwd) return;
+
+  // Peel one backward layer per hop the cell traversed. The originator is
+  // the most recently established hop during build, or the exit afterwards.
+  const std::size_t layers = hop_keys_.size();
+  Bytes body = cell->body;
+  for (std::size_t i = 0; i < layers; ++i) {
+    auto peeled = peel_layer(hop_keys_[i].bwd_key, body);
+    if (!peeled.ok()) return;  // corrupted or unexpected provenance
+    body = std::move(peeled.value());
+    // Try to interpret: during build the payload originates at hop i.
+    try {
+      ByteReader r(body);
+      if (r.u16() != kBackwardMagic) continue;  // not fully peeled yet
+      const auto relay_cmd = static_cast<RelayCmd>(r.u8());
+      if (relay_cmd == RelayCmd::kExtended && !built_ &&
+          i + 2 == hop_keys_.size()) {
+        Bytes confirm = r.vec(2);
+        if (!ct_equal(confirm, hop_keys_.back().confirm)) return;
+        continue_build(sim);
+        return;
+      }
+      if (relay_cmd == RelayCmd::kDataResp && i + 1 == hop_keys_.size()) {
+        const std::uint16_t stream_id = r.u16();
+        Bytes payload = r.vec(4);
+        auto stream = streams_.find(stream_id);
+        if (stream == streams_.end()) return;
+        if (stream->second) stream->second(payload);
+        streams_.erase(stream);
+        return;
+      }
+    } catch (const ParseError&) {
+      // Not yet a full message: keep peeling.
+    }
+  }
+}
+
+}  // namespace dcpl::systems::mixnet

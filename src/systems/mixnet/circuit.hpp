@@ -1,0 +1,135 @@
+// Onion-routing circuits (Tor-style), the low-latency descendant of
+// Chaum's mixes the paper discusses in §3.1.2 and §4.2/§4.3.
+//
+// Design points reproduced from the real systems:
+//  * telescoping construction: the client CREATEs to hop 1, then EXTENDs the
+//    circuit hop by hop through the partially-built circuit, so hop k never
+//    learns who the client is talking to beyond hop k+1;
+//  * per-hop forward/backward AEAD keys derived from an HPKE handshake;
+//  * constant-size cells (kCellSize) on every link — an on-path observer
+//    sees identical packet sizes everywhere (§4.3's "constant-size packets"
+//    against traffic analysis);
+//  * streams: DATA cells carry opaque payloads to the exit, which talks to
+//    the destination and returns the response through the layered path.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl::systems::mixnet {
+
+/// Every cell on the wire is exactly this many bytes.
+constexpr std::size_t kCellSize = 512;
+
+/// An onion router. One class serves guard/middle/exit roles; the role is
+/// per-circuit, determined by the cells it processes.
+class CircuitRelay final : public net::Node {
+ public:
+  CircuitRelay(net::Address address, core::ObservationLog& log,
+               const core::AddressBook& book, std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+
+  std::size_t circuits_active() const { return circuits_.size(); }
+  std::size_t cells_processed() const { return cells_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct CircuitState {
+    net::Address prev_hop;
+    std::uint32_t prev_circuit = 0;
+    Bytes fwd_key;  // client -> exit direction
+    Bytes bwd_key;  // exit -> client direction
+    std::uint64_t fwd_seq = 0;
+    std::uint64_t bwd_seq = 0;
+    std::optional<net::Address> next_hop;
+    std::uint32_t next_circuit = 0;
+    // Pending stream state: exit only.
+    std::map<std::uint64_t, std::uint16_t> pending_streams;  // net ctx -> id
+  };
+
+  void handle_create(const net::Packet& p, net::Simulator& sim);
+  void handle_relay_cell(const net::Packet& p, net::Simulator& sim);
+  void handle_backward(std::uint32_t circuit_id, BytesView payload,
+                       net::Simulator& sim);
+  void deliver_backward(CircuitState& state, BytesView relay_payload,
+                        net::Simulator& sim);
+
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint32_t, CircuitState> circuits_;       // by our circuit id
+  std::map<std::uint32_t, std::uint32_t> by_next_;       // next circ -> ours
+  std::map<std::uint64_t, std::uint32_t> stream_ctx_;    // net ctx -> ours
+  std::uint32_t next_circuit_id_ = 1000;
+  std::size_t cells_ = 0;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// Client-side circuit handle.
+class CircuitClient final : public net::Node {
+ public:
+  using BuiltCallback = std::function<void(bool ok)>;
+  using DataCallback = std::function<void(const Bytes& response)>;
+
+  struct HopDescriptor {
+    net::Address address;
+    Bytes public_key;
+  };
+
+  CircuitClient(net::Address address, std::string user_label,
+                core::ObservationLog& log, std::uint64_t seed);
+
+  /// Builds a circuit through `path` (front = guard). `cb` fires when the
+  /// last EXTENDED confirmation arrives.
+  void build_circuit(const std::vector<HopDescriptor>& path,
+                     net::Simulator& sim, BuiltCallback cb);
+
+  /// Sends `payload` to `destination` through the circuit; the exit proxies
+  /// it as a plain packet and relays the reply back through the layers.
+  /// Returns false if the circuit is not (yet) built.
+  bool send_data(const net::Address& destination, BytesView payload,
+                 net::Simulator& sim, DataCallback cb);
+
+  bool built() const { return built_; }
+  std::size_t hops() const { return hop_keys_.size(); }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct HopKeys {
+    Bytes fwd_key;
+    Bytes bwd_key;
+    Bytes confirm;
+    std::uint64_t fwd_seq = 0;
+    std::uint64_t bwd_seq = 0;
+  };
+
+  /// Wraps a relay payload in one AEAD layer per established hop
+  /// (innermost = last hop).
+  Bytes wrap_forward(BytesView relay_payload);
+
+  void continue_build(net::Simulator& sim);
+
+  std::string user_label_;
+  crypto::ChaChaRng rng_;
+  std::vector<HopDescriptor> path_;
+  std::vector<HopKeys> hop_keys_;  // established hops
+  std::uint32_t circuit_id_ = 0;
+  bool built_ = false;
+  BuiltCallback built_cb_;
+  std::uint16_t next_stream_ = 1;
+  std::map<std::uint16_t, DataCallback> streams_;
+  core::ObservationLog* log_;
+};
+
+}  // namespace dcpl::systems::mixnet

@@ -1,0 +1,151 @@
+// Chaum mix-net (§3.1.2, Figure 1): multi-hop relaying across mutually
+// non-cooperating mixes, with batch-and-shuffle forwarding to thwart timing
+// attacks. Batch size 1 degenerates to low-latency onion routing
+// (Tor-style), which is exactly the §4.2 tradeoff the benches sweep.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl::systems::mixnet {
+
+inline constexpr std::string_view kLayerInfo = "mix layer";
+inline constexpr std::string_view kFinalInfo = "mix final";
+inline constexpr std::string_view kReplyInfo = "mix reply header";
+
+/// Chaum's untraceable return address (1981, §2 of his paper; the paper
+/// under reproduction cites it in §3.1.2). A sender mints a reply block;
+/// the receiver can answer through the mix chain without ever learning who
+/// the sender is. Each mix peels one header layer and ENCRYPTS the reply
+/// body with the key found inside; the sender, who minted all the keys,
+/// strips the accumulated layers.
+struct ReplyBlock {
+  net::Address first_hop;  // where the receiver sends the reply
+  Bytes header;            // layered routing header for the mixes
+
+  Bytes encode() const;
+  static Result<ReplyBlock> decode(BytesView data);
+};
+
+/// A mix: decrypts one onion layer, queues, and forwards a shuffled batch.
+class MixNode final : public net::Node {
+ public:
+  /// `batch_size`: messages per flush; `max_hold_us`: flush deadline after
+  /// the first queued message (so tails do not stall forever).
+  MixNode(net::Address address, std::size_t batch_size, net::Time max_hold_us,
+          core::ObservationLog& log, const core::AddressBook& book,
+          std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+  std::size_t processed() const { return processed_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Queued {
+    net::Address next;
+    Bytes blob;
+    std::uint64_t out_context;
+    std::string protocol;
+  };
+
+  void flush(net::Simulator& sim);
+
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  std::size_t batch_size_;
+  net::Time max_hold_us_;
+  bool flush_scheduled_ = false;
+  std::vector<Queued> queue_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t processed_ = 0;
+};
+
+/// Terminal recipient: decrypts the innermost layer and records the message.
+class Receiver final : public net::Node {
+ public:
+  struct Delivery {
+    std::string message;
+    net::Time time;
+    net::Address from;  // the last mix, not the sender
+  };
+
+  Receiver(net::Address address, core::ObservationLog& log,
+           const core::AddressBook& book, std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  std::size_t chaff_received() const { return chaff_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  hpke::KeyPair kp_;
+  std::vector<Delivery> deliveries_;
+  std::size_t chaff_ = 0;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// One hop descriptor for senders building onions.
+struct HopInfo {
+  net::Address address;
+  Bytes public_key;
+};
+
+/// Originates onion-wrapped messages through a mix chain.
+class Sender final : public net::Node {
+ public:
+  Sender(net::Address address, std::string user_label,
+         core::ObservationLog& log, std::uint64_t seed);
+
+  /// Wraps `message` for `chain` (front = first mix) ending at `receiver`.
+  void send_message(const std::string& message,
+                    const std::vector<HopInfo>& chain, const HopInfo& receiver,
+                    net::Simulator& sim);
+
+  /// Sends cover traffic (§4.3 "chaff"): indistinguishable on the wire from
+  /// a real message, discarded by the receiver. Masks which senders are
+  /// actually communicating.
+  void send_chaff(const std::vector<HopInfo>& chain, const HopInfo& receiver,
+                  net::Simulator& sim);
+
+  /// Mints an untraceable return address routed back through `chain`
+  /// (front = the hop the receiver talks to). The per-hop payload keys stay
+  /// here; replies() yields decrypted reply bodies as they arrive.
+  ReplyBlock make_reply_block(const std::vector<HopInfo>& chain,
+                              net::Simulator& sim);
+
+  const std::vector<std::string>& replies() const { return replies_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct ReplySecret {
+    std::vector<Bytes> hop_keys;  // in chain order (first hop first)
+  };
+
+  std::string user_label_;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint32_t, ReplySecret> reply_secrets_;
+  std::uint32_t next_reply_id_ = 1;
+  std::vector<std::string> replies_;
+  core::ObservationLog* log_;
+};
+
+/// Sends a reply through a reply block (used by anyone holding one — the
+/// receiver of an anonymous message). Free function: replying needs no
+/// state beyond the block itself.
+void send_reply(const ReplyBlock& block, const std::string& message,
+                const net::Address& from, net::Simulator& sim);
+
+}  // namespace dcpl::systems::mixnet

@@ -1,0 +1,240 @@
+#include "systems/mpr/mpr.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::mpr {
+
+namespace {
+
+/// Plaintext of one onion layer.
+struct Layer {
+  bool is_exit = false;
+  net::Address next;
+  std::string fqdn;  // origin authority; only set on the exit layer
+  Bytes blob;        // next layer ciphertext, or the e2e request at the exit
+};
+
+Bytes encode_layer(const Layer& layer) {
+  ByteWriter w;
+  w.u8(layer.is_exit ? 1 : 0);
+  w.vec(to_bytes(layer.next), 2);
+  w.vec(to_bytes(layer.fqdn), 1);
+  w.vec(layer.blob, 4);
+  return std::move(w).take();
+}
+
+Result<Layer> decode_layer(BytesView data) {
+  try {
+    ByteReader r(data);
+    Layer layer;
+    layer.is_exit = r.u8() != 0;
+    layer.next = to_string(r.vec(2));
+    layer.fqdn = to_string(r.vec(1));
+    layer.blob = r.vec(4);
+    if (!r.done()) return Result<Layer>::failure("layer: trailing bytes");
+    return layer;
+  } catch (const ParseError& e) {
+    return Result<Layer>::failure(e.what());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SecureOrigin
+// ---------------------------------------------------------------------------
+
+SecureOrigin::SecureOrigin(net::Address address, Handler handler,
+                           core::ObservationLog& log,
+                           const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), handler_(std::move(handler)),
+      log_(&log), book_(&book) {
+  kp_ = hpke::KeyPair::generate(rng_);
+}
+
+void SecureOrigin::on_packet(const net::Packet& p, net::Simulator& sim) {
+  auto opened = open_request(kp_, to_bytes(kE2eInfo), p.payload);
+  if (!opened.ok()) return;
+  auto request = http::Request::decode_binary(opened->request);
+  if (!request.ok()) return;
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(),
+                core::sensitive_data("url:" + request->authority +
+                                     request->path),
+                p.context);
+  ++served_;
+
+  http::Response response = handler_(request.value());
+  Bytes sealed =
+      seal_response(opened->response_key, response.encode_binary(), rng_);
+  sim.send(net::Packet{address(), p.src, std::move(sealed), p.context, "mpr"});
+}
+
+// ---------------------------------------------------------------------------
+// OnionRelay
+// ---------------------------------------------------------------------------
+
+OnionRelay::OnionRelay(net::Address address, core::ObservationLog& log,
+                       const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), log_(&log), book_(&book) {
+  crypto::ChaChaRng rng(seed);
+  kp_ = hpke::KeyPair::generate(rng);
+}
+
+void OnionRelay::on_packet(const net::Packet& p, net::Simulator& sim) {
+  if (auto it = pending_.find(p.context); it != pending_.end()) {
+    // Response flowing back: pass it through untouched (it is end-to-end
+    // ciphertext; the relay adds/removes nothing on the return path).
+    Pending state = std::move(it->second);
+    pending_.erase(it);
+    sim.send(net::Packet{address(), state.downstream, p.payload,
+                         state.downstream_context, "mpr"});
+    return;
+  }
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+  auto opened = open_request(kp_, to_bytes(kLayerInfo), p.payload);
+  if (!opened.ok()) return;
+  auto layer = decode_layer(opened->request);
+  if (!layer.ok()) return;
+
+  log_->observe(address(), core::benign_data("mpr:ciphertext"), p.context);
+  if (layer->is_exit) {
+    // The exit must connect to the origin, so it learns the FQDN — the
+    // paper's "may learn limited information (such as the FQDN)" cell.
+    log_->observe(address(), core::sensitive_data("fqdn:" + layer->fqdn),
+                  p.context);
+  }
+
+  const std::uint64_t upstream_ctx = sim.new_context();
+  log_->link(address(), p.context, upstream_ctx);
+  pending_[upstream_ctx] = Pending{p.src, p.context};
+  ++forwarded_;
+  sim.send(net::Packet{address(), layer->next, layer->blob, upstream_ctx,
+                       "mpr"});
+}
+
+// ---------------------------------------------------------------------------
+// VpnServer
+// ---------------------------------------------------------------------------
+
+VpnServer::VpnServer(net::Address address, core::ObservationLog& log,
+                     const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), log_(&log), book_(&book) {
+  kp_ = hpke::KeyPair::generate(rng_);
+}
+
+void VpnServer::on_packet(const net::Packet& p, net::Simulator& sim) {
+  if (auto it = pending_.find(p.context); it != pending_.end()) {
+    Pending state = std::move(it->second);
+    pending_.erase(it);
+    // Wrap the (already e2e-encrypted) response in the tunnel layer.
+    Bytes sealed = seal_response(state.response_key, p.payload, rng_);
+    sim.send(net::Packet{address(), state.client, std::move(sealed),
+                         state.client_context, "vpn"});
+    return;
+  }
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+  auto opened = open_request(kp_, to_bytes(kVpnInfo), p.payload);
+  if (!opened.ok()) return;
+  auto layer = decode_layer(opened->request);
+  if (!layer.ok()) return;
+
+  // The single trusted intermediary sees who (client address, logged above
+  // as ▲) and what (the destination the user is visiting): the paper's
+  // (▲, ●) row — one locus of observation.
+  log_->observe(address(), core::sensitive_data("fqdn:" + layer->fqdn),
+                p.context);
+
+  const std::uint64_t upstream_ctx = sim.new_context();
+  log_->link(address(), p.context, upstream_ctx);
+  pending_[upstream_ctx] =
+      Pending{p.src, p.context, std::move(opened->response_key)};
+  sim.send(net::Packet{address(), layer->next, layer->blob, upstream_ctx,
+                       "vpn"});
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(net::Address address, std::string user_label,
+               core::ObservationLog& log, std::uint64_t seed)
+    : Node(std::move(address)), user_label_(std::move(user_label)), rng_(seed),
+      log_(&log) {}
+
+void Client::log_intent(const http::Request& request, std::uint64_t ctx) {
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(
+      address(),
+      core::sensitive_data("url:" + request.authority + request.path), ctx);
+}
+
+void Client::fetch_via_relays(const http::Request& request,
+                              const std::vector<RelayInfo>& chain,
+                              const net::Address& origin_addr,
+                              BytesView origin_public, net::Simulator& sim,
+                              ResponseCallback cb) {
+  RequestState e2e = seal_request(origin_public, to_bytes(kE2eInfo),
+                                  request.encode_binary(), rng_);
+
+  // Build the onion inside-out.
+  Layer layer{true, origin_addr, request.authority, e2e.encapsulated};
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    Bytes blob =
+        seal_request(chain[i].public_key, to_bytes(kLayerInfo),
+                     encode_layer(layer), rng_)
+            .encapsulated;
+    layer = Layer{false, chain[i].address, "", std::move(blob)};
+  }
+
+  const std::uint64_t ctx = sim.new_context();
+  log_intent(request, ctx);
+  pending_[ctx] = Pending{std::move(e2e.response_key), {}, std::move(cb)};
+  // `layer.next` is the first hop (or the origin itself when chain empty);
+  // `layer.blob` is what that hop should receive.
+  sim.send(net::Packet{address(), layer.next, layer.blob, ctx,
+                       chain.empty() ? "https" : "mpr"});
+}
+
+void Client::fetch_via_vpn(const http::Request& request, const RelayInfo& vpn,
+                           const net::Address& origin_addr,
+                           BytesView origin_public, net::Simulator& sim,
+                           ResponseCallback cb) {
+  RequestState e2e = seal_request(origin_public, to_bytes(kE2eInfo),
+                                  request.encode_binary(), rng_);
+  Layer layer{true, origin_addr, request.authority, e2e.encapsulated};
+  RequestState tunnel = seal_request(vpn.public_key, to_bytes(kVpnInfo),
+                                     encode_layer(layer), rng_);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_intent(request, ctx);
+  pending_[ctx] = Pending{std::move(e2e.response_key),
+                          std::move(tunnel.response_key), std::move(cb)};
+  sim.send(net::Packet{address(), vpn.address, std::move(tunnel.encapsulated),
+                       ctx, "vpn"});
+}
+
+void Client::on_packet(const net::Packet& p, net::Simulator&) {
+  auto it = pending_.find(p.context);
+  if (it == pending_.end()) return;
+
+  Bytes inner = p.payload;
+  if (!it->second.vpn_response_key.empty()) {
+    auto unwrapped = open_response(it->second.vpn_response_key, inner);
+    if (!unwrapped.ok()) return;
+    inner = std::move(unwrapped.value());
+  }
+  auto opened = open_response(it->second.e2e_response_key, inner);
+  if (!opened.ok()) return;
+  auto response = http::Response::decode_binary(opened.value());
+  if (!response.ok()) return;
+  ++responses_;
+  if (it->second.cb) it->second.cb(response.value());
+  pending_.erase(it);
+}
+
+}  // namespace dcpl::systems::mpr

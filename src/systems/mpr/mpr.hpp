@@ -1,0 +1,153 @@
+// Multi-Party Relay (§3.2.4) and the VPN cautionary tale (§3.3).
+//
+// MPR mode: the client wraps an end-to-end encrypted request ("TLS to the
+// origin", modeled with the HPKE request/response channel) in one onion
+// layer per relay. Relay 1 sees the client's address but only ciphertext;
+// the exit relay learns the origin FQDN (the paper's "⊙/●" cell) but only
+// its predecessor's address; the origin sees the request but only the exit
+// relay's address. The chain length is configurable (2 = iCloud Private
+// Relay, 3+ = Tor-style) for the §4.2 degree-of-decoupling sweeps.
+//
+// VPN mode: a single intermediary that terminates the tunnel — it sees both
+// who (client address) and what (origin FQDN), the paper's (▲, ●) row.
+//
+// Direct mode: plain "TLS" to the origin; the origin sees (▲, ●).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "http/message.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl::systems::mpr {
+
+inline constexpr std::string_view kE2eInfo = "mpr e2e tls";
+inline constexpr std::string_view kLayerInfo = "mpr onion layer";
+inline constexpr std::string_view kVpnInfo = "vpn tunnel";
+
+/// An origin that terminates the end-to-end channel ("TLS server") and
+/// serves requests.
+class SecureOrigin final : public net::Node {
+ public:
+  using Handler = std::function<http::Response(const http::Request&)>;
+
+  SecureOrigin(net::Address address, Handler handler, core::ObservationLog& log,
+               const core::AddressBook& book, std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+  std::size_t requests_served() const { return served_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  Handler handler_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t served_ = 0;
+};
+
+/// One hop of the onion chain. Decrypts its layer, learns only the next hop
+/// (plus the origin FQDN if it is the exit), and forwards.
+class OnionRelay final : public net::Node {
+ public:
+  OnionRelay(net::Address address, core::ObservationLog& log,
+             const core::AddressBook& book, std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+  std::size_t forwarded() const { return forwarded_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Pending {
+    net::Address downstream;
+    std::uint64_t downstream_context;
+  };
+
+  hpke::KeyPair kp_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t forwarded_ = 0;
+};
+
+/// The VPN cautionary tale: terminates the tunnel, sees who AND what.
+class VpnServer final : public net::Node {
+ public:
+  VpnServer(net::Address address, core::ObservationLog& log,
+            const core::AddressBook& book, std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Pending {
+    net::Address client;
+    std::uint64_t client_context;
+    Bytes response_key;  // tunnel response key
+  };
+
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// A relay hop as seen by the client when building onions.
+struct RelayInfo {
+  net::Address address;
+  Bytes public_key;
+};
+
+/// Client supporting direct, VPN, and N-relay onion fetch modes.
+class Client final : public net::Node {
+ public:
+  using ResponseCallback = std::function<void(const http::Response&)>;
+
+  Client(net::Address address, std::string user_label,
+         core::ObservationLog& log, std::uint64_t seed);
+
+  /// Fetches through `chain` (empty = direct to origin).
+  void fetch_via_relays(const http::Request& request,
+                        const std::vector<RelayInfo>& chain,
+                        const net::Address& origin_addr,
+                        BytesView origin_public, net::Simulator& sim,
+                        ResponseCallback cb);
+
+  /// Fetches through a VPN server.
+  void fetch_via_vpn(const http::Request& request, const RelayInfo& vpn,
+                     const net::Address& origin_addr, BytesView origin_public,
+                     net::Simulator& sim, ResponseCallback cb);
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+  std::size_t responses_received() const { return responses_; }
+
+ private:
+  struct Pending {
+    Bytes e2e_response_key;
+    Bytes vpn_response_key;  // empty unless VPN mode
+    ResponseCallback cb;
+  };
+
+  void log_intent(const http::Request& request, std::uint64_t ctx);
+
+  std::string user_label_;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  std::size_t responses_ = 0;
+};
+
+}  // namespace dcpl::systems::mpr

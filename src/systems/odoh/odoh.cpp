@@ -1,0 +1,367 @@
+#include "systems/odoh/odoh.hpp"
+
+#include <algorithm>
+
+namespace dcpl::systems::odoh {
+
+namespace {
+
+std::size_t label_count(const std::string& name) {
+  if (name.empty()) return 0;
+  return static_cast<std::size_t>(
+             std::count(name.begin(), name.end(), '.')) + 1;
+}
+
+/// Last `k` labels of `name` ("www.example.com", 2 -> "example.com").
+std::string last_labels(const std::string& name, std::size_t k) {
+  const std::size_t total = label_count(name);
+  if (k >= total) return name;
+  std::size_t pos = name.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    pos = name.rfind('.', pos - 1);
+  }
+  return name.substr(pos + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AuthorityNode
+// ---------------------------------------------------------------------------
+
+AuthorityNode::AuthorityNode(net::Address address, dns::Zone zone,
+                             core::ObservationLog& log,
+                             const core::AddressBook& book)
+    : Node(std::move(address)), zone_(std::move(zone)), log_(&log),
+      book_(&book) {}
+
+void AuthorityNode::on_packet(const net::Packet& p, net::Simulator& sim) {
+  auto query = dns::Message::decode(p.payload);
+  if (!query.ok() || query->is_response || query->questions.empty()) return;
+
+  // Authorities see the resolver's address and the query name — the §2.1
+  // point that privacy must be considered across layers.
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(),
+                core::sensitive_data("query:" + query->questions[0].qname),
+                p.context);
+
+  dns::Message resp = zone_.answer(query.value());
+  ++answered_;
+  sim.send(net::Packet{address(), p.src, resp.encode(), p.context, "dns"});
+}
+
+// ---------------------------------------------------------------------------
+// ResolverNode
+// ---------------------------------------------------------------------------
+
+ResolverNode::ResolverNode(net::Address address, net::Address root,
+                           core::ObservationLog& log,
+                           const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), root_(std::move(root)), log_(&log),
+      book_(&book) {
+  kp_ = hpke::KeyPair::generate(rng_);
+}
+
+void ResolverNode::on_packet(const net::Packet& p, net::Simulator& sim) {
+  if (inflight_.count(p.context)) {
+    handle_upstream(p, sim);
+    return;
+  }
+
+  // New client query: plaintext ("dns") or sealed ("doh"/"odoh").
+  Job job;
+  job.requester = p.src;
+  job.requester_context = p.context;
+
+  dns::Message query;
+  if (p.protocol == "dns") {
+    auto decoded = dns::Message::decode(p.payload);
+    if (!decoded.ok() || decoded->is_response || decoded->questions.empty()) {
+      return;
+    }
+    query = std::move(decoded.value());
+  } else {
+    auto opened = open_request(kp_, to_bytes(kDohInfo), p.payload);
+    if (!opened.ok()) return;
+    auto decoded = dns::Message::decode(opened->request);
+    if (!decoded.ok() || decoded->is_response || decoded->questions.empty()) {
+      return;
+    }
+    query = std::move(decoded.value());
+    job.response_key = std::move(opened->response_key);
+  }
+
+  // Decryption (or plaintext receipt) put the query in our hands: log who
+  // the packet came from and what was asked.
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(),
+                core::sensitive_data("query:" + query.questions[0].qname),
+                p.context);
+  log_->observe(address(), core::benign_data("dns:answer"), p.context);
+
+  job.question = query.questions[0];
+  job.question.qname = dns::canonical_name(job.question.qname);
+  job.current_qname = job.question.qname;
+
+  // Cache hit? Entries expire after the minimum answer TTL.
+  auto cached = cache_.find({job.question.qname, job.question.qtype});
+  if (cached != cache_.end()) {
+    if (cached->second.expires > sim.now()) {
+      ++cache_hits_;
+      dns::Message answer = cached->second.answer;
+      answer.id = query.id;
+      const std::uint64_t job_id = next_job_++;
+      jobs_[job_id] = std::move(job);
+      finish(job_id, std::move(answer), sim);
+      return;
+    }
+    cache_.erase(cached);
+  }
+
+  const std::uint64_t job_id = next_job_++;
+  jobs_[job_id] = std::move(job);
+  continue_at(job_id, root_, sim);
+}
+
+void ResolverNode::continue_at(std::uint64_t job_id, const net::Address& server,
+                               net::Simulator& sim) {
+  Job& job = jobs_.at(job_id);
+  if (++job.hops > 16) {  // referral loop guard
+    dns::Message fail;
+    fail.is_response = true;
+    fail.rcode = dns::Rcode::kServFail;
+    fail.questions.push_back(job.question);
+    finish(job_id, std::move(fail), sim);
+    return;
+  }
+  dns::Message q;
+  q.id = static_cast<std::uint16_t>(job_id & 0xffff);
+  const std::string qname =
+      qmin_ ? last_labels(job.current_qname, job.reveal_labels)
+            : job.current_qname;
+  q.questions.push_back(
+      dns::Question{qname, job.question.qtype, dns::kClassIn});
+  job.current_server = server;
+
+  const std::uint64_t ctx = sim.new_context();
+  inflight_[ctx] = job_id;
+  // The resolver knows which client query drove this upstream fetch.
+  log_->link(address(), job.requester_context, ctx);
+  sim.send(net::Packet{address(), server, q.encode(), ctx, "dns"});
+}
+
+void ResolverNode::handle_upstream(const net::Packet& p, net::Simulator& sim) {
+  const std::uint64_t job_id = inflight_.at(p.context);
+  inflight_.erase(p.context);
+  auto job_it = jobs_.find(job_id);
+  if (job_it == jobs_.end()) return;
+  Job& job = job_it->second;
+
+  auto decoded = dns::Message::decode(p.payload);
+  if (!decoded.ok() || !decoded->is_response) return;
+  dns::Message& msg = decoded.value();
+
+  if (msg.rcode != dns::Rcode::kNoError) {
+    dns::Message answer = msg;
+    answer.questions = {job.question};
+    answer.answers.insert(answer.answers.begin(), job.accumulated.begin(),
+                          job.accumulated.end());
+    if (msg.rcode == dns::Rcode::kNxDomain && negative_ttl_ > 0) {
+      // Negative caching: remember the NXDOMAIN so repeated misses do not
+      // re-walk the hierarchy (and re-leak the name to authorities).
+      cache_[{job.question.qname, job.question.qtype}] = CacheEntry{
+          answer,
+          sim.now() + static_cast<net::Time>(negative_ttl_) * 1'000'000};
+    }
+    finish(job_id, std::move(answer), sim);
+    return;
+  }
+
+  if (!msg.answers.empty()) {
+    // Terminal answer for the chain element, or a CNAME to chase.
+    bool has_final = false;
+    std::string cname_target;
+    for (const auto& rr : msg.answers) {
+      if (rr.type == job.question.qtype) has_final = true;
+      if (rr.type == dns::RecordType::kCname &&
+          dns::canonical_name(rr.name) == job.current_qname) {
+        auto target = dns::rdata_to_name(rr.rdata);
+        if (target.ok()) cname_target = target.value();
+      }
+    }
+    if (has_final) {
+      dns::Message answer;
+      answer.is_response = true;
+      answer.recursion_available = true;
+      answer.questions = {job.question};
+      answer.answers = job.accumulated;
+      answer.answers.insert(answer.answers.end(), msg.answers.begin(),
+                            msg.answers.end());
+      ++resolutions_;
+      std::uint32_t min_ttl = 0xffffffff;
+      for (const auto& rr : answer.answers) min_ttl = std::min(min_ttl, rr.ttl);
+      cache_[{job.question.qname, job.question.qtype}] =
+          CacheEntry{answer, sim.now() + static_cast<net::Time>(min_ttl) *
+                                             1'000'000};
+      finish(job_id, std::move(answer), sim);
+      return;
+    }
+    if (!cname_target.empty()) {
+      job.accumulated.insert(job.accumulated.end(), msg.answers.begin(),
+                             msg.answers.end());
+      job.current_qname = cname_target;
+      job.reveal_labels = 1;
+      continue_at(job_id, root_, sim);  // restart iteration for the target
+      return;
+    }
+    return;  // unusable answer
+  }
+
+  // Referral: follow glue.
+  if (!msg.authorities.empty() && !msg.additionals.empty() &&
+      msg.additionals[0].type == dns::RecordType::kA) {
+    if (qmin_) {
+      // Reveal one label more than the delegated zone to the next server.
+      job.reveal_labels = label_count(msg.authorities[0].name) + 1;
+    }
+    continue_at(job_id, dns::rdata_to_ipv4(msg.additionals[0].rdata), sim);
+    return;
+  }
+
+  // Minimized intermediate name exists but holds no records: reveal one
+  // more label to the same server and retry.
+  if (qmin_ && job.reveal_labels < label_count(job.current_qname)) {
+    ++job.reveal_labels;
+    continue_at(job_id, job.current_server, sim);
+    return;
+  }
+
+  // NODATA.
+  dns::Message answer;
+  answer.is_response = true;
+  answer.questions = {job.question};
+  answer.answers = job.accumulated;
+  finish(job_id, std::move(answer), sim);
+}
+
+void ResolverNode::finish(std::uint64_t job_id, dns::Message answer,
+                          net::Simulator& sim) {
+  Job job = std::move(jobs_.at(job_id));
+  jobs_.erase(job_id);
+
+  answer.is_response = true;
+  answer.recursion_available = true;
+  Bytes wire = answer.encode();
+  if (job.response_key.empty()) {
+    sim.send(net::Packet{address(), job.requester, std::move(wire),
+                         job.requester_context, "dns"});
+  } else {
+    Bytes sealed = seal_response(job.response_key, wire, rng_);
+    sim.send(net::Packet{address(), job.requester, std::move(sealed),
+                         job.requester_context, "doh"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OdohProxy
+// ---------------------------------------------------------------------------
+
+OdohProxy::OdohProxy(net::Address address, net::Address target,
+                     core::ObservationLog& log, const core::AddressBook& book)
+    : Node(std::move(address)), target_(std::move(target)), log_(&log),
+      book_(&book) {}
+
+void OdohProxy::on_packet(const net::Packet& p, net::Simulator& sim) {
+  if (auto it = pending_.find(p.context); it != pending_.end()) {
+    Pending state = std::move(it->second);
+    pending_.erase(it);
+    sim.send(net::Packet{address(), state.client, p.payload,
+                         state.client_context, "odoh"});
+    return;
+  }
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(), core::benign_data("odoh:ciphertext"), p.context);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->link(address(), p.context, ctx);
+  pending_[ctx] = Pending{p.src, p.context};
+  ++forwarded_;
+  sim.send(net::Packet{address(), target_, p.payload, ctx, "odoh"});
+}
+
+// ---------------------------------------------------------------------------
+// StubClient
+// ---------------------------------------------------------------------------
+
+StubClient::StubClient(net::Address address, std::string user_label,
+                       core::ObservationLog& log, std::uint64_t seed)
+    : Node(std::move(address)), user_label_(std::move(user_label)), rng_(seed),
+      log_(&log) {}
+
+void StubClient::query(const std::string& qname, Mode mode,
+                       const net::Address& resolver, BytesView resolver_key,
+                       const net::Address& proxy, net::Simulator& sim,
+                       AnswerCallback cb) {
+  dns::Message q;
+  q.id = next_id_++;
+  q.recursion_desired = true;
+  q.questions.push_back(
+      dns::Question{dns::canonical_name(qname), dns::RecordType::kA,
+                    dns::kClassIn});
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(address(), core::sensitive_data("query:" + q.questions[0].qname),
+                ctx);
+
+  Pending pending;
+  pending.cb = std::move(cb);
+
+  switch (mode) {
+    case Mode::kDo53: {
+      pending_[ctx] = std::move(pending);
+      sim.send(net::Packet{address(), resolver, q.encode(), ctx, "dns"});
+      return;
+    }
+    case Mode::kDoh: {
+      RequestState state =
+          seal_request(resolver_key, to_bytes(kDohInfo), q.encode(), rng_);
+      pending.response_key = std::move(state.response_key);
+      pending_[ctx] = std::move(pending);
+      sim.send(net::Packet{address(), resolver, std::move(state.encapsulated),
+                           ctx, "doh"});
+      return;
+    }
+    case Mode::kOdoh: {
+      RequestState state =
+          seal_request(resolver_key, to_bytes(kDohInfo), q.encode(), rng_);
+      pending.response_key = std::move(state.response_key);
+      pending_[ctx] = std::move(pending);
+      sim.send(net::Packet{address(), proxy, std::move(state.encapsulated),
+                           ctx, "odoh"});
+      return;
+    }
+  }
+}
+
+void StubClient::on_packet(const net::Packet& p, net::Simulator&) {
+  auto it = pending_.find(p.context);
+  if (it == pending_.end()) return;
+
+  Bytes wire = p.payload;
+  if (!it->second.response_key.empty()) {
+    auto opened = open_response(it->second.response_key, wire);
+    if (!opened.ok()) return;
+    wire = std::move(opened.value());
+  }
+  auto answer = dns::Message::decode(wire);
+  if (!answer.ok()) return;
+  ++answers_;
+  if (it->second.cb) it->second.cb(answer.value());
+  pending_.erase(it);
+}
+
+}  // namespace dcpl::systems::odoh

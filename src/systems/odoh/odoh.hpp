@@ -1,0 +1,175 @@
+// Oblivious DNS (§3.2.2): Do53 / DoH / ODoH over a simulated DNS hierarchy.
+//
+// Parties:
+//  * AuthorityNode      — root / TLD / authoritative servers (plaintext DNS)
+//  * ResolverNode       — a recursive resolver. Speaks plaintext DNS ("Do53")
+//                         and encrypted DNS (HPKE-sealed queries — "DoH"; the
+//                         same node acts as the ODoH *target* when queries
+//                         arrive via the proxy, because the crypto interface
+//                         is identical; only who is upstream differs).
+//  * OdohProxy          — forwards sealed queries without the decryption key:
+//                         sees WHO asks (▲) but not WHAT (⊙).
+//  * StubClient         — issues queries in any of the three modes.
+//
+// The knowledge difference between DoH and ODoH falls out automatically:
+// with DoH the resolver's packet source is the client (▲ + ● at one party,
+// not decoupled); with ODoH it is the proxy (△ + ●, decoupled).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "dns/zone.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl::systems::odoh {
+
+inline constexpr std::string_view kDohInfo = "odoh query";
+
+/// An authoritative server answering for one zone, in plaintext.
+class AuthorityNode final : public net::Node {
+ public:
+  AuthorityNode(net::Address address, dns::Zone zone, core::ObservationLog& log,
+                const core::AddressBook& book);
+
+  dns::Zone& zone() { return zone_; }
+  std::size_t queries_answered() const { return answered_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  dns::Zone zone_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t answered_ = 0;
+};
+
+/// Recursive resolver with cache; accepts plaintext ("dns") and HPKE-sealed
+/// ("doh") queries and resolves iteratively from the root.
+class ResolverNode final : public net::Node {
+ public:
+  ResolverNode(net::Address address, net::Address root,
+               core::ObservationLog& log, const core::AddressBook& book,
+               std::uint64_t seed);
+
+  const hpke::KeyPair& key() const { return kp_; }
+
+  /// Enables QNAME minimization (RFC 9156 spirit): each authority is asked
+  /// only for the labels it needs to delegate, so the root and TLDs never
+  /// see full query names — §2.1's cross-layer leakage, reduced.
+  void set_qname_minimization(bool on) { qmin_ = on; }
+  bool qname_minimization() const { return qmin_; }
+
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t resolutions() const { return resolutions_; }
+
+  /// TTL for cached NXDOMAIN answers (negative caching, RFC 2308 spirit).
+  void set_negative_ttl(std::uint32_t seconds) { negative_ttl_ = seconds; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Job {
+    net::Address requester;
+    std::uint64_t requester_context;
+    dns::Question question;      // original question
+    std::string current_qname;   // after CNAME chasing
+    Bytes response_key;          // empty => plaintext response
+    std::vector<dns::ResourceRecord> accumulated;  // CNAME chain so far
+    int hops = 0;
+    // QNAME minimization state: how many trailing labels to reveal to the
+    // server currently being queried, and that server's address.
+    std::size_t reveal_labels = 1;
+    net::Address current_server;
+  };
+
+  void start_query(Job job, net::Simulator& sim);
+  void continue_at(std::uint64_t job_id, const net::Address& server,
+                   net::Simulator& sim);
+  void finish(std::uint64_t job_id, dns::Message answer, net::Simulator& sim);
+  void handle_upstream(const net::Packet& p, net::Simulator& sim);
+
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  net::Address root_;
+  std::map<std::uint64_t, Job> jobs_;            // job id -> state
+  std::map<std::uint64_t, std::uint64_t> inflight_;  // upstream ctx -> job id
+  std::uint64_t next_job_ = 1;
+  bool qmin_ = false;
+  std::uint32_t negative_ttl_ = 60;
+  struct CacheEntry {
+    dns::Message answer;
+    net::Time expires;
+  };
+  std::map<std::pair<std::string, dns::RecordType>, CacheEntry> cache_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t cache_hits_ = 0;
+  std::size_t resolutions_ = 0;
+};
+
+/// The ODoH proxy: blind forwarder between clients and the target resolver.
+class OdohProxy final : public net::Node {
+ public:
+  OdohProxy(net::Address address, net::Address target,
+            core::ObservationLog& log, const core::AddressBook& book);
+
+  std::size_t forwarded() const { return forwarded_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Pending {
+    net::Address client;
+    std::uint64_t client_context;
+  };
+
+  net::Address target_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t forwarded_ = 0;
+};
+
+/// Query modes for the stub client.
+enum class Mode { kDo53, kDoh, kOdoh };
+
+/// A user's stub resolver.
+class StubClient final : public net::Node {
+ public:
+  using AnswerCallback = std::function<void(const dns::Message&)>;
+
+  StubClient(net::Address address, std::string user_label,
+             core::ObservationLog& log, std::uint64_t seed);
+
+  /// Do53 / DoH directly to `resolver` (DoH needs its HPKE key), or ODoH via
+  /// `proxy` to the target whose key is `resolver_key`.
+  void query(const std::string& qname, Mode mode, const net::Address& resolver,
+             BytesView resolver_key, const net::Address& proxy,
+             net::Simulator& sim, AnswerCallback cb);
+
+  std::size_t answers_received() const { return answers_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Pending {
+    Bytes response_key;  // empty for Do53
+    AnswerCallback cb;
+  };
+
+  std::string user_label_;
+  crypto::ChaChaRng rng_;
+  std::uint16_t next_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  std::size_t answers_ = 0;
+};
+
+}  // namespace dcpl::systems::odoh

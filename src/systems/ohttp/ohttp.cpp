@@ -1,0 +1,209 @@
+#include "systems/ohttp/ohttp.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::ohttp {
+
+Bytes KeyConfig::encode() const {
+  ByteWriter w;
+  w.u8(key_id);
+  w.u16(kem_id);
+  w.vec(public_key, 2);
+  return std::move(w).take();
+}
+
+Result<KeyConfig> KeyConfig::decode(BytesView data) {
+  try {
+    ByteReader r(data);
+    KeyConfig config;
+    config.key_id = r.u8();
+    config.kem_id = r.u16();
+    config.public_key = r.vec(2);
+    if (!r.done()) return Result<KeyConfig>::failure("key config: trailing");
+    if (config.kem_id != hpke::kKemId) {
+      return Result<KeyConfig>::failure("key config: unsupported KEM");
+    }
+    if (config.public_key.size() != hpke::kNpk) {
+      return Result<KeyConfig>::failure("key config: bad key size");
+    }
+    return config;
+  } catch (const ParseError& e) {
+    return Result<KeyConfig>::failure(e.what());
+  }
+}
+
+core::Atom url_atom(const http::Request& request) {
+  return core::sensitive_data("url:" + request.authority + request.path);
+}
+
+// ---------------------------------------------------------------------------
+// OriginServer
+// ---------------------------------------------------------------------------
+
+OriginServer::OriginServer(net::Address address, Handler handler,
+                           core::ObservationLog& log,
+                           const core::AddressBook& book)
+    : Node(std::move(address)), handler_(std::move(handler)), log_(&log),
+      book_(&book) {}
+
+void OriginServer::on_packet(const net::Packet& p, net::Simulator& sim) {
+  auto request = http::Request::decode_binary(p.payload);
+  if (!request.ok()) return;  // drop malformed
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(), url_atom(request.value()), p.context);
+  ++requests_served_;
+
+  http::Response response = handler_(request.value());
+  sim.send(net::Packet{address(), p.src, response.encode_binary(), p.context,
+                       "http"});
+}
+
+// ---------------------------------------------------------------------------
+// Gateway
+// ---------------------------------------------------------------------------
+
+Gateway::Gateway(net::Address address, core::ObservationLog& log,
+                 const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), log_(&log), book_(&book) {
+  rotate_key();
+}
+
+KeyConfig Gateway::key_config() const {
+  KeyConfig config;
+  config.key_id = keys_.back().first;
+  config.public_key = keys_.back().second.public_key;
+  return config;
+}
+
+void Gateway::rotate_key() {
+  keys_.emplace_back(next_key_id_++, hpke::KeyPair::generate(rng_));
+}
+
+void Gateway::retire_old_keys() {
+  keys_.erase(keys_.begin(), keys_.end() - 1);
+}
+
+void Gateway::add_origin(const std::string& authority, net::Address addr) {
+  origins_[authority] = std::move(addr);
+}
+
+void Gateway::on_packet(const net::Packet& p, net::Simulator& sim) {
+  // Response from an origin we proxied to?
+  if (auto it = pending_.find(p.context); it != pending_.end()) {
+    Pending state = std::move(it->second);
+    pending_.erase(it);
+    Bytes sealed = seal_response(state.response_key, p.payload, rng_);
+    sim.send(net::Packet{address(), state.downstream, std::move(sealed),
+                         state.downstream_context, "ohttp"});
+    return;
+  }
+
+  // Otherwise: an encapsulated request from the relay. Trial-decrypt with
+  // every active key, newest first (key rotation grace window).
+  book_->observe_src(*log_, address(), p.src, p.context);
+  Result<ServerState> opened = Result<ServerState>::failure("no keys");
+  for (std::size_t i = keys_.size(); i-- > 0;) {
+    opened = open_request(keys_[i].second, to_bytes(kInfo), p.payload);
+    if (opened.ok()) break;
+  }
+  if (!opened.ok()) return;
+  // Accept both padded and unpadded requests: strip padding when present.
+  Bytes plaintext = opened->request;
+  auto request = http::Request::decode_binary(plaintext);
+  if (!request.ok()) {
+    auto unpadded = unpad(plaintext);
+    if (!unpadded.ok()) return;
+    plaintext = std::move(unpadded.value());
+    request = http::Request::decode_binary(plaintext);
+    if (!request.ok()) return;
+  }
+
+  // Decapsulation put the plaintext request in our hands: log it.
+  log_->observe(address(), url_atom(request.value()), p.context);
+
+  auto origin = origins_.find(request->authority);
+  if (origin == origins_.end()) return;
+
+  const std::uint64_t upstream_ctx = sim.new_context();
+  log_->link(address(), p.context, upstream_ctx);
+  pending_[upstream_ctx] =
+      Pending{p.src, p.context, std::move(opened->response_key)};
+  sim.send(net::Packet{address(), origin->second, std::move(plaintext),
+                       upstream_ctx, "http"});
+}
+
+// ---------------------------------------------------------------------------
+// Relay
+// ---------------------------------------------------------------------------
+
+Relay::Relay(net::Address address, net::Address gateway,
+             core::ObservationLog& log, const core::AddressBook& book)
+    : Node(std::move(address)), gateway_(std::move(gateway)), log_(&log),
+      book_(&book) {}
+
+void Relay::on_packet(const net::Packet& p, net::Simulator& sim) {
+  if (auto it = pending_.find(p.context); it != pending_.end()) {
+    // Response from the gateway: hand it back to the client untouched.
+    Pending state = std::move(it->second);
+    pending_.erase(it);
+    sim.send(net::Packet{address(), state.client, p.payload,
+                         state.client_context, "ohttp"});
+    return;
+  }
+
+  // Request from a client: the relay sees who, but only ciphertext.
+  book_->observe_src(*log_, address(), p.src, p.context);
+  log_->observe(address(), core::benign_data("ohttp:ciphertext"), p.context);
+
+  const std::uint64_t upstream_ctx = sim.new_context();
+  log_->link(address(), p.context, upstream_ctx);
+  pending_[upstream_ctx] = Pending{p.src, p.context};
+  ++forwarded_;
+  sim.send(net::Packet{address(), gateway_, p.payload, upstream_ctx, "ohttp"});
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(net::Address address, std::string user_label, net::Address relay,
+               Bytes gateway_public, core::ObservationLog& log,
+               std::uint64_t seed)
+    : Node(std::move(address)), user_label_(std::move(user_label)),
+      relay_(std::move(relay)), gateway_public_(std::move(gateway_public)),
+      rng_(seed), log_(&log) {}
+
+void Client::fetch(const http::Request& request, net::Simulator& sim,
+                   ResponseCallback cb) {
+  Bytes plaintext = request.encode_binary();
+  if (padding_bucket_ > 0) {
+    plaintext = pad_to_bucket(plaintext, padding_bucket_);
+  }
+  RequestState state =
+      seal_request(gateway_public_, to_bytes(kInfo), plaintext, rng_);
+
+  const std::uint64_t ctx = sim.new_context();
+  // The user trivially holds its own identity and its own request.
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(address(), url_atom(request), ctx);
+
+  pending_[ctx] = Pending{std::move(state.response_key), std::move(cb)};
+  sim.send(net::Packet{address(), relay_, std::move(state.encapsulated), ctx,
+                       "ohttp"});
+}
+
+void Client::on_packet(const net::Packet& p, net::Simulator&) {
+  auto it = pending_.find(p.context);
+  if (it == pending_.end()) return;
+  auto opened = open_response(it->second.response_key, p.payload);
+  if (!opened.ok()) return;
+  auto response = http::Response::decode_binary(opened.value());
+  if (!response.ok()) return;
+  ++responses_;
+  if (it->second.cb) it->second.cb(response.value());
+  pending_.erase(it);
+}
+
+}  // namespace dcpl::systems::ohttp

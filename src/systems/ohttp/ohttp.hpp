@@ -1,0 +1,165 @@
+// Oblivious HTTP (RFC 9458-style): Client -> Relay -> Gateway -> Origin.
+//
+// The client seals a binary HTTP request to the gateway's HPKE key and sends
+// it via the relay. The relay learns who is asking (client address, ▲) but
+// not what (ciphertext, ⊙); the gateway learns what is asked (●) but only
+// the relay's address (△). This is the generalization of ODoH the paper
+// discusses in §3.2.5 and the building block for the private-telemetry
+// baseline.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "http/message.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl::systems::ohttp {
+
+/// Serves plaintext HTTP requests (the web server behind the gateway).
+class OriginServer final : public net::Node {
+ public:
+  using Handler = std::function<http::Response(const http::Request&)>;
+
+  OriginServer(net::Address address, Handler handler, core::ObservationLog& log,
+               const core::AddressBook& book);
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+  std::size_t requests_served() const { return requests_served_; }
+
+ private:
+  Handler handler_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t requests_served_ = 0;
+};
+
+/// Published gateway key configuration (RFC 9458 §3 style): what a client
+/// needs to encrypt to the gateway, fetched out of band.
+struct KeyConfig {
+  std::uint8_t key_id = 0;
+  std::uint16_t kem_id = hpke::kKemId;
+  Bytes public_key;
+
+  Bytes encode() const;
+  static Result<KeyConfig> decode(BytesView data);
+};
+
+/// Decapsulates OHTTP requests and proxies them to origins by authority.
+/// Supports key rotation: rotate_key() publishes a fresh key while old keys
+/// keep decrypting during a grace window; retire_old_keys() ends it.
+class Gateway final : public net::Node {
+ public:
+  Gateway(net::Address address, core::ObservationLog& log,
+          const core::AddressBook& book, std::uint64_t seed);
+
+  /// The current key pair (clients should use key_config()).
+  const hpke::KeyPair& key() const { return keys_.back().second; }
+
+  /// The current published configuration.
+  KeyConfig key_config() const;
+
+  /// Generates and publishes a fresh key; previous keys stay accepted
+  /// until retire_old_keys().
+  void rotate_key();
+
+  /// Drops every key except the current one (ends the grace window).
+  void retire_old_keys();
+
+  std::size_t active_keys() const { return keys_.size(); }
+
+  /// Maps an HTTP authority to the origin's network address.
+  void add_origin(const std::string& authority, net::Address addr);
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Pending {
+    net::Address downstream;
+    std::uint64_t downstream_context;
+    Bytes response_key;
+  };
+
+  std::vector<std::pair<std::uint8_t, hpke::KeyPair>> keys_;  // oldest first
+  std::uint8_t next_key_id_ = 0;
+  crypto::ChaChaRng rng_;
+  std::map<std::string, net::Address> origins_;
+  std::map<std::uint64_t, Pending> pending_;  // upstream ctx -> state
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// Forwards opaque encapsulated requests/responses between clients and the
+/// gateway; sees client identity but never plaintext.
+class Relay final : public net::Node {
+ public:
+  Relay(net::Address address, net::Address gateway, core::ObservationLog& log,
+        const core::AddressBook& book);
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+  std::size_t forwarded() const { return forwarded_; }
+
+ private:
+  struct Pending {
+    net::Address client;
+    std::uint64_t client_context;
+  };
+
+  net::Address gateway_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t forwarded_ = 0;
+};
+
+/// Issues OHTTP requests via the relay.
+class Client final : public net::Node {
+ public:
+  using ResponseCallback = std::function<void(const http::Response&)>;
+
+  Client(net::Address address, std::string user_label, net::Address relay,
+         Bytes gateway_public, core::ObservationLog& log, std::uint64_t seed);
+
+  /// Pads requests to multiples of `bucket` bytes before sealing (0 = no
+  /// padding). Defeats request-size fingerprinting at the relay (§4.3).
+  void set_padding_bucket(std::size_t bucket) { padding_bucket_ = bucket; }
+
+  /// Encapsulates and sends `request`; `cb` fires when the reply arrives.
+  void fetch(const http::Request& request, net::Simulator& sim,
+             ResponseCallback cb);
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+  std::size_t responses_received() const { return responses_; }
+
+ private:
+  struct Pending {
+    Bytes response_key;
+    ResponseCallback cb;
+  };
+
+  std::string user_label_;
+  net::Address relay_;
+  Bytes gateway_public_;
+  std::size_t padding_bucket_ = 0;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint64_t, Pending> pending_;
+  core::ObservationLog* log_;
+  std::size_t responses_ = 0;
+};
+
+/// OHTTP application info string (binds the encryption to the protocol).
+inline constexpr std::string_view kInfo = "ohttp request";
+
+/// Atom label helpers shared with benches/tests.
+core::Atom url_atom(const http::Request& request);
+
+}  // namespace dcpl::systems::ohttp

@@ -1,0 +1,269 @@
+#include "systems/pgpp/pgpp.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::pgpp {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kTokenRequest = 1,
+  kTokenResponse = 2,
+  kAttachBaseline = 3,
+  kAttachPgpp = 4,
+  kAttachAck = 5,
+};
+
+std::string loc_label(std::uint16_t cell, std::uint64_t epoch) {
+  return "loc:cell" + std::to_string(cell) + "@e" + std::to_string(epoch);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Gateway
+// ---------------------------------------------------------------------------
+
+Gateway::Gateway(net::Address address, std::size_t rsa_bits,
+                 core::ObservationLog& log, const core::AddressBook& book,
+                 std::uint64_t seed)
+    : Node(std::move(address)), log_(&log), book_(&book) {
+  crypto::ChaChaRng rng(seed);
+  key_ = crypto::rsa_generate(rsa_bits, rng);
+}
+
+void Gateway::credit_account(const std::string& account,
+                             std::uint64_t units) {
+  credits_[account] += units;
+}
+
+std::uint64_t Gateway::credit(const std::string& account) const {
+  auto it = credits_.find(account);
+  return it == credits_.end() ? 0 : it->second;
+}
+
+void Gateway::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kTokenRequest) return;
+    std::string account = to_string(r.vec(1));
+    Bytes blinded = r.vec(2);
+
+    // Billing: the gateway learns the human subscriber (▲H), issues an
+    // unlinkable credential that will become a network identity it cannot
+    // recognize later (△N), and sees only a blinded blob (⊙).
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(),
+                  core::sensitive_identity("subscriber:" + account, "human"),
+                  p.context);
+    log_->observe(address(),
+                  core::benign_identity("connectivity-token", "network"),
+                  p.context);
+    log_->observe(address(), core::benign_data("blinded-token"), p.context);
+
+    if (enforce_billing_) {
+      auto it = credits_.find(account);
+      if (it == credits_.end() || it->second == 0) return;  // no credit
+      it->second -= 1;
+    }
+    auto blind_sig = crypto::blind_sign(key_, blinded);
+    if (!blind_sig.ok()) return;
+    ++issued_;
+
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kTokenResponse));
+    w.vec(blind_sig.value(), 2);
+    sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                         "pgpp"});
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CellularCore
+// ---------------------------------------------------------------------------
+
+CellularCore::CellularCore(net::Address address, CoreMode mode,
+                           crypto::RsaPublicKey gateway_key,
+                           core::ObservationLog& log,
+                           const core::AddressBook& book)
+    : Node(std::move(address)), mode_(mode),
+      gateway_key_(std::move(gateway_key)), log_(&log), book_(&book) {}
+
+void CellularCore::register_subscriber(const std::string& imsi,
+                                       const std::string& human) {
+  billing_[imsi] = human;
+}
+
+void CellularCore::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    const auto type = static_cast<MsgType>(r.u8());
+
+    if (type == MsgType::kAttachBaseline && mode_ == CoreMode::kBaselineImsi) {
+      std::string imsi = to_string(r.vec(1));
+      const std::uint16_t cell = r.u16();
+      const std::uint64_t epoch = r.u64();
+
+      auto subscriber = billing_.find(imsi);
+      if (subscriber == billing_.end()) {
+        ++rejected_;
+        return;
+      }
+      // The traditional core: permanent network identity (▲N), bound to the
+      // human by billing (▲H), plus the location trace (●).
+      log_->observe(address(), core::sensitive_identity("imsi:" + imsi,
+                                                        "network"),
+                    p.context);
+      log_->observe(address(),
+                    core::sensitive_identity(
+                        "subscriber:" + subscriber->second, "human"),
+                    p.context);
+      log_->observe(address(), core::sensitive_data(loc_label(cell, epoch)),
+                    p.context);
+      events_.push_back(AttachEvent{epoch, imsi, cell});
+      ++accepted_;
+
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kAttachAck));
+      w.u8(1);
+      sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                           "pgpp"});
+      return;
+    }
+
+    if (type == MsgType::kAttachPgpp && mode_ == CoreMode::kPgpp) {
+      std::string pseudo = to_string(r.vec(1));
+      const std::uint16_t cell = r.u16();
+      const std::uint64_t epoch = r.u64();
+      Bytes nonce = r.vec(1);
+      Bytes sig = r.vec(2);
+
+      const bool valid = !spent_tokens_.count(nonce) &&
+                         crypto::blind_verify(gateway_key_, nonce, sig);
+      if (!valid) {
+        ++rejected_;
+        ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(MsgType::kAttachAck));
+        w.u8(0);
+        sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                             "pgpp"});
+        return;
+      }
+      spent_tokens_.insert(nonce);
+
+      // The PGPP core: an anonymous-but-authorized subscriber (△H) with an
+      // ephemeral network identity (△N); it still needs the location (●).
+      log_->observe(address(),
+                    core::benign_identity("pseudo-imsi:" + pseudo, "network"),
+                    p.context);
+      log_->observe(address(),
+                    core::benign_identity("subscriber:anonymous", "human"),
+                    p.context);
+      log_->observe(address(), core::sensitive_data(loc_label(cell, epoch)),
+                    p.context);
+      events_.push_back(AttachEvent{epoch, pseudo, cell});
+      ++accepted_;
+
+      ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kAttachAck));
+      w.u8(1);
+      sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                           "pgpp"});
+      return;
+    }
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MobileUser
+// ---------------------------------------------------------------------------
+
+MobileUser::MobileUser(net::Address address, std::string human_label,
+                       std::string imsi, net::Address gateway,
+                       net::Address core, crypto::RsaPublicKey gateway_key,
+                       core::ObservationLog& log, std::uint64_t seed)
+    : Node(std::move(address)), human_label_(std::move(human_label)),
+      imsi_(std::move(imsi)), gateway_(std::move(gateway)),
+      core_(std::move(core)), gateway_key_(std::move(gateway_key)), rng_(seed),
+      log_(&log) {}
+
+void MobileUser::buy_tokens(std::size_t n, net::Simulator& sim) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes nonce = rng_.bytes(32);
+    crypto::BlindingState state = crypto::blind(gateway_key_, nonce, rng_);
+
+    const std::uint64_t ctx = sim.new_context();
+    log_->observe(address(),
+                  core::sensitive_identity("subscriber:" + human_label_,
+                                           "human"),
+                  ctx);
+
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kTokenRequest));
+    w.vec(to_bytes(human_label_), 1);
+    w.vec(state.blinded_message, 2);
+    pending_.emplace(ctx, TokenRequest{std::move(nonce), std::move(state)});
+    sim.send(net::Packet{address(), gateway_, std::move(w).take(), ctx,
+                         "pgpp"});
+  }
+}
+
+void MobileUser::attach(std::uint16_t cell, std::uint64_t epoch, CoreMode mode,
+                        net::Simulator& sim) {
+  const std::uint64_t ctx = sim.new_context();
+  // The user knows everything about itself: both identity facets and its
+  // own movements — the paper's (▲H, ▲N, ●) column.
+  log_->observe(address(),
+                core::sensitive_identity("subscriber:" + human_label_,
+                                         "human"),
+                ctx);
+  log_->observe(address(), core::sensitive_identity("imsi:" + imsi_, "network"),
+                ctx);
+  log_->observe(address(), core::sensitive_data(loc_label(cell, epoch)), ctx);
+
+  if (mode == CoreMode::kBaselineImsi) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kAttachBaseline));
+    w.vec(to_bytes(imsi_), 1);
+    w.u16(cell);
+    w.u64(epoch);
+    sim.send(net::Packet{address(), core_, std::move(w).take(), ctx, "pgpp"});
+    return;
+  }
+
+  if (tokens_.empty()) return;  // out of connectivity credit
+  auto [nonce, sig] = std::move(tokens_.back());
+  tokens_.pop_back();
+
+  const std::string pseudo =
+      to_hex(rng_.bytes(4)) + "-" + std::to_string(++pseudo_counter_);
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAttachPgpp));
+  w.vec(to_bytes(pseudo), 1);
+  w.u16(cell);
+  w.u64(epoch);
+  w.vec(nonce, 1);
+  w.vec(sig, 2);
+  sim.send(net::Packet{address(), core_, std::move(w).take(), ctx, "pgpp"});
+}
+
+void MobileUser::on_packet(const net::Packet& p, net::Simulator&) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kTokenResponse) return;
+    auto it = pending_.find(p.context);
+    if (it == pending_.end()) return;
+    Bytes blind_sig = r.vec(2);
+    auto sig = crypto::finalize(gateway_key_, it->second.nonce,
+                                it->second.state, blind_sig);
+    if (sig.ok()) {
+      tokens_.emplace_back(it->second.nonce, std::move(sig.value()));
+    }
+    pending_.erase(it);
+  } catch (const ParseError&) {
+  }
+}
+
+}  // namespace dcpl::systems::pgpp

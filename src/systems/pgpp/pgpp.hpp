@@ -1,0 +1,137 @@
+// Pretty Good Phone Privacy (§3.2.3): decoupling billing/authentication
+// (PGPP-GW, a separate organization) from mobility/connectivity (the NGC,
+// the cellular core).
+//
+// Baseline cellular: the core sees a permanent IMSI bound to the human
+// subscriber via billing, plus every tracking-area update — it can
+// reconstruct and attribute full location trajectories.
+//
+// PGPP: users buy blind-signed connectivity tokens from the gateway with
+// their billing identity (the GW learns ▲H but nothing about usage), then
+// attach to the core with a per-epoch shuffled pseudo-IMSI authorized by an
+// unlinkable token. The core still sees locations (it must route traffic)
+// but only ephemeral network identities: (△H, △N, ●).
+//
+// The identity facets "human"/"network" reproduce the paper's ▲H/▲N
+// decomposition.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/blind_rsa.hpp"
+#include "crypto/csprng.hpp"
+#include "net/sim.hpp"
+
+namespace dcpl::systems::pgpp {
+
+enum class CoreMode { kBaselineImsi, kPgpp };
+
+/// One attachment record, as the core's logs would show it.
+struct AttachEvent {
+  std::uint64_t epoch;
+  std::string network_id;  // IMSI (baseline) or pseudo-IMSI (PGPP)
+  std::uint16_t cell;
+};
+
+/// The PGPP gateway: sells connectivity tokens against billing accounts.
+class Gateway final : public net::Node {
+ public:
+  Gateway(net::Address address, std::size_t rsa_bits, core::ObservationLog& log,
+          const core::AddressBook& book, std::uint64_t seed);
+
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+  std::size_t tokens_issued() const { return issued_; }
+
+  /// Billing: prepaid connectivity credit per account; one token costs one
+  /// unit. Accounts without credit are denied (0-credit accounts unknown).
+  void credit_account(const std::string& account, std::uint64_t units);
+  std::uint64_t credit(const std::string& account) const;
+
+  /// When true (default false for test convenience), only funded accounts
+  /// may buy tokens.
+  void set_enforce_billing(bool on) { enforce_billing_ = on; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  crypto::RsaPrivateKey key_;
+  bool enforce_billing_ = false;
+  std::map<std::string, std::uint64_t> credits_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t issued_ = 0;
+};
+
+/// The cellular core (NGC): accepts attachments, tracks mobility.
+class CellularCore final : public net::Node {
+ public:
+  CellularCore(net::Address address, CoreMode mode,
+               crypto::RsaPublicKey gateway_key, core::ObservationLog& log,
+               const core::AddressBook& book);
+
+  /// Baseline: billing database binding IMSI to the human subscriber.
+  void register_subscriber(const std::string& imsi, const std::string& human);
+
+  const std::vector<AttachEvent>& events() const { return events_; }
+  std::size_t attach_accepted() const { return accepted_; }
+  std::size_t attach_rejected() const { return rejected_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  CoreMode mode_;
+  crypto::RsaPublicKey gateway_key_;
+  std::map<std::string, std::string> billing_;  // imsi -> human
+  std::set<Bytes> spent_tokens_;
+  std::vector<AttachEvent> events_;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_ = 0;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// A mobile subscriber.
+class MobileUser final : public net::Node {
+ public:
+  MobileUser(net::Address address, std::string human_label, std::string imsi,
+             net::Address gateway, net::Address core,
+             crypto::RsaPublicKey gateway_key, core::ObservationLog& log,
+             std::uint64_t seed);
+
+  /// PGPP: requests `n` blind-signed connectivity tokens.
+  void buy_tokens(std::size_t n, net::Simulator& sim);
+
+  /// Attaches at `cell` for `epoch`. Baseline uses the permanent IMSI; PGPP
+  /// consumes a token and presents a fresh pseudo-IMSI for this epoch.
+  void attach(std::uint16_t cell, std::uint64_t epoch, CoreMode mode,
+              net::Simulator& sim);
+
+  std::size_t tokens_available() const { return tokens_.size(); }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct TokenRequest {
+    Bytes nonce;
+    crypto::BlindingState state;
+  };
+
+  std::string human_label_;
+  std::string imsi_;
+  net::Address gateway_;
+  net::Address core_;
+  crypto::RsaPublicKey gateway_key_;
+  crypto::ChaChaRng rng_;
+  std::map<std::uint64_t, TokenRequest> pending_;
+  std::vector<std::pair<Bytes, Bytes>> tokens_;  // (nonce, signature)
+  std::uint64_t pseudo_counter_ = 0;
+  core::ObservationLog* log_;
+};
+
+}  // namespace dcpl::systems::pgpp

@@ -1,0 +1,25 @@
+#include "systems/ppm/field.hpp"
+
+#include <stdexcept>
+
+namespace dcpl::systems::ppm {
+
+std::vector<Fp> share_value(Fp value, std::size_t k, Rng& rng) {
+  if (k == 0) throw std::invalid_argument("share_value: k == 0");
+  std::vector<Fp> shares(k);
+  Fp sum;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    shares[i] = Fp::random(rng);
+    sum = sum + shares[i];
+  }
+  shares[k - 1] = value - sum;
+  return shares;
+}
+
+Fp combine_shares(const std::vector<Fp>& shares) {
+  Fp sum;
+  for (Fp s : shares) sum = sum + s;
+  return sum;
+}
+
+}  // namespace dcpl::systems::ppm

@@ -1,0 +1,66 @@
+// Prime field F_p with p = 2^61 - 1 (Mersenne), used for additive secret
+// sharing in the PPM/Prio-style aggregation system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dcpl::systems::ppm {
+
+class Fp {
+ public:
+  static constexpr std::uint64_t kP = (std::uint64_t{1} << 61) - 1;
+
+  constexpr Fp() = default;
+  constexpr explicit Fp(std::uint64_t v) : v_(v % kP) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + b.v_;  // < 2^62, no overflow
+    if (s >= kP) s -= kP;
+    return Fp::raw(s);
+  }
+
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    return Fp::raw(a.v_ >= b.v_ ? a.v_ - b.v_ : a.v_ + kP - b.v_);
+  }
+
+  friend constexpr Fp operator*(Fp a, Fp b) {
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(a.v_) * b.v_;
+    // Mersenne reduction: x = (x & p) + (x >> 61), applied twice.
+    std::uint64_t lo = static_cast<std::uint64_t>(prod & kP);
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    s = (s & kP) + (s >> 61);
+    if (s >= kP) s -= kP;
+    return Fp::raw(s);
+  }
+
+  constexpr Fp operator-() const { return Fp::raw(v_ == 0 ? 0 : kP - v_); }
+
+  bool operator==(const Fp&) const = default;
+
+  /// Uniform random element.
+  static Fp random(Rng& rng) { return Fp::raw(rng.below(kP)); }
+
+ private:
+  static constexpr Fp raw(std::uint64_t v) {
+    Fp f;
+    f.v_ = v;
+    return f;
+  }
+
+  std::uint64_t v_ = 0;
+};
+
+/// Splits `value` into `k` additive shares summing to `value` mod p.
+std::vector<Fp> share_value(Fp value, std::size_t k, Rng& rng);
+
+/// Recombines additive shares.
+Fp combine_shares(const std::vector<Fp>& shares);
+
+}  // namespace dcpl::systems::ppm

@@ -1,0 +1,517 @@
+#include "systems/ppm/ppm.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::ppm {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kShare = 1,            // sealed: submission id, x share, x^2 share
+  kCheck = 2,            // aggregator -> leader: opened check pieces
+  kVerdict = 3,          // leader -> aggregators: accept / reject
+  kCollectRequest = 4,   // collector -> aggregator (boolean sum)
+  kCollectResponse = 5,  // aggregator -> collector
+  kProxyWrap = 6,        // client -> proxy: embedded destination + blob
+  kPlainReport = 7,      // baseline telemetry
+  kShareHist = 8,        // sealed: submission id + per-bucket share pairs
+  kCollectHistRequest = 9,
+  kCollectHistResponse = 10,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Aggregator
+// ---------------------------------------------------------------------------
+
+Aggregator::Aggregator(net::Address address, std::size_t index,
+                       std::size_t total, net::Address leader,
+                       core::ObservationLog& log,
+                       const core::AddressBook& book, std::uint64_t seed)
+    : Node(std::move(address)), rng_(seed), index_(index), total_(total),
+      leader_(std::move(leader)), log_(&log), book_(&book) {
+  kp_ = hpke::KeyPair::generate(rng_);
+}
+
+void Aggregator::set_peers(std::vector<net::Address> peers) {
+  peers_ = std::move(peers);
+}
+
+void Aggregator::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    const auto type = static_cast<MsgType>(r.u8());
+    switch (type) {
+      case MsgType::kShare:
+        handle_share(p, sim);
+        return;
+      case MsgType::kCheck:
+        handle_check(p, sim);
+        return;
+      case MsgType::kVerdict:
+        handle_verdict(p);
+        return;
+      case MsgType::kCollectRequest:
+        handle_collect(p, sim);
+        return;
+      case MsgType::kShareHist:
+        handle_hist_share(p, sim);
+        return;
+      case MsgType::kCollectHistRequest:
+        handle_collect_hist(p, sim);
+        return;
+      default:
+        return;
+    }
+  } catch (const ParseError&) {
+  }
+}
+
+void Aggregator::handle_share(const net::Packet& p, net::Simulator& sim) {
+  ByteReader outer(p.payload);
+  outer.u8();  // type
+  Bytes sealed = outer.rest();
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+
+  auto opened = open_request(kp_, to_bytes(kShareInfo), sealed);
+  if (!opened.ok()) return;
+  ByteReader r(opened->request);
+  const std::uint64_t submission = r.u64();
+  const Fp x_share{r.u64()};
+  const Fp x2_share{r.u64()};
+
+  if (total_ == 1) {
+    // Degenerate single-aggregator deployment: the lone "share" IS the
+    // client's value — this is the naive design of §3.2.5.
+    log_->observe(address(),
+                  core::sensitive_data("report:" +
+                                       std::to_string(x_share.value())),
+                  p.context);
+  } else {
+    // A single additive share is a uniformly random field element: benign.
+    log_->observe(address(), core::benign_data("ppm:share"), p.context);
+  }
+
+  buffered_[submission] = Buffered{x_share, x2_share, {}};
+
+  // Send this aggregator's piece of the opened check value to the leader.
+  // Boolean submissions only open x^2 - x (opening the one-hot sum would
+  // reveal the bit itself).
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCheck));
+  w.u64(submission);
+  w.u8(0);  // not a histogram
+  w.u64((x2_share - x_share).value());
+  w.u64(0);
+  sim.send(net::Packet{address(), leader_, std::move(w).take(),
+                       sim.new_context(), "ppm"});
+}
+
+void Aggregator::handle_hist_share(const net::Packet& p, net::Simulator& sim) {
+  ByteReader outer(p.payload);
+  outer.u8();  // type
+  Bytes sealed = outer.rest();
+
+  book_->observe_src(*log_, address(), p.src, p.context);
+
+  auto opened = open_request(kp_, to_bytes(kShareInfo), sealed);
+  if (!opened.ok()) return;
+  ByteReader r(opened->request);
+  const std::uint64_t submission = r.u64();
+  const bool one_hot = r.u8() == 1;
+  const std::uint16_t n_buckets = r.u16();
+  Buffered buf;
+  Fp check_sq_sum;   // sum over buckets of (x^2 - x) shares
+  Fp one_hot_sum;    // sum over buckets of x shares
+  for (std::uint16_t b = 0; b < n_buckets; ++b) {
+    const Fp x{r.u64()};
+    const Fp x2{r.u64()};
+    buf.bucket_shares.push_back(x);
+    check_sq_sum = check_sq_sum + (x2 - x);
+    one_hot_sum = one_hot_sum + x;
+  }
+  if (total_ == 1) {
+    log_->observe(address(), core::sensitive_data("hist-report"), p.context);
+  } else {
+    log_->observe(address(), core::benign_data("ppm:share"), p.context);
+  }
+  buffered_[submission] = std::move(buf);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCheck));
+  w.u64(submission);
+  // Mode 1: one-hot histogram (check boolean buckets AND sum == 1).
+  // Mode 2: bit vector (check boolean entries only; opening their sum
+  // would leak the integer, so it stays hidden).
+  w.u8(one_hot ? 1 : 2);
+  w.u64(check_sq_sum.value());
+  w.u64(one_hot ? one_hot_sum.value() : 0);
+  sim.send(net::Packet{address(), leader_, std::move(w).take(),
+                       sim.new_context(), "ppm"});
+}
+
+void Aggregator::handle_check(const net::Packet& p, net::Simulator& sim) {
+  ByteReader r(p.payload);
+  r.u8();
+  const std::uint64_t submission = r.u64();
+  const std::uint8_t mode = r.u8();  // 0 bool, 1 one-hot, 2 bit-vector
+  const Fp sq_piece{r.u64()};
+  const Fp hot_piece{r.u64()};
+
+  auto& [sq_sum, hot_sum, seen] = checks_[submission];
+  sq_sum = sq_sum + sq_piece;
+  hot_sum = hot_sum + hot_piece;
+  if (++seen < total_) return;
+
+  // All pieces in. Every mode: x^2 - x opens to zero (boolean entries).
+  // One-hot additionally requires the opened sum to equal exactly 1.
+  const bool accept = sq_sum == Fp{} && (mode != 1 || hot_sum == Fp{1});
+  checks_.erase(submission);
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kVerdict));
+  w.u64(submission);
+  w.u8(accept ? 1 : 0);
+  Bytes verdict = std::move(w).take();
+  for (const auto& peer : peers_) {
+    sim.send(net::Packet{address(), peer, verdict, sim.new_context(), "ppm"});
+  }
+}
+
+void Aggregator::handle_verdict(const net::Packet& p) {
+  ByteReader r(p.payload);
+  r.u8();
+  const std::uint64_t submission = r.u64();
+  const bool accept = r.u8() == 1;
+
+  auto it = buffered_.find(submission);
+  if (it == buffered_.end()) return;
+  if (!accept) {
+    ++rejected_count_;
+  } else if (it->second.bucket_shares.empty()) {
+    accumulator_ = accumulator_ + it->second.x_share;
+    ++accepted_count_;
+  } else {
+    if (hist_accumulator_.size() < it->second.bucket_shares.size()) {
+      hist_accumulator_.resize(it->second.bucket_shares.size());
+    }
+    for (std::size_t b = 0; b < it->second.bucket_shares.size(); ++b) {
+      hist_accumulator_[b] = hist_accumulator_[b] + it->second.bucket_shares[b];
+    }
+    ++hist_accepted_;
+  }
+  buffered_.erase(it);
+}
+
+void Aggregator::handle_collect(const net::Packet& p, net::Simulator& sim) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCollectResponse));
+  w.u32(static_cast<std::uint32_t>(accepted_count_));
+  w.u64(accumulator_.value());
+  sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                       "ppm"});
+}
+
+void Aggregator::handle_collect_hist(const net::Packet& p,
+                                     net::Simulator& sim) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCollectHistResponse));
+  w.u32(static_cast<std::uint32_t>(hist_accepted_));
+  w.u16(static_cast<std::uint16_t>(hist_accumulator_.size()));
+  for (Fp b : hist_accumulator_) w.u64(b.value());
+  sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                       "ppm"});
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+Collector::Collector(net::Address address, std::vector<net::Address> aggregators,
+                     core::ObservationLog& log, const core::AddressBook& book)
+    : Node(std::move(address)), aggregators_(std::move(aggregators)),
+      log_(&log), book_(&book) {}
+
+void Collector::collect(net::Simulator& sim, ResultCallback cb) {
+  cb_ = std::move(cb);
+  received_.clear();
+  count_.reset();
+  for (const auto& agg : aggregators_) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kCollectRequest));
+    sim.send(net::Packet{address(), agg, std::move(w).take(),
+                         sim.new_context(), "ppm"});
+  }
+}
+
+void Collector::collect_histogram(net::Simulator& sim, HistogramCallback cb) {
+  hist_cb_ = std::move(cb);
+  hist_received_.clear();
+  count_.reset();
+  for (const auto& agg : aggregators_) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kCollectHistRequest));
+    sim.send(net::Packet{address(), agg, std::move(w).take(),
+                         sim.new_context(), "ppm"});
+  }
+}
+
+void Collector::on_packet(const net::Packet& p, net::Simulator&) {
+  try {
+    ByteReader r(p.payload);
+    const auto type = static_cast<MsgType>(r.u8());
+
+    if (type == MsgType::kCollectResponse) {
+      const std::uint32_t count = r.u32();
+      const Fp share{r.u64()};
+
+      book_->observe_src(*log_, address(), p.src, p.context);
+      log_->observe(address(), core::benign_data("ppm:aggregate-share"),
+                    p.context);
+
+      count_ = count;  // identical across honest aggregators
+      received_.push_back(share);
+      if (received_.size() == aggregators_.size() && cb_) {
+        cb_(*count_, combine_shares(received_).value());
+      }
+      return;
+    }
+
+    if (type == MsgType::kCollectHistResponse) {
+      const std::uint32_t count = r.u32();
+      const std::uint16_t n_buckets = r.u16();
+      std::vector<Fp> shares;
+      for (std::uint16_t b = 0; b < n_buckets; ++b) shares.push_back(Fp{r.u64()});
+
+      book_->observe_src(*log_, address(), p.src, p.context);
+      log_->observe(address(), core::benign_data("ppm:aggregate-share"),
+                    p.context);
+
+      count_ = count;
+      hist_received_.push_back(std::move(shares));
+      if (hist_received_.size() == aggregators_.size() && hist_cb_) {
+        std::size_t width = 0;
+        for (const auto& v : hist_received_) width = std::max(width, v.size());
+        std::vector<std::uint64_t> totals(width, 0);
+        for (std::size_t b = 0; b < width; ++b) {
+          Fp sum;
+          for (const auto& v : hist_received_) {
+            if (b < v.size()) sum = sum + v[b];
+          }
+          totals[b] = sum.value();
+        }
+        hist_cb_(*count_, totals);
+      }
+      return;
+    }
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ForwardProxy
+// ---------------------------------------------------------------------------
+
+ForwardProxy::ForwardProxy(net::Address address, core::ObservationLog& log,
+                           const core::AddressBook& book)
+    : Node(std::move(address)), log_(&log), book_(&book) {}
+
+void ForwardProxy::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kProxyWrap) return;
+    net::Address dst = to_string(r.vec(2));
+    Bytes blob = r.vec(4);
+
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(), core::benign_data("ppm:ciphertext"), p.context);
+
+    const std::uint64_t ctx = sim.new_context();
+    log_->link(address(), p.context, ctx);
+    ++forwarded_;
+    sim.send(net::Packet{address(), dst, std::move(blob), ctx, "ppm"});
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(net::Address address, std::string user_label,
+               std::uint64_t client_id, core::ObservationLog& log,
+               std::uint64_t seed)
+    : Node(std::move(address)), user_label_(std::move(user_label)),
+      client_id_(client_id), rng_(seed), log_(&log) {}
+
+void Client::submit_bool(bool value,
+                         const std::vector<AggregatorInfo>& aggregators,
+                         net::Simulator& sim, const net::Address& proxy,
+                         std::optional<Fp> raw_x, std::optional<Fp> raw_x2) {
+  const Fp x = raw_x.value_or(Fp{value ? 1u : 0u});
+  const Fp x2 = raw_x2.value_or(x * x);
+  const std::size_t k = aggregators.size();
+  std::vector<Fp> x_shares = share_value(x, k, rng_);
+  std::vector<Fp> x2_shares = share_value(x2, k, rng_);
+
+  const std::uint64_t submission = (client_id_ << 32) | ++seq_;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    ByteWriter inner;
+    inner.u64(submission);
+    inner.u64(x_shares[i].value());
+    inner.u64(x2_shares[i].value());
+    RequestState sealed = seal_request(aggregators[i].public_key,
+                                       to_bytes(kShareInfo),
+                                       inner.bytes(), rng_);
+
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kShare));
+    w.raw(sealed.encapsulated);
+    Bytes share_packet = std::move(w).take();
+
+    const std::uint64_t ctx = sim.new_context();
+    log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                  ctx);
+    log_->observe(address(),
+                  core::sensitive_data("report:" + std::to_string(value)),
+                  ctx);
+
+    if (proxy.empty()) {
+      sim.send(net::Packet{address(), aggregators[i].address,
+                           std::move(share_packet), ctx, "ppm"});
+    } else {
+      ByteWriter wrap;
+      wrap.u8(static_cast<std::uint8_t>(MsgType::kProxyWrap));
+      wrap.vec(to_bytes(aggregators[i].address), 2);
+      wrap.vec(share_packet, 4);
+      sim.send(net::Packet{address(), proxy, std::move(wrap).take(), ctx,
+                           "ppm"});
+    }
+  }
+}
+
+std::uint64_t weighted_total(const std::vector<std::uint64_t>& bit_sums) {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < bit_sums.size(); ++j) {
+    total += bit_sums[j] << j;
+  }
+  return total;
+}
+
+void Client::submit_integer(std::uint64_t value, std::size_t bits,
+                            const std::vector<AggregatorInfo>& aggregators,
+                            net::Simulator& sim, const net::Address& proxy) {
+  if (bits == 0 || bits > 32) {
+    throw std::invalid_argument("submit_integer: bits must be in [1, 32]");
+  }
+  if ((value >> bits) != 0) {
+    throw std::invalid_argument("submit_integer: value out of range");
+  }
+  std::vector<Fp> bit_vector(bits);
+  for (std::size_t j = 0; j < bits; ++j) {
+    bit_vector[j] = Fp{(value >> j) & 1};
+  }
+  submit_vector(bit_vector, /*one_hot=*/false, aggregators, sim, proxy,
+                "report:int" + std::to_string(value));
+}
+
+void Client::submit_histogram(std::size_t bucket, std::size_t n_buckets,
+                              const std::vector<AggregatorInfo>& aggregators,
+                              net::Simulator& sim, const net::Address& proxy,
+                              std::optional<std::vector<Fp>> raw_buckets) {
+  if (bucket >= n_buckets) {
+    throw std::invalid_argument("submit_histogram: bucket out of range");
+  }
+  std::vector<Fp> values(n_buckets);
+  values[bucket] = Fp{1};
+  if (raw_buckets) values = *raw_buckets;
+  submit_vector(values, /*one_hot=*/true, aggregators, sim, proxy,
+                "report:bucket" + std::to_string(bucket));
+}
+
+void Client::submit_vector(const std::vector<Fp>& values, bool one_hot,
+                           const std::vector<AggregatorInfo>& aggregators,
+                           net::Simulator& sim, const net::Address& proxy,
+                           const std::string& data_label) {
+  const std::size_t k = aggregators.size();
+  // Per-entry independent sharings of x and x^2.
+  std::vector<std::vector<Fp>> x_shares, x2_shares;
+  for (Fp v : values) {
+    x_shares.push_back(share_value(v, k, rng_));
+    x2_shares.push_back(share_value(v * v, k, rng_));
+  }
+
+  const std::uint64_t submission = (client_id_ << 32) | ++seq_;
+  for (std::size_t i = 0; i < k; ++i) {
+    ByteWriter inner;
+    inner.u64(submission);
+    inner.u8(one_hot ? 1 : 0);
+    inner.u16(static_cast<std::uint16_t>(values.size()));
+    for (std::size_t b = 0; b < values.size(); ++b) {
+      inner.u64(x_shares[b][i].value());
+      inner.u64(x2_shares[b][i].value());
+    }
+    RequestState sealed = seal_request(aggregators[i].public_key,
+                                       to_bytes(kShareInfo),
+                                       inner.bytes(), rng_);
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kShareHist));
+    w.raw(sealed.encapsulated);
+    Bytes share_packet = std::move(w).take();
+
+    const std::uint64_t ctx = sim.new_context();
+    log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                  ctx);
+    log_->observe(address(), core::sensitive_data(data_label), ctx);
+    if (proxy.empty()) {
+      sim.send(net::Packet{address(), aggregators[i].address,
+                           std::move(share_packet), ctx, "ppm"});
+    } else {
+      ByteWriter wrap;
+      wrap.u8(static_cast<std::uint8_t>(MsgType::kProxyWrap));
+      wrap.vec(to_bytes(aggregators[i].address), 2);
+      wrap.vec(share_packet, 4);
+      sim.send(net::Packet{address(), proxy, std::move(wrap).take(), ctx,
+                           "ppm"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryServer (baseline)
+// ---------------------------------------------------------------------------
+
+Bytes make_plain_report(std::string_view client_label, std::uint64_t value) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPlainReport));
+  w.vec(to_bytes(client_label), 1);
+  w.u64(value);
+  return std::move(w).take();
+}
+
+TelemetryServer::TelemetryServer(net::Address address,
+                                 core::ObservationLog& log,
+                                 const core::AddressBook& book)
+    : Node(std::move(address)), log_(&log), book_(&book) {}
+
+void TelemetryServer::on_packet(const net::Packet& p, net::Simulator&) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kPlainReport) return;
+    std::string label = to_string(r.vec(1));
+    const std::uint64_t value = r.u64();
+
+    // The naive design: one server sees identity and raw value together.
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(),
+                  core::sensitive_data("report:" + std::to_string(value)),
+                  p.context);
+    ++count_;
+    total_ += value;
+  } catch (const ParseError&) {
+  }
+}
+
+}  // namespace dcpl::systems::ppm

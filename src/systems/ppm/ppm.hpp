@@ -1,0 +1,213 @@
+// Privacy-Preserving Measurement (§3.2.5): Prio-style additive secret
+// sharing across non-colluding aggregators, with a leader-coordinated
+// validity check and a collector that only ever sees the aggregate.
+//
+// Submissions are boolean contributions (the classic telemetry bit). Each
+// client splits x and x^2 into independent additive sharings, one share per
+// aggregator. Aggregators jointly open x^2 - x, which is zero for any
+// honest boolean input, and accept or reject the submission as a group —
+// rejecting without learning x. (This reproduces the *shape* of Prio's SNIP
+// validity check; the full polynomial-identity SNIP that also defeats a
+// client who submits consistent-but-out-of-range x,x^2 pairs is documented
+// as future work in DESIGN.md.)
+//
+// Knowledge (paper table §3.2.5): the Client holds (▲, ●); each Aggregator
+// sees who submitted but only a uniformly-random share (▲, ⊙); the Collector
+// sees only aggregator addresses and the final aggregate (△, ⊙). Routing
+// submissions through the ForwardProxy (the OHTTP variant the paper
+// discusses) downgrades the aggregator's identity column to △.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/address_book.hpp"
+#include "core/observation.hpp"
+#include "crypto/csprng.hpp"
+#include "net/sim.hpp"
+#include "systems/channel.hpp"
+#include "systems/ppm/field.hpp"
+
+namespace dcpl::systems::ppm {
+
+inline constexpr std::string_view kShareInfo = "ppm share";
+
+/// One aggregator. Index 0 acts as the leader for validity checks.
+class Aggregator final : public net::Node {
+ public:
+  Aggregator(net::Address address, std::size_t index, std::size_t total,
+             net::Address leader, core::ObservationLog& log,
+             const core::AddressBook& book, std::uint64_t seed);
+
+  /// Leader only: the full aggregator roster, for broadcasting verdicts.
+  void set_peers(std::vector<net::Address> peers);
+
+  const hpke::KeyPair& key() const { return kp_; }
+  std::size_t accepted() const { return accepted_count_; }
+  std::size_t rejected() const { return rejected_count_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  struct Buffered {
+    Fp x_share;
+    Fp x2_share;
+    std::vector<Fp> bucket_shares;  // histogram submissions only
+  };
+
+  void handle_share(const net::Packet& p, net::Simulator& sim);
+  void handle_hist_share(const net::Packet& p, net::Simulator& sim);
+  void handle_check(const net::Packet& p, net::Simulator& sim);
+  void handle_verdict(const net::Packet& p);
+  void handle_collect(const net::Packet& p, net::Simulator& sim);
+  void handle_collect_hist(const net::Packet& p, net::Simulator& sim);
+
+  hpke::KeyPair kp_;
+  crypto::ChaChaRng rng_;
+  std::size_t index_;
+  std::size_t total_;
+  net::Address leader_;
+  std::vector<net::Address> peers_;
+
+  std::map<std::uint64_t, Buffered> buffered_;  // submission id -> shares
+  // Leader only: (sum of x^2-x pieces, sum of one-hot pieces, arrivals).
+  std::map<std::uint64_t, std::tuple<Fp, Fp, std::size_t>> checks_;
+  Fp accumulator_;
+  std::vector<Fp> hist_accumulator_;
+  std::size_t hist_accepted_ = 0;
+  std::size_t accepted_count_ = 0;
+  std::size_t rejected_count_ = 0;
+
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// Requests and combines the per-aggregator sums.
+class Collector final : public net::Node {
+ public:
+  using ResultCallback =
+      std::function<void(std::size_t count, std::uint64_t total)>;
+
+  Collector(net::Address address, std::vector<net::Address> aggregators,
+            core::ObservationLog& log, const core::AddressBook& book);
+
+  using HistogramCallback = std::function<void(
+      std::size_t count, const std::vector<std::uint64_t>& totals)>;
+
+  /// Broadcasts a collect request; `cb` fires when all shares are in.
+  void collect(net::Simulator& sim, ResultCallback cb);
+
+  /// Collects the histogram aggregate instead of the boolean sum.
+  void collect_histogram(net::Simulator& sim, HistogramCallback cb);
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  std::vector<net::Address> aggregators_;
+  std::vector<Fp> received_;
+  std::vector<std::vector<Fp>> hist_received_;
+  std::optional<std::size_t> count_;
+  ResultCallback cb_;
+  HistogramCallback hist_cb_;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+/// Routing target for one aggregator as seen by a client.
+struct AggregatorInfo {
+  net::Address address;
+  Bytes public_key;
+};
+
+/// Blind one-way forwarder (the OHTTP-proxy variant of §3.2.5).
+class ForwardProxy final : public net::Node {
+ public:
+  ForwardProxy(net::Address address, core::ObservationLog& log,
+               const core::AddressBook& book);
+
+  std::size_t forwarded() const { return forwarded_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+  std::size_t forwarded_ = 0;
+};
+
+/// A reporting client.
+class Client final : public net::Node {
+ public:
+  Client(net::Address address, std::string user_label, std::uint64_t client_id,
+         core::ObservationLog& log, std::uint64_t seed);
+
+  /// Submits a boolean contribution, one sealed share per aggregator. If
+  /// `proxy` is non-empty the shares are routed through the forward proxy.
+  /// `raw_x`/`raw_x2` let tests model cheating clients (defaults: honest).
+  void submit_bool(bool value, const std::vector<AggregatorInfo>& aggregators,
+                   net::Simulator& sim, const net::Address& proxy = {},
+                   std::optional<Fp> raw_x = std::nullopt,
+                   std::optional<Fp> raw_x2 = std::nullopt);
+
+  /// Submits a bounded integer in [0, 2^bits): Prio's integer encoding.
+  /// The value is bit-decomposed into a `bits`-wide vector; every bit is
+  /// shared and validity-checked as boolean (but no one-hot constraint), so
+  /// a malicious client cannot exceed the advertised range. Collect with
+  /// Collector::collect_histogram and recombine with weighted_total().
+  void submit_integer(std::uint64_t value, std::size_t bits,
+                      const std::vector<AggregatorInfo>& aggregators,
+                      net::Simulator& sim, const net::Address& proxy = {});
+
+  /// Submits a one-hot histogram contribution: bucket `bucket` of
+  /// `n_buckets`. Aggregators jointly verify every bucket is boolean AND
+  /// that exactly one bucket is set (the one-hot sum opens to 1 by design).
+  /// `raw_buckets` lets tests model cheating clients.
+  void submit_histogram(std::size_t bucket, std::size_t n_buckets,
+                        const std::vector<AggregatorInfo>& aggregators,
+                        net::Simulator& sim, const net::Address& proxy = {},
+                        std::optional<std::vector<Fp>> raw_buckets =
+                            std::nullopt);
+
+  void on_packet(const net::Packet&, net::Simulator&) override {}
+
+ private:
+  void submit_vector(const std::vector<Fp>& values, bool one_hot,
+                     const std::vector<AggregatorInfo>& aggregators,
+                     net::Simulator& sim, const net::Address& proxy,
+                     const std::string& data_label);
+
+  std::string user_label_;
+  std::uint64_t client_id_;
+  std::uint64_t seq_ = 0;
+  crypto::ChaChaRng rng_;
+  core::ObservationLog* log_;
+};
+
+/// Recombines the per-bit sums from an integer aggregation (bucket j holds
+/// the sum of everyone's j-th bit): total = sum over j of 2^j * bucket_j.
+std::uint64_t weighted_total(const std::vector<std::uint64_t>& bit_sums);
+
+/// Builds a plaintext baseline report packet payload for TelemetryServer.
+Bytes make_plain_report(std::string_view client_label, std::uint64_t value);
+
+/// Non-private baseline: one server sees every (identity, value) pair.
+class TelemetryServer final : public net::Node {
+ public:
+  TelemetryServer(net::Address address, core::ObservationLog& log,
+                  const core::AddressBook& book);
+
+  std::size_t count() const { return count_; }
+  std::uint64_t total() const { return total_; }
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override;
+
+ private:
+  std::size_t count_ = 0;
+  std::uint64_t total_ = 0;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+}  // namespace dcpl::systems::ppm

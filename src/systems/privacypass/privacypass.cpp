@@ -1,0 +1,199 @@
+#include "systems/privacypass/privacypass.hpp"
+
+#include "common/io.hpp"
+
+namespace dcpl::systems::privacypass {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kIssueRequest = 1,
+  kIssueResponse = 2,
+  kAccessRequest = 3,
+  kAccessResponse = 4,
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Issuer
+// ---------------------------------------------------------------------------
+
+Issuer::Issuer(net::Address address, std::size_t rsa_bits,
+               core::ObservationLog& log, const core::AddressBook& book,
+               std::uint64_t seed)
+    : Node(std::move(address)), log_(&log), book_(&book) {
+  crypto::ChaChaRng rng(seed);
+  key_ = crypto::rsa_generate(rsa_bits, rng);
+}
+
+void Issuer::register_account(const std::string& account) {
+  accounts_.insert(account);
+}
+
+void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kIssueRequest) return;
+    std::string account = to_string(r.vec(1));
+    Bytes blinded = r.vec(2);
+
+    // The issuer authenticates the client: it learns WHO (▲) but the
+    // blinded token hides WHAT the token will be used for (⊙). Crucially
+    // the issuer never learns the origin.
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(), core::sensitive_identity("account:" + account),
+                  p.context);
+    log_->observe(address(), core::benign_data("blinded-token"), p.context);
+
+    if (!accounts_.count(account)) {
+      ++denied_;
+      return;
+    }
+    if (limit_ != 0 && issued_per_account_[account] >= limit_) {
+      ++denied_;
+      return;
+    }
+    auto blind_sig = crypto::blind_sign(key_, blinded);
+    if (!blind_sig.ok()) {
+      ++denied_;
+      return;
+    }
+    ++issued_;
+    ++issued_per_account_[account];
+
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kIssueResponse));
+    w.vec(blind_sig.value(), 2);
+    sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                         "privacypass"});
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Origin
+// ---------------------------------------------------------------------------
+
+Origin::Origin(net::Address address, std::string authority,
+               crypto::RsaPublicKey issuer_key, core::ObservationLog& log,
+               const core::AddressBook& book)
+    : Node(std::move(address)), authority_(std::move(authority)),
+      issuer_key_(std::move(issuer_key)), log_(&log), book_(&book) {}
+
+void Origin::on_packet(const net::Packet& p, net::Simulator& sim) {
+  try {
+    ByteReader r(p.payload);
+    if (static_cast<MsgType>(r.u8()) != MsgType::kAccessRequest) return;
+    std::string path = to_string(r.vec(1));
+    Bytes nonce = r.vec(1);
+    Bytes sig = r.vec(2);
+
+    // The origin sees the request it serves (●) and a counterparty reached
+    // over an anonymity-preserving path (△). The token is unlinkable to any
+    // issuance interaction.
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(),
+                  core::sensitive_data("url:" + authority_ + path), p.context);
+
+    const bool fresh = !seen_nonces_.count(nonce);
+    const bool valid = fresh && crypto::blind_verify(issuer_key_, nonce, sig);
+    if (valid) {
+      seen_nonces_.insert(nonce);
+      ++served_;
+    } else {
+      ++rejected_;
+    }
+
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(MsgType::kAccessResponse));
+    w.u8(valid ? 1 : 0);
+    sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+                         "privacypass"});
+  } catch (const ParseError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(net::Address address, std::string account, net::Address issuer,
+               crypto::RsaPublicKey issuer_key, core::ObservationLog& log,
+               std::uint64_t seed)
+    : Node(std::move(address)), account_(std::move(account)),
+      issuer_(std::move(issuer)), issuer_key_(std::move(issuer_key)),
+      rng_(seed), log_(&log) {}
+
+void Client::request_token(net::Simulator& sim) {
+  Bytes nonce = rng_.bytes(32);
+  crypto::BlindingState state = crypto::blind(issuer_key_, nonce, rng_);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity("account:" + account_),
+                ctx);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kIssueRequest));
+  w.vec(to_bytes(account_), 1);
+  w.vec(state.blinded_message, 2);
+  pending_issuance_.emplace(ctx,
+                            std::make_pair(std::move(nonce), std::move(state)));
+  sim.send(net::Packet{address(), issuer_, std::move(w).take(), ctx,
+                       "privacypass"});
+}
+
+bool Client::access(const net::Address& origin, const std::string& path,
+                    net::Simulator& sim, ServedCallback cb) {
+  if (wallet_.empty()) return false;
+  Token token = std::move(wallet_.back());
+  wallet_.pop_back();
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity("account:" + account_),
+                ctx);
+  log_->observe(address(), core::sensitive_data("url:" + origin + path), ctx);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAccessRequest));
+  w.vec(to_bytes(path), 1);
+  w.vec(token.nonce, 1);
+  w.vec(token.signature, 2);
+  pending_access_[ctx] = std::move(cb);
+  sim.send(net::Packet{address(), origin, std::move(w).take(), ctx,
+                       "privacypass"});
+  return true;
+}
+
+void Client::on_packet(const net::Packet& p, net::Simulator&) {
+  try {
+    ByteReader r(p.payload);
+    const auto type = static_cast<MsgType>(r.u8());
+
+    if (type == MsgType::kIssueResponse) {
+      auto it = pending_issuance_.find(p.context);
+      if (it == pending_issuance_.end()) return;
+      Bytes blind_sig = r.vec(2);
+      auto sig = crypto::finalize(issuer_key_, it->second.first,
+                                  it->second.second, blind_sig);
+      if (sig.ok()) {
+        wallet_.push_back(Token{it->second.first, std::move(sig.value())});
+      }
+      pending_issuance_.erase(it);
+      return;
+    }
+
+    if (type == MsgType::kAccessResponse) {
+      auto it = pending_access_.find(p.context);
+      if (it == pending_access_.end()) return;
+      const bool served = r.u8() == 1;
+      if (served) ++granted_;
+      if (it->second) it->second(served);
+      pending_access_.erase(it);
+      return;
+    }
+  } catch (const ParseError&) {
+  }
+}
+
+}  // namespace dcpl::systems::privacypass

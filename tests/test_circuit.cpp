@@ -1,0 +1,245 @@
+// Onion-routing circuits: telescoping build, layered streams, constant-size
+// cells (§4.3), and per-hop knowledge.
+#include "systems/mixnet/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+
+namespace dcpl::systems::mixnet {
+namespace {
+
+/// Destination server: echoes "echo:" + payload.
+class EchoServer final : public net::Node {
+ public:
+  EchoServer(net::Address address, core::ObservationLog& log,
+             const core::AddressBook& book)
+      : Node(std::move(address)), log_(&log), book_(&book) {}
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override {
+    book_->observe_src(*log_, address(), p.src, p.context);
+    log_->observe(address(),
+                  core::sensitive_data("request:" + to_string(p.payload)),
+                  p.context);
+    ++requests_;
+    Bytes reply = concat({to_bytes("echo:"), p.payload});
+    sim.send(net::Packet{address(), p.src, std::move(reply), p.context,
+                         "tcp"});
+  }
+
+  std::size_t requests() const { return requests_; }
+
+ private:
+  std::size_t requests_ = 0;
+  core::ObservationLog* log_;
+  const core::AddressBook* book_;
+};
+
+struct Fixture {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::vector<std::unique_ptr<CircuitRelay>> relays;
+  std::unique_ptr<EchoServer> server;
+  std::unique_ptr<CircuitClient> client;
+
+  explicit Fixture(std::size_t n_relays) {
+    for (std::size_t i = 0; i < n_relays; ++i) {
+      std::string addr = "or" + std::to_string(i + 1);
+      book.set(addr, core::benign_identity("addr:" + addr));
+      relays.push_back(std::make_unique<CircuitRelay>(addr, log, book, 10 + i));
+      sim.add_node(*relays.back());
+    }
+    book.set("web.example", core::benign_identity("addr:web.example"));
+    server = std::make_unique<EchoServer>("web.example", log, book);
+    sim.add_node(*server);
+    book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+    client = std::make_unique<CircuitClient>("10.0.0.1", "user:alice", log, 42);
+    sim.add_node(*client);
+  }
+
+  std::vector<CircuitClient::HopDescriptor> path() const {
+    std::vector<CircuitClient::HopDescriptor> out;
+    for (const auto& r : relays) {
+      out.push_back({r->address(), r->key().public_key});
+    }
+    return out;
+  }
+
+  bool build() {
+    bool ok = false;
+    client->build_circuit(path(), sim, [&](bool b) { ok = b; });
+    sim.run();
+    return ok && client->built();
+  }
+};
+
+TEST(Circuit, BuildsThreeHops) {
+  Fixture f(3);
+  EXPECT_TRUE(f.build());
+  EXPECT_EQ(f.client->hops(), 3u);
+  for (auto& r : f.relays) EXPECT_EQ(r->circuits_active(), 1u);
+}
+
+class CircuitPathLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CircuitPathLengths, BuildAndEcho) {
+  Fixture f(GetParam());
+  ASSERT_TRUE(f.build());
+  std::string got;
+  ASSERT_TRUE(f.client->send_data(
+      "web.example", to_bytes("ping"), f.sim,
+      [&](const Bytes& resp) { got = to_string(resp); }));
+  f.sim.run();
+  EXPECT_EQ(got, "echo:ping");
+  EXPECT_EQ(f.server->requests(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CircuitPathLengths,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Circuit, MultipleStreamsOnOneCircuit) {
+  Fixture f(3);
+  ASSERT_TRUE(f.build());
+  int got = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.client->send_data("web.example", to_bytes("req" + std::to_string(i)),
+                        f.sim, [&, i](const Bytes& resp) {
+                          EXPECT_EQ(to_string(resp),
+                                    "echo:req" + std::to_string(i));
+                          ++got;
+                        });
+  }
+  f.sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Circuit, SendBeforeBuildFails) {
+  Fixture f(2);
+  EXPECT_FALSE(f.client->send_data("web.example", to_bytes("x"), f.sim,
+                                   nullptr));
+}
+
+TEST(Circuit, EmptyPathThrows) {
+  Fixture f(1);
+  EXPECT_THROW(f.client->build_circuit({}, f.sim, nullptr),
+               std::invalid_argument);
+}
+
+// §4.3: every circuit-protocol packet on every link is exactly kCellSize —
+// an observer cannot fingerprint position in the path or payload size.
+TEST(Circuit, AllCellsAreConstantSize) {
+  Fixture f(3);
+  std::vector<std::size_t> circuit_sizes;
+  f.sim.add_wiretap([&](const net::TraceEntry& e) {
+    if (e.protocol == "circuit") circuit_sizes.push_back(e.size);
+  });
+  ASSERT_TRUE(f.build());
+  f.client->send_data("web.example", to_bytes("short"), f.sim, nullptr);
+  f.client->send_data("web.example", Bytes(200, 'x'), f.sim, nullptr);
+  f.sim.run();
+
+  ASSERT_GT(circuit_sizes.size(), 10u);
+  for (std::size_t s : circuit_sizes) EXPECT_EQ(s, kCellSize);
+}
+
+TEST(Circuit, KnowledgeMatchesOnionRoutingTable) {
+  Fixture f(3);
+  ASSERT_TRUE(f.build());
+  f.client->send_data("web.example", to_bytes("secret request"), f.sim,
+                      nullptr);
+  f.sim.run();
+
+  core::DecouplingAnalysis a(f.log);
+  // Guard: knows the client, sees only cells.
+  EXPECT_EQ(a.tuple_for("or1").to_string(), "(▲, ⊙)");
+  // Middle: knows neither end.
+  EXPECT_EQ(a.tuple_for("or2").to_string(), "(△, ⊙)");
+  // Exit: learns the destination (the ⊙/● cell), not the client.
+  EXPECT_EQ(a.tuple_for("or3").to_string(), "(△, ⊙/●)");
+  // The destination sees the request from the exit.
+  EXPECT_EQ(a.tuple_for("web.example").to_string(), "(△, ●)");
+  EXPECT_TRUE(a.is_decoupled("10.0.0.1"));
+}
+
+TEST(Circuit, MiddleRelayNeverSeesClientOrDestination) {
+  Fixture f(3);
+  ASSERT_TRUE(f.build());
+  f.client->send_data("web.example", to_bytes("needle"), f.sim, nullptr);
+  f.sim.run();
+  for (const auto& obs : f.log.for_party("or2")) {
+    EXPECT_EQ(obs.atom.label.find("10.0.0.1"), std::string::npos);
+    EXPECT_EQ(obs.atom.label.find("web.example"), std::string::npos);
+    EXPECT_EQ(obs.atom.label.find("needle"), std::string::npos);
+  }
+}
+
+TEST(Circuit, WrongGuardKeyFailsBuild) {
+  Fixture f(2);
+  crypto::ChaChaRng rng(9);
+  auto bogus = hpke::KeyPair::generate(rng);
+  auto path = f.path();
+  path[0].public_key = bogus.public_key;
+  bool ok = false;
+  f.client->build_circuit(path, f.sim, [&](bool b) { ok = b; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(f.client->built());
+}
+
+TEST(Circuit, WrongExtendKeyFailsBuild) {
+  Fixture f(3);
+  crypto::ChaChaRng rng(9);
+  auto bogus = hpke::KeyPair::generate(rng);
+  auto path = f.path();
+  path[2].public_key = bogus.public_key;
+  bool called = false;
+  f.client->build_circuit(path, f.sim, [&](bool) { called = true; });
+  f.sim.run();
+  EXPECT_FALSE(f.client->built());
+  EXPECT_FALSE(called);
+}
+
+TEST(Circuit, GarbageCellsDropped) {
+  Fixture f(1);
+  ASSERT_TRUE(f.build());
+  // Random cell-sized junk and a truncated cell.
+  f.sim.send(net::Packet{"10.0.0.1", "or1", Bytes(kCellSize, 0xab),
+                         f.sim.new_context(), "circuit"});
+  f.sim.send(net::Packet{"10.0.0.1", "or1", Bytes(17, 0xab),
+                         f.sim.new_context(), "circuit"});
+  f.sim.run();
+  // The relay survives and the circuit still works.
+  std::string got;
+  f.client->send_data("web.example", to_bytes("still alive"), f.sim,
+                      [&](const Bytes& r) { got = to_string(r); });
+  f.sim.run();
+  EXPECT_EQ(got, "echo:still alive");
+}
+
+TEST(Circuit, TwoClientsShareRelays) {
+  Fixture f(3);
+  f.book.set("10.0.0.2", core::sensitive_identity("user:bob", "network"));
+  CircuitClient bob("10.0.0.2", "user:bob", f.log, 77);
+  f.sim.add_node(bob);
+
+  ASSERT_TRUE(f.build());
+  bool bob_ok = false;
+  bob.build_circuit(f.path(), f.sim, [&](bool b) { bob_ok = b; });
+  f.sim.run();
+  ASSERT_TRUE(bob_ok);
+  for (auto& r : f.relays) EXPECT_EQ(r->circuits_active(), 2u);
+
+  std::string a_got, b_got;
+  f.client->send_data("web.example", to_bytes("from-alice"), f.sim,
+                      [&](const Bytes& r) { a_got = to_string(r); });
+  bob.send_data("web.example", to_bytes("from-bob"), f.sim,
+                [&](const Bytes& r) { b_got = to_string(r); });
+  f.sim.run();
+  EXPECT_EQ(a_got, "echo:from-alice");
+  EXPECT_EQ(b_got, "echo:from-bob");
+}
+
+}  // namespace
+}  // namespace dcpl::systems::mixnet

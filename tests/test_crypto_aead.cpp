@@ -1,0 +1,188 @@
+// ChaCha20, Poly1305, and ChaCha20-Poly1305 AEAD vectors from RFC 8439.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/csprng.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace dcpl::crypto {
+namespace {
+
+const char* kSunscreen =
+    "Ladies and Gentlemen of the class of '99: If I could offer you "
+    "only one tip for the future, sunscreen would be it.";
+
+// RFC 8439 §2.3.2: first block with the test key/nonce/counter.
+TEST(ChaCha20, BlockFunctionVector) {
+  Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = from_hex("000000090000004a00000000");
+  auto block = chacha20_block(key, 1, nonce);
+  EXPECT_EQ(
+      to_hex(BytesView(block.data(), block.size())),
+      "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2: full encryption vector.
+TEST(ChaCha20, EncryptionVector) {
+  Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = from_hex("000000000000004a00000000");
+  Bytes ct = chacha20_xor(key, 1, nonce, to_bytes(kSunscreen));
+  EXPECT_EQ(
+      to_hex(ct),
+      "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+      "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+      "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+      "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  XoshiroRng rng(1);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  for (std::size_t len : {0u, 1u, 63u, 64u, 65u, 200u}) {
+    Bytes pt = rng.bytes(len);
+    Bytes ct = chacha20_xor(key, 7, nonce, pt);
+    EXPECT_EQ(chacha20_xor(key, 7, nonce, ct), pt) << "len=" << len;
+    if (len > 0) {
+      EXPECT_NE(ct, pt);
+    }
+  }
+}
+
+TEST(ChaCha20, RejectsBadSizes) {
+  Bytes ok_key(32), ok_nonce(12), msg(4);
+  EXPECT_THROW(chacha20_xor(Bytes(16), 0, ok_nonce, msg),
+               std::invalid_argument);
+  EXPECT_THROW(chacha20_xor(ok_key, 0, Bytes(8), msg), std::invalid_argument);
+}
+
+// RFC 8439 §2.5.2.
+TEST(Poly1305, TagVector) {
+  Bytes key = from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  Bytes tag =
+      poly1305_mac(key, to_bytes("Cryptographic Forum Research Group"));
+  EXPECT_EQ(to_hex(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EmptyMessage) {
+  // With r = 0 the tag equals s (the second key half).
+  Bytes key(32, 0);
+  for (int i = 16; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  Bytes tag = poly1305_mac(key, {});
+  EXPECT_EQ(tag, Bytes(key.begin() + 16, key.end()));
+}
+
+TEST(Poly1305, BlockBoundaryLengths) {
+  XoshiroRng rng(3);
+  Bytes key = rng.bytes(32);
+  // Distinct messages around the 16-byte block boundary yield distinct tags.
+  Bytes prev;
+  for (std::size_t len : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    Bytes tag = poly1305_mac(key, rng.bytes(len));
+    EXPECT_NE(tag, prev);
+    prev = tag;
+  }
+}
+
+// RFC 8439 §2.8.2.
+TEST(Aead, Rfc8439Vector) {
+  Bytes key = from_hex(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  Bytes nonce = from_hex("070000004041424344454647");
+  Bytes aad = from_hex("50515253c0c1c2c3c4c5c6c7");
+
+  Bytes sealed = aead_seal(key, nonce, aad, to_bytes(kSunscreen));
+  EXPECT_EQ(
+      to_hex(sealed),
+      "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+      "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+      "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+      "3ff4def08e4b7a9de576d26586cec64b6116"
+      "1ae10b594f09e26a7e902ecbd0600691");
+
+  auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(to_string(opened.value()), kSunscreen);
+}
+
+TEST(Aead, TamperedCiphertextFails) {
+  ChaChaRng rng(99);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes sealed = aead_seal(key, nonce, to_bytes("aad"), to_bytes("secret"));
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, nonce, to_bytes("aad"), bad).ok()) << i;
+  }
+}
+
+TEST(Aead, WrongAadFails) {
+  ChaChaRng rng(100);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes sealed = aead_seal(key, nonce, to_bytes("aad"), to_bytes("secret"));
+  EXPECT_FALSE(aead_open(key, nonce, to_bytes("AAD"), sealed).ok());
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).ok());
+}
+
+TEST(Aead, WrongKeyOrNonceFails) {
+  ChaChaRng rng(101);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes sealed = aead_seal(key, nonce, {}, to_bytes("secret"));
+  Bytes key2 = key;
+  key2[0] ^= 1;
+  Bytes nonce2 = nonce;
+  nonce2[0] ^= 1;
+  EXPECT_FALSE(aead_open(key2, nonce, {}, sealed).ok());
+  EXPECT_FALSE(aead_open(key, nonce2, {}, sealed).ok());
+}
+
+TEST(Aead, TruncatedInputFails) {
+  ChaChaRng rng(102);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  EXPECT_FALSE(aead_open(key, nonce, {}, Bytes(15)).ok());
+  EXPECT_FALSE(aead_open(key, nonce, {}, Bytes{}).ok());
+}
+
+TEST(Aead, EmptyPlaintextRoundTrip) {
+  ChaChaRng rng(103);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes sealed = aead_seal(key, nonce, to_bytes("hdr"), {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  auto opened = aead_open(key, nonce, to_bytes("hdr"), sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+class AeadRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AeadRoundTrip, SealOpenAtLength) {
+  ChaChaRng rng(GetParam() + 1000);
+  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  Bytes pt = rng.bytes(GetParam());
+  Bytes aad = rng.bytes(GetParam() % 40);
+  Bytes sealed = aead_seal(key, nonce, aad, pt);
+  EXPECT_EQ(sealed.size(), pt.size() + kAeadTagSize);
+  auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AeadRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 255,
+                                           256, 1000, 4096));
+
+TEST(ChaChaRng, DeterministicAndSeedSensitive) {
+  ChaChaRng a(BytesView(to_bytes("seed"))), b(BytesView(to_bytes("seed")));
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+  ChaChaRng c(BytesView(to_bytes("seed2")));
+  EXPECT_NE(a.bytes(100), c.bytes(100));
+}
+
+}  // namespace
+}  // namespace dcpl::crypto

@@ -1,0 +1,140 @@
+// SHA-256 (FIPS 180-4), HMAC-SHA256 (RFC 4231) and HKDF (RFC 5869) vectors.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dcpl::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(Sha256::hash(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, OneMillionAs) {
+  Sha256 ctx;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  auto d = ctx.digest();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  // Feed the same message in every possible split position.
+  Bytes msg = to_bytes("The quick brown fox jumps over the lazy dog.");
+  Bytes expected = Sha256::hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(BytesView(msg).first(split));
+    ctx.update(BytesView(msg).subspan(split));
+    auto d = ctx.digest();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Lengths around the 55/56/64 padding boundaries must all differ and be
+  // stable under re-computation.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    Bytes m(len, 0x5a);
+    EXPECT_EQ(Sha256::hash(m), Sha256::hash(m));
+    Bytes m2(len + 1, 0x5a);
+    EXPECT_NE(Sha256::hash(m), Sha256::hash(m2));
+  }
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: short key.
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // Keys longer than the block size are pre-hashed; equivalent short key.
+  Bytes long_key(100, 0x42);
+  Bytes short_key = Sha256::hash(long_key);
+  Bytes msg = to_bytes("message");
+  EXPECT_EQ(hmac_sha256(long_key, msg), hmac_sha256(short_key, msg));
+}
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = from_hex("000102030405060708090a0b0c");
+  Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+
+  Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: empty salt and info.
+TEST(Hkdf, Rfc5869Case3) {
+  Bytes ikm(22, 0x0b);
+  Bytes prk = hkdf_extract({}, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+  Bytes okm = hkdf_expand(prk, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthLimits) {
+  Bytes prk = hkdf_extract({}, to_bytes("ikm"));
+  EXPECT_EQ(hkdf_expand(prk, {}, 255 * 32).size(), 255u * 32);
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+  EXPECT_TRUE(hkdf_expand(prk, {}, 0).empty());
+}
+
+TEST(Hkdf, PrefixConsistency) {
+  // Shorter outputs are prefixes of longer ones (streaming KDF property).
+  Bytes prk = hkdf_extract(to_bytes("salt"), to_bytes("ikm"));
+  Bytes info = to_bytes("ctx");
+  Bytes long_okm = hkdf_expand(prk, info, 80);
+  for (std::size_t len : {1u, 31u, 32u, 33u, 64u, 79u}) {
+    Bytes short_okm = hkdf_expand(prk, info, len);
+    EXPECT_EQ(short_okm, Bytes(long_okm.begin(),
+                               long_okm.begin() + static_cast<long>(len)));
+  }
+}
+
+}  // namespace
+}  // namespace dcpl::crypto

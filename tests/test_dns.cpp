@@ -1,0 +1,223 @@
+// DNS wire format and zone answering logic.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "dns/zone.hpp"
+
+namespace dcpl::dns {
+namespace {
+
+TEST(DnsNames, CanonicalForm) {
+  EXPECT_EQ(canonical_name("WWW.Example.COM."), "www.example.com");
+  EXPECT_EQ(canonical_name(""), "");
+  EXPECT_EQ(canonical_name("."), "");
+}
+
+TEST(DnsNames, ZoneMembership) {
+  EXPECT_TRUE(name_in_zone("www.example.com", "example.com"));
+  EXPECT_TRUE(name_in_zone("example.com", "example.com"));
+  EXPECT_TRUE(name_in_zone("a.b.example.com", "com"));
+  EXPECT_TRUE(name_in_zone("anything.at.all", ""));  // root
+  EXPECT_FALSE(name_in_zone("example.org", "example.com"));
+  EXPECT_FALSE(name_in_zone("notexample.com", "example.com"));
+}
+
+TEST(DnsNames, ParentDomain) {
+  EXPECT_EQ(parent_domain("www.example.com"), "example.com");
+  EXPECT_EQ(parent_domain("com"), "");
+}
+
+TEST(DnsNames, EncodeNameWireFormat) {
+  Bytes wire = encode_name("www.example.com");
+  Bytes expected = {3, 'w', 'w', 'w', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e',
+                    3, 'c', 'o', 'm', 0};
+  EXPECT_EQ(wire, expected);
+  EXPECT_THROW(encode_name("a..b"), std::invalid_argument);
+  EXPECT_THROW(encode_name(std::string(64, 'x') + ".com"),
+               std::invalid_argument);
+}
+
+TEST(DnsRdata, Ipv4Helpers) {
+  EXPECT_EQ(a_rdata("192.0.2.1"), (Bytes{192, 0, 2, 1}));
+  EXPECT_EQ(rdata_to_ipv4(Bytes{10, 0, 0, 255}), "10.0.0.255");
+  EXPECT_THROW(a_rdata("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(a_rdata("1.2.3.999"), std::invalid_argument);
+}
+
+TEST(DnsRdata, NameHelpers) {
+  Bytes rd = name_rdata("ns1.example.com");
+  auto back = rdata_to_name(rd);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "ns1.example.com");
+}
+
+Message sample_query() {
+  Message q;
+  q.id = 0xbeef;
+  q.recursion_desired = true;
+  q.questions.push_back(Question{"www.example.com", RecordType::kA, kClassIn});
+  return q;
+}
+
+TEST(DnsMessage, QueryRoundTrip) {
+  Message q = sample_query();
+  auto decoded = Message::decode(q.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 0xbeef);
+  EXPECT_FALSE(decoded->is_response);
+  EXPECT_TRUE(decoded->recursion_desired);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].qname, "www.example.com");
+  EXPECT_EQ(decoded->questions[0].qtype, RecordType::kA);
+}
+
+TEST(DnsMessage, ResponseWithAllSectionsRoundTrip) {
+  Message m = sample_query();
+  m.is_response = true;
+  m.authoritative = true;
+  m.recursion_available = true;
+  m.rcode = Rcode::kNxDomain;
+  m.answers.push_back(ResourceRecord{"www.example.com", RecordType::kA,
+                                     kClassIn, 60, a_rdata("192.0.2.7")});
+  m.authorities.push_back(ResourceRecord{"example.com", RecordType::kNs,
+                                         kClassIn, 300,
+                                         name_rdata("ns1.example.com")});
+  m.additionals.push_back(ResourceRecord{"ns1.example.com", RecordType::kA,
+                                         kClassIn, 300, a_rdata("192.0.2.53")});
+  auto d = Message::decode(m.encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->is_response);
+  EXPECT_TRUE(d->authoritative);
+  EXPECT_TRUE(d->recursion_available);
+  EXPECT_EQ(d->rcode, Rcode::kNxDomain);
+  ASSERT_EQ(d->answers.size(), 1u);
+  EXPECT_EQ(rdata_to_ipv4(d->answers[0].rdata), "192.0.2.7");
+  ASSERT_EQ(d->authorities.size(), 1u);
+  EXPECT_EQ(rdata_to_name(d->authorities[0].rdata).value(),
+            "ns1.example.com");
+  ASSERT_EQ(d->additionals.size(), 1u);
+}
+
+TEST(DnsMessage, DecodeRejectsTruncation) {
+  Bytes enc = sample_query().encode();
+  for (std::size_t len = 0; len < enc.size(); ++len) {
+    EXPECT_FALSE(Message::decode(BytesView(enc).first(len)).ok())
+        << "len=" << len;
+  }
+}
+
+TEST(DnsMessage, DecodeHandlesCompressionPointers) {
+  // Hand-build a response where the answer name is a pointer to the
+  // question name at offset 12.
+  Message q = sample_query();
+  Bytes enc = q.encode();
+  // Patch counts: 1 answer.
+  enc[7] = 1;
+  // Append answer: pointer 0xc00c, type A, class IN, ttl 60, rdlen 4, rdata.
+  Bytes answer = {0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00,
+                  0x00, 0x3c, 0x00, 0x04, 192,  0,    2,    1};
+  append(enc, answer);
+  auto d = Message::decode(enc);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->answers.size(), 1u);
+  EXPECT_EQ(d->answers[0].name, "www.example.com");
+  EXPECT_EQ(rdata_to_ipv4(d->answers[0].rdata), "192.0.2.1");
+}
+
+TEST(DnsMessage, DecodeRejectsPointerLoops) {
+  // Question name is a pointer to itself.
+  Bytes enc = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00,
+               0x00, 0x00, 0x00, 0x00,
+               0xc0, 0x0c,  // name: pointer to offset 12 (itself)
+               0x00, 0x01, 0x00, 0x01};
+  EXPECT_FALSE(Message::decode(enc).ok());
+}
+
+Zone example_zone() {
+  Zone z("example.com");
+  z.add_a("www.example.com", "192.0.2.10");
+  z.add_a("www.example.com", "192.0.2.11");
+  z.add_cname("alias.example.com", "www.example.com");
+  z.add_cname("external.example.com", "cdn.other.net");
+  z.add_txt("example.com", "v=spf1 -all");
+  z.delegate("sub.example.com", "ns1.sub.example.com", "192.0.2.53");
+  return z;
+}
+
+Message query_for(std::string_view name, RecordType type = RecordType::kA) {
+  Message q;
+  q.id = 1;
+  q.questions.push_back(Question{std::string(name), type, kClassIn});
+  return q;
+}
+
+TEST(Zone, AnswersExactMatch) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("www.example.com"));
+  EXPECT_TRUE(resp.is_response);
+  EXPECT_TRUE(resp.authoritative);
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_EQ(resp.answers.size(), 2u);
+}
+
+TEST(Zone, FollowsCnameWithinZone) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("alias.example.com"));
+  ASSERT_EQ(resp.answers.size(), 3u);  // CNAME + 2 A records
+  EXPECT_EQ(resp.answers[0].type, RecordType::kCname);
+  EXPECT_EQ(resp.answers[1].type, RecordType::kA);
+}
+
+TEST(Zone, CnameOutOfZoneReturnsJustCname) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("external.example.com"));
+  ASSERT_EQ(resp.answers.size(), 1u);
+  EXPECT_EQ(resp.answers[0].type, RecordType::kCname);
+}
+
+TEST(Zone, ReferralForDelegatedChild) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("deep.sub.example.com"));
+  EXPECT_FALSE(resp.authoritative);
+  EXPECT_TRUE(resp.answers.empty());
+  ASSERT_EQ(resp.authorities.size(), 1u);
+  EXPECT_EQ(resp.authorities[0].type, RecordType::kNs);
+  ASSERT_EQ(resp.additionals.size(), 1u);
+  EXPECT_EQ(rdata_to_ipv4(resp.additionals[0].rdata), "192.0.2.53");
+}
+
+TEST(Zone, NxDomainForMissingName) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("missing.example.com"));
+  EXPECT_EQ(resp.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(resp.answers.empty());
+}
+
+TEST(Zone, NoDataForExistingNameWrongType) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("www.example.com", RecordType::kTxt));
+  EXPECT_EQ(resp.rcode, Rcode::kNoError);
+  EXPECT_TRUE(resp.answers.empty());
+}
+
+TEST(Zone, ServFailForOutOfZoneQuery) {
+  Zone z = example_zone();
+  Message resp = z.answer(query_for("www.other.org"));
+  EXPECT_EQ(resp.rcode, Rcode::kServFail);
+}
+
+TEST(Zone, RejectsOutOfZoneRecords) {
+  Zone z("example.com");
+  EXPECT_THROW(z.add_a("www.other.org", "192.0.2.1"), std::invalid_argument);
+}
+
+TEST(Zone, RootZoneDelegatesTlds) {
+  Zone root("");
+  root.delegate("com", "a.gtld-servers.net", "192.5.6.30");
+  Message resp = root.answer(query_for("www.example.com"));
+  ASSERT_EQ(resp.authorities.size(), 1u);
+  EXPECT_EQ(resp.authorities[0].name, "com");
+}
+
+}  // namespace
+}  // namespace dcpl::dns

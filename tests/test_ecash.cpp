@@ -1,0 +1,185 @@
+// Chaumian e-cash (§3.1.1): withdraw/spend/deposit, double-spend detection,
+// and the paper's T1 table.
+#include "systems/ecash/ecash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/io.hpp"
+#include "core/analysis.hpp"
+
+namespace dcpl::systems::ecash {
+namespace {
+
+struct Fixture {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::unique_ptr<Bank> bank;
+  std::unique_ptr<Seller> seller;
+  std::unique_ptr<Buyer> buyer;
+
+  Fixture() {
+    book.set("bank.example", core::benign_identity("addr:bank.example"));
+    book.set("seller.example", core::benign_identity("addr:seller.example"));
+    book.set("10.0.0.1", core::sensitive_identity("account:alice", "network"));
+    // NOTE: the pseudonym address is deliberately NOT registered — the spend
+    // leg models an anonymous channel.
+
+    bank = std::make_unique<Bank>("bank.example", 1024, log, book, 1);
+    bank->open_account("alice", 10);
+    seller = std::make_unique<Seller>("seller.example", "bank.example",
+                                      bank->public_key(), log, book);
+    buyer = std::make_unique<Buyer>("10.0.0.1", "anon:alpha", "alice",
+                                    "bank.example", bank->public_key(), log, 7);
+    sim.add_node(*bank);
+    sim.add_node(*seller);
+    sim.add_node(*buyer);
+  }
+};
+
+TEST(Ecash, WithdrawMintsValidCoin) {
+  Fixture f;
+  f.buyer->withdraw(f.sim);
+  f.sim.run();
+  ASSERT_EQ(f.buyer->wallet().size(), 1u);
+  EXPECT_EQ(f.bank->coins_issued(), 1u);
+  EXPECT_EQ(f.bank->balance("alice"), 9u);
+  const Coin& coin = f.buyer->wallet()[0];
+  EXPECT_TRUE(crypto::blind_verify(f.bank->public_key(), coin.serial,
+                                   coin.signature));
+}
+
+TEST(Ecash, FullPurchaseFlow) {
+  Fixture f;
+  f.buyer->withdraw(f.sim);
+  f.sim.run();
+  ASSERT_TRUE(f.buyer->spend("seller.example", "a-book", f.sim));
+  f.sim.run();
+  EXPECT_EQ(f.seller->sales_completed(), 1u);
+  EXPECT_EQ(f.bank->deposits_accepted(), 1u);
+  EXPECT_TRUE(f.buyer->wallet().empty());
+}
+
+TEST(Ecash, SpendWithEmptyWalletFails) {
+  Fixture f;
+  EXPECT_FALSE(f.buyer->spend("seller.example", "x", f.sim));
+}
+
+TEST(Ecash, WithdrawBeyondBalanceDenied) {
+  Fixture f;
+  for (int i = 0; i < 12; ++i) f.buyer->withdraw(f.sim);
+  f.sim.run();
+  EXPECT_EQ(f.buyer->wallet().size(), 10u);  // balance was 10
+  EXPECT_EQ(f.bank->balance("alice"), 0u);
+}
+
+TEST(Ecash, UnknownAccountDenied) {
+  Fixture f;
+  Buyer mallory("10.0.0.9", "anon:m", "mallory", "bank.example",
+                f.bank->public_key(), f.log, 9);
+  f.sim.add_node(mallory);
+  mallory.withdraw(f.sim);
+  f.sim.run();
+  EXPECT_TRUE(mallory.wallet().empty());
+  EXPECT_EQ(f.bank->coins_issued(), 0u);
+}
+
+TEST(Ecash, DoubleSpendDetectedAtDeposit) {
+  Fixture f;
+  f.buyer->withdraw(f.sim);
+  f.sim.run();
+  Coin coin = f.buyer->wallet()[0];  // copy before spending
+
+  ASSERT_TRUE(f.buyer->spend("seller.example", "item1", f.sim));
+  f.sim.run();
+  EXPECT_EQ(f.bank->deposits_accepted(), 1u);
+
+  // Replay the same coin directly at the seller (a cheating buyer).
+  ByteWriter w;
+  w.u8(3);  // kSpend
+  w.vec(to_bytes("item2"), 1);
+  w.vec(coin.serial, 1);
+  w.vec(coin.signature, 2);
+  f.sim.send(net::Packet{"anon:alpha", "seller.example", std::move(w).take(),
+                         f.sim.new_context(), "ecash"});
+  f.sim.run();
+  EXPECT_EQ(f.bank->deposits_accepted(), 1u);
+  EXPECT_EQ(f.bank->deposits_rejected(), 1u);
+  EXPECT_EQ(f.seller->sales_completed(), 1u);
+}
+
+TEST(Ecash, ForgedCoinRejectedBySeller) {
+  Fixture f;
+  ByteWriter w;
+  w.u8(3);
+  w.vec(to_bytes("stolen-goods"), 1);
+  w.vec(Bytes(32, 0x41), 1);
+  w.vec(Bytes(128, 0x42), 2);
+  f.sim.send(net::Packet{"anon:evil", "seller.example", std::move(w).take(),
+                         f.sim.new_context(), "ecash"});
+  f.sim.run();
+  EXPECT_EQ(f.seller->coins_rejected(), 1u);
+  EXPECT_EQ(f.bank->deposits_accepted(), 0u);
+}
+
+// Paper table §3.1.1:
+//   Buyer (▲,●)  Signer (▲,⊙)  Verifier (△,⊙/●)  Seller (△,●)
+TEST(Ecash, TableT1TuplesMatchPaper) {
+  Fixture f;
+  f.buyer->withdraw(f.sim);
+  f.sim.run();
+  f.buyer->spend("seller.example", "sensitive-purchase", f.sim);
+  f.sim.run();
+
+  core::DecouplingAnalysis a(f.log);
+  EXPECT_EQ(a.tuple_for("10.0.0.1").to_string(), "(▲, ●)");
+  EXPECT_EQ(a.tuple_for(kSigner).to_string(), "(▲, ⊙)");
+  EXPECT_EQ(a.tuple_for(kVerifier).to_string(), "(△, ⊙/●)");
+  EXPECT_EQ(a.tuple_for("seller.example").to_string(), "(△, ●)");
+  EXPECT_TRUE(a.is_decoupled("10.0.0.1"));
+}
+
+TEST(Ecash, BlindnessSignerNeverSeesSerial) {
+  Fixture f;
+  f.buyer->withdraw(f.sim);
+  f.sim.run();
+  ASSERT_FALSE(f.buyer->wallet().empty());
+  const std::string serial_hex = to_hex(f.buyer->wallet()[0].serial);
+  for (const auto& obs : f.log.for_party(kSigner)) {
+    EXPECT_EQ(obs.atom.label.find(serial_hex), std::string::npos);
+  }
+}
+
+TEST(Ecash, UnlinkabilityNoSharedContextBetweenRoles) {
+  // Even the bank colluding with itself (signer + verifier logs) cannot
+  // couple the account to the purchase: blindness breaks the linkage chain.
+  Fixture f;
+  f.buyer->withdraw(f.sim);
+  f.sim.run();
+  f.buyer->spend("seller.example", "item", f.sim);
+  f.sim.run();
+  core::DecouplingAnalysis a(f.log);
+  EXPECT_FALSE(a.coalition_recouples({kSigner, kVerifier}));
+  EXPECT_FALSE(a.coalition_recouples({kSigner, kVerifier, "seller.example"}));
+}
+
+TEST(Ecash, MultipleBuyersCoinsAllDistinct) {
+  Fixture f;
+  Buyer bob("10.0.0.2", "anon:beta", "bob", "bank.example",
+            f.bank->public_key(), f.log, 8);
+  f.bank->open_account("bob", 5);
+  f.sim.add_node(bob);
+  for (int i = 0; i < 3; ++i) {
+    f.buyer->withdraw(f.sim);
+    bob.withdraw(f.sim);
+  }
+  f.sim.run();
+  std::set<Bytes> serials;
+  for (const auto& c : f.buyer->wallet()) serials.insert(c.serial);
+  for (const auto& c : bob.wallet()) serials.insert(c.serial);
+  EXPECT_EQ(serials.size(), 6u);
+}
+
+}  // namespace
+}  // namespace dcpl::systems::ecash

@@ -1,0 +1,175 @@
+// ECH cautionary tale (§3.3): hides the SNI from the network, not from the
+// terminating server.
+#include "systems/ech/ech.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+
+namespace dcpl::systems::ech {
+namespace {
+
+struct Fixture {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::unique_ptr<TlsServer> server;
+  std::unique_ptr<NetworkTap> tap;
+  std::unique_ptr<TlsClient> client;
+
+  Fixture() {
+    book.set("server.example", core::benign_identity("addr:server.example"));
+    book.set("isp-router", core::benign_identity("addr:isp-router"));
+    book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+    server = std::make_unique<TlsServer>("server.example",
+                                         "public.cdn.example", log, book, 1);
+    tap = std::make_unique<NetworkTap>("isp-router", "server.example", log,
+                                       book);
+    client = std::make_unique<TlsClient>("10.0.0.1", "user:alice", log, 7);
+    sim.add_node(*server);
+    sim.add_node(*tap);
+    sim.add_node(*client);
+  }
+};
+
+TEST(Ech, PlainHandshakeCompletes) {
+  Fixture f;
+  std::string negotiated;
+  f.client->connect("private.example", false, "isp-router", {}, "", f.sim,
+                    [&](const std::string& sni) { negotiated = sni; });
+  f.sim.run();
+  EXPECT_EQ(negotiated, "private.example");
+  EXPECT_EQ(f.server->handshakes(), 1u);
+  EXPECT_EQ(f.tap->inspected(), 1u);
+}
+
+TEST(Ech, EchHandshakeCompletes) {
+  Fixture f;
+  std::string negotiated;
+  f.client->connect("private.example", true, "isp-router",
+                    f.server->ech_key().public_key, f.server->public_name(),
+                    f.sim, [&](const std::string& sni) { negotiated = sni; });
+  f.sim.run();
+  EXPECT_EQ(negotiated, "private.example");
+  EXPECT_EQ(f.client->completed(), 1u);
+}
+
+TEST(Ech, PlainTlsLeaksSniToNetwork) {
+  Fixture f;
+  f.client->connect("private.example", false, "isp-router", {}, "", f.sim);
+  f.sim.run();
+
+  core::DecouplingAnalysis a(f.log);
+  // The network sees who AND what: a full coupling point.
+  EXPECT_EQ(a.tuple_for("isp-router").to_string(), "(▲, ●)");
+  EXPECT_TRUE(a.breach("isp-router").coupled());
+}
+
+TEST(Ech, EchHidesSniFromNetworkOnly) {
+  Fixture f;
+  f.client->connect("private.example", true, "isp-router",
+                    f.server->ech_key().public_key, f.server->public_name(),
+                    f.sim);
+  f.sim.run();
+
+  core::DecouplingAnalysis a(f.log);
+  // Network: identity yes, but only the public cover name (benign).
+  EXPECT_EQ(a.tuple_for("isp-router").to_string(), "(▲, ⊙)");
+  EXPECT_FALSE(a.breach("isp-router").coupled());
+  // The server still couples: ECH does not decouple the endpoint (§3.3).
+  EXPECT_EQ(a.tuple_for("server.example").to_string(), "(▲, ●)");
+  EXPECT_TRUE(a.breach("server.example").coupled());
+  EXPECT_FALSE(a.is_decoupled("10.0.0.1"));
+}
+
+TEST(Ech, NetworkNeverSeesRealSniWithEch) {
+  Fixture f;
+  f.client->connect("private.example", true, "isp-router",
+                    f.server->ech_key().public_key, f.server->public_name(),
+                    f.sim);
+  f.sim.run();
+  for (const auto& obs : f.log.for_party("isp-router")) {
+    EXPECT_EQ(obs.atom.label.find("private.example"), std::string::npos);
+  }
+}
+
+TEST(Ech, CoverNameVisibleToNetwork) {
+  Fixture f;
+  f.client->connect("private.example", true, "isp-router",
+                    f.server->ech_key().public_key, f.server->public_name(),
+                    f.sim);
+  f.sim.run();
+  bool saw_cover = false;
+  for (const auto& obs : f.log.for_party("isp-router")) {
+    if (obs.atom.label == "sni:public.cdn.example") saw_cover = true;
+  }
+  EXPECT_TRUE(saw_cover);
+}
+
+TEST(Ech, WrongEchKeyFallsBackToCoverName) {
+  // Stale/wrong ECH config: per the GREASE-compatible fallback, the server
+  // completes the handshake for the OUTER name; the real SNI stays hidden,
+  // and the client (expecting an encrypted reply) aborts.
+  Fixture f;
+  crypto::ChaChaRng rng(99);
+  auto other = hpke::KeyPair::generate(rng);
+  f.client->connect("private.example", true, "isp-router", other.public_key,
+                    f.server->public_name(), f.sim);
+  f.sim.run();
+  EXPECT_EQ(f.server->handshakes(), 1u);
+  EXPECT_EQ(f.client->completed(), 0u);
+  // The real SNI never reached anyone.
+  for (const auto& party : {"isp-router", "server.example"}) {
+    for (const auto& obs : f.log.for_party(party)) {
+      EXPECT_EQ(obs.atom.label.find("private.example"), std::string::npos);
+    }
+  }
+}
+
+TEST(Ech, GreaseCompletesAndLooksLikeEchOnTheWire) {
+  Fixture f;
+  std::string negotiated;
+  f.client->connect_grease("plain-site.example", "isp-router", f.sim,
+                           [&](const std::string& sni) { negotiated = sni; });
+  f.sim.run();
+  EXPECT_EQ(negotiated, "plain-site.example");
+  EXPECT_EQ(f.server->handshakes(), 1u);
+  EXPECT_EQ(f.client->completed(), 1u);
+}
+
+TEST(Ech, GreaseMakesEchUsersIndistinguishableByFlag) {
+  // The observer's only protocol-level signal is the has_ech flag; with
+  // GREASE every ClientHello carries it, so the flag stops partitioning
+  // users into "hiding something" vs not (the anti-ossification point).
+  Fixture f;
+  std::vector<bool> flags;
+  f.sim.add_wiretap([&](const net::TraceEntry& e) {
+    if (e.dst == "isp-router") flags.push_back(true);  // presence only
+  });
+  f.client->connect("private.example", true, "isp-router",
+                    f.server->ech_key().public_key, f.server->public_name(),
+                    f.sim);
+  f.client->connect_grease("plain-site.example", "isp-router", f.sim);
+  f.sim.run();
+  // Both flows parsed as ECH at the tap: the benign-data sni atoms exist
+  // for both (outer names), sensitive sni for neither... except GREASE
+  // exposes its real name as the outer SNI, by design.
+  std::size_t ech_flagged = 0;
+  for (const auto& obs : f.log.for_party("isp-router")) {
+    if (obs.atom.label.starts_with("sni:")) ++ech_flagged;
+  }
+  EXPECT_EQ(ech_flagged, 2u);
+}
+
+TEST(Ech, GarbageHelloDropped) {
+  Fixture f;
+  f.sim.send(net::Packet{"10.0.0.1", "server.example", Bytes(5, 0xff),
+                         f.sim.new_context(), "tls"});
+  f.sim.run();
+  EXPECT_EQ(f.server->handshakes(), 0u);
+}
+
+}  // namespace
+}  // namespace dcpl::systems::ech

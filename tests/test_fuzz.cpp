@@ -1,0 +1,195 @@
+// Randomized robustness tests: every wire-format parser must fail
+// gracefully (no crash, no throw at the trust boundary) for arbitrary
+// bytes, truncations, and bit-flips of valid messages. Deterministic seeds.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dns/message.hpp"
+#include "http/message.hpp"
+#include "crypto/csprng.hpp"
+#include "systems/channel.hpp"
+
+namespace dcpl {
+namespace {
+
+constexpr int kIterations = 500;
+
+TEST(Fuzz, DnsMessageDecodeNeverCrashes) {
+  XoshiroRng rng(1);
+  for (int i = 0; i < kIterations; ++i) {
+    Bytes junk = rng.bytes(rng.below(200));
+    auto result = dns::Message::decode(junk);  // ok() either way, no crash
+    if (result.ok()) {
+      // If it parsed, re-encoding must not crash either.
+      (void)result->encode();
+    }
+  }
+}
+
+TEST(Fuzz, DnsMessageBitFlips) {
+  XoshiroRng rng(2);
+  dns::Message m;
+  m.id = 7;
+  m.questions.push_back(
+      dns::Question{"www.example.com", dns::RecordType::kA, dns::kClassIn});
+  m.answers.push_back(dns::ResourceRecord{"www.example.com",
+                                          dns::RecordType::kA, dns::kClassIn,
+                                          60, dns::a_rdata("192.0.2.1")});
+  Bytes enc = m.encode();
+  for (int i = 0; i < kIterations; ++i) {
+    Bytes mutated = enc;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    (void)dns::Message::decode(mutated);
+  }
+}
+
+TEST(Fuzz, DnsNameDecompressionBombs) {
+  XoshiroRng rng(3);
+  // Random headers followed by pointer-heavy name data.
+  for (int i = 0; i < kIterations; ++i) {
+    Bytes msg(12, 0);
+    msg[5] = 1;  // one question
+    const std::size_t extra = 2 + rng.below(30);
+    for (std::size_t j = 0; j < extra; ++j) {
+      // Bias toward pointer bytes (0xc0..0xff).
+      msg.push_back(static_cast<std::uint8_t>(0xc0 | rng.below(64)));
+    }
+    msg.push_back(0);
+    msg.push_back(0);
+    msg.push_back(1);
+    msg.push_back(0);
+    msg.push_back(1);
+    (void)dns::Message::decode(msg);
+  }
+}
+
+TEST(Fuzz, HttpRequestDecodeNeverCrashes) {
+  XoshiroRng rng(4);
+  for (int i = 0; i < kIterations; ++i) {
+    (void)http::Request::decode_binary(rng.bytes(rng.below(300)));
+    (void)http::Response::decode_binary(rng.bytes(rng.below(300)));
+  }
+}
+
+TEST(Fuzz, HttpRequestBitFlips) {
+  XoshiroRng rng(5);
+  http::Request req;
+  req.method = "POST";
+  req.authority = "a.example";
+  req.path = "/p";
+  req.headers = {{"K", "V"}};
+  req.body = Bytes(64, 0x42);
+  Bytes enc = req.encode_binary();
+  for (int i = 0; i < kIterations; ++i) {
+    Bytes mutated = enc;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    auto result = http::Request::decode_binary(mutated);
+    if (result.ok()) (void)result->encode_binary();
+  }
+}
+
+TEST(Fuzz, ChannelOpenRequestNeverCrashes) {
+  XoshiroRng rng(6);
+  dcpl::crypto::ChaChaRng crng(6);
+  auto kp = hpke::KeyPair::generate(crng);
+  for (int i = 0; i < 100; ++i) {
+    auto result =
+        systems::open_request(kp, to_bytes("app"), rng.bytes(rng.below(200)));
+    EXPECT_FALSE(result.ok());  // forgery essentially never verifies
+  }
+}
+
+TEST(Fuzz, ChannelOpenResponseNeverCrashes) {
+  XoshiroRng rng(7);
+  Bytes key = rng.bytes(32);
+  for (int i = 0; i < kIterations; ++i) {
+    auto result = systems::open_response(key, rng.bytes(rng.below(100)));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(Fuzz, DnsRoundTripPropertyOnRandomValidMessages) {
+  // Generate random *valid* messages; decode(encode(m)) must reproduce all
+  // semantic fields.
+  XoshiroRng rng(8);
+  auto random_name = [&] {
+    std::string name;
+    const std::size_t labels = 1 + rng.below(4);
+    for (std::size_t l = 0; l < labels; ++l) {
+      if (l) name += '.';
+      const std::size_t len = 1 + rng.below(10);
+      for (std::size_t c = 0; c < len; ++c) {
+        name += static_cast<char>('a' + rng.below(26));
+      }
+    }
+    return name;
+  };
+
+  for (int i = 0; i < 100; ++i) {
+    dns::Message m;
+    m.id = static_cast<std::uint16_t>(rng.u64());
+    m.is_response = rng.below(2);
+    m.recursion_desired = rng.below(2);
+    m.rcode = static_cast<dns::Rcode>(rng.below(4));
+    const std::size_t qs = 1 + rng.below(3);
+    for (std::size_t q = 0; q < qs; ++q) {
+      m.questions.push_back(dns::Question{
+          random_name(), dns::RecordType::kA, dns::kClassIn});
+    }
+    const std::size_t as = rng.below(4);
+    for (std::size_t a = 0; a < as; ++a) {
+      m.answers.push_back(dns::ResourceRecord{
+          random_name(), dns::RecordType::kTxt, dns::kClassIn,
+          static_cast<std::uint32_t>(rng.u64()),
+          rng.bytes(rng.below(40))});
+    }
+
+    auto decoded = dns::Message::decode(m.encode());
+    ASSERT_TRUE(decoded.ok()) << "iteration " << i;
+    EXPECT_EQ(decoded->id, m.id);
+    EXPECT_EQ(decoded->is_response, m.is_response);
+    EXPECT_EQ(decoded->rcode, m.rcode);
+    EXPECT_EQ(decoded->questions, m.questions);
+    EXPECT_EQ(decoded->answers, m.answers);
+  }
+}
+
+TEST(Fuzz, HttpRoundTripPropertyOnRandomValidMessages) {
+  XoshiroRng rng(9);
+  auto random_token = [&](std::size_t max_len) {
+    std::string s;
+    const std::size_t len = rng.below(max_len);
+    for (std::size_t c = 0; c < len; ++c) {
+      s += static_cast<char>('!' + rng.below(90));
+    }
+    return s;
+  };
+
+  for (int i = 0; i < 200; ++i) {
+    http::Request req;
+    req.method = random_token(8);
+    req.authority = random_token(40);
+    req.path = "/" + random_token(60);
+    const std::size_t hs = rng.below(6);
+    for (std::size_t h = 0; h < hs; ++h) {
+      req.headers.emplace_back(random_token(12), random_token(30));
+    }
+    req.body = rng.bytes(rng.below(500));
+
+    auto decoded = http::Request::decode_binary(req.encode_binary());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->method, req.method);
+    EXPECT_EQ(decoded->authority, req.authority);
+    EXPECT_EQ(decoded->path, req.path);
+    EXPECT_EQ(decoded->headers, req.headers);
+    EXPECT_EQ(decoded->body, req.body);
+  }
+}
+
+}  // namespace
+}  // namespace dcpl

@@ -1,0 +1,80 @@
+// Golden wire-format tests: pin the exact bytes of every serialization so
+// accidental format changes (which would silently break interop between a
+// client and server built from different revisions) fail loudly.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "http/message.hpp"
+#include "systems/mixnet/mixnet.hpp"
+
+namespace dcpl {
+namespace {
+
+TEST(Golden, DnsQueryWireBytes) {
+  dns::Message q;
+  q.id = 0x1234;
+  q.recursion_desired = true;
+  q.questions.push_back(
+      dns::Question{"www.example.com", dns::RecordType::kA, dns::kClassIn});
+  EXPECT_EQ(to_hex(q.encode()),
+            "12340100000100000000000003777777076578616d706c6503636f6d00"
+            "00010001");
+}
+
+TEST(Golden, DnsResponseWireBytes) {
+  dns::Message m;
+  m.id = 0x0001;
+  m.is_response = true;
+  m.authoritative = true;
+  m.questions.push_back(
+      dns::Question{"a.b", dns::RecordType::kA, dns::kClassIn});
+  m.answers.push_back(dns::ResourceRecord{"a.b", dns::RecordType::kA,
+                                          dns::kClassIn, 60,
+                                          dns::a_rdata("192.0.2.1")});
+  EXPECT_EQ(to_hex(m.encode()),
+            "00018400000100010000000001610162000001000101610162000001"
+            "00010000003c0004c0000201");
+}
+
+TEST(Golden, HttpRequestWireBytes) {
+  http::Request req;
+  req.method = "GET";
+  req.authority = "a.example";
+  req.path = "/x";
+  req.headers = {{"K", "V"}};
+  req.body = to_bytes("hi");
+  EXPECT_EQ(to_hex(req.encode_binary()),
+            "03474554"                    // method "GET"
+            "0009612e6578616d706c65"      // authority
+            "00022f78"                    // path "/x"
+            "0001" "00014b" "000156"      // 1 header: "K" -> "V"
+            "000000026869");              // body "hi"
+}
+
+TEST(Golden, HttpResponseWireBytes) {
+  http::Response resp;
+  resp.status = 404;
+  resp.body = to_bytes("no");
+  EXPECT_EQ(to_hex(resp.encode_binary()),
+            "0194"            // status 404
+            "0000"            // 0 headers
+            "000000026e6f");  // body "no"
+}
+
+TEST(Golden, ReplyBlockWireBytes) {
+  systems::mixnet::ReplyBlock block;
+  block.first_hop = "mix1";
+  block.header = {0xde, 0xad};
+  EXPECT_EQ(to_hex(block.encode()), "00046d69783100000002dead");
+  auto decoded = systems::mixnet::ReplyBlock::decode(block.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first_hop, "mix1");
+}
+
+TEST(Golden, DnsNameEncoding) {
+  EXPECT_EQ(to_hex(dns::encode_name("a.bc")), "016102626300");
+  EXPECT_EQ(to_hex(dns::encode_name("")), "00");  // root
+}
+
+}  // namespace
+}  // namespace dcpl

@@ -1,0 +1,168 @@
+// Cross-system integration: the §5.1 vision of dynamically stitching
+// decoupled services. A user composes ODoH name resolution with an MPR
+// fetch: the DNS path never learns the browsing, the relay path never
+// learns the DNS identity coupling — and the union of ALL intermediaries'
+// logs still cannot re-couple the user with their destination.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "systems/mpr/mpr.hpp"
+#include "systems/odoh/odoh.hpp"
+
+namespace dcpl::systems {
+namespace {
+
+struct StitchedWorld {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  // DNS side.
+  std::unique_ptr<odoh::AuthorityNode> root;
+  std::unique_ptr<odoh::ResolverNode> target;
+  std::unique_ptr<odoh::OdohProxy> dns_proxy;
+  std::unique_ptr<odoh::StubClient> stub;
+
+  // Web side.
+  std::unique_ptr<mpr::SecureOrigin> origin;
+  std::unique_ptr<mpr::OnionRelay> relay1;
+  std::unique_ptr<mpr::OnionRelay> relay2;
+  std::unique_ptr<mpr::Client> browser;
+
+  StitchedWorld() {
+    for (const char* a :
+         {"198.41.0.4", "target.example", "dns-proxy.example",
+          "relay1.example", "relay2.example", "203.0.113.10"}) {
+      book.set(a, core::benign_identity(std::string("addr:") + a));
+    }
+    book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+    dns::Zone zone("");
+    // The origin's A record: its simulator address IS its IPv4.
+    zone.add_a("shop.example.com", "203.0.113.10");
+    root = std::make_unique<odoh::AuthorityNode>("198.41.0.4",
+                                                 std::move(zone), log, book);
+    target = std::make_unique<odoh::ResolverNode>("target.example",
+                                                  "198.41.0.4", log, book, 2);
+    dns_proxy = std::make_unique<odoh::OdohProxy>(
+        "dns-proxy.example", "target.example", log, book);
+    stub = std::make_unique<odoh::StubClient>("10.0.0.1", "user:alice", log,
+                                              7);
+
+    origin = std::make_unique<mpr::SecureOrigin>(
+        "203.0.113.10",
+        [](const http::Request& req) {
+          http::Response resp;
+          resp.body = to_bytes("shop content " + req.path);
+          return resp;
+        },
+        log, book, 3);
+    relay1 = std::make_unique<mpr::OnionRelay>("relay1.example", log, book, 4);
+    relay2 = std::make_unique<mpr::OnionRelay>("relay2.example", log, book, 5);
+    // NOTE: the browser shares the stub's host (same user), so it gets its
+    // own node address on the same machine.
+    book.set("10.0.0.2", core::sensitive_identity("user:alice", "network"));
+    browser = std::make_unique<mpr::Client>("10.0.0.2", "user:alice", log, 6);
+
+    for (net::Node* n : std::vector<net::Node*>{
+             root.get(), target.get(), dns_proxy.get(), stub.get(),
+             origin.get(), relay1.get(), relay2.get(), browser.get()}) {
+      sim.add_node(*n);
+    }
+  }
+};
+
+TEST(Integration, OdohResolveThenMprFetch) {
+  StitchedWorld w;
+
+  // Step 1: resolve shop.example.com through ODoH.
+  std::string resolved_ip;
+  w.stub->query("shop.example.com", odoh::Mode::kOdoh, "",
+                w.target->key().public_key, "dns-proxy.example", w.sim,
+                [&](const dns::Message& m) {
+                  for (const auto& rr : m.answers) {
+                    if (rr.type == dns::RecordType::kA) {
+                      resolved_ip = dns::rdata_to_ipv4(rr.rdata);
+                    }
+                  }
+                });
+  w.sim.run();
+  ASSERT_EQ(resolved_ip, "203.0.113.10");
+
+  // Step 2: fetch from the resolved address through the 2-hop relay chain.
+  std::vector<mpr::RelayInfo> chain = {
+      {"relay1.example", w.relay1->key().public_key},
+      {"relay2.example", w.relay2->key().public_key}};
+  http::Request req;
+  req.authority = "shop.example.com";
+  req.path = "/basket";
+  std::string body;
+  w.browser->fetch_via_relays(req, chain, resolved_ip,
+                              w.origin->key().public_key, w.sim,
+                              [&](const http::Response& r) {
+                                body = to_string(r.body);
+                              });
+  w.sim.run();
+  EXPECT_EQ(body, "shop content /basket");
+
+  // The composed system remains decoupled for the user (both node addrs).
+  core::DecouplingAnalysis a(w.log);
+  std::vector<core::Party> user = {"10.0.0.1", "10.0.0.2"};
+  EXPECT_TRUE(a.is_decoupled(user));
+
+  // No single intermediary across BOTH systems couples alice to the shop.
+  for (const char* p : {"dns-proxy.example", "target.example",
+                        "relay1.example", "relay2.example", "203.0.113.10"}) {
+    EXPECT_FALSE(a.breach(p).coupled()) << p;
+  }
+
+  // Cross-system coalitions cannot couple: the DNS flow and the web flow
+  // share no linkage contexts (stitching isolates them).
+  EXPECT_FALSE(a.coalition_recouples({"dns-proxy.example", "relay2.example"}));
+  EXPECT_FALSE(a.coalition_recouples({"target.example", "relay1.example"}));
+  // Within each system the known §4.1 collusion thresholds still apply:
+  // the full ODoH pair re-couples, as does the full web relay chain.
+  EXPECT_TRUE(
+      a.coalition_recouples({"dns-proxy.example", "target.example"}));
+  EXPECT_TRUE(a.coalition_recouples({"relay1.example", "relay2.example"}));
+}
+
+TEST(Integration, StitchingBeatsSingleProviderBundling) {
+  // Counterfactual: if ONE organization ran both the DNS proxy and the web
+  // entry relay (the §2.3 centralization concern), its merged logs hold the
+  // user's identity on both paths — and with the respective partners, each
+  // half re-couples. Decoupling requires institutional separation, not just
+  // architectural separation.
+  StitchedWorld w;
+
+  std::string ip;
+  w.stub->query("shop.example.com", odoh::Mode::kOdoh, "",
+                w.target->key().public_key, "dns-proxy.example", w.sim,
+                [&](const dns::Message& m) {
+                  for (const auto& rr : m.answers) {
+                    if (rr.type == dns::RecordType::kA) {
+                      ip = dns::rdata_to_ipv4(rr.rdata);
+                    }
+                  }
+                });
+  w.sim.run();
+  std::vector<mpr::RelayInfo> chain = {
+      {"relay1.example", w.relay1->key().public_key},
+      {"relay2.example", w.relay2->key().public_key}};
+  http::Request req;
+  req.authority = "shop.example.com";
+  w.browser->fetch_via_relays(req, chain, ip, w.origin->key().public_key,
+                              w.sim, nullptr);
+  w.sim.run();
+
+  core::DecouplingAnalysis a(w.log);
+  // "MegaCorp" = dns-proxy + relay1 (the bundled intermediary), colluding
+  // with the dns target: the DNS half re-couples the user's queries.
+  EXPECT_TRUE(a.coalition_recouples(
+      {"dns-proxy.example", "relay1.example", "target.example"}));
+  // Without the bundling, target + relay1 alone do not.
+  EXPECT_FALSE(a.coalition_recouples({"target.example", "relay1.example"}));
+}
+
+}  // namespace
+}  // namespace dcpl::systems

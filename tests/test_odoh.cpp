@@ -1,0 +1,323 @@
+// ODNS/ODoH (§3.2.2): iterative resolution over a simulated hierarchy,
+// Do53/DoH/ODoH modes, caching, and the paper's T4 table.
+#include "systems/odoh/odoh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+
+namespace dcpl::systems::odoh {
+namespace {
+
+struct Fixture {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::unique_ptr<AuthorityNode> root;
+  std::unique_ptr<AuthorityNode> tld;
+  std::unique_ptr<AuthorityNode> auth;
+  std::unique_ptr<ResolverNode> resolver;  // user's recursive (Do53 / DoH)
+  std::unique_ptr<ResolverNode> target;    // ODoH oblivious target
+  std::unique_ptr<OdohProxy> proxy;
+  std::unique_ptr<StubClient> client;
+
+  Fixture() {
+    for (const char* a : {"198.41.0.4", "192.5.6.30", "192.0.2.53",
+                          "resolver.example", "target.example",
+                          "proxy.example"}) {
+      book.set(a, core::benign_identity(std::string("addr:") + a));
+    }
+
+    dns::Zone root_zone("");
+    root_zone.delegate("com", "a.gtld-servers.net", "192.5.6.30");
+    dns::Zone com_zone("com");
+    com_zone.delegate("example.com", "ns1.example.com", "192.0.2.53");
+    dns::Zone example_zone("example.com");
+    example_zone.add_a("www.example.com", "203.0.113.10");
+    example_zone.add_cname("blog.example.com", "www.example.com");
+    example_zone.add_a("mail.example.com", "203.0.113.25");
+
+    root = std::make_unique<AuthorityNode>("198.41.0.4", std::move(root_zone),
+                                           log, book);
+    tld = std::make_unique<AuthorityNode>("192.5.6.30", std::move(com_zone),
+                                          log, book);
+    auth = std::make_unique<AuthorityNode>("192.0.2.53",
+                                           std::move(example_zone), log, book);
+    resolver = std::make_unique<ResolverNode>("resolver.example", "198.41.0.4",
+                                              log, book, 1);
+    target = std::make_unique<ResolverNode>("target.example", "198.41.0.4",
+                                            log, book, 2);
+    proxy = std::make_unique<OdohProxy>("proxy.example", "target.example", log,
+                                        book);
+    book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+    client = std::make_unique<StubClient>("10.0.0.1", "user:alice", log, 7);
+
+    sim.add_node(*root);
+    sim.add_node(*tld);
+    sim.add_node(*auth);
+    sim.add_node(*resolver);
+    sim.add_node(*target);
+    sim.add_node(*proxy);
+    sim.add_node(*client);
+  }
+
+  std::string resolve(const std::string& name, Mode mode) {
+    std::string result = "<none>";
+    const auto& key = (mode == Mode::kOdoh ? target : resolver)->key();
+    client->query(name, mode, mode == Mode::kOdoh ? "" : "resolver.example",
+                  key.public_key, "proxy.example", sim,
+                  [&](const dns::Message& m) {
+                    for (const auto& rr : m.answers) {
+                      if (rr.type == dns::RecordType::kA) {
+                        result = dns::rdata_to_ipv4(rr.rdata);
+                      }
+                    }
+                    if (m.rcode == dns::Rcode::kNxDomain) result = "<nxdomain>";
+                  });
+    sim.run();
+    return result;
+  }
+};
+
+TEST(Odoh, Do53ResolvesThroughHierarchy) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kDo53), "203.0.113.10");
+  // Root, TLD, and authoritative all answered once.
+  EXPECT_EQ(f.root->queries_answered(), 1u);
+  EXPECT_EQ(f.tld->queries_answered(), 1u);
+  EXPECT_EQ(f.auth->queries_answered(), 1u);
+}
+
+TEST(Odoh, CnameChased) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("blog.example.com", Mode::kDo53), "203.0.113.10");
+}
+
+TEST(Odoh, NxDomainPropagates) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("missing.example.com", Mode::kDo53), "<nxdomain>");
+}
+
+TEST(Odoh, CacheServesRepeatQueries) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kDo53), "203.0.113.10");
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kDo53), "203.0.113.10");
+  EXPECT_EQ(f.resolver->cache_hits(), 1u);
+  EXPECT_EQ(f.root->queries_answered(), 1u);  // no second walk
+}
+
+TEST(Odoh, DohResolves) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kDoh), "203.0.113.10");
+}
+
+TEST(Odoh, OdohResolvesViaProxy) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kOdoh), "203.0.113.10");
+  EXPECT_EQ(f.proxy->forwarded(), 1u);
+  EXPECT_EQ(f.resolver->resolutions(), 0u);  // user's resolver not involved
+  EXPECT_EQ(f.target->resolutions(), 1u);
+}
+
+// Paper table §3.2.2 (proxy = the paper's "Resolver" column, target = the
+// "Oblivious Resolver"): Client (▲,●), Proxy (▲,⊙), Target (△,⊙/●).
+TEST(Odoh, TableT4TuplesMatchPaper) {
+  Fixture f;
+  f.resolve("www.example.com", Mode::kOdoh);
+
+  core::DecouplingAnalysis a(f.log);
+  EXPECT_EQ(a.tuple_for("10.0.0.1").to_string(), "(▲, ●)");
+  EXPECT_EQ(a.tuple_for("proxy.example").to_string(), "(▲, ⊙)");
+  EXPECT_EQ(a.tuple_for("target.example").to_string(), "(△, ⊙/●)");
+  EXPECT_TRUE(a.is_decoupled("10.0.0.1"));
+}
+
+TEST(Odoh, Do53ResolverSeesEverything) {
+  Fixture f;
+  f.resolve("www.example.com", Mode::kDo53);
+  core::DecouplingAnalysis a(f.log);
+  // The classic recursive resolver couples who with what: (▲, ⊙/●).
+  auto t = a.tuple_for("resolver.example");
+  EXPECT_TRUE(t.sensitive_identity);
+  EXPECT_TRUE(t.sensitive_data);
+  EXPECT_FALSE(a.is_decoupled("10.0.0.1"));
+}
+
+TEST(Odoh, DohEncryptsInTransitButDoesNotDecouple) {
+  // DoH hides the query from the network, yet the resolver still holds
+  // (▲, ●) — the §3.3 lesson generalized.
+  Fixture f;
+  f.resolve("www.example.com", Mode::kDoh);
+  core::DecouplingAnalysis a(f.log);
+  auto t = a.tuple_for("resolver.example");
+  EXPECT_TRUE(t.sensitive_identity);
+  EXPECT_TRUE(t.sensitive_data);
+  EXPECT_FALSE(a.is_decoupled("10.0.0.1"));
+}
+
+TEST(Odoh, ProxyNeverSeesQueryName) {
+  Fixture f;
+  f.resolve("www.example.com", Mode::kOdoh);
+  for (const auto& obs : f.log.for_party("proxy.example")) {
+    EXPECT_EQ(obs.atom.label.find("example.com"), std::string::npos);
+    EXPECT_NE(obs.atom.kind, core::AtomKind::kSensitiveData);
+  }
+}
+
+TEST(Odoh, TargetNeverSeesClientAddress) {
+  Fixture f;
+  f.resolve("www.example.com", Mode::kOdoh);
+  for (const auto& obs : f.log.for_party("target.example")) {
+    EXPECT_EQ(obs.atom.label.find("10.0.0.1"), std::string::npos);
+    EXPECT_EQ(obs.atom.label.find("alice"), std::string::npos);
+    EXPECT_NE(obs.atom.kind, core::AtomKind::kSensitiveIdentity);
+  }
+}
+
+TEST(Odoh, ProxyTargetCollusionRecouples) {
+  Fixture f;
+  f.resolve("www.example.com", Mode::kOdoh);
+  core::DecouplingAnalysis a(f.log);
+  EXPECT_FALSE(a.breach("proxy.example").coupled());
+  EXPECT_FALSE(a.breach("target.example").coupled());
+  EXPECT_TRUE(
+      a.coalition_recouples({"proxy.example", "target.example"}));
+}
+
+TEST(Odoh, GarbageQueriesDropped) {
+  Fixture f;
+  f.sim.send(net::Packet{"10.0.0.1", "resolver.example", Bytes(40, 0x5a),
+                         f.sim.new_context(), "dns"});
+  f.sim.send(net::Packet{"10.0.0.1", "resolver.example", Bytes(40, 0x5a),
+                         f.sim.new_context(), "doh"});
+  f.sim.run();
+  EXPECT_EQ(f.resolver->resolutions(), 0u);
+}
+
+TEST(Odoh, ConcurrentQueriesFromManyClients) {
+  Fixture f;
+  std::vector<std::unique_ptr<StubClient>> clients;
+  int answered = 0;
+  for (int i = 0; i < 6; ++i) {
+    std::string addr = "10.0.2." + std::to_string(i + 1);
+    f.book.set(addr, core::sensitive_identity("user:u" + std::to_string(i),
+                                              "network"));
+    clients.push_back(std::make_unique<StubClient>(
+        addr, "user:u" + std::to_string(i), f.log, 300 + i));
+    f.sim.add_node(*clients.back());
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    clients[i]->query(i % 2 == 0 ? "www.example.com" : "mail.example.com",
+                      Mode::kOdoh, "", f.target->key().public_key,
+                      "proxy.example", f.sim,
+                      [&](const dns::Message&) { ++answered; });
+  }
+  f.sim.run();
+  EXPECT_EQ(answered, 6);
+}
+
+
+TEST(Odoh, QnameMinimizationStillResolves) {
+  Fixture f;
+  f.resolver->set_qname_minimization(true);
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kDo53), "203.0.113.10");
+  EXPECT_EQ(f.resolve("blog.example.com", Mode::kDo53), "203.0.113.10");
+  EXPECT_EQ(f.resolve("missing.example.com", Mode::kDo53), "<nxdomain>");
+}
+
+TEST(Odoh, QnameMinimizationHidesFullNameFromRootAndTld) {
+  Fixture f;
+  f.resolver->set_qname_minimization(true);
+  f.resolve("www.example.com", Mode::kDo53);
+  // Root saw only "com"; TLD saw only "example.com".
+  for (const auto& obs : f.log.for_party("198.41.0.4")) {
+    if (!obs.atom.label.starts_with("query:")) continue;
+    EXPECT_EQ(obs.atom.label, "query:com");
+  }
+  for (const auto& obs : f.log.for_party("192.5.6.30")) {
+    if (!obs.atom.label.starts_with("query:")) continue;
+    EXPECT_EQ(obs.atom.label, "query:example.com");
+  }
+  // The leaf authority must still see the full name (it answers it).
+  bool auth_saw_full = false;
+  for (const auto& obs : f.log.for_party("192.0.2.53")) {
+    if (obs.atom.label == "query:www.example.com") auth_saw_full = true;
+  }
+  EXPECT_TRUE(auth_saw_full);
+}
+
+TEST(Odoh, WithoutMinimizationRootSeesFullName) {
+  Fixture f;
+  f.resolve("www.example.com", Mode::kDo53);
+  bool root_saw_full = false;
+  for (const auto& obs : f.log.for_party("198.41.0.4")) {
+    if (obs.atom.label == "query:www.example.com") root_saw_full = true;
+  }
+  EXPECT_TRUE(root_saw_full);
+}
+
+TEST(Odoh, QnameMinimizationWithDeepName) {
+  // a.b.example.com forces the minimized walk to reveal label by label at
+  // the example.com authority.
+  Fixture f;
+  f.auth->zone().add_a("a.b.example.com", "203.0.113.99");
+  f.resolver->set_qname_minimization(true);
+  EXPECT_EQ(f.resolve("a.b.example.com", Mode::kDo53), "203.0.113.99");
+}
+
+TEST(Odoh, QnameMinimizationComposesWithOdoh) {
+  Fixture f;
+  f.target->set_qname_minimization(true);
+  EXPECT_EQ(f.resolve("www.example.com", Mode::kOdoh), "203.0.113.10");
+  core::DecouplingAnalysis a(f.log);
+  EXPECT_TRUE(a.is_decoupled("10.0.0.1"));
+  // Defense in depth: neither the proxy, nor the root, sees the full story.
+  for (const auto& obs : f.log.for_party("198.41.0.4")) {
+    if (!obs.atom.label.starts_with("query:")) continue;
+    EXPECT_EQ(obs.atom.label.find("www"), std::string::npos);
+  }
+}
+
+
+TEST(Odoh, CacheExpiresAfterTtl) {
+  Fixture f;
+  f.auth->zone().add_a("shortttl.example.com", "203.0.113.77", /*ttl=*/1);
+  EXPECT_EQ(f.resolve("shortttl.example.com", Mode::kDo53), "203.0.113.77");
+  const std::size_t walks_before = f.root->queries_answered();
+
+  // Within the TTL: served from cache.
+  EXPECT_EQ(f.resolve("shortttl.example.com", Mode::kDo53), "203.0.113.77");
+  EXPECT_EQ(f.root->queries_answered(), walks_before);
+  EXPECT_EQ(f.resolver->cache_hits(), 1u);
+
+  // Jump past the 1-second TTL and query again: full re-walk.
+  f.sim.at(f.sim.now() + 2'000'000, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.resolve("shortttl.example.com", Mode::kDo53), "203.0.113.77");
+  EXPECT_EQ(f.root->queries_answered(), walks_before + 1);
+}
+
+
+TEST(Odoh, NegativeCachingSuppressesRepeatedMisses) {
+  Fixture f;
+  EXPECT_EQ(f.resolve("missing.example.com", Mode::kDo53), "<nxdomain>");
+  const std::size_t walks = f.root->queries_answered();
+  EXPECT_EQ(f.resolve("missing.example.com", Mode::kDo53), "<nxdomain>");
+  EXPECT_EQ(f.root->queries_answered(), walks);  // served from negative cache
+  EXPECT_EQ(f.resolver->cache_hits(), 1u);
+}
+
+TEST(Odoh, NegativeCacheExpires) {
+  Fixture f;
+  f.resolver->set_negative_ttl(1);  // 1 second
+  EXPECT_EQ(f.resolve("missing.example.com", Mode::kDo53), "<nxdomain>");
+  const std::size_t walks = f.root->queries_answered();
+  f.sim.at(f.sim.now() + 2'000'000, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.resolve("missing.example.com", Mode::kDo53), "<nxdomain>");
+  EXPECT_GT(f.root->queries_answered(), walks);
+}
+
+}  // namespace
+}  // namespace dcpl::systems::odoh

@@ -1,0 +1,200 @@
+// RSA keygen/raw ops, EMSA-PSS, RSASSA-PSS, and blind signatures.
+#include <gtest/gtest.h>
+
+#include "crypto/blind_rsa.hpp"
+#include "crypto/csprng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace dcpl::crypto {
+namespace {
+
+// Key generation is the slow part; share one key across the suite.
+const RsaPrivateKey& test_key() {
+  static const RsaPrivateKey key = [] {
+    ChaChaRng rng(0x5151);
+    return rsa_generate(1024, rng);
+  }();
+  return key;
+}
+
+TEST(Rsa, KeyHasExpectedShape) {
+  const auto& key = test_key();
+  EXPECT_EQ(key.pub.modulus_bits(), 1024u);
+  EXPECT_EQ(key.pub.e, BigInt(65537));
+  EXPECT_EQ(key.p * key.q, key.pub.n);
+  EXPECT_NE(key.p, key.q);
+}
+
+TEST(Rsa, RawRoundTrip) {
+  const auto& key = test_key();
+  ChaChaRng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    BigInt m = BigInt::random_below(key.pub.n, rng);
+    BigInt c = rsa_public_op(key.pub, m);
+    EXPECT_EQ(rsa_private_op(key, c), m);
+    // And the other direction (sign then verify).
+    BigInt s = rsa_private_op(key, m);
+    EXPECT_EQ(rsa_public_op(key.pub, s), m);
+  }
+}
+
+TEST(Rsa, CrtMatchesPlainExponentiation) {
+  const auto& key = test_key();
+  ChaChaRng rng(2);
+  BigInt c = BigInt::random_below(key.pub.n, rng);
+  EXPECT_EQ(rsa_private_op(key, c), c.mod_exp(key.d, key.pub.n));
+}
+
+TEST(Rsa, RawOpsRejectOutOfRange) {
+  const auto& key = test_key();
+  EXPECT_THROW(rsa_public_op(key.pub, key.pub.n), std::invalid_argument);
+  EXPECT_THROW(rsa_private_op(key, key.pub.n + BigInt(1)),
+               std::invalid_argument);
+}
+
+TEST(Mgf1, KnownProperties) {
+  // MGF1 output is deterministic, prefix-consistent, and length-exact.
+  Bytes seed = to_bytes("seed");
+  Bytes m40 = mgf1_sha256(seed, 40);
+  Bytes m20 = mgf1_sha256(seed, 20);
+  EXPECT_EQ(m40.size(), 40u);
+  EXPECT_EQ(Bytes(m40.begin(), m40.begin() + 20), m20);
+  EXPECT_NE(mgf1_sha256(to_bytes("seed2"), 40), m40);
+  EXPECT_TRUE(mgf1_sha256(seed, 0).empty());
+}
+
+TEST(Pss, EncodeVerifyRoundTrip) {
+  ChaChaRng rng(3);
+  Bytes msg = to_bytes("attack at dawn");
+  for (std::size_t em_bits : {1023u, 1024u, 2047u}) {
+    Bytes em = pss_encode(msg, em_bits, rng);
+    EXPECT_EQ(em.size(), (em_bits + 7) / 8);
+    EXPECT_TRUE(pss_verify(msg, em, em_bits));
+    EXPECT_FALSE(pss_verify(to_bytes("attack at dusk"), em, em_bits));
+  }
+}
+
+TEST(Pss, VerifyRejectsMalformedEncodings) {
+  ChaChaRng rng(4);
+  Bytes msg = to_bytes("m");
+  Bytes em = pss_encode(msg, 1023, rng);
+  // Wrong trailer byte.
+  Bytes bad = em;
+  bad.back() = 0xcc;
+  EXPECT_FALSE(pss_verify(msg, bad, 1023));
+  // Flipped hash byte.
+  bad = em;
+  bad[em.size() - 2] ^= 1;
+  EXPECT_FALSE(pss_verify(msg, bad, 1023));
+  // Wrong length.
+  EXPECT_FALSE(pss_verify(msg, BytesView(em).first(em.size() - 1), 1023));
+  // Top bits not cleared.
+  bad = em;
+  bad[0] |= 0x80;
+  EXPECT_FALSE(pss_verify(msg, bad, 1023));
+}
+
+TEST(Pss, SaltRandomizesEncoding) {
+  ChaChaRng rng(5);
+  Bytes msg = to_bytes("same message");
+  Bytes em1 = pss_encode(msg, 1023, rng);
+  Bytes em2 = pss_encode(msg, 1023, rng);
+  EXPECT_NE(em1, em2);  // fresh salt each time
+  EXPECT_TRUE(pss_verify(msg, em1, 1023));
+  EXPECT_TRUE(pss_verify(msg, em2, 1023));
+}
+
+TEST(RsaPss, SignVerify) {
+  const auto& key = test_key();
+  ChaChaRng rng(6);
+  Bytes msg = to_bytes("hello pss");
+  Bytes sig = rsa_pss_sign(key, msg, rng);
+  EXPECT_EQ(sig.size(), key.pub.modulus_bytes());
+  EXPECT_TRUE(rsa_pss_verify(key.pub, msg, sig));
+  EXPECT_FALSE(rsa_pss_verify(key.pub, to_bytes("hello PSS"), sig));
+  Bytes bad = sig;
+  bad[10] ^= 1;
+  EXPECT_FALSE(rsa_pss_verify(key.pub, msg, bad));
+  EXPECT_FALSE(rsa_pss_verify(key.pub, msg, Bytes(sig.size() - 1)));
+}
+
+TEST(RsaPss, VerifyRejectsSignatureGeN) {
+  const auto& key = test_key();
+  Bytes too_big = key.pub.n.to_bytes_be(key.pub.modulus_bytes());
+  EXPECT_FALSE(rsa_pss_verify(key.pub, to_bytes("m"), too_big));
+}
+
+TEST(BlindRsa, FullProtocolRoundTrip) {
+  const auto& key = test_key();
+  ChaChaRng rng(7);
+  Bytes msg = to_bytes("token-nonce-123");
+
+  BlindingState state = blind(key.pub, msg, rng);
+  EXPECT_EQ(state.blinded_message.size(), key.pub.modulus_bytes());
+
+  auto blind_sig = blind_sign(key, state.blinded_message);
+  ASSERT_TRUE(blind_sig.ok());
+
+  auto sig = finalize(key.pub, msg, state, blind_sig.value());
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(blind_verify(key.pub, msg, sig.value()));
+  EXPECT_FALSE(blind_verify(key.pub, to_bytes("token-nonce-124"), sig.value()));
+}
+
+TEST(BlindRsa, BlindedMessageHidesMessage) {
+  // The same message blinded twice yields unrelated blinded values, and
+  // neither equals the PSS encoding itself: the signer learns nothing.
+  const auto& key = test_key();
+  ChaChaRng rng(8);
+  Bytes msg = to_bytes("the same message");
+  BlindingState s1 = blind(key.pub, msg, rng);
+  BlindingState s2 = blind(key.pub, msg, rng);
+  EXPECT_NE(s1.blinded_message, s2.blinded_message);
+}
+
+TEST(BlindRsa, SignaturesFromDistinctBlindingsBothVerify) {
+  const auto& key = test_key();
+  ChaChaRng rng(9);
+  Bytes msg = to_bytes("msg");
+  BlindingState s1 = blind(key.pub, msg, rng);
+  BlindingState s2 = blind(key.pub, msg, rng);
+  auto sig1 = finalize(key.pub, msg, s1, blind_sign(key, s1.blinded_message).value());
+  auto sig2 = finalize(key.pub, msg, s2, blind_sign(key, s2.blinded_message).value());
+  ASSERT_TRUE(sig1.ok());
+  ASSERT_TRUE(sig2.ok());
+  EXPECT_TRUE(blind_verify(key.pub, msg, sig1.value()));
+  EXPECT_TRUE(blind_verify(key.pub, msg, sig2.value()));
+}
+
+TEST(BlindRsa, ServerRejectsMalformedBlindedMessage) {
+  const auto& key = test_key();
+  EXPECT_FALSE(blind_sign(key, Bytes(7)).ok());
+  Bytes too_big = key.pub.n.to_bytes_be(key.pub.modulus_bytes());
+  EXPECT_FALSE(blind_sign(key, too_big).ok());
+}
+
+TEST(BlindRsa, FinalizeRejectsGarbageSignature) {
+  const auto& key = test_key();
+  ChaChaRng rng(10);
+  Bytes msg = to_bytes("msg");
+  BlindingState state = blind(key.pub, msg, rng);
+  Bytes garbage(key.pub.modulus_bytes(), 0x41);
+  EXPECT_FALSE(finalize(key.pub, msg, state, garbage).ok());
+  EXPECT_FALSE(finalize(key.pub, msg, state, Bytes(3)).ok());
+}
+
+TEST(BlindRsa, WrongKeySignatureRejected) {
+  const auto& key = test_key();
+  ChaChaRng rng(11);
+  RsaPrivateKey other = rsa_generate(512, rng);
+  Bytes msg = to_bytes("msg");
+  BlindingState state = blind(key.pub, msg, rng);
+  auto sig = blind_sign(key, state.blinded_message);
+  ASSERT_TRUE(sig.ok());
+  auto fin = finalize(key.pub, msg, state, sig.value());
+  ASSERT_TRUE(fin.ok());
+  EXPECT_FALSE(blind_verify(other.pub, msg, fin.value()));
+}
+
+}  // namespace
+}  // namespace dcpl::crypto

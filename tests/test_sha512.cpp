@@ -1,0 +1,128 @@
+// SHA-512/SHA-384 with derived constants. The constant generator is
+// cross-validated against SHA-256's well-known 32-bit tables, then the
+// digests against the official FIPS 180-4 vectors.
+#include "crypto/sha512.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcpl::crypto {
+namespace {
+
+TEST(Sha2Constants, FirstPrimes) {
+  auto p = first_primes(10);
+  EXPECT_EQ(p, (std::vector<std::uint64_t>{2, 3, 5, 7, 11, 13, 17, 19, 23,
+                                           29}));
+  EXPECT_EQ(first_primes(80).back(), 409u);
+}
+
+// The generator must reproduce SHA-256's hardcoded tables (FIPS 180-4
+// §4.2.2/§5.3.3) when asked for 32 fractional bits.
+TEST(Sha2Constants, GeneratorReproducesSha256RoundConstants) {
+  const std::uint32_t expected_first8[] = {0x428a2f98, 0x71374491, 0xb5c0fbcf,
+                                           0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+                                           0x923f82a4, 0xab1c5ed5};
+  auto primes = first_primes(64);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(frac_cbrt_bits(primes[i], 32), expected_first8[i]) << i;
+  }
+  // And the last one: K[63] = 0xc67178f2 (prime 311).
+  EXPECT_EQ(frac_cbrt_bits(primes[63], 32), 0xc67178f2u);
+}
+
+TEST(Sha2Constants, GeneratorReproducesSha256InitialValues) {
+  const std::uint32_t expected[] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+  auto primes = first_primes(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(frac_sqrt_bits(primes[i], 32), expected[i]) << i;
+  }
+}
+
+TEST(Sha2Constants, Known64BitValues) {
+  // SHA-512's first round constant and first IV word are well known.
+  EXPECT_EQ(frac_cbrt_bits(2, 64), 0x428a2f98d728ae22ULL);
+  EXPECT_EQ(frac_sqrt_bits(2, 64), 0x6a09e667f3bcc908ULL);
+}
+
+// FIPS 180-4 / NIST example vectors.
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(to_hex(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(to_hex(Sha512::hash(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha384, Abc) {
+  EXPECT_EQ(to_hex(Sha384::hash(to_bytes("abc"))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  Bytes msg = to_bytes(
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
+  // NIST two-block vector for SHA-512.
+  EXPECT_EQ(to_hex(Sha512::hash(msg)),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+  for (std::size_t split = 0; split <= msg.size(); split += 13) {
+    Sha512 ctx;
+    ctx.update(BytesView(msg).first(split));
+    ctx.update(BytesView(msg).subspan(split));
+    auto d = ctx.digest();
+    EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+              to_hex(Sha512::hash(msg)));
+  }
+}
+
+TEST(Sha512, PaddingBoundaries) {
+  for (std::size_t len : {110u, 111u, 112u, 113u, 127u, 128u, 129u, 239u,
+                          240u, 241u}) {
+    Bytes m(len, 0x61);
+    EXPECT_EQ(Sha512::hash(m), Sha512::hash(m));
+    Bytes m2(len + 1, 0x61);
+    EXPECT_NE(Sha512::hash(m), Sha512::hash(m2));
+  }
+}
+
+TEST(Sha512, MillionAs) {
+  Sha512 ctx;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  auto d = ctx.digest();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+// RFC 4231 test case 1 and 2 for HMAC-SHA512.
+TEST(HmacSha512, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha512(key, to_bytes("Hi There"))),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+            "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
+}
+
+TEST(HmacSha512, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha512(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"))),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554"
+            "9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737");
+}
+
+TEST(HmacSha512, LongKeyIsHashedFirst) {
+  Bytes long_key(200, 0x42);
+  Bytes short_key = Sha512::hash(long_key);
+  Bytes msg = to_bytes("message");
+  EXPECT_EQ(hmac_sha512(long_key, msg), hmac_sha512(short_key, msg));
+}
+
+}  // namespace
+}  // namespace dcpl::crypto

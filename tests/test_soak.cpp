@@ -1,0 +1,229 @@
+// Soak test: a mixed city of systems sharing one simulator — OHTTP
+// browsing, mix-net messaging, Privacy Pass redemptions, and PPM telemetry
+// running concurrently. Checks global correctness, the combined decoupling
+// verdict, and bit-exact determinism across runs.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "crypto/sha256.hpp"
+#include "systems/mixnet/mixnet.hpp"
+#include "systems/ohttp/ohttp.hpp"
+#include "systems/ppm/ppm.hpp"
+#include "systems/privacypass/privacypass.hpp"
+
+namespace dcpl::systems {
+namespace {
+
+struct City {
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  // OHTTP estate.
+  std::unique_ptr<ohttp::OriginServer> web_origin;
+  std::unique_ptr<ohttp::Gateway> gateway;
+  std::unique_ptr<ohttp::Relay> relay;
+  std::vector<std::unique_ptr<ohttp::Client>> browsers;
+
+  // Mix-net estate.
+  std::vector<std::unique_ptr<mixnet::MixNode>> mixes;
+  std::unique_ptr<mixnet::Receiver> dropbox;
+  std::vector<std::unique_ptr<mixnet::Sender>> whistleblowers;
+
+  // Privacy Pass estate.
+  std::unique_ptr<privacypass::Issuer> issuer;
+  std::unique_ptr<privacypass::Origin> gated_origin;
+  std::vector<std::unique_ptr<privacypass::Client>> pass_clients;
+
+  // PPM estate.
+  std::vector<std::unique_ptr<ppm::Aggregator>> aggs;
+  std::unique_ptr<ppm::Collector> collector;
+  std::vector<std::unique_ptr<ppm::Client>> reporters;
+
+  std::vector<core::Party> users;
+
+  City() {
+    auto benign = [&](const std::string& a) {
+      book.set(a, core::benign_identity("addr:" + a));
+    };
+    auto user_addr = [&](const std::string& a, const std::string& label) {
+      book.set(a, core::sensitive_identity(label, "network"));
+      users.push_back(a);
+    };
+
+    // --- OHTTP ---
+    benign("web.example");
+    benign("gw.example");
+    benign("relay.example");
+    web_origin = std::make_unique<ohttp::OriginServer>(
+        "web.example",
+        [](const http::Request& req) {
+          http::Response resp;
+          resp.body = to_bytes("page " + req.path);
+          return resp;
+        },
+        log, book);
+    gateway = std::make_unique<ohttp::Gateway>("gw.example", log, book, 1);
+    gateway->add_origin("web.example", "web.example");
+    relay = std::make_unique<ohttp::Relay>("relay.example", "gw.example", log,
+                                           book);
+    sim.add_node(*web_origin);
+    sim.add_node(*gateway);
+    sim.add_node(*relay);
+    for (int i = 0; i < 8; ++i) {
+      std::string addr = "10.0.0." + std::to_string(i + 1);
+      user_addr(addr, "user:browser" + std::to_string(i));
+      browsers.push_back(std::make_unique<ohttp::Client>(
+          addr, "user:browser" + std::to_string(i), "relay.example",
+          gateway->key().public_key, log, 100 + i));
+      sim.add_node(*browsers.back());
+    }
+
+    // --- Mix-net ---
+    for (int i = 0; i < 3; ++i) {
+      std::string addr = "mix" + std::to_string(i + 1);
+      benign(addr);
+      mixes.push_back(std::make_unique<mixnet::MixNode>(addr, 4, 500'000, log,
+                                                        book, 20 + i));
+      sim.add_node(*mixes.back());
+    }
+    benign("dropbox");
+    dropbox = std::make_unique<mixnet::Receiver>("dropbox", log, book, 30);
+    sim.add_node(*dropbox);
+    for (int i = 0; i < 8; ++i) {
+      std::string addr = "10.1.0." + std::to_string(i + 1);
+      user_addr(addr, "user:wb" + std::to_string(i));
+      whistleblowers.push_back(std::make_unique<mixnet::Sender>(
+          addr, "user:wb" + std::to_string(i), log, 200 + i));
+      sim.add_node(*whistleblowers.back());
+    }
+
+    // --- Privacy Pass ---
+    benign("issuer.example");
+    benign("gated.example");
+    issuer = std::make_unique<privacypass::Issuer>("issuer.example", 1024,
+                                                   log, book, 2);
+    gated_origin = std::make_unique<privacypass::Origin>(
+        "gated.example", "gated.example", issuer->public_key(), log, book);
+    sim.add_node(*issuer);
+    sim.add_node(*gated_origin);
+    for (int i = 0; i < 4; ++i) {
+      std::string account = "acct" + std::to_string(i);
+      issuer->register_account(account);
+      std::string addr = "exit" + std::to_string(i);
+      benign(addr);       // reached over an anonymizing path
+      users.push_back(addr);  // still a user device for the §2.4 verdict
+      pass_clients.push_back(std::make_unique<privacypass::Client>(
+          addr, account, "issuer.example", issuer->public_key(), log,
+          300 + i));
+      sim.add_node(*pass_clients.back());
+    }
+
+    // --- PPM ---
+    std::vector<net::Address> agg_addrs = {"aggA", "aggB"};
+    for (std::size_t i = 0; i < 2; ++i) {
+      benign(agg_addrs[i]);
+      aggs.push_back(std::make_unique<ppm::Aggregator>(
+          agg_addrs[i], i, 2, agg_addrs[0], log, book, 40 + i));
+      sim.add_node(*aggs.back());
+    }
+    aggs[0]->set_peers(agg_addrs);
+    benign("collector");
+    collector = std::make_unique<ppm::Collector>("collector", agg_addrs, log,
+                                                 book);
+    sim.add_node(*collector);
+    for (int i = 0; i < 10; ++i) {
+      std::string addr = "10.2.0." + std::to_string(i + 1);
+      user_addr(addr, "user:dev" + std::to_string(i));
+      reporters.push_back(std::make_unique<ppm::Client>(
+          addr, "user:dev" + std::to_string(i), i + 1, log, 400 + i));
+      sim.add_node(*reporters.back());
+    }
+  }
+
+  /// Runs the whole city's mixed workload; returns a trace digest.
+  std::string run_workload() {
+    std::vector<mixnet::HopInfo> chain;
+    for (auto& m : mixes) {
+      chain.push_back({m->address(), m->key().public_key});
+    }
+    mixnet::HopInfo drop{"dropbox", dropbox->key().public_key};
+    std::vector<ppm::AggregatorInfo> infos;
+    for (auto& a : aggs) {
+      infos.push_back({a->address(), a->key().public_key});
+    }
+
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t i = 0; i < browsers.size(); ++i) {
+        http::Request req;
+        req.authority = "web.example";
+        req.path = "/r" + std::to_string(round) + "/u" + std::to_string(i);
+        browsers[i]->fetch(req, sim, nullptr);
+      }
+      for (std::size_t i = 0; i < whistleblowers.size(); ++i) {
+        whistleblowers[i]->send_message(
+            "leak-" + std::to_string(round) + "-" + std::to_string(i), chain,
+            drop, sim);
+      }
+      for (auto& c : pass_clients) c->request_token(sim);
+      for (std::size_t i = 0; i < reporters.size(); ++i) {
+        reporters[i]->submit_bool((i + round) % 3 == 0, infos, sim);
+      }
+      sim.run();
+      for (auto& c : pass_clients) c->access("gated.example", "/door", sim);
+      sim.run();
+    }
+
+    // Digest the full trace for determinism checks.
+    Bytes blob;
+    for (const auto& e : sim.trace()) {
+      append(blob, be_encode(e.time, 8));
+      append(blob, to_bytes(e.src + ">" + e.dst + ";"));
+      append(blob, be_encode(e.size, 4));
+    }
+    return to_hex(crypto::Sha256::hash(blob));
+  }
+};
+
+TEST(Soak, MixedWorkloadCorrectness) {
+  City city;
+  city.run_workload();
+
+  EXPECT_EQ(city.web_origin->requests_served(), 24u);  // 8 browsers x 3
+  EXPECT_EQ(city.dropbox->deliveries().size(), 24u);   // 8 senders x 3
+  EXPECT_EQ(city.gated_origin->served(), 12u);         // 4 clients x 3
+  for (auto& a : city.aggs) EXPECT_EQ(a->accepted(), 30u);
+
+  std::uint64_t total = 0;
+  city.collector->collect(city.sim,
+                          [&](std::size_t, std::uint64_t t) { total = t; });
+  city.sim.run();
+  // Rounds 0..2, reporters 0..9: true when (i+round)%3==0 -> 10 per round.
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Soak, WholeCityRemainsDecoupled) {
+  City city;
+  city.run_workload();
+  core::DecouplingAnalysis a(city.log);
+  EXPECT_TRUE(a.is_decoupled(city.users));
+  // Spot-check cross-system coalitions gain nothing.
+  EXPECT_FALSE(a.coalition_recouples({"relay.example", "mix1", "aggA"}));
+  EXPECT_FALSE(a.coalition_recouples({"issuer.example", "gw.example"}));
+}
+
+TEST(Soak, DeterministicAcrossRuns) {
+  City a, b;
+  EXPECT_EQ(a.run_workload(), b.run_workload());
+}
+
+TEST(Soak, TraceVolumeIsSubstantial) {
+  City city;
+  city.run_workload();
+  // The mixed workload should exercise hundreds of packets.
+  EXPECT_GT(city.sim.packets_delivered(), 300u);
+  EXPECT_GT(city.sim.bytes_delivered(), 25'000u);
+}
+
+}  // namespace
+}  // namespace dcpl::systems

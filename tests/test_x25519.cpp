@@ -1,0 +1,141 @@
+// X25519 vectors from RFC 7748 §5.2 and §6.1.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/csprng.hpp"
+#include "crypto/x25519.hpp"
+
+namespace dcpl::crypto {
+namespace {
+
+TEST(X25519, Rfc7748Vector1) {
+  Bytes scalar = from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  Bytes u = from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(to_hex(x25519(scalar, u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  Bytes scalar = from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  Bytes u = from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(to_hex(x25519(scalar, u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §6.1 Diffie-Hellman vectors.
+TEST(X25519, Rfc7748DiffieHellman) {
+  Bytes alice_priv = from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  Bytes bob_priv = from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  Bytes alice_pub = x25519_public(alice_priv);
+  Bytes bob_pub = x25519_public(bob_priv);
+  EXPECT_EQ(to_hex(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(to_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  auto k1 = x25519_shared(alice_priv, bob_pub);
+  auto k2 = x25519_shared(bob_priv, alice_pub);
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(k1.value(), k2.value());
+  EXPECT_EQ(to_hex(k1.value()),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretAgreesForRandomKeys) {
+  ChaChaRng rng(4242);
+  for (int i = 0; i < 8; ++i) {
+    auto a = X25519KeyPair::generate(rng);
+    auto b = X25519KeyPair::generate(rng);
+    auto k1 = x25519_shared(a.private_key, b.public_key);
+    auto k2 = x25519_shared(b.private_key, a.public_key);
+    ASSERT_TRUE(k1.ok());
+    ASSERT_TRUE(k2.ok());
+    EXPECT_EQ(k1.value(), k2.value());
+  }
+}
+
+TEST(X25519, RejectsLowOrderPoint) {
+  ChaChaRng rng(1);
+  auto kp = X25519KeyPair::generate(rng);
+  Bytes zero_point(32, 0);  // order-1 point -> all-zero shared secret
+  EXPECT_FALSE(x25519_shared(kp.private_key, zero_point).ok());
+  Bytes one_point(32, 0);
+  one_point[0] = 1;  // order-2 point u=1? (u=1 is on the twist, low order)
+  // x25519(k, 1) yields zero for low-order inputs only; for u=1 the result
+  // is well-defined and nonzero, so just check the call does not throw.
+  (void)x25519(kp.private_key, one_point);
+}
+
+TEST(X25519, ClampingIgnoresStrayBits) {
+  ChaChaRng rng(2);
+  Bytes sk = rng.bytes(32);
+  Bytes sk2 = sk;
+  sk2[0] |= 0x07;   // low bits are cleared by clamping
+  sk2[31] |= 0x80;  // top bit is cleared by clamping
+  Bytes sk3 = sk;
+  sk3[0] &= 0xf8;
+  sk3[31] = static_cast<std::uint8_t>((sk3[31] & 0x7f) | 0x40);
+  EXPECT_EQ(x25519_public(sk3), x25519_public(sk3));
+  // clamp(sk2) == clamp(sk) iff their clamped forms agree.
+  Bytes c1 = sk, c2 = sk2;
+  for (Bytes* c : {&c1, &c2}) {
+    (*c)[0] &= 248;
+    (*c)[31] = static_cast<std::uint8_t>(((*c)[31] & 127) | 64);
+  }
+  if (c1 == c2) {
+    EXPECT_EQ(x25519_public(sk), x25519_public(sk2));
+  }
+}
+
+TEST(X25519, RejectsWrongInputSizes) {
+  EXPECT_THROW(x25519(Bytes(31), Bytes(32)), std::invalid_argument);
+  EXPECT_THROW(x25519(Bytes(32), Bytes(33)), std::invalid_argument);
+}
+
+TEST(X25519, DeriveIsDeterministic) {
+  auto a = X25519KeyPair::derive(to_bytes("seed-material"));
+  auto b = X25519KeyPair::derive(to_bytes("seed-material"));
+  EXPECT_EQ(a.private_key, b.private_key);
+  EXPECT_EQ(a.public_key, b.public_key);
+  auto c = X25519KeyPair::derive(to_bytes("other"));
+  EXPECT_NE(a.public_key, c.public_key);
+}
+
+
+// RFC 7748 §5.2 iterated vector: k = X25519(k, u); u = old k.
+TEST(X25519, Rfc7748IteratedVector) {
+  Bytes k = from_hex(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  Bytes u = k;
+  for (int i = 0; i < 1; ++i) {
+    Bytes next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(to_hex(k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519, Rfc7748IteratedVector1000) {
+  Bytes k = from_hex(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  Bytes u = k;
+  for (int i = 0; i < 1000; ++i) {
+    Bytes next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(to_hex(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+}  // namespace
+}  // namespace dcpl::crypto
