@@ -9,6 +9,7 @@
 #include <set>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/mixnet/mixnet.hpp"
 #include "systems/odoh/odoh.hpp"
 #include "systems/ohttp/ohttp.hpp"
@@ -178,15 +179,15 @@ bool ablate_qmin() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_ablations", argc, argv);
   std::printf("Ablations: §4.3 defenses toggled on/off (privacy gain vs "
               "cost)\n\n");
-  bool ok = true;
-  ok &= ablate_padding();
-  ok &= ablate_chaff();
+  bool ok = rep.check("A1_ohttp_padding", ablate_padding());
+  ok &= rep.check("A2_mixnet_chaff", ablate_chaff());
   std::printf("A3 mix batching: see bench_traffic_analysis (success 1.0 -> "
               "~1/batch; latency +30%%)\n\n");
-  ok &= ablate_qmin();
+  ok &= rep.check("A4_qname_minimization", ablate_qmin());
   std::printf("bench_ablations: %s\n", ok ? "SHAPE REPRODUCED" : "MISMATCH");
-  return ok ? 0 : 1;
+  return rep.finish(ok);
 }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/mpr/mpr.hpp"
 #include "systems/odoh/odoh.hpp"
 
@@ -163,12 +164,19 @@ void run_dns(bool& shape_ok) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_breach", argc, argv);
   std::printf("E3 (§1/§3.3): single-party breach exposure — coupled "
               "(identity, data) records per breached party.\n\n");
   bool shape_ok = true;
-  auto [vpn, mpr] = run_web(shape_ok);
-  run_dns(shape_ok);
+  bool web_ok = true;
+  auto [vpn, mpr] = run_web(web_ok);
+  shape_ok &= rep.check("web_breach_shape", web_ok);
+  bool dns_ok = true;
+  run_dns(dns_ok);
+  shape_ok &= rep.check("dns_breach_shape", dns_ok);
+  rep.value("vpn_breach_records", static_cast<double>(vpn));
+  rep.value("mpr_worst_breach_records", static_cast<double>(mpr));
 
   std::printf("\nshape: breaching the VPN exposes the full (who, what) log "
               "(%zu records); breaching any\nsingle decoupled party exposes "
@@ -177,5 +185,5 @@ int main() {
               vpn, mpr);
   std::printf("\nbench_breach: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/ecash/ecash.hpp"
 #include "systems/mixnet/mixnet.hpp"
 #include "systems/mpr/mpr.hpp"
@@ -18,23 +19,29 @@ namespace {
 
 void report(const char* system, const core::DecouplingAnalysis& a,
             const core::Party& user, std::size_t expected_min,
-            bool expect_impossible, bool& shape_ok) {
+            bool expect_impossible, bool& shape_ok,
+            bench::Report& rep) {
   auto min_c = a.min_recoupling_coalition(user);
+  bool ok;
   if (expect_impossible) {
     std::printf("  %-22s minimal colluding set: %s (expected: none — "
                 "unlinkable by construction)\n",
                 system, min_c ? std::to_string(*min_c).c_str() : "none");
-    shape_ok &= !min_c.has_value();
+    ok = !min_c.has_value();
   } else {
     std::printf("  %-22s minimal colluding set: %s (expected: %zu)\n", system,
                 min_c ? std::to_string(*min_c).c_str() : "none", expected_min);
-    shape_ok &= min_c.has_value() && *min_c == expected_min;
+    ok = min_c.has_value() && *min_c == expected_min;
   }
+  shape_ok &= rep.check(system, ok);
+  rep.value(std::string(system) + ".min_coalition",
+            min_c ? static_cast<double>(*min_c) : -1.0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_collusion", argc, argv);
   std::printf("E7 (§4.1): minimal re-coupling coalitions per system\n\n");
   bool shape_ok = true;
 
@@ -61,7 +68,7 @@ int main() {
                          nullptr);
     sim.run();
     core::DecouplingAnalysis a(log);
-    report("VPN (§3.3)", a, "10.0.0.1", 1, false, shape_ok);
+    report("VPN (§3.3)", a, "10.0.0.1", 1, false, shape_ok, rep);
   }
 
   {  // MPR 2-hop: both relays must collude.
@@ -92,7 +99,7 @@ int main() {
                             nullptr);
     sim.run();
     core::DecouplingAnalysis a(log);
-    report("MPR 2-hop (§3.2.4)", a, "10.0.0.1", 2, false, shape_ok);
+    report("MPR 2-hop (§3.2.4)", a, "10.0.0.1", 2, false, shape_ok, rep);
   }
 
   {  // Mix-net, 3 mixes: the whole chain plus the receiver.
@@ -117,7 +124,7 @@ int main() {
                         sim);
     sim.run();
     core::DecouplingAnalysis a(log);
-    report("Mix-net 3 hops (§3.1.2)", a, "10.1.0.1", 4, false, shape_ok);
+    report("Mix-net 3 hops (§3.1.2)", a, "10.1.0.1", 4, false, shape_ok, rep);
   }
 
   {  // ODoH: proxy + target.
@@ -140,7 +147,7 @@ int main() {
                  "proxy.example", sim, nullptr);
     sim.run();
     core::DecouplingAnalysis a(log);
-    report("ODoH (§3.2.2)", a, "10.0.0.1", 2, false, shape_ok);
+    report("ODoH (§3.2.2)", a, "10.0.0.1", 2, false, shape_ok, rep);
   }
 
   {  // Privacy Pass: no coalition re-links (blindness).
@@ -165,7 +172,7 @@ int main() {
     client.access("origin.example", "/p", sim);
     sim.run();
     core::DecouplingAnalysis a(log);
-    report("Privacy Pass (§3.2.1)", a, "tor-exit.example", 0, true, shape_ok);
+    report("Privacy Pass (§3.2.1)", a, "tor-exit.example", 0, true, shape_ok, rep);
   }
 
   {  // E-cash: blindness severs signer->verifier linkage.
@@ -190,7 +197,7 @@ int main() {
     buyer.spend("seller.example", "item", sim);
     sim.run();
     core::DecouplingAnalysis a(log);
-    report("E-cash (§3.1.1)", a, "10.0.0.1", 0, true, shape_ok);
+    report("E-cash (§3.1.1)", a, "10.0.0.1", 0, true, shape_ok, rep);
   }
 
   std::printf("\nshape: cautionary tales re-couple with ONE party; relay "
@@ -200,5 +207,5 @@ int main() {
               "the principle itself.\n");
   std::printf("\nbench_collusion: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

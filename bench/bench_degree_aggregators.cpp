@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/ppm/ppm.hpp"
 
 using namespace dcpl;
@@ -83,7 +84,8 @@ RunResult run_k(std::size_t k, std::size_t n_clients, std::size_t true_count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_degree_aggregators", argc, argv);
   constexpr std::size_t kClients = 20;
   constexpr std::size_t kTrue = 7;
   std::printf("E2 (§4.2): PPM aggregator sweep (%zu clients, %zu true "
@@ -99,9 +101,16 @@ int main() {
                 static_cast<unsigned long long>(r.aggregate), r.packets,
                 static_cast<unsigned long long>(r.wire_bytes),
                 r.sim_time_us / 1000.0, r.decoupled ? "yes" : "no", r.wall_ms);
-    if (r.aggregate != kTrue) shape_ok = false;       // correctness invariant
-    if (k > 1 && r.wire_bytes <= prev_bytes) shape_ok = false;  // linear cost
-    if (r.decoupled != (k >= 2)) shape_ok = false;  // k=1 is the naive design
+    const std::string ks = std::to_string(k);
+    rep.value("k" + ks + ".packets", static_cast<double>(r.packets));
+    rep.value("k" + ks + ".wire_bytes", static_cast<double>(r.wire_bytes));
+    // Correctness invariant, linear cost, and k=1 as the naive design.
+    shape_ok &= rep.check("aggregate_exact_k" + ks, r.aggregate == kTrue);
+    if (k > 1) {
+      shape_ok &= rep.check("bytes_grow_k" + ks, r.wire_bytes > prev_bytes);
+    }
+    shape_ok &= rep.check("decoupled_iff_k2plus_k" + ks,
+                          r.decoupled == (k >= 2));
     prev_bytes = r.wire_bytes;
   }
 
@@ -113,5 +122,5 @@ int main() {
               "meaningful for k >= 2.\n");
   std::printf("\nbench_degree_aggregators: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/mpr/mpr.hpp"
 
 using namespace dcpl;
@@ -83,7 +84,8 @@ RunResult run_chain(std::size_t hops, std::size_t fetches) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_degree_relays", argc, argv);
   constexpr std::size_t kFetches = 8;
   std::printf("E1 (§4.2): degree of decoupling vs. cost — relay chains "
               "(10 ms/link, %zu fetches)\n\n", kFetches);
@@ -100,8 +102,17 @@ int main() {
                 r.min_coalition, r.decoupled ? "yes" : "no", r.wall_ms);
     // Shape checks: latency strictly increases with hops; >=2 hops are
     // decoupled, 0-1 hops are not.
-    if (hops > 0 && r.latency_us <= prev_latency) shape_ok = false;
-    if ((hops >= 2) != r.decoupled) shape_ok = false;
+    const std::string h = std::to_string(hops);
+    rep.value("hops" + h + ".latency_ms", r.latency_us / 1000.0);
+    rep.value("hops" + h + ".wire_bytes", static_cast<double>(r.wire_bytes));
+    rep.value("hops" + h + ".min_coalition",
+              static_cast<double>(r.min_coalition));
+    if (hops > 0) {
+      shape_ok &= rep.check("latency_grows_hops" + h,
+                            r.latency_us > prev_latency);
+    }
+    shape_ok &= rep.check("decoupled_iff_2plus_hops" + h,
+                          (hops >= 2) == r.decoupled);
     prev_latency = r.latency_us;
   }
 
@@ -111,5 +122,5 @@ int main() {
               "diminishing returns at growing cost).\n");
   std::printf("\nbench_degree_relays: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/odoh/odoh.hpp"
 
 using namespace dcpl;
@@ -80,7 +81,8 @@ ModeResult run_mode(Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_dns_privacy", argc, argv);
   std::printf("E4 (§2.1/§3.2.2): DNS privacy across modes (10 ms links, "
               "cold caches)\n\n");
   std::printf("%8s %14s %22s %22s %10s\n", "mode", "latency ms",
@@ -99,10 +101,17 @@ int main() {
   row("DoH", doh);
   row("ODoH", odoh);
 
-  const bool shape_ok =
-      do53.network_sees_query && !doh.network_sees_query &&
-      !odoh.network_sees_query && !do53.decoupled && !doh.decoupled &&
-      odoh.decoupled && odoh.latency_us > doh.latency_us;
+  rep.value("do53_latency_ms", do53.latency_us / 1000.0);
+  rep.value("doh_latency_ms", doh.latency_us / 1000.0);
+  rep.value("odoh_latency_ms", odoh.latency_us / 1000.0);
+  bool shape_ok = rep.check("do53_network_sees_query", do53.network_sees_query);
+  shape_ok &= rep.check("doh_network_blind", !doh.network_sees_query);
+  shape_ok &= rep.check("odoh_network_blind", !odoh.network_sees_query);
+  shape_ok &= rep.check("do53_not_decoupled", !do53.decoupled);
+  shape_ok &= rep.check("doh_not_decoupled", !doh.decoupled);
+  shape_ok &= rep.check("odoh_decoupled", odoh.decoupled);
+  shape_ok &= rep.check("odoh_costs_extra_hop",
+                        odoh.latency_us > doh.latency_us);
 
   std::printf("\nshape: Do53 leaks the query to the network AND couples it "
               "at the resolver; DoH\nencrypts in transit but the resolver "
@@ -111,5 +120,5 @@ int main() {
               odoh.latency_us / 1000.0, doh.latency_us / 1000.0);
   std::printf("\nbench_dns_privacy: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

@@ -5,12 +5,14 @@
 #include <memory>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/mixnet/mixnet.hpp"
 
 using namespace dcpl;
 using namespace dcpl::systems::mixnet;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("bench_fig1_mixnet", argc, argv);
   std::printf("Figure 1: mix-net decoupling — message flow and per-hop "
               "knowledge.\n\n");
 
@@ -96,7 +98,11 @@ int main() {
                   ? "-"
                   : senders[0]->replies()[0].c_str());
 
-  const bool ok = delivered == kBatch && senders[0]->replies().size() == 1;
+  report.value("delivered", static_cast<double>(delivered));
+  report.value("replies", static_cast<double>(senders[0]->replies().size()));
+  bool ok = report.check("all_messages_delivered", delivered == kBatch);
+  ok &= report.check("anonymous_reply_received",
+                     senders[0]->replies().size() == 1);
   std::printf("\nbench_fig1_mixnet: %s\n", ok ? "OK" : "FAILED");
-  return ok ? 0 : 1;
+  return report.finish(ok);
 }

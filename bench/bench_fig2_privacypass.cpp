@@ -4,12 +4,14 @@
 #include <cstdio>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/privacypass/privacypass.hpp"
 
 using namespace dcpl;
 using namespace dcpl::systems::privacypass;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report report("bench_fig2_privacypass", argc, argv);
   std::printf("Figure 2: Privacy Pass decoupling — issuance and redemption "
               "flow.\n\n");
 
@@ -69,8 +71,12 @@ int main() {
                   ? "YES (unexpected!)"
                   : "no");
 
-  const bool ok = origin.served() == 3 &&
-                  !a.coalition_recouples({"issuer.example", "origin.example"});
+  report.value("served", static_cast<double>(origin.served()));
+  report.value("rejected", static_cast<double>(origin.rejected()));
+  bool ok = report.check("origin_served_3", origin.served() == 3);
+  ok &= report.check(
+      "issuer_origin_collusion_unlinkable",
+      !a.coalition_recouples({"issuer.example", "origin.example"}));
   std::printf("\nbench_fig2_privacypass: %s\n", ok ? "OK" : "FAILED");
-  return ok ? 0 : 1;
+  return report.finish(ok);
 }

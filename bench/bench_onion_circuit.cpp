@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/analysis.hpp"
+#include "report_util.hpp"
 #include "systems/mixnet/circuit.hpp"
 
 using namespace dcpl;
@@ -66,7 +67,8 @@ RunResult run_hops(std::size_t hops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_onion_circuit", argc, argv);
   std::printf("Onion circuits: build/latency vs path length (10 ms links, "
               "%zu-byte cells)\n\n", kCellSize);
   std::printf("%6s %14s %12s %16s %10s\n", "hops", "build (ms)", "rtt (ms)",
@@ -83,9 +85,16 @@ int main() {
                 r.decoupled ? "yes" : "no");
     // Shape: exactly one cell size on the wire; rtt grows with hops;
     // >=2 hops decoupled (a 1-hop circuit's relay sees client + dest).
-    if (r.cell_sizes != std::set<std::size_t>{kCellSize}) shape_ok = false;
-    if (hops > 1 && r.rtt_us <= prev_rtt) shape_ok = false;
-    if ((hops >= 2) != r.decoupled) shape_ok = false;
+    const std::string h = std::to_string(hops);
+    rep.value("hops" + h + ".build_ms", r.build_us / 1000.0);
+    rep.value("hops" + h + ".rtt_ms", r.rtt_us / 1000.0);
+    shape_ok &= rep.check("single_cell_size_hops" + h,
+                          r.cell_sizes == std::set<std::size_t>{kCellSize});
+    if (hops > 1) {
+      shape_ok &= rep.check("rtt_grows_hops" + h, r.rtt_us > prev_rtt);
+    }
+    shape_ok &= rep.check("decoupled_iff_2plus_hops" + h,
+                          (hops >= 2) == r.decoupled);
     prev_rtt = r.rtt_us;
   }
 
@@ -96,5 +105,5 @@ int main() {
               kCellSize);
   std::printf("\nbench_onion_circuit: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

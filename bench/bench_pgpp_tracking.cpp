@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "core/metrics.hpp"
+#include "report_util.hpp"
 #include "systems/pgpp/pgpp.hpp"
 
 using namespace dcpl;
@@ -133,7 +134,8 @@ double baseline_success(const Workload& w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_pgpp_tracking", argc, argv);
   std::printf("PGPP (§3.2.3): trajectory linkability at the cellular core\n");
   std::printf("(grid %dx%d, %zu epochs, random-walk mobility)\n\n", kGrid,
               kGrid, kEpochs);
@@ -153,8 +155,14 @@ int main() {
     std::vector<double> posterior(n, 1.0 / static_cast<double>(n));
     std::printf("%8zu %22.2f %22.2f %18.1f\n", n, b, p,
                 core::effective_anonymity_set(posterior));
-    shape_ok &= b == 1.0;
-    if (n >= 8 && p >= prev + 0.05) shape_ok = false;  // degrades with density
+    const std::string ns = std::to_string(n);
+    rep.value("users" + ns + ".baseline_success", b);
+    rep.value("users" + ns + ".pgpp_link_success", p);
+    shape_ok &= rep.check("baseline_fully_linkable_n" + ns, b == 1.0);
+    if (n >= 8) {
+      // Linking success must degrade (or at least not grow) with density.
+      shape_ok &= rep.check("pgpp_success_decays_n" + ns, p < prev + 0.05);
+    }
     prev = p;
   }
 
@@ -164,5 +172,5 @@ int main() {
               "exactly the unlinkability PGPP claims.\n");
   std::printf("\nbench_pgpp_tracking: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

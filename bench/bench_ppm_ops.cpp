@@ -3,6 +3,10 @@
 // — the CPU-side complement to E2's message-count sweep.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "crypto/csprng.hpp"
 #include "hpke/hpke.hpp"
 #include "systems/ppm/field.hpp"
@@ -64,4 +68,26 @@ BENCHMARK(BM_ClientSubmission)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark's own driver, plus a --json alias so every bench binary
+// in this repo shares one machine-readable-output flag.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

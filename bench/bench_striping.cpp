@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "core/analysis.hpp"
 #include "core/metrics.hpp"
+#include "report_util.hpp"
 #include "systems/odoh/odoh.hpp"
 
 using namespace dcpl;
@@ -84,7 +85,8 @@ RunResult run_striping(std::size_t n_resolvers, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_striping", argc, argv);
   std::printf("§5.1: striping DNS queries across resolvers (%zu domains "
               "browsed)\n\n", kDomains);
   std::printf("%12s %26s %22s\n", "resolvers", "max profile at one resolver",
@@ -96,8 +98,17 @@ int main() {
     RunResult r = run_striping(n, 99);
     std::printf("%12zu %25.0f%% %19.2f bits\n", n,
                 r.max_profile_fraction * 100, r.profile_entropy_bits);
-    if (n == 1 && r.max_profile_fraction != 1.0) shape_ok = false;
-    if (r.max_profile_fraction > prev_fraction) shape_ok = false;
+    const std::string ns = std::to_string(n);
+    rep.value("resolvers" + ns + ".max_profile_fraction",
+              r.max_profile_fraction);
+    rep.value("resolvers" + ns + ".assignment_entropy_bits",
+              r.profile_entropy_bits);
+    if (n == 1) {
+      shape_ok &= rep.check("single_resolver_full_profile",
+                            r.max_profile_fraction == 1.0);
+    }
+    shape_ok &= rep.check("profile_shrinks_n" + ns,
+                          r.max_profile_fraction <= prev_fraction);
     prev_fraction = r.max_profile_fraction;
   }
 
@@ -111,5 +122,5 @@ int main() {
               "fine print.\n");
   std::printf("\nbench_striping: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

@@ -17,7 +17,7 @@
 namespace dcpl::bench {
 namespace {
 
-bool table_t1_ecash() {
+bool table_t1_ecash(Report& report) {
   using namespace systems::ecash;
   net::Simulator sim;
   core::ObservationLog log;
@@ -43,19 +43,19 @@ bool table_t1_ecash() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table(
+  bool ok = report.table(
       "T1 (§3.1.1) Blind-signature digital cash", a,
       {{"Buyer", "10.0.0.1", "(▲, ●)", {}},
        {"Signer (Bank)", kSigner, "(▲, ⊙)", {}},
        {"Verifier (Bank)", kVerifier, "(△, ⊙/●)", {}},
        {"Seller", "seller.example", "(△, ●)", {}}});
-  print_verdict(a, {"10.0.0.1"}, true);
+  ok &= report.verdict(a, {"10.0.0.1"}, true);
   std::printf("  workload: 3 withdrawals, 2 purchases; deposits accepted=%zu\n",
               bank.deposits_accepted());
   return ok && a.is_decoupled("10.0.0.1");
 }
 
-bool table_t2_mixnet() {
+bool table_t2_mixnet(Report& report) {
   using namespace systems::mixnet;
   net::Simulator sim;
   core::ObservationLog log;
@@ -91,19 +91,19 @@ bool table_t2_mixnet() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table("T2 (§3.1.2) Mix-net (Figure 1 chain, N=3)", a,
+  bool ok = report.table("T2 (§3.1.2) Mix-net (Figure 1 chain, N=3)", a,
                         {{"Sender", "10.1.0.1", "(▲, ●)", {}},
                          {"Mix 1", "mix1", "(▲, ⊙)", {}},
                          {"Mix 2", "mix2", "(△, ⊙)", {}},
                          {"Mix N", "mix3", "(△, ⊙)", {}},
                          {"Receiver", "rcv1", "(△, ●)", {}}});
-  print_verdict(a, users, true);
+  ok &= report.verdict(a, users, true);
   std::printf("  workload: 4 senders, batch=2, delivered=%zu\n",
               receiver.deliveries().size());
   return ok && a.is_decoupled(users);
 }
 
-bool table_t3_privacypass() {
+bool table_t3_privacypass(Report& report) {
   using namespace systems::privacypass;
   net::Simulator sim;
   core::ObservationLog log;
@@ -130,17 +130,17 @@ bool table_t3_privacypass() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table("T3 (§3.2.1) Privacy Pass (Figure 2)", a,
+  bool ok = report.table("T3 (§3.2.1) Privacy Pass (Figure 2)", a,
                         {{"Client", "tor-exit.example", "(▲, ●)", {}},
                          {"Issuer", "issuer.example", "(▲, ⊙)", {}},
                          {"Origin", "origin.example", "(△, ●)", {}}});
-  print_verdict(a, {"tor-exit.example"}, true);
+  ok &= report.verdict(a, {"tor-exit.example"}, true);
   std::printf("  workload: 3 tokens issued, 2 redeemed; origin served=%zu\n",
               origin.served());
   return ok && a.is_decoupled("tor-exit.example");
 }
 
-bool table_t4_odoh() {
+bool table_t4_odoh(Report& report) {
   using namespace systems::odoh;
   net::Simulator sim;
   core::ObservationLog log;
@@ -177,18 +177,18 @@ bool table_t4_odoh() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table(
+  bool ok = report.table(
       "T4 (§3.2.2) Oblivious DNS / ODoH", a,
       {{"Client", "10.0.0.1", "(▲, ●)", {}},
        {"Resolver (proxy)", "proxy.example", "(▲, ⊙)", {}},
        {"Oblivious Resolver", "target.example", "(△, ⊙/●)", {}}});
-  print_verdict(a, {"10.0.0.1"}, true);
+  ok &= report.verdict(a, {"10.0.0.1"}, true);
   std::printf("  workload: 2 ODoH queries; target resolutions=%zu\n",
               target.resolutions());
   return ok && a.is_decoupled("10.0.0.1");
 }
 
-bool table_t5_pgpp() {
+bool table_t5_pgpp(Report& report) {
   using namespace systems::pgpp;
   const std::vector<std::pair<std::string, std::string>> facets = {
       {"human", "H"}, {"network", "N"}};
@@ -217,11 +217,11 @@ bool table_t5_pgpp() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table("T5 (§3.2.3) Pretty Good Phone Privacy", a,
+  bool ok = report.table("T5 (§3.2.3) Pretty Good Phone Privacy", a,
                         {{"User", "ue0", "(▲H, ▲N, ●)", facets},
                          {"PGPP-GW", "pgpp-gw.example", "(▲H, △N, ⊙)", facets},
                          {"NGC", "ngc.example", "(△H, △N, ●)", facets}});
-  print_verdict(a, {"ue0"}, true);
+  ok &= report.verdict(a, {"ue0"}, true);
   std::printf("  workload: 4 tokens, 4 epochs; attaches accepted=%zu\n",
               ngc.attach_accepted());
   return ok && a.is_decoupled("ue0");
@@ -239,7 +239,7 @@ std::unique_ptr<systems::mpr::SecureOrigin> make_origin(
       log, book, 1);
 }
 
-bool table_t6_mpr() {
+bool table_t6_mpr(Report& report) {
   using namespace systems::mpr;
   net::Simulator sim;
   core::ObservationLog log;
@@ -272,18 +272,18 @@ bool table_t6_mpr() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table("T6 (§3.2.4) Multi-Party Relay (2 hops)", a,
+  bool ok = report.table("T6 (§3.2.4) Multi-Party Relay (2 hops)", a,
                         {{"User", "10.0.0.1", "(▲, ●)", {}},
                          {"Relay 1", "relay1.example", "(▲, ⊙)", {}},
                          {"Relay 2", "relay2.example", "(△, ⊙/●)", {}},
                          {"Origin", "origin.example", "(△, ●)", {}}});
-  print_verdict(a, {"10.0.0.1"}, true);
+  ok &= report.verdict(a, {"10.0.0.1"}, true);
   std::printf("  workload: 2 fetches; origin served=%zu\n",
               origin->requests_served());
   return ok && a.is_decoupled("10.0.0.1");
 }
 
-bool table_t7_ppm() {
+bool table_t7_ppm(Report& report) {
   using namespace systems::ppm;
   net::Simulator sim;
   core::ObservationLog log;
@@ -325,17 +325,17 @@ bool table_t7_ppm() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table("T7 (§3.2.5) Private aggregate statistics (PPM)", a,
+  bool ok = report.table("T7 (§3.2.5) Private aggregate statistics (PPM)", a,
                         {{"Client", "10.0.3.1", "(▲, ●)", {}},
                          {"Aggregator", "agg0.example", "(▲, ⊙)", {}},
                          {"Collector", "collector.example", "(△, ⊙)", {}}});
-  print_verdict(a, users, true);
+  ok &= report.verdict(a, users, true);
   std::printf("  workload: 8 boolean reports; aggregate=%llu (expected 3)\n",
               static_cast<unsigned long long>(total));
   return ok && a.is_decoupled(users) && total == 3;
 }
 
-bool table_t8_vpn() {
+bool table_t8_vpn(Report& report) {
   using namespace systems::mpr;
   net::Simulator sim;
   core::ObservationLog log;
@@ -360,31 +360,33 @@ bool table_t8_vpn() {
   sim.run();
 
   core::DecouplingAnalysis a(log);
-  bool ok = print_table("T8 (§3.3) Cautionary tale: VPN", a,
+  bool ok = report.table("T8 (§3.3) Cautionary tale: VPN", a,
                         {{"Client", "10.0.0.1", "(▲, ●)", {}},
                          {"VPN Server", "vpn.example", "(▲, ●)", {}},
                          {"Origin", "origin.example", "(△, ●)", {}}});
   // Paper: NOT decoupled.
-  print_verdict(a, {"10.0.0.1"}, false);
+  ok &= report.verdict(a, {"10.0.0.1"}, false);
   return ok && !a.is_decoupled("10.0.0.1");
 }
 
 }  // namespace
 }  // namespace dcpl::bench
 
-int main() {
+int main(int argc, char** argv) {
+  using dcpl::bench::Report;
+  Report report("bench_tables", argc, argv);
   std::printf("Decoupling-analysis tables: derived from instrumented runs "
               "vs. the paper's cells.\n");
   bool ok = true;
-  ok &= dcpl::bench::table_t1_ecash();
-  ok &= dcpl::bench::table_t2_mixnet();
-  ok &= dcpl::bench::table_t3_privacypass();
-  ok &= dcpl::bench::table_t4_odoh();
-  ok &= dcpl::bench::table_t5_pgpp();
-  ok &= dcpl::bench::table_t6_mpr();
-  ok &= dcpl::bench::table_t7_ppm();
-  ok &= dcpl::bench::table_t8_vpn();
+  ok &= dcpl::bench::table_t1_ecash(report);
+  ok &= dcpl::bench::table_t2_mixnet(report);
+  ok &= dcpl::bench::table_t3_privacypass(report);
+  ok &= dcpl::bench::table_t4_odoh(report);
+  ok &= dcpl::bench::table_t5_pgpp(report);
+  ok &= dcpl::bench::table_t6_mpr(report);
+  ok &= dcpl::bench::table_t7_ppm(report);
+  ok &= dcpl::bench::table_t8_vpn(report);
   std::printf("\n%s: %s\n", "bench_tables",
               ok ? "ALL TABLES REPRODUCED" : "MISMATCHES FOUND");
-  return ok ? 0 : 1;
+  return report.finish(ok);
 }

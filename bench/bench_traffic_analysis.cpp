@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "core/metrics.hpp"
+#include "report_util.hpp"
 #include "systems/mixnet/mixnet.hpp"
 
 using namespace dcpl;
@@ -98,7 +99,8 @@ RunResult run_batch(std::size_t batch, std::size_t n_msgs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Report rep("bench_traffic_analysis", argc, argv);
   constexpr std::size_t kMsgs = 32;
   std::printf("E5 (§4.3): mix batch size vs timing-attack success and "
               "latency (%zu messages, 1 mix)\n\n", kMsgs);
@@ -112,17 +114,25 @@ int main() {
     RunResult r = run_batch(batch, kMsgs, 7 + batch);
     std::printf("%8zu %16.3f %16.1f %16.1f\n", batch, r.attack_success,
                 r.mean_latency_ms, r.anonymity_set);
+    const std::string bs = std::to_string(batch);
+    rep.value("batch" + bs + ".attack_success", r.attack_success);
+    rep.value("batch" + bs + ".mean_latency_ms", r.mean_latency_ms);
     if (batch == 1) {
       first_success = r.attack_success;
-      if (r.attack_success != 1.0) shape_ok = false;  // streaming: fully linkable
+      // Streaming (batch=1): fully linkable.
+      shape_ok &= rep.check("streaming_fully_linkable",
+                            r.attack_success == 1.0);
     }
     if (batch == 32) last_success = r.attack_success;
-    if (prev_latency >= 0 && r.mean_latency_ms < prev_latency) {
-      shape_ok = false;  // latency must not fall as batching grows
+    if (prev_latency >= 0) {
+      // Latency must not fall as batching grows.
+      shape_ok &= rep.check("latency_monotone_batch" + bs,
+                            r.mean_latency_ms >= prev_latency);
     }
     prev_latency = r.mean_latency_ms;
   }
-  if (last_success > 0.25) shape_ok = false;  // large batches defeat FIFO
+  // Large batches defeat FIFO correlation.
+  shape_ok &= rep.check("large_batch_defeats_fifo", last_success <= 0.25);
 
   std::printf("\nshape: attack success falls from %.2f (streaming) toward "
               "~1/batch (%.3f at batch=32)\nwhile latency rises — the "
@@ -132,5 +142,5 @@ int main() {
               first_success, last_success);
   std::printf("\nbench_traffic_analysis: %s\n",
               shape_ok ? "SHAPE REPRODUCED" : "SHAPE MISMATCH");
-  return shape_ok ? 0 : 1;
+  return rep.finish(shape_ok);
 }

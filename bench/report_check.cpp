@@ -1,0 +1,174 @@
+// Validates a dcpl-bench-report/1 JSON file (and optionally a Chrome
+// trace-event file) against the schema report_util.hpp documents. Run by
+// ctest and CI so the machine-readable outputs stay honest: every row's
+// match flag must agree with its derived/expected strings, all_match must
+// agree with the rows, and the trace must carry simulator virtual time.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json.hpp"
+
+using dcpl::obs::JsonParser;
+using dcpl::obs::JsonValue;
+
+namespace {
+
+bool fail(const char* what) {
+  std::fprintf(stderr, "report_check: %s\n", what);
+  return false;
+}
+
+bool load(const char* path, JsonValue& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "report_check: cannot open %s\n", path);
+    return false;
+  }
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  if (!JsonParser::parse(body, out)) {
+    std::fprintf(stderr, "report_check: %s is not valid JSON\n", path);
+    return false;
+  }
+  return true;
+}
+
+bool check_report(const JsonValue& r, std::size_t min_tables) {
+  if (!r.is_object()) return fail("report root is not an object");
+  const JsonValue* schema = r.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->string != "dcpl-bench-report/1") {
+    return fail("schema != dcpl-bench-report/1");
+  }
+  if (!r.has("bench") || r.at("bench").string.empty()) {
+    return fail("missing bench name");
+  }
+  if (!r.has("ok") || !r.at("ok").is_bool()) return fail("missing ok");
+
+  const JsonValue* tables = r.find("tables");
+  if (!tables || !tables->is_array()) return fail("missing tables[]");
+  if (tables->array.size() < min_tables) return fail("too few tables");
+  for (const auto& t : tables->array) {
+    if (!t.has("title") || !t.has("all_match") ||
+        !t.at("all_match").is_bool()) {
+      return fail("table missing title/all_match");
+    }
+    const JsonValue* rows = t.find("rows");
+    if (!rows || !rows->is_array()) return fail("table missing rows[]");
+    bool all = true;
+    for (const auto& row : rows->array) {
+      for (const char* k : {"display", "party", "derived", "expected"}) {
+        if (!row.has(k) || !row.at(k).is_string()) {
+          return fail("row missing string field");
+        }
+      }
+      if (!row.has("match") || !row.at("match").is_bool()) {
+        return fail("row missing match");
+      }
+      const bool expect = row.at("derived").string == row.at("expected").string;
+      if (row.at("match").boolean != expect) {
+        return fail("row match flag inconsistent with derived/expected");
+      }
+      all &= row.at("match").boolean;
+    }
+    if (t.at("all_match").boolean != all) {
+      return fail("all_match inconsistent with rows");
+    }
+    if (const JsonValue* v = t.find("verdict")) {
+      for (const char* k : {"derived_decoupled", "paper_decoupled",
+                            "reproduced"}) {
+        if (!v->has(k) || !v->at(k).is_bool()) {
+          return fail("verdict missing field");
+        }
+      }
+    }
+  }
+
+  const JsonValue* checks = r.find("checks");
+  if (!checks || !checks->is_array()) return fail("missing checks[]");
+  for (const auto& c : checks->array) {
+    if (!c.has("name") || !c.has("ok") || !c.at("ok").is_bool()) {
+      return fail("check missing name/ok");
+    }
+  }
+  if (!r.has("values") || !r.at("values").is_object()) {
+    return fail("missing values{}");
+  }
+  if (!r.has("metrics") || !r.at("metrics").is_object()) {
+    return fail("missing metrics{}");
+  }
+  const JsonValue* timing = r.find("timing");
+  if (!timing || !timing->has("wall_ms") ||
+      !timing->at("wall_ms").is_number()) {
+    return fail("missing timing.wall_ms");
+  }
+  return true;
+}
+
+bool check_trace(const JsonValue& t) {
+  if (!t.is_object()) return fail("trace root is not an object");
+  const JsonValue* events = t.find("traceEvents");
+  if (!events || !events->is_array()) return fail("missing traceEvents[]");
+  std::size_t spans = 0, with_virtual = 0;
+  for (const auto& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (!ph || !ph->is_string()) return fail("event missing ph");
+    if (ph->string == "M") continue;  // process_name metadata
+    if (ph->string != "X") return fail("unexpected event phase");
+    if (!e.has("name") || !e.at("name").is_string()) {
+      return fail("event missing name");
+    }
+    for (const char* k : {"ts", "dur", "pid", "tid"}) {
+      if (!e.has(k) || !e.at(k).is_number()) {
+        return fail("event missing ts/dur/pid/tid");
+      }
+    }
+    ++spans;
+    if (const JsonValue* args = e.find("args")) {
+      if (args->has("vts_us")) ++with_virtual;
+    }
+  }
+  if (spans == 0) return fail("trace has no span events");
+  if (with_virtual == 0) return fail("no event carries simulator virtual time");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* report_path = nullptr;
+  const char* trace_path = nullptr;
+  std::size_t min_tables = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-tables") == 0 && i + 1 < argc) {
+      min_tables =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      report_path = argv[i];
+    }
+  }
+  if (!report_path) {
+    std::fprintf(stderr,
+                 "usage: report_check <report.json> [--min-tables N] "
+                 "[--trace trace.json]\n");
+    return 2;
+  }
+  JsonValue report;
+  if (!load(report_path, report) || !check_report(report, min_tables)) {
+    return 1;
+  }
+  if (trace_path) {
+    JsonValue trace;
+    if (!load(trace_path, trace) || !check_trace(trace)) return 1;
+  }
+  std::printf("report_check: OK (%s%s)\n", report_path,
+              trace_path ? " + trace" : "");
+  return 0;
+}

@@ -1,12 +1,35 @@
 // Shared helpers for the report-style bench binaries: each paper artifact
-// (table/figure) is regenerated and printed next to the paper's version.
+// (table/figure) is regenerated and printed next to the paper's version,
+// and every binary can additionally emit a machine-readable report
+// (--json <path>) and a Perfetto-loadable span trace (--trace <path>).
+//
+// Report JSON schema ("dcpl-bench-report/1"):
+//   {
+//     "schema": "dcpl-bench-report/1",
+//     "bench": "<binary name>",
+//     "ok": <bool>,                       // mirror of the process exit code
+//     "tables": [ { "title", "all_match",
+//                   "rows": [{"display","party","derived","expected","match"}],
+//                   "verdict": {"derived_decoupled","paper_decoupled",
+//                               "reproduced"} } ],
+//     "checks": [ {"name", "ok"} ],       // named shape assertions
+//     "values": { "<name>": <number> },   // scalar measurements
+//     "metrics": { ... },                 // global metrics-registry snapshot
+//     "timing": { "wall_ms": <number> }
+//   }
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dcpl::bench {
 
@@ -38,14 +61,200 @@ inline bool print_table(const std::string& title,
   return all_match;
 }
 
-inline void print_verdict(const core::DecouplingAnalysis& analysis,
-                          const std::vector<core::Party>& users,
-                          bool paper_says_decoupled) {
+/// Prints the decoupled-or-not verdict; returns true iff it matches the
+/// paper's verdict (callers must fold this into their exit code).
+[[nodiscard]] inline bool print_verdict(
+    const core::DecouplingAnalysis& analysis,
+    const std::vector<core::Party>& users, bool paper_says_decoupled) {
   const bool decoupled = analysis.is_decoupled(users);
   std::printf("  verdict: %s (paper: %s) — %s\n",
               decoupled ? "decoupled" : "NOT decoupled",
               paper_says_decoupled ? "decoupled" : "NOT decoupled",
               decoupled == paper_says_decoupled ? "reproduced" : "MISMATCH");
+  return decoupled == paper_says_decoupled;
 }
+
+/// Accumulates everything a bench produces — tables, named shape checks,
+/// scalar measurements — and writes the machine-readable artifacts at
+/// finish(). Construct it first thing in main(); it owns --json/--trace
+/// argument parsing and enables the global tracer when a trace is wanted.
+class Report {
+ public:
+  Report(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
+    }
+    if (!trace_path_.empty()) obs::global_tracer().enable();
+    wall_start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Prints + records one derived-vs-paper table. Returns all-cells-match.
+  bool table(const std::string& title, const core::DecouplingAnalysis& a,
+             const std::vector<ExpectedRow>& rows) {
+    TableResult t;
+    t.title = title;
+    t.all_match = print_table(title, a, rows);
+    for (const auto& row : rows) {
+      const std::string derived =
+          row.facets.empty() ? a.tuple_for(row.party).to_string()
+                             : a.faceted_tuple(row.party, row.facets);
+      t.rows.push_back(RowResult{row.display, row.party, derived,
+                                 row.expected, derived == row.expected});
+    }
+    tables_.push_back(std::move(t));
+    return tables_.back().all_match;
+  }
+
+  /// Prints + records the verdict for the most recent table. Returns
+  /// true iff the derived verdict matches the paper's.
+  bool verdict(const core::DecouplingAnalysis& a,
+               const std::vector<core::Party>& users,
+               bool paper_says_decoupled) {
+    const bool reproduced = print_verdict(a, users, paper_says_decoupled);
+    if (!tables_.empty()) {
+      tables_.back().has_verdict = true;
+      tables_.back().derived_decoupled = a.is_decoupled(users);
+      tables_.back().paper_decoupled = paper_says_decoupled;
+      tables_.back().verdict_reproduced = reproduced;
+    }
+    return reproduced;
+  }
+
+  /// Records a named shape assertion; returns `ok` so call sites can fold
+  /// it straight into their aggregate flag.
+  bool check(const std::string& check_name, bool ok) {
+    checks_.push_back({check_name, ok});
+    return ok;
+  }
+
+  /// Records a scalar measurement (latency, byte count, success rate...).
+  void value(const std::string& value_name, double v) {
+    values_.emplace_back(value_name, v);
+  }
+
+  const std::string& json_path() const { return json_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// Writes the JSON report and trace (if requested) and converts `ok`
+  /// into a process exit code. Any recorded table cell mismatch, failed
+  /// verdict, or failed check forces a non-zero exit even if the caller
+  /// passed ok=true — reproduction regressions must not exit 0.
+  int finish(bool ok) {
+    for (const auto& t : tables_) {
+      ok &= t.all_match;
+      if (t.has_verdict) ok &= t.verdict_reproduced;
+    }
+    for (const auto& c : checks_) ok &= c.ok;
+
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start_)
+            .count();
+    if (!json_path_.empty()) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("schema", "dcpl-bench-report/1");
+      w.kv("bench", name_);
+      w.kv("ok", ok);
+      w.key("tables");
+      w.begin_array();
+      for (const auto& t : tables_) {
+        w.begin_object();
+        w.kv("title", t.title);
+        w.kv("all_match", t.all_match);
+        w.key("rows");
+        w.begin_array();
+        for (const auto& r : t.rows) {
+          w.begin_object();
+          w.kv("display", r.display);
+          w.kv("party", r.party);
+          w.kv("derived", r.derived);
+          w.kv("expected", r.expected);
+          w.kv("match", r.match);
+          w.end_object();
+        }
+        w.end_array();
+        if (t.has_verdict) {
+          w.key("verdict");
+          w.begin_object();
+          w.kv("derived_decoupled", t.derived_decoupled);
+          w.kv("paper_decoupled", t.paper_decoupled);
+          w.kv("reproduced", t.verdict_reproduced);
+          w.end_object();
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.key("checks");
+      w.begin_array();
+      for (const auto& c : checks_) {
+        w.begin_object();
+        w.kv("name", c.name);
+        w.kv("ok", c.ok);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("values");
+      w.begin_object();
+      for (const auto& [k, v] : values_) w.kv(k, v);
+      w.end_object();
+      w.key("metrics");
+      obs::global_registry().write_json(w);
+      w.key("timing");
+      w.begin_object();
+      w.kv("wall_ms", wall_ms);
+      w.end_object();
+      w.end_object();
+      if (!write_file(json_path_, w.str())) {
+        std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
+                     name_.c_str(), json_path_.c_str());
+        ok = false;
+      }
+    }
+    if (!trace_path_.empty() &&
+        !obs::global_tracer().write(trace_path_)) {
+      std::fprintf(stderr, "%s: cannot write trace to %s\n", name_.c_str(),
+                   trace_path_.c_str());
+      ok = false;
+    }
+    return ok ? 0 : 1;
+  }
+
+ private:
+  struct RowResult {
+    std::string display, party, derived, expected;
+    bool match;
+  };
+  struct TableResult {
+    std::string title;
+    bool all_match = true;
+    std::vector<RowResult> rows;
+    bool has_verdict = false;
+    bool derived_decoupled = false;
+    bool paper_decoupled = false;
+    bool verdict_reproduced = true;
+  };
+  struct CheckResult {
+    std::string name;
+    bool ok;
+  };
+
+  static bool write_file(const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+  std::string name_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::vector<TableResult> tables_;
+  std::vector<CheckResult> checks_;
+  std::vector<std::pair<std::string, double>> values_;
+};
 
 }  // namespace dcpl::bench

@@ -7,6 +7,8 @@ namespace dcpl::core {
 double entropy_bits(const std::vector<std::size_t>& counts) {
   double total = 0;
   for (std::size_t c : counts) total += static_cast<double>(c);
+  // Empty and all-zero inputs carry no distribution: entropy is 0, never
+  // NaN (0/0 below).
   if (total == 0) return 0.0;
   double h = 0;
   for (std::size_t c : counts) {
@@ -18,11 +20,18 @@ double entropy_bits(const std::vector<std::size_t>& counts) {
 }
 
 double effective_anonymity_set(const std::vector<double>& posterior) {
+  // A posterior with no mass (empty, all-zero, or all-invalid entries)
+  // describes no candidate users at all: the effective set is empty, not
+  // 2^0 = 1. Non-finite entries are skipped so a stray NaN cannot poison
+  // the whole estimate.
+  double mass = 0;
   double h = 0;
   for (double p : posterior) {
-    if (p <= 0) continue;
+    if (!(p > 0) || !std::isfinite(p)) continue;
+    mass += p;
     h -= p * std::log2(p);
   }
+  if (mass == 0) return 0.0;
   return std::exp2(h);
 }
 

@@ -4,6 +4,7 @@
 
 #include "crypto/chacha20.hpp"
 #include "crypto/poly1305.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcpl::crypto {
 
@@ -35,6 +36,8 @@ Bytes poly_key(BytesView key, BytesView nonce) {
 
 Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
                 BytesView plaintext) {
+  static obs::Counter& ops = obs::op_counter("crypto", "aead_seal");
+  ops.inc();
   if (key.size() != kAeadKeySize) throw std::invalid_argument("aead: key size");
   if (nonce.size() != kAeadNonceSize) {
     throw std::invalid_argument("aead: nonce size");
@@ -47,6 +50,8 @@ Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
 
 Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
                         BytesView ciphertext) {
+  static obs::Counter& ops = obs::op_counter("crypto", "aead_open");
+  ops.inc();
   if (key.size() != kAeadKeySize) throw std::invalid_argument("aead: key size");
   if (nonce.size() != kAeadNonceSize) {
     throw std::invalid_argument("aead: nonce size");

@@ -1,8 +1,12 @@
 #include "crypto/blind_rsa.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace dcpl::crypto {
 
 BlindingState blind(const RsaPublicKey& pub, BytesView message, Rng& rng) {
+  static obs::Counter& ops = obs::op_counter("crypto", "rsa_blind");
+  ops.inc();
   const std::size_t em_bits = pub.modulus_bits() - 1;
   Bytes em = pss_encode(message, em_bits, rng);
   BigInt m = BigInt::from_bytes_be(em);
@@ -22,6 +26,8 @@ BlindingState blind(const RsaPublicKey& pub, BytesView message, Rng& rng) {
 }
 
 Result<Bytes> blind_sign(const RsaPrivateKey& priv, BytesView blinded_message) {
+  static obs::Counter& ops = obs::op_counter("crypto", "rsa_blind_sign");
+  ops.inc();
   if (blinded_message.size() != priv.pub.modulus_bytes()) {
     return Result<Bytes>::failure("blind_sign: wrong message size");
   }
@@ -52,6 +58,8 @@ Result<Bytes> finalize(const RsaPublicKey& pub, BytesView message,
 
 bool blind_verify(const RsaPublicKey& pub, BytesView message,
                   BytesView signature) {
+  static obs::Counter& ops = obs::op_counter("crypto", "rsa_blind_verify");
+  ops.inc();
   return rsa_pss_verify(pub, message, signature);
 }
 

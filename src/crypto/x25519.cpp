@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/hkdf.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcpl::crypto {
 
@@ -190,6 +191,8 @@ Fe fe_invert(const Fe& a) {
 }  // namespace
 
 Bytes x25519(BytesView scalar, BytesView u) {
+  static obs::Counter& ops = obs::op_counter("crypto", "x25519");
+  ops.inc();
   if (scalar.size() != kX25519KeySize || u.size() != kX25519KeySize) {
     throw std::invalid_argument("x25519: inputs must be 32 bytes");
   }

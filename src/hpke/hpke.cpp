@@ -5,6 +5,7 @@
 #include "crypto/aead.hpp"
 #include "crypto/hkdf.hpp"
 #include "crypto/x25519.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcpl::hpke {
 
@@ -89,12 +90,16 @@ Bytes Context::compute_nonce() const {
 }
 
 Bytes Context::seal(BytesView aad, BytesView plaintext) {
+  static obs::Counter& ops = obs::op_counter("crypto", "hpke_seal");
+  ops.inc();
   Bytes ct = crypto::aead_seal(key_, compute_nonce(), aad, plaintext);
   ++seq_;
   return ct;
 }
 
 Result<Bytes> Context::open(BytesView aad, BytesView ciphertext) {
+  static obs::Counter& ops = obs::op_counter("crypto", "hpke_open");
+  ops.inc();
   auto pt = crypto::aead_open(key_, compute_nonce(), aad, ciphertext);
   if (pt.ok()) ++seq_;
   return pt;

@@ -4,6 +4,35 @@
 
 namespace dcpl::net {
 
+Simulator::Simulator()
+    : metrics_(&obs::global_registry().scope("sim")),
+      tracer_(&obs::global_tracer()) {
+  bind_metrics();
+}
+
+void Simulator::bind_metrics() {
+  events_processed_m_ = &metrics_->counter("events_processed");
+  packets_m_ = &metrics_->counter("packets_delivered");
+  bytes_m_ = &metrics_->counter("bytes_delivered");
+  queue_depth_m_ = &metrics_->gauge("queue_depth");
+  delivery_latency_m_ = &metrics_->histogram("delivery_latency_us");
+}
+
+void Simulator::set_metrics(obs::Registry& registry) {
+  metrics_ = &registry;
+  link_bytes_m_.clear();
+  bind_metrics();
+}
+
+obs::Counter& Simulator::link_bytes_counter(const Address& src,
+                                            const Address& dst) {
+  auto [it, inserted] = link_bytes_m_.try_emplace({src, dst}, nullptr);
+  if (inserted) {
+    it->second = &metrics_->counter("link_bytes", {{"link", src + "->" + dst}});
+  }
+  return *it->second;
+}
+
 void Simulator::add_node(Node& node) {
   auto [it, inserted] = nodes_.emplace(node.address(), &node);
   if (!inserted) {
@@ -41,29 +70,47 @@ void Simulator::send(Packet packet, Time extra_delay) {
   }
   const Time deliver_at = now_ + latency_between(packet.src, packet.dst) +
                           serialization + extra_delay;
+  delivery_latency_m_->observe(static_cast<double>(deliver_at - now_));
   queue_.push(Event{deliver_at, ++event_seq_,
                     [this, dst, p = std::move(packet)]() mutable {
+                      obs::Span span(*tracer_, "deliver:" + p.protocol, "net");
+                      span.arg("src", p.src);
+                      span.arg("dst", p.dst);
                       TraceEntry entry{now_,      p.src,     p.dst,
                                        p.payload.size(), p.context, p.protocol};
                       bytes_delivered_ += entry.size;
+                      packets_m_->inc();
+                      bytes_m_->inc(entry.size);
+                      link_bytes_counter(p.src, p.dst).inc(entry.size);
                       trace_.push_back(entry);
                       for (auto& tap : wiretaps_) tap(entry);
                       dst->on_packet(p, *this);
                     }});
+  queue_depth_m_->set(static_cast<double>(queue_.size()));
 }
 
 void Simulator::at(Time t, std::function<void()> fn) {
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
   queue_.push(Event{t, ++event_seq_, std::move(fn)});
+  queue_depth_m_->set(static_cast<double>(queue_.size()));
 }
 
 Time Simulator::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
+  // Attach this simulator's virtual clock so any span opened while an event
+  // handler runs carries simulated time alongside wall time.
+  tracer_->set_virtual_clock([this] { return now_; });
+  {
+    obs::Span run_span(*tracer_, "sim.run", "sim");
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      queue_depth_m_->set(static_cast<double>(queue_.size()));
+      now_ = ev.time;
+      events_processed_m_->inc();
+      ev.fn();
+    }
   }
+  tracer_->clear_virtual_clock();
   return now_;
 }
 

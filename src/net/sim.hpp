@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dcpl::net {
 
@@ -73,8 +75,16 @@ struct TraceEntry {
 };
 
 /// Single-threaded event-driven simulator.
+///
+/// Observability: every simulator feeds the "sim" scope of the global
+/// metrics registry (events processed, packets/bytes delivered, per-link
+/// bytes, queue depth) and — when the global tracer is enabled — emits one
+/// trace span per packet delivery plus a span per run(), all carrying
+/// virtual timestamps so traces show where simulated time goes.
 class Simulator {
  public:
+  Simulator();
+
   /// Registers a node. The caller retains ownership and must keep the node
   /// alive until run() returns.
   void add_node(Node& node);
@@ -115,6 +125,13 @@ class Simulator {
   std::size_t packets_delivered() const { return trace_.size(); }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  /// Redirects this simulator's metrics into `registry` (default: the
+  /// "sim" scope of the global registry). Handles are re-resolved lazily.
+  void set_metrics(obs::Registry& registry);
+
+  /// Redirects span output (default: the global tracer).
+  void set_tracer(obs::Tracer& tracer) { tracer_ = &tracer; }
+
  private:
   struct Event {
     Time time;
@@ -126,6 +143,8 @@ class Simulator {
   };
 
   Time latency_between(const Address& a, const Address& b) const;
+  void bind_metrics();
+  obs::Counter& link_bytes_counter(const Address& src, const Address& dst);
 
   std::map<Address, Node*> nodes_;
   std::map<std::pair<Address, Address>, Time> links_;
@@ -140,6 +159,17 @@ class Simulator {
   std::vector<std::function<void(const TraceEntry&)>> wiretaps_;
   std::vector<TraceEntry> trace_;
   std::uint64_t bytes_delivered_ = 0;
+
+  // Observability sinks: metric handles are cached (stable for the
+  // registry's lifetime) so the per-event cost is one add each.
+  obs::Registry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* events_processed_m_ = nullptr;
+  obs::Counter* packets_m_ = nullptr;
+  obs::Counter* bytes_m_ = nullptr;
+  obs::Gauge* queue_depth_m_ = nullptr;
+  obs::Histogram* delivery_latency_m_ = nullptr;
+  std::map<std::pair<Address, Address>, obs::Counter*> link_bytes_m_;
 };
 
 }  // namespace dcpl::net

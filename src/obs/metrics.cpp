@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace dcpl::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::default_bounds() {
+  // 1, 2, 4, ... 2^24: covers microsecond latencies up to ~16.7 s.
+  std::vector<double> b;
+  for (int i = 0; i <= 24; ++i) b.push_back(static_cast<double>(1u << i));
+  return b;
+}
+
+void Histogram::observe(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (counts_[i] == 0) continue;
+    // Overflow bucket has no upper edge: report the observed max.
+    if (i == bounds_.size()) return max_;
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(min_, hi) : bounds_[i - 1];
+    const double into =
+        static_cast<double>(counts_[i]) -
+        (static_cast<double>(cumulative) - target);
+    return lo + (hi - lo) * into / static_cast<double>(counts_[i]);
+  }
+  return max_;
+}
+
+namespace {
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string label_suffix(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string s = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) s += ',';
+    s += labels[i].first + "=" + labels[i].second;
+  }
+  s += '}';
+  return s;
+}
+
+}  // namespace
+
+const SnapshotEntry* Snapshot::find(const std::string& name,
+                                    const Labels& labels) const {
+  const Labels want = sorted(labels);
+  for (const auto& e : entries) {
+    if (e.name == name && e.labels == want) return &e;
+  }
+  return nullptr;
+}
+
+void Snapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& e : entries) {
+    w.key(e.name + label_suffix(e.labels));
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        w.value(static_cast<std::uint64_t>(e.value));
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        w.value(e.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        w.begin_object();
+        w.kv("count", static_cast<std::uint64_t>(e.value));
+        w.kv("sum", e.sum);
+        w.kv("min", e.min);
+        w.kv("max", e.max);
+        w.kv("p50", e.p50);
+        w.kv("p95", e.p95);
+        w.kv("p99", e.p99);
+        w.end_object();
+        break;
+    }
+  }
+  w.end_object();
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  auto& slot = counters_[{name, sorted(std::move(labels))}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  auto& slot = gauges_[{name, sorted(std::move(labels))}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels,
+                               std::vector<double> bounds) {
+  auto& slot = histograms_[{name, sorted(std::move(labels))}];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Registry& Registry::scope(const std::string& name) {
+  auto& slot = children_[name];
+  if (!slot) slot = std::make_unique<Registry>();
+  return *slot;
+}
+
+void Registry::reset() {
+  for (auto& [k, c] : counters_) c->reset();
+  for (auto& [k, g] : gauges_) g->reset();
+  for (auto& [k, h] : histograms_) h->reset();
+  for (auto& [k, r] : children_) r->reset();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  snapshot_into("", s);
+  return s;
+}
+
+void Registry::snapshot_into(const std::string& prefix, Snapshot& out) const {
+  for (const auto& [key, c] : counters_) {
+    SnapshotEntry e;
+    e.kind = SnapshotEntry::Kind::kCounter;
+    e.name = prefix + key.first;
+    e.labels = key.second;
+    e.value = static_cast<double>(c->value());
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, g] : gauges_) {
+    SnapshotEntry e;
+    e.kind = SnapshotEntry::Kind::kGauge;
+    e.name = prefix + key.first;
+    e.labels = key.second;
+    e.value = g->value();
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, h] : histograms_) {
+    SnapshotEntry e;
+    e.kind = SnapshotEntry::Kind::kHistogram;
+    e.name = prefix + key.first;
+    e.labels = key.second;
+    e.value = static_cast<double>(h->count());
+    e.sum = h->sum();
+    e.min = h->min();
+    e.max = h->max();
+    e.p50 = h->quantile(0.50);
+    e.p95 = h->quantile(0.95);
+    e.p99 = h->quantile(0.99);
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, child] : children_) {
+    child->snapshot_into(prefix + name + ".", out);
+  }
+}
+
+void Registry::write_json(JsonWriter& w) const { snapshot().write_json(w); }
+
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace dcpl::obs

@@ -1,0 +1,156 @@
+// Metrics registry: labeled counters, gauges, and fixed-bucket histograms
+// with quantile summaries. One global registry (the default sink for the
+// substrate's instrumentation) plus scoped child registries so a bench or a
+// subsystem can namespace its own metrics; snapshots serialize the whole
+// subtree and reset() zeroes it without invalidating handles.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// lifetime of the registry, so hot paths can cache the reference and pay a
+// single add on each event. Everything is single-threaded, matching the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dcpl::obs {
+
+/// Metric labels, e.g. {{"link", "a->b"}}. Kept sorted for canonical keys.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (events, packets, bytes, op counts).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, wallet size, active circuits).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bounds are inclusive upper edges of each bucket;
+/// an implicit +inf bucket catches the rest. Quantiles are estimated by
+/// linear interpolation within the bucket holding the target rank (the
+/// overflow bucket reports the observed max), which is exact enough for the
+/// p50/p95/p99 summaries the bench reports carry.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Exponential default buckets covering 1us..~17s when values are in us.
+  static std::vector<double> default_bounds();
+
+  void observe(double v);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+
+  /// q in [0, 1]; returns 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;          // ascending upper edges
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One metric in a snapshot, flattened with its scope path and labels.
+struct SnapshotEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind;
+  std::string name;  // scope-qualified, e.g. "sim.packets_delivered"
+  Labels labels;
+  double value = 0;              // counter/gauge value; histogram count
+  // Histogram-only summary fields.
+  double sum = 0, min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
+};
+
+/// Flattened view of a registry subtree at one instant.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  const SnapshotEntry* find(const std::string& name,
+                            const Labels& labels = {}) const;
+  void write_json(JsonWriter& w) const;
+};
+
+/// Metric namespace. Metrics are identified by (name, labels); requesting
+/// the same pair twice returns the same object. scope() children are owned
+/// by the parent and share its lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Child registry whose metrics appear in snapshots as "name.metric".
+  Registry& scope(const std::string& name);
+
+  /// Zeroes every metric in this registry and all children (handles stay
+  /// valid; nothing is deallocated).
+  void reset();
+
+  Snapshot snapshot() const;
+
+  /// Serializes snapshot() as a JSON object keyed by metric identity.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+
+  void snapshot_into(const std::string& prefix, Snapshot& out) const;
+
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Registry>> children_;
+};
+
+/// Process-wide registry: the default sink for substrate instrumentation
+/// (simulator, crypto op counts) so call sites need no plumbing.
+Registry& global_registry();
+
+/// Hot-path op counter in a scope of the global registry. Call sites cache
+/// the handle in a function-local static so the steady-state cost is one
+/// increment:  static obs::Counter& c = obs::op_counter("crypto", "x25519");
+inline Counter& op_counter(const std::string& scope_name,
+                           const std::string& name) {
+  return global_registry().scope(scope_name).counter(name);
+}
+
+}  // namespace dcpl::obs

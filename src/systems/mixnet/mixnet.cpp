@@ -4,6 +4,7 @@
 
 #include "common/io.hpp"
 #include "crypto/aead.hpp"
+#include "obs/trace.hpp"
 
 namespace dcpl::systems::mixnet {
 
@@ -73,6 +74,7 @@ MixNode::MixNode(net::Address address, std::size_t batch_size,
 }
 
 void MixNode::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("mixnet.peel_layer");
   book_->observe_src(*log_, address(), p.src, p.context);
 
   if (p.protocol == "mixreply") {
@@ -143,6 +145,8 @@ void MixNode::on_packet(const net::Packet& p, net::Simulator& sim) {
 
 void MixNode::flush(net::Simulator& sim) {
   if (queue_.empty()) return;
+  obs::Span span("mixnet.batch_flush");
+  span.arg("batch", std::to_string(queue_.size()));
   // Fisher-Yates shuffle with the mix's own randomness: egress order carries
   // no information about ingress order.
   for (std::size_t i = queue_.size(); i > 1; --i) {
@@ -271,6 +275,7 @@ void Sender::send_chaff(const std::vector<HopInfo>& chain,
 void Sender::send_message(const std::string& message,
                           const std::vector<HopInfo>& chain,
                           const HopInfo& receiver, net::Simulator& sim) {
+  obs::Span span("mixnet.onion_wrap");
   if (chain.empty()) {
     throw std::invalid_argument("mixnet: need at least one mix");
   }

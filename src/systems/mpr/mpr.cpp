@@ -1,6 +1,7 @@
 #include "systems/mpr/mpr.hpp"
 
 #include "common/io.hpp"
+#include "obs/trace.hpp"
 
 namespace dcpl::systems::mpr {
 
@@ -53,6 +54,7 @@ SecureOrigin::SecureOrigin(net::Address address, Handler handler,
 }
 
 void SecureOrigin::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("mpr.origin_serve");
   auto opened = open_request(kp_, to_bytes(kE2eInfo), p.payload);
   if (!opened.ok()) return;
   auto request = http::Request::decode_binary(opened->request);
@@ -83,6 +85,7 @@ OnionRelay::OnionRelay(net::Address address, core::ObservationLog& log,
 }
 
 void OnionRelay::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("mpr.relay_hop");
   if (auto it = pending_.find(p.context); it != pending_.end()) {
     // Response flowing back: pass it through untouched (it is end-to-end
     // ciphertext; the relay adds/removes nothing on the return path).
@@ -178,6 +181,7 @@ void Client::fetch_via_relays(const http::Request& request,
                               const net::Address& origin_addr,
                               BytesView origin_public, net::Simulator& sim,
                               ResponseCallback cb) {
+  obs::Span span("mpr.fetch_via_relays");
   RequestState e2e = seal_request(origin_public, to_bytes(kE2eInfo),
                                   request.encode_binary(), rng_);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace dcpl::systems::odoh {
 
 namespace {
@@ -64,6 +66,7 @@ ResolverNode::ResolverNode(net::Address address, net::Address root,
 }
 
 void ResolverNode::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("odoh.resolve");
   if (inflight_.count(p.context)) {
     handle_upstream(p, sim);
     return;
@@ -273,6 +276,7 @@ OdohProxy::OdohProxy(net::Address address, net::Address target,
       book_(&book) {}
 
 void OdohProxy::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("odoh.proxy_forward");
   if (auto it = pending_.find(p.context); it != pending_.end()) {
     Pending state = std::move(it->second);
     pending_.erase(it);
@@ -304,6 +308,7 @@ void StubClient::query(const std::string& qname, Mode mode,
                        const net::Address& resolver, BytesView resolver_key,
                        const net::Address& proxy, net::Simulator& sim,
                        AnswerCallback cb) {
+  obs::Span span("odoh.client_query");
   dns::Message q;
   q.id = next_id_++;
   q.recursion_desired = true;

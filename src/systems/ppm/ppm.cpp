@@ -1,6 +1,7 @@
 #include "systems/ppm/ppm.hpp"
 
 #include "common/io.hpp"
+#include "obs/trace.hpp"
 
 namespace dcpl::systems::ppm {
 
@@ -69,6 +70,7 @@ void Aggregator::on_packet(const net::Packet& p, net::Simulator& sim) {
 }
 
 void Aggregator::handle_share(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("ppm.aggregate_share");
   ByteReader outer(p.payload);
   outer.u8();  // type
   Bytes sealed = outer.rest();
@@ -234,6 +236,7 @@ Collector::Collector(net::Address address, std::vector<net::Address> aggregators
       log_(&log), book_(&book) {}
 
 void Collector::collect(net::Simulator& sim, ResultCallback cb) {
+  obs::Span span("ppm.collect");
   cb_ = std::move(cb);
   received_.clear();
   count_.reset();
@@ -435,6 +438,7 @@ void Client::submit_vector(const std::vector<Fp>& values, bool one_hot,
                            const std::vector<AggregatorInfo>& aggregators,
                            net::Simulator& sim, const net::Address& proxy,
                            const std::string& data_label) {
+  obs::Span span("ppm.share_and_seal");
   const std::size_t k = aggregators.size();
   // Per-entry independent sharings of x and x^2.
   std::vector<std::vector<Fp>> x_shares, x2_shares;

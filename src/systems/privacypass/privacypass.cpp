@@ -1,6 +1,7 @@
 #include "systems/privacypass/privacypass.hpp"
 
 #include "common/io.hpp"
+#include "obs/trace.hpp"
 
 namespace dcpl::systems::privacypass {
 
@@ -32,6 +33,7 @@ void Issuer::register_account(const std::string& account) {
 }
 
 void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("privacypass.issue");
   try {
     ByteReader r(p.payload);
     if (static_cast<MsgType>(r.u8()) != MsgType::kIssueRequest) return;
@@ -82,6 +84,7 @@ Origin::Origin(net::Address address, std::string authority,
       issuer_key_(std::move(issuer_key)), log_(&log), book_(&book) {}
 
 void Origin::on_packet(const net::Packet& p, net::Simulator& sim) {
+  obs::Span span("privacypass.redeem");
   try {
     ByteReader r(p.payload);
     if (static_cast<MsgType>(r.u8()) != MsgType::kAccessRequest) return;
@@ -126,6 +129,7 @@ Client::Client(net::Address address, std::string account, net::Address issuer,
       rng_(seed), log_(&log) {}
 
 void Client::request_token(net::Simulator& sim) {
+  obs::Span span("privacypass.blind_request");
   Bytes nonce = rng_.bytes(32);
   crypto::BlindingState state = crypto::blind(issuer_key_, nonce, rng_);
 

@@ -1,6 +1,9 @@
 // Decoupling framework: tuples, verdicts, collusion closure, breach reports.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/address_book.hpp"
 #include "core/analysis.hpp"
 #include "core/metrics.hpp"
@@ -258,11 +261,31 @@ TEST(Metrics, EntropyBits) {
   EXPECT_DOUBLE_EQ(entropy_bits({}), 0.0);
 }
 
+TEST(Metrics, EntropyBitsDegenerateInputs) {
+  // Empty and all-zero histograms must yield 0 bits, never NaN.
+  EXPECT_DOUBLE_EQ(entropy_bits({0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({0, 0, 0, 0}), 0.0);
+  EXPECT_FALSE(std::isnan(entropy_bits({})));
+  EXPECT_FALSE(std::isnan(entropy_bits({0, 0})));
+}
+
 TEST(Metrics, EffectiveAnonymitySet) {
   EXPECT_NEAR(effective_anonymity_set({0.25, 0.25, 0.25, 0.25}), 4.0, 1e-9);
   EXPECT_NEAR(effective_anonymity_set({1.0}), 1.0, 1e-9);
   // Skewed posterior shrinks the effective set.
   EXPECT_LT(effective_anonymity_set({0.9, 0.05, 0.05}), 2.0);
+}
+
+TEST(Metrics, EffectiveAnonymitySetDegenerateInputs) {
+  // No posterior mass = no candidate users: the effective set is 0, not
+  // 2^0 = 1, and never NaN.
+  EXPECT_DOUBLE_EQ(effective_anonymity_set({}), 0.0);
+  EXPECT_DOUBLE_EQ(effective_anonymity_set({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(effective_anonymity_set({-0.5, 0.0}), 0.0);
+  EXPECT_FALSE(std::isnan(effective_anonymity_set({})));
+  // A stray NaN entry is skipped rather than poisoning the estimate.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NEAR(effective_anonymity_set({0.5, 0.5, nan}), 2.0, 1e-9);
 }
 
 }  // namespace

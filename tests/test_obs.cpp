@@ -1,0 +1,271 @@
+// Tests for the observability layer: metrics registry (counter/gauge/
+// histogram quantiles, scopes, snapshot/reset), the minimal JSON writer/
+// parser, and span tracing including the Chrome trace-event schema and the
+// simulator's virtual-time track.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "net/sim.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dcpl {
+namespace {
+
+// ---- JSON -----------------------------------------------------------------
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(obs::json_escape(std::string("nul\x01", 4)), "nul\\u0001");
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(obs::json_escape("§4.3 — ▲"), "§4.3 — ▲");
+}
+
+TEST(Json, WriterParserRoundTrip) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("name", "bench \"x\"\n");
+  w.kv("ok", true);
+  w.kv("count", std::uint64_t{42});
+  w.kv("ratio", 0.125);
+  w.key("items");
+  w.begin_array();
+  w.value(1);
+  w.value(-2);
+  w.begin_object();
+  w.kv("nested", false);
+  w.end_object();
+  w.end_array();
+  w.key("empty");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonParser::parse(w.str(), v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").string, "bench \"x\"\n");
+  EXPECT_TRUE(v.at("ok").boolean);
+  EXPECT_EQ(v.at("count").number, 42.0);
+  EXPECT_EQ(v.at("ratio").number, 0.125);
+  ASSERT_EQ(v.at("items").array.size(), 3u);
+  EXPECT_EQ(v.at("items").array[1].number, -2.0);
+  EXPECT_FALSE(v.at("items").array[2].at("nested").boolean);
+  EXPECT_TRUE(v.at("empty").object.empty());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  obs::JsonValue v;
+  EXPECT_FALSE(obs::JsonParser::parse("{", v));
+  EXPECT_FALSE(obs::JsonParser::parse("{\"a\":}", v));
+  EXPECT_FALSE(obs::JsonParser::parse("[1,]", v));
+  EXPECT_FALSE(obs::JsonParser::parse("\"unterminated", v));
+  EXPECT_FALSE(obs::JsonParser::parse("{} trailing", v));
+}
+
+// ---- Metrics --------------------------------------------------------------
+
+TEST(Metrics, CounterIdentityAndLabels) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("packets");
+  obs::Counter& b = reg.counter("packets");
+  EXPECT_EQ(&a, &b);  // same (name, labels) -> same handle
+  a.inc();
+  a.inc(9);
+  EXPECT_EQ(b.value(), 10u);
+
+  obs::Counter& labeled = reg.counter("packets", {{"link", "a->b"}});
+  EXPECT_NE(&a, &labeled);
+  labeled.inc(3);
+  EXPECT_EQ(a.value(), 10u);
+  EXPECT_EQ(labeled.value(), 3u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("queue_depth");
+  g.set(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3.0);
+}
+
+TEST(Metrics, HistogramQuantilesUniform) {
+  // 100 observations 1..100 into decade-ish buckets: the interpolated
+  // quantiles should land near the exact order statistics.
+  obs::Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 10.0);
+  // Monotone in q.
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(Metrics, HistogramOverflowBucketReportsMax) {
+  obs::Histogram h({1.0});  // everything above 1 overflows
+  h.observe(5000);
+  h.observe(9000);
+  EXPECT_EQ(h.quantile(0.99), 9000.0);
+}
+
+TEST(Metrics, HistogramEmptyIsZero) {
+  obs::Histogram h(obs::Histogram::default_bounds());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Metrics, ScopedSnapshotAndReset) {
+  obs::Registry reg;
+  reg.counter("top").inc(7);
+  reg.scope("sim").counter("packets").inc(2);
+  reg.scope("sim").gauge("depth").set(4);
+  reg.scope("sim").histogram("lat").observe(10);
+
+  obs::Snapshot snap = reg.snapshot();
+  const obs::SnapshotEntry* top = snap.find("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->value, 7.0);
+  const obs::SnapshotEntry* pk = snap.find("sim.packets");
+  ASSERT_NE(pk, nullptr);  // child metrics appear scope-qualified
+  EXPECT_EQ(pk->value, 2.0);
+  ASSERT_NE(snap.find("sim.depth"), nullptr);
+  const obs::SnapshotEntry* lat = snap.find("sim.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->value, 1.0);  // histogram count
+  EXPECT_EQ(lat->min, 10.0);
+
+  // reset() zeroes the whole subtree without invalidating handles.
+  obs::Counter& handle = reg.scope("sim").counter("packets");
+  reg.reset();
+  EXPECT_EQ(handle.value(), 0u);
+  EXPECT_EQ(reg.counter("top").value(), 0u);
+  handle.inc();
+  EXPECT_EQ(reg.scope("sim").counter("packets").value(), 1u);
+}
+
+TEST(Metrics, RegistryJsonIsParseable) {
+  obs::Registry reg;
+  reg.counter("ops", {{"kind", "seal"}}).inc(5);
+  reg.scope("sub").histogram("h").observe(3);
+  obs::JsonWriter w;
+  reg.write_json(w);
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonParser::parse(w.str(), v));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.has("ops{kind=seal}"));
+  EXPECT_EQ(v.at("ops{kind=seal}").number, 5.0);
+  ASSERT_TRUE(v.has("sub.h"));
+  EXPECT_EQ(v.at("sub.h").at("count").number, 1.0);
+}
+
+// ---- Tracing --------------------------------------------------------------
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  obs::Tracer t;
+  {
+    obs::Span s(t, "ignored");
+    s.arg("k", "v");
+  }
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, ChromeTraceEventSchema) {
+  obs::Tracer t;
+  t.enable();
+  t.set_virtual_clock([] { return std::uint64_t{123}; });
+  {
+    obs::Span s(t, "phase.one", "proto");
+    s.arg("party", "relay");
+  }
+  t.clear_virtual_clock();
+  { obs::Span s(t, "phase.two"); }
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_TRUE(t.events()[0].has_virtual);
+  EXPECT_EQ(t.events()[0].vts_us, 123u);
+  EXPECT_FALSE(t.events()[1].has_virtual);
+
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonParser::parse(t.to_chrome_json(), v));
+  const obs::JsonValue& events = v.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  std::size_t spans = 0;
+  for (const auto& e : events.array) {
+    if (e.at("ph").string == "M") continue;  // process_name metadata
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    ++spans;
+  }
+  // phase.one appears on both the wall (pid 1) and virtual (pid 2) tracks.
+  EXPECT_GE(spans, 3u);
+}
+
+// Driving a Simulator with a tracer attached must yield a non-empty
+// Perfetto-compatible trace whose delivery spans carry virtual time.
+TEST(Trace, SimulatorRunProducesVirtualTimeTrace) {
+  class Sink final : public net::Node {
+   public:
+    using Node::Node;
+    void on_packet(const net::Packet&, net::Simulator&) override {}
+  };
+
+  obs::Tracer tracer;
+  tracer.enable();
+  obs::Registry metrics;
+
+  net::Simulator sim;
+  sim.set_tracer(tracer);
+  sim.set_metrics(metrics);
+  Sink a("a"), b("b");
+  sim.add_node(a);
+  sim.add_node(b);
+  sim.connect("a", "b", 1000);
+  sim.at(5, [&] {
+    sim.send(net::Packet{"a", "b", Bytes(64, 0xab), 1, "test"});
+  });
+  sim.run();
+
+  ASSERT_FALSE(tracer.events().empty());
+  bool saw_delivery = false;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "deliver:test") {
+      saw_delivery = true;
+      EXPECT_TRUE(e.has_virtual);
+      EXPECT_EQ(e.vts_us, 1005u);  // sent at t=5 over a 1000us link
+    }
+  }
+  EXPECT_TRUE(saw_delivery);
+
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonParser::parse(tracer.to_chrome_json(), v));
+  EXPECT_FALSE(v.at("traceEvents").array.empty());
+
+  // The redirected registry saw the delivery too.
+  obs::Snapshot snap = metrics.snapshot();
+  const obs::SnapshotEntry* pk = snap.find("packets_delivered");
+  ASSERT_NE(pk, nullptr);
+  EXPECT_EQ(pk->value, 1.0);
+  const obs::SnapshotEntry* by = snap.find("bytes_delivered");
+  ASSERT_NE(by, nullptr);
+  EXPECT_EQ(by->value, 64.0);
+}
+
+}  // namespace
+}  // namespace dcpl
