@@ -162,6 +162,95 @@ void run_dns(bool& shape_ok) {
   shape_ok &= !a.breach("target.example").coupled();
 }
 
+// §3.3 empirical: instead of scripting "the attacker reads the stored
+// logs", run the workload under a FaultPlan that drops/delays packets AND
+// plants a live implant (BreachEvent) in the VPN mid-run. The implant only
+// sees what the VPN logs from the compromise onward, so live exposure is a
+// strict subset of the stored-log exposure — and every number comes from an
+// actual impaired run, with the injected-fault counters in the report.
+std::pair<std::size_t, std::size_t> run_live_breach(bool& shape_ok,
+                                                    bench::Report& rep) {
+  using namespace systems::mpr;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("vpn.example", core::benign_identity("addr:vpn.example"));
+
+  SecureOrigin origin(
+      "origin.example",
+      [](const http::Request&) { return http::Response{}; }, log, book, 1);
+  VpnServer vpn("vpn.example", log, book, 99);
+  sim.add_node(origin);
+  sim.add_node(vpn);
+  RelayInfo vpn_info{"vpn.example", vpn.key().public_key};
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    std::string addr = "10.0.9." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:b" + std::to_string(i),
+                                            "network"));
+    clients.push_back(std::make_unique<Client>(
+        addr, "user:b" + std::to_string(i), log, 140 + i));
+    sim.add_node(*clients.back());
+  }
+
+  constexpr net::Time kBreachAt = 300'000;  // between the two rounds
+  net::FaultPlan plan(/*seed=*/42);
+  plan.impair(net::Impairment{/*loss=*/0.05, /*duplicate=*/0.0,
+                              /*jitter=*/1.0, /*jitter_max_us=*/5'000});
+  plan.breach("vpn.example", kBreachAt);
+  sim.set_breach_handler([&log](const net::BreachEvent& e) {
+    log.mark_compromised(e.party);
+  });
+  sim.set_fault_plan(plan);
+
+  // The VPN couples one record per user (it sees the tunnel destination,
+  // not per-fetch paths), so the live/stored split is driven by WHO browses
+  // after the implant lands: everyone browses pre-compromise, only half
+  // come back post-compromise.
+  auto browse = [&](std::size_t round, std::size_t users) {
+    for (std::size_t i = 0; i < users; ++i) {
+      http::Request req;
+      req.authority = "origin.example";
+      req.path = "/b" + std::to_string(i) + "/r" + std::to_string(round);
+      clients[i]->fetch_via_vpn(req, vpn_info, "origin.example",
+                                origin.key().public_key, sim, nullptr);
+    }
+  };
+  browse(0, kUsers);  // pre-compromise
+  sim.at(600'000, [&browse] { browse(1, kUsers / 2); });  // post-compromise
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  const std::size_t full = a.breach("vpn.example").coupled_records;
+  const std::size_t live = a.live_breach("vpn.example").coupled_records;
+  const net::FaultStats& stats = sim.fault_stats();
+  std::printf("\nlive-implant workload: %zu users x 2 rounds via VPN under "
+              "5%% loss; implant lands at t=%.0fms\n",
+              kUsers, kBreachAt / 1000.0);
+  std::printf("  stored-log breach of vpn  -> %4zu coupled records\n", full);
+  std::printf("  live implant in vpn       -> %4zu coupled records "
+              "(round-2 traffic only)\n",
+              live);
+  std::printf("  faults injected: %llu lost, %llu jittered, %llu breach "
+              "event(s)\n",
+              static_cast<unsigned long long>(stats.lost),
+              static_cast<unsigned long long>(stats.jittered),
+              static_cast<unsigned long long>(stats.breaches_fired));
+
+  // The implant saw some round-2 traffic, but strictly less than the full
+  // stored history; a never-breached party yields an empty live report.
+  shape_ok &= live >= 1;
+  shape_ok &= live <= kUsers / 2;
+  shape_ok &= live < full;
+  shape_ok &= a.live_breach("origin.example").coupled_records == 0;
+  shape_ok &= stats.breaches_fired == 1;
+  shape_ok &= stats.jittered > 0;
+  rep.faults(stats);
+  return {full, live};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,8 +264,14 @@ int main(int argc, char** argv) {
   bool dns_ok = true;
   run_dns(dns_ok);
   shape_ok &= rep.check("dns_breach_shape", dns_ok);
+  bool live_ok = true;
+  auto [stored_exposure, live_exposure] = run_live_breach(live_ok, rep);
+  shape_ok &= rep.check("live_breach_shape", live_ok);
   rep.value("vpn_breach_records", static_cast<double>(vpn));
   rep.value("mpr_worst_breach_records", static_cast<double>(mpr));
+  rep.value("vpn_stored_breach_records",
+            static_cast<double>(stored_exposure));
+  rep.value("vpn_live_breach_records", static_cast<double>(live_exposure));
 
   std::printf("\nshape: breaching the VPN exposes the full (who, what) log "
               "(%zu records); breaching any\nsingle decoupled party exposes "

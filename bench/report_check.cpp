@@ -38,6 +38,38 @@ bool load(const char* path, JsonValue& out) {
   return true;
 }
 
+// The optional "faults" object: all counters numeric and internally
+// consistent. With `required`, the object must exist and record at least
+// one injected event — a bench claiming to have run under a FaultPlan must
+// show evidence the plan actually did something.
+bool check_faults(const JsonValue& r, bool required) {
+  const JsonValue* f = r.find("faults");
+  if (!f) {
+    return required ? fail("missing faults{} (--require-faults)") : true;
+  }
+  if (!f->is_object()) return fail("faults is not an object");
+  for (const char* k : {"lost", "duplicated", "jittered", "partition_dropped",
+                        "offline_dropped", "breaches_fired",
+                        "total_dropped"}) {
+    if (!f->has(k) || !f->at(k).is_number()) {
+      return fail("faults missing numeric counter");
+    }
+  }
+  const double dropped = f->at("lost").number +
+                         f->at("partition_dropped").number +
+                         f->at("offline_dropped").number;
+  if (f->at("total_dropped").number != dropped) {
+    return fail("faults.total_dropped inconsistent with components");
+  }
+  if (required) {
+    const double injected = dropped + f->at("duplicated").number +
+                            f->at("jittered").number +
+                            f->at("breaches_fired").number;
+    if (injected <= 0) return fail("faults{} present but empty");
+  }
+  return true;
+}
+
 bool check_report(const JsonValue& r, std::size_t min_tables) {
   if (!r.is_object()) return fail("report root is not an object");
   const JsonValue* schema = r.find("schema");
@@ -144,12 +176,15 @@ int main(int argc, char** argv) {
   const char* report_path = nullptr;
   const char* trace_path = nullptr;
   std::size_t min_tables = 0;
+  bool require_faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-tables") == 0 && i + 1 < argc) {
       min_tables =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--require-faults") == 0) {
+      require_faults = true;
     } else {
       report_path = argv[i];
     }
@@ -157,11 +192,12 @@ int main(int argc, char** argv) {
   if (!report_path) {
     std::fprintf(stderr,
                  "usage: report_check <report.json> [--min-tables N] "
-                 "[--trace trace.json]\n");
+                 "[--require-faults] [--trace trace.json]\n");
     return 2;
   }
   JsonValue report;
-  if (!load(report_path, report) || !check_report(report, min_tables)) {
+  if (!load(report_path, report) || !check_report(report, min_tables) ||
+      !check_faults(report, require_faults)) {
     return 1;
   }
   if (trace_path) {

@@ -15,6 +15,10 @@
 //     "checks": [ {"name", "ok"} ],       // named shape assertions
 //     "values": { "<name>": <number> },   // scalar measurements
 //     "metrics": { ... },                 // global metrics-registry snapshot
+//     "faults": { "lost", "duplicated", "jittered", "partition_dropped",
+//                 "offline_dropped", "breaches_fired",
+//                 "total_dropped" },      // optional; present when the bench
+//                                         // ran under a net::FaultPlan
 //     "timing": { "wall_ms": <number> }
 //   }
 #pragma once
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "net/faults.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -133,6 +138,19 @@ class Report {
     values_.emplace_back(value_name, v);
   }
 
+  /// Records the fault counters of a run executed under a net::FaultPlan;
+  /// emitted as the report's "faults" object. Repeated calls accumulate
+  /// (benches that run several impaired simulators sum their counters).
+  void faults(const net::FaultStats& stats) {
+    faults_.lost += stats.lost;
+    faults_.duplicated += stats.duplicated;
+    faults_.jittered += stats.jittered;
+    faults_.partition_dropped += stats.partition_dropped;
+    faults_.offline_dropped += stats.offline_dropped;
+    faults_.breaches_fired += stats.breaches_fired;
+    has_faults_ = true;
+  }
+
   const std::string& json_path() const { return json_path_; }
   const std::string& trace_path() const { return trace_path_; }
 
@@ -201,6 +219,19 @@ class Report {
       w.end_object();
       w.key("metrics");
       obs::global_registry().write_json(w);
+      if (has_faults_) {
+        w.key("faults");
+        w.begin_object();
+        w.kv("lost", static_cast<double>(faults_.lost));
+        w.kv("duplicated", static_cast<double>(faults_.duplicated));
+        w.kv("jittered", static_cast<double>(faults_.jittered));
+        w.kv("partition_dropped",
+             static_cast<double>(faults_.partition_dropped));
+        w.kv("offline_dropped", static_cast<double>(faults_.offline_dropped));
+        w.kv("breaches_fired", static_cast<double>(faults_.breaches_fired));
+        w.kv("total_dropped", static_cast<double>(faults_.total_dropped()));
+        w.end_object();
+      }
       w.key("timing");
       w.begin_object();
       w.kv("wall_ms", wall_ms);
@@ -255,6 +286,8 @@ class Report {
   std::vector<TableResult> tables_;
   std::vector<CheckResult> checks_;
   std::vector<std::pair<std::string, double>> values_;
+  net::FaultStats faults_;
+  bool has_faults_ = false;
 };
 
 }  // namespace dcpl::bench

@@ -210,6 +210,63 @@ BreachReport DecouplingAnalysis::breach(const Party& party) const {
   return report;
 }
 
+BreachReport DecouplingAnalysis::live_breach(const Party& party) const {
+  BreachReport report;
+  report.party = party;
+  const auto mark = log_->compromise_mark(party);
+  if (!mark) return report;
+
+  const auto& observations = log_->observations();
+  for (std::size_t i = mark->observation_index; i < observations.size(); ++i) {
+    const Observation& o = observations[i];
+    if (o.party != party) continue;
+    switch (o.atom.kind) {
+      case AtomKind::kSensitiveIdentity:
+        report.tuple.sensitive_identity = true;
+        break;
+      case AtomKind::kBenignIdentity:
+        report.tuple.benign_identity = true;
+        break;
+      case AtomKind::kSensitiveData:
+        report.tuple.sensitive_data = true;
+        break;
+      case AtomKind::kBenignData:
+        report.tuple.benign_data = true;
+        break;
+    }
+  }
+
+  // Same pair-counting as coalition_coupled_records({party}), restricted to
+  // the post-mark suffix of both the link and observation streams.
+  UnionFind uf;
+  const auto& links = log_->links();
+  for (std::size_t i = mark->link_index; i < links.size(); ++i) {
+    if (links[i].party == party) uf.unite(links[i].a, links[i].b);
+  }
+  std::map<std::uint64_t, std::set<std::string>> identities;
+  std::map<std::uint64_t, std::set<std::string>> data;
+  for (std::size_t i = mark->observation_index; i < observations.size(); ++i) {
+    const Observation& o = observations[i];
+    if (o.party != party) continue;
+    const std::uint64_t root = uf.find(o.context);
+    if (o.atom.kind == AtomKind::kSensitiveIdentity) {
+      identities[root].insert(o.atom.label);
+    } else if (o.atom.kind == AtomKind::kSensitiveData) {
+      data[root].insert(o.atom.label);
+    }
+  }
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& [root, ids] : identities) {
+    auto it = data.find(root);
+    if (it == data.end()) continue;
+    for (const auto& id : ids) {
+      for (const auto& d : it->second) pairs.emplace(id, d);
+    }
+  }
+  report.coupled_records = pairs.size();
+  return report;
+}
+
 std::string DecouplingAnalysis::render_table(
     const std::vector<Party>& party_order) const {
   std::vector<std::string> cells;

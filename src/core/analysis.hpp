@@ -86,6 +86,13 @@ class DecouplingAnalysis {
   /// Single-party breach (§1: "individually breach-proof").
   BreachReport breach(const Party& party) const;
 
+  /// Live-implant variant of breach() (§3.3 empirical): the attacker sees
+  /// only what `party` logged at or after its compromise mark
+  /// (ObservationLog::mark_compromised, typically set by a net::BreachEvent
+  /// handler). A party with no mark yields an empty report — the implant
+  /// never ran. breach() remains the stored-logs model (full history).
+  BreachReport live_breach(const Party& party) const;
+
   /// Renders the paper-style table for the given party order (parties not
   /// in the log render as "(-)").
   std::string render_table(const std::vector<Party>& party_order) const;

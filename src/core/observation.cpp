@@ -37,9 +37,22 @@ std::set<Atom> ObservationLog::atoms_of(const Party& party) const {
   return out;
 }
 
+void ObservationLog::mark_compromised(const Party& party) {
+  compromised_.try_emplace(party,
+                           CompromiseMark{observations_.size(), links_.size()});
+}
+
+std::optional<CompromiseMark> ObservationLog::compromise_mark(
+    const Party& party) const {
+  auto it = compromised_.find(party);
+  if (it == compromised_.end()) return std::nullopt;
+  return it->second;
+}
+
 void ObservationLog::clear() {
   observations_.clear();
   links_.clear();
+  compromised_.clear();
 }
 
 }  // namespace dcpl::core

@@ -13,8 +13,10 @@
 // to re-couple identities with data (§4.1, §5.1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -38,6 +40,14 @@ struct ContextLink {
   std::uint64_t b;
 };
 
+/// Log position at which a party's observer became compromised: a live
+/// implant (net::BreachEvent, §3.3) sees only observations and links
+/// recorded at or after these indices.
+struct CompromiseMark {
+  std::size_t observation_index = 0;
+  std::size_t link_index = 0;
+};
+
 class ObservationLog {
  public:
   /// Records that `party` saw `atom` within linkage context `context`.
@@ -58,12 +68,21 @@ class ObservationLog {
   /// Distinct atoms a party observed.
   std::set<Atom> atoms_of(const Party& party) const;
 
+  /// Marks `party` compromised from this point in the log onward (the
+  /// usual caller is a Simulator breach handler reacting to a
+  /// net::BreachEvent). The first mark wins; later calls are no-ops.
+  void mark_compromised(const Party& party);
+
+  /// The party's compromise mark, or nullopt if it was never breached.
+  std::optional<CompromiseMark> compromise_mark(const Party& party) const;
+
   std::size_t size() const { return observations_.size(); }
   void clear();
 
  private:
   std::vector<Observation> observations_;
   std::vector<ContextLink> links_;
+  std::map<Party, CompromiseMark> compromised_;
 };
 
 }  // namespace dcpl::core

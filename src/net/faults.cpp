@@ -1,0 +1,58 @@
+#include "net/faults.hpp"
+
+namespace dcpl::net {
+
+FaultPlan& FaultPlan::impair(const Impairment& imp) {
+  global_ = imp;
+  return *this;
+}
+
+FaultPlan& FaultPlan::impair_link(const Address& a, const Address& b,
+                                  const Impairment& imp) {
+  per_link_[{a, b}] = imp;
+  per_link_[{b, a}] = imp;
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(const Address& a, const Address& b, Time start,
+                                Time end) {
+  partitions_[{a, b}].push_back(Window{start, end});
+  partitions_[{b, a}].push_back(Window{start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(const Address& party, Time start, Time end) {
+  offline_[party].push_back(Window{start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::breach(const Address& party, Time time) {
+  breaches_.push_back(BreachEvent{party, time});
+  return *this;
+}
+
+const Impairment& FaultPlan::impairment_for(const Address& src,
+                                            const Address& dst) const {
+  auto it = per_link_.find({src, dst});
+  return it != per_link_.end() ? it->second : global_;
+}
+
+bool FaultPlan::partitioned(const Address& a, const Address& b, Time t) const {
+  auto it = partitions_.find({a, b});
+  if (it == partitions_.end()) return false;
+  for (const Window& w : it->second) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::offline_at(const Address& party, Time t) const {
+  auto it = offline_.find(party);
+  if (it == offline_.end()) return false;
+  for (const Window& w : it->second) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+}  // namespace dcpl::net

@@ -1,0 +1,118 @@
+// Fault injection: declarative, seeded-deterministic network impairment.
+//
+// A FaultPlan describes everything that goes wrong during one simulation
+// run: stochastic per-link impairment (loss, duplication, jitter), hard
+// partition windows, whole-party crash intervals, and BreachEvents that
+// flip a party's observer into "compromised" mode at a chosen virtual time.
+// The simulator draws every probabilistic decision from a dedicated
+// XoshiroRng seeded by the plan, in deterministic send order, so a fixed
+// (workload, plan) pair replays bit-identically: same delivery trace, same
+// fault counters, same breach times.
+//
+// The paper's robustness claims (§1, §3.3: a VPN is a single breach-able
+// locus; decoupled systems survive any single party's compromise) are only
+// meaningful under failure — this layer is what lets the §3.3 breach
+// analyses run empirically instead of being scripted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcpl::net {
+
+using Address = std::string;
+using Time = std::uint64_t;
+
+/// Stochastic link impairment, applied independently per packet send.
+struct Impairment {
+  double loss = 0.0;       ///< P(packet silently dropped)
+  double duplicate = 0.0;  ///< P(one extra copy delivered)
+  double jitter = 0.0;     ///< P(extra delay added to a delivery)
+  Time jitter_max_us = 0;  ///< jitter delay drawn uniformly from [0, max]
+
+  bool active() const { return loss > 0 || duplicate > 0 || jitter > 0; }
+};
+
+/// Half-open virtual-time interval [start, end).
+struct Window {
+  static constexpr Time kForever = ~static_cast<Time>(0);
+  Time start = 0;
+  Time end = kForever;
+  bool contains(Time t) const { return t >= start && t < end; }
+};
+
+/// `party`'s observer turns compromised at `time`: everything it logs from
+/// then on is in the attacker's hands (a live implant, §3.3). Delivered via
+/// the handler installed with Simulator::set_breach_handler, which typically
+/// calls core::ObservationLog::mark_compromised.
+struct BreachEvent {
+  Address party;
+  Time time = 0;
+};
+
+/// Counters for every fault the simulator injected. Read via
+/// Simulator::fault_stats(); mirrored into the simulator's metrics scope
+/// as faults_* counters.
+struct FaultStats {
+  std::uint64_t lost = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t jittered = 0;
+  std::uint64_t partition_dropped = 0;
+  std::uint64_t offline_dropped = 0;
+  std::uint64_t breaches_fired = 0;
+
+  std::uint64_t total_dropped() const {
+    return lost + partition_dropped + offline_dropped;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
+/// Declarative fault schedule for one simulation run. Build with the fluent
+/// helpers, then install with Simulator::set_fault_plan before run().
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Baseline impairment for every link without a per-link override.
+  FaultPlan& impair(const Impairment& imp);
+
+  /// Per-link override (installed for both directions); replaces the global
+  /// impairment entirely for that pair.
+  FaultPlan& impair_link(const Address& a, const Address& b,
+                         const Impairment& imp);
+
+  /// Drops everything between a and b (both directions) during [start, end).
+  FaultPlan& partition(const Address& a, const Address& b, Time start,
+                       Time end = Window::kForever);
+
+  /// `party` is crashed during [start, end): it cannot send, and packets
+  /// reaching it while offline are dropped at delivery time.
+  FaultPlan& crash(const Address& party, Time start,
+                   Time end = Window::kForever);
+
+  /// Compromises `party`'s observer at virtual time `time`.
+  FaultPlan& breach(const Address& party, Time time);
+
+  /// The impairment governing src->dst sends (per-link override or global).
+  const Impairment& impairment_for(const Address& src,
+                                   const Address& dst) const;
+
+  bool partitioned(const Address& a, const Address& b, Time t) const;
+  bool offline_at(const Address& party, Time t) const;
+  const std::vector<BreachEvent>& breaches() const { return breaches_; }
+
+ private:
+  std::uint64_t seed_;
+  Impairment global_;
+  std::map<std::pair<Address, Address>, Impairment> per_link_;
+  std::map<std::pair<Address, Address>, std::vector<Window>> partitions_;
+  std::map<Address, std::vector<Window>> offline_;
+  std::vector<BreachEvent> breaches_;
+};
+
+}  // namespace dcpl::net

@@ -18,10 +18,20 @@ void Simulator::bind_metrics() {
   delivery_latency_m_ = &metrics_->histogram("delivery_latency_us");
 }
 
+void Simulator::bind_fault_metrics() {
+  faults_lost_m_ = &metrics_->counter("faults_lost");
+  faults_duplicated_m_ = &metrics_->counter("faults_duplicated");
+  faults_jittered_m_ = &metrics_->counter("faults_jittered");
+  faults_partition_m_ = &metrics_->counter("faults_partition_dropped");
+  faults_offline_m_ = &metrics_->counter("faults_offline_dropped");
+  faults_breaches_m_ = &metrics_->counter("faults_breaches_fired");
+}
+
 void Simulator::set_metrics(obs::Registry& registry) {
   metrics_ = &registry;
   link_bytes_m_.clear();
   bind_metrics();
+  if (fault_plan_) bind_fault_metrics();
 }
 
 obs::Counter& Simulator::link_bytes_counter(const Address& src,
@@ -51,28 +61,32 @@ Time Simulator::latency_between(const Address& a, const Address& b) const {
   return it != links_.end() ? it->second : default_latency_;
 }
 
+bool Simulator::has_link(const Address& a, const Address& b) const {
+  return links_.count({a, b}) > 0;
+}
+
+std::optional<Time> Simulator::link_latency(const Address& a,
+                                            const Address& b) const {
+  auto it = links_.find({a, b});
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Simulator::set_bandwidth(const Address& a, const Address& b,
                               std::uint64_t bytes_per_ms) {
   bandwidth_[{a, b}] = bytes_per_ms;
   bandwidth_[{b, a}] = bytes_per_ms;
 }
 
-void Simulator::send(Packet packet, Time extra_delay) {
-  auto it = nodes_.find(packet.dst);
-  if (it == nodes_.end()) {
-    throw std::out_of_range("Simulator: unknown destination " + packet.dst);
-  }
-  Node* dst = it->second;
-  Time serialization = 0;
-  if (auto bw = bandwidth_.find({packet.src, packet.dst});
-      bw != bandwidth_.end() && bw->second > 0) {
-    serialization = packet.payload.size() * 1000 / bw->second;  // us
-  }
-  const Time deliver_at = now_ + latency_between(packet.src, packet.dst) +
-                          serialization + extra_delay;
+void Simulator::schedule_delivery(Node* dst, Packet packet, Time deliver_at) {
   delivery_latency_m_->observe(static_cast<double>(deliver_at - now_));
   queue_.push(Event{deliver_at, ++event_seq_,
                     [this, dst, p = std::move(packet)]() mutable {
+                      if (fault_plan_ && fault_plan_->offline_at(p.dst, now_)) {
+                        ++fault_stats_.offline_dropped;
+                        faults_offline_m_->inc();
+                        return;
+                      }
                       obs::Span span(*tracer_, "deliver:" + p.protocol, "net");
                       span.arg("src", p.src);
                       span.arg("dst", p.dst);
@@ -87,6 +101,80 @@ void Simulator::send(Packet packet, Time extra_delay) {
                       dst->on_packet(p, *this);
                     }});
   queue_depth_m_->set(static_cast<double>(queue_.size()));
+}
+
+void Simulator::send(Packet packet, Time extra_delay) {
+  auto it = nodes_.find(packet.dst);
+  if (it == nodes_.end()) {
+    throw std::out_of_range("Simulator: unknown destination " + packet.dst);
+  }
+  Node* dst = it->second;
+
+  // Fault rolls happen in send order from a dedicated seeded RNG, so a
+  // fixed (workload, plan) pair replays the exact same fault sequence. A
+  // lost packet consumes exactly one roll; a surviving one consumes the
+  // duplicate roll, the jitter roll, and (only when duplicated) the
+  // duplicate's own jitter roll.
+  Time fault_delay = 0;
+  Time dup_delay = 0;
+  bool duplicated = false;
+  if (fault_plan_) {
+    if (fault_plan_->partitioned(packet.src, packet.dst, now_)) {
+      ++fault_stats_.partition_dropped;
+      faults_partition_m_->inc();
+      obs::Span span(*tracer_, "fault.partition", "net");
+      span.arg("src", packet.src);
+      span.arg("dst", packet.dst);
+      return;
+    }
+    if (fault_plan_->offline_at(packet.src, now_)) {
+      ++fault_stats_.offline_dropped;
+      faults_offline_m_->inc();
+      return;
+    }
+    const Impairment& imp =
+        fault_plan_->impairment_for(packet.src, packet.dst);
+    if (imp.active()) {
+      if (imp.loss > 0 && fault_rng_->unit() < imp.loss) {
+        ++fault_stats_.lost;
+        faults_lost_m_->inc();
+        obs::Span span(*tracer_, "fault.loss", "net");
+        span.arg("src", packet.src);
+        span.arg("dst", packet.dst);
+        return;
+      }
+      if (imp.duplicate > 0 && fault_rng_->unit() < imp.duplicate) {
+        duplicated = true;
+      }
+      if (imp.jitter > 0 && fault_rng_->unit() < imp.jitter) {
+        fault_delay =
+            imp.jitter_max_us ? fault_rng_->below(imp.jitter_max_us + 1) : 0;
+        ++fault_stats_.jittered;
+        faults_jittered_m_->inc();
+      }
+      if (duplicated && imp.jitter > 0 && fault_rng_->unit() < imp.jitter) {
+        dup_delay =
+            imp.jitter_max_us ? fault_rng_->below(imp.jitter_max_us + 1) : 0;
+      }
+    }
+  }
+
+  Time serialization = 0;
+  if (auto bw = bandwidth_.find({packet.src, packet.dst});
+      bw != bandwidth_.end() && bw->second > 0) {
+    serialization = packet.payload.size() * 1000 / bw->second;  // us
+  }
+  const Time base = now_ + latency_between(packet.src, packet.dst) +
+                    serialization + extra_delay;
+  if (duplicated) {
+    ++fault_stats_.duplicated;
+    faults_duplicated_m_->inc();
+    obs::Span span(*tracer_, "fault.duplicate", "net");
+    span.arg("src", packet.src);
+    span.arg("dst", packet.dst);
+    schedule_delivery(dst, packet, base + dup_delay);
+  }
+  schedule_delivery(dst, std::move(packet), base + fault_delay);
 }
 
 void Simulator::at(Time t, std::function<void()> fn) {
@@ -116,6 +204,31 @@ Time Simulator::run() {
 
 void Simulator::add_wiretap(std::function<void(const TraceEntry&)> tap) {
   wiretaps_.push_back(std::move(tap));
+}
+
+void Simulator::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  fault_rng_ = std::make_unique<XoshiroRng>(fault_plan_->seed());
+  fault_stats_ = FaultStats{};
+  breached_.clear();
+  bind_fault_metrics();
+  for (const BreachEvent& ev : fault_plan_->breaches()) {
+    at(ev.time, [this, ev] {
+      if (breached_.count(ev.party)) return;  // first breach wins
+      breached_[ev.party] = now_;
+      ++fault_stats_.breaches_fired;
+      faults_breaches_m_->inc();
+      obs::Span span(*tracer_, "fault.breach", "net");
+      span.arg("party", ev.party);
+      if (breach_handler_) breach_handler_(ev);
+    });
+  }
+}
+
+std::optional<Time> Simulator::breached_at(const Address& party) const {
+  auto it = breached_.find(party);
+  if (it == breached_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace dcpl::net

@@ -15,11 +15,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -90,7 +94,17 @@ class Simulator {
   void add_node(Node& node);
 
   /// Sets one-way latency between two addresses (both directions).
+  /// Calling it again for the same pair replaces the previous latency.
   void connect(const Address& a, const Address& b, Time latency_us);
+
+  /// True iff connect() was called for this pair (checked directionally,
+  /// but connect() always installs both directions).
+  bool has_link(const Address& a, const Address& b) const;
+
+  /// The explicitly configured latency for the pair, or nullopt when no
+  /// link exists — unlike latency_between, which silently falls back to
+  /// the default latency for unknown pairs.
+  std::optional<Time> link_latency(const Address& a, const Address& b) const;
 
   /// Optional link bandwidth in bytes per millisecond (both directions);
   /// adds a serialization delay of size/bandwidth to each packet. 0 (the
@@ -132,6 +146,30 @@ class Simulator {
   /// Redirects span output (default: the global tracer).
   void set_tracer(obs::Tracer& tracer) { tracer_ = &tracer; }
 
+  /// Installs a fault plan governing every subsequent send(): impairment
+  /// rolls come from a dedicated XoshiroRng seeded by the plan, so a fixed
+  /// seed replays the exact same fault sequence. BreachEvents are scheduled
+  /// immediately (their times must be >= now()). Call before run().
+  void set_fault_plan(FaultPlan plan);
+  bool has_fault_plan() const { return fault_plan_.has_value(); }
+
+  /// Counters for every fault injected so far this run.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Invoked when a scheduled BreachEvent fires (at its virtual time,
+  /// during run()). Typical wiring: mark the party's observation log
+  /// compromised so core::DecouplingAnalysis::live_breach sees only the
+  /// post-breach suffix.
+  void set_breach_handler(std::function<void(const BreachEvent&)> handler) {
+    breach_handler_ = std::move(handler);
+  }
+
+  /// Whether (and when) a breach event has fired for `party`.
+  bool is_breached(const Address& party) const {
+    return breached_.count(party) > 0;
+  }
+  std::optional<Time> breached_at(const Address& party) const;
+
  private:
   struct Event {
     Time time;
@@ -144,6 +182,8 @@ class Simulator {
 
   Time latency_between(const Address& a, const Address& b) const;
   void bind_metrics();
+  void bind_fault_metrics();
+  void schedule_delivery(Node* dst, Packet packet, Time deliver_at);
   obs::Counter& link_bytes_counter(const Address& src, const Address& dst);
 
   std::map<Address, Node*> nodes_;
@@ -160,6 +200,15 @@ class Simulator {
   std::vector<TraceEntry> trace_;
   std::uint64_t bytes_delivered_ = 0;
 
+  // Fault injection. The RNG is separate from every protocol RNG so
+  // installing a plan never perturbs protocol-level randomness, and the
+  // fast path stays untouched when no plan is installed.
+  std::optional<FaultPlan> fault_plan_;
+  std::unique_ptr<XoshiroRng> fault_rng_;
+  FaultStats fault_stats_;
+  std::function<void(const BreachEvent&)> breach_handler_;
+  std::map<Address, Time> breached_;
+
   // Observability sinks: metric handles are cached (stable for the
   // registry's lifetime) so the per-event cost is one add each.
   obs::Registry* metrics_ = nullptr;
@@ -170,6 +219,14 @@ class Simulator {
   obs::Gauge* queue_depth_m_ = nullptr;
   obs::Histogram* delivery_latency_m_ = nullptr;
   std::map<std::pair<Address, Address>, obs::Counter*> link_bytes_m_;
+  // Fault counters are only registered once a plan is installed, so
+  // fault-free runs keep their metric snapshots unchanged.
+  obs::Counter* faults_lost_m_ = nullptr;
+  obs::Counter* faults_duplicated_m_ = nullptr;
+  obs::Counter* faults_jittered_m_ = nullptr;
+  obs::Counter* faults_partition_m_ = nullptr;
+  obs::Counter* faults_offline_m_ = nullptr;
+  obs::Counter* faults_breaches_m_ = nullptr;
 };
 
 }  // namespace dcpl::net

@@ -173,6 +173,10 @@ Receiver::Receiver(net::Address address, core::ObservationLog& log,
 
 void Receiver::on_packet(const net::Packet& p, net::Simulator& sim) {
   book_->observe_src(*log_, address(), p.src, p.context);
+  if (!seen_payloads_.insert(p.payload).second) {
+    ++duplicates_;
+    return;
+  }
   auto opened = open_request(kp_, to_bytes(kFinalInfo), p.payload);
   if (!opened.ok()) return;
   std::string message = to_string(opened->request);
@@ -272,9 +276,10 @@ void Sender::send_chaff(const std::vector<HopInfo>& chain,
   send_message("CHAFF:" + to_hex(rng_.bytes(8)), chain, receiver, sim);
 }
 
-void Sender::send_message(const std::string& message,
-                          const std::vector<HopInfo>& chain,
-                          const HopInfo& receiver, net::Simulator& sim) {
+Bytes Sender::wrap_onion(const std::string& message,
+                         const std::vector<HopInfo>& chain,
+                         const HopInfo& receiver, net::Simulator& sim,
+                         net::Address& first_hop, std::uint64_t& ctx) {
   obs::Span span("mixnet.onion_wrap");
   if (chain.empty()) {
     throw std::invalid_argument("mixnet: need at least one mix");
@@ -292,7 +297,7 @@ void Sender::send_message(const std::string& message,
     next = chain[i].address;
   }
 
-  const std::uint64_t ctx = sim.new_context();
+  ctx = sim.new_context();
   log_->observe(address(), core::sensitive_identity(user_label_, "network"),
                 ctx);
   if (message.starts_with("CHAFF:")) {
@@ -300,7 +305,33 @@ void Sender::send_message(const std::string& message,
   } else {
     log_->observe(address(), core::sensitive_data("msg:" + message), ctx);
   }
-  sim.send(net::Packet{address(), next, std::move(blob), ctx, "mix"});
+  first_hop = std::move(next);
+  return blob;
+}
+
+void Sender::send_message(const std::string& message,
+                          const std::vector<HopInfo>& chain,
+                          const HopInfo& receiver, net::Simulator& sim) {
+  net::Address first_hop;
+  std::uint64_t ctx = 0;
+  Bytes blob = wrap_onion(message, chain, receiver, sim, first_hop, ctx);
+  sim.send(net::Packet{address(), first_hop, std::move(blob), ctx, "mix"});
+}
+
+void Sender::send_message_reliable(const std::string& message,
+                                   const std::vector<HopInfo>& chain,
+                                   const HopInfo& receiver, net::Simulator& sim,
+                                   const RetryPolicy& policy) {
+  net::Address first_hop;
+  std::uint64_t ctx = 0;
+  Bytes blob = wrap_onion(message, chain, receiver, sim, first_hop, ctx);
+  retry_run(
+      sim, policy, rng_,
+      [this, &sim, first_hop = std::move(first_hop), blob = std::move(blob),
+       ctx](unsigned) {
+        sim.send(net::Packet{address(), first_hop, blob, ctx, "mix"});
+      },
+      nullptr, nullptr);
 }
 
 }  // namespace dcpl::systems::mixnet

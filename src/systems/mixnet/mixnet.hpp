@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "crypto/csprng.hpp"
 #include "net/sim.hpp"
 #include "systems/channel.hpp"
+#include "systems/retry.hpp"
 
 namespace dcpl::systems::mixnet {
 
@@ -85,6 +87,7 @@ class Receiver final : public net::Node {
   const hpke::KeyPair& key() const { return kp_; }
   const std::vector<Delivery>& deliveries() const { return deliveries_; }
   std::size_t chaff_received() const { return chaff_; }
+  std::size_t duplicates_dropped() const { return duplicates_; }
 
   void on_packet(const net::Packet& p, net::Simulator& sim) override;
 
@@ -92,6 +95,12 @@ class Receiver final : public net::Node {
   hpke::KeyPair kp_;
   std::vector<Delivery> deliveries_;
   std::size_t chaff_ = 0;
+  std::size_t duplicates_ = 0;
+  // Sealed final-layer payloads already processed. A resend (or a
+  // fault-duplicated delivery) is byte-identical all the way through the
+  // chain — mixes peel layers but never re-randomize the inner blob — so
+  // deduping on the sealed bytes collapses every copy after the first.
+  std::set<Bytes> seen_payloads_;
   core::ObservationLog* log_;
   const core::AddressBook* book_;
 };
@@ -113,6 +122,18 @@ class Sender final : public net::Node {
                     const std::vector<HopInfo>& chain, const HopInfo& receiver,
                     net::Simulator& sim);
 
+  /// Loss-protected send_message. Mix-net delivery is one-way (no completion
+  /// signal reaches the sender), so this uses blind redundancy: the SAME
+  /// onion — built once, byte-identical, same linkage context — is re-sent
+  /// on `policy`'s backoff schedule (policy.max_attempts copies total) and
+  /// the receiver's payload dedup collapses whichever copies survive.
+  /// Re-wrapping instead would hand each mix fresh ciphertexts and let a
+  /// wiretap count one sender message per copy.
+  void send_message_reliable(const std::string& message,
+                             const std::vector<HopInfo>& chain,
+                             const HopInfo& receiver, net::Simulator& sim,
+                             const RetryPolicy& policy);
+
   /// Sends cover traffic (§4.3 "chaff"): indistinguishable on the wire from
   /// a real message, discarded by the receiver. Masks which senders are
   /// actually communicating.
@@ -133,6 +154,14 @@ class Sender final : public net::Node {
   struct ReplySecret {
     std::vector<Bytes> hop_keys;  // in chain order (first hop first)
   };
+
+  /// Builds the layered onion and logs the send; returns the wire blob and
+  /// sets `first_hop` / `ctx` for the caller to transmit (possibly more than
+  /// once).
+  Bytes wrap_onion(const std::string& message,
+                   const std::vector<HopInfo>& chain, const HopInfo& receiver,
+                   net::Simulator& sim, net::Address& first_hop,
+                   std::uint64_t& ctx);
 
   std::string user_label_;
   crypto::ChaChaRng rng_;

@@ -1,6 +1,7 @@
 #include "systems/odoh/odoh.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "obs/trace.hpp"
 
@@ -285,6 +286,11 @@ void OdohProxy::on_packet(const net::Packet& p, net::Simulator& sim) {
     return;
   }
 
+  // A fault-duplicated (or very late) target response whose pending entry is
+  // already gone must not be mistaken for a fresh client query and bounced
+  // back at the target.
+  if (p.src == target_) return;
+
   book_->observe_src(*log_, address(), p.src, p.context);
   log_->observe(address(), core::benign_data("odoh:ciphertext"), p.context);
 
@@ -350,6 +356,74 @@ void StubClient::query(const std::string& qname, Mode mode,
       return;
     }
   }
+}
+
+void StubClient::query_reliable(const std::string& qname, Mode mode,
+                                const net::Address& resolver,
+                                BytesView resolver_key,
+                                const net::Address& proxy, net::Simulator& sim,
+                                const RetryPolicy& policy,
+                                ReliableCallback cb) {
+  obs::Span span("odoh.client_query");
+  dns::Message q;
+  q.id = next_id_++;
+  q.recursion_desired = true;
+  q.questions.push_back(
+      dns::Question{dns::canonical_name(qname), dns::RecordType::kA,
+                    dns::kClassIn});
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(address(), core::sensitive_data("query:" + q.questions[0].qname),
+                ctx);
+
+  // Seal (or encode) ONCE; every resend puts the identical bytes on the wire
+  // under the same context so receivers can collapse duplicates.
+  Pending pending;
+  Bytes wire;
+  net::Address dst;
+  std::string proto;
+  switch (mode) {
+    case Mode::kDo53:
+      wire = q.encode();
+      dst = resolver;
+      proto = "dns";
+      break;
+    case Mode::kDoh: {
+      RequestState state =
+          seal_request(resolver_key, to_bytes(kDohInfo), q.encode(), rng_);
+      pending.response_key = std::move(state.response_key);
+      wire = std::move(state.encapsulated);
+      dst = resolver;
+      proto = "doh";
+      break;
+    }
+    case Mode::kOdoh: {
+      RequestState state =
+          seal_request(resolver_key, to_bytes(kDohInfo), q.encode(), rng_);
+      pending.response_key = std::move(state.response_key);
+      wire = std::move(state.encapsulated);
+      dst = proxy;
+      proto = "odoh";
+      break;
+    }
+  }
+
+  auto done_cb = std::make_shared<ReliableCallback>(std::move(cb));
+  pending.cb = [done_cb](const dns::Message& m) { (*done_cb)(m); };
+  pending_[ctx] = std::move(pending);
+  retry_run(
+      sim, policy, rng_,
+      [this, &sim, ctx, wire = std::move(wire), dst = std::move(dst),
+       proto = std::move(proto)](unsigned) {
+        sim.send(net::Packet{address(), dst, wire, ctx, proto});
+      },
+      [this, ctx] { return pending_.count(ctx) == 0; },
+      [this, ctx, done_cb](const RetryError& e) {
+        pending_.erase(ctx);
+        (*done_cb)(Error{e.message()});
+      });
 }
 
 void StubClient::on_packet(const net::Packet& p, net::Simulator&) {

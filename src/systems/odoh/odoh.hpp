@@ -27,6 +27,7 @@
 #include "dns/zone.hpp"
 #include "net/sim.hpp"
 #include "systems/channel.hpp"
+#include "systems/retry.hpp"
 
 namespace dcpl::systems::odoh {
 
@@ -144,6 +145,7 @@ enum class Mode { kDo53, kDoh, kOdoh };
 class StubClient final : public net::Node {
  public:
   using AnswerCallback = std::function<void(const dns::Message&)>;
+  using ReliableCallback = std::function<void(Result<dns::Message>)>;
 
   StubClient(net::Address address, std::string user_label,
              core::ObservationLog& log, std::uint64_t seed);
@@ -153,6 +155,14 @@ class StubClient final : public net::Node {
   void query(const std::string& qname, Mode mode, const net::Address& resolver,
              BytesView resolver_key, const net::Address& proxy,
              net::Simulator& sim, AnswerCallback cb);
+
+  /// Loss-protected query(): resends the SAME sealed wire bytes under the
+  /// same linkage context on `policy`'s backoff schedule until the answer
+  /// arrives, then hands the callback a typed error if it never does.
+  void query_reliable(const std::string& qname, Mode mode,
+                      const net::Address& resolver, BytesView resolver_key,
+                      const net::Address& proxy, net::Simulator& sim,
+                      const RetryPolicy& policy, ReliableCallback cb);
 
   std::size_t answers_received() const { return answers_; }
 

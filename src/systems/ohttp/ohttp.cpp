@@ -99,6 +99,12 @@ void Gateway::on_packet(const net::Packet& p, net::Simulator& sim) {
     return;
   }
 
+  // A fault-duplicated origin response whose pending entry is already gone
+  // must not be trial-decrypted as if it were a fresh relay request.
+  for (const auto& [authority, addr] : origins_) {
+    if (addr == p.src) return;
+  }
+
   // Otherwise: an encapsulated request from the relay. Trial-decrypt with
   // every active key, newest first (key rotation grace window).
   book_->observe_src(*log_, address(), p.src, p.context);
@@ -152,6 +158,10 @@ void Relay::on_packet(const net::Packet& p, net::Simulator& sim) {
     return;
   }
 
+  // A duplicated (or very late) gateway response with no pending entry must
+  // not be forwarded back to the gateway as a "request".
+  if (p.src == gateway_) return;
+
   // Request from a client: the relay sees who, but only ciphertext.
   book_->observe_src(*log_, address(), p.src, p.context);
   log_->observe(address(), core::benign_data("ohttp:ciphertext"), p.context);
@@ -192,6 +202,36 @@ void Client::fetch(const http::Request& request, net::Simulator& sim,
   pending_[ctx] = Pending{std::move(state.response_key), std::move(cb)};
   sim.send(net::Packet{address(), relay_, std::move(state.encapsulated), ctx,
                        "ohttp"});
+}
+
+void Client::fetch_reliable(const http::Request& request, net::Simulator& sim,
+                            const RetryPolicy& policy, ReliableCallback cb) {
+  Bytes plaintext = request.encode_binary();
+  if (padding_bucket_ > 0) {
+    plaintext = pad_to_bucket(plaintext, padding_bucket_);
+  }
+  RequestState state =
+      seal_request(gateway_public_, to_bytes(kInfo), plaintext, rng_);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity(user_label_, "network"),
+                ctx);
+  log_->observe(address(), url_atom(request), ctx);
+
+  auto done_cb = std::make_shared<ReliableCallback>(std::move(cb));
+  pending_[ctx] = Pending{
+      std::move(state.response_key),
+      [done_cb](const http::Response& r) { (*done_cb)(r); }};
+  retry_run(
+      sim, policy, rng_,
+      [this, &sim, ctx, wire = std::move(state.encapsulated)](unsigned) {
+        sim.send(net::Packet{address(), relay_, wire, ctx, "ohttp"});
+      },
+      [this, ctx] { return pending_.count(ctx) == 0; },
+      [this, ctx, done_cb](const RetryError& e) {
+        pending_.erase(ctx);
+        (*done_cb)(Error{e.message()});
+      });
 }
 
 void Client::on_packet(const net::Packet& p, net::Simulator&) {

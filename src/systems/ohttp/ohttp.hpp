@@ -13,12 +13,14 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "core/address_book.hpp"
 #include "core/observation.hpp"
 #include "crypto/csprng.hpp"
 #include "http/message.hpp"
 #include "net/sim.hpp"
 #include "systems/channel.hpp"
+#include "systems/retry.hpp"
 
 namespace dcpl::systems::ohttp {
 
@@ -135,6 +137,17 @@ class Client final : public net::Node {
   /// Encapsulates and sends `request`; `cb` fires when the reply arrives.
   void fetch(const http::Request& request, net::Simulator& sim,
              ResponseCallback cb);
+
+  using ReliableCallback = std::function<void(Result<http::Response>)>;
+
+  /// fetch() with loss protection: re-sends the identical encapsulated
+  /// request (same linkage context) on `policy`'s backoff schedule until the
+  /// response arrives, then hands `cb` the response — or a typed error once
+  /// the policy is exhausted. Duplicated deliveries are harmless: the relay
+  /// and gateway path is read-idempotent and the client ignores responses
+  /// after the first.
+  void fetch_reliable(const http::Request& request, net::Simulator& sim,
+                      const RetryPolicy& policy, ReliableCallback cb);
 
   void on_packet(const net::Packet& p, net::Simulator& sim) override;
 

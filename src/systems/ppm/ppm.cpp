@@ -96,6 +96,7 @@ void Aggregator::handle_share(const net::Packet& p, net::Simulator& sim) {
     log_->observe(address(), core::benign_data("ppm:share"), p.context);
   }
 
+  if (!seen_submissions_.insert(submission).second) return;
   buffered_[submission] = Buffered{x_share, x2_share, {}};
 
   // Send this aggregator's piece of the opened check value to the leader.
@@ -139,6 +140,7 @@ void Aggregator::handle_hist_share(const net::Packet& p, net::Simulator& sim) {
   } else {
     log_->observe(address(), core::benign_data("ppm:share"), p.context);
   }
+  if (!seen_submissions_.insert(submission).second) return;
   buffered_[submission] = std::move(buf);
 
   ByteWriter w;
@@ -162,6 +164,12 @@ void Aggregator::handle_check(const net::Packet& p, net::Simulator& sim) {
   const Fp sq_piece{r.u64()};
   const Fp hot_piece{r.u64()};
 
+  // Duplicated pieces (resent shares, fault-duplicated check packets, or
+  // stragglers arriving after the verdict) must not be re-summed: the check
+  // value would come out wrong and an honest submission would be rejected.
+  if (decided_.count(submission)) return;
+  if (!check_sources_[submission].insert(p.src).second) return;
+
   auto& [sq_sum, hot_sum, seen] = checks_[submission];
   sq_sum = sq_sum + sq_piece;
   hot_sum = hot_sum + hot_piece;
@@ -171,6 +179,8 @@ void Aggregator::handle_check(const net::Packet& p, net::Simulator& sim) {
   // One-hot additionally requires the opened sum to equal exactly 1.
   const bool accept = sq_sum == Fp{} && (mode != 1 || hot_sum == Fp{1});
   checks_.erase(submission);
+  check_sources_.erase(submission);
+  decided_.insert(submission);
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kVerdict));
   w.u64(submission);
@@ -239,6 +249,7 @@ void Collector::collect(net::Simulator& sim, ResultCallback cb) {
   obs::Span span("ppm.collect");
   cb_ = std::move(cb);
   received_.clear();
+  responded_.clear();
   count_.reset();
   for (const auto& agg : aggregators_) {
     ByteWriter w;
@@ -251,6 +262,7 @@ void Collector::collect(net::Simulator& sim, ResultCallback cb) {
 void Collector::collect_histogram(net::Simulator& sim, HistogramCallback cb) {
   hist_cb_ = std::move(cb);
   hist_received_.clear();
+  responded_.clear();
   count_.reset();
   for (const auto& agg : aggregators_) {
     ByteWriter w;
@@ -273,6 +285,7 @@ void Collector::on_packet(const net::Packet& p, net::Simulator&) {
       log_->observe(address(), core::benign_data("ppm:aggregate-share"),
                     p.context);
 
+      if (!responded_.insert(p.src).second) return;
       count_ = count;  // identical across honest aggregators
       received_.push_back(share);
       if (received_.size() == aggregators_.size() && cb_) {
@@ -291,6 +304,7 @@ void Collector::on_packet(const net::Packet& p, net::Simulator&) {
       log_->observe(address(), core::benign_data("ppm:aggregate-share"),
                     p.context);
 
+      if (!responded_.insert(p.src).second) return;
       count_ = count;
       hist_received_.push_back(std::move(shares));
       if (hist_received_.size() == aggregators_.size() && hist_cb_) {
@@ -348,10 +362,10 @@ Client::Client(net::Address address, std::string user_label,
     : Node(std::move(address)), user_label_(std::move(user_label)),
       client_id_(client_id), rng_(seed), log_(&log) {}
 
-void Client::submit_bool(bool value,
-                         const std::vector<AggregatorInfo>& aggregators,
-                         net::Simulator& sim, const net::Address& proxy,
-                         std::optional<Fp> raw_x, std::optional<Fp> raw_x2) {
+std::vector<Client::WirePacket> Client::build_bool_packets(
+    bool value, const std::vector<AggregatorInfo>& aggregators,
+    net::Simulator& sim, const net::Address& proxy, std::optional<Fp> raw_x,
+    std::optional<Fp> raw_x2) {
   const Fp x = raw_x.value_or(Fp{value ? 1u : 0u});
   const Fp x2 = raw_x2.value_or(x * x);
   const std::size_t k = aggregators.size();
@@ -360,6 +374,7 @@ void Client::submit_bool(bool value,
 
   const std::uint64_t submission = (client_id_ << 32) | ++seq_;
 
+  std::vector<WirePacket> packets;
   for (std::size_t i = 0; i < k; ++i) {
     ByteWriter inner;
     inner.u64(submission);
@@ -382,16 +397,46 @@ void Client::submit_bool(bool value,
                   ctx);
 
     if (proxy.empty()) {
-      sim.send(net::Packet{address(), aggregators[i].address,
-                           std::move(share_packet), ctx, "ppm"});
+      packets.push_back(
+          WirePacket{aggregators[i].address, std::move(share_packet), ctx});
     } else {
       ByteWriter wrap;
       wrap.u8(static_cast<std::uint8_t>(MsgType::kProxyWrap));
       wrap.vec(to_bytes(aggregators[i].address), 2);
       wrap.vec(share_packet, 4);
-      sim.send(net::Packet{address(), proxy, std::move(wrap).take(), ctx,
-                           "ppm"});
+      packets.push_back(WirePacket{proxy, std::move(wrap).take(), ctx});
     }
+  }
+  return packets;
+}
+
+void Client::submit_bool(bool value,
+                         const std::vector<AggregatorInfo>& aggregators,
+                         net::Simulator& sim, const net::Address& proxy,
+                         std::optional<Fp> raw_x, std::optional<Fp> raw_x2) {
+  for (auto& pkt : build_bool_packets(value, aggregators, sim, proxy, raw_x,
+                                      raw_x2)) {
+    sim.send(net::Packet{address(), pkt.dst, std::move(pkt.payload), pkt.ctx,
+                         "ppm"});
+  }
+}
+
+void Client::submit_bool_reliable(bool value,
+                                  const std::vector<AggregatorInfo>& aggregators,
+                                  net::Simulator& sim,
+                                  const RetryPolicy& policy,
+                                  const net::Address& proxy) {
+  // ONE sharing, sealed once per aggregator; every resend repeats the same
+  // bytes under the same context (see header comment).
+  for (auto& pkt : build_bool_packets(value, aggregators, sim, proxy,
+                                      std::nullopt, std::nullopt)) {
+    retry_run(
+        sim, policy, rng_,
+        [this, &sim, pkt = std::move(pkt)](unsigned) {
+          sim.send(net::Packet{address(), pkt.dst, pkt.payload, pkt.ctx,
+                               "ppm"});
+        },
+        nullptr, nullptr);
   }
 }
 

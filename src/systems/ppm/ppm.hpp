@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/address_book.hpp"
@@ -29,6 +30,7 @@
 #include "net/sim.hpp"
 #include "systems/channel.hpp"
 #include "systems/ppm/field.hpp"
+#include "systems/retry.hpp"
 
 namespace dcpl::systems::ppm {
 
@@ -72,8 +74,17 @@ class Aggregator final : public net::Node {
   std::vector<net::Address> peers_;
 
   std::map<std::uint64_t, Buffered> buffered_;  // submission id -> shares
+  // Submission ids ever buffered: a resent or fault-duplicated share must
+  // not re-buffer and emit a second check piece (the leader would then see
+  // two pieces from the same aggregator and double-count the sharing).
+  std::set<std::uint64_t> seen_submissions_;
   // Leader only: (sum of x^2-x pieces, sum of one-hot pieces, arrivals).
   std::map<std::uint64_t, std::tuple<Fp, Fp, std::size_t>> checks_;
+  // Leader only: which aggregators contributed a piece (dedups duplicated
+  // check packets) and which submissions already got a verdict (drops
+  // late/duplicated pieces after the broadcast).
+  std::map<std::uint64_t, std::set<net::Address>> check_sources_;
+  std::set<std::uint64_t> decided_;
   Fp accumulator_;
   std::vector<Fp> hist_accumulator_;
   std::size_t hist_accepted_ = 0;
@@ -108,6 +119,9 @@ class Collector final : public net::Node {
   std::vector<net::Address> aggregators_;
   std::vector<Fp> received_;
   std::vector<std::vector<Fp>> hist_received_;
+  // Aggregators that already answered the current collect round: a
+  // duplicated response would otherwise be double-counted into the sum.
+  std::set<net::Address> responded_;
   std::optional<std::size_t> count_;
   ResultCallback cb_;
   HistogramCallback hist_cb_;
@@ -151,6 +165,17 @@ class Client final : public net::Node {
                    std::optional<Fp> raw_x = std::nullopt,
                    std::optional<Fp> raw_x2 = std::nullopt);
 
+  /// Loss-protected submit_bool(). Submission is one-way (no ack), so each
+  /// aggregator's share is re-sent blindly on `policy`'s backoff schedule —
+  /// always the SAME sealed share from the SAME sharing under the SAME
+  /// context (a fresh sharing per copy would hand aggregators mismatched
+  /// shares, and the check protocol would reject or, worse, leak). The
+  /// aggregator's seen-submission dedup collapses surviving copies.
+  void submit_bool_reliable(bool value,
+                            const std::vector<AggregatorInfo>& aggregators,
+                            net::Simulator& sim, const RetryPolicy& policy,
+                            const net::Address& proxy = {});
+
   /// Submits a bounded integer in [0, 2^bits): Prio's integer encoding.
   /// The value is bit-decomposed into a `bits`-wide vector; every bit is
   /// shared and validity-checked as boolean (but no one-hot constraint), so
@@ -173,6 +198,17 @@ class Client final : public net::Node {
   void on_packet(const net::Packet&, net::Simulator&) override {}
 
  private:
+  struct WirePacket {
+    net::Address dst;
+    Bytes payload;
+    std::uint64_t ctx;
+  };
+
+  std::vector<WirePacket> build_bool_packets(
+      bool value, const std::vector<AggregatorInfo>& aggregators,
+      net::Simulator& sim, const net::Address& proxy, std::optional<Fp> raw_x,
+      std::optional<Fp> raw_x2);
+
   void submit_vector(const std::vector<Fp>& values, bool one_hot,
                      const std::vector<AggregatorInfo>& aggregators,
                      net::Simulator& sim, const net::Address& proxy,

@@ -1,5 +1,7 @@
 #include "systems/privacypass/privacypass.hpp"
 
+#include <memory>
+
 #include "common/io.hpp"
 #include "obs/trace.hpp"
 
@@ -34,6 +36,16 @@ void Issuer::register_account(const std::string& account) {
 
 void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
   obs::Span span("privacypass.issue");
+  // Replayed (resent or fault-duplicated) request: re-emit the original
+  // verdict without touching the issuance counters. An empty cached entry
+  // records a denial, which gets no response.
+  if (const Bytes* cached = replay_.find(p.context)) {
+    if (!cached->empty()) {
+      sim.send(net::Packet{address(), p.src, *cached, p.context,
+                           "privacypass"});
+    }
+    return;
+  }
   try {
     ByteReader r(p.payload);
     if (static_cast<MsgType>(r.u8()) != MsgType::kIssueRequest) return;
@@ -50,15 +62,18 @@ void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
 
     if (!accounts_.count(account)) {
       ++denied_;
+      replay_.store(p.context, {});
       return;
     }
     if (limit_ != 0 && issued_per_account_[account] >= limit_) {
       ++denied_;
+      replay_.store(p.context, {});
       return;
     }
     auto blind_sig = crypto::blind_sign(key_, blinded);
     if (!blind_sig.ok()) {
       ++denied_;
+      replay_.store(p.context, {});
       return;
     }
     ++issued_;
@@ -67,7 +82,9 @@ void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(MsgType::kIssueResponse));
     w.vec(blind_sig.value(), 2);
-    sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+    Bytes response = std::move(w).take();
+    replay_.store(p.context, response);
+    sim.send(net::Packet{address(), p.src, std::move(response), p.context,
                          "privacypass"});
   } catch (const ParseError&) {
   }
@@ -85,6 +102,13 @@ Origin::Origin(net::Address address, std::string authority,
 
 void Origin::on_packet(const net::Packet& p, net::Simulator& sim) {
   obs::Span span("privacypass.redeem");
+  // A resent access request repeats the SAME nonce under the SAME context;
+  // replay the stored verdict so the retry is not misread as a double-spend.
+  if (const Bytes* cached = replay_.find(p.context)) {
+    sim.send(
+        net::Packet{address(), p.src, *cached, p.context, "privacypass"});
+    return;
+  }
   try {
     ByteReader r(p.payload);
     if (static_cast<MsgType>(r.u8()) != MsgType::kAccessRequest) return;
@@ -111,7 +135,9 @@ void Origin::on_packet(const net::Packet& p, net::Simulator& sim) {
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(MsgType::kAccessResponse));
     w.u8(valid ? 1 : 0);
-    sim.send(net::Packet{address(), p.src, std::move(w).take(), p.context,
+    Bytes response = std::move(w).take();
+    replay_.store(p.context, response);
+    sim.send(net::Packet{address(), p.src, std::move(response), p.context,
                          "privacypass"});
   } catch (const ParseError&) {
   }
@@ -147,6 +173,40 @@ void Client::request_token(net::Simulator& sim) {
                        "privacypass"});
 }
 
+void Client::request_token_reliable(net::Simulator& sim,
+                                    const RetryPolicy& policy,
+                                    IssueCallback cb) {
+  obs::Span span("privacypass.blind_request");
+  Bytes nonce = rng_.bytes(32);
+  crypto::BlindingState state = crypto::blind(issuer_key_, nonce, rng_);
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity("account:" + account_),
+                ctx);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kIssueRequest));
+  w.vec(to_bytes(account_), 1);
+  w.vec(state.blinded_message, 2);
+  pending_issuance_.emplace(ctx,
+                            std::make_pair(std::move(nonce), std::move(state)));
+  auto done_cb = std::make_shared<IssueCallback>(std::move(cb));
+  pending_issue_cbs_[ctx] = [done_cb](Result<Token> r) {
+    (*done_cb)(std::move(r));
+  };
+  retry_run(
+      sim, policy, rng_,
+      [this, &sim, ctx, wire = std::move(w).take()](unsigned) {
+        sim.send(net::Packet{address(), issuer_, wire, ctx, "privacypass"});
+      },
+      [this, ctx] { return pending_issuance_.count(ctx) == 0; },
+      [this, ctx, done_cb](const RetryError& e) {
+        pending_issuance_.erase(ctx);
+        pending_issue_cbs_.erase(ctx);
+        (*done_cb)(Error{e.message()});
+      });
+}
+
 bool Client::access(const net::Address& origin, const std::string& path,
                     net::Simulator& sim, ServedCallback cb) {
   if (wallet_.empty()) return false;
@@ -169,6 +229,38 @@ bool Client::access(const net::Address& origin, const std::string& path,
   return true;
 }
 
+bool Client::access_reliable(const net::Address& origin,
+                             const std::string& path, net::Simulator& sim,
+                             const RetryPolicy& policy, AccessCallback cb) {
+  if (wallet_.empty()) return false;
+  Token token = std::move(wallet_.back());
+  wallet_.pop_back();
+
+  const std::uint64_t ctx = sim.new_context();
+  log_->observe(address(), core::sensitive_identity("account:" + account_),
+                ctx);
+  log_->observe(address(), core::sensitive_data("url:" + origin + path), ctx);
+
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAccessRequest));
+  w.vec(to_bytes(path), 1);
+  w.vec(token.nonce, 1);
+  w.vec(token.signature, 2);
+  auto done_cb = std::make_shared<AccessCallback>(std::move(cb));
+  pending_access_[ctx] = [done_cb](bool served) { (*done_cb)(served); };
+  retry_run(
+      sim, policy, rng_,
+      [this, &sim, ctx, origin, wire = std::move(w).take()](unsigned) {
+        sim.send(net::Packet{address(), origin, wire, ctx, "privacypass"});
+      },
+      [this, ctx] { return pending_access_.count(ctx) == 0; },
+      [this, ctx, done_cb](const RetryError& e) {
+        pending_access_.erase(ctx);
+        (*done_cb)(Error{e.message()});
+      });
+  return true;
+}
+
 void Client::on_packet(const net::Packet& p, net::Simulator&) {
   try {
     ByteReader r(p.payload);
@@ -180,9 +272,17 @@ void Client::on_packet(const net::Packet& p, net::Simulator&) {
       Bytes blind_sig = r.vec(2);
       auto sig = crypto::finalize(issuer_key_, it->second.first,
                                   it->second.second, blind_sig);
+      auto cb_it = pending_issue_cbs_.find(p.context);
       if (sig.ok()) {
-        wallet_.push_back(Token{it->second.first, std::move(sig.value())});
+        Token token{it->second.first, std::move(sig.value())};
+        if (cb_it != pending_issue_cbs_.end() && cb_it->second) {
+          cb_it->second(token);
+        }
+        wallet_.push_back(std::move(token));
+      } else if (cb_it != pending_issue_cbs_.end() && cb_it->second) {
+        cb_it->second(Error{"privacypass: finalize failed"});
       }
+      if (cb_it != pending_issue_cbs_.end()) pending_issue_cbs_.erase(cb_it);
       pending_issuance_.erase(it);
       return;
     }

@@ -20,6 +20,7 @@
 #include "crypto/blind_rsa.hpp"
 #include "crypto/csprng.hpp"
 #include "net/sim.hpp"
+#include "systems/retry.hpp"
 
 namespace dcpl::systems::privacypass {
 
@@ -54,6 +55,10 @@ class Issuer final : public net::Node {
   std::set<std::string> accounts_;
   std::size_t limit_ = 0;
   std::map<std::string, std::size_t> issued_per_account_;
+  // At-most-once issuance: a retried or fault-duplicated request (same
+  // linkage context) replays the stored response instead of re-signing —
+  // otherwise a resend would double-count against the account's limit.
+  ReplayCache replay_;
   core::ObservationLog* log_;
   const core::AddressBook* book_;
   std::size_t issued_ = 0;
@@ -76,6 +81,10 @@ class Origin final : public net::Node {
   std::string authority_;
   crypto::RsaPublicKey issuer_key_;
   std::set<Bytes> seen_nonces_;  // double-spend prevention
+  // A resent access request carries the SAME nonce under the SAME context;
+  // without the replay cache it would hit seen_nonces_ and be misread as a
+  // double-spend attempt.
+  ReplayCache replay_;
   core::ObservationLog* log_;
   const core::AddressBook* book_;
   std::size_t served_ = 0;
@@ -86,6 +95,8 @@ class Origin final : public net::Node {
 class Client final : public net::Node {
  public:
   using ServedCallback = std::function<void(bool served)>;
+  using IssueCallback = std::function<void(Result<Token>)>;
+  using AccessCallback = std::function<void(Result<bool>)>;
 
   Client(net::Address address, std::string account, net::Address issuer,
          crypto::RsaPublicKey issuer_key, core::ObservationLog& log,
@@ -94,10 +105,24 @@ class Client final : public net::Node {
   /// Requests one token from the issuer (authenticated with the account).
   void request_token(net::Simulator& sim);
 
+  /// Loss-protected request_token(): resends the SAME blinded request under
+  /// the same context (the issuer's replay cache makes that at-most-once).
+  /// The callback gets the finalized token, or a typed error when issuance
+  /// is denied (the issuer stays silent) or every resend is lost.
+  void request_token_reliable(net::Simulator& sim, const RetryPolicy& policy,
+                              IssueCallback cb);
+
   /// Spends one wallet token at `origin` to access `path`. Returns false if
   /// no token is available.
   bool access(const net::Address& origin, const std::string& path,
               net::Simulator& sim, ServedCallback cb = nullptr);
+
+  /// Loss-protected access(): same token, same bytes, same context on every
+  /// resend — the origin replays its verdict rather than seeing a
+  /// double-spend. Returns false (no callback) if the wallet is empty.
+  bool access_reliable(const net::Address& origin, const std::string& path,
+                       net::Simulator& sim, const RetryPolicy& policy,
+                       AccessCallback cb);
 
   const std::vector<Token>& wallet() const { return wallet_; }
   std::size_t accesses_granted() const { return granted_; }
@@ -111,6 +136,7 @@ class Client final : public net::Node {
   crypto::ChaChaRng rng_;
   std::map<std::uint64_t, std::pair<Bytes, crypto::BlindingState>>
       pending_issuance_;
+  std::map<std::uint64_t, IssueCallback> pending_issue_cbs_;
   std::map<std::uint64_t, ServedCallback> pending_access_;
   std::vector<Token> wallet_;
   core::ObservationLog* log_;

@@ -1,0 +1,97 @@
+// Shared reliability primitive for the systems layer.
+//
+// Every protocol flow in this repo is request/response or fire-and-forget
+// over the lossy simulator. retry_run drives a bounded, seeded-jitter
+// exponential-backoff resend loop through Simulator::at so that under any
+// FaultPlan with loss < 1 a flow either completes or reports a typed
+// RetryError at a bounded virtual time — it can never hang the run.
+//
+// Resends must be *idempotent at the wire level*: the send hook is expected
+// to re-emit byte-identical packets under the same linkage context (never
+// re-randomize — e.g. re-sharing a PPM submission would hand each
+// aggregator shares from different sharings). Receivers pair this with
+// dedup/replay caches so duplicated deliveries are harmless.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/sim.hpp"
+
+namespace dcpl::systems {
+
+/// Backoff/deadline policy. Defaults suit the 10 ms-per-link simulator:
+/// first resend after 50 ms, doubling to a 800 ms cap.
+struct RetryPolicy {
+  unsigned max_attempts = 4;            ///< total sends, including the first
+  net::Time initial_timeout_us = 50'000;
+  net::Time max_timeout_us = 800'000;
+  double backoff = 2.0;                 ///< timeout multiplier per attempt
+  double jitter = 0.2;                  ///< +/- fraction of each timeout
+  net::Time deadline_us = 0;            ///< total elapsed budget; 0 = none
+};
+
+enum class RetryErrorKind {
+  kAttemptsExhausted,
+  kDeadlineExceeded,
+};
+
+/// Typed failure handed to the fail callback (and wrapped into a
+/// common::Error by the per-system reliable entry points).
+struct RetryError {
+  RetryErrorKind kind = RetryErrorKind::kAttemptsExhausted;
+  unsigned attempts = 0;        ///< sends performed before giving up
+  net::Time elapsed_us = 0;     ///< virtual time spent since the first send
+  std::string message() const;
+};
+
+/// The wait after attempt `attempt` (0-based): initial * backoff^attempt,
+/// clamped to [1, max_timeout_us], then jittered by a factor drawn from
+/// [1 - jitter, 1 + jitter) using `rng`. Deterministic for a fixed seed.
+net::Time backoff_timeout(const RetryPolicy& policy, unsigned attempt,
+                          Rng& rng);
+
+/// Drives a resend loop on the simulator clock. `send(attempt)` is invoked
+/// immediately for attempt 0 and again after each backoff timeout while
+/// `done()` stays false, up to policy.max_attempts sends; one final done()
+/// check runs a backoff after the last send, and `fail` (if set) fires with
+/// a typed RetryError when the flow still isn't complete. With a deadline,
+/// re-sends stop once the elapsed virtual time exceeds it (the first send
+/// always happens).
+///
+/// Blind-redundancy mode: pass done == nullptr for one-way flows with no
+/// completion signal (mixnet send, e-cash spend). All attempts fire on the
+/// backoff schedule, fail is never invoked, and receiver-side dedup is
+/// responsible for collapsing duplicates.
+///
+/// `sim` and `rng` must outlive the run() that drains the scheduled events.
+void retry_run(net::Simulator& sim, const RetryPolicy& policy, Rng& rng,
+               std::function<void(unsigned attempt)> send,
+               std::function<bool()> done,
+               std::function<void(const RetryError&)> fail);
+
+/// Receiver-side half of at-most-once execution. Servers whose handlers have
+/// side effects (deduct a balance, mark a token spent, append a billing
+/// event) key this cache by the request's linkage context: a resent or
+/// fault-duplicated request carries the same context, so the handler replays
+/// the stored response verbatim instead of re-executing — without which a
+/// retry would double-deduct or be misread as a double-spend.
+class ReplayCache {
+ public:
+  /// The response previously stored for `ctx`, or nullptr if none.
+  const Bytes* find(std::uint64_t ctx) const;
+
+  /// Records the response payload sent for `ctx`.
+  void store(std::uint64_t ctx, Bytes response);
+
+  std::size_t size() const { return responses_.size(); }
+
+ private:
+  std::map<std::uint64_t, Bytes> responses_;
+};
+
+}  // namespace dcpl::systems

@@ -1,0 +1,424 @@
+// Shared by test_faults.cpp and test_soak.cpp: one self-contained runner per
+// paper system (bench_tables T1-T8) that executes the system's workload —
+// optionally under a FaultPlan — and reports the derived knowledge tuples,
+// the decoupling verdict, the fault counters, and the final virtual time.
+// Request/response systems use their reliable entry points; one-way or
+// unwired systems use blind repetition.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "net/faults.hpp"
+#include "net/sim.hpp"
+#include "systems/ecash/ecash.hpp"
+#include "systems/mixnet/mixnet.hpp"
+#include "systems/mpr/mpr.hpp"
+#include "systems/odoh/odoh.hpp"
+#include "systems/pgpp/pgpp.hpp"
+#include "systems/ppm/ppm.hpp"
+#include "systems/privacypass/privacypass.hpp"
+#include "systems/retry.hpp"
+
+namespace dcpl::testutil {
+
+struct SystemRun {
+  std::map<std::string, std::string> tuples;
+  bool decoupled = false;
+  std::uint64_t injected = 0;   // faults the plan actually fired
+  net::Time end_time = 0;       // virtual time when the workload drained
+};
+
+/// The acceptance impairment: 5% loss, 5% duplication, 20% jitter ≤ 5 ms.
+inline net::FaultPlan impaired_plan(std::uint64_t seed) {
+  net::FaultPlan plan(seed);
+  plan.impair(net::Impairment{0.05, 0.05, 0.2, 5'000});
+  return plan;
+}
+
+inline std::uint64_t injected_count(const net::Simulator& sim) {
+  const net::FaultStats& s = sim.fault_stats();
+  return s.total_dropped() + s.duplicated + s.jittered + s.breaches_fired;
+}
+
+inline std::map<std::string, std::string> tuples_for(
+    const core::DecouplingAnalysis& a, const std::vector<std::string>& ps) {
+  std::map<std::string, std::string> out;
+  for (const auto& p : ps) out[p] = a.tuple_for(p).to_string();
+  return out;
+}
+
+inline SystemRun run_ecash(const net::FaultPlan* plan) {
+  using namespace systems::ecash;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("bank.example", core::benign_identity("addr:bank.example"));
+  book.set("seller.example", core::benign_identity("addr:seller.example"));
+  book.set("10.0.0.1", core::sensitive_identity("account:alice", "network"));
+
+  Bank bank("bank.example", 1024, log, book, 1);
+  bank.open_account("alice", 12);
+  Seller seller("seller.example", "bank.example", bank.public_key(), log,
+                book);
+  Buyer buyer("10.0.0.1", "anon:alpha", "alice", "bank.example",
+              bank.public_key(), log, 7);
+  sim.add_node(bank);
+  sim.add_node(seller);
+  sim.add_node(buyer);
+  if (plan) sim.set_fault_plan(*plan);
+
+  // No reliable wiring: blind repetition rides out loss.
+  for (int i = 0; i < 8; ++i) buyer.withdraw(sim);
+  sim.run();
+  buyer.spend("seller.example", "paperback", sim);
+  buyer.spend("seller.example", "coffee", sim);
+  buyer.spend("seller.example", "stamps", sim);
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(a, {"10.0.0.1", kSigner, kVerifier, "seller.example"});
+  r.decoupled = a.is_decoupled("10.0.0.1");
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_mixnet(const net::FaultPlan* plan) {
+  using namespace systems::mixnet;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::vector<std::unique_ptr<MixNode>> mixes;
+  std::vector<HopInfo> chain;
+  for (int i = 0; i < 3; ++i) {
+    std::string addr = "mix" + std::to_string(i + 1);
+    book.set(addr, core::benign_identity("addr:" + addr));
+    mixes.push_back(
+        std::make_unique<MixNode>(addr, 2, 100'000, log, book, 10 + i));
+    sim.add_node(*mixes.back());
+    chain.push_back(HopInfo{addr, mixes.back()->key().public_key});
+  }
+  book.set("rcv1", core::benign_identity("addr:rcv1"));
+  Receiver receiver("rcv1", log, book, 50);
+  sim.add_node(receiver);
+
+  std::vector<std::unique_ptr<Sender>> senders;
+  std::vector<core::Party> users;
+  for (int i = 0; i < 4; ++i) {
+    std::string addr = "10.1.0." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:s" + std::to_string(i),
+                                            "network"));
+    senders.push_back(std::make_unique<Sender>(
+        addr, "user:s" + std::to_string(i), log, 100 + i));
+    sim.add_node(*senders.back());
+    users.push_back(addr);
+  }
+  if (plan) sim.set_fault_plan(*plan);
+
+  HopInfo rcv{"rcv1", receiver.key().public_key};
+  systems::RetryPolicy policy;
+  for (auto& s : senders) {
+    s->send_message_reliable("dissent", chain, rcv, sim, policy);
+  }
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(a, {"10.1.0.1", "mix1", "mix2", "mix3", "rcv1"});
+  r.decoupled = a.is_decoupled(users);
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_privacypass(const net::FaultPlan* plan) {
+  using namespace systems::privacypass;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("issuer.example", core::benign_identity("addr:issuer.example"));
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("tor-exit.example", core::benign_identity("addr:tor-exit.example"));
+
+  Issuer issuer("issuer.example", 1024, log, book, 1);
+  issuer.register_account("alice");
+  Origin origin("origin.example", "origin.example", issuer.public_key(), log,
+                book);
+  Client client("tor-exit.example", "alice", "issuer.example",
+                issuer.public_key(), log, 7);
+  sim.add_node(issuer);
+  sim.add_node(origin);
+  sim.add_node(client);
+  if (plan) sim.set_fault_plan(*plan);
+
+  systems::RetryPolicy policy;
+  for (int i = 0; i < 3; ++i) {
+    client.request_token_reliable(sim, policy, [](Result<Token>) {});
+  }
+  sim.run();
+  client.access_reliable("origin.example", "/protected-a", sim, policy,
+                         [](Result<bool>) {});
+  client.access_reliable("origin.example", "/protected-b", sim, policy,
+                         [](Result<bool>) {});
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(
+      a, {"tor-exit.example", "issuer.example", "origin.example"});
+  r.decoupled = a.is_decoupled("tor-exit.example");
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_odoh(const net::FaultPlan* plan) {
+  using namespace systems::odoh;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  for (const char* x : {"198.41.0.4", "192.5.6.30", "192.0.2.53",
+                        "target.example", "proxy.example"}) {
+    book.set(x, core::benign_identity(std::string("addr:") + x));
+  }
+  book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+  dns::Zone root_zone("");
+  root_zone.delegate("com", "a.gtld-servers.net", "192.5.6.30");
+  dns::Zone com_zone("com");
+  com_zone.delegate("example.com", "ns1.example.com", "192.0.2.53");
+  dns::Zone example_zone("example.com");
+  example_zone.add_a("www.example.com", "203.0.113.10");
+  example_zone.add_a("mail.example.com", "203.0.113.25");
+
+  AuthorityNode root("198.41.0.4", std::move(root_zone), log, book);
+  AuthorityNode tld("192.5.6.30", std::move(com_zone), log, book);
+  AuthorityNode auth("192.0.2.53", std::move(example_zone), log, book);
+  ResolverNode target("target.example", "198.41.0.4", log, book, 2);
+  OdohProxy proxy("proxy.example", "target.example", log, book);
+  StubClient client("10.0.0.1", "user:alice", log, 7);
+  for (net::Node* n : std::vector<net::Node*>{&root, &tld, &auth, &target,
+                                              &proxy, &client}) {
+    sim.add_node(*n);
+  }
+  if (plan) sim.set_fault_plan(*plan);
+
+  systems::RetryPolicy policy;
+  client.query_reliable("www.example.com", Mode::kOdoh, "",
+                        target.key().public_key, "proxy.example", sim,
+                        policy, [](Result<dns::Message>) {});
+  client.query_reliable("mail.example.com", Mode::kOdoh, "",
+                        target.key().public_key, "proxy.example", sim,
+                        policy, [](Result<dns::Message>) {});
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(a, {"10.0.0.1", "proxy.example", "target.example"});
+  r.decoupled = a.is_decoupled("10.0.0.1");
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_pgpp(const net::FaultPlan* plan) {
+  using namespace systems::pgpp;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("pgpp-gw.example", core::benign_identity("addr:pgpp-gw.example"));
+  book.set("ngc.example", core::benign_identity("addr:ngc.example"));
+  book.set("ue0", core::sensitive_identity("subscriber:alice", "human"));
+
+  Gateway gw("pgpp-gw.example", 1024, log, book, 1);
+  CellularCore ngc("ngc.example", CoreMode::kPgpp, gw.public_key(), log, book);
+  MobileUser user("ue0", "alice", "001010000000001", "pgpp-gw.example",
+                  "ngc.example", gw.public_key(), log, 7);
+  sim.add_node(gw);
+  sim.add_node(ngc);
+  sim.add_node(user);
+  if (plan) sim.set_fault_plan(*plan);
+
+  // Two token purchases so a lost response cannot zero the wallet.
+  user.buy_tokens(4, sim);
+  user.buy_tokens(4, sim);
+  sim.run();
+  const std::uint64_t epochs =
+      std::min<std::uint64_t>(4, user.tokens_available());
+  for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+    user.attach(static_cast<std::uint16_t>(10 + epoch), epoch,
+                CoreMode::kPgpp, sim);
+  }
+  sim.run();
+
+  const std::vector<std::pair<std::string, std::string>> facets = {
+      {"human", "H"}, {"network", "N"}};
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  for (const char* p : {"ue0", "pgpp-gw.example", "ngc.example"}) {
+    r.tuples[p] = a.faceted_tuple(p, facets);
+  }
+  r.decoupled = a.is_decoupled("ue0");
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_mpr(const net::FaultPlan* plan) {
+  using namespace systems::mpr;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("relay1.example", core::benign_identity("addr:relay1.example"));
+  book.set("relay2.example", core::benign_identity("addr:relay2.example"));
+  book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+  SecureOrigin origin(
+      "origin.example",
+      [](const http::Request& req) {
+        http::Response resp;
+        resp.body = to_bytes("ok " + req.path);
+        return resp;
+      },
+      log, book, 1);
+  OnionRelay relay1("relay1.example", log, book, 10);
+  OnionRelay relay2("relay2.example", log, book, 11);
+  Client client("10.0.0.1", "user:alice", log, 42);
+  sim.add_node(origin);
+  sim.add_node(relay1);
+  sim.add_node(relay2);
+  sim.add_node(client);
+  if (plan) sim.set_fault_plan(*plan);
+
+  std::vector<RelayInfo> chain = {
+      {"relay1.example", relay1.key().public_key},
+      {"relay2.example", relay2.key().public_key}};
+  // No reliable wiring: independent circuits ride out loss.
+  for (int i = 0; i < 4; ++i) {
+    http::Request req;
+    req.authority = "origin.example";
+    req.path = "/page-" + std::to_string(i);
+    client.fetch_via_relays(req, chain, "origin.example",
+                            origin.key().public_key, sim, nullptr);
+  }
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(a, {"10.0.0.1", "relay1.example", "relay2.example",
+                            "origin.example"});
+  r.decoupled = a.is_decoupled("10.0.0.1");
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_ppm(const net::FaultPlan* plan) {
+  using namespace systems::ppm;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+
+  std::vector<net::Address> agg_addrs = {"agg0.example", "agg1.example"};
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    book.set(agg_addrs[i], core::benign_identity("addr:" + agg_addrs[i]));
+    aggs.push_back(std::make_unique<Aggregator>(
+        agg_addrs[i], i, 2, agg_addrs[0], log, book, 10 + i));
+    sim.add_node(*aggs.back());
+  }
+  aggs[0]->set_peers(agg_addrs);
+  book.set("collector.example",
+           core::benign_identity("addr:collector.example"));
+  Collector collector("collector.example", agg_addrs, log, book);
+  sim.add_node(collector);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<core::Party> users;
+  std::vector<AggregatorInfo> infos = {
+      {agg_addrs[0], aggs[0]->key().public_key},
+      {agg_addrs[1], aggs[1]->key().public_key}};
+  for (int i = 0; i < 8; ++i) {
+    std::string addr = "10.0.3." + std::to_string(i + 1);
+    book.set(addr, core::sensitive_identity("user:c" + std::to_string(i),
+                                            "network"));
+    clients.push_back(std::make_unique<Client>(
+        addr, "user:c" + std::to_string(i), i + 1, log, 100 + i));
+    sim.add_node(*clients.back());
+    users.push_back(addr);
+  }
+  if (plan) sim.set_fault_plan(*plan);
+
+  systems::RetryPolicy policy;
+  for (int i = 0; i < 8; ++i) {
+    clients[i]->submit_bool_reliable(i % 3 == 0, infos, sim, policy);
+  }
+  sim.run();
+  // collect() is unreliable fan-out; two rounds ride out response loss.
+  for (int round = 0; round < 2; ++round) {
+    collector.collect(sim, [](std::size_t, std::uint64_t) {});
+    sim.run();
+  }
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(a, {"10.0.3.1", "agg0.example", "collector.example"});
+  r.decoupled = a.is_decoupled(users);
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+inline SystemRun run_vpn(const net::FaultPlan* plan) {
+  using namespace systems::mpr;
+  net::Simulator sim;
+  core::ObservationLog log;
+  core::AddressBook book;
+  book.set("origin.example", core::benign_identity("addr:origin.example"));
+  book.set("vpn.example", core::benign_identity("addr:vpn.example"));
+  book.set("10.0.0.1", core::sensitive_identity("user:alice", "network"));
+
+  SecureOrigin origin(
+      "origin.example",
+      [](const http::Request& req) {
+        http::Response resp;
+        resp.body = to_bytes("ok " + req.path);
+        return resp;
+      },
+      log, book, 1);
+  VpnServer vpn("vpn.example", log, book, 99);
+  Client client("10.0.0.1", "user:alice", log, 42);
+  sim.add_node(origin);
+  sim.add_node(vpn);
+  sim.add_node(client);
+  if (plan) sim.set_fault_plan(*plan);
+
+  RelayInfo tunnel{"vpn.example", vpn.key().public_key};
+  for (int i = 0; i < 3; ++i) {
+    http::Request req;
+    req.authority = "origin.example";
+    req.path = "/page-" + std::to_string(i);
+    client.fetch_via_vpn(req, tunnel, "origin.example",
+                         origin.key().public_key, sim, nullptr);
+  }
+  sim.run();
+
+  core::DecouplingAnalysis a(log);
+  SystemRun r;
+  r.tuples = tuples_for(a, {"10.0.0.1", "vpn.example", "origin.example"});
+  r.decoupled = a.is_decoupled("10.0.0.1");
+  r.injected = injected_count(sim);
+  r.end_time = sim.now();
+  return r;
+}
+
+}  // namespace dcpl::testutil

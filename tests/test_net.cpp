@@ -67,6 +67,42 @@ TEST(Simulator, DefaultLatencyForUnconnectedPairs) {
   EXPECT_EQ(b.times[0], 123u);
 }
 
+TEST(Simulator, HasLinkDistinguishesConfiguredPairs) {
+  Simulator sim;
+  sim.connect("a", "b", 5000);
+  EXPECT_TRUE(sim.has_link("a", "b"));
+  EXPECT_TRUE(sim.has_link("b", "a"));  // connect installs both directions
+  EXPECT_FALSE(sim.has_link("a", "c"));
+  EXPECT_FALSE(sim.has_link("c", "a"));
+}
+
+TEST(Simulator, LinkLatencyIsNulloptForUnknownPairs) {
+  Simulator sim;
+  sim.set_default_latency(123);
+  sim.connect("a", "b", 5000);
+  // Explicit link: the configured value.
+  EXPECT_EQ(sim.link_latency("a", "b"), 5000u);
+  EXPECT_EQ(sim.link_latency("b", "a"), 5000u);
+  // Unknown pair: nullopt, NOT the default-latency fallback that
+  // latency_between applies at delivery time.
+  EXPECT_EQ(sim.link_latency("a", "c"), std::nullopt);
+}
+
+TEST(Simulator, ReconnectReplacesLatencyExplicitly) {
+  Simulator sim;
+  EchoNode a("a", false), b("b", false);
+  sim.add_node(a);
+  sim.add_node(b);
+  sim.connect("a", "b", 5000);
+  sim.connect("a", "b", 900);  // documented: replaces the previous latency
+  EXPECT_EQ(sim.link_latency("a", "b"), 900u);
+  EXPECT_EQ(sim.link_latency("b", "a"), 900u);
+  sim.send(Packet{"a", "b", to_bytes("hi"), 1, "test"});
+  sim.run();
+  ASSERT_EQ(b.times.size(), 1u);
+  EXPECT_EQ(b.times[0], 900u);
+}
+
 TEST(Simulator, ExtraDelayAddsToLatency) {
   Simulator sim;
   EchoNode a("a", false), b("b", false);

@@ -1,0 +1,248 @@
+// systems/retry: backoff bounds, deadline semantics, seeded-jitter
+// determinism, blind-redundancy mode, and the ReplayCache used for
+// at-most-once server handlers.
+#include "systems/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim.hpp"
+
+namespace dcpl::systems {
+namespace {
+
+TEST(Backoff, ExactDoublingWithoutJitter) {
+  RetryPolicy p;
+  p.initial_timeout_us = 50'000;
+  p.max_timeout_us = 800'000;
+  p.backoff = 2.0;
+  p.jitter = 0.0;
+  XoshiroRng rng(1);
+  EXPECT_EQ(backoff_timeout(p, 0, rng), 50'000u);
+  EXPECT_EQ(backoff_timeout(p, 1, rng), 100'000u);
+  EXPECT_EQ(backoff_timeout(p, 2, rng), 200'000u);
+  EXPECT_EQ(backoff_timeout(p, 3, rng), 400'000u);
+  EXPECT_EQ(backoff_timeout(p, 4, rng), 800'000u);
+  // Clamped at the cap from here on.
+  EXPECT_EQ(backoff_timeout(p, 5, rng), 800'000u);
+  EXPECT_EQ(backoff_timeout(p, 63, rng), 800'000u);
+}
+
+TEST(Backoff, MonotoneWithoutJitter) {
+  RetryPolicy p;
+  p.jitter = 0.0;
+  XoshiroRng rng(1);
+  net::Time prev = 0;
+  for (unsigned a = 0; a < 20; ++a) {
+    const net::Time t = backoff_timeout(p, a, rng);
+    EXPECT_GE(t, prev) << "attempt " << a;
+    prev = t;
+  }
+}
+
+TEST(Backoff, JitterStaysWithinFraction) {
+  RetryPolicy p;
+  p.initial_timeout_us = 100'000;
+  p.max_timeout_us = 100'000;  // pin the base so only jitter varies
+  p.jitter = 0.2;
+  XoshiroRng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const net::Time t = backoff_timeout(p, 0, rng);
+    EXPECT_GE(t, 80'000u);
+    EXPECT_LT(t, 120'000u);
+  }
+}
+
+TEST(Backoff, NeverBelowOneMicrosecond) {
+  RetryPolicy p;
+  p.initial_timeout_us = 0;
+  p.jitter = 0.0;
+  XoshiroRng rng(1);
+  EXPECT_GE(backoff_timeout(p, 0, rng), 1u);
+}
+
+TEST(Backoff, SeededJitterIsDeterministic) {
+  RetryPolicy p;  // default jitter 0.2
+  XoshiroRng rng_a(42), rng_b(42);
+  for (unsigned a = 0; a < 16; ++a) {
+    EXPECT_EQ(backoff_timeout(p, a, rng_a), backoff_timeout(p, a, rng_b));
+  }
+  // A different seed diverges somewhere in the sequence.
+  XoshiroRng rng_c(42), rng_d(43);
+  bool diverged = false;
+  for (unsigned a = 0; a < 16; ++a) {
+    diverged |= backoff_timeout(p, a, rng_c) != backoff_timeout(p, a, rng_d);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryRun, FirstSendSucceedsWithoutResend) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  unsigned sends = 0;
+  bool delivered = false;
+  bool failed = false;
+  retry_run(
+      sim, policy, rng,
+      [&](unsigned) {
+        ++sends;
+        delivered = true;
+      },
+      [&] { return delivered; },
+      [&](const RetryError&) { failed = true; });
+  sim.run();
+  EXPECT_EQ(sends, 1u);
+  EXPECT_FALSE(failed);
+}
+
+TEST(RetryRun, ResendsUntilDonePredicateFlips) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  unsigned sends = 0;
+  bool failed = false;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends; },
+      [&] { return sends >= 3; },  // "response" arrives after the third send
+      [&](const RetryError&) { failed = true; });
+  sim.run();
+  EXPECT_EQ(sends, 3u);
+  EXPECT_FALSE(failed);
+}
+
+TEST(RetryRun, AttemptsExhaustedIsTyped) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  unsigned sends = 0;
+  std::vector<RetryError> errors;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends; }, [] { return false; },
+      [&](const RetryError& e) { errors.push_back(e); });
+  sim.run();
+  EXPECT_EQ(sends, 4u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, RetryErrorKind::kAttemptsExhausted);
+  EXPECT_EQ(errors[0].attempts, 4u);
+  EXPECT_NE(errors[0].message().find("attempts exhausted"),
+            std::string::npos);
+}
+
+TEST(RetryRun, DeadlineExceededIsTyped) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_timeout_us = 50'000;
+  policy.jitter = 0.0;
+  policy.deadline_us = 120'000;
+  unsigned sends = 0;
+  std::vector<RetryError> errors;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends; }, [] { return false; },
+      [&](const RetryError& e) { errors.push_back(e); });
+  sim.run();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, RetryErrorKind::kDeadlineExceeded);
+  EXPECT_GE(errors[0].elapsed_us, policy.deadline_us);
+  // Far fewer sends than max_attempts: the deadline cut the loop short.
+  EXPECT_LT(sends, 10u);
+  EXPECT_GE(sends, 1u);
+}
+
+TEST(RetryRun, FirstSendHappensEvenWithImmediateDeadline) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.deadline_us = 1;  // expires before any resend is possible
+  unsigned sends = 0;
+  std::vector<RetryError> errors;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends; }, [] { return false; },
+      [&](const RetryError& e) { errors.push_back(e); });
+  sim.run();
+  EXPECT_EQ(sends, 1u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, RetryErrorKind::kDeadlineExceeded);
+}
+
+TEST(RetryRun, ZeroMaxAttemptsFailsWithoutSending) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  unsigned sends = 0;
+  std::vector<RetryError> errors;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends; }, [] { return false; },
+      [&](const RetryError& e) { errors.push_back(e); });
+  sim.run();
+  EXPECT_EQ(sends, 0u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, RetryErrorKind::kAttemptsExhausted);
+  EXPECT_EQ(errors[0].attempts, 0u);
+}
+
+TEST(RetryRun, BlindModeSendsEveryAttemptAndNeverFails) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  std::vector<unsigned> attempts_seen;
+  bool failed = false;
+  retry_run(
+      sim, policy, rng,
+      [&](unsigned attempt) { attempts_seen.push_back(attempt); },
+      /*done=*/nullptr, [&](const RetryError&) { failed = true; });
+  sim.run();
+  EXPECT_EQ(attempts_seen, (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_FALSE(failed);
+}
+
+TEST(RetryRun, ResendSpacingFollowsBackoffSchedule) {
+  net::Simulator sim;
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_timeout_us = 50'000;
+  policy.jitter = 0.0;
+  std::vector<net::Time> send_times;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { send_times.push_back(sim.now()); },
+      nullptr, nullptr);
+  sim.run();
+  ASSERT_EQ(send_times.size(), 3u);
+  EXPECT_EQ(send_times[0], 0u);
+  EXPECT_EQ(send_times[1], 50'000u);   // after the first timeout
+  EXPECT_EQ(send_times[2], 150'000u);  // + doubled second timeout
+}
+
+TEST(ReplayCache, StoresAndReplaysByContext) {
+  ReplayCache cache;
+  EXPECT_EQ(cache.find(7), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  cache.store(7, to_bytes("response-a"));
+  ASSERT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(to_string(*cache.find(7)), "response-a");
+  EXPECT_EQ(cache.find(8), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Re-storing the same context replaces (idempotent handlers re-store the
+  // same bytes; this just pins the latest).
+  cache.store(7, to_bytes("response-b"));
+  EXPECT_EQ(to_string(*cache.find(7)), "response-b");
+  EXPECT_EQ(cache.size(), 1u);
+
+  // An empty stored response is distinguishable from "never seen".
+  cache.store(9, {});
+  ASSERT_NE(cache.find(9), nullptr);
+  EXPECT_TRUE(cache.find(9)->empty());
+}
+
+}  // namespace
+}  // namespace dcpl::systems

@@ -6,6 +6,7 @@
 
 #include "core/analysis.hpp"
 #include "crypto/sha256.hpp"
+#include "impaired_systems.hpp"
 #include "systems/mixnet/mixnet.hpp"
 #include "systems/ohttp/ohttp.hpp"
 #include "systems/ppm/ppm.hpp"
@@ -223,6 +224,67 @@ TEST(Soak, TraceVolumeIsSubstantial) {
   // The mixed workload should exercise hundreds of packets.
   EXPECT_GT(city.sim.packets_delivered(), 300u);
   EXPECT_GT(city.sim.bytes_delivered(), 25'000u);
+}
+
+// 1000+ randomized-seed runs sweeping loss ∈ {0, 0.05, 0.2} across all
+// eight paper systems (bench_tables T1-T8). Every run must drain at bounded
+// virtual time, and impairment must never *create* a coupling: systems that
+// are decoupled fault-free stay decoupled under any seeded plan (faults can
+// only remove or duplicate observations). The VPN control stays coupled in
+// every fault-free run. Seeds come from a fixed-seed generator, so the whole
+// sweep is reproducible.
+TEST(Soak, ThousandRunRandomizedFaultSweep) {
+  using testutil::SystemRun;
+  struct Entry {
+    const char* name;
+    SystemRun (*run)(const net::FaultPlan*);
+    bool decoupled_when_clean;
+  };
+  const Entry entries[] = {
+      {"ecash", testutil::run_ecash, true},
+      {"mixnet", testutil::run_mixnet, true},
+      {"privacypass", testutil::run_privacypass, true},
+      {"odoh", testutil::run_odoh, true},
+      {"pgpp", testutil::run_pgpp, true},
+      {"mpr", testutil::run_mpr, true},
+      {"ppm", testutil::run_ppm, true},
+      {"vpn", testutil::run_vpn, false},
+  };
+  const double losses[] = {0.0, 0.05, 0.2};
+
+  XoshiroRng seed_gen(2026);
+  int runs = 0;
+  std::uint64_t injected_total = 0;
+  for (int iter = 0; iter < 42; ++iter) {
+    for (double loss : losses) {
+      for (const Entry& e : entries) {
+        const std::uint64_t seed = seed_gen.u64();
+        SystemRun r;
+        if (loss == 0.0) {
+          r = e.run(nullptr);
+        } else {
+          net::FaultPlan plan(seed);
+          plan.impair(net::Impairment{loss, 0.05, 0.2, 5'000});
+          r = e.run(&plan);
+          injected_total += r.injected;
+        }
+        ++runs;
+        // Bounded virtual time: bounded retries mean every workload drains
+        // within a minute of simulated time, impaired or not.
+        EXPECT_LT(r.end_time, 60'000'000u)
+            << e.name << " seed " << seed << " loss " << loss;
+        if (e.decoupled_when_clean) {
+          EXPECT_TRUE(r.decoupled)
+              << e.name << " seed " << seed << " loss " << loss;
+        } else if (loss == 0.0) {
+          // The coupled control: no fault-free run may look decoupled.
+          EXPECT_FALSE(r.decoupled) << e.name << " seed " << seed;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(runs, 1008);
+  EXPECT_GT(injected_total, 0u);
 }
 
 }  // namespace
