@@ -1,0 +1,28 @@
+#include "net/address.hpp"
+
+#include <stdexcept>
+
+namespace dcpl::net {
+
+AddressId AddressInterner::intern(const Address& name) {
+  auto [it, inserted] =
+      ids_.try_emplace(name, static_cast<AddressId>(names_.size()));
+  if (inserted) names_.push_back(&it->first);
+  return it->second;
+}
+
+std::optional<AddressId> AddressInterner::lookup(const Address& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Address& AddressInterner::name(AddressId id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("AddressInterner: unknown id " +
+                            std::to_string(id));
+  }
+  return *names_[id];
+}
+
+}  // namespace dcpl::net

@@ -21,10 +21,9 @@
 #include <utility>
 #include <vector>
 
-namespace dcpl::net {
+#include "net/address.hpp"
 
-using Address = std::string;
-using Time = std::uint64_t;
+namespace dcpl::net {
 
 /// Stochastic link impairment, applied independently per packet send.
 struct Impairment {
@@ -105,6 +104,22 @@ class FaultPlan {
   bool partitioned(const Address& a, const Address& b, Time t) const;
   bool offline_at(const Address& party, Time t) const;
   const std::vector<BreachEvent>& breaches() const { return breaches_; }
+
+  // Raw plan contents, exposed so the simulator can intern every address a
+  // plan mentions once at set_fault_plan time and serve all per-send checks
+  // from flat id-keyed tables. References into these maps stay valid for
+  // the plan's lifetime (node-based storage).
+  const Impairment& global_impairment() const { return global_; }
+  const std::map<std::pair<Address, Address>, Impairment>& per_link() const {
+    return per_link_;
+  }
+  const std::map<std::pair<Address, Address>, std::vector<Window>>&
+  partitions() const {
+    return partitions_;
+  }
+  const std::map<Address, std::vector<Window>>& offline_windows() const {
+    return offline_;
+  }
 
  private:
   std::uint64_t seed_;

@@ -1,5 +1,6 @@
 #include "net/sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dcpl::net {
@@ -34,9 +35,10 @@ void Simulator::set_metrics(obs::Registry& registry) {
   if (fault_plan_) bind_fault_metrics();
 }
 
-obs::Counter& Simulator::link_bytes_counter(const Address& src,
+obs::Counter& Simulator::link_bytes_counter(std::uint64_t link_key,
+                                            const Address& src,
                                             const Address& dst) {
-  auto [it, inserted] = link_bytes_m_.try_emplace({src, dst}, nullptr);
+  auto [it, inserted] = link_bytes_m_.try_emplace(link_key, nullptr);
   if (inserted) {
     it->second = &metrics_->counter("link_bytes", {{"link", src + "->" + dst}});
   }
@@ -44,71 +46,132 @@ obs::Counter& Simulator::link_bytes_counter(const Address& src,
 }
 
 void Simulator::add_node(Node& node) {
-  auto [it, inserted] = nodes_.emplace(node.address(), &node);
-  if (!inserted) {
+  const AddressId id = interner_.intern(node.address());
+  if (id >= nodes_.size()) nodes_.resize(id + 1, nullptr);
+  if (nodes_[id] != nullptr) {
     throw std::invalid_argument("Simulator: duplicate address " +
                                 node.address());
   }
+  nodes_[id] = &node;
+}
+
+Simulator::LinkState& Simulator::ensure_link(AddressId a, AddressId b) {
+  auto [it, inserted] = links_.try_emplace(pack_link(a, b));
+  if (inserted && fault_plan_) {
+    // A pair first seen after plan install still gets its per-link
+    // impairment override; the string lookup happens once per pair.
+    const auto& per_link = fault_plan_->per_link();
+    auto imp = per_link.find({interner_.name(a), interner_.name(b)});
+    if (imp != per_link.end()) it->second.impairment = &imp->second;
+  }
+  return it->second;
 }
 
 void Simulator::connect(const Address& a, const Address& b, Time latency_us) {
-  links_[{a, b}] = latency_us;
-  links_[{b, a}] = latency_us;
-}
-
-Time Simulator::latency_between(const Address& a, const Address& b) const {
-  auto it = links_.find({a, b});
-  return it != links_.end() ? it->second : default_latency_;
+  const AddressId ia = interner_.intern(a);
+  const AddressId ib = interner_.intern(b);
+  for (LinkState* ls : {&ensure_link(ia, ib), &ensure_link(ib, ia)}) {
+    ls->latency = latency_us;
+    ls->has_latency = true;
+  }
 }
 
 bool Simulator::has_link(const Address& a, const Address& b) const {
-  return links_.count({a, b}) > 0;
+  return link_latency(a, b).has_value();
 }
 
 std::optional<Time> Simulator::link_latency(const Address& a,
                                             const Address& b) const {
-  auto it = links_.find({a, b});
-  if (it == links_.end()) return std::nullopt;
-  return it->second;
+  const auto ia = interner_.lookup(a);
+  const auto ib = interner_.lookup(b);
+  if (!ia || !ib) return std::nullopt;
+  auto it = links_.find(pack_link(*ia, *ib));
+  if (it == links_.end() || !it->second.has_latency) return std::nullopt;
+  return it->second.latency;
 }
 
 void Simulator::set_bandwidth(const Address& a, const Address& b,
                               std::uint64_t bytes_per_ms) {
-  bandwidth_[{a, b}] = bytes_per_ms;
-  bandwidth_[{b, a}] = bytes_per_ms;
+  const AddressId ia = interner_.intern(a);
+  const AddressId ib = interner_.intern(b);
+  ensure_link(ia, ib).bandwidth = bytes_per_ms;
+  ensure_link(ib, ia).bandwidth = bytes_per_ms;
 }
 
-void Simulator::schedule_delivery(Node* dst, Packet packet, Time deliver_at) {
-  delivery_latency_m_->observe(static_cast<double>(deliver_at - now_));
-  queue_.push(Event{deliver_at, ++event_seq_,
-                    [this, dst, p = std::move(packet)]() mutable {
-                      if (fault_plan_ && fault_plan_->offline_at(p.dst, now_)) {
-                        ++fault_stats_.offline_dropped;
-                        faults_offline_m_->inc();
-                        return;
-                      }
-                      obs::Span span(*tracer_, "deliver:" + p.protocol, "net");
-                      span.arg("src", p.src);
-                      span.arg("dst", p.dst);
-                      TraceEntry entry{now_,      p.src,     p.dst,
-                                       p.payload.size(), p.context, p.protocol};
-                      bytes_delivered_ += entry.size;
-                      packets_m_->inc();
-                      bytes_m_->inc(entry.size);
-                      link_bytes_counter(p.src, p.dst).inc(entry.size);
-                      trace_.push_back(entry);
-                      for (auto& tap : wiretaps_) tap(entry);
-                      dst->on_packet(p, *this);
-                    }});
+bool Simulator::partitioned_at(std::uint64_t link_key, Time t) const {
+  auto it = partitions_m_.find(link_key);
+  if (it == partitions_m_.end()) return false;
+  for (const Window& w : *it->second) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+bool Simulator::offline_at_id(AddressId id, Time t) const {
+  auto it = offline_m_.find(id);
+  if (it == offline_m_.end()) return false;
+  for (const Window& w : *it->second) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+void Simulator::schedule_delivery(Node* dst, Packet packet, Time deliver_at,
+                                  std::uint64_t link_key) {
+  // The latency sample is computed now but recorded only inside the
+  // delivery lambda: a packet later dropped by a crash window must not
+  // contribute to the delivery-latency histogram.
+  const Time latency_sample = deliver_at - now_;
+  queue_.push(Event{
+      deliver_at, ++event_seq_,
+      [this, dst, link_key, latency_sample, p = std::move(packet)]() mutable {
+        if (fault_plan_ && offline_at_id(link_dst(link_key), now_)) {
+          ++fault_stats_.offline_dropped;
+          faults_offline_m_->inc();
+          return;
+        }
+        delivery_latency_m_->observe(static_cast<double>(latency_sample));
+        const bool traced = tracer_->enabled();
+        obs::Span span(*tracer_,
+                       traced ? "deliver:" + p.protocol : std::string(),
+                       "net");
+        if (traced) {
+          span.arg("src", p.src);
+          span.arg("dst", p.dst);
+        }
+        ++packets_delivered_;
+        bytes_delivered_ += p.payload.size();
+        packets_m_->inc();
+        bytes_m_->inc(p.payload.size());
+        if (link_byte_accounting_) {
+          link_bytes_counter(link_key, p.src, p.dst).inc(p.payload.size());
+        }
+        if (record_trace_ || !wiretaps_.empty()) {
+          TraceEntry entry{now_,      p.src,     p.dst,
+                           p.payload.size(), p.context, p.protocol};
+          for (auto& tap : wiretaps_) tap(entry);
+          if (record_trace_) trace_.push_back(std::move(entry));
+        }
+        dst->on_packet(p, *this);
+      }});
   queue_depth_m_->set(static_cast<double>(queue_.size()));
 }
 
 void Simulator::send(Packet packet, Time extra_delay) {
-  auto it = nodes_.find(packet.dst);
-  if (it == nodes_.end()) {
+  const AddressId src_id = interner_.intern(packet.src);
+  const AddressId dst_id = interner_.intern(packet.dst);
+  Node* dst = dst_id < nodes_.size() ? nodes_[dst_id] : nullptr;
+  if (dst == nullptr) {
     throw std::out_of_range("Simulator: unknown destination " + packet.dst);
   }
-  Node* dst = it->second;
+  const std::uint64_t link_key = pack_link(src_id, dst_id);
+  // One flat lookup resolves latency, bandwidth, and per-link impairment.
+  // Pairs that were never connect()ed / impaired have no entry at all and
+  // fall through to the defaults.
+  const LinkState* link = nullptr;
+  if (auto it = links_.find(link_key); it != links_.end()) {
+    link = &it->second;
+  }
 
   // Fault rolls happen in send order from a dedicated seeded RNG, so a
   // fixed (workload, plan) pair replays the exact same fault sequence. A
@@ -119,28 +182,33 @@ void Simulator::send(Packet packet, Time extra_delay) {
   Time dup_delay = 0;
   bool duplicated = false;
   if (fault_plan_) {
-    if (fault_plan_->partitioned(packet.src, packet.dst, now_)) {
+    if (partitioned_at(link_key, now_)) {
       ++fault_stats_.partition_dropped;
       faults_partition_m_->inc();
-      obs::Span span(*tracer_, "fault.partition", "net");
-      span.arg("src", packet.src);
-      span.arg("dst", packet.dst);
+      if (tracer_->enabled()) {
+        obs::Span span(*tracer_, "fault.partition", "net");
+        span.arg("src", packet.src);
+        span.arg("dst", packet.dst);
+      }
       return;
     }
-    if (fault_plan_->offline_at(packet.src, now_)) {
+    if (offline_at_id(src_id, now_)) {
       ++fault_stats_.offline_dropped;
       faults_offline_m_->inc();
       return;
     }
-    const Impairment& imp =
-        fault_plan_->impairment_for(packet.src, packet.dst);
+    const Impairment& imp = link && link->impairment
+                                ? *link->impairment
+                                : fault_plan_->global_impairment();
     if (imp.active()) {
       if (imp.loss > 0 && fault_rng_->unit() < imp.loss) {
         ++fault_stats_.lost;
         faults_lost_m_->inc();
-        obs::Span span(*tracer_, "fault.loss", "net");
-        span.arg("src", packet.src);
-        span.arg("dst", packet.dst);
+        if (tracer_->enabled()) {
+          obs::Span span(*tracer_, "fault.loss", "net");
+          span.arg("src", packet.src);
+          span.arg("dst", packet.dst);
+        }
         return;
       }
       if (imp.duplicate > 0 && fault_rng_->unit() < imp.duplicate) {
@@ -160,21 +228,23 @@ void Simulator::send(Packet packet, Time extra_delay) {
   }
 
   Time serialization = 0;
-  if (auto bw = bandwidth_.find({packet.src, packet.dst});
-      bw != bandwidth_.end() && bw->second > 0) {
-    serialization = packet.payload.size() * 1000 / bw->second;  // us
+  if (link && link->bandwidth > 0) {
+    serialization = packet.payload.size() * 1000 / link->bandwidth;  // us
   }
-  const Time base = now_ + latency_between(packet.src, packet.dst) +
-                    serialization + extra_delay;
+  const Time latency =
+      link && link->has_latency ? link->latency : default_latency_;
+  const Time base = now_ + latency + serialization + extra_delay;
   if (duplicated) {
     ++fault_stats_.duplicated;
     faults_duplicated_m_->inc();
-    obs::Span span(*tracer_, "fault.duplicate", "net");
-    span.arg("src", packet.src);
-    span.arg("dst", packet.dst);
-    schedule_delivery(dst, packet, base + dup_delay);
+    if (tracer_->enabled()) {
+      obs::Span span(*tracer_, "fault.duplicate", "net");
+      span.arg("src", packet.src);
+      span.arg("dst", packet.dst);
+    }
+    schedule_delivery(dst, packet, base + dup_delay, link_key);
   }
-  schedule_delivery(dst, std::move(packet), base + fault_delay);
+  schedule_delivery(dst, std::move(packet), base + fault_delay, link_key);
 }
 
 void Simulator::at(Time t, std::function<void()> fn) {
@@ -206,14 +276,37 @@ void Simulator::add_wiretap(std::function<void(const TraceEntry&)> tap) {
   wiretaps_.push_back(std::move(tap));
 }
 
+void Simulator::rebuild_fault_tables() {
+  for (auto& [key, ls] : links_) ls.impairment = nullptr;
+  partitions_m_.clear();
+  offline_m_.clear();
+  if (!fault_plan_) return;
+  // Intern every address the plan mentions once, here, so per-send checks
+  // are flat id-keyed lookups. The pointed-to data lives in fault_plan_.
+  for (const auto& [pair, imp] : fault_plan_->per_link()) {
+    ensure_link(interner_.intern(pair.first), interner_.intern(pair.second))
+        .impairment = &imp;
+  }
+  for (const auto& [pair, windows] : fault_plan_->partitions()) {
+    partitions_m_[pack_link(interner_.intern(pair.first),
+                            interner_.intern(pair.second))] = &windows;
+  }
+  for (const auto& [party, windows] : fault_plan_->offline_windows()) {
+    offline_m_[interner_.intern(party)] = &windows;
+  }
+}
+
 void Simulator::set_fault_plan(FaultPlan plan) {
   fault_plan_ = std::move(plan);
   fault_rng_ = std::make_unique<XoshiroRng>(fault_plan_->seed());
   fault_stats_ = FaultStats{};
   breached_.clear();
   bind_fault_metrics();
+  rebuild_fault_tables();
   for (const BreachEvent& ev : fault_plan_->breaches()) {
-    at(ev.time, [this, ev] {
+    // A plan installed mid-run may carry an already-elapsed breach time;
+    // clamp it so the breach fires immediately instead of at() throwing.
+    at(std::max(ev.time, now_), [this, ev] {
       if (breached_.count(ev.party)) return;  // first breach wins
       breached_[ev.party] = now_;
       ++fault_stats_.breaches_fired;

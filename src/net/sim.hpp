@@ -10,6 +10,15 @@
 //
 // Everything is single-threaded and ordered by (time, sequence-number), so
 // runs are exactly reproducible.
+//
+// Hot-path layout: the public API speaks string addresses (observation logs
+// and traces need them), but internally every address is interned once into
+// a dense AddressId (net/address.hpp). The node table is a vector indexed
+// by id, and latency, bandwidth, and per-link impairment all live in one
+// LinkState resolved by a single flat-hash lookup on a packed
+// (src_id<<32)|dst_id key per send(). Interning happens in deterministic
+// first-use order, so the id layer cannot perturb event ordering or fault
+// rolls — a fixed (workload, plan) pair replays bit-identically.
 #pragma once
 
 #include <cstdint>
@@ -19,21 +28,17 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "net/address.hpp"
 #include "net/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dcpl::net {
-
-/// Node address ("who the IP layer says you are").
-using Address = std::string;
-
-/// Virtual time in microseconds.
-using Time = std::uint64_t;
 
 /// A network packet. `context` is the link-layer flow identifier (think
 /// 5-tuple / TCP connection): an observer that sees two packets with the
@@ -102,8 +107,8 @@ class Simulator {
   bool has_link(const Address& a, const Address& b) const;
 
   /// The explicitly configured latency for the pair, or nullopt when no
-  /// link exists — unlike latency_between, which silently falls back to
-  /// the default latency for unknown pairs.
+  /// link exists — unlike the delivery-time path, which silently falls back
+  /// to the default latency for unknown pairs.
   std::optional<Time> link_latency(const Address& a, const Address& b) const;
 
   /// Optional link bandwidth in bytes per millisecond (both directions);
@@ -133,15 +138,37 @@ class Simulator {
   /// Adds a passive observer of all deliveries (a global wiretap).
   void add_wiretap(std::function<void(const TraceEntry&)> tap);
 
-  /// Full delivery trace (always recorded; cheap at simulated scale).
+  /// Full delivery trace (recorded by default; see set_trace_recording).
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
-  std::size_t packets_delivered() const { return trace_.size(); }
+  /// Toggles accumulation of the in-memory delivery trace (on by default).
+  /// Wiretaps, metrics, and packet/byte totals are unaffected. Scale
+  /// workloads (bench_scale) turn it off so million-user runs stay bounded
+  /// in memory.
+  void set_trace_recording(bool on) { record_trace_ = on; }
+
+  /// Toggles per-link labeled byte counters (on by default). One labeled
+  /// counter exists per directed address pair, so workloads with ~10^6
+  /// distinct endpoints turn this off; the aggregate packet/byte counters
+  /// and totals are unaffected.
+  void set_link_byte_accounting(bool on) { link_byte_accounting_ = on; }
+
+  std::size_t packets_delivered() const { return packets_delivered_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// The interner mapping this simulator's addresses to dense ids. Ids are
+  /// assigned in deterministic first-use order and are stable for the
+  /// simulator's lifetime.
+  const AddressInterner& interner() const { return interner_; }
 
   /// Redirects this simulator's metrics into `registry` (default: the
   /// "sim" scope of the global registry). Handles are re-resolved lazily.
   void set_metrics(obs::Registry& registry);
+
+  /// The registry currently receiving this simulator's metrics. The retry
+  /// layer resolves its counters here so scoped-bench registries see retry
+  /// activity instead of a stale global handle.
+  obs::Registry& metrics_registry() const { return *metrics_; }
 
   /// Redirects span output (default: the global tracer).
   void set_tracer(obs::Tracer& tracer) { tracer_ = &tracer; }
@@ -149,7 +176,8 @@ class Simulator {
   /// Installs a fault plan governing every subsequent send(): impairment
   /// rolls come from a dedicated XoshiroRng seeded by the plan, so a fixed
   /// seed replays the exact same fault sequence. BreachEvents are scheduled
-  /// immediately (their times must be >= now()). Call before run().
+  /// immediately; a breach time already in the past (a plan installed
+  /// mid-run) is clamped to fire at now().
   void set_fault_plan(FaultPlan plan);
   bool has_fault_plan() const { return fault_plan_.has_value(); }
 
@@ -180,15 +208,31 @@ class Simulator {
     }
   };
 
-  Time latency_between(const Address& a, const Address& b) const;
+  /// Everything send() needs to know about one directed link, resolved by
+  /// a single flat-hash lookup on pack_link(src_id, dst_id). `impairment`
+  /// points into the installed FaultPlan (per-link override) or is null
+  /// (use the plan's global impairment).
+  struct LinkState {
+    Time latency = 0;
+    std::uint64_t bandwidth = 0;  // bytes per ms; 0 = infinite
+    const Impairment* impairment = nullptr;
+    bool has_latency = false;  // connect() was called for this pair
+  };
+
+  LinkState& ensure_link(AddressId a, AddressId b);
+  bool partitioned_at(std::uint64_t link_key, Time t) const;
+  bool offline_at_id(AddressId id, Time t) const;
+  void rebuild_fault_tables();
   void bind_metrics();
   void bind_fault_metrics();
-  void schedule_delivery(Node* dst, Packet packet, Time deliver_at);
-  obs::Counter& link_bytes_counter(const Address& src, const Address& dst);
+  void schedule_delivery(Node* dst, Packet packet, Time deliver_at,
+                         std::uint64_t link_key);
+  obs::Counter& link_bytes_counter(std::uint64_t link_key, const Address& src,
+                                   const Address& dst);
 
-  std::map<Address, Node*> nodes_;
-  std::map<std::pair<Address, Address>, Time> links_;
-  std::map<std::pair<Address, Address>, std::uint64_t> bandwidth_;
+  AddressInterner interner_;
+  std::vector<Node*> nodes_;  // dense, indexed by AddressId; null = no node
+  std::unordered_map<std::uint64_t, LinkState> links_;  // pack_link keys
   Time default_latency_ = 10'000;  // 10 ms
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
@@ -198,19 +242,28 @@ class Simulator {
 
   std::vector<std::function<void(const TraceEntry&)>> wiretaps_;
   std::vector<TraceEntry> trace_;
+  bool record_trace_ = true;
+  bool link_byte_accounting_ = true;
+  std::size_t packets_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
 
   // Fault injection. The RNG is separate from every protocol RNG so
   // installing a plan never perturbs protocol-level randomness, and the
-  // fast path stays untouched when no plan is installed.
+  // fast path stays untouched when no plan is installed. Partition and
+  // crash windows are re-keyed by interned id at set_fault_plan time; the
+  // pointed-to vectors live inside fault_plan_.
   std::optional<FaultPlan> fault_plan_;
   std::unique_ptr<XoshiroRng> fault_rng_;
   FaultStats fault_stats_;
   std::function<void(const BreachEvent&)> breach_handler_;
   std::map<Address, Time> breached_;
+  std::unordered_map<std::uint64_t, const std::vector<Window>*> partitions_m_;
+  std::unordered_map<AddressId, const std::vector<Window>*> offline_m_;
 
   // Observability sinks: metric handles are cached (stable for the
-  // registry's lifetime) so the per-event cost is one add each.
+  // registry's lifetime) so the per-event cost is one add each. Per-link
+  // byte counters are pre-resolved into a flat id-pair-keyed cache — the
+  // "src->dst" label string is built once per pair, never per packet.
   obs::Registry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* events_processed_m_ = nullptr;
@@ -218,7 +271,7 @@ class Simulator {
   obs::Counter* bytes_m_ = nullptr;
   obs::Gauge* queue_depth_m_ = nullptr;
   obs::Histogram* delivery_latency_m_ = nullptr;
-  std::map<std::pair<Address, Address>, obs::Counter*> link_bytes_m_;
+  std::unordered_map<std::uint64_t, obs::Counter*> link_bytes_m_;
   // Fault counters are only registered once a plan is installed, so
   // fault-free runs keep their metric snapshots unchanged.
   obs::Counter* faults_lost_m_ = nullptr;

@@ -36,16 +36,26 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Point-in-time level (queue depth, wallet size, active circuits).
+/// Point-in-time level (queue depth, wallet size, active circuits). Also
+/// tracks the high-watermark since construction/reset(), so scale benches
+/// can report peak queue depth without sampling every set().
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
+  void set(double v) {
+    value_ = v;
+    if (v > peak_) peak_ = v;
+  }
+  void add(double d) {
+    value_ += d;
+    if (value_ > peak_) peak_ = value_;
+  }
   double value() const { return value_; }
-  void reset() { value_ = 0; }
+  double peak() const { return peak_; }
+  void reset() { value_ = 0; peak_ = 0; }
 
  private:
   double value_ = 0;
+  double peak_ = 0;
 };
 
 /// Fixed-bucket histogram. Bounds are inclusive upper edges of each bucket;
@@ -148,9 +158,43 @@ Registry& global_registry();
 /// Hot-path op counter in a scope of the global registry. Call sites cache
 /// the handle in a function-local static so the steady-state cost is one
 /// increment:  static obs::Counter& c = obs::op_counter("crypto", "x25519");
+/// Only appropriate for metrics that always live in the *global* registry;
+/// code whose sink can be redirected (Simulator::set_metrics, scoped bench
+/// registries) must use CounterHandle instead, or the static reference
+/// silently keeps counting against the registry seen at first call.
 inline Counter& op_counter(const std::string& scope_name,
                            const std::string& name) {
   return global_registry().scope(scope_name).counter(name);
 }
+
+/// Cheap pre-resolved, rebindable counter handle. Caches the Counter*
+/// resolved from (scope, name) in one registry and re-resolves only when
+/// handed a *different* registry, so steady-state cost is one pointer
+/// compare + one add — while call sites that outlive registry swaps keep
+/// counting into the currently active registry instead of a stale one.
+/// The usual handle-lifetime contract applies: registries handed to in()
+/// must outlive the handle's next use.
+class CounterHandle {
+ public:
+  CounterHandle(std::string scope, std::string name)
+      : scope_(std::move(scope)), name_(std::move(name)) {}
+
+  /// The counter for this handle's (scope, name) inside `registry`,
+  /// re-resolved iff `registry` differs from the last call's.
+  Counter& in(Registry& registry) {
+    if (&registry != bound_) {
+      bound_ = &registry;
+      counter_ = scope_.empty()
+                     ? &registry.counter(name_)
+                     : &registry.scope(scope_).counter(name_);
+    }
+    return *counter_;
+  }
+
+ private:
+  std::string scope_, name_;
+  Registry* bound_ = nullptr;
+  Counter* counter_ = nullptr;
+};
 
 }  // namespace dcpl::obs

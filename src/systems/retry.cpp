@@ -23,6 +23,10 @@ net::Time backoff_timeout(const RetryPolicy& policy, unsigned attempt,
   if (t > max_t) t = max_t;
   if (policy.jitter > 0) {
     t *= 1.0 + policy.jitter * (2.0 * rng.unit() - 1.0);
+    // Clamp again *after* the jitter multiply: max_timeout_us bounds the
+    // effective timeout, not just the pre-jitter base — otherwise a flow at
+    // the cap could wait up to jitter x longer than configured.
+    if (t > max_t) t = max_t;
   }
   if (t < 1.0) t = 1.0;
   return static_cast<net::Time>(t);
@@ -32,10 +36,15 @@ void retry_run(net::Simulator& sim, const RetryPolicy& policy, Rng& rng,
                std::function<void(unsigned attempt)> send,
                std::function<bool()> done,
                std::function<void(const RetryError&)> fail) {
-  static obs::Counter& sends_m = obs::op_counter("retry", "sends");
-  static obs::Counter& resends_m = obs::op_counter("retry", "resends");
-  static obs::Counter& successes_m = obs::op_counter("retry", "successes");
-  static obs::Counter& failures_m = obs::op_counter("retry", "failures");
+  // Counters live in the "retry" scope of the simulator's *current* metrics
+  // registry, resolved through rebindable handles at each increment — never
+  // through a static reference bound at first call. A bench that redirects
+  // metrics via Simulator::set_metrics (even mid-flow) gets retry counts in
+  // its scoped registry instead of a stale one.
+  static obs::CounterHandle sends_h("retry", "sends");
+  static obs::CounterHandle resends_h("retry", "resends");
+  static obs::CounterHandle successes_h("retry", "successes");
+  static obs::CounterHandle failures_h("retry", "failures");
 
   struct State {
     unsigned attempt = 0;
@@ -57,7 +66,7 @@ void retry_run(net::Simulator& sim, const RetryPolicy& policy, Rng& rng,
   *step = [state, weak = std::weak_ptr<std::function<void()>>(step), &sim,
            &rng, policy] {
     if (state->done && state->done()) {
-      successes_m.inc();
+      successes_h.in(sim.metrics_registry()).inc();
       return;
     }
     const net::Time elapsed = sim.now() - state->start;
@@ -67,7 +76,7 @@ void retry_run(net::Simulator& sim, const RetryPolicy& policy, Rng& rng,
     if (past_deadline || state->attempt >= policy.max_attempts) {
       // Blind-redundancy flows (no done predicate) just stop resending.
       if (state->done) {
-        failures_m.inc();
+        failures_h.in(sim.metrics_registry()).inc();
         if (state->fail) {
           state->fail(RetryError{past_deadline
                                      ? RetryErrorKind::kDeadlineExceeded
@@ -77,8 +86,8 @@ void retry_run(net::Simulator& sim, const RetryPolicy& policy, Rng& rng,
       }
       return;
     }
-    sends_m.inc();
-    if (state->attempt > 0) resends_m.inc();
+    sends_h.in(sim.metrics_registry()).inc();
+    if (state->attempt > 0) resends_h.in(sim.metrics_registry()).inc();
     state->send(state->attempt);
     ++state->attempt;
     const net::Time wait = backoff_timeout(policy, state->attempt - 1, rng);

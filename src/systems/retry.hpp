@@ -50,8 +50,10 @@ struct RetryError {
 };
 
 /// The wait after attempt `attempt` (0-based): initial * backoff^attempt,
-/// clamped to [1, max_timeout_us], then jittered by a factor drawn from
-/// [1 - jitter, 1 + jitter) using `rng`. Deterministic for a fixed seed.
+/// jittered by a factor drawn from [1 - jitter, 1 + jitter) using `rng`,
+/// with the *effective* (post-jitter) value clamped to
+/// [1, max_timeout_us] — the configured maximum is a hard bound, jitter
+/// included. Deterministic for a fixed seed.
 net::Time backoff_timeout(const RetryPolicy& policy, unsigned attempt,
                           Rng& rng);
 

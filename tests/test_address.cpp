@@ -1,0 +1,99 @@
+// Tests for the address-interning layer behind the simulator hot path:
+// dense first-use ids, stable name round-trips, const lookup, and the
+// packed (src<<32)|dst link-key helpers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/sim.hpp"
+
+namespace dcpl::net {
+namespace {
+
+TEST(AddressInterner, AssignsDenseIdsInFirstUseOrder) {
+  AddressInterner interner;
+  EXPECT_EQ(interner.size(), 0u);
+  EXPECT_EQ(interner.intern("alice"), 0u);
+  EXPECT_EQ(interner.intern("bob"), 1u);
+  EXPECT_EQ(interner.intern("carol"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(AddressInterner, InternIsIdempotent) {
+  AddressInterner interner;
+  const AddressId a = interner.intern("relay");
+  EXPECT_EQ(interner.intern("relay"), a);
+  EXPECT_EQ(interner.intern("relay"), a);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(AddressInterner, NameRoundTripsThroughId) {
+  AddressInterner interner;
+  const AddressId a = interner.intern("gateway");
+  const AddressId b = interner.intern("origin");
+  EXPECT_EQ(interner.name(a), "gateway");
+  EXPECT_EQ(interner.name(b), "origin");
+}
+
+TEST(AddressInterner, LookupIsConstAndReturnsNulloptForUnknown) {
+  AddressInterner interner;
+  interner.intern("known");
+  const AddressInterner& view = interner;
+  ASSERT_TRUE(view.lookup("known").has_value());
+  EXPECT_EQ(*view.lookup("known"), 0u);
+  EXPECT_FALSE(view.lookup("unknown").has_value());
+  // lookup() must not intern as a side effect.
+  EXPECT_EQ(view.size(), 1u);
+}
+
+TEST(AddressInterner, NameThrowsForUnassignedId) {
+  AddressInterner interner;
+  interner.intern("only");
+  EXPECT_THROW(interner.name(1), std::out_of_range);
+  EXPECT_THROW(interner.name(42), std::out_of_range);
+}
+
+TEST(LinkKey, PacksSrcHighDstLow) {
+  const std::uint64_t key = pack_link(3, 7);
+  EXPECT_EQ(key, (std::uint64_t{3} << 32) | 7);
+  EXPECT_EQ(link_src(key), 3u);
+  EXPECT_EQ(link_dst(key), 7u);
+}
+
+TEST(LinkKey, DirectionsAreDistinctAndExtremesSurvive) {
+  EXPECT_NE(pack_link(1, 2), pack_link(2, 1));
+  const AddressId max = 0xffffffffu;
+  EXPECT_EQ(link_src(pack_link(max, 0)), max);
+  EXPECT_EQ(link_dst(pack_link(0, max)), max);
+}
+
+TEST(SimulatorInterner, AssignsIdsAsAddressesAppear) {
+  Simulator sim;
+  struct Silent : Node {
+    using Node::Node;
+    void on_packet(const Packet&, Simulator&) override {}
+  };
+  Silent a("a"), b("b");
+  sim.add_node(a);
+  sim.add_node(b);
+  ASSERT_TRUE(sim.interner().lookup("a").has_value());
+  ASSERT_TRUE(sim.interner().lookup("b").has_value());
+  EXPECT_EQ(sim.interner().name(*sim.interner().lookup("a")), "a");
+  EXPECT_FALSE(sim.interner().lookup("never-seen").has_value());
+}
+
+TEST(SimulatorInterner, RejectsDuplicateAddresses) {
+  Simulator sim;
+  struct Silent : Node {
+    using Node::Node;
+    void on_packet(const Packet&, Simulator&) override {}
+  };
+  Silent a1("dup"), a2("dup");
+  sim.add_node(a1);
+  EXPECT_THROW(sim.add_node(a2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcpl::net

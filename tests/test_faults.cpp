@@ -259,6 +259,119 @@ TEST(Faults, FixedSeedPlanReplaysBitIdentically) {
   EXPECT_FALSE(s1 == s3 && t1.size() == t3.size());
 }
 
+// Regression: delivery_latency_us used to be observed at schedule time, so
+// packets later dropped by a crash window still contributed samples. The
+// histogram must count only actual deliveries.
+TEST(Faults, OfflineDroppedPacketsLeaveLatencyHistogramUnchanged) {
+  net::Simulator sim;
+  obs::Registry reg;
+  sim.set_metrics(reg);
+  Sink a("a"), b("b");
+  sim.add_node(a);
+  sim.add_node(b);
+  net::FaultPlan plan(1);
+  plan.crash("b", 5'000, 20'000);
+  sim.set_fault_plan(plan);
+
+  // Arrives at 10'000, inside the crash window: dropped at delivery time.
+  sim.send(net::Packet{"a", "b", to_bytes("x"), 0, "t"});
+  // Arrives at 25'000, after recovery: delivered.
+  sim.at(15'000, [&] {
+    sim.send(net::Packet{"a", "b", to_bytes("x"), 0, "t"});
+  });
+  sim.run();
+
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sim.fault_stats().offline_dropped, 1u);
+  const auto& hist = reg.histogram("delivery_latency_us");
+  EXPECT_EQ(hist.count(), 1u);  // the dropped packet contributed no sample
+  EXPECT_EQ(hist.min(), 10'000.0);
+  EXPECT_EQ(hist.max(), 10'000.0);
+}
+
+// Regression: a plan installed mid-run with an already-elapsed breach time
+// used to throw "time in the past" from Simulator::at. Elapsed times are
+// clamped to fire immediately; future ones fire on schedule.
+TEST(Faults, MidRunPlanInstallClampsElapsedBreachTimes) {
+  net::Simulator sim;
+  std::vector<std::pair<net::Address, net::Time>> fired;
+  sim.set_breach_handler([&](const net::BreachEvent& e) {
+    fired.emplace_back(e.party, sim.now());
+  });
+  sim.at(50'000, [&] {
+    net::FaultPlan plan(1);
+    plan.breach("early", 10'000);  // already elapsed at install time
+    plan.breach("late", 80'000);
+    sim.set_fault_plan(plan);
+  });
+  sim.run();
+
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].first, "early");
+  EXPECT_EQ(fired[0].second, 50'000u);  // clamped to install time
+  EXPECT_EQ(fired[1].first, "late");
+  EXPECT_EQ(fired[1].second, 80'000u);
+  EXPECT_EQ(sim.breached_at("early"), 50'000u);
+}
+
+// Pins the documented roll-consumption contract: per surviving packet the
+// order is loss -> duplicate -> jitter -> duplicate-jitter, a lost packet
+// consumes exactly one roll, and each hit jitter roll draws one extra delay
+// value. An oracle replaying the same seeded RNG by that recipe must land on
+// the exact same FaultStats — two plans differing in one knob diverge, so a
+// reordered implementation cannot pass by accident.
+TEST(Faults, RollConsumptionOrderMatchesDocumentedContract) {
+  constexpr int kSends = 200;
+  const auto oracle = [](const net::Impairment& imp, std::uint64_t seed) {
+    XoshiroRng rng(seed);
+    net::FaultStats stats;
+    for (int i = 0; i < kSends; ++i) {
+      if (imp.loss > 0 && rng.unit() < imp.loss) {
+        ++stats.lost;
+        continue;  // a lost packet consumes exactly one roll
+      }
+      bool duplicated = false;
+      if (imp.duplicate > 0 && rng.unit() < imp.duplicate) duplicated = true;
+      if (imp.jitter > 0 && rng.unit() < imp.jitter) {
+        if (imp.jitter_max_us) rng.below(imp.jitter_max_us + 1);
+        ++stats.jittered;
+      }
+      if (duplicated && imp.jitter > 0 && rng.unit() < imp.jitter) {
+        if (imp.jitter_max_us) rng.below(imp.jitter_max_us + 1);
+      }
+      if (duplicated) ++stats.duplicated;
+    }
+    return stats;
+  };
+  const auto simulate = [](const net::Impairment& imp, std::uint64_t seed) {
+    net::Simulator sim;
+    Sink a("a"), b("b");
+    sim.add_node(a);
+    sim.add_node(b);
+    net::FaultPlan plan(seed);
+    plan.impair(imp);
+    sim.set_fault_plan(plan);
+    for (int i = 0; i < kSends; ++i) {
+      sim.send(net::Packet{"a", "b", to_bytes("x"), 0, "t"});
+    }
+    sim.run();
+    return sim.fault_stats();
+  };
+
+  const net::Impairment base{0.3, 0.0, 0.4, 2'000};
+  const net::Impairment with_dup{0.3, 0.5, 0.4, 2'000};
+  const net::FaultStats base_stats = simulate(base, 7);
+  const net::FaultStats dup_stats = simulate(with_dup, 7);
+  EXPECT_EQ(base_stats, oracle(base, 7));
+  EXPECT_EQ(dup_stats, oracle(with_dup, 7));
+  // Turning on duplication interleaves extra rolls into the same stream, so
+  // the two runs must not coincide.
+  EXPECT_FALSE(base_stats == dup_stats);
+  EXPECT_GT(dup_stats.duplicated, 0u);
+  EXPECT_GT(base_stats.lost, 0u);
+  EXPECT_GT(base_stats.jittered, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Breach + observation-layer integration (§3.3 live implant).
 // ---------------------------------------------------------------------------

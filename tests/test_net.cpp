@@ -256,5 +256,47 @@ TEST(Simulator, BandwidthIsPerLink) {
   EXPECT_EQ(c.times.at(0), 1000u);
 }
 
+TEST(Simulator, TraceRecordingOffKeepsCountersAndWiretaps) {
+  Simulator sim;
+  EchoNode a("a", false), b("b", false);
+  sim.add_node(a);
+  sim.add_node(b);
+  sim.set_trace_recording(false);
+
+  std::vector<TraceEntry> tapped;
+  sim.add_wiretap([&](const TraceEntry& e) { tapped.push_back(e); });
+  sim.send(Packet{"a", "b", Bytes(100), 1, "t"});
+  sim.send(Packet{"a", "b", Bytes(28), 2, "t"});
+  sim.run();
+
+  // The in-memory history is off, but totals and taps see every delivery.
+  EXPECT_TRUE(sim.trace().empty());
+  EXPECT_EQ(sim.packets_delivered(), 2u);
+  EXPECT_EQ(sim.bytes_delivered(), 128u);
+  ASSERT_EQ(tapped.size(), 2u);
+  EXPECT_EQ(tapped[0].size, 100u);
+  EXPECT_EQ(tapped[1].context, 2u);
+  EXPECT_EQ(b.received.size(), 2u);
+
+  // Re-enabling resumes accumulation from here.
+  sim.set_trace_recording(true);
+  sim.send(Packet{"a", "b", Bytes(1), 3, "t"});
+  sim.run();
+  ASSERT_EQ(sim.trace().size(), 1u);
+  EXPECT_EQ(sim.trace()[0].context, 3u);
+  EXPECT_EQ(sim.packets_delivered(), 3u);
+}
+
+TEST(Simulator, InternedButNodelessDestinationThrows) {
+  Simulator sim;
+  EchoNode a("a", false);
+  sim.add_node(a);
+  // connect() interns "ghost" without registering a node for it; sending
+  // there must still throw, not index past the node table.
+  sim.connect("a", "ghost", 5'000);
+  ASSERT_TRUE(sim.interner().lookup("ghost").has_value());
+  EXPECT_THROW(sim.send(Packet{"a", "ghost", {}, 0, ""}), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace dcpl::net

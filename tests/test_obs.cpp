@@ -95,6 +95,46 @@ TEST(Metrics, GaugeSetAndAdd) {
   EXPECT_EQ(g.value(), 3.0);
 }
 
+TEST(Metrics, GaugeTracksHighWatermark) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("queue_depth");
+  EXPECT_EQ(g.peak(), 0.0);
+  g.set(5);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(g.peak(), 5.0);  // the drop doesn't erase the high-watermark
+  g.add(7);                  // 2 + 7 = 9: new peak via add()
+  EXPECT_EQ(g.peak(), 9.0);
+  g.add(-4);
+  EXPECT_EQ(g.value(), 5.0);
+  EXPECT_EQ(g.peak(), 9.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.peak(), 0.0);
+}
+
+TEST(Metrics, CounterHandleFollowsTheRegistryItIsHanded) {
+  obs::Registry reg_a, reg_b;
+  obs::CounterHandle handle("retry", "sends");
+  handle.in(reg_a).inc();
+  handle.in(reg_a).inc();
+  EXPECT_EQ(reg_a.scope("retry").counter("sends").value(), 2u);
+
+  // Handing a different registry re-resolves; the old one stays frozen.
+  handle.in(reg_b).inc(5);
+  EXPECT_EQ(reg_b.scope("retry").counter("sends").value(), 5u);
+  EXPECT_EQ(reg_a.scope("retry").counter("sends").value(), 2u);
+
+  // Swapping back re-binds to the original counter, preserving its value.
+  handle.in(reg_a).inc();
+  EXPECT_EQ(reg_a.scope("retry").counter("sends").value(), 3u);
+
+  // A scope-less handle resolves at the registry root.
+  obs::CounterHandle root_handle("", "events");
+  root_handle.in(reg_a).inc();
+  EXPECT_EQ(reg_a.counter("events").value(), 1u);
+}
+
 TEST(Metrics, HistogramQuantilesUniform) {
   // 100 observations 1..100 into decade-ish buckets: the interpolated
   // quantiles should land near the exact order statistics.

@@ -54,6 +54,28 @@ TEST(Backoff, JitterStaysWithinFraction) {
   }
 }
 
+// Regression: the cap used to be applied before the jitter multiply, so a
+// flow at max_timeout_us could wait up to (1 + jitter) x the configured
+// maximum. The post-jitter value must respect the cap as a hard bound.
+TEST(Backoff, JitterIsClampedAtTheCap) {
+  RetryPolicy p;
+  p.initial_timeout_us = 800'000;
+  p.max_timeout_us = 800'000;  // base sits exactly at the cap
+  p.jitter = 0.5;
+  XoshiroRng rng(11);
+  bool below_cap = false, at_cap = false;
+  for (int i = 0; i < 500; ++i) {
+    const net::Time t = backoff_timeout(p, 0, rng);
+    EXPECT_LE(t, 800'000u) << "draw " << i;   // never above the cap
+    EXPECT_GE(t, 400'000u) << "draw " << i;   // downward jitter still applies
+    below_cap |= t < 800'000u;
+    at_cap |= t == 800'000u;
+  }
+  // Upward draws clamp to exactly the cap; downward draws pass through.
+  EXPECT_TRUE(below_cap);
+  EXPECT_TRUE(at_cap);
+}
+
 TEST(Backoff, NeverBelowOneMicrosecond) {
   RetryPolicy p;
   p.initial_timeout_us = 0;
@@ -219,6 +241,50 @@ TEST(RetryRun, ResendSpacingFollowsBackoffSchedule) {
   EXPECT_EQ(send_times[0], 0u);
   EXPECT_EQ(send_times[1], 50'000u);   // after the first timeout
   EXPECT_EQ(send_times[2], 150'000u);  // + doubled second timeout
+}
+
+// Regression: the retry counters used to be bound once, statically, to
+// whatever registry the first-ever retry_run saw — after a bench redirected
+// its simulator via set_metrics, retry activity kept counting into the stale
+// registry. They must follow the simulator's *current* registry.
+TEST(RetryRun, CountersLandInActiveScopedRegistry) {
+  obs::Registry reg_a, reg_b;
+  net::Simulator sim;
+  sim.set_metrics(reg_a);
+  XoshiroRng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  const std::uint64_t global_sends_before =
+      obs::global_registry().scope("sim").scope("retry").counter("sends")
+          .value();
+
+  unsigned sends = 0;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends; }, [&] { return sends >= 2; },
+      nullptr);
+  sim.run();
+  EXPECT_EQ(reg_a.scope("retry").counter("sends").value(), 2u);
+  EXPECT_EQ(reg_a.scope("retry").counter("resends").value(), 1u);
+  EXPECT_EQ(reg_a.scope("retry").counter("successes").value(), 1u);
+
+  // Swap the sink mid-session: the next flow's counters land in reg_b and
+  // reg_a stays frozen.
+  sim.set_metrics(reg_b);
+  policy.max_attempts = 2;
+  unsigned sends_b = 0;
+  retry_run(
+      sim, policy, rng, [&](unsigned) { ++sends_b; }, [] { return false; },
+      nullptr);
+  sim.run();
+  EXPECT_EQ(reg_b.scope("retry").counter("sends").value(), 2u);
+  EXPECT_EQ(reg_b.scope("retry").counter("failures").value(), 1u);
+  EXPECT_EQ(reg_a.scope("retry").counter("sends").value(), 2u);
+  EXPECT_EQ(reg_a.scope("retry").counter("failures").value(), 0u);
+
+  // Nothing leaked into the global default scope.
+  EXPECT_EQ(obs::global_registry().scope("sim").scope("retry").counter("sends")
+                .value(),
+            global_sends_before);
 }
 
 TEST(ReplayCache, StoresAndReplaysByContext) {
