@@ -29,7 +29,8 @@ void print_breaches(const char* system, const core::DecouplingAnalysis& a,
 }
 
 // Returns coupled records for (vpn breach, worst single MPR party breach).
-std::pair<std::size_t, std::size_t> run_web(bool& shape_ok) {
+std::pair<std::size_t, std::size_t> run_web(bool& shape_ok,
+                                            bench::Report& rep) {
   using namespace systems::mpr;
   net::Simulator sim;
   core::ObservationLog log;
@@ -56,6 +57,7 @@ std::pair<std::size_t, std::size_t> run_web(bool& shape_ok) {
   RelayInfo vpn_info{"vpn.example", vpn.key().public_key};
 
   std::vector<std::unique_ptr<Client>> clients;
+  std::vector<core::Party> users;
   for (std::size_t i = 0; i < kUsers; ++i) {
     std::string addr = "10.0.0." + std::to_string(i + 1);
     book.set(addr, core::sensitive_identity("user:u" + std::to_string(i),
@@ -63,7 +65,9 @@ std::pair<std::size_t, std::size_t> run_web(bool& shape_ok) {
     clients.push_back(std::make_unique<Client>(
         addr, "user:u" + std::to_string(i), log, 40 + i));
     sim.add_node(*clients.back());
+    users.push_back(addr);
   }
+  bench::FlowHarness flow(sim, log, users);
   for (std::size_t i = 0; i < kUsers; ++i) {
     for (std::size_t j = 0; j < kFetchesPerUser; ++j) {
       http::Request req;
@@ -96,10 +100,22 @@ std::pair<std::size_t, std::size_t> run_web(bool& shape_ok) {
   // distinct pair per user here, since all fetches hit one origin).
   shape_ok &= vpn_exposed == kUsers;
   shape_ok &= mpr_worst == 0;
+
+  // The stored-logs monitor must have flagged the VPN's (▲, ●) locus the
+  // instant it completed — and nothing else: the MPR parties each stay
+  // below the invariant even with every event on the ledger.
+  const auto& viols = flow.monitor.violations();
+  shape_ok &= rep.check("web_flow_fold_matches_observer",
+                        bench::flow_fold_matches(flow.ledger, a));
+  shape_ok &= rep.check("web_monitor_fired_vpn_only",
+                        viols.size() == 1 && viols[0].party == "vpn.example" &&
+                            !viols[0].chain.empty() &&
+                            viols[0].chain.front() == viols[0].event_id);
+  rep.flow(flow.ledger, &flow.monitor, "web");
   return {vpn_exposed, mpr_worst};
 }
 
-void run_dns(bool& shape_ok) {
+void run_dns(bool& shape_ok, bench::Report& rep) {
   using namespace systems::odoh;
   net::Simulator sim;
   core::ObservationLog log;
@@ -132,6 +148,7 @@ void run_dns(bool& shape_ok) {
   }
 
   std::vector<std::unique_ptr<StubClient>> clients;
+  std::vector<core::Party> users;
   for (std::size_t i = 0; i < kUsers; ++i) {
     std::string addr = "10.0.5." + std::to_string(i + 1);
     book.set(addr, core::sensitive_identity("user:d" + std::to_string(i),
@@ -139,7 +156,9 @@ void run_dns(bool& shape_ok) {
     clients.push_back(std::make_unique<StubClient>(
         addr, "user:d" + std::to_string(i), log, 70 + i));
     sim.add_node(*clients.back());
+    users.push_back(addr);
   }
+  bench::FlowHarness flow(sim, log, users);
   for (std::size_t i = 0; i < kUsers; ++i) {
     std::string qname = "site" + std::to_string(i) + ".example.com";
     // Do53 to the classic resolver, and the same query via ODoH.
@@ -160,6 +179,17 @@ void run_dns(bool& shape_ok) {
   shape_ok &= a.breach("resolver.example").coupled_records == kUsers;
   shape_ok &= !a.breach("proxy.example").coupled();
   shape_ok &= !a.breach("target.example").coupled();
+
+  // Same split, seen online: only the classic Do53 resolver — which gets
+  // both the client address and the query — trips the monitor; the ODoH
+  // pair never does.
+  const auto& viols = flow.monitor.violations();
+  shape_ok &= rep.check("dns_flow_fold_matches_observer",
+                        bench::flow_fold_matches(flow.ledger, a));
+  shape_ok &= rep.check("dns_monitor_fired_do53_resolver_only",
+                        viols.size() == 1 &&
+                            viols[0].party == "resolver.example");
+  rep.flow(flow.ledger, &flow.monitor, "dns");
 }
 
 // §3.3 empirical: instead of scripting "the attacker reads the stored
@@ -186,6 +216,7 @@ std::pair<std::size_t, std::size_t> run_live_breach(bool& shape_ok,
   RelayInfo vpn_info{"vpn.example", vpn.key().public_key};
 
   std::vector<std::unique_ptr<Client>> clients;
+  std::vector<core::Party> users;
   for (std::size_t i = 0; i < kUsers; ++i) {
     std::string addr = "10.0.9." + std::to_string(i + 1);
     book.set(addr, core::sensitive_identity("user:b" + std::to_string(i),
@@ -193,7 +224,13 @@ std::pair<std::size_t, std::size_t> run_live_breach(bool& shape_ok,
     clients.push_back(std::make_unique<Client>(
         addr, "user:b" + std::to_string(i), log, 140 + i));
     sim.add_node(*clients.back());
+    users.push_back(addr);
   }
+  // Live-implant mode: exposures only count once the party carries a
+  // breach-implant compromise event, so round-1 VPN traffic is invisible
+  // to the monitor and round 2 must trip it.
+  bench::FlowHarness flow(sim, log, users,
+                          obs::DecouplingMonitor::Mode::kLiveImplant);
 
   constexpr net::Time kBreachAt = 300'000;  // between the two rounds
   net::FaultPlan plan(/*seed=*/42);
@@ -247,7 +284,33 @@ std::pair<std::size_t, std::size_t> run_live_breach(bool& shape_ok,
   shape_ok &= a.live_breach("origin.example").coupled_records == 0;
   shape_ok &= stats.breaches_fired == 1;
   shape_ok &= stats.jittered > 0;
+
+  // The implant-mode monitor pinpoints the exact event where the breached
+  // VPN re-completed ▲∧●: strictly after the implant landed, with the
+  // causal chain terminating at the implant's compromise event.
+  const auto& viols = flow.monitor.violations();
+  bool implant_ok = viols.size() == 1 && viols[0].party == "vpn.example" &&
+                    viols[0].virtual_time >= kBreachAt &&
+                    viols[0].implant_event_id != 0 && !viols[0].chain.empty() &&
+                    viols[0].chain.back() == viols[0].implant_event_id;
+  if (implant_ok) {
+    const obs::FlowEvent* implant = flow.ledger.find(viols[0].chain.back());
+    implant_ok = implant != nullptr &&
+                 implant->kind == obs::FlowEventKind::kCompromise &&
+                 implant->cause == obs::FlowCause::kBreachImplant;
+  }
+  shape_ok &= rep.check("live_flow_fold_matches_observer",
+                        bench::flow_fold_matches(flow.ledger, a));
+  shape_ok &= rep.check("live_monitor_chain_ends_at_implant", implant_ok);
+  if (implant_ok) {
+    std::printf("  monitor: violation at event #%llu (t=%.0fms), chain ends "
+                "at breach implant event #%llu\n",
+                static_cast<unsigned long long>(viols[0].event_id),
+                viols[0].virtual_time / 1000.0,
+                static_cast<unsigned long long>(viols[0].implant_event_id));
+  }
   rep.faults(stats);
+  rep.flow(flow.ledger, &flow.monitor, "live");
   return {full, live};
 }
 
@@ -259,10 +322,10 @@ int main(int argc, char** argv) {
               "(identity, data) records per breached party.\n\n");
   bool shape_ok = true;
   bool web_ok = true;
-  auto [vpn, mpr] = run_web(web_ok);
+  auto [vpn, mpr] = run_web(web_ok, rep);
   shape_ok &= rep.check("web_breach_shape", web_ok);
   bool dns_ok = true;
-  run_dns(dns_ok);
+  run_dns(dns_ok, rep);
   shape_ok &= rep.check("dns_breach_shape", dns_ok);
   bool live_ok = true;
   auto [stored_exposure, live_exposure] = run_live_breach(live_ok, rep);

@@ -15,6 +15,12 @@
 // would only add constant crypto cost that bench_crypto already measures.
 // Trace recording and per-link byte counters are switched off so memory
 // stays bounded by live state, not by history.
+//
+// --flow re-runs every sweep point twice more with an obs::FlowLedger
+// wiretapped onto the delivery path (one exposure per delivery): once with
+// recording off (dedup + fold + monitor hooks only) and once with the ring
+// recording, reporting the throughput overhead of each against the
+// ledger-free baseline.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -184,7 +190,7 @@ struct PointResult {
   bool overhead_exact = false;
 };
 
-PointResult run_point(std::size_t n_users) {
+PointResult run_point(std::size_t n_users, obs::FlowLedger* ledger = nullptr) {
   PointResult r;
   r.users = n_users;
 
@@ -193,6 +199,17 @@ PointResult run_point(std::size_t n_users) {
   sim.set_metrics(registry);
   sim.set_trace_recording(false);
   sim.set_link_byte_accounting(false);
+  if (ledger != nullptr) {
+    // Worst-case ledger load: every delivery becomes an exposure with a
+    // per-context label, so nothing dedups and the causal frontier grows
+    // with the context space.
+    sim.set_flow(ledger);
+    sim.add_wiretap([ledger](const dcpl::net::TraceEntry& e) {
+      ledger->record_exposure(
+          e.dst, dcpl::core::benign_data("pkt:" + std::to_string(e.context)),
+          e.context);
+    });
+  }
 
   Tally tally;
   std::vector<std::unique_ptr<dcpl::net::Node>> infra;
@@ -299,6 +316,17 @@ std::size_t parse_users(int argc, char** argv) {
   return 100'000;
 }
 
+bool parse_flow(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--flow") == 0) return true;
+  }
+  return false;
+}
+
+double overhead_pct(double baseline, double with_ledger) {
+  return baseline > 0 ? (baseline - with_ledger) / baseline * 100.0 : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -317,6 +345,7 @@ int main(int argc, char** argv) {
   std::printf("  %10s %10s %12s %14s %12s %10s\n", "users", "wall_ms",
               "events", "events/sec", "bytes/sec", "peak_q");
 
+  const bool flow = parse_flow(argc, argv);
   bool ok = true;
   for (std::size_t n : sweep) {
     const PointResult r = run_point(n);
@@ -333,6 +362,44 @@ int main(int argc, char** argv) {
     ok &= report.check(tag + "all_ohttp_responses", r.ohttp_complete);
     ok &= report.check(tag + "all_mix_delivered", r.mix_complete);
     ok &= report.check(tag + "mix_overhead_exact", r.overhead_exact);
+
+    if (flow) {
+      obs::FlowLedger idle;
+      idle.set_recording(false);
+      const PointResult r_off = run_point(n, &idle);
+      obs::FlowLedger recording;
+      const PointResult r_on = run_point(n, &recording);
+      std::printf("  %10s %10.1f %12s %14.0f  ledger off (%.1f%% overhead)\n",
+                  "", r_off.wall_ms, "", r_off.events_per_sec,
+                  overhead_pct(r.events_per_sec, r_off.events_per_sec));
+      std::printf("  %10s %10.1f %12s %14.0f  ledger on  (%.1f%% overhead, "
+                  "%llu events, %llu wrapped)\n",
+                  "", r_on.wall_ms, "", r_on.events_per_sec,
+                  overhead_pct(r.events_per_sec, r_on.events_per_sec),
+                  static_cast<unsigned long long>(
+                      recording.events_recorded()),
+                  static_cast<unsigned long long>(recording.dropped()));
+      report.value(tag + "flow_off_events_per_sec", r_off.events_per_sec);
+      report.value(tag + "flow_on_events_per_sec", r_on.events_per_sec);
+      report.value(tag + "flow_off_overhead_pct",
+                   overhead_pct(r.events_per_sec, r_off.events_per_sec));
+      report.value(tag + "flow_on_overhead_pct",
+                   overhead_pct(r.events_per_sec, r_on.events_per_sec));
+      report.value(tag + "flow_ledger_events",
+                   static_cast<double>(recording.events_recorded()));
+      report.value(tag + "flow_ledger_wrapped",
+                   static_cast<double>(recording.dropped()));
+      // Same deliveries under either ledger, and the idle ledger must have
+      // counted without retaining (flight recorder off).
+      ok &= report.check(tag + "flow_runs_complete",
+                         r_off.ohttp_complete && r_off.mix_complete &&
+                             r_on.ohttp_complete && r_on.mix_complete);
+      ok &= report.check(tag + "flow_ledger_saw_traffic",
+                         idle.events_recorded() > 0 &&
+                             idle.events_recorded() ==
+                                 recording.events_recorded() &&
+                             idle.size() == 0);
+    }
   }
 
   // Per-message overhead vs. hop count: a chain of h mixes costs h+1 wire

@@ -36,6 +36,7 @@ bool table_t1_ecash(Report& report) {
   sim.add_node(seller);
   sim.add_node(buyer);
 
+  FlowHarness flow(sim, log, {"10.0.0.1"});
   for (int i = 0; i < 3; ++i) buyer.withdraw(sim);
   sim.run();
   buyer.spend("seller.example", "paperback", sim);
@@ -50,6 +51,10 @@ bool table_t1_ecash(Report& report) {
        {"Verifier (Bank)", kVerifier, "(△, ⊙/●)", {}},
        {"Seller", "seller.example", "(△, ●)", {}}});
   ok &= report.verdict(a, {"10.0.0.1"}, true);
+  ok &= report.check("T1_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T1_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T1");
   std::printf("  workload: 3 withdrawals, 2 purchases; deposits accepted=%zu\n",
               bank.deposits_accepted());
   return ok && a.is_decoupled("10.0.0.1");
@@ -87,6 +92,7 @@ bool table_t2_mixnet(Report& report) {
     users.push_back(addr);
   }
   HopInfo rcv{"rcv1", receiver.key().public_key};
+  FlowHarness flow(sim, log, users);
   for (auto& s : senders) s->send_message("dissent", chain, rcv, sim);
   sim.run();
 
@@ -98,6 +104,10 @@ bool table_t2_mixnet(Report& report) {
                          {"Mix N", "mix3", "(△, ⊙)", {}},
                          {"Receiver", "rcv1", "(△, ●)", {}}});
   ok &= report.verdict(a, users, true);
+  ok &= report.check("T2_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T2_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T2");
   std::printf("  workload: 4 senders, batch=2, delivered=%zu\n",
               receiver.deliveries().size());
   return ok && a.is_decoupled(users);
@@ -123,6 +133,7 @@ bool table_t3_privacypass(Report& report) {
   sim.add_node(origin);
   sim.add_node(client);
 
+  FlowHarness flow(sim, log, {"tor-exit.example"});
   for (int i = 0; i < 3; ++i) client.request_token(sim);
   sim.run();
   client.access("origin.example", "/protected-a", sim);
@@ -135,6 +146,10 @@ bool table_t3_privacypass(Report& report) {
                          {"Issuer", "issuer.example", "(▲, ⊙)", {}},
                          {"Origin", "origin.example", "(△, ●)", {}}});
   ok &= report.verdict(a, {"tor-exit.example"}, true);
+  ok &= report.check("T3_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T3_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T3");
   std::printf("  workload: 3 tokens issued, 2 redeemed; origin served=%zu\n",
               origin.served());
   return ok && a.is_decoupled("tor-exit.example");
@@ -170,6 +185,7 @@ bool table_t4_odoh(Report& report) {
     sim.add_node(*n);
   }
 
+  FlowHarness flow(sim, log, {"10.0.0.1"});
   client.query("www.example.com", Mode::kOdoh, "", target.key().public_key,
                "proxy.example", sim, nullptr);
   client.query("mail.example.com", Mode::kOdoh, "", target.key().public_key,
@@ -183,6 +199,10 @@ bool table_t4_odoh(Report& report) {
        {"Resolver (proxy)", "proxy.example", "(▲, ⊙)", {}},
        {"Oblivious Resolver", "target.example", "(△, ⊙/●)", {}}});
   ok &= report.verdict(a, {"10.0.0.1"}, true);
+  ok &= report.check("T4_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T4_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T4");
   std::printf("  workload: 2 ODoH queries; target resolutions=%zu\n",
               target.resolutions());
   return ok && a.is_decoupled("10.0.0.1");
@@ -208,6 +228,7 @@ bool table_t5_pgpp(Report& report) {
   sim.add_node(ngc);
   sim.add_node(user);
 
+  FlowHarness flow(sim, log, {"ue0"});
   user.buy_tokens(4, sim);
   sim.run();
   for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
@@ -222,6 +243,10 @@ bool table_t5_pgpp(Report& report) {
                          {"PGPP-GW", "pgpp-gw.example", "(▲H, △N, ⊙)", facets},
                          {"NGC", "ngc.example", "(△H, △N, ●)", facets}});
   ok &= report.verdict(a, {"ue0"}, true);
+  ok &= report.check("T5_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T5_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T5");
   std::printf("  workload: 4 tokens, 4 epochs; attaches accepted=%zu\n",
               ngc.attach_accepted());
   return ok && a.is_decoupled("ue0");
@@ -261,6 +286,7 @@ bool table_t6_mpr(Report& report) {
   std::vector<RelayInfo> chain = {
       {"relay1.example", relay1.key().public_key},
       {"relay2.example", relay2.key().public_key}};
+  FlowHarness flow(sim, log, {"10.0.0.1"});
   http::Request req;
   req.authority = "origin.example";
   req.path = "/private-page";
@@ -278,6 +304,10 @@ bool table_t6_mpr(Report& report) {
                          {"Relay 2", "relay2.example", "(△, ⊙/●)", {}},
                          {"Origin", "origin.example", "(△, ●)", {}}});
   ok &= report.verdict(a, {"10.0.0.1"}, true);
+  ok &= report.check("T6_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T6_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T6");
   std::printf("  workload: 2 fetches; origin served=%zu\n",
               origin->requests_served());
   return ok && a.is_decoupled("10.0.0.1");
@@ -318,6 +348,7 @@ bool table_t7_ppm(Report& report) {
     sim.add_node(*clients.back());
     users.push_back(addr);
   }
+  FlowHarness flow(sim, log, users);
   for (int i = 0; i < 8; ++i) clients[i]->submit_bool(i % 3 == 0, infos, sim);
   sim.run();
   std::uint64_t total = 0;
@@ -330,6 +361,10 @@ bool table_t7_ppm(Report& report) {
                          {"Aggregator", "agg0.example", "(▲, ⊙)", {}},
                          {"Collector", "collector.example", "(△, ⊙)", {}}});
   ok &= report.verdict(a, users, true);
+  ok &= report.check("T7_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  ok &= report.check("T7_monitor_clean", flow.monitor.violations().empty());
+  report.flow(flow.ledger, &flow.monitor, "T7");
   std::printf("  workload: 8 boolean reports; aggregate=%llu (expected 3)\n",
               static_cast<unsigned long long>(total));
   return ok && a.is_decoupled(users) && total == 3;
@@ -351,6 +386,7 @@ bool table_t8_vpn(Report& report) {
   sim.add_node(vpn);
   sim.add_node(client);
 
+  FlowHarness flow(sim, log, {"10.0.0.1"});
   http::Request req;
   req.authority = "origin.example";
   req.path = "/private-page";
@@ -366,6 +402,16 @@ bool table_t8_vpn(Report& report) {
                          {"Origin", "origin.example", "(△, ●)", {}}});
   // Paper: NOT decoupled.
   ok &= report.verdict(a, {"10.0.0.1"}, false);
+  ok &= report.check("T8_flow_fold_matches_observer",
+                     flow_fold_matches(flow.ledger, a));
+  // The VPN's ▲∧● locus must trip the online monitor, exactly once, with a
+  // causal chain rooted at the tripping exposure.
+  const auto& viols = flow.monitor.violations();
+  ok &= report.check("T8_monitor_fired_vpn_once",
+                     viols.size() == 1 && viols[0].party == "vpn.example" &&
+                         !viols[0].chain.empty() &&
+                         viols[0].chain.front() == viols[0].event_id);
+  report.flow(flow.ledger, &flow.monitor, "T8");
   return ok && !a.is_decoupled("10.0.0.1");
 }
 

@@ -70,6 +70,59 @@ bool check_faults(const JsonValue& r, bool required) {
   return true;
 }
 
+// The optional "flow" object: event counters numeric and internally
+// consistent, violations[] structurally sound (each with a party, the
+// tripping event id, and a causal chain starting at that event). With
+// `required`, the object must exist and carry at least one event — a bench
+// claiming to have attached a FlowLedger must show an actual event stream.
+bool check_flow(const JsonValue& r, bool required) {
+  const JsonValue* f = r.find("flow");
+  if (!f) {
+    return required ? fail("missing flow{} (--require-flow)") : true;
+  }
+  if (!f->is_object()) return fail("flow is not an object");
+  for (const char* k : {"runs", "events", "exposures", "links", "compromises",
+                        "deduped", "dropped"}) {
+    if (!f->has(k) || !f->at(k).is_number()) {
+      return fail("flow missing numeric counter");
+    }
+  }
+  const double events = f->at("events").number;
+  const double parts = f->at("exposures").number + f->at("links").number +
+                       f->at("compromises").number;
+  if (events != parts) {
+    return fail("flow.events inconsistent with exposures+links+compromises");
+  }
+  if (required && events <= 0) return fail("flow{} present but empty");
+  const JsonValue* violations = f->find("violations");
+  if (!violations || !violations->is_array()) {
+    return fail("flow missing violations[]");
+  }
+  for (const auto& v : violations->array) {
+    for (const char* k : {"party", "tuple", "cause"}) {
+      if (!v.has(k) || !v.at(k).is_string()) {
+        return fail("violation missing string field");
+      }
+    }
+    for (const char* k : {"event_id", "t_us"}) {
+      if (!v.has(k) || !v.at(k).is_number()) {
+        return fail("violation missing numeric field");
+      }
+    }
+    const JsonValue* chain = v.find("chain");
+    if (!chain || !chain->is_array() || chain->array.empty()) {
+      return fail("violation missing chain[]");
+    }
+    for (const auto& id : chain->array) {
+      if (!id.is_number()) return fail("violation chain entry not numeric");
+    }
+    if (chain->array.front().number != v.at("event_id").number) {
+      return fail("violation chain does not start at the tripping event");
+    }
+  }
+  return true;
+}
+
 bool check_report(const JsonValue& r, std::size_t min_tables) {
   if (!r.is_object()) return fail("report root is not an object");
   const JsonValue* schema = r.find("schema");
@@ -177,6 +230,7 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   std::size_t min_tables = 0;
   bool require_faults = false;
+  bool require_flow = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -185,6 +239,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--require-faults") == 0) {
       require_faults = true;
+    } else if (std::strcmp(argv[i], "--require-flow") == 0) {
+      require_flow = true;
     } else {
       report_path = argv[i];
     }
@@ -192,12 +248,13 @@ int main(int argc, char** argv) {
   if (!report_path) {
     std::fprintf(stderr,
                  "usage: report_check <report.json> [--min-tables N] "
-                 "[--require-faults] [--trace trace.json]\n");
+                 "[--require-faults] [--require-flow] [--trace trace.json]\n");
     return 2;
   }
   JsonValue report;
   if (!load(report_path, report) || !check_report(report, min_tables) ||
-      !check_faults(report, require_faults)) {
+      !check_faults(report, require_faults) ||
+      !check_flow(report, require_flow)) {
     return 1;
   }
   if (trace_path) {

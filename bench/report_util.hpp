@@ -19,8 +19,19 @@
 //                 "offline_dropped", "breaches_fired",
 //                 "total_dropped" },      // optional; present when the bench
 //                                         // ran under a net::FaultPlan
+//     "flow": { "runs", "events", "exposures", "links", "compromises",
+//               "deduped", "dropped",
+//               "violations": [{"run","party","event_id","t_us","tuple",
+//                               "cause","chain","implant_event_id"}] },
+//                                         // optional; present when the bench
+//                                         // attached an obs::FlowLedger
 //     "timing": { "wall_ms": <number> }
 //   }
+//
+// Additional artifact flags every report-style bench accepts:
+//   --flow-log <path>  JSONL knowledge-flow event log (one event per line,
+//                      tagged with the run label it came from)
+//   --prom <path>      Prometheus text exposition of the global metrics
 #pragma once
 
 #include <chrono>
@@ -32,7 +43,10 @@
 
 #include "core/analysis.hpp"
 #include "net/faults.hpp"
+#include "net/sim.hpp"
+#include "obs/flow.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -79,6 +93,47 @@ inline bool print_table(const std::string& title,
   return decoupled == paper_says_decoupled;
 }
 
+/// One per instrumented run: streams the run's ObservationLog into a
+/// FlowLedger (via the core sink) and registers the ledger with the
+/// simulator (virtual-time clock, protocol tags, breach implants), with an
+/// online DecouplingMonitor exempting the run's users. Construct after the
+/// nodes but before the workload — the cross-validation helper below
+/// assumes the ledger saw every observation.
+struct FlowHarness {
+  obs::FlowLedger ledger;
+  obs::DecouplingMonitor monitor;
+
+  FlowHarness(net::Simulator& sim, core::ObservationLog& log,
+              const std::vector<core::Party>& users,
+              obs::DecouplingMonitor::Mode mode =
+                  obs::DecouplingMonitor::Mode::kStoredLogs)
+      : monitor(mode) {
+    monitor.exempt(users);
+    ledger.attach_monitor(&monitor);
+    log.set_sink(&ledger);
+    sim.set_flow(&ledger);
+  }
+};
+
+/// Event-by-event cross-validation (§3 tables as streams): folding the
+/// ledger's exposures must reproduce exactly the tuples DecouplingAnalysis
+/// derives from the end-state log, and — when the ring did not wrap — the
+/// resident event slice must fold to the same map.
+inline bool flow_fold_matches(const obs::FlowLedger& ledger,
+                              const core::DecouplingAnalysis& a) {
+  const auto& folded = ledger.tuples();
+  for (const auto& party : a.parties()) {
+    auto it = folded.find(party);
+    if (it == folded.end() || !(it->second == a.tuple_for(party))) {
+      return false;
+    }
+  }
+  if (ledger.dropped() == 0 && obs::fold_tuples(ledger.events()) != folded) {
+    return false;
+  }
+  return true;
+}
+
 /// Accumulates everything a bench produces — tables, named shape checks,
 /// scalar measurements — and writes the machine-readable artifacts at
 /// finish(). Construct it first thing in main(); it owns --json/--trace
@@ -89,6 +144,8 @@ class Report {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--flow-log") == 0) flow_log_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--prom") == 0) prom_path_ = argv[i + 1];
     }
     if (!trace_path_.empty()) obs::global_tracer().enable();
     wall_start_ = std::chrono::steady_clock::now();
@@ -151,8 +208,42 @@ class Report {
     has_faults_ = true;
   }
 
+  /// Folds one run's knowledge-flow ledger (and optional monitor) into the
+  /// report's "flow" object. Repeated calls accumulate — benches that run
+  /// several ledgers (one per table) tag each with a `run_label`, which
+  /// also prefixes the JSONL lines written to --flow-log (event ids restart
+  /// per ledger, so an untagged multi-run file would be ambiguous).
+  void flow(const obs::FlowLedger& ledger, const obs::DecouplingMonitor* mon,
+            const std::string& run_label) {
+    has_flow_ = true;
+    ++flow_runs_;
+    flow_events_ += ledger.events_recorded();
+    flow_exposures_ += ledger.exposures();
+    flow_links_ += ledger.links();
+    flow_compromises_ += ledger.compromises();
+    flow_deduped_ += ledger.deduped();
+    flow_dropped_ += ledger.dropped();
+    if (mon != nullptr) {
+      for (const auto& v : mon->violations()) {
+        FlowViolation fv;
+        fv.run = run_label;
+        fv.party = v.party;
+        fv.event_id = v.event_id;
+        fv.t_us = v.virtual_time;
+        fv.tuple = v.tuple.to_string();
+        fv.cause = obs::flow_cause_name(v.cause);
+        fv.chain = v.chain;
+        fv.implant_event_id = v.implant_event_id;
+        flow_violations_.push_back(std::move(fv));
+      }
+    }
+    if (!flow_log_path_.empty()) ledger.write_jsonl(flow_jsonl_, run_label);
+  }
+
   const std::string& json_path() const { return json_path_; }
   const std::string& trace_path() const { return trace_path_; }
+  const std::string& flow_log_path() const { return flow_log_path_; }
+  const std::string& prom_path() const { return prom_path_; }
 
   /// Writes the JSON report and trace (if requested) and converts `ok`
   /// into a process exit code. Any recorded table cell mismatch, failed
@@ -232,21 +323,65 @@ class Report {
         w.kv("total_dropped", static_cast<double>(faults_.total_dropped()));
         w.end_object();
       }
+      if (has_flow_) {
+        w.key("flow");
+        w.begin_object();
+        w.kv("runs", flow_runs_);
+        w.kv("events", flow_events_);
+        w.kv("exposures", flow_exposures_);
+        w.kv("links", flow_links_);
+        w.kv("compromises", flow_compromises_);
+        w.kv("deduped", flow_deduped_);
+        w.kv("dropped", flow_dropped_);
+        w.key("violations");
+        w.begin_array();
+        for (const auto& v : flow_violations_) {
+          w.begin_object();
+          w.kv("run", v.run);
+          w.kv("party", v.party);
+          w.kv("event_id", v.event_id);
+          w.kv("t_us", v.t_us);
+          w.kv("tuple", v.tuple);
+          w.kv("cause", v.cause);
+          w.key("chain");
+          w.begin_array();
+          for (std::uint64_t id : v.chain) w.value(id);
+          w.end_array();
+          if (v.implant_event_id != 0) {
+            w.kv("implant_event_id", v.implant_event_id);
+          }
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
       w.key("timing");
       w.begin_object();
       w.kv("wall_ms", wall_ms);
       w.end_object();
       w.end_object();
       if (!write_file(json_path_, w.str())) {
-        std::fprintf(stderr, "%s: cannot write JSON report to %s\n",
-                     name_.c_str(), json_path_.c_str());
+        obs::Logger::global().error("cannot write JSON report",
+                                    {{"bench", name_}, {"path", json_path_}});
         ok = false;
       }
     }
     if (!trace_path_.empty() &&
         !obs::global_tracer().write(trace_path_)) {
-      std::fprintf(stderr, "%s: cannot write trace to %s\n", name_.c_str(),
-                   trace_path_.c_str());
+      obs::Logger::global().error("cannot write trace",
+                                  {{"bench", name_}, {"path", trace_path_}});
+      ok = false;
+    }
+    if (!flow_log_path_.empty() && !write_file(flow_log_path_, flow_jsonl_)) {
+      obs::Logger::global().error(
+          "cannot write flow log", {{"bench", name_}, {"path", flow_log_path_}});
+      ok = false;
+    }
+    if (!prom_path_.empty() &&
+        !write_file(prom_path_,
+                    obs::metrics_to_prometheus(obs::global_registry()))) {
+      obs::Logger::global().error("cannot write Prometheus text",
+                                  {{"bench", name_}, {"path", prom_path_}});
       ok = false;
     }
     return ok ? 0 : 1;
@@ -270,6 +405,11 @@ class Report {
     std::string name;
     bool ok;
   };
+  struct FlowViolation {
+    std::string run, party, tuple, cause;
+    std::uint64_t event_id = 0, t_us = 0, implant_event_id = 0;
+    std::vector<std::uint64_t> chain;
+  };
 
   static bool write_file(const std::string& path, const std::string& body) {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -282,12 +422,20 @@ class Report {
   std::string name_;
   std::string json_path_;
   std::string trace_path_;
+  std::string flow_log_path_;
+  std::string prom_path_;
   std::chrono::steady_clock::time_point wall_start_;
   std::vector<TableResult> tables_;
   std::vector<CheckResult> checks_;
   std::vector<std::pair<std::string, double>> values_;
   net::FaultStats faults_;
   bool has_faults_ = false;
+  bool has_flow_ = false;
+  std::uint64_t flow_runs_ = 0, flow_events_ = 0, flow_exposures_ = 0,
+                flow_links_ = 0, flow_compromises_ = 0, flow_deduped_ = 0,
+                flow_dropped_ = 0;
+  std::vector<FlowViolation> flow_violations_;
+  std::string flow_jsonl_;
 };
 
 }  // namespace dcpl::bench

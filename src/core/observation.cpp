@@ -7,11 +7,13 @@ namespace dcpl::core {
 void ObservationLog::observe(const Party& party, Atom atom,
                              std::uint64_t context) {
   observations_.push_back(Observation{party, std::move(atom), context});
+  if (sink_) sink_->on_observe(observations_.back());
 }
 
 void ObservationLog::link(const Party& party, std::uint64_t a,
                           std::uint64_t b) {
   links_.push_back(ContextLink{party, a, b});
+  if (sink_) sink_->on_link(links_.back());
 }
 
 std::vector<Party> ObservationLog::parties() const {
@@ -38,8 +40,9 @@ std::set<Atom> ObservationLog::atoms_of(const Party& party) const {
 }
 
 void ObservationLog::mark_compromised(const Party& party) {
-  compromised_.try_emplace(party,
-                           CompromiseMark{observations_.size(), links_.size()});
+  auto [it, inserted] = compromised_.try_emplace(
+      party, CompromiseMark{observations_.size(), links_.size()});
+  if (inserted && sink_) sink_->on_compromise(party);
 }
 
 std::optional<CompromiseMark> ObservationLog::compromise_mark(

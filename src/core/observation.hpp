@@ -48,6 +48,19 @@ struct CompromiseMark {
   std::size_t link_index = 0;
 };
 
+/// Streaming listener for log mutations. The observability layer's
+/// FlowLedger implements this to turn the end-state log into a provenance
+/// event stream; core itself has no opinion about what sinks do. Callbacks
+/// fire after the record is appended, so the sink may inspect the log.
+class ObservationSink {
+ public:
+  virtual ~ObservationSink() = default;
+  virtual void on_observe(const Observation& o) = 0;
+  virtual void on_link(const ContextLink& l) = 0;
+  /// Fired only when the mark is newly placed (first mark wins).
+  virtual void on_compromise(const Party& party) = 0;
+};
+
 class ObservationLog {
  public:
   /// Records that `party` saw `atom` within linkage context `context`.
@@ -79,10 +92,16 @@ class ObservationLog {
   std::size_t size() const { return observations_.size(); }
   void clear();
 
+  /// Attaches (or, with nullptr, detaches) a streaming listener. The sink
+  /// must outlive the log or be detached first; clear() leaves it attached.
+  void set_sink(ObservationSink* sink) { sink_ = sink; }
+  ObservationSink* sink() const { return sink_; }
+
  private:
   std::vector<Observation> observations_;
   std::vector<ContextLink> links_;
   std::map<Party, CompromiseMark> compromised_;
+  ObservationSink* sink_ = nullptr;
 };
 
 }  // namespace dcpl::core

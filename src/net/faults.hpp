@@ -46,7 +46,10 @@ struct Window {
 /// `party`'s observer turns compromised at `time`: everything it logs from
 /// then on is in the attacker's hands (a live implant, §3.3). Delivered via
 /// the handler installed with Simulator::set_breach_handler, which typically
-/// calls core::ObservationLog::mark_compromised.
+/// calls core::ObservationLog::mark_compromised. When a FlowLedger is
+/// attached (Simulator::set_flow), the firing also records a
+/// cause=breach_implant provenance event that every post-breach exposure's
+/// violation chain terminates at (obs::DecouplingMonitor, kLiveImplant).
 struct BreachEvent {
   Address party;
   Time time = 0;

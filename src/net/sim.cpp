@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/flow.hpp"
+
 namespace dcpl::net {
+
+namespace {
+
+/// Brackets one Node::on_packet with the ledger's delivery scope so every
+/// exposure logged while the packet is in scope carries its protocol tag —
+/// exception-safe, since systems may throw out of on_packet.
+class FlowDeliveryScope {
+ public:
+  FlowDeliveryScope(obs::FlowLedger* flow, std::uint64_t context,
+                    const std::string& protocol)
+      : flow_(flow) {
+    if (flow_) flow_->begin_delivery(context, protocol);
+  }
+  ~FlowDeliveryScope() {
+    if (flow_) flow_->end_delivery();
+  }
+  FlowDeliveryScope(const FlowDeliveryScope&) = delete;
+  FlowDeliveryScope& operator=(const FlowDeliveryScope&) = delete;
+
+ private:
+  obs::FlowLedger* flow_;
+};
+
+}  // namespace
 
 Simulator::Simulator()
     : metrics_(&obs::global_registry().scope("sim")),
@@ -146,6 +172,7 @@ void Simulator::schedule_delivery(Node* dst, Packet packet, Time deliver_at,
         if (link_byte_accounting_) {
           link_bytes_counter(link_key, p.src, p.dst).inc(p.payload.size());
         }
+        FlowDeliveryScope flow_scope(flow_, p.context, p.protocol);
         if (record_trace_ || !wiretaps_.empty()) {
           TraceEntry entry{now_,      p.src,     p.dst,
                            p.payload.size(), p.context, p.protocol};
@@ -313,9 +340,21 @@ void Simulator::set_fault_plan(FaultPlan plan) {
       faults_breaches_m_->inc();
       obs::Span span(*tracer_, "fault.breach", "net");
       span.arg("party", ev.party);
+      // Record the implant before the handler runs: everything the handler
+      // marks (and everything the implant subsequently sees) is causally
+      // downstream of this event. The ledger dedups per party, so the
+      // handler's mark_compromised flowing back through an ObservationSink
+      // is a no-op.
+      if (flow_) flow_->record_compromise(ev.party,
+                                          obs::FlowCause::kBreachImplant);
       if (breach_handler_) breach_handler_(ev);
     });
   }
+}
+
+void Simulator::set_flow(obs::FlowLedger* ledger) {
+  flow_ = ledger;
+  if (flow_) flow_->set_clock([this] { return now_; });
 }
 
 std::optional<Time> Simulator::breached_at(const Address& party) const {

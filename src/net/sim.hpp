@@ -38,6 +38,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+namespace dcpl::obs {
+class FlowLedger;
+}
+
 namespace dcpl::net {
 
 /// A network packet. `context` is the link-layer flow identifier (think
@@ -173,6 +177,17 @@ class Simulator {
   /// Redirects span output (default: the global tracer).
   void set_tracer(obs::Tracer& tracer) { tracer_ = &tracer; }
 
+  /// Attaches a knowledge-flow ledger (nullptr detaches). The simulator
+  /// installs its virtual clock on the ledger, brackets every Node::
+  /// on_packet with a delivery scope (so exposures logged while a packet is
+  /// being processed carry that packet's protocol tag and message context),
+  /// and records a breach-implant flow event when a fault-plan BreachEvent
+  /// fires — *before* the breach handler runs, so the implant event
+  /// causally precedes everything the implant sees. The ledger must outlive
+  /// the simulator or be detached first.
+  void set_flow(obs::FlowLedger* ledger);
+  obs::FlowLedger* flow() const { return flow_; }
+
   /// Installs a fault plan governing every subsequent send(): impairment
   /// rolls come from a dedicated XoshiroRng seeded by the plan, so a fixed
   /// seed replays the exact same fault sequence. BreachEvents are scheduled
@@ -259,6 +274,8 @@ class Simulator {
   std::map<Address, Time> breached_;
   std::unordered_map<std::uint64_t, const std::vector<Window>*> partitions_m_;
   std::unordered_map<AddressId, const std::vector<Window>*> offline_m_;
+
+  obs::FlowLedger* flow_ = nullptr;
 
   // Observability sinks: metric handles are cached (stable for the
   // registry's lifetime) so the per-event cost is one add each. Per-link

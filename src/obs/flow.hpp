@@ -1,0 +1,278 @@
+// Knowledge-flow provenance: the §3 tables as an auditable event stream.
+//
+// The end-state ObservationLog answers *what* each party ended up knowing;
+// the FlowLedger answers *when, via which message, and through which causal
+// chain* it learned it. Every exposure/link/compromise becomes a FlowEvent
+// with a virtual timestamp, the linkage context (message id) it happened
+// under, the hop depth of that context, and a parent event id — so "how did
+// the gateway learn the client's URL" is a walk up parent pointers, not a
+// post-hoc reconstruction.
+//
+// The ledger is a bounded ring-buffer flight recorder: a fixed number of
+// most-recent events stay resident (JSONL-exportable), while the per-party
+// knowledge tuples, the dedup filter, and the attached DecouplingMonitor are
+// maintained incrementally and stay exact even after the ring wraps or when
+// recording is switched off. Folding the event stream therefore reproduces
+// the DecouplingAnalysis end-state tables event-by-event (cross-validated in
+// bench_tables T1–T8), and the monitor re-checks the paper's §2.4 invariant
+// — only the user may hold ▲∧● — on every single event, flagging the exact
+// event at which a party (e.g. the VPN locus mid-breach) trips it.
+//
+// Feeding the ledger:
+//   * core::ObservationLog::set_sink(&ledger) streams every observe/link/
+//     mark_compromised from all eight systems with no per-system wiring;
+//   * net::Simulator::set_flow(&ledger) supplies the virtual clock, stamps
+//     each event with the delivering packet's protocol and message context,
+//     and records breach implants fired by the fault plan;
+//   * record_exposure()/record_link()/record_compromise() allow direct
+//     emission (synthetic scale workloads, tests).
+//
+// Idempotent resends (retry_run) re-observe the same (party, atom): the
+// ledger dedups those, so exposure counts stay meaningful under loss and
+// the causal frontier is not advanced by a resend. Single-threaded, like
+// everything else in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/observation.hpp"
+
+namespace dcpl::obs {
+
+/// Why an event entered the ledger.
+enum class FlowCause : std::uint8_t {
+  kProtocolStep,    // ordinary protocol processing exposed the atom
+  kBreachImplant,   // a net::BreachEvent implant (§3.3) fired
+  kCollusionMerge,  // parties pooled logs into a coalition view (§4.1)
+};
+
+enum class FlowEventKind : std::uint8_t { kExposure, kLink, kCompromise };
+
+const char* flow_cause_name(FlowCause cause);
+const char* flow_event_kind_name(FlowEventKind kind);
+
+/// One provenance record. `id`s are 1-based and strictly increasing;
+/// `parent_id == 0` means a causal root (no recorded predecessor).
+struct FlowEvent {
+  std::uint64_t id = 0;
+  std::uint64_t virtual_time = 0;  // us, from the attached clock (0 if none)
+  FlowEventKind kind = FlowEventKind::kExposure;
+  FlowCause cause = FlowCause::kProtocolStep;
+  core::Party party;
+  core::Atom atom;              // kExposure only
+  std::uint64_t context = 0;    // message id (exposure) / upstream ctx a (link)
+  std::uint64_t context_b = 0;  // kLink only: the downstream context b
+  std::uint32_t hop_index = 0;  // forwarding depth of `context` (0 = origin)
+  std::uint64_t parent_id = 0;
+  std::string protocol;  // delivering packet's protocol tag, if inside one
+  core::KnowledgeTuple tuple_after;  // party's accumulated tuple after this
+};
+
+/// Folds an exported event slice back into per-party knowledge tuples —
+/// the inverse of what DecouplingAnalysis::tuple_for derives from the
+/// end-state log. (Exact only if the slice contains every exposure, i.e.
+/// the ring did not wrap; FlowLedger::tuples() stays exact regardless.)
+std::map<core::Party, core::KnowledgeTuple> fold_tuples(
+    const std::vector<FlowEvent>& events);
+
+class DecouplingMonitor;
+
+class FlowLedger final : public core::ObservationSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit FlowLedger(std::size_t capacity = kDefaultCapacity);
+
+  // --- feeding -----------------------------------------------------------
+
+  // core::ObservationSink: attach with log.set_sink(&ledger).
+  void on_observe(const core::Observation& o) override;
+  void on_link(const core::ContextLink& l) override;
+  void on_compromise(const core::Party& party) override;
+
+  /// Direct emission, bypassing an ObservationLog.
+  void record_exposure(const core::Party& party, core::Atom atom,
+                       std::uint64_t context);
+  void record_link(const core::Party& party, std::uint64_t a, std::uint64_t b);
+  /// First compromise per party wins; repeats are no-ops. A compromise
+  /// resets the party's dedup set, so post-implant repeats of already-seen
+  /// atoms re-enter the event stream (they are new knowledge in the
+  /// attacker's frame — the counterpart of core's live_breach).
+  void record_compromise(const core::Party& party,
+                         FlowCause cause = FlowCause::kBreachImplant);
+
+  // --- wiring ------------------------------------------------------------
+
+  /// Virtual-time source (net::Simulator::set_flow installs sim.now()).
+  void set_clock(std::function<std::uint64_t()> clock);
+
+  /// Delivery scope: between begin/end, events are stamped with `protocol`.
+  /// Installed around Node::on_packet by the simulator.
+  void begin_delivery(std::uint64_t context, std::string_view protocol);
+  void end_delivery();
+
+  /// At most one monitor; it sees every accepted event, even while
+  /// recording is off. Pass nullptr to detach.
+  void attach_monitor(DecouplingMonitor* monitor);
+
+  /// When off, the ring stops accumulating (a wrapped flight recorder that
+  /// has been switched off), but dedup, per-party tuples, and the monitor
+  /// keep running — invariant checking does not require event retention.
+  void set_recording(bool on) { recording_ = on; }
+  bool recording() const { return recording_; }
+
+  /// Caps the dedup filter and the causal-frontier index (both grow with
+  /// distinct (party, atom) pairs / distinct contexts). When a table
+  /// exceeds the limit it is cleared: chains truncate and a repeat may be
+  /// recorded once more, but memory stays bounded on 10M-event runs.
+  void set_retention_limit(std::size_t limit) { retention_limit_ = limit; }
+
+  // --- accessors ---------------------------------------------------------
+
+  std::uint64_t events_recorded() const { return next_id_ - 1; }
+  std::uint64_t exposures() const { return exposures_; }
+  std::uint64_t links() const { return links_; }
+  std::uint64_t compromises() const { return compromises_; }
+  /// Suppressed idempotent repeats (same party re-observing the same atom).
+  std::uint64_t deduped() const { return deduped_; }
+  /// Events overwritten by ring wraparound (id < oldest resident id).
+  std::uint64_t dropped() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Resident event by id; nullptr if never assigned, wrapped away, or
+  /// accepted while recording was off.
+  const FlowEvent* find(std::uint64_t id) const;
+
+  /// Resident events, oldest first.
+  std::vector<FlowEvent> events() const;
+
+  /// The causal chain ending at `id`: the event itself, then its parents,
+  /// newest first. Truncates at the first non-resident ancestor.
+  std::vector<FlowEvent> chain_of(std::uint64_t id) const;
+
+  /// Exact per-party tuples folded incrementally from every exposure ever
+  /// accepted (immune to ring wrap and recording toggles).
+  const std::map<core::Party, core::KnowledgeTuple>& tuples() const {
+    return tuples_;
+  }
+
+  /// Event id of the party's compromise, if one was recorded.
+  std::optional<std::uint64_t> compromise_event(const core::Party& party) const;
+
+  void clear();
+
+  // --- export ------------------------------------------------------------
+
+  /// Appends one JSON object per resident event to `out`. `run_label` tags
+  /// each line (ids restart per ledger, so multi-run files need it).
+  void write_jsonl(std::string& out, std::string_view run_label = "") const;
+  bool write_jsonl_file(const std::string& path,
+                        std::string_view run_label = "") const;
+
+ private:
+  struct Frontier {
+    std::uint64_t last_event_id = 0;
+    std::uint32_t depth = 0;
+  };
+
+  FlowEvent& append(FlowEvent ev);  // assigns id, stores if recording
+  void notify(const FlowEvent& ev);
+
+  Frontier& frontier_entry(std::uint64_t context);
+
+  std::size_t capacity_;
+  // Slot i only ever holds events with id ≡ i+1 (mod capacity_); id 0 marks
+  // an empty slot. Residency is checked by comparing the slot's id, which
+  // stays correct even when recording toggles make resident ids sparse.
+  std::vector<FlowEvent> ring_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t resident_ = 0;  // slots currently holding an event
+  std::uint64_t evicted_ = 0;   // events overwritten by wraparound
+  bool recording_ = true;
+
+  std::uint64_t exposures_ = 0, links_ = 0, compromises_ = 0, deduped_ = 0;
+
+  std::function<std::uint64_t()> clock_;
+  bool in_delivery_ = false;
+  std::uint64_t delivery_context_ = 0;
+  std::string delivery_protocol_;
+
+  std::map<core::Party, std::set<core::Atom>> seen_;  // dedup filter
+  std::size_t seen_count_ = 0;
+  std::map<std::uint64_t, Frontier> frontier_;  // per-context causal head
+  std::size_t retention_limit_ = 1u << 22;
+
+  std::map<core::Party, core::KnowledgeTuple> tuples_;
+  std::map<core::Party, std::uint64_t> compromise_events_;
+
+  DecouplingMonitor* monitor_ = nullptr;
+  FlowEvent scratch_;  // returned by append() when not recording
+};
+
+/// Online §2.4 invariant checker: only exempt parties (the users) may hold
+/// ▲∧●; any other party reaching both trips a violation carrying the full
+/// causal chain that produced it. Attach with FlowLedger::attach_monitor.
+class DecouplingMonitor {
+ public:
+  enum class Mode {
+    /// Stored-logs model (DecouplingAnalysis::breach): every exposure
+    /// counts toward a party's monitored tuple.
+    kStoredLogs,
+    /// Live-implant model (§3.3, live_breach): only exposures by parties
+    /// with a recorded compromise count — the monitor then answers "what
+    /// did the implant see", and each violation's chain ends at the
+    /// breach-implant event.
+    kLiveImplant,
+  };
+
+  struct Violation {
+    core::Party party;
+    std::uint64_t event_id = 0;      // the exposure that completed ▲∧●
+    std::uint64_t virtual_time = 0;
+    core::KnowledgeTuple tuple;      // monitored tuple at the trip
+    FlowCause cause = FlowCause::kProtocolStep;  // of the tripping event
+    /// Causal chain: tripping event id, then parent ids walking back, and —
+    /// in kLiveImplant mode — the compromise event id appended last (the
+    /// implant is what made the exposure attacker-visible). Chains truncate
+    /// at events the ring no longer holds.
+    std::vector<std::uint64_t> chain;
+    std::uint64_t implant_event_id = 0;  // kLiveImplant only
+  };
+
+  explicit DecouplingMonitor(Mode mode = Mode::kStoredLogs);
+
+  void exempt(const core::Party& user);
+  void exempt(const std::vector<core::Party>& users);
+
+  Mode mode() const { return mode_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool tripped(const core::Party& party) const {
+    return violated_.count(party) > 0;
+  }
+  /// Exposures the monitor counted (post-filter view of the stream).
+  std::uint64_t counted_exposures() const { return counted_exposures_; }
+
+  void clear();
+
+ private:
+  friend class FlowLedger;
+  void on_event(const FlowLedger& ledger, const FlowEvent& ev);
+
+  Mode mode_;
+  std::set<core::Party> exempt_;
+  std::map<core::Party, core::KnowledgeTuple> counted_;
+  std::set<core::Party> violated_;  // fire at most once per party
+  std::vector<Violation> violations_;
+  std::uint64_t counted_exposures_ = 0;
+};
+
+}  // namespace dcpl::obs

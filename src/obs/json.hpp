@@ -4,8 +4,11 @@
 // snapshots, Chrome trace-event files, and bench reports. The parser builds
 // a small value tree and exists so tests and the report checker can validate
 // what the writer (and the bench binaries) produced — it accepts exactly the
-// JSON subset the writer emits (RFC 8259 minus \u surrogate pairs decoded
-// lazily; escapes are preserved verbatim on round-trip of control chars).
+// JSON subset the writer emits (RFC 8259 minus surrogate-pair recombination).
+// Write→parse round-trips are lossless for every byte string: valid UTF-8
+// passes through verbatim, while C0 controls, DEL, and bytes that are not
+// part of a valid UTF-8 sequence are escaped as \u00XX and decoded back to
+// the identical single byte.
 #pragma once
 
 #include <cstdint>
@@ -19,26 +22,64 @@
 namespace dcpl::obs {
 
 /// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+/// Valid UTF-8 passes through verbatim; C0 controls, DEL, and bytes that do
+/// not form a valid UTF-8 sequence (stray continuations, overlongs,
+/// surrogates, truncated tails) are escaped as \u00XX so the output is
+/// always well-formed JSON and the parser below can reconstruct the exact
+/// byte string.
 inline std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 8);
-  for (unsigned char c : s) {
+  auto escape_byte = [&out](unsigned char c) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+    out += buf;
+  };
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    if (c < 0x20 || c == 0x7F) {
+      escape_byte(c);
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {
+      out += static_cast<char>(c);
+      ++i;
+      continue;
+    }
+    // Multibyte lead byte: measure the expected length, then validate the
+    // continuation bytes and the decoded range (rejecting overlong forms and
+    // surrogate code points, which strict decoders treat as invalid).
+    std::size_t len = 0;
+    std::uint32_t code = 0, min_code = 0;
+    if ((c & 0xE0) == 0xC0) { len = 2; code = c & 0x1Fu; min_code = 0x80; }
+    else if ((c & 0xF0) == 0xE0) { len = 3; code = c & 0x0Fu; min_code = 0x800; }
+    else if ((c & 0xF8) == 0xF0) { len = 4; code = c & 0x07u; min_code = 0x10000; }
+    bool ok = len != 0 && i + len <= s.size();
+    for (std::size_t k = 1; ok && k < len; ++k) {
+      const unsigned char cc = static_cast<unsigned char>(s[i + k]);
+      if ((cc & 0xC0) != 0x80) ok = false;
+      else code = (code << 6) | (cc & 0x3Fu);
+    }
+    ok = ok && code >= min_code && code <= 0x10FFFF &&
+         !(code >= 0xD800 && code <= 0xDFFF);
+    if (ok) {
+      out.append(s.substr(i, len));
+      i += len;
+    } else {
+      escape_byte(c);  // escape the bad byte alone and resync at the next one
+      ++i;
     }
   }
   return out;
@@ -270,9 +311,12 @@ class JsonParser {
               else return false;
             }
             pos_ += 4;
-            // UTF-8 encode (no surrogate-pair recombination; the writer
-            // only emits \u for C0 controls).
-            if (code < 0x80) {
+            // The writer escapes C0 controls, DEL, and invalid-UTF-8 bytes
+            // as \u00XX; decode those back to the identical single byte so
+            // write→parse round-trips every byte string losslessly. Codes
+            // >= 0x100 are UTF-8 encoded (no surrogate-pair recombination;
+            // that is the subset the writer emits).
+            if (code < 0x100) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xC0 | (code >> 6));

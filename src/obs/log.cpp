@@ -1,0 +1,134 @@
+#include "obs/log.hpp"
+
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace dcpl::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  value = buf;
+}
+
+struct Logger::State {
+  LogLevel level = LogLevel::kInfo;
+  bool stderr_sink = true;
+  std::FILE* jsonl = nullptr;
+  std::function<std::uint64_t()> clock;
+  std::uint64_t records = 0;
+
+  ~State() {
+    if (jsonl) std::fclose(jsonl);
+  }
+};
+
+Logger::Logger() : state_(std::make_shared<State>()) {}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) { state_->level = level; }
+LogLevel Logger::level() const { return state_->level; }
+void Logger::set_stderr_sink(bool on) { state_->stderr_sink = on; }
+
+bool Logger::open_jsonl(const std::string& path) {
+  close_jsonl();
+  state_->jsonl = std::fopen(path.c_str(), "w");
+  return state_->jsonl != nullptr;
+}
+
+void Logger::close_jsonl() {
+  if (state_->jsonl) {
+    std::fclose(state_->jsonl);
+    state_->jsonl = nullptr;
+  }
+}
+
+void Logger::set_clock(std::function<std::uint64_t()> clock) {
+  state_->clock = std::move(clock);
+}
+
+Logger Logger::with_party(std::string party) const {
+  Logger scoped = *this;  // shares sink state
+  scoped.party_ = std::move(party);
+  return scoped;
+}
+
+void Logger::log(LogLevel level, std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  State& s = *state_;
+  if (static_cast<int>(level) < static_cast<int>(s.level)) return;
+  ++s.records;
+
+  const bool has_time = static_cast<bool>(s.clock);
+  const std::uint64_t t_us = has_time ? s.clock() : 0;
+
+  if (s.stderr_sink) {
+    std::string line = "[";
+    line += log_level_name(level);
+    line += ']';
+    if (has_time) line += " t_us=" + std::to_string(t_us);
+    if (!party_.empty()) line += " party=" + party_;
+    line += ' ';
+    line.append(msg.data(), msg.size());
+    for (const LogField& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      line += f.value;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+
+  if (s.jsonl) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("level", log_level_name(level));
+    if (has_time) w.kv("t_us", t_us);
+    if (!party_.empty()) w.kv("party", party_);
+    w.kv("msg", msg);
+    if (fields.size() > 0) {
+      w.key("fields");
+      w.begin_object();
+      for (const LogField& f : fields) w.kv(f.key, f.value);
+      w.end_object();
+    }
+    w.end_object();
+    std::fprintf(s.jsonl, "%s\n", w.str().c_str());
+  }
+}
+
+void Logger::debug(std::string_view msg,
+                   std::initializer_list<LogField> fields) {
+  log(LogLevel::kDebug, msg, fields);
+}
+void Logger::info(std::string_view msg,
+                  std::initializer_list<LogField> fields) {
+  log(LogLevel::kInfo, msg, fields);
+}
+void Logger::warn(std::string_view msg,
+                  std::initializer_list<LogField> fields) {
+  log(LogLevel::kWarn, msg, fields);
+}
+void Logger::error(std::string_view msg,
+                   std::initializer_list<LogField> fields) {
+  log(LogLevel::kError, msg, fields);
+}
+
+std::uint64_t Logger::records() const { return state_->records; }
+
+}  // namespace dcpl::obs

@@ -1,0 +1,89 @@
+// Leveled, structured logger for benches and tools.
+//
+// Records are a message plus ordered key=value fields, optionally scoped to
+// a party (so per-node output stays greppable), and go to either or both of
+// two sinks: human-readable stderr lines and machine-readable JSONL. The
+// JSONL lines use the same writer as the bench reports, so labels containing
+// arbitrary bytes (party names, atom labels) survive round-trip intact.
+//
+// Loggers copied via with_party() share sink state (level, stderr toggle,
+// open JSONL file) with their parent, so a bench can open one JSONL log and
+// hand scoped children to each node. Single-threaded, like the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcpl::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+/// One structured field. Values are strings; numeric helpers format for you.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, std::int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false") {}
+};
+
+class Logger {
+ public:
+  Logger();
+
+  /// Process-wide logger; the default sink for code without plumbing.
+  static Logger& global();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Human-readable sink (on by default): "[warn] party=relay msg k=v".
+  void set_stderr_sink(bool on);
+
+  /// Opens (truncating) a JSONL sink shared by this logger and every
+  /// with_party() copy. Returns false if the file cannot be opened.
+  bool open_jsonl(const std::string& path);
+  void close_jsonl();
+
+  /// Optional virtual-clock source; when set, records carry "t_us".
+  void set_clock(std::function<std::uint64_t()> clock);
+
+  /// A logger emitting the same sinks with a party=<name> scope attached.
+  Logger with_party(std::string party) const;
+  const std::string& party() const { return party_; }
+
+  void log(LogLevel level, std::string_view msg,
+           std::initializer_list<LogField> fields = {});
+  void debug(std::string_view msg, std::initializer_list<LogField> fields = {});
+  void info(std::string_view msg, std::initializer_list<LogField> fields = {});
+  void warn(std::string_view msg, std::initializer_list<LogField> fields = {});
+  void error(std::string_view msg, std::initializer_list<LogField> fields = {});
+
+  /// Records accepted by any sink since construction (shared across copies).
+  std::uint64_t records() const;
+
+ private:
+  struct State;  // shared sink state: level, stderr toggle, FILE*, clock
+
+  std::shared_ptr<State> state_;
+  std::string party_;  // empty = unscoped
+};
+
+}  // namespace dcpl::obs

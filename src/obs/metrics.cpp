@@ -37,6 +37,9 @@ void Histogram::reset() {
 
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
+  // A single sample IS every quantile; interpolating inside its bucket would
+  // report a value never observed.
+  if (count_ == 1) return max_;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
   std::uint64_t cumulative = 0;
@@ -51,7 +54,10 @@ double Histogram::quantile(double q) const {
     const double into =
         static_cast<double>(counts_[i]) -
         (static_cast<double>(cumulative) - target);
-    return lo + (hi - lo) * into / static_cast<double>(counts_[i]);
+    const double v = lo + (hi - lo) * into / static_cast<double>(counts_[i]);
+    // Interpolation can step outside the observed range when a bucket is
+    // wider than the samples it holds; never report a value outside it.
+    return std::clamp(v, min_, max_);
   }
   return max_;
 }
@@ -187,6 +193,133 @@ void Registry::snapshot_into(const std::string& prefix, Snapshot& out) const {
 }
 
 void Registry::write_json(JsonWriter& w) const { snapshot().write_json(w); }
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (scope dots,
+// dashes, arrows in derived names) becomes '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+// Label *names* get the same charset treatment; label *values* keep their
+// bytes with the exposition-format escapes (backslash, quote, newline).
+std::string prom_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) s += ',';
+    first = false;
+    s += prom_name(k) + "=\"" + prom_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) s += ',';
+    s += extra_key + "=\"" + extra_value + "\"";
+  }
+  s += '}';
+  return s;
+}
+
+std::string prom_number(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v >= -9.0e18 && v <= 9.0e18) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void prom_type(std::string& out, std::string& last_family,
+               const std::string& family, const char* type) {
+  if (family == last_family) return;  // samples of one family stay grouped
+  last_family = family;
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+void Registry::prometheus_into(const std::string& prefix,
+                               std::string& out) const {
+  std::string last_family;
+  for (const auto& [key, c] : counters_) {
+    const std::string family = prom_name(prefix + key.first);
+    prom_type(out, last_family, family, "counter");
+    out += family + prom_labels(key.second) + " " +
+           std::to_string(c->value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, g] : gauges_) {
+    const std::string family = prom_name(prefix + key.first);
+    prom_type(out, last_family, family, "gauge");
+    out += family + prom_labels(key.second) + " " + prom_number(g->value()) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, g] : gauges_) {
+    const std::string family = prom_name(prefix + key.first) + "_peak";
+    prom_type(out, last_family, family, "gauge");
+    out += family + prom_labels(key.second) + " " + prom_number(g->peak()) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, h] : histograms_) {
+    const std::string family = prom_name(prefix + key.first);
+    prom_type(out, last_family, family, "histogram");
+    std::uint64_t cumulative = 0;
+    const auto& bounds = h->bounds();
+    const auto& counts = h->bucket_counts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += family + "_bucket" +
+             prom_labels(key.second, "le", prom_number(bounds[i])) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket" + prom_labels(key.second, "le", "+Inf") + " " +
+           std::to_string(h->count()) + "\n";
+    out += family + "_sum" + prom_labels(key.second) + " " +
+           prom_number(h->sum()) + "\n";
+    out += family + "_count" + prom_labels(key.second) + " " +
+           std::to_string(h->count()) + "\n";
+  }
+  for (const auto& [name, child] : children_) {
+    child->prometheus_into(prefix + name + ".", out);
+  }
+}
+
+void Registry::write_prometheus(std::string& out,
+                                const std::string& name_prefix) const {
+  prometheus_into(name_prefix, out);
+}
+
+std::string metrics_to_prometheus(const Registry& registry,
+                                  const std::string& prefix) {
+  std::string out;
+  registry.write_prometheus(out, prefix.empty() ? "" : prefix + "_");
+  return out;
+}
 
 Registry& global_registry() {
   static Registry registry;

@@ -79,7 +79,9 @@ class Histogram {
   double max() const { return count_ ? max_ : 0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
 
-  /// q in [0, 1]; returns 0 when empty.
+  /// q in [0, 1]. Defined on degenerate inputs: returns 0 when empty and
+  /// the sample itself when a single value has been observed; results are
+  /// always clamped to the observed [min, max] range.
   double quantile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -140,10 +142,18 @@ class Registry {
   /// Serializes snapshot() as a JSON object keyed by metric identity.
   void write_json(JsonWriter& w) const;
 
+  /// Appends this subtree in Prometheus text-exposition format (one
+  /// `# TYPE` line per family, counters/gauges as-is, each gauge also as a
+  /// `<name>_peak` high-watermark companion, histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count`). Metric names are
+  /// `name_prefix` + the sanitized scope-qualified name.
+  void write_prometheus(std::string& out, const std::string& name_prefix) const;
+
  private:
   using Key = std::pair<std::string, Labels>;
 
   void snapshot_into(const std::string& prefix, Snapshot& out) const;
+  void prometheus_into(const std::string& prefix, std::string& out) const;
 
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
@@ -154,6 +164,14 @@ class Registry {
 /// Process-wide registry: the default sink for substrate instrumentation
 /// (simulator, crypto op counts) so call sites need no plumbing.
 Registry& global_registry();
+
+/// Renders `registry` (recursively) in Prometheus text-exposition format,
+/// ready to serve from a /metrics endpoint or drop next to a bench report.
+/// Every metric name gets the `prefix` + "_" prelude (default "dcpl") and
+/// scope dots become underscores, e.g. sim.packets_delivered →
+/// dcpl_sim_packets_delivered.
+std::string metrics_to_prometheus(const Registry& registry,
+                                  const std::string& prefix = "dcpl");
 
 /// Hot-path op counter in a scope of the global registry. Call sites cache
 /// the handle in a function-local static so the steady-state cost is one

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/aead.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcpl::systems {
 
@@ -12,6 +13,8 @@ constexpr std::string_view kExportLabel = "dcpl response key";
 
 RequestState seal_request(BytesView server_public, BytesView info,
                           BytesView request, Rng& rng) {
+  static obs::Counter& ops = obs::op_counter("channel", "seal_request");
+  ops.inc();
   hpke::Sender sender = hpke::setup_base_sender(server_public, info, rng);
   Bytes ct = sender.context.seal({}, request);
 
@@ -24,6 +27,8 @@ RequestState seal_request(BytesView server_public, BytesView info,
 
 Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
                                  BytesView encapsulated) {
+  static obs::Counter& ops = obs::op_counter("channel", "open_request");
+  ops.inc();
   if (encapsulated.size() < hpke::kNenc) {
     return Result<ServerState>::failure("open_request: too short");
   }
@@ -44,12 +49,16 @@ Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
 }
 
 Bytes seal_response(BytesView response_key, BytesView response, Rng& rng) {
+  static obs::Counter& ops = obs::op_counter("channel", "seal_response");
+  ops.inc();
   Bytes nonce = rng.bytes(crypto::kAeadNonceSize);
   Bytes ct = crypto::aead_seal(response_key, nonce, {}, response);
   return concat({nonce, ct});
 }
 
 Result<Bytes> open_response(BytesView response_key, BytesView sealed) {
+  static obs::Counter& ops = obs::op_counter("channel", "open_response");
+  ops.inc();
   if (sealed.size() < crypto::kAeadNonceSize) {
     return Result<Bytes>::failure("open_response: too short");
   }

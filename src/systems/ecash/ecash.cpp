@@ -58,6 +58,8 @@ void Bank::on_packet(const net::Packet& p, net::Simulator& sim) {
       if (!blind_sig.ok()) return;
       it->second -= 1;
       ++issued_;
+      static obs::Counter& coins = obs::op_counter("systems", "ecash_issued");
+      coins.inc();
 
       ByteWriter w;
       w.u8(static_cast<std::uint8_t>(MsgType::kWithdrawResponse));

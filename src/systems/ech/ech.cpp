@@ -1,6 +1,7 @@
 #include "systems/ech/ech.hpp"
 
 #include "common/io.hpp"
+#include "obs/metrics.hpp"
 
 namespace dcpl::systems::ech {
 
@@ -107,6 +108,8 @@ void TlsServer::on_packet(const net::Packet& p, net::Simulator& sim) {
   log_->observe(address(), core::sensitive_data("sni:" + negotiated),
                 p.context);
   ++handshakes_;
+  static obs::Counter& handshakes = obs::op_counter("systems", "ech_handshakes");
+  handshakes.inc();
 
   Bytes payload = to_bytes("handshake-ok:" + negotiated);
   if (!response_key.empty()) {

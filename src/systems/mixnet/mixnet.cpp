@@ -75,6 +75,8 @@ MixNode::MixNode(net::Address address, std::size_t batch_size,
 
 void MixNode::on_packet(const net::Packet& p, net::Simulator& sim) {
   obs::Span span("mixnet.peel_layer");
+  static obs::Counter& peeled = obs::op_counter("systems", "mixnet_peeled");
+  peeled.inc();
   book_->observe_src(*log_, address(), p.src, p.context);
 
   if (p.protocol == "mixreply") {

@@ -170,6 +170,8 @@ void Relay::on_packet(const net::Packet& p, net::Simulator& sim) {
   log_->link(address(), p.context, upstream_ctx);
   pending_[upstream_ctx] = Pending{p.src, p.context};
   ++forwarded_;
+  static obs::Counter& relayed = obs::op_counter("systems", "ohttp_relayed");
+  relayed.inc();
   sim.send(net::Packet{address(), gateway_, p.payload, upstream_ctx, "ohttp"});
 }
 

@@ -78,6 +78,9 @@ void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
     }
     ++issued_;
     ++issued_per_account_[account];
+    static obs::Counter& tokens =
+        obs::op_counter("systems", "privacypass_issued");
+    tokens.inc();
 
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(MsgType::kIssueResponse));

@@ -9,6 +9,7 @@
 
 #include "net/sim.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -25,6 +26,31 @@ TEST(Json, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(obs::json_escape(std::string("nul\x01", 4)), "nul\\u0001");
   // UTF-8 multibyte sequences pass through untouched.
   EXPECT_EQ(obs::json_escape("§4.3 — ▲"), "§4.3 — ▲");
+}
+
+TEST(Json, EscapesInvalidUtf8AsByteEscapes) {
+  // Lone continuation byte, truncated 2-byte lead, overlong encoding of
+  // '/': none of these may pass through raw (the output must stay valid
+  // UTF-8 JSON), so each invalid byte becomes \u00XX.
+  EXPECT_EQ(obs::json_escape("\x80"), "\\u0080");
+  EXPECT_EQ(obs::json_escape("a\xC3"), "a\\u00c3");
+  EXPECT_EQ(obs::json_escape("\xC0\xAF"), "\\u00c0\\u00af");
+  // A valid sequence right after an invalid byte still passes through.
+  EXPECT_EQ(obs::json_escape("\xFF▲"), "\\u00ff▲");
+}
+
+TEST(Json, AllByteValuesRoundTripThroughWriterAndParser) {
+  std::string all;
+  for (int c = 0; c < 256; ++c) all += static_cast<char>(c);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bytes", all);
+  w.end_object();
+
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonParser::parse(w.str(), v));
+  EXPECT_EQ(v.at("bytes").string, all);  // lossless: every byte 0x00..0xFF
 }
 
 TEST(Json, WriterParserRoundTrip) {
@@ -197,6 +223,27 @@ TEST(Metrics, ScopedSnapshotAndReset) {
   EXPECT_EQ(reg.scope("sim").counter("packets").value(), 1u);
 }
 
+TEST(Metrics, HistogramSingleSampleQuantileIsTheSample) {
+  obs::Histogram h(obs::Histogram::default_bounds());
+  h.observe(37.5);
+  // One sample: every quantile IS that sample (no interpolation against a
+  // phantom second observation).
+  EXPECT_EQ(h.quantile(0.0), 37.5);
+  EXPECT_EQ(h.quantile(0.5), 37.5);
+  EXPECT_EQ(h.quantile(0.99), 37.5);
+  EXPECT_EQ(h.quantile(1.0), 37.5);
+}
+
+TEST(Metrics, QuantilesClampToObservedRange) {
+  obs::Histogram h({10, 20, 30});
+  h.observe(12);
+  h.observe(13);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_GE(h.quantile(q), 12.0) << q;
+    EXPECT_LE(h.quantile(q), 13.0) << q;
+  }
+}
+
 TEST(Metrics, RegistryJsonIsParseable) {
   obs::Registry reg;
   reg.counter("ops", {{"kind", "seal"}}).inc(5);
@@ -210,6 +257,73 @@ TEST(Metrics, RegistryJsonIsParseable) {
   EXPECT_EQ(v.at("ops{kind=seal}").number, 5.0);
   ASSERT_TRUE(v.has("sub.h"));
   EXPECT_EQ(v.at("sub.h").at("count").number, 1.0);
+}
+
+// ---- Prometheus exposition ------------------------------------------------
+
+TEST(Metrics, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("ops", {{"kind", "seal"}}).inc(5);
+  reg.gauge("depth").set(9);
+  reg.gauge("depth").set(4);  // peak stays 9
+  reg.scope("sim").histogram("lat_us", {}, {10, 100}).observe(7);
+  reg.scope("sim").histogram("lat_us", {}, {10, 100}).observe(5000);
+
+  const std::string text = obs::metrics_to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE dcpl_ops counter"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_ops{kind=\"seal\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dcpl_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_depth_peak 9"), std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == count.
+  EXPECT_NE(text.find("dcpl_sim_lat_us_bucket{le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dcpl_sim_lat_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcpl_sim_lat_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_sim_lat_us_sum 5007"), std::string::npos);
+}
+
+// ---- Logger ---------------------------------------------------------------
+
+TEST(Logger, JsonlSinkWritesParseableRecords) {
+  const std::string path = ::testing::TempDir() + "dcpl_test_log.jsonl";
+  obs::Logger log;
+  log.set_stderr_sink(false);
+  log.set_level(obs::LogLevel::kInfo);
+  std::uint64_t fake_now = 1234;
+  log.set_clock([&fake_now] { return fake_now; });
+  ASSERT_TRUE(log.open_jsonl(path));
+
+  obs::Logger scoped = log.with_party("relay1");
+  scoped.info("forwarded", {{"count", std::uint64_t{3}}, {"ok", true}});
+  log.debug("dropped by level filter");
+  log.warn("plain");
+  log.close_jsonl();
+
+  EXPECT_EQ(log.records(), 2u);  // debug was below the level
+  EXPECT_EQ(scoped.records(), 2u);  // copies share sink state
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+  std::fclose(f);
+
+  const std::size_t split = body.find('\n');
+  ASSERT_NE(split, std::string::npos);
+  obs::JsonValue first;
+  ASSERT_TRUE(obs::JsonParser::parse(body.substr(0, split), first));
+  EXPECT_EQ(first.at("level").string, "info");
+  EXPECT_EQ(first.at("t_us").number, 1234.0);
+  EXPECT_EQ(first.at("party").string, "relay1");
+  EXPECT_EQ(first.at("msg").string, "forwarded");
+  EXPECT_EQ(first.at("fields").at("count").string, "3");
+  EXPECT_EQ(first.at("fields").at("ok").string, "true");
+  std::remove(path.c_str());
 }
 
 // ---- Tracing --------------------------------------------------------------
