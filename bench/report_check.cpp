@@ -223,12 +223,65 @@ bool check_trace(const JsonValue& t) {
   return true;
 }
 
+// Compares the report's throughput values against a committed baseline
+// report (BENCH_scale.json): every "*_events_per_sec" key present in BOTH
+// files must not fall more than tolerance_pct below the baseline's value.
+// Keys only one side carries are ignored (a CI smoke run sweeps fewer
+// points than the committed full sweep). Running faster than the band only
+// warns — it means the committed baseline is stale and worth regenerating,
+// but a faster machine is not a regression.
+bool check_baseline(const JsonValue& r, const JsonValue& base,
+                    double tolerance_pct) {
+  const JsonValue* values = r.find("values");
+  const JsonValue* base_values = base.find("values");
+  if (!values || !values->is_object()) return fail("missing values{}");
+  if (!base_values || !base_values->is_object()) {
+    return fail("baseline missing values{}");
+  }
+  const std::string suffix = "_events_per_sec";
+  std::size_t compared = 0;
+  for (const auto& [key, val] : values->object) {
+    if (key.size() < suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const JsonValue* ref = base_values->find(key);
+    if (!ref) continue;
+    if (!val.is_number() || !ref->is_number() || ref->number <= 0) {
+      return fail("baseline/report events_per_sec not a positive number");
+    }
+    const double delta_pct = (val.number - ref->number) / ref->number * 100.0;
+    std::printf("report_check: %s = %.0f vs baseline %.0f (%+.1f%%)\n",
+                key.c_str(), val.number, ref->number, delta_pct);
+    if (delta_pct < -tolerance_pct) {
+      std::fprintf(stderr,
+                   "report_check: %s regressed %.1f%% vs baseline "
+                   "(tolerance -%.0f%%)\n",
+                   key.c_str(), -delta_pct, tolerance_pct);
+      return false;
+    }
+    if (delta_pct > tolerance_pct) {
+      std::fprintf(stderr,
+                   "report_check: warning: %s is %.1f%% above baseline — "
+                   "consider regenerating BENCH_scale.json\n",
+                   key.c_str(), delta_pct);
+    }
+    ++compared;
+  }
+  if (compared == 0) {
+    return fail("no events_per_sec keys shared with baseline");
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* report_path = nullptr;
   const char* trace_path = nullptr;
+  const char* baseline_path = nullptr;
   std::size_t min_tables = 0;
+  double tolerance_pct = 15.0;
   bool require_faults = false;
   bool require_flow = false;
   for (int i = 1; i < argc; ++i) {
@@ -237,6 +290,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--min-tables") == 0 && i + 1 < argc) {
       min_tables =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance_pct = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--require-faults") == 0) {
       require_faults = true;
     } else if (std::strcmp(argv[i], "--require-flow") == 0) {
@@ -248,7 +305,8 @@ int main(int argc, char** argv) {
   if (!report_path) {
     std::fprintf(stderr,
                  "usage: report_check <report.json> [--min-tables N] "
-                 "[--require-faults] [--require-flow] [--trace trace.json]\n");
+                 "[--require-faults] [--require-flow] [--trace trace.json] "
+                 "[--baseline baseline.json [--tolerance pct]]\n");
     return 2;
   }
   JsonValue report;
@@ -261,7 +319,14 @@ int main(int argc, char** argv) {
     JsonValue trace;
     if (!load(trace_path, trace) || !check_trace(trace)) return 1;
   }
-  std::printf("report_check: OK (%s%s)\n", report_path,
-              trace_path ? " + trace" : "");
+  if (baseline_path) {
+    JsonValue baseline;
+    if (!load(baseline_path, baseline) ||
+        !check_baseline(report, baseline, tolerance_pct)) {
+      return 1;
+    }
+  }
+  std::printf("report_check: OK (%s%s%s)\n", report_path,
+              trace_path ? " + trace" : "", baseline_path ? " + baseline" : "");
   return 0;
 }

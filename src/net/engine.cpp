@@ -1,0 +1,94 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcpl::net {
+
+CalendarQueue::CalendarQueue(unsigned slot_width_log2,
+                             unsigned slot_count_log2)
+    : shift_(slot_width_log2),
+      mask_((std::uint64_t{1} << slot_count_log2) - 1),
+      slot_count_(std::uint64_t{1} << slot_count_log2),
+      wheel_(slot_count_) {}
+
+void CalendarQueue::push(const EngineEvent& ev) {
+  ++size_;
+  const std::uint64_t s = slot_of(ev.time);
+  if (draining_ && s == drain_slot_) {
+    // Scheduled into the slot being consumed right now: merge-heap, so the
+    // two-way merge in pop() keeps exact (time, seq) order.
+    incoming_.push(ev);
+    return;
+  }
+  if (s < cur_slot_ + slot_count_) {
+    wheel_[s & mask_].push_back(ev);
+    ++wheel_count_;
+    return;
+  }
+  overflow_.push(ev);
+}
+
+void CalendarQueue::migrate() {
+  while (!overflow_.empty() && slot_of(overflow_.top().time) < cur_slot_ + slot_count_) {
+    const EngineEvent& ev = overflow_.top();
+    wheel_[slot_of(ev.time) & mask_].push_back(ev);
+    ++wheel_count_;
+    overflow_.pop();
+  }
+}
+
+EngineEvent CalendarQueue::pop() {
+  if (size_ == 0) throw std::logic_error("CalendarQueue: pop on empty queue");
+  for (;;) {
+    if (draining_) {
+      const bool have_sorted = drain_idx_ < drain_.size();
+      if (have_sorted || !incoming_.empty()) {
+        --size_;
+        if (have_sorted && (incoming_.empty() ||
+                            fires_before(drain_[drain_idx_],
+                                         incoming_.top()))) {
+          return drain_[drain_idx_++];
+        }
+        EngineEvent ev = incoming_.top();
+        incoming_.pop();
+        return ev;
+      }
+      // Slot exhausted. Hand the drain buffer's capacity back to its
+      // bucket (the bucket stayed empty while we drained: same-slot
+      // arrivals went to incoming_, and slot + slot_count_ fails the
+      // window check).
+      draining_ = false;
+      drain_.clear();
+      drain_idx_ = 0;
+      std::vector<EngineEvent>& bucket = wheel_[drain_slot_ & mask_];
+      if (bucket.empty()) bucket.swap(drain_);
+      cur_slot_ = drain_slot_;
+    }
+    if (wheel_count_ == 0) {
+      // Everything pending is beyond the horizon: jump the window forward
+      // instead of stepping through empty slots.
+      if (overflow_.empty()) {
+        throw std::logic_error("CalendarQueue: event accounting corrupted");
+      }
+      cur_slot_ = slot_of(overflow_.top().time);
+    }
+    migrate();
+    while (wheel_[cur_slot_ & mask_].empty()) {
+      ++cur_slot_;
+      migrate();
+    }
+    drain_slot_ = cur_slot_;
+    std::vector<EngineEvent>& bucket = wheel_[cur_slot_ & mask_];
+    drain_.swap(bucket);
+    wheel_count_ -= drain_.size();
+    std::sort(drain_.begin(), drain_.end(),
+              [](const EngineEvent& a, const EngineEvent& b) {
+                return fires_before(a, b);
+              });
+    drain_idx_ = 0;
+    draining_ = true;
+  }
+}
+
+}  // namespace dcpl::net

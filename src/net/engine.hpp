@@ -1,0 +1,115 @@
+// Typed event representation and calendar-queue scheduler for the
+// simulator's hot path.
+//
+// The seed engine kept a single std::priority_queue of type-erased
+// std::function closures: every send() paid a heap allocation for the
+// captured Packet plus an O(log n) sift through pointer-chasing heap
+// memory. This engine replaces both. Events are a flat tagged struct
+// (EngineEvent): the common DeliveryEvent carries only POD — packed link
+// key, pooled payload handle, interned protocol id, context, latency
+// sample — while the rare CallbackEvent (Simulator::at) parks its
+// std::function in a slot pool and carries the slot index.
+//
+// Scheduling is a single-level calendar wheel of 2^k slots, each 2^w us
+// wide, with a binary-heap overflow rung for events beyond the wheel's
+// horizon (2^(k+w) us ≈ 1.05 s at the defaults). The common near-future
+// push is O(1): index a bucket, append. Draining sorts one bucket at a
+// time by (time, seq) and two-way-merges it with a small heap of events
+// that handlers schedule into the *currently draining* slot, so the pop
+// order is exactly the (time, seq) order of the seed heap — the engine
+// swap is invisible to every table, fault roll, and flow fold
+// (tests/test_engine.cpp holds the recorded seed goldens that prove it).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace dcpl::net {
+
+/// Dense id for an interned protocol trace label.
+using ProtocolId = std::uint32_t;
+
+/// One scheduled event. `kind` tags which fields are meaningful: a
+/// kDelivery resolves everything else (addresses, node, payload, label)
+/// through the simulator's interners; a kCallback only uses `handle` (the
+/// simulator's std::function slot).
+struct EngineEvent {
+  Time time = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t link_key = 0;  ///< delivery: packed (src_id, dst_id)
+  std::uint64_t context = 0;   ///< delivery: linkage context
+  Time latency_sample = 0;     ///< delivery: deliver_at - send-time now
+  std::uint32_t handle = 0;    ///< delivery: payload slot; callback: fn slot
+  ProtocolId protocol = 0;     ///< delivery: interned protocol label
+  enum Kind : std::uint8_t { kDelivery = 0, kCallback = 1 };
+  Kind kind = kDelivery;
+};
+
+/// Strict "fires earlier" order — exactly the seed engine's (time, seq).
+inline bool fires_before(const EngineEvent& a, const EngineEvent& b) {
+  return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+}
+
+/// Calendar wheel + overflow heap, popping in exact (time, seq) order.
+///
+/// Invariants: wheel buckets hold events whose absolute slot lies in
+/// [cur_slot_, cur_slot_ + slot count); the overflow heap holds everything
+/// beyond; events scheduled into the slot currently being drained go to a
+/// small merge heap. Pushed times must be >= the last popped time (the
+/// simulator's virtual clock guarantees it).
+class CalendarQueue {
+ public:
+  /// Slots are 2^slot_width_log2 microseconds wide; the wheel has
+  /// 2^slot_count_log2 of them. Defaults give a ~1.05 s horizon, several
+  /// round-trips wide for the latencies the workloads configure.
+  explicit CalendarQueue(unsigned slot_width_log2 = 10,
+                         unsigned slot_count_log2 = 10);
+
+  void push(const EngineEvent& ev);
+
+  /// Removes and returns the earliest event. Throws std::logic_error when
+  /// empty — callers loop on !empty().
+  EngineEvent pop();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Events currently parked on the overflow rung (observability/tests).
+  std::size_t overflow_size() const { return overflow_.size(); }
+
+ private:
+  struct FiresAfter {
+    bool operator()(const EngineEvent& a, const EngineEvent& b) const {
+      return fires_before(b, a);
+    }
+  };
+  using MinHeap =
+      std::priority_queue<EngineEvent, std::vector<EngineEvent>, FiresAfter>;
+
+  std::uint64_t slot_of(Time t) const { return t >> shift_; }
+
+  /// Admits overflow events whose slot entered the wheel's window.
+  void migrate();
+
+  unsigned shift_;
+  std::uint64_t mask_;
+  std::uint64_t slot_count_;
+  std::vector<std::vector<EngineEvent>> wheel_;
+  MinHeap overflow_;
+
+  std::uint64_t cur_slot_ = 0;    // wheel window start (absolute slot)
+  std::size_t size_ = 0;          // all pending events
+  std::size_t wheel_count_ = 0;   // events in wheel buckets only
+
+  // Drain state for the slot currently being consumed.
+  bool draining_ = false;
+  std::uint64_t drain_slot_ = 0;
+  std::vector<EngineEvent> drain_;  // sorted bucket contents
+  std::size_t drain_idx_ = 0;
+  MinHeap incoming_;  // events scheduled into the draining slot mid-drain
+};
+
+}  // namespace dcpl::net

@@ -1,0 +1,60 @@
+#include "net/pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dcpl::net {
+
+BufferPool::Slot& BufferPool::checked(PayloadHandle h) {
+  if (h >= slots_.size() || slots_[h].refs == 0) {
+    throw std::logic_error("BufferPool: stale or invalid payload handle");
+  }
+  return slots_[h];
+}
+
+const BufferPool::Slot& BufferPool::checked(PayloadHandle h) const {
+  if (h >= slots_.size() || slots_[h].refs == 0) {
+    throw std::logic_error("BufferPool: stale or invalid payload handle");
+  }
+  return slots_[h];
+}
+
+PayloadHandle BufferPool::acquire(Bytes bytes) {
+  PayloadHandle h;
+  if (!free_.empty()) {
+    h = free_.back();
+    free_.pop_back();
+  } else {
+    h = static_cast<PayloadHandle>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[h];
+  // Swap rather than assign so the recycled slot's (empty, sized-down)
+  // buffer rides out on the caller's dying temporary.
+  slot.buf.swap(bytes);
+  slot.refs = 1;
+  ++live_;
+  return h;
+}
+
+void BufferPool::add_ref(PayloadHandle h) { ++checked(h).refs; }
+
+void BufferPool::release(PayloadHandle h) {
+  Slot& slot = checked(h);
+  if (--slot.refs == 0) {
+    // Poison: a stale handle must never read another packet's bytes.
+    slot.buf.clear();
+    free_.push_back(h);
+    --live_;
+  }
+}
+
+Bytes& BufferPool::at(PayloadHandle h) { return checked(h).buf; }
+
+const Bytes& BufferPool::at(PayloadHandle h) const { return checked(h).buf; }
+
+std::uint32_t BufferPool::refs(PayloadHandle h) const {
+  return h < slots_.size() ? slots_[h].refs : 0;
+}
+
+}  // namespace dcpl::net

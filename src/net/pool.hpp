@@ -1,0 +1,124 @@
+// Free-list payload pooling for the simulator's event engine.
+//
+// Every in-flight packet's bytes live in one BufferPool slot, addressed by a
+// 32-bit handle and reference-counted, so the engine can fan one payload out
+// to several deliveries (fault duplication, shared retry resends) without
+// ever deep-copying the Bytes. Released slots keep their heap capacity on a
+// free list and are recycled by the next acquire, so steady-state traffic
+// stops churning the allocator.
+//
+// Safety over speed on the misuse paths: touching a slot whose refcount is
+// zero (stale handle, double release) throws std::logic_error, and a slot's
+// contents are cleared the moment its last reference drops — a stale reader
+// sees an empty buffer, never another packet's bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace dcpl::net {
+
+/// Index of one pooled payload slot.
+using PayloadHandle = std::uint32_t;
+
+class BufferPool {
+ public:
+  static constexpr PayloadHandle kInvalid = 0xffffffffu;
+
+  /// Moves `bytes` into a recycled (or fresh) slot; refcount starts at 1.
+  PayloadHandle acquire(Bytes bytes);
+
+  /// One more outstanding reference to `h`.
+  void add_ref(PayloadHandle h);
+
+  /// Drops one reference; the last drop clears the buffer (keeping its
+  /// capacity) and returns the slot to the free list.
+  void release(PayloadHandle h);
+
+  /// The live slot's buffer. Throws std::logic_error for a freed handle.
+  Bytes& at(PayloadHandle h);
+  const Bytes& at(PayloadHandle h) const;
+
+  /// Outstanding references to `h` (0 for a freed slot still in range).
+  std::uint32_t refs(PayloadHandle h) const;
+
+  /// Slots currently holding a referenced payload.
+  std::size_t live() const { return live_; }
+
+  /// Total slots ever created (live + free-listed).
+  std::size_t slots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Bytes buf;
+    std::uint32_t refs = 0;
+  };
+
+  Slot& checked(PayloadHandle h);
+  const Slot& checked(PayloadHandle h) const;
+
+  std::vector<Slot> slots_;
+  std::vector<PayloadHandle> free_;
+  std::size_t live_ = 0;
+};
+
+/// RAII reference to one pooled payload. Copying adds a reference,
+/// destruction drops it — the currency for resend-heavy flows that want one
+/// buffer shared across many sends (Simulator::make_payload /
+/// Simulator::send_shared). Must not outlive the owning pool.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Adopts one already-counted reference to `h`.
+  PayloadRef(BufferPool* pool, PayloadHandle h) : pool_(pool), handle_(h) {}
+
+  PayloadRef(const PayloadRef& o) : pool_(o.pool_), handle_(o.handle_) {
+    if (*this) pool_->add_ref(handle_);
+  }
+  PayloadRef(PayloadRef&& o) noexcept : pool_(o.pool_), handle_(o.handle_) {
+    o.pool_ = nullptr;
+    o.handle_ = BufferPool::kInvalid;
+  }
+  PayloadRef& operator=(const PayloadRef& o) {
+    if (this != &o) {
+      reset();
+      pool_ = o.pool_;
+      handle_ = o.handle_;
+      if (*this) pool_->add_ref(handle_);
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    if (this != &o) {
+      reset();
+      pool_ = o.pool_;
+      handle_ = o.handle_;
+      o.pool_ = nullptr;
+      o.handle_ = BufferPool::kInvalid;
+    }
+    return *this;
+  }
+  ~PayloadRef() { reset(); }
+
+  void reset() {
+    if (*this) pool_->release(handle_);
+    pool_ = nullptr;
+    handle_ = BufferPool::kInvalid;
+  }
+
+  const Bytes& bytes() const { return pool_->at(handle_); }
+  BufferPool* pool() const { return pool_; }
+  PayloadHandle handle() const { return handle_; }
+  explicit operator bool() const {
+    return pool_ != nullptr && handle_ != BufferPool::kInvalid;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PayloadHandle handle_ = BufferPool::kInvalid;
+};
+
+}  // namespace dcpl::net

@@ -29,6 +29,31 @@ class FlowDeliveryScope {
   obs::FlowLedger* flow_;
 };
 
+/// Loans a pooled payload to one delivery. The buffer is swapped *out* of
+/// the pool slot for the duration of on_packet (handlers may acquire new
+/// slots, which can reallocate the pool's slot table, so holding a
+/// reference into it would dangle), swapped back in the destructor, and the
+/// delivery's reference is dropped — exception-safe, and a refcount-2
+/// duplicate sees the identical bytes on its own delivery.
+class PayloadGuard {
+ public:
+  PayloadGuard(BufferPool& pool, PayloadHandle h, Bytes& borrow)
+      : pool_(pool), h_(h), borrow_(borrow) {
+    borrow_.swap(pool_.at(h_));
+  }
+  ~PayloadGuard() {
+    borrow_.swap(pool_.at(h_));
+    pool_.release(h_);
+  }
+  PayloadGuard(const PayloadGuard&) = delete;
+  PayloadGuard& operator=(const PayloadGuard&) = delete;
+
+ private:
+  BufferPool& pool_;
+  PayloadHandle h_;
+  Bytes& borrow_;
+};
+
 }  // namespace
 
 Simulator::Simulator()
@@ -142,56 +167,54 @@ bool Simulator::offline_at_id(AddressId id, Time t) const {
   return false;
 }
 
-void Simulator::schedule_delivery(Node* dst, Packet packet, Time deliver_at,
-                                  std::uint64_t link_key) {
-  // The latency sample is computed now but recorded only inside the
-  // delivery lambda: a packet later dropped by a crash window must not
-  // contribute to the delivery-latency histogram.
-  const Time latency_sample = deliver_at - now_;
-  queue_.push(Event{
-      deliver_at, ++event_seq_,
-      [this, dst, link_key, latency_sample, p = std::move(packet)]() mutable {
-        if (fault_plan_ && offline_at_id(link_dst(link_key), now_)) {
-          ++fault_stats_.offline_dropped;
-          faults_offline_m_->inc();
-          return;
-        }
-        delivery_latency_m_->observe(static_cast<double>(latency_sample));
-        const bool traced = tracer_->enabled();
-        obs::Span span(*tracer_,
-                       traced ? "deliver:" + p.protocol : std::string(),
-                       "net");
-        if (traced) {
-          span.arg("src", p.src);
-          span.arg("dst", p.dst);
-        }
-        ++packets_delivered_;
-        bytes_delivered_ += p.payload.size();
-        packets_m_->inc();
-        bytes_m_->inc(p.payload.size());
-        if (link_byte_accounting_) {
-          link_bytes_counter(link_key, p.src, p.dst).inc(p.payload.size());
-        }
-        FlowDeliveryScope flow_scope(flow_, p.context, p.protocol);
-        if (record_trace_ || !wiretaps_.empty()) {
-          TraceEntry entry{now_,      p.src,     p.dst,
-                           p.payload.size(), p.context, p.protocol};
-          for (auto& tap : wiretaps_) tap(entry);
-          if (record_trace_) trace_.push_back(std::move(entry));
-        }
-        dst->on_packet(p, *this);
-      }});
-  queue_depth_m_->set(static_cast<double>(queue_.size()));
+ProtocolId Simulator::intern_protocol(const std::string& name) {
+  auto it = protocol_ids_.find(name);
+  if (it != protocol_ids_.end()) return it->second;
+  const ProtocolId id = static_cast<ProtocolId>(protocols_.size());
+  protocols_.push_back(ProtocolInfo{name, "deliver:" + name});
+  protocol_ids_.emplace(name, id);
+  return id;
 }
 
-void Simulator::send(Packet packet, Time extra_delay) {
-  const AddressId src_id = interner_.intern(packet.src);
-  const AddressId dst_id = interner_.intern(packet.dst);
-  Node* dst = dst_id < nodes_.size() ? nodes_[dst_id] : nullptr;
-  if (dst == nullptr) {
-    throw std::out_of_range("Simulator: unknown destination " + packet.dst);
+void Simulator::note_queue_push() {
+  const std::size_t depth = queue_.size();
+  if (depth > queue_peak_) queue_peak_ = depth;
+  if ((++queue_ops_ & kQueueSampleMask) == 0) {
+    queue_depth_m_->set(static_cast<double>(depth));
   }
-  const std::uint64_t link_key = pack_link(src_id, dst_id);
+}
+
+void Simulator::note_queue_pop() {
+  if ((++queue_ops_ & kQueueSampleMask) == 0) {
+    queue_depth_m_->set(static_cast<double>(queue_.size()));
+  }
+}
+
+void Simulator::push_delivery(Time deliver_at, std::uint64_t link_key,
+                              PayloadHandle h, std::uint64_t context,
+                              ProtocolId protocol) {
+  EngineEvent ev;
+  ev.time = deliver_at;
+  ev.seq = ++event_seq_;
+  ev.link_key = link_key;
+  ev.context = context;
+  // The latency sample is computed now but recorded only at delivery time:
+  // a packet later dropped by a crash window must not contribute to the
+  // delivery-latency histogram.
+  ev.latency_sample = deliver_at - now_;
+  ev.handle = h;
+  ev.protocol = protocol;
+  ev.kind = EngineEvent::kDelivery;
+  queue_.push(ev);
+  note_queue_push();
+}
+
+Simulator::SendPlan Simulator::plan_send(AddressId src_id,
+                                         std::uint64_t link_key,
+                                         const Address& src,
+                                         const Address& dst,
+                                         std::size_t payload_size,
+                                         Time extra_delay) {
   // One flat lookup resolves latency, bandwidth, and per-link impairment.
   // Pairs that were never connect()ed / impaired have no entry at all and
   // fall through to the defaults.
@@ -205,24 +228,26 @@ void Simulator::send(Packet packet, Time extra_delay) {
   // lost packet consumes exactly one roll; a surviving one consumes the
   // duplicate roll, the jitter roll, and (only when duplicated) the
   // duplicate's own jitter roll.
+  SendPlan plan;
   Time fault_delay = 0;
   Time dup_delay = 0;
-  bool duplicated = false;
   if (fault_plan_) {
     if (partitioned_at(link_key, now_)) {
       ++fault_stats_.partition_dropped;
       faults_partition_m_->inc();
       if (tracer_->enabled()) {
         obs::Span span(*tracer_, "fault.partition", "net");
-        span.arg("src", packet.src);
-        span.arg("dst", packet.dst);
+        span.arg("src", src);
+        span.arg("dst", dst);
       }
-      return;
+      plan.dropped = true;
+      return plan;
     }
     if (offline_at_id(src_id, now_)) {
       ++fault_stats_.offline_dropped;
       faults_offline_m_->inc();
-      return;
+      plan.dropped = true;
+      return plan;
     }
     const Impairment& imp = link && link->impairment
                                 ? *link->impairment
@@ -233,13 +258,14 @@ void Simulator::send(Packet packet, Time extra_delay) {
         faults_lost_m_->inc();
         if (tracer_->enabled()) {
           obs::Span span(*tracer_, "fault.loss", "net");
-          span.arg("src", packet.src);
-          span.arg("dst", packet.dst);
+          span.arg("src", src);
+          span.arg("dst", dst);
         }
-        return;
+        plan.dropped = true;
+        return plan;
       }
       if (imp.duplicate > 0 && fault_rng_->unit() < imp.duplicate) {
-        duplicated = true;
+        plan.duplicated = true;
       }
       if (imp.jitter > 0 && fault_rng_->unit() < imp.jitter) {
         fault_delay =
@@ -247,7 +273,7 @@ void Simulator::send(Packet packet, Time extra_delay) {
         ++fault_stats_.jittered;
         faults_jittered_m_->inc();
       }
-      if (duplicated && imp.jitter > 0 && fault_rng_->unit() < imp.jitter) {
+      if (plan.duplicated && imp.jitter > 0 && fault_rng_->unit() < imp.jitter) {
         dup_delay =
             imp.jitter_max_us ? fault_rng_->below(imp.jitter_max_us + 1) : 0;
       }
@@ -256,28 +282,138 @@ void Simulator::send(Packet packet, Time extra_delay) {
 
   Time serialization = 0;
   if (link && link->bandwidth > 0) {
-    serialization = packet.payload.size() * 1000 / link->bandwidth;  // us
+    serialization = payload_size * 1000 / link->bandwidth;  // us
   }
   const Time latency =
       link && link->has_latency ? link->latency : default_latency_;
   const Time base = now_ + latency + serialization + extra_delay;
-  if (duplicated) {
+  plan.deliver_at = base + fault_delay;
+  if (plan.duplicated) {
     ++fault_stats_.duplicated;
     faults_duplicated_m_->inc();
     if (tracer_->enabled()) {
       obs::Span span(*tracer_, "fault.duplicate", "net");
-      span.arg("src", packet.src);
-      span.arg("dst", packet.dst);
+      span.arg("src", src);
+      span.arg("dst", dst);
     }
-    schedule_delivery(dst, packet, base + dup_delay, link_key);
+    plan.dup_at = base + dup_delay;
   }
-  schedule_delivery(dst, std::move(packet), base + fault_delay, link_key);
+  return plan;
+}
+
+void Simulator::send(Packet packet, Time extra_delay) {
+  const AddressId src_id = interner_.intern(packet.src);
+  const AddressId dst_id = interner_.intern(packet.dst);
+  if (dst_id >= nodes_.size() || nodes_[dst_id] == nullptr) {
+    throw std::out_of_range("Simulator: unknown destination " + packet.dst);
+  }
+  const std::uint64_t link_key = pack_link(src_id, dst_id);
+  const SendPlan plan = plan_send(src_id, link_key, packet.src, packet.dst,
+                                  packet.payload.size(), extra_delay);
+  if (plan.dropped) return;
+  const ProtocolId proto = intern_protocol(packet.protocol);
+  const PayloadHandle h = pool_.acquire(std::move(packet.payload));
+  if (plan.duplicated) {
+    // The duplicate shares the original's buffer and is pushed first, so it
+    // takes the lower sequence number — exactly the seed engine's order.
+    pool_.add_ref(h);
+    push_delivery(plan.dup_at, link_key, h, packet.context, proto);
+  }
+  push_delivery(plan.deliver_at, link_key, h, packet.context, proto);
+}
+
+PayloadRef Simulator::make_payload(Bytes bytes) {
+  return PayloadRef(&pool_, pool_.acquire(std::move(bytes)));
+}
+
+void Simulator::send_shared(const Address& src, const Address& dst,
+                            const PayloadRef& payload, std::uint64_t context,
+                            const std::string& protocol, Time extra_delay) {
+  if (!payload || payload.pool() != &pool_) {
+    throw std::invalid_argument(
+        "Simulator::send_shared: payload not from this simulator's pool");
+  }
+  const AddressId src_id = interner_.intern(src);
+  const AddressId dst_id = interner_.intern(dst);
+  if (dst_id >= nodes_.size() || nodes_[dst_id] == nullptr) {
+    throw std::out_of_range("Simulator: unknown destination " + dst);
+  }
+  const std::uint64_t link_key = pack_link(src_id, dst_id);
+  const SendPlan plan = plan_send(src_id, link_key, src, dst,
+                                  payload.bytes().size(), extra_delay);
+  if (plan.dropped) return;
+  const ProtocolId proto = intern_protocol(protocol);
+  const PayloadHandle h = payload.handle();
+  if (plan.duplicated) {
+    pool_.add_ref(h);
+    push_delivery(plan.dup_at, link_key, h, context, proto);
+  }
+  pool_.add_ref(h);
+  push_delivery(plan.deliver_at, link_key, h, context, proto);
 }
 
 void Simulator::at(Time t, std::function<void()> fn) {
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
-  queue_.push(Event{t, ++event_seq_, std::move(fn)});
-  queue_depth_m_->set(static_cast<double>(queue_.size()));
+  std::uint32_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.emplace_back();
+  }
+  callbacks_[slot] = std::move(fn);
+  EngineEvent ev;
+  ev.time = t;
+  ev.seq = ++event_seq_;
+  ev.handle = slot;
+  ev.kind = EngineEvent::kCallback;
+  queue_.push(ev);
+  note_queue_push();
+}
+
+void Simulator::deliver(const EngineEvent& ev) {
+  const AddressId dst_id = link_dst(ev.link_key);
+  if (fault_plan_ && offline_at_id(dst_id, now_)) {
+    ++fault_stats_.offline_dropped;
+    faults_offline_m_->inc();
+    pool_.release(ev.handle);
+    return;
+  }
+  delivery_latency_m_->observe(static_cast<double>(ev.latency_sample));
+  const ProtocolInfo& proto = protocols_[ev.protocol];
+  const Address& src = interner_.name(link_src(ev.link_key));
+  const Address& dst = interner_.name(dst_id);
+  const bool traced = tracer_->enabled();
+  obs::Span span(*tracer_, traced ? proto.deliver_label : std::string(),
+                 "net");
+  if (traced) {
+    span.arg("src", src);
+    span.arg("dst", dst);
+  }
+  // Re-materialize the packet into the recycled scratch struct (string
+  // capacity survives across deliveries) and borrow the pooled bytes for
+  // the duration of the handler.
+  PayloadGuard payload(pool_, ev.handle, scratch_.payload);
+  scratch_.src = src;
+  scratch_.dst = dst;
+  scratch_.context = ev.context;
+  scratch_.protocol = proto.name;
+  ++packets_delivered_;
+  bytes_delivered_ += scratch_.payload.size();
+  packets_m_->inc();
+  bytes_m_->inc(scratch_.payload.size());
+  if (link_byte_accounting_) {
+    link_bytes_counter(ev.link_key, src, dst).inc(scratch_.payload.size());
+  }
+  FlowDeliveryScope flow_scope(flow_, ev.context, proto.name);
+  if (record_trace_ || !wiretaps_.empty()) {
+    TraceEntry entry{now_,       src,        dst,
+                     scratch_.payload.size(), ev.context, proto.name};
+    for (auto& tap : wiretaps_) tap(entry);
+    if (record_trace_) trace_.push_back(std::move(entry));
+  }
+  nodes_[dst_id]->on_packet(scratch_, *this);
 }
 
 Time Simulator::run() {
@@ -287,13 +423,25 @@ Time Simulator::run() {
   {
     obs::Span run_span(*tracer_, "sim.run", "sim");
     while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      queue_depth_m_->set(static_cast<double>(queue_.size()));
+      const EngineEvent ev = queue_.pop();
+      note_queue_pop();
       now_ = ev.time;
       events_processed_m_->inc();
-      ev.fn();
+      if (ev.kind == EngineEvent::kDelivery) {
+        deliver(ev);
+      } else {
+        // Move the callback out before running it: the slot is free for
+        // reuse by anything the callback itself schedules.
+        std::function<void()> fn = std::move(callbacks_[ev.handle]);
+        callbacks_[ev.handle] = nullptr;
+        callback_free_.push_back(ev.handle);
+        fn();
+      }
     }
+    // Publish the exact high-watermark through the gauge's peak tracking,
+    // then settle the sampled value at the true drained depth of zero.
+    queue_depth_m_->set(static_cast<double>(queue_peak_));
+    queue_depth_m_->set(0.0);
   }
   tracer_->clear_virtual_clock();
   return now_;
@@ -327,15 +475,19 @@ void Simulator::set_fault_plan(FaultPlan plan) {
   fault_plan_ = std::move(plan);
   fault_rng_ = std::make_unique<XoshiroRng>(fault_plan_->seed());
   fault_stats_ = FaultStats{};
-  breached_.clear();
+  breached_.assign(breached_.size(), kNotBreached);
   bind_fault_metrics();
   rebuild_fault_tables();
   for (const BreachEvent& ev : fault_plan_->breaches()) {
     // A plan installed mid-run may carry an already-elapsed breach time;
     // clamp it so the breach fires immediately instead of at() throwing.
     at(std::max(ev.time, now_), [this, ev] {
-      if (breached_.count(ev.party)) return;  // first breach wins
-      breached_[ev.party] = now_;
+      const AddressId id = interner_.intern(ev.party);
+      if (id < breached_.size() && breached_[id] != kNotBreached) {
+        return;  // first breach wins
+      }
+      if (id >= breached_.size()) breached_.resize(id + 1, kNotBreached);
+      breached_[id] = now_;
       ++fault_stats_.breaches_fired;
       faults_breaches_m_->inc();
       obs::Span span(*tracer_, "fault.breach", "net");
@@ -357,10 +509,16 @@ void Simulator::set_flow(obs::FlowLedger* ledger) {
   if (flow_) flow_->set_clock([this] { return now_; });
 }
 
+bool Simulator::is_breached(const Address& party) const {
+  return breached_at(party).has_value();
+}
+
 std::optional<Time> Simulator::breached_at(const Address& party) const {
-  auto it = breached_.find(party);
-  if (it == breached_.end()) return std::nullopt;
-  return it->second;
+  const auto id = interner_.lookup(party);
+  if (!id || *id >= breached_.size() || breached_[*id] == kNotBreached) {
+    return std::nullopt;
+  }
+  return breached_[*id];
 }
 
 }  // namespace dcpl::net

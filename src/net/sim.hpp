@@ -19,14 +19,21 @@
 // (src_id<<32)|dst_id key per send(). Interning happens in deterministic
 // first-use order, so the id layer cannot perturb event ordering or fault
 // rolls — a fixed (workload, plan) pair replays bit-identically.
+//
+// Event engine (net/engine.hpp): scheduled work is a typed EngineEvent —
+// the common DeliveryEvent is flat POD (packed link key, pooled payload
+// handle, interned protocol id) pushed O(1) onto a calendar wheel; only the
+// rare CallbackEvent (at()) still carries a std::function, parked in a
+// recycled slot pool. Payload bytes live in a free-list BufferPool
+// (net/pool.hpp), so fault duplication and shared resends reference one
+// buffer instead of deep-copying it. Pop order is exactly (time, seq) —
+// byte-identical to the seed heap engine (tests/test_engine.cpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,7 +41,9 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "net/address.hpp"
+#include "net/engine.hpp"
 #include "net/faults.hpp"
+#include "net/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -70,7 +79,9 @@ class Node {
 
   const Address& address() const { return address_; }
 
-  /// Invoked when a packet addressed to this node is delivered.
+  /// Invoked when a packet addressed to this node is delivered. The packet
+  /// (including its payload buffer) is only valid for the duration of the
+  /// call — copy what must outlive it.
   virtual void on_packet(const Packet& packet, Simulator& sim) = 0;
 
  private:
@@ -128,6 +139,19 @@ class Simulator {
   /// Throws std::out_of_range if the destination is unknown.
   void send(Packet packet, Time extra_delay = 0);
 
+  /// Moves `bytes` into this simulator's payload pool and returns a
+  /// refcounted handle to it. The handle must not outlive the simulator.
+  PayloadRef make_payload(Bytes bytes);
+
+  /// Like send(), but the payload is a pooled buffer shared by reference —
+  /// the idiom for retry resends, which fire the same bytes many times
+  /// without ever copying them. Consumes the same fault rolls and produces
+  /// the same delivery ordering as an equivalent send(). Throws
+  /// std::invalid_argument if `payload` came from another simulator's pool.
+  void send_shared(const Address& src, const Address& dst,
+                   const PayloadRef& payload, std::uint64_t context,
+                   const std::string& protocol, Time extra_delay = 0);
+
   /// Schedules an arbitrary callback at absolute time `t` (>= now).
   void at(Time t, std::function<void()> fn);
 
@@ -164,6 +188,11 @@ class Simulator {
   /// assigned in deterministic first-use order and are stable for the
   /// simulator's lifetime.
   const AddressInterner& interner() const { return interner_; }
+
+  /// The payload pool backing in-flight packet bytes (observability/tests:
+  /// live() must return to the count of outstanding PayloadRefs once the
+  /// queue drains).
+  const BufferPool& payload_pool() const { return pool_; }
 
   /// Redirects this simulator's metrics into `registry` (default: the
   /// "sim" scope of the global registry). Handles are re-resolved lazily.
@@ -207,21 +236,19 @@ class Simulator {
     breach_handler_ = std::move(handler);
   }
 
-  /// Whether (and when) a breach event has fired for `party`.
-  bool is_breached(const Address& party) const {
-    return breached_.count(party) > 0;
-  }
+  /// Whether (and when) a breach event has fired for `party`. Flat
+  /// id-indexed lookups — no string-compare tree walk on the hot path.
+  bool is_breached(const Address& party) const;
   std::optional<Time> breached_at(const Address& party) const;
 
  private:
-  struct Event {
-    Time time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return std::tie(time, seq) > std::tie(o.time, o.seq);
-    }
-  };
+  /// The queue-depth gauge is sampled every 2^10 queue operations (and
+  /// force-flushed at drain) instead of being rewritten on every push/pop;
+  /// the exact high-watermark is tracked separately in queue_peak_ and
+  /// published through obs::Gauge::peak() when the queue drains.
+  static constexpr std::uint64_t kQueueSampleMask = (1u << 10) - 1;
+
+  static constexpr Time kNotBreached = ~Time{0};
 
   /// Everything send() needs to know about one directed link, resolved by
   /// a single flat-hash lookup on pack_link(src_id, dst_id). `impairment`
@@ -234,14 +261,42 @@ class Simulator {
     bool has_latency = false;  // connect() was called for this pair
   };
 
+  /// Outcome of the pre-schedule half of a send: fault rolls consumed,
+  /// stats/spans recorded, delivery times computed.
+  struct SendPlan {
+    bool dropped = false;
+    bool duplicated = false;
+    Time deliver_at = 0;
+    Time dup_at = 0;
+  };
+
+  /// One interned protocol label; `deliver_label` ("deliver:" + name) is
+  /// concatenated once here instead of once per traced delivery.
+  struct ProtocolInfo {
+    std::string name;
+    std::string deliver_label;
+  };
+
   LinkState& ensure_link(AddressId a, AddressId b);
   bool partitioned_at(std::uint64_t link_key, Time t) const;
   bool offline_at_id(AddressId id, Time t) const;
   void rebuild_fault_tables();
   void bind_metrics();
   void bind_fault_metrics();
-  void schedule_delivery(Node* dst, Packet packet, Time deliver_at,
-                         std::uint64_t link_key);
+
+  /// Link resolution, partition/crash checks, and the loss/dup/jitter
+  /// rolls — in exactly the seed engine's order, so a fixed (workload,
+  /// plan) pair consumes the identical roll sequence.
+  SendPlan plan_send(AddressId src_id, std::uint64_t link_key,
+                     const Address& src, const Address& dst,
+                     std::size_t payload_size, Time extra_delay);
+
+  ProtocolId intern_protocol(const std::string& name);
+  void push_delivery(Time deliver_at, std::uint64_t link_key, PayloadHandle h,
+                     std::uint64_t context, ProtocolId protocol);
+  void deliver(const EngineEvent& ev);
+  void note_queue_push();
+  void note_queue_pop();
   obs::Counter& link_bytes_counter(std::uint64_t link_key, const Address& src,
                                    const Address& dst);
 
@@ -250,10 +305,22 @@ class Simulator {
   std::unordered_map<std::uint64_t, LinkState> links_;  // pack_link keys
   Time default_latency_ = 10'000;  // 10 ms
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Engine state. pool_ is declared before the queue and the callback
+  // slots: PayloadRefs captured inside parked callbacks release into the
+  // pool during destruction, so the pool must be torn down last.
+  BufferPool pool_;
+  CalendarQueue queue_;
+  std::vector<std::function<void()>> callbacks_;  // at() slot pool
+  std::vector<std::uint32_t> callback_free_;
+  std::vector<ProtocolInfo> protocols_;
+  std::unordered_map<std::string, ProtocolId> protocol_ids_;
+  Packet scratch_;  // re-materialized per delivery; capacity is recycled
+
   std::uint64_t event_seq_ = 0;
   Time now_ = 0;
   std::uint64_t context_counter_ = 0;
+  std::uint64_t queue_ops_ = 0;
+  std::size_t queue_peak_ = 0;
 
   std::vector<std::function<void(const TraceEntry&)>> wiretaps_;
   std::vector<TraceEntry> trace_;
@@ -266,12 +333,13 @@ class Simulator {
   // installing a plan never perturbs protocol-level randomness, and the
   // fast path stays untouched when no plan is installed. Partition and
   // crash windows are re-keyed by interned id at set_fault_plan time; the
-  // pointed-to vectors live inside fault_plan_.
+  // pointed-to vectors live inside fault_plan_. Breach times are a flat
+  // AddressId-indexed vector (kNotBreached = never).
   std::optional<FaultPlan> fault_plan_;
   std::unique_ptr<XoshiroRng> fault_rng_;
   FaultStats fault_stats_;
   std::function<void(const BreachEvent&)> breach_handler_;
-  std::map<Address, Time> breached_;
+  std::vector<Time> breached_;
   std::unordered_map<std::uint64_t, const std::vector<Window>*> partitions_m_;
   std::unordered_map<AddressId, const std::vector<Window>*> offline_m_;
 

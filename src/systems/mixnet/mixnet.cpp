@@ -329,9 +329,9 @@ void Sender::send_message_reliable(const std::string& message,
   Bytes blob = wrap_onion(message, chain, receiver, sim, first_hop, ctx);
   retry_run(
       sim, policy, rng_,
-      [this, &sim, first_hop = std::move(first_hop), blob = std::move(blob),
-       ctx](unsigned) {
-        sim.send(net::Packet{address(), first_hop, blob, ctx, "mix"});
+      [this, &sim, first_hop = std::move(first_hop),
+       blob = sim.make_payload(std::move(blob)), ctx](unsigned) {
+        sim.send_shared(address(), first_hop, blob, ctx, "mix");
       },
       nullptr, nullptr);
 }

@@ -417,9 +417,9 @@ void StubClient::query_reliable(const std::string& qname, Mode mode,
   pending_[ctx] = std::move(pending);
   retry_run(
       sim, policy, rng_,
-      [this, &sim, ctx, wire = std::move(wire), dst = std::move(dst),
-       proto = std::move(proto)](unsigned) {
-        sim.send(net::Packet{address(), dst, wire, ctx, proto});
+      [this, &sim, ctx, wire = sim.make_payload(std::move(wire)),
+       dst = std::move(dst), proto = std::move(proto)](unsigned) {
+        sim.send_shared(address(), dst, wire, ctx, proto);
       },
       [this, ctx] { return pending_.count(ctx) == 0; },
       [this, ctx, done_cb](const RetryError& e) {

@@ -226,8 +226,9 @@ void Client::fetch_reliable(const http::Request& request, net::Simulator& sim,
       [done_cb](const http::Response& r) { (*done_cb)(r); }};
   retry_run(
       sim, policy, rng_,
-      [this, &sim, ctx, wire = std::move(state.encapsulated)](unsigned) {
-        sim.send(net::Packet{address(), relay_, wire, ctx, "ohttp"});
+      [this, &sim, ctx,
+       wire = sim.make_payload(std::move(state.encapsulated))](unsigned) {
+        sim.send_shared(address(), relay_, wire, ctx, "ohttp");
       },
       [this, ctx] { return pending_.count(ctx) == 0; },
       [this, ctx, done_cb](const RetryError& e) {

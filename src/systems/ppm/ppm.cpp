@@ -434,9 +434,9 @@ void Client::submit_bool_reliable(bool value,
                                       std::nullopt, std::nullopt)) {
     retry_run(
         sim, policy, rng_,
-        [this, &sim, pkt = std::move(pkt)](unsigned) {
-          sim.send(net::Packet{address(), pkt.dst, pkt.payload, pkt.ctx,
-                               "ppm"});
+        [this, &sim, dst = std::move(pkt.dst), ctx = pkt.ctx,
+         wire = sim.make_payload(std::move(pkt.payload))](unsigned) {
+          sim.send_shared(address(), dst, wire, ctx, "ppm");
         },
         nullptr, nullptr);
   }

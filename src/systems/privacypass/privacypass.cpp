@@ -199,8 +199,9 @@ void Client::request_token_reliable(net::Simulator& sim,
   };
   retry_run(
       sim, policy, rng_,
-      [this, &sim, ctx, wire = std::move(w).take()](unsigned) {
-        sim.send(net::Packet{address(), issuer_, wire, ctx, "privacypass"});
+      [this, &sim, ctx,
+       wire = sim.make_payload(std::move(w).take())](unsigned) {
+        sim.send_shared(address(), issuer_, wire, ctx, "privacypass");
       },
       [this, ctx] { return pending_issuance_.count(ctx) == 0; },
       [this, ctx, done_cb](const RetryError& e) {
@@ -253,8 +254,9 @@ bool Client::access_reliable(const net::Address& origin,
   pending_access_[ctx] = [done_cb](bool served) { (*done_cb)(served); };
   retry_run(
       sim, policy, rng_,
-      [this, &sim, ctx, origin, wire = std::move(w).take()](unsigned) {
-        sim.send(net::Packet{address(), origin, wire, ctx, "privacypass"});
+      [this, &sim, ctx, origin,
+       wire = sim.make_payload(std::move(w).take())](unsigned) {
+        sim.send_shared(address(), origin, wire, ctx, "privacypass");
       },
       [this, ctx] { return pending_access_.count(ctx) == 0; },
       [this, ctx, done_cb](const RetryError& e) {
