@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breach.dir/bench_breach.cpp.o"
+  "CMakeFiles/bench_breach.dir/bench_breach.cpp.o.d"
+  "bench_breach"
+  "bench_breach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

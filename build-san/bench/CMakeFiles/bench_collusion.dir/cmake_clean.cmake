@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collusion.dir/bench_collusion.cpp.o"
+  "CMakeFiles/bench_collusion.dir/bench_collusion.cpp.o.d"
+  "bench_collusion"
+  "bench_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

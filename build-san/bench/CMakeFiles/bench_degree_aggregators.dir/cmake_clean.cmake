@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degree_aggregators.dir/bench_degree_aggregators.cpp.o"
+  "CMakeFiles/bench_degree_aggregators.dir/bench_degree_aggregators.cpp.o.d"
+  "bench_degree_aggregators"
+  "bench_degree_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

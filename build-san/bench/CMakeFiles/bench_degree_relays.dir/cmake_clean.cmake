@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degree_relays.dir/bench_degree_relays.cpp.o"
+  "CMakeFiles/bench_degree_relays.dir/bench_degree_relays.cpp.o.d"
+  "bench_degree_relays"
+  "bench_degree_relays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_relays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

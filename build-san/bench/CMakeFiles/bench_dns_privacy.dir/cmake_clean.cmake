@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dns_privacy.dir/bench_dns_privacy.cpp.o"
+  "CMakeFiles/bench_dns_privacy.dir/bench_dns_privacy.cpp.o.d"
+  "bench_dns_privacy"
+  "bench_dns_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dns_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

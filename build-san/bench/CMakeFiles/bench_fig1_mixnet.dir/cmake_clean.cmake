@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mixnet.dir/bench_fig1_mixnet.cpp.o"
+  "CMakeFiles/bench_fig1_mixnet.dir/bench_fig1_mixnet.cpp.o.d"
+  "bench_fig1_mixnet"
+  "bench_fig1_mixnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mixnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

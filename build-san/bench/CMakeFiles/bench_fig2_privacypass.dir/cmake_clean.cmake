@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_privacypass.dir/bench_fig2_privacypass.cpp.o"
+  "CMakeFiles/bench_fig2_privacypass.dir/bench_fig2_privacypass.cpp.o.d"
+  "bench_fig2_privacypass"
+  "bench_fig2_privacypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_privacypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

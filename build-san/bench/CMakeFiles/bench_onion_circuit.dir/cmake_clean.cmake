@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_onion_circuit.dir/bench_onion_circuit.cpp.o"
+  "CMakeFiles/bench_onion_circuit.dir/bench_onion_circuit.cpp.o.d"
+  "bench_onion_circuit"
+  "bench_onion_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_onion_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

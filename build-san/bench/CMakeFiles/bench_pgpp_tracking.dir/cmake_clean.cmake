@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pgpp_tracking.dir/bench_pgpp_tracking.cpp.o"
+  "CMakeFiles/bench_pgpp_tracking.dir/bench_pgpp_tracking.cpp.o.d"
+  "bench_pgpp_tracking"
+  "bench_pgpp_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pgpp_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

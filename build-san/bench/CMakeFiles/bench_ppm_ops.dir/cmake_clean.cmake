@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ppm_ops.dir/bench_ppm_ops.cpp.o"
+  "CMakeFiles/bench_ppm_ops.dir/bench_ppm_ops.cpp.o.d"
+  "bench_ppm_ops"
+  "bench_ppm_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ppm_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

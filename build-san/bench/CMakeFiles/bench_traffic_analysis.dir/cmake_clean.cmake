@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_analysis.dir/bench_traffic_analysis.cpp.o"
+  "CMakeFiles/bench_traffic_analysis.dir/bench_traffic_analysis.cpp.o.d"
+  "bench_traffic_analysis"
+  "bench_traffic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_check.dir/report_check.cpp.o"
+  "CMakeFiles/report_check.dir/report_check.cpp.o.d"
+  "report_check"
+  "report_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-san/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_tables_json "/root/repo/build-san/bench/bench_tables" "--json" "/root/repo/build-san/bench/bench_tables_report.json" "--trace" "/root/repo/build-san/bench/bench_tables_trace.json" "--flow-log" "/root/repo/build-san/bench/bench_tables_flow.jsonl" "--prom" "/root/repo/build-san/bench/bench_tables_metrics.prom")
+set_tests_properties(bench_tables_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_tables_report_schema "/root/repo/build-san/bench/report_check" "/root/repo/build-san/bench/bench_tables_report.json" "--min-tables" "8" "--require-flow" "--trace" "/root/repo/build-san/bench/bench_tables_trace.json")
+set_tests_properties(bench_tables_report_schema PROPERTIES  DEPENDS "bench_tables_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_breach_json "/root/repo/build-san/bench/bench_breach" "--json" "/root/repo/build-san/bench/bench_breach_report.json" "--flow-log" "/root/repo/build-san/bench/bench_breach_flow.jsonl")
+set_tests_properties(bench_breach_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;57;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_breach_report_schema "/root/repo/build-san/bench/report_check" "/root/repo/build-san/bench/bench_breach_report.json" "--require-faults" "--require-flow")
+set_tests_properties(bench_breach_report_schema PROPERTIES  DEPENDS "bench_breach_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_scale_json "/root/repo/build-san/bench/bench_scale" "--users" "2000" "--flow" "--json" "/root/repo/build-san/bench/bench_scale_report.json")
+set_tests_properties(bench_scale_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;70;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_scale_report_schema "/root/repo/build-san/bench/report_check" "/root/repo/build-san/bench/bench_scale_report.json")
+set_tests_properties(bench_scale_report_schema PROPERTIES  DEPENDS "bench_scale_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;73;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_scale_baseline_self "/root/repo/build-san/bench/report_check" "/root/repo/build-san/bench/bench_scale_report.json" "--baseline" "/root/repo/build-san/bench/bench_scale_report.json")
+set_tests_properties(bench_scale_baseline_self PROPERTIES  DEPENDS "bench_scale_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;82;add_test;/root/repo/bench/CMakeLists.txt;0;")

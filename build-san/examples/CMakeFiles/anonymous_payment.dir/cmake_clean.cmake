@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_payment.dir/anonymous_payment.cpp.o"
+  "CMakeFiles/anonymous_payment.dir/anonymous_payment.cpp.o.d"
+  "anonymous_payment"
+  "anonymous_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_survey.dir/anonymous_survey.cpp.o"
+  "CMakeFiles/anonymous_survey.dir/anonymous_survey.cpp.o.d"
+  "anonymous_survey"
+  "anonymous_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblivious_dns.dir/oblivious_dns.cpp.o"
+  "CMakeFiles/oblivious_dns.dir/oblivious_dns.cpp.o.d"
+  "oblivious_dns"
+  "oblivious_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblivious_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onion_browsing.dir/onion_browsing.cpp.o"
+  "CMakeFiles/onion_browsing.dir/onion_browsing.cpp.o.d"
+  "onion_browsing"
+  "onion_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onion_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

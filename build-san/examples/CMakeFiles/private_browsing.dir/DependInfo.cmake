@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/private_browsing.cpp" "examples/CMakeFiles/private_browsing.dir/private_browsing.cpp.o" "gcc" "examples/CMakeFiles/private_browsing.dir/private_browsing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/systems/CMakeFiles/decoupling_systems.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/hpke/CMakeFiles/decoupling_hpke.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/crypto/CMakeFiles/decoupling_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/net/CMakeFiles/decoupling_net.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/obs/CMakeFiles/decoupling_obs.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/http/CMakeFiles/decoupling_http.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/dns/CMakeFiles/decoupling_dns.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/core/CMakeFiles/decoupling_core.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/common/CMakeFiles/decoupling_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

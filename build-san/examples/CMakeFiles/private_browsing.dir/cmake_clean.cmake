@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_browsing.dir/private_browsing.cpp.o"
+  "CMakeFiles/private_browsing.dir/private_browsing.cpp.o.d"
+  "private_browsing"
+  "private_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_telemetry.dir/private_telemetry.cpp.o"
+  "CMakeFiles/private_telemetry.dir/private_telemetry.cpp.o.d"
+  "private_telemetry"
+  "private_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

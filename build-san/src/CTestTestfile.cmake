@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-san/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("crypto")
+subdirs("hpke")
+subdirs("net")
+subdirs("http")
+subdirs("dns")
+subdirs("core")
+subdirs("systems")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_common.dir/bytes.cpp.o"
+  "CMakeFiles/decoupling_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/decoupling_common.dir/rng.cpp.o"
+  "CMakeFiles/decoupling_common.dir/rng.cpp.o.d"
+  "libdecoupling_common.a"
+  "libdecoupling_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/decoupling_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/decoupling_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/knowledge.cpp" "src/core/CMakeFiles/decoupling_core.dir/knowledge.cpp.o" "gcc" "src/core/CMakeFiles/decoupling_core.dir/knowledge.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/decoupling_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/decoupling_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/observation.cpp" "src/core/CMakeFiles/decoupling_core.dir/observation.cpp.o" "gcc" "src/core/CMakeFiles/decoupling_core.dir/observation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/common/CMakeFiles/decoupling_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

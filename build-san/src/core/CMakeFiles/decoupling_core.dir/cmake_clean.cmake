@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_core.dir/analysis.cpp.o"
+  "CMakeFiles/decoupling_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/decoupling_core.dir/knowledge.cpp.o"
+  "CMakeFiles/decoupling_core.dir/knowledge.cpp.o.d"
+  "CMakeFiles/decoupling_core.dir/metrics.cpp.o"
+  "CMakeFiles/decoupling_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/decoupling_core.dir/observation.cpp.o"
+  "CMakeFiles/decoupling_core.dir/observation.cpp.o.d"
+  "libdecoupling_core.a"
+  "libdecoupling_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/blind_rsa.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/blind_rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/blind_rsa.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/csprng.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/csprng.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/csprng.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/hkdf.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/poly1305.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/poly1305.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/poly1305.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/decoupling_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/decoupling_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/common/CMakeFiles/decoupling_common.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/obs/CMakeFiles/decoupling_obs.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/core/CMakeFiles/decoupling_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

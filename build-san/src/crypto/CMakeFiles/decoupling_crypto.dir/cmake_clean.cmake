@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_crypto.dir/aead.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/blind_rsa.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/blind_rsa.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/csprng.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/csprng.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/decoupling_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/decoupling_crypto.dir/x25519.cpp.o.d"
+  "libdecoupling_crypto.a"
+  "libdecoupling_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

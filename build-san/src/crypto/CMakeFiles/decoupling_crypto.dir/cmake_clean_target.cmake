@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecoupling_crypto.a"
+)

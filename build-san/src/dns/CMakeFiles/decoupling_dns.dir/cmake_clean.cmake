@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_dns.dir/message.cpp.o"
+  "CMakeFiles/decoupling_dns.dir/message.cpp.o.d"
+  "CMakeFiles/decoupling_dns.dir/zone.cpp.o"
+  "CMakeFiles/decoupling_dns.dir/zone.cpp.o.d"
+  "libdecoupling_dns.a"
+  "libdecoupling_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

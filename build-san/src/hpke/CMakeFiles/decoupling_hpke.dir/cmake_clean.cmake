@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_hpke.dir/hpke.cpp.o"
+  "CMakeFiles/decoupling_hpke.dir/hpke.cpp.o.d"
+  "libdecoupling_hpke.a"
+  "libdecoupling_hpke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_hpke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for decoupling_hpke.
+# This may be replaced when dependencies are built.

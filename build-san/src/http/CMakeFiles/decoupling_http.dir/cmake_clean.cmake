@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_http.dir/message.cpp.o"
+  "CMakeFiles/decoupling_http.dir/message.cpp.o.d"
+  "libdecoupling_http.a"
+  "libdecoupling_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/decoupling_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/decoupling_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/engine.cpp" "src/net/CMakeFiles/decoupling_net.dir/engine.cpp.o" "gcc" "src/net/CMakeFiles/decoupling_net.dir/engine.cpp.o.d"
+  "/root/repo/src/net/faults.cpp" "src/net/CMakeFiles/decoupling_net.dir/faults.cpp.o" "gcc" "src/net/CMakeFiles/decoupling_net.dir/faults.cpp.o.d"
+  "/root/repo/src/net/pool.cpp" "src/net/CMakeFiles/decoupling_net.dir/pool.cpp.o" "gcc" "src/net/CMakeFiles/decoupling_net.dir/pool.cpp.o.d"
+  "/root/repo/src/net/sim.cpp" "src/net/CMakeFiles/decoupling_net.dir/sim.cpp.o" "gcc" "src/net/CMakeFiles/decoupling_net.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/common/CMakeFiles/decoupling_common.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/obs/CMakeFiles/decoupling_obs.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/core/CMakeFiles/decoupling_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

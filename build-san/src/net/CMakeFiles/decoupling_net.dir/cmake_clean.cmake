@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_net.dir/address.cpp.o"
+  "CMakeFiles/decoupling_net.dir/address.cpp.o.d"
+  "CMakeFiles/decoupling_net.dir/engine.cpp.o"
+  "CMakeFiles/decoupling_net.dir/engine.cpp.o.d"
+  "CMakeFiles/decoupling_net.dir/faults.cpp.o"
+  "CMakeFiles/decoupling_net.dir/faults.cpp.o.d"
+  "CMakeFiles/decoupling_net.dir/pool.cpp.o"
+  "CMakeFiles/decoupling_net.dir/pool.cpp.o.d"
+  "CMakeFiles/decoupling_net.dir/sim.cpp.o"
+  "CMakeFiles/decoupling_net.dir/sim.cpp.o.d"
+  "libdecoupling_net.a"
+  "libdecoupling_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

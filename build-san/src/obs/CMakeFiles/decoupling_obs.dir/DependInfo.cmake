@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/flow.cpp" "src/obs/CMakeFiles/decoupling_obs.dir/flow.cpp.o" "gcc" "src/obs/CMakeFiles/decoupling_obs.dir/flow.cpp.o.d"
+  "/root/repo/src/obs/log.cpp" "src/obs/CMakeFiles/decoupling_obs.dir/log.cpp.o" "gcc" "src/obs/CMakeFiles/decoupling_obs.dir/log.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/decoupling_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/decoupling_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/decoupling_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/decoupling_obs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/common/CMakeFiles/decoupling_common.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/core/CMakeFiles/decoupling_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_obs.dir/flow.cpp.o"
+  "CMakeFiles/decoupling_obs.dir/flow.cpp.o.d"
+  "CMakeFiles/decoupling_obs.dir/log.cpp.o"
+  "CMakeFiles/decoupling_obs.dir/log.cpp.o.d"
+  "CMakeFiles/decoupling_obs.dir/metrics.cpp.o"
+  "CMakeFiles/decoupling_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/decoupling_obs.dir/trace.cpp.o"
+  "CMakeFiles/decoupling_obs.dir/trace.cpp.o.d"
+  "libdecoupling_obs.a"
+  "libdecoupling_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/channel.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/channel.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/channel.cpp.o.d"
+  "/root/repo/src/systems/ecash/ecash.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/ecash/ecash.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/ecash/ecash.cpp.o.d"
+  "/root/repo/src/systems/ech/ech.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/ech/ech.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/ech/ech.cpp.o.d"
+  "/root/repo/src/systems/mixnet/circuit.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/mixnet/circuit.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/mixnet/circuit.cpp.o.d"
+  "/root/repo/src/systems/mixnet/mixnet.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/mixnet/mixnet.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/mixnet/mixnet.cpp.o.d"
+  "/root/repo/src/systems/mpr/mpr.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/mpr/mpr.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/mpr/mpr.cpp.o.d"
+  "/root/repo/src/systems/odoh/odoh.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/odoh/odoh.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/odoh/odoh.cpp.o.d"
+  "/root/repo/src/systems/ohttp/ohttp.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/ohttp/ohttp.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/ohttp/ohttp.cpp.o.d"
+  "/root/repo/src/systems/pgpp/pgpp.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/pgpp/pgpp.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/pgpp/pgpp.cpp.o.d"
+  "/root/repo/src/systems/ppm/field.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/ppm/field.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/ppm/field.cpp.o.d"
+  "/root/repo/src/systems/ppm/ppm.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/ppm/ppm.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/ppm/ppm.cpp.o.d"
+  "/root/repo/src/systems/privacypass/privacypass.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/privacypass/privacypass.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/privacypass/privacypass.cpp.o.d"
+  "/root/repo/src/systems/retry.cpp" "src/systems/CMakeFiles/decoupling_systems.dir/retry.cpp.o" "gcc" "src/systems/CMakeFiles/decoupling_systems.dir/retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/src/common/CMakeFiles/decoupling_common.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/obs/CMakeFiles/decoupling_obs.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/crypto/CMakeFiles/decoupling_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/hpke/CMakeFiles/decoupling_hpke.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/net/CMakeFiles/decoupling_net.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/http/CMakeFiles/decoupling_http.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/dns/CMakeFiles/decoupling_dns.dir/DependInfo.cmake"
+  "/root/repo/build-san/src/core/CMakeFiles/decoupling_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

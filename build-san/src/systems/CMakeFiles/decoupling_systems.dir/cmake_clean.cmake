@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoupling_systems.dir/channel.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/channel.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/ecash/ecash.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/ecash/ecash.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/ech/ech.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/ech/ech.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/mixnet/circuit.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/mixnet/circuit.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/mixnet/mixnet.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/mixnet/mixnet.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/mpr/mpr.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/mpr/mpr.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/odoh/odoh.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/odoh/odoh.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/ohttp/ohttp.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/ohttp/ohttp.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/pgpp/pgpp.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/pgpp/pgpp.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/ppm/field.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/ppm/field.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/ppm/ppm.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/ppm/ppm.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/privacypass/privacypass.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/privacypass/privacypass.cpp.o.d"
+  "CMakeFiles/decoupling_systems.dir/retry.cpp.o"
+  "CMakeFiles/decoupling_systems.dir/retry.cpp.o.d"
+  "libdecoupling_systems.a"
+  "libdecoupling_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoupling_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

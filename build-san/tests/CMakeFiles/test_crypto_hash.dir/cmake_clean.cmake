@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_hash.dir/test_crypto_hash.cpp.o"
+  "CMakeFiles/test_crypto_hash.dir/test_crypto_hash.cpp.o.d"
+  "test_crypto_hash"
+  "test_crypto_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

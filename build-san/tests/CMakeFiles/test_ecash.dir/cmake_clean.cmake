@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecash.dir/test_ecash.cpp.o"
+  "CMakeFiles/test_ecash.dir/test_ecash.cpp.o.d"
+  "test_ecash"
+  "test_ecash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

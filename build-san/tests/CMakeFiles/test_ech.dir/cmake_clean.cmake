@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ech.dir/test_ech.cpp.o"
+  "CMakeFiles/test_ech.dir/test_ech.cpp.o.d"
+  "test_ech"
+  "test_ech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

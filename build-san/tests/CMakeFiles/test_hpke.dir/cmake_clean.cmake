@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpke.dir/test_hpke.cpp.o"
+  "CMakeFiles/test_hpke.dir/test_hpke.cpp.o.d"
+  "test_hpke"
+  "test_hpke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixnet.dir/test_mixnet.cpp.o"
+  "CMakeFiles/test_mixnet.dir/test_mixnet.cpp.o.d"
+  "test_mixnet"
+  "test_mixnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odoh.dir/test_odoh.cpp.o"
+  "CMakeFiles/test_odoh.dir/test_odoh.cpp.o.d"
+  "test_odoh"
+  "test_odoh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odoh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_odoh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ohttp.dir/test_ohttp.cpp.o"
+  "CMakeFiles/test_ohttp.dir/test_ohttp.cpp.o.d"
+  "test_ohttp"
+  "test_ohttp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ohttp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

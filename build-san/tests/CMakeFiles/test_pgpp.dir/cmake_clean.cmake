@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pgpp.dir/test_pgpp.cpp.o"
+  "CMakeFiles/test_pgpp.dir/test_pgpp.cpp.o.d"
+  "test_pgpp"
+  "test_pgpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pgpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

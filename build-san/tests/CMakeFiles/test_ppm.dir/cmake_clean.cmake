@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppm.dir/test_ppm.cpp.o"
+  "CMakeFiles/test_ppm.dir/test_ppm.cpp.o.d"
+  "test_ppm"
+  "test_ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_privacypass.dir/test_privacypass.cpp.o"
+  "CMakeFiles/test_privacypass.dir/test_privacypass.cpp.o.d"
+  "test_privacypass"
+  "test_privacypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_privacypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

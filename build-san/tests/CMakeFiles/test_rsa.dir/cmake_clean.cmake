@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsa.dir/test_rsa.cpp.o"
+  "CMakeFiles/test_rsa.dir/test_rsa.cpp.o.d"
+  "test_rsa"
+  "test_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

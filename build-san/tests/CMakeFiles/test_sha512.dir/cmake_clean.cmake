@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha512.dir/test_sha512.cpp.o"
+  "CMakeFiles/test_sha512.dir/test_sha512.cpp.o.d"
+  "test_sha512"
+  "test_sha512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sha512.
+# This may be replaced when dependencies are built.

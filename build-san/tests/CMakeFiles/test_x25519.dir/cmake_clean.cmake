@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x25519.dir/test_x25519.cpp.o"
+  "CMakeFiles/test_x25519.dir/test_x25519.cpp.o.d"
+  "test_x25519"
+  "test_x25519.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x25519.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
