@@ -1,320 +1,33 @@
-// Million-user scale workload for the simulator hot path.
+// Million-user scale sweep for the simulator hot path (workload in
+// scale_workload.hpp, shared with bench_profile). The sweep runs
+// N = 1k -> 1M (clipped by --users, default 100k) and reports events/sec,
+// bytes/sec, peak event-queue depth, and per-message overhead vs. mix hop
+// count into the dcpl-bench-report/2 schema.
 //
-// N synthetic users each run one round of OHTTP-shaped traffic
-// (client -> relay -> gateway -> origin and back, 6 packets) and one
-// mix-net-shaped send (an onion through a 1/2/3-hop mix chain to a sink,
-// shrinking 48 B per hop), all through a small shared infrastructure of
-// relays/gateways/origins/mixes. The sweep runs N = 1k -> 1M (clipped by
-// --users, default 100k) and reports events/sec, bytes/sec, peak event-queue
-// depth, and per-message overhead vs. mix hop count into the
-// dcpl-bench-report/1 schema.
-//
-// The nodes are wire-pattern replicas, not the real protocol stacks: the
-// workload measures the simulator's interned hot path (node table, flat
-// link states, fault-free send/deliver), where per-user HPKE at 10^6 users
-// would only add constant crypto cost that bench_crypto already measures.
-// Trace recording and per-link byte counters are switched off so memory
-// stays bounded by live state, not by history.
+// Each sweep point runs against its own scope of the *global* registry
+// ("scale.n<N>"), so the report's "metrics" section carries real per-size
+// simulator metrics. (The seed routed every point into a local registry
+// that died with the point, which left the committed BENCH_scale.json with
+// an all-zero metrics section.)
 //
 // --flow re-runs every sweep point twice more with an obs::FlowLedger
 // wiretapped onto the delivery path (one exposure per delivery): once with
 // recording off (dedup + fold + monitor hooks only) and once with the ring
 // recording, reporting the throughput overhead of each against the
-// ledger-free baseline.
-#include <chrono>
+// ledger-free baseline. Flow runs use throwaway registries — they are
+// overhead probes, not the point's record.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "net/sim.hpp"
 #include "obs/metrics.hpp"
 #include "report_util.hpp"
+#include "scale_workload.hpp"
 
 namespace {
 
 namespace obs = dcpl::obs;
-using dcpl::Bytes;
-using dcpl::net::Packet;
-using dcpl::net::Simulator;
-
-constexpr int kRelays = 16;
-constexpr int kGateways = 4;
-constexpr int kOrigins = 4;
-constexpr int kMixes = 16;
-constexpr int kMaxHops = 3;
-constexpr std::size_t kRequestBytes = 256;
-constexpr std::size_t kResponseBytes = 1024;
-constexpr std::size_t kOnionBytes = 512;
-constexpr std::size_t kOnionShrink = 48;  // stripped layer per mix hop
-
-// Shared tallies one sweep point accumulates across all its nodes.
-struct Tally {
-  std::uint64_t ohttp_responses = 0;
-  // Indexed by the chain's total hop count (1..kMaxHops).
-  std::uint64_t sink_arrivals[kMaxHops + 1] = {};
-  std::uint64_t mix_forwards[kMaxHops + 1] = {};
-  std::uint64_t mix_wire_bytes[kMaxHops + 1] = {};
-};
-
-// Onion payload layout: [0] = remaining mix forwards, [1] = total hop count
-// (constant through the chain, used to bucket the tallies), rest padding.
-
-class ScaleOrigin : public dcpl::net::Node {
- public:
-  using Node::Node;
-  void on_packet(const Packet& p, Simulator& sim) override {
-    sim.send(Packet{address(), p.src, Bytes(kResponseBytes), p.context,
-                    "ohttp-r"});
-  }
-};
-
-// Relay and gateway share the forward/return shape: requests go to a fixed
-// next hop under a fresh linkage context, responses are matched back to the
-// inbound (requester, context) pair — the decoupling move, minus crypto.
-class ScaleForwarder : public dcpl::net::Node {
- public:
-  ScaleForwarder(std::string address, std::string next)
-      : Node(std::move(address)), next_(std::move(next)) {}
-
-  void on_packet(const Packet& p, Simulator& sim) override {
-    if (p.protocol == "ohttp") {
-      const std::uint64_t fwd = sim.new_context();
-      pending_.emplace(fwd, Inbound{p.src, p.context});
-      sim.send(Packet{address(), next_, p.payload, fwd, "ohttp"});
-    } else {
-      auto it = pending_.find(p.context);
-      if (it == pending_.end()) return;
-      sim.send(Packet{address(), it->second.requester, p.payload,
-                      it->second.context, "ohttp-r"});
-      pending_.erase(it);
-    }
-  }
-
- private:
-  struct Inbound {
-    std::string requester;
-    std::uint64_t context;
-  };
-  std::string next_;
-  std::unordered_map<std::uint64_t, Inbound> pending_;
-};
-
-class ScaleMix : public dcpl::net::Node {
- public:
-  ScaleMix(std::string address, std::string next_mix, std::string sink,
-           Tally& tally)
-      : Node(std::move(address)),
-        next_mix_(std::move(next_mix)),
-        sink_(std::move(sink)),
-        tally_(&tally) {}
-
-  void on_packet(const Packet& p, Simulator& sim) override {
-    const int total_hops = p.payload[1];
-    ++tally_->mix_forwards[total_hops];
-    tally_->mix_wire_bytes[total_hops] += p.payload.size();
-    Bytes peeled(p.payload.begin(), p.payload.end() - kOnionShrink);
-    if (peeled[0] == 0) {
-      sim.send(Packet{address(), sink_, std::move(peeled), p.context, "mix"});
-    } else {
-      --peeled[0];
-      sim.send(
-          Packet{address(), next_mix_, std::move(peeled), p.context, "mix"});
-    }
-  }
-
- private:
-  std::string next_mix_;
-  std::string sink_;
-  Tally* tally_;
-};
-
-class ScaleSink : public dcpl::net::Node {
- public:
-  ScaleSink(std::string address, Tally& tally)
-      : Node(std::move(address)), tally_(&tally) {}
-  void on_packet(const Packet& p, Simulator&) override {
-    const int total_hops = p.payload[1];
-    ++tally_->sink_arrivals[total_hops];
-    tally_->mix_wire_bytes[total_hops] += p.payload.size();
-  }
-
- private:
-  Tally* tally_;
-};
-
-class ScaleClient : public dcpl::net::Node {
- public:
-  ScaleClient(std::string address, std::string relay, std::string first_mix,
-              int hops, Tally& tally)
-      : Node(std::move(address)),
-        relay_(std::move(relay)),
-        first_mix_(std::move(first_mix)),
-        hops_(hops),
-        tally_(&tally) {}
-
-  void start(Simulator& sim) {
-    sim.send(Packet{address(), relay_, Bytes(kRequestBytes),
-                    sim.new_context(), "ohttp"});
-    Bytes onion(kOnionBytes);
-    onion[0] = static_cast<std::uint8_t>(hops_ - 1);
-    onion[1] = static_cast<std::uint8_t>(hops_);
-    sim.send(Packet{address(), first_mix_, std::move(onion),
-                    sim.new_context(), "mix"});
-  }
-
-  void on_packet(const Packet& p, Simulator&) override {
-    if (p.protocol == "ohttp-r") ++tally_->ohttp_responses;
-  }
-
- private:
-  std::string relay_;
-  std::string first_mix_;
-  int hops_;
-  Tally* tally_;
-};
-
-struct PointResult {
-  std::size_t users = 0;
-  double wall_ms = 0;
-  double sim_ms = 0;
-  double events = 0;
-  double events_per_sec = 0;
-  double bytes_per_sec = 0;
-  double peak_queue_depth = 0;
-  bool ohttp_complete = false;
-  bool mix_complete = false;
-  bool overhead_exact = false;
-};
-
-PointResult run_point(std::size_t n_users, obs::FlowLedger* ledger = nullptr) {
-  PointResult r;
-  r.users = n_users;
-
-  Simulator sim;
-  obs::Registry registry;
-  sim.set_metrics(registry);
-  sim.set_trace_recording(false);
-  sim.set_link_byte_accounting(false);
-  if (ledger != nullptr) {
-    // Worst-case ledger load: every delivery becomes an exposure with a
-    // per-context label, so nothing dedups and the causal frontier grows
-    // with the context space.
-    sim.set_flow(ledger);
-    sim.add_wiretap([ledger](const dcpl::net::TraceEntry& e) {
-      ledger->record_exposure(
-          e.dst, dcpl::core::benign_data("pkt:" + std::to_string(e.context)),
-          e.context);
-    });
-  }
-
-  Tally tally;
-  std::vector<std::unique_ptr<dcpl::net::Node>> infra;
-  std::vector<std::string> relays, mixes;
-
-  ScaleSink sink("sink", tally);
-  sim.add_node(sink);
-  for (int i = 0; i < kOrigins; ++i) {
-    infra.push_back(std::make_unique<ScaleOrigin>("origin" + std::to_string(i)));
-    sim.add_node(*infra.back());
-  }
-  for (int i = 0; i < kGateways; ++i) {
-    infra.push_back(std::make_unique<ScaleForwarder>(
-        "gw" + std::to_string(i), "origin" + std::to_string(i % kOrigins)));
-    sim.add_node(*infra.back());
-  }
-  for (int i = 0; i < kRelays; ++i) {
-    relays.push_back("relay" + std::to_string(i));
-    infra.push_back(std::make_unique<ScaleForwarder>(
-        relays.back(), "gw" + std::to_string(i % kGateways)));
-    sim.add_node(*infra.back());
-  }
-  for (int i = 0; i < kMixes; ++i) mixes.push_back("mix" + std::to_string(i));
-  for (int i = 0; i < kMixes; ++i) {
-    infra.push_back(std::make_unique<ScaleMix>(
-        mixes[i], mixes[(i + 1) % kMixes], "sink", tally));
-    sim.add_node(*infra.back());
-  }
-  // Infra links get explicit latencies; the user edge falls back to the
-  // simulator default, so the link table stays O(infrastructure).
-  for (int i = 0; i < kRelays; ++i) {
-    sim.connect(relays[i], "gw" + std::to_string(i % kGateways), 5'000);
-  }
-  for (int i = 0; i < kGateways; ++i) {
-    sim.connect("gw" + std::to_string(i),
-                "origin" + std::to_string(i % kOrigins), 5'000);
-  }
-  for (int i = 0; i < kMixes; ++i) {
-    sim.connect(mixes[i], mixes[(i + 1) % kMixes], 5'000);
-    sim.connect(mixes[i], "sink", 5'000);
-  }
-
-  std::vector<std::unique_ptr<ScaleClient>> clients;
-  clients.reserve(n_users);
-  std::uint64_t expected_forwards[kMaxHops + 1] = {};
-  std::size_t class_counts[kMaxHops + 1] = {};
-  for (std::size_t i = 0; i < n_users; ++i) {
-    const int hops = 1 + static_cast<int>(i % kMaxHops);
-    ++class_counts[hops];
-    expected_forwards[hops] += static_cast<std::uint64_t>(hops);
-    clients.push_back(std::make_unique<ScaleClient>(
-        "u" + std::to_string(i), relays[i % kRelays],
-        mixes[i % kMixes], hops, tally));
-    sim.add_node(*clients.back());
-  }
-  // Stagger starts across 1 s of virtual time so the event queue holds an
-  // in-flight window, not the whole population.
-  for (std::size_t i = 0; i < n_users; ++i) {
-    ScaleClient* c = clients[i].get();
-    sim.at((i % 1000) * 1'000, [c, &sim] { c->start(sim); });
-  }
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const dcpl::net::Time end = sim.run();
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-
-  r.wall_ms = wall_s * 1e3;
-  r.sim_ms = static_cast<double>(end) / 1e3;
-  r.events =
-      static_cast<double>(registry.counter("events_processed").value());
-  r.events_per_sec = wall_s > 0 ? r.events / wall_s : 0;
-  r.bytes_per_sec =
-      wall_s > 0 ? static_cast<double>(sim.bytes_delivered()) / wall_s : 0;
-  r.peak_queue_depth = registry.gauge("queue_depth").peak();
-
-  r.ohttp_complete = tally.ohttp_responses == n_users;
-  std::uint64_t sink_total = 0;
-  r.overhead_exact = true;
-  for (int h = 1; h <= kMaxHops; ++h) {
-    sink_total += tally.sink_arrivals[h];
-    // A chain of h mixes means exactly h+1 wire messages per send: one per
-    // mix arrival plus the hand-off to the sink. Wire bytes shrink one
-    // 48 B layer per mix, so the end-to-end byte cost is exact too.
-    r.overhead_exact &= tally.sink_arrivals[h] == class_counts[h];
-    r.overhead_exact &= tally.mix_forwards[h] == expected_forwards[h];
-    std::uint64_t per_send_bytes = 0;
-    for (int k = 0; k <= h; ++k) per_send_bytes += kOnionBytes - kOnionShrink * k;
-    r.overhead_exact &=
-        tally.mix_wire_bytes[h] == class_counts[h] * per_send_bytes;
-  }
-  r.mix_complete = sink_total == n_users;
-  return r;
-}
-
-std::size_t parse_users(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--users") == 0) {
-      const long long v = std::atoll(argv[i + 1]);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-  }
-  return 100'000;
-}
+namespace scale = dcpl::bench::scale;
 
 bool parse_flow(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -331,14 +44,8 @@ double overhead_pct(double baseline, double with_ledger) {
 
 int main(int argc, char** argv) {
   dcpl::bench::Report report("bench_scale", argc, argv);
-  const std::size_t cap = parse_users(argc, argv);
-
-  std::vector<std::size_t> sweep;
-  for (std::size_t n : {std::size_t{1'000}, std::size_t{10'000},
-                        std::size_t{100'000}, std::size_t{1'000'000}}) {
-    if (n <= cap) sweep.push_back(n);
-  }
-  if (sweep.empty() || sweep.back() != cap) sweep.push_back(cap);
+  const std::size_t cap = scale::parse_users(argc, argv);
+  const std::vector<std::size_t> sweep = scale::sweep_sizes(cap);
 
   std::printf("== bench_scale: OHTTP + mixnet wire patterns, %zu-user cap\n",
               cap);
@@ -348,7 +55,13 @@ int main(int argc, char** argv) {
   const bool flow = parse_flow(argc, argv);
   bool ok = true;
   for (std::size_t n : sweep) {
-    const PointResult r = run_point(n);
+    // Snapshot point: metrics land in a per-size scope of the global
+    // registry, which Report::finish serializes as the "metrics" section.
+    scale::PointOptions opts;
+    opts.registry = &obs::global_registry()
+                         .scope("scale")
+                         .scope("n" + std::to_string(n));
+    const scale::PointResult r = scale::run_point(n, opts);
     std::printf("  %10zu %10.1f %12.0f %14.0f %12.0f %10.0f\n", r.users,
                 r.wall_ms, r.events, r.events_per_sec, r.bytes_per_sec,
                 r.peak_queue_depth);
@@ -366,9 +79,13 @@ int main(int argc, char** argv) {
     if (flow) {
       obs::FlowLedger idle;
       idle.set_recording(false);
-      const PointResult r_off = run_point(n, &idle);
+      scale::PointOptions off_opts;
+      off_opts.ledger = &idle;
+      const scale::PointResult r_off = scale::run_point(n, off_opts);
       obs::FlowLedger recording;
-      const PointResult r_on = run_point(n, &recording);
+      scale::PointOptions on_opts;
+      on_opts.ledger = &recording;
+      const scale::PointResult r_on = scale::run_point(n, on_opts);
       std::printf("  %10s %10.1f %12s %14.0f  ledger off (%.1f%% overhead)\n",
                   "", r_off.wall_ms, "", r_off.events_per_sec,
                   overhead_pct(r.events_per_sec, r_off.events_per_sec));
@@ -376,8 +93,7 @@ int main(int argc, char** argv) {
                   "%llu events, %llu wrapped)\n",
                   "", r_on.wall_ms, "", r_on.events_per_sec,
                   overhead_pct(r.events_per_sec, r_on.events_per_sec),
-                  static_cast<unsigned long long>(
-                      recording.events_recorded()),
+                  static_cast<unsigned long long>(recording.events_recorded()),
                   static_cast<unsigned long long>(recording.dropped()));
       report.value(tag + "flow_off_events_per_sec", r_off.events_per_sec);
       report.value(tag + "flow_on_events_per_sec", r_on.events_per_sec);
@@ -405,15 +121,17 @@ int main(int argc, char** argv) {
   // Per-message overhead vs. hop count: a chain of h mixes costs h+1 wire
   // messages and sum_{k=0..h} (512 - 48k) wire bytes end to end. The exact
   // per-class counts were asserted against the tallies above.
-  for (int h = 1; h <= kMaxHops; ++h) {
+  for (int h = 1; h <= scale::kMaxHops; ++h) {
     std::size_t wire_bytes = 0;
-    for (int k = 0; k <= h; ++k) wire_bytes += kOnionBytes - kOnionShrink * k;
+    for (int k = 0; k <= h; ++k) {
+      wire_bytes += scale::kOnionBytes - scale::kOnionShrink * k;
+    }
     report.value("overhead_msgs_hops" + std::to_string(h),
                  static_cast<double>(h + 1));
     report.value("overhead_wire_bytes_hops" + std::to_string(h),
                  static_cast<double>(wire_bytes));
-    std::printf("  mix chain of %d: %d messages, %zu wire bytes per send\n",
-                h, h + 1, wire_bytes);
+    std::printf("  mix chain of %d: %d messages, %zu wire bytes per send\n", h,
+                h + 1, wire_bytes);
   }
 
   return report.finish(ok);

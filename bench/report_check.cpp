@@ -1,8 +1,10 @@
-// Validates a dcpl-bench-report/1 JSON file (and optionally a Chrome
-// trace-event file) against the schema report_util.hpp documents. Run by
-// ctest and CI so the machine-readable outputs stay honest: every row's
-// match flag must agree with its derived/expected strings, all_match must
-// agree with the rows, and the trace must carry simulator virtual time.
+// Validates a dcpl-bench-report/1 or /2 JSON file (and optionally a
+// Chrome trace-event file) against the schema report_util.hpp documents.
+// Run by ctest and CI so the machine-readable outputs stay honest: every
+// row's match flag must agree with its derived/expected strings, all_match
+// must agree with the rows, the /2 "timeseries" and "profile" sections
+// must be internally consistent, and the trace must carry simulator
+// virtual time.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -123,12 +125,133 @@ bool check_flow(const JsonValue& r, bool required) {
   return true;
 }
 
+// The optional /2 "timeseries" object: virtual-time sampled series from an
+// obs::TimeSeriesSampler. Every series must be an array of [t_us, value]
+// numeric pairs of exactly `retained` points with non-decreasing
+// timestamps. With `required`, at least one series with >= 2 points must
+// be present — a bench claiming sampling was on must show actual samples.
+bool check_timeseries(const JsonValue& r, bool required) {
+  const JsonValue* ts = r.find("timeseries");
+  if (!ts) {
+    return required ? fail("missing timeseries{} (--require-timeseries)")
+                    : true;
+  }
+  if (!ts->is_object()) return fail("timeseries is not an object");
+  for (const char* k :
+       {"interval_us", "samples_taken", "retained", "decimations"}) {
+    if (!ts->has(k) || !ts->at(k).is_number()) {
+      return fail("timeseries missing numeric field");
+    }
+  }
+  if (ts->at("interval_us").number <= 0) {
+    return fail("timeseries.interval_us not positive");
+  }
+  const double retained = ts->at("retained").number;
+  if (retained > ts->at("samples_taken").number) {
+    return fail("timeseries retained more samples than it took");
+  }
+  const JsonValue* series = ts->find("series");
+  if (!series || !series->is_object()) {
+    return fail("timeseries missing series{}");
+  }
+  std::size_t usable = 0;
+  for (const auto& [name, points] : series->object) {
+    if (name.empty()) return fail("timeseries series with empty name");
+    if (!points.is_array()) return fail("timeseries series not an array");
+    if (static_cast<double>(points.array.size()) != retained) {
+      return fail("timeseries series length != retained");
+    }
+    double prev_t = -1.0;
+    for (const auto& p : points.array) {
+      if (!p.is_array() || p.array.size() != 2 || !p.array[0].is_number() ||
+          !p.array[1].is_number()) {
+        return fail("timeseries point is not a [t_us, value] pair");
+      }
+      if (p.array[0].number < prev_t) {
+        return fail("timeseries timestamps not non-decreasing");
+      }
+      prev_t = p.array[0].number;
+    }
+    if (points.array.size() >= 2) ++usable;
+  }
+  if (required && usable == 0) {
+    return fail("timeseries{} has no series with >= 2 points");
+  }
+  return true;
+}
+
+// The optional /2 "profile" object: per-event-kind cost attribution from a
+// net::EngineProfiler. Kind and protocol buckets must carry the numeric
+// bucket fields, sampled subsets must not exceed exact event counts, and
+// the per-protocol delivery counts must sum to the delivery kind's total.
+// With `required`, the profiler must have seen at least one delivery.
+bool check_bucket(const JsonValue& b, const char* what) {
+  if (!b.is_object()) return fail("profile bucket is not an object");
+  for (const char* k : {"events", "sampled", "ns", "est_ns_per_event",
+                        "hw_sampled", "cache_misses", "branch_misses"}) {
+    if (!b.has(k) || !b.at(k).is_number()) {
+      std::fprintf(stderr, "report_check: profile %s bucket missing %s\n",
+                   what, k);
+      return false;
+    }
+  }
+  if (b.at("sampled").number > b.at("events").number) {
+    return fail("profile bucket sampled > events");
+  }
+  if (b.at("hw_sampled").number > b.at("sampled").number) {
+    return fail("profile bucket hw_sampled > sampled");
+  }
+  return true;
+}
+
+bool check_profile(const JsonValue& r, bool required) {
+  const JsonValue* p = r.find("profile");
+  if (!p) {
+    return required ? fail("missing profile{} (--require-profile)") : true;
+  }
+  if (!p->is_object()) return fail("profile is not an object");
+  for (const char* k : {"sample_period", "hw_period", "events"}) {
+    if (!p->has(k) || !p->at(k).is_number()) {
+      return fail("profile missing numeric field");
+    }
+  }
+  if (!p->has("hw_backend") || !p->at("hw_backend").is_string()) {
+    return fail("profile missing hw_backend");
+  }
+  const JsonValue* kinds = p->find("kinds");
+  if (!kinds || !kinds->is_object()) return fail("profile missing kinds{}");
+  for (const char* k : {"delivery", "callback"}) {
+    const JsonValue* b = kinds->find(k);
+    if (!b) return fail("profile kinds missing delivery/callback");
+    if (!check_bucket(*b, k)) return false;
+  }
+  const double deliveries = kinds->at("delivery").at("events").number;
+  const JsonValue* protos = p->find("protocols");
+  if (!protos || !protos->is_object()) {
+    return fail("profile missing protocols{}");
+  }
+  double proto_events = 0;
+  for (const auto& [name, b] : protos->object) {
+    if (name.empty()) return fail("profile protocol with empty name");
+    if (!check_bucket(b, name.c_str())) return false;
+    proto_events += b.at("events").number;
+  }
+  if (proto_events != deliveries) {
+    return fail("profile protocol events do not sum to delivery events");
+  }
+  if (required && deliveries <= 0) {
+    return fail("profile{} present but saw no deliveries");
+  }
+  return true;
+}
+
 bool check_report(const JsonValue& r, std::size_t min_tables) {
   if (!r.is_object()) return fail("report root is not an object");
   const JsonValue* schema = r.find("schema");
   if (!schema || !schema->is_string() ||
-      schema->string != "dcpl-bench-report/1") {
-    return fail("schema != dcpl-bench-report/1");
+      (schema->string != "dcpl-bench-report/1" &&
+       schema->string != "dcpl-bench-report/2")) {
+    return fail("schema is not dcpl-bench-report/1 or /2");
   }
   if (!r.has("bench") || r.at("bench").string.empty()) {
     return fail("missing bench name");
@@ -284,6 +407,8 @@ int main(int argc, char** argv) {
   double tolerance_pct = 15.0;
   bool require_faults = false;
   bool require_flow = false;
+  bool require_timeseries = false;
+  bool require_profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -298,6 +423,10 @@ int main(int argc, char** argv) {
       require_faults = true;
     } else if (std::strcmp(argv[i], "--require-flow") == 0) {
       require_flow = true;
+    } else if (std::strcmp(argv[i], "--require-timeseries") == 0) {
+      require_timeseries = true;
+    } else if (std::strcmp(argv[i], "--require-profile") == 0) {
+      require_profile = true;
     } else {
       report_path = argv[i];
     }
@@ -305,14 +434,17 @@ int main(int argc, char** argv) {
   if (!report_path) {
     std::fprintf(stderr,
                  "usage: report_check <report.json> [--min-tables N] "
-                 "[--require-faults] [--require-flow] [--trace trace.json] "
+                 "[--require-faults] [--require-flow] [--require-timeseries] "
+                 "[--require-profile] [--trace trace.json] "
                  "[--baseline baseline.json [--tolerance pct]]\n");
     return 2;
   }
   JsonValue report;
   if (!load(report_path, report) || !check_report(report, min_tables) ||
       !check_faults(report, require_faults) ||
-      !check_flow(report, require_flow)) {
+      !check_flow(report, require_flow) ||
+      !check_timeseries(report, require_timeseries) ||
+      !check_profile(report, require_profile)) {
     return 1;
   }
   if (trace_path) {

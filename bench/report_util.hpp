@@ -3,9 +3,11 @@
 // and every binary can additionally emit a machine-readable report
 // (--json <path>) and a Perfetto-loadable span trace (--trace <path>).
 //
-// Report JSON schema ("dcpl-bench-report/1"):
+// Report JSON schema ("dcpl-bench-report/2"; /2 adds the optional
+// "timeseries" and "profile" telemetry sections, everything else is
+// unchanged from /1 and report_check accepts both):
 //   {
-//     "schema": "dcpl-bench-report/1",
+//     "schema": "dcpl-bench-report/2",
 //     "bench": "<binary name>",
 //     "ok": <bool>,                       // mirror of the process exit code
 //     "tables": [ { "title", "all_match",
@@ -25,6 +27,18 @@
 //                               "cause","chain","implant_event_id"}] },
 //                                         // optional; present when the bench
 //                                         // attached an obs::FlowLedger
+//     "timeseries": { "interval_us", "samples_taken", "retained",
+//                     "decimations",
+//                     "series": { "<name>": [[t_us, value], ...] } },
+//                                         // optional; present when the bench
+//                                         // attached a TimeSeriesSampler
+//     "profile": { "sample_period", "hw_period", "hw_backend", "events",
+//                  "kinds": { "delivery": {bucket}, "callback": {bucket} },
+//                  "protocols": { "<name>": {bucket} } },
+//                                         // optional; bucket = { "events",
+//                                         // "sampled", "ns",
+//                                         // "est_ns_per_event", "hw_sampled",
+//                                         // "cache_misses", "branch_misses" }
 //     "timing": { "wall_ms": <number> }
 //   }
 //
@@ -43,14 +57,21 @@
 
 #include "core/analysis.hpp"
 #include "net/faults.hpp"
+#include "net/profile.hpp"
 #include "net/sim.hpp"
 #include "obs/flow.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace dcpl::bench {
+
+/// The report schema every bench binary emits. /2 added the optional
+/// "timeseries" and "profile" telemetry sections (report_check accepts /1
+/// files for already-committed baselines).
+inline constexpr const char* kReportSchema = "dcpl-bench-report/2";
 
 struct ExpectedRow {
   std::string display;   // column header as printed in the paper
@@ -240,6 +261,25 @@ class Report {
     if (!flow_log_path_.empty()) ledger.write_jsonl(flow_jsonl_, run_label);
   }
 
+  /// Serializes `sampler` as the report's "timeseries" section (captured
+  /// now, so the sampler may die before finish()). Last call wins — a sweep
+  /// records its most interesting point.
+  void timeseries(const obs::TimeSeriesSampler& sampler) {
+    obs::JsonWriter w;
+    sampler.write_json(w);
+    timeseries_json_ = w.take();
+  }
+
+  /// Serializes `profiler` as the report's "profile" section.
+  /// `protocol_names` is the owning simulator's protocol_names(). Last call
+  /// wins.
+  void profile(const net::EngineProfiler& profiler,
+               const std::vector<std::string>& protocol_names) {
+    obs::JsonWriter w;
+    profiler.write_json(w, protocol_names);
+    profile_json_ = w.take();
+  }
+
   const std::string& json_path() const { return json_path_; }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& flow_log_path() const { return flow_log_path_; }
@@ -263,7 +303,7 @@ class Report {
     if (!json_path_.empty()) {
       obs::JsonWriter w;
       w.begin_object();
-      w.kv("schema", "dcpl-bench-report/1");
+      w.kv("schema", kReportSchema);
       w.kv("bench", name_);
       w.kv("ok", ok);
       w.key("tables");
@@ -355,6 +395,14 @@ class Report {
         w.end_array();
         w.end_object();
       }
+      if (!timeseries_json_.empty()) {
+        w.key("timeseries");
+        w.raw(timeseries_json_);
+      }
+      if (!profile_json_.empty()) {
+        w.key("profile");
+        w.raw(profile_json_);
+      }
       w.key("timing");
       w.begin_object();
       w.kv("wall_ms", wall_ms);
@@ -436,6 +484,8 @@ class Report {
                 flow_dropped_ = 0;
   std::vector<FlowViolation> flow_violations_;
   std::string flow_jsonl_;
+  std::string timeseries_json_;
+  std::string profile_json_;
 };
 
 }  // namespace dcpl::bench

@@ -1,0 +1,58 @@
+#include "net/profile.hpp"
+
+namespace dcpl::net {
+
+namespace {
+
+std::uint64_t shift_mask(unsigned shift) {
+  if (shift >= 63) shift = 63;
+  return (std::uint64_t{1} << shift) - 1;
+}
+
+void write_bucket(obs::JsonWriter& w, const EngineProfiler::Bucket& b) {
+  w.begin_object();
+  w.kv("events", b.events);
+  w.kv("sampled", b.sampled);
+  w.kv("ns", b.ns);
+  w.kv("est_ns_per_event", b.est_ns_per_event());
+  w.kv("hw_sampled", b.hw_sampled);
+  w.kv("cache_misses", b.cache_misses);
+  w.kv("branch_misses", b.branch_misses);
+  w.end_object();
+}
+
+}  // namespace
+
+EngineProfiler::EngineProfiler(unsigned sample_shift, unsigned hw_shift,
+                               bool use_hw)
+    : sample_mask_(shift_mask(sample_shift)), hw_mask_(shift_mask(hw_shift)) {
+  if (use_hw) hw_ = std::make_unique<obs::HwCounters>();
+}
+
+void EngineProfiler::write_json(
+    obs::JsonWriter& w, const std::vector<std::string>& protocol_names) const {
+  w.begin_object();
+  w.kv("sample_period", sample_period());
+  w.kv("hw_period", hw_period());
+  w.kv("hw_backend", hw_backend());
+  w.kv("events", event_count_);
+  w.key("kinds");
+  w.begin_object();
+  w.key("delivery");
+  write_bucket(w, kinds_[EngineEvent::kDelivery]);
+  w.key("callback");
+  write_bucket(w, kinds_[EngineEvent::kCallback]);
+  w.end_object();
+  w.key("protocols");
+  w.begin_object();
+  for (std::size_t i = 0; i < protocols_.size(); ++i) {
+    if (protocols_[i].events == 0) continue;
+    w.key(i < protocol_names.size() ? protocol_names[i]
+                                    : "proto" + std::to_string(i));
+    write_bucket(w, protocols_[i]);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace dcpl::net

@@ -1,0 +1,137 @@
+// Per-event-kind cost attribution for the calendar-queue engine.
+//
+// The scale bench shows *that* throughput falls off a cliff between 100k
+// and 1M users; this profiler says *which events pay for it*. Attached to a
+// Simulator, it splits the run loop's cost by EngineEvent kind (delivery
+// vs. callback) and, for deliveries, by interned protocol — the exact axes
+// a sharded engine would partition along.
+//
+// Attribution is sampled so it can stay on during full-scale runs: every
+// event costs two array increments (exact event counts per bucket), and
+// every 2^sample_shift-th event is additionally timed with the steady
+// clock. Hardware counters (LLC cache misses, branch misses via the
+// obs::HwCounters perf_event backend) are read around every
+// 2^hw_shift-th *sampled* event — a read is a syscall, so its cadence is
+// another power of two down. Per-bucket ns/misses therefore cover only the
+// sampled subset; est_ns_per_event in the report is ns/sampled, and
+// scaling by events/sampled estimates the total. The profiler is passive:
+// it never perturbs event order, fault rolls, or virtual time, so goldens
+// hold bit-for-bit with it attached (tests/test_profile.cpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/engine.hpp"
+#include "obs/hwcounters.hpp"
+#include "obs/json.hpp"
+
+namespace dcpl::net {
+
+class EngineProfiler {
+ public:
+  /// One attribution bucket (an event kind or a protocol).
+  struct Bucket {
+    std::uint64_t events = 0;         ///< every event, exact
+    std::uint64_t sampled = 0;        ///< events that were clock-timed
+    std::uint64_t ns = 0;             ///< wall ns over the sampled subset
+    std::uint64_t hw_sampled = 0;     ///< events with hw-counter reads
+    std::uint64_t cache_misses = 0;   ///< over the hw-sampled subset
+    std::uint64_t branch_misses = 0;  ///< over the hw-sampled subset
+
+    double est_ns_per_event() const {
+      return sampled ? static_cast<double>(ns) / static_cast<double>(sampled)
+                     : 0.0;
+    }
+  };
+
+  /// Times every 2^sample_shift-th event; reads hardware counters around
+  /// every 2^hw_shift-th timed event (when `use_hw` and the perf_event
+  /// backend opened). sample_shift 0 times everything.
+  explicit EngineProfiler(unsigned sample_shift = 3, unsigned hw_shift = 6,
+                          bool use_hw = true);
+
+  std::uint64_t sample_period() const { return sample_mask_ + 1; }
+  std::uint64_t hw_period() const { return (hw_mask_ + 1) * (sample_mask_ + 1); }
+  const char* hw_backend() const { return hw_ ? hw_->backend() : "none"; }
+  bool hw_available() const { return hw_ && hw_->available(); }
+
+  /// Called by the run loop before dispatching one event; returns whether
+  /// this event is sampled (and if so, latches t0 / hw0).
+  bool arm() {
+    if ((event_count_++ & sample_mask_) != 0) return false;
+    if (hw_available() && (sampled_count_++ & hw_mask_) == 0) {
+      hw_armed_ = true;
+      hw0_ = hw_->read();
+    } else {
+      hw_armed_ = false;
+    }
+    t0_ = std::chrono::steady_clock::now();
+    return true;
+  }
+
+  /// Called after dispatching; attributes to the kind bucket and (for
+  /// deliveries) the protocol bucket. `sampled` is arm()'s return value.
+  void account(EngineEvent::Kind kind, ProtocolId protocol, bool sampled) {
+    Bucket& kb = kinds_[kind];
+    ++kb.events;
+    Bucket* pb = nullptr;
+    if (kind == EngineEvent::kDelivery) {
+      if (protocol >= protocols_.size()) protocols_.resize(protocol + 1);
+      pb = &protocols_[protocol];
+      ++pb->events;
+    }
+    if (!sampled) return;
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+    kb.ns += ns;
+    ++kb.sampled;
+    if (pb != nullptr) {
+      pb->ns += ns;
+      ++pb->sampled;
+    }
+    if (hw_armed_) {
+      const obs::HwCounters::Reading hw1 = hw_->read();
+      const std::uint64_t cm = hw1.cache_misses - hw0_.cache_misses;
+      const std::uint64_t bm = hw1.branch_misses - hw0_.branch_misses;
+      kb.cache_misses += cm;
+      kb.branch_misses += bm;
+      ++kb.hw_sampled;
+      if (pb != nullptr) {
+        pb->cache_misses += cm;
+        pb->branch_misses += bm;
+        ++pb->hw_sampled;
+      }
+    }
+  }
+
+  std::uint64_t events() const { return event_count_; }
+  const Bucket& kind(EngineEvent::Kind k) const { return kinds_[k]; }
+
+  /// Protocol buckets indexed by ProtocolId (may be shorter than the
+  /// simulator's protocol table when late protocols never fired).
+  const std::vector<Bucket>& protocols() const { return protocols_; }
+
+  /// The "profile" object of dcpl-bench-report/2. `protocol_names` maps
+  /// ProtocolId -> trace label (Simulator::protocol_names()).
+  void write_json(obs::JsonWriter& w,
+                  const std::vector<std::string>& protocol_names) const;
+
+ private:
+  std::uint64_t sample_mask_;
+  std::uint64_t hw_mask_;
+  std::uint64_t event_count_ = 0;
+  std::uint64_t sampled_count_ = 0;
+  bool hw_armed_ = false;
+  std::chrono::steady_clock::time_point t0_;
+  obs::HwCounters::Reading hw0_;
+  std::unique_ptr<obs::HwCounters> hw_;
+  Bucket kinds_[2];
+  std::vector<Bucket> protocols_;
+};
+
+}  // namespace dcpl::net

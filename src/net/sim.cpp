@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/profile.hpp"
 #include "obs/flow.hpp"
+#include "obs/sampler.hpp"
 
 namespace dcpl::net {
 
@@ -67,6 +69,8 @@ void Simulator::bind_metrics() {
   packets_m_ = &metrics_->counter("packets_delivered");
   bytes_m_ = &metrics_->counter("bytes_delivered");
   queue_depth_m_ = &metrics_->gauge("queue_depth");
+  pool_live_m_ = &metrics_->gauge("pool_live");
+  pool_slots_m_ = &metrics_->gauge("pool_slots");
   delivery_latency_m_ = &metrics_->histogram("delivery_latency_us");
 }
 
@@ -181,12 +185,16 @@ void Simulator::note_queue_push() {
   if (depth > queue_peak_) queue_peak_ = depth;
   if ((++queue_ops_ & kQueueSampleMask) == 0) {
     queue_depth_m_->set(static_cast<double>(depth));
+    pool_live_m_->set(static_cast<double>(pool_.live()));
+    pool_slots_m_->set(static_cast<double>(pool_.slots()));
   }
 }
 
 void Simulator::note_queue_pop() {
   if ((++queue_ops_ & kQueueSampleMask) == 0) {
     queue_depth_m_->set(static_cast<double>(queue_.size()));
+    pool_live_m_->set(static_cast<double>(pool_.live()));
+    pool_slots_m_->set(static_cast<double>(pool_.slots()));
   }
 }
 
@@ -416,6 +424,19 @@ void Simulator::deliver(const EngineEvent& ev) {
   nodes_[dst_id]->on_packet(scratch_, *this);
 }
 
+void Simulator::dispatch(const EngineEvent& ev) {
+  if (ev.kind == EngineEvent::kDelivery) {
+    deliver(ev);
+  } else {
+    // Move the callback out before running it: the slot is free for
+    // reuse by anything the callback itself schedules.
+    std::function<void()> fn = std::move(callbacks_[ev.handle]);
+    callbacks_[ev.handle] = nullptr;
+    callback_free_.push_back(ev.handle);
+    fn();
+  }
+}
+
 Time Simulator::run() {
   // Attach this simulator's virtual clock so any span opened while an event
   // handler runs carries simulated time alongside wall time.
@@ -427,21 +448,31 @@ Time Simulator::run() {
       note_queue_pop();
       now_ = ev.time;
       events_processed_m_->inc();
-      if (ev.kind == EngineEvent::kDelivery) {
-        deliver(ev);
+      if (now_ >= sampler_next_) {
+        // Sample *before* dispatching: the probes see the state the event
+        // is about to act on, timestamped at its virtual time.
+        sampler_->sample_now(now_);
+        sampler_next_ = sampler_->next_due();
+      }
+      if (profiler_ != nullptr) {
+        const bool sampled = profiler_->arm();
+        dispatch(ev);
+        profiler_->account(ev.kind, ev.protocol, sampled);
       } else {
-        // Move the callback out before running it: the slot is free for
-        // reuse by anything the callback itself schedules.
-        std::function<void()> fn = std::move(callbacks_[ev.handle]);
-        callbacks_[ev.handle] = nullptr;
-        callback_free_.push_back(ev.handle);
-        fn();
+        dispatch(ev);
       }
     }
     // Publish the exact high-watermark through the gauge's peak tracking,
     // then settle the sampled value at the true drained depth of zero.
     queue_depth_m_->set(static_cast<double>(queue_peak_));
     queue_depth_m_->set(0.0);
+    pool_live_m_->set(static_cast<double>(pool_.live()));
+    pool_slots_m_->set(static_cast<double>(pool_.slots()));
+    // One final sample at drain so the series always covers the run's end.
+    if (sampler_ != nullptr) {
+      sampler_->sample_now(now_);
+      sampler_next_ = sampler_->next_due();
+    }
   }
   tracer_->clear_virtual_clock();
   return now_;
@@ -507,6 +538,18 @@ void Simulator::set_fault_plan(FaultPlan plan) {
 void Simulator::set_flow(obs::FlowLedger* ledger) {
   flow_ = ledger;
   if (flow_) flow_->set_clock([this] { return now_; });
+}
+
+void Simulator::set_sampler(obs::TimeSeriesSampler* sampler) {
+  sampler_ = sampler;
+  sampler_next_ = sampler_ != nullptr ? sampler_->next_due() : ~Time{0};
+}
+
+std::vector<std::string> Simulator::protocol_names() const {
+  std::vector<std::string> names;
+  names.reserve(protocols_.size());
+  for (const ProtocolInfo& p : protocols_) names.push_back(p.name);
+  return names;
 }
 
 bool Simulator::is_breached(const Address& party) const {

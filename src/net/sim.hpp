@@ -49,6 +49,7 @@
 
 namespace dcpl::obs {
 class FlowLedger;
+class TimeSeriesSampler;
 }
 
 namespace dcpl::net {
@@ -65,6 +66,7 @@ struct Packet {
 };
 
 class Simulator;
+class EngineProfiler;
 
 /// A participant in the network. Systems subclass this per party
 /// (client, relay, resolver, ...). Nodes are owned by the systems that
@@ -194,6 +196,27 @@ class Simulator {
   /// queue drains).
   const BufferPool& payload_pool() const { return pool_; }
 
+  /// Events currently pending in the engine queue (telemetry probes).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Trace labels for every interned protocol, indexed by ProtocolId — the
+  /// name table EngineProfiler::write_json resolves its buckets against.
+  std::vector<std::string> protocol_names() const;
+
+  /// Attaches a virtual-time telemetry sampler (nullptr detaches). The run
+  /// loop polls it once per event — a single compare until virtual time
+  /// crosses the sampler's next deadline — so registered probes see the
+  /// simulation mid-flight at a fixed virtual cadence. The sampler must
+  /// outlive the simulator or be detached first.
+  void set_sampler(obs::TimeSeriesSampler* sampler);
+  obs::TimeSeriesSampler* sampler() const { return sampler_; }
+
+  /// Attaches a per-event-kind cost profiler (nullptr detaches). Passive:
+  /// event order, fault rolls, and virtual time are unaffected. The
+  /// profiler must outlive the simulator or be detached first.
+  void set_profiler(EngineProfiler* profiler) { profiler_ = profiler; }
+  EngineProfiler* profiler() const { return profiler_; }
+
   /// Redirects this simulator's metrics into `registry` (default: the
   /// "sim" scope of the global registry). Handles are re-resolved lazily.
   void set_metrics(obs::Registry& registry);
@@ -294,6 +317,7 @@ class Simulator {
   ProtocolId intern_protocol(const std::string& name);
   void push_delivery(Time deliver_at, std::uint64_t link_key, PayloadHandle h,
                      std::uint64_t context, ProtocolId protocol);
+  void dispatch(const EngineEvent& ev);
   void deliver(const EngineEvent& ev);
   void note_queue_push();
   void note_queue_pop();
@@ -345,6 +369,12 @@ class Simulator {
 
   obs::FlowLedger* flow_ = nullptr;
 
+  // Telemetry plane. sampler_next_ caches the sampler's deadline so the
+  // per-event poll is one compare against a member, no indirect call.
+  obs::TimeSeriesSampler* sampler_ = nullptr;
+  Time sampler_next_ = ~Time{0};
+  EngineProfiler* profiler_ = nullptr;
+
   // Observability sinks: metric handles are cached (stable for the
   // registry's lifetime) so the per-event cost is one add each. Per-link
   // byte counters are pre-resolved into a flat id-pair-keyed cache — the
@@ -355,6 +385,8 @@ class Simulator {
   obs::Counter* packets_m_ = nullptr;
   obs::Counter* bytes_m_ = nullptr;
   obs::Gauge* queue_depth_m_ = nullptr;
+  obs::Gauge* pool_live_m_ = nullptr;
+  obs::Gauge* pool_slots_m_ = nullptr;
   obs::Histogram* delivery_latency_m_ = nullptr;
   std::unordered_map<std::uint64_t, obs::Counter*> link_bytes_m_;
   // Fault counters are only registered once a plan is installed, so

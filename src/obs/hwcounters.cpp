@@ -1,0 +1,87 @@
+#include "obs/hwcounters.hpp"
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace dcpl::obs {
+
+namespace {
+
+int perf_open(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                  group_fd, 0));
+}
+
+bool perf_id(int fd, std::uint64_t& out) {
+  return ioctl(fd, PERF_EVENT_IOC_ID, &out) == 0;
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  fd_group_ = perf_open(PERF_COUNT_HW_CACHE_MISSES, -1);
+  if (fd_group_ < 0) return;
+  fd_branch_ = perf_open(PERF_COUNT_HW_BRANCH_MISSES, fd_group_);
+  if (fd_branch_ < 0 || !perf_id(fd_group_, id_cache_) ||
+      !perf_id(fd_branch_, id_branch_)) {
+    if (fd_branch_ >= 0) close(fd_branch_);
+    close(fd_group_);
+    fd_group_ = fd_branch_ = -1;
+    return;
+  }
+  ioctl(fd_group_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_group_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+HwCounters::~HwCounters() {
+  if (fd_branch_ >= 0) close(fd_branch_);
+  if (fd_group_ >= 0) close(fd_group_);
+}
+
+HwCounters::Reading HwCounters::read() const {
+  Reading r;
+  if (!available()) return r;
+  // PERF_FORMAT_GROUP|PERF_FORMAT_ID layout: nr, then {value, id} pairs.
+  struct {
+    std::uint64_t nr;
+    struct {
+      std::uint64_t value;
+      std::uint64_t id;
+    } values[2];
+  } data;
+  if (::read(fd_group_, &data, sizeof data) < 0) return r;
+  for (std::uint64_t i = 0; i < data.nr && i < 2; ++i) {
+    if (data.values[i].id == id_cache_) r.cache_misses = data.values[i].value;
+    if (data.values[i].id == id_branch_) r.branch_misses = data.values[i].value;
+  }
+  return r;
+}
+
+}  // namespace dcpl::obs
+
+#else  // !__linux__
+
+namespace dcpl::obs {
+
+HwCounters::HwCounters() = default;
+HwCounters::~HwCounters() = default;
+HwCounters::Reading HwCounters::read() const { return Reading{}; }
+
+}  // namespace dcpl::obs
+
+#endif

@@ -1,0 +1,51 @@
+// Optional hardware performance-counter backend for the profiler.
+//
+// On Linux, opens a perf_event group counting LLC cache misses and branch
+// misses for the calling thread (no kernel samples, just counts) via
+// perf_event_open(2). The syscall is frequently unavailable — containers
+// and CI runners commonly set perf_event_paranoid high or filter the
+// syscall entirely — so construction degrades to a disabled backend whose
+// read() returns zeros and available() is false; callers gate attribution
+// on available() and report which backend ran. Non-Linux builds compile the
+// same interface as a permanent no-op.
+//
+// read() is one syscall returning both counts (PERF_FORMAT_GROUP), so a
+// sampled profiler pays ~1 us per *sampled* event, not per event.
+#pragma once
+
+#include <cstdint>
+
+namespace dcpl::obs {
+
+class HwCounters {
+ public:
+  struct Reading {
+    std::uint64_t cache_misses = 0;
+    std::uint64_t branch_misses = 0;
+  };
+
+  /// Tries to open the counter group; disabled (never throws) on failure.
+  HwCounters();
+  ~HwCounters();
+
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// True iff the perf_event group opened and counting started.
+  bool available() const { return fd_group_ >= 0; }
+
+  /// Name for reports: "perf_event" when available, "none" otherwise.
+  const char* backend() const { return available() ? "perf_event" : "none"; }
+
+  /// Current cumulative counts (zeros when unavailable). Attribution is
+  /// the difference of two readings around the measured region.
+  Reading read() const;
+
+ private:
+  int fd_group_ = -1;   // cache-misses leader
+  int fd_branch_ = -1;  // branch-misses member
+  std::uint64_t id_cache_ = 0;
+  std::uint64_t id_branch_ = 0;
+};
+
+}  // namespace dcpl::obs

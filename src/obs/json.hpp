@@ -133,6 +133,14 @@ class JsonWriter {
   void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
   void null() { element(); out_ += "null"; }
 
+  /// Splices `json` — one complete, already-serialized JSON value — as the
+  /// next element. The caller vouches for its validity (the report writer
+  /// uses this to embed sections serialized earlier by another JsonWriter).
+  void raw(std::string_view json) {
+    element();
+    out_ += json;
+  }
+
   /// Convenience: key + scalar value in one call.
   template <typename T>
   void kv(std::string_view k, T v) {

@@ -11,6 +11,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace dcpl {
@@ -283,6 +284,136 @@ TEST(Metrics, PrometheusExposition) {
             std::string::npos);
   EXPECT_NE(text.find("dcpl_sim_lat_us_count 2"), std::string::npos);
   EXPECT_NE(text.find("dcpl_sim_lat_us_sum 5007"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEmptyRegistryIsEmptyText) {
+  obs::Registry reg;
+  EXPECT_EQ(obs::metrics_to_prometheus(reg), "");
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  obs::Registry reg;
+  // Prometheus label values escape backslash, double quote, and newline —
+  // everything else (including the brace-y bits) passes through raw.
+  reg.counter("ops", {{"path", "a\\b"}}).inc(1);
+  reg.counter("ops", {{"q", "say \"hi\""}}).inc(2);
+  reg.counter("ops", {{"msg", "line1\nline2"}}).inc(3);
+
+  const std::string text = obs::metrics_to_prometheus(reg);
+  EXPECT_NE(text.find("dcpl_ops{path=\"a\\\\b\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dcpl_ops{q=\"say \\\"hi\\\"\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dcpl_ops{msg=\"line1\\nline2\"} 3"), std::string::npos)
+      << text;
+  // The raw newline must NOT appear inside any exposition line — only the
+  // two-character escape. Every line must end cleanly at a sample or TYPE.
+  EXPECT_EQ(text.find("line1\nline2"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusHistogramWithOneSample) {
+  obs::Registry reg;
+  reg.histogram("lat", {}, {10, 100}).observe(50);
+  const std::string text = obs::metrics_to_prometheus(reg);
+  EXPECT_NE(text.find("dcpl_lat_bucket{le=\"10\"} 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dcpl_lat_bucket{le=\"100\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_lat_count 1"), std::string::npos);
+  EXPECT_NE(text.find("dcpl_lat_sum 50"), std::string::npos);
+}
+
+// ---- Time-series sampler --------------------------------------------------
+
+TEST(Sampler, SamplesOnVirtualCadence) {
+  obs::TimeSeriesSampler s(100);
+  double v = 0;
+  s.add_probe("v", [&v] { return v; });
+
+  EXPECT_EQ(s.next_due(), 0u);
+  v = 1;
+  EXPECT_TRUE(s.maybe_sample(0));  // due immediately at t=0
+  EXPECT_FALSE(s.maybe_sample(50));
+  EXPECT_FALSE(s.maybe_sample(99));
+  v = 2;
+  EXPECT_TRUE(s.maybe_sample(100));
+  // Jumping far past the deadline takes ONE sample at the jump time and
+  // re-arms past it — missed instants are not back-filled.
+  v = 3;
+  EXPECT_TRUE(s.maybe_sample(1234));
+  EXPECT_EQ(s.next_due(), 1300u);
+
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.times(), (std::vector<std::uint64_t>{0, 100, 1234}));
+  EXPECT_EQ(s.points(0), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(s.last("v"), 3.0);
+  EXPECT_EQ(s.last("unknown"), 0.0);
+}
+
+TEST(Sampler, DecimatesAndDoublesCadenceWhenFull) {
+  obs::TimeSeriesSampler s(10, 8);
+  std::uint64_t t = 0;
+  s.add_probe("t", [&t] { return static_cast<double>(t); });
+
+  for (t = 0; t <= 200; t += 10) s.maybe_sample(t);
+  // 21 instants offered through a ring of 8: memory stays bounded, the
+  // cadence coarsens (so instants between the new deadlines are skipped,
+  // not stored-then-dropped), and at least one decimation happened.
+  EXPECT_LT(s.samples_taken(), 21u);
+  EXPECT_GE(s.samples_taken(), 8u);
+  EXPECT_LE(s.size(), 8u);
+  EXPECT_GE(s.size(), 4u);
+  EXPECT_GE(s.decimations(), 1u);
+  EXPECT_GT(s.interval_us(), 10u);
+  // Every retained point is a real observation spanning the run: strictly
+  // increasing times, value recorded at its own instant, oldest point kept.
+  const std::vector<std::uint64_t>& times = s.times();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+    EXPECT_EQ(static_cast<double>(times[i]), s.points(0)[i]);
+  }
+  EXPECT_EQ(times.front(), 0u);
+  EXPECT_GE(times.back(), 150u);  // the tail of the run is still covered
+}
+
+TEST(Sampler, JsonSectionRoundTrips) {
+  obs::TimeSeriesSampler s(100);
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("n");
+  s.add_counter("n", c);
+  s.add_gauge("g", reg.gauge("g"));
+  c.inc(5);
+  reg.gauge("g").set(2);
+  s.sample_now(0);
+  c.inc(5);
+  s.sample_now(100);
+
+  obs::JsonWriter w;
+  s.write_json(w);
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonParser::parse(w.str(), v));
+  EXPECT_EQ(v.at("interval_us").number, 100.0);
+  EXPECT_EQ(v.at("samples_taken").number, 2.0);
+  EXPECT_EQ(v.at("retained").number, 2.0);
+  EXPECT_EQ(v.at("decimations").number, 0.0);
+  const obs::JsonValue& series = v.at("series");
+  ASSERT_TRUE(series.has("n"));
+  EXPECT_EQ(series.at("n").array[0].array[0].number, 0.0);
+  EXPECT_EQ(series.at("n").array[0].array[1].number, 5.0);
+  EXPECT_EQ(series.at("n").array[1].array[1].number, 10.0);
+  EXPECT_EQ(series.at("g").array[1].array[1].number, 2.0);
+}
+
+TEST(Sampler, PublishesLastValuesAsPrometheusGauges) {
+  obs::TimeSeriesSampler s(100);
+  double depth = 7;
+  s.add_probe("queue_depth", [&depth] { return depth; });
+  s.sample_now(0);
+
+  obs::Registry reg;
+  s.publish_last_values(reg);
+  const std::string text = obs::metrics_to_prometheus(reg);
+  EXPECT_NE(text.find("dcpl_ts_queue_depth 7"), std::string::npos) << text;
 }
 
 // ---- Logger ---------------------------------------------------------------
