@@ -16,6 +16,12 @@
 // recording, reporting the throughput overhead of each against the
 // ledger-free baseline. Flow runs use throwaway registries — they are
 // overhead probes, not the point's record.
+//
+// --shards <n> appends a sharded-engine sweep at the largest population
+// point: the same workload re-runs at shard counts 2, 4, ... n on the
+// conservative-window parallel engine, reporting per-count throughput,
+// speedup vs. the serial point, and a "shards" report section with the
+// per-shard event/delivery/cross-send split of the largest count.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
 
   const bool flow = parse_flow(argc, argv);
   bool ok = true;
+  scale::PointResult cap_serial;  // serial reference for the shard sweep
   for (std::size_t n : sweep) {
     // Snapshot point: metrics land in a per-size scope of the global
     // registry, which Report::finish serializes as the "metrics" section.
@@ -62,6 +69,7 @@ int main(int argc, char** argv) {
                          .scope("scale")
                          .scope("n" + std::to_string(n));
     const scale::PointResult r = scale::run_point(n, opts);
+    if (n == sweep.back()) cap_serial = r;
     std::printf("  %10zu %10.1f %12.0f %14.0f %12.0f %10.0f\n", r.users,
                 r.wall_ms, r.events, r.events_per_sec, r.bytes_per_sec,
                 r.peak_queue_depth);
@@ -116,6 +124,75 @@ int main(int argc, char** argv) {
                                  recording.events_recorded() &&
                              idle.size() == 0);
     }
+  }
+
+  // Sharded sweep at the cap point: same workload, conservative-window
+  // parallel engine. Aggregate behaviour must be unchanged — identical
+  // event count, every OHTTP round-trip and mix send completing — while
+  // the per-shard split goes to the "shards" report section.
+  const std::uint32_t shard_cap = scale::parse_shards(argc, argv);
+  if (shard_cap > 1) {
+    std::printf("== sharded engine at %zu users\n", cap);
+    std::printf("  %10s %10s %14s %10s %10s %12s\n", "shards", "wall_ms",
+                "events/sec", "speedup", "windows", "cross_sends");
+    const std::string ntag = "n" + std::to_string(cap) + "_";
+    std::string shards_json;
+    for (std::uint32_t s : scale::shard_counts(shard_cap)) {
+      scale::PointOptions opts;
+      opts.registry = &obs::global_registry()
+                           .scope("scale")
+                           .scope("n" + std::to_string(cap) + "_s" +
+                                  std::to_string(s));
+      opts.shards = s;
+      const scale::PointResult r = scale::run_point(cap, opts);
+      const double speedup = cap_serial.events_per_sec > 0
+                                 ? r.events_per_sec / cap_serial.events_per_sec
+                                 : 0.0;
+      std::uint64_t cross = 0, delivered = 0;
+      for (std::uint64_t c : r.shard_cross_sends) cross += c;
+      for (std::uint64_t d : r.shard_deliveries) delivered += d;
+      std::printf("  %10u %10.1f %14.0f %9.2fx %10llu %12llu\n", r.shards,
+                  r.wall_ms, r.events_per_sec, speedup,
+                  static_cast<unsigned long long>(r.windows),
+                  static_cast<unsigned long long>(cross));
+      const std::string tag = ntag + "s" + std::to_string(s) + "_";
+      report.value(tag + "wall_ms", r.wall_ms);
+      report.value(tag + "events_per_sec", r.events_per_sec);
+      report.value(tag + "speedup_vs_serial", speedup);
+      report.value(tag + "windows", static_cast<double>(r.windows));
+      report.value(tag + "cross_sends", static_cast<double>(cross));
+      ok &= report.check(tag + "run_complete",
+                         r.ohttp_complete && r.mix_complete &&
+                             r.overhead_exact);
+      ok &= report.check(tag + "event_count_matches_serial",
+                         r.events == cap_serial.events);
+      ok &= report.check(tag + "deliveries_sum_to_total",
+                         delivered == r.total_deliveries);
+      ok &= report.check(tag + "lookahead_positive", r.lookahead_us > 0);
+
+      // The largest count's per-shard split becomes the report section.
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("count", static_cast<double>(r.shards));
+      w.kv("users", static_cast<double>(r.users));
+      w.kv("lookahead_us", r.lookahead_us);
+      w.kv("windows", static_cast<double>(r.windows));
+      w.kv("total_deliveries", static_cast<double>(r.total_deliveries));
+      w.key("per_shard");
+      w.begin_array();
+      for (std::size_t i = 0; i < r.shard_events.size(); ++i) {
+        w.begin_object();
+        w.kv("shard", static_cast<double>(i));
+        w.kv("events", static_cast<double>(r.shard_events[i]));
+        w.kv("deliveries", static_cast<double>(r.shard_deliveries[i]));
+        w.kv("cross_sends", static_cast<double>(r.shard_cross_sends[i]));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      shards_json = w.take();
+    }
+    report.section("shards", shards_json);
   }
 
   // Per-message overhead vs. hop count: a chain of h mixes costs h+1 wire

@@ -245,6 +245,57 @@ bool check_profile(const JsonValue& r, bool required) {
   return true;
 }
 
+// The optional "shards" object bench_scale emits from a sharded sweep:
+// positive conservative lookahead, a per_shard[] split whose length matches
+// the shard count, and per-shard deliveries summing exactly to the run's
+// total. With `required`, the section must exist and record a genuinely
+// parallel run (count >= 2 with at least one barrier window).
+bool check_shards(const JsonValue& r, bool required) {
+  const JsonValue* s = r.find("shards");
+  if (!s) {
+    return required ? fail("missing shards{} (--require-shards)") : true;
+  }
+  if (!s->is_object()) return fail("shards is not an object");
+  for (const char* k :
+       {"count", "users", "lookahead_us", "windows", "total_deliveries"}) {
+    if (!s->has(k) || !s->at(k).is_number()) {
+      return fail("shards missing numeric field");
+    }
+  }
+  if (s->at("lookahead_us").number <= 0) {
+    return fail("shards.lookahead_us not positive");
+  }
+  const JsonValue* per = s->find("per_shard");
+  if (!per || !per->is_array()) return fail("shards missing per_shard[]");
+  if (static_cast<double>(per->array.size()) != s->at("count").number) {
+    return fail("shards per_shard[] length != count");
+  }
+  double deliveries = 0;
+  for (const auto& b : per->array) {
+    for (const char* k : {"shard", "events", "deliveries", "cross_sends"}) {
+      if (!b.has(k) || !b.at(k).is_number()) {
+        return fail("per_shard entry missing numeric field");
+      }
+      if (b.at(k).number < 0) return fail("per_shard counter negative");
+    }
+    if (b.at("deliveries").number > b.at("events").number) {
+      return fail("per_shard deliveries > events");
+    }
+    deliveries += b.at("deliveries").number;
+  }
+  if (deliveries != s->at("total_deliveries").number) {
+    return fail("per_shard deliveries do not sum to total_deliveries");
+  }
+  if (required) {
+    if (s->at("count").number < 2) return fail("shards.count < 2");
+    if (s->at("windows").number <= 0) {
+      return fail("shards{} ran no barrier windows");
+    }
+    if (deliveries <= 0) return fail("shards{} saw no deliveries");
+  }
+  return true;
+}
+
 bool check_report(const JsonValue& r, std::size_t min_tables) {
   if (!r.is_object()) return fail("report root is not an object");
   const JsonValue* schema = r.find("schema");
@@ -409,6 +460,7 @@ int main(int argc, char** argv) {
   bool require_flow = false;
   bool require_timeseries = false;
   bool require_profile = false;
+  bool require_shards = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -427,6 +479,8 @@ int main(int argc, char** argv) {
       require_timeseries = true;
     } else if (std::strcmp(argv[i], "--require-profile") == 0) {
       require_profile = true;
+    } else if (std::strcmp(argv[i], "--require-shards") == 0) {
+      require_shards = true;
     } else {
       report_path = argv[i];
     }
@@ -435,7 +489,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: report_check <report.json> [--min-tables N] "
                  "[--require-faults] [--require-flow] [--require-timeseries] "
-                 "[--require-profile] [--trace trace.json] "
+                 "[--require-profile] [--require-shards] "
+                 "[--trace trace.json] "
                  "[--baseline baseline.json [--tolerance pct]]\n");
     return 2;
   }
@@ -444,7 +499,8 @@ int main(int argc, char** argv) {
       !check_faults(report, require_faults) ||
       !check_flow(report, require_flow) ||
       !check_timeseries(report, require_timeseries) ||
-      !check_profile(report, require_profile)) {
+      !check_profile(report, require_profile) ||
+      !check_shards(report, require_shards)) {
     return 1;
   }
   if (trace_path) {

@@ -39,6 +39,13 @@
 //                                         // "sampled", "ns",
 //                                         // "est_ns_per_event", "hw_sampled",
 //                                         // "cache_misses", "branch_misses" }
+//     "shards": { "count", "users", "lookahead_us", "windows",
+//                 "total_deliveries",
+//                 "per_shard": [{"shard","events","deliveries",
+//                                "cross_sends"}] },
+//                                         // optional; present when the bench
+//                                         // ran the sharded engine (emitted
+//                                         // via Report::section)
 //     "timing": { "wall_ms": <number> }
 //   }
 //
@@ -270,6 +277,20 @@ class Report {
     timeseries_json_ = w.take();
   }
 
+  /// Attaches a pre-serialized JSON object under `key` at the report's top
+  /// level (e.g. the "shards" section bench_scale emits from a sharded
+  /// sweep). The key must not collide with a schema-owned section. Last
+  /// call per key wins.
+  void section(const std::string& key, std::string raw_json) {
+    for (auto& [k, v] : sections_) {
+      if (k == key) {
+        v = std::move(raw_json);
+        return;
+      }
+    }
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+
   /// Serializes `profiler` as the report's "profile" section.
   /// `protocol_names` is the owning simulator's protocol_names(). Last call
   /// wins.
@@ -403,6 +424,10 @@ class Report {
         w.key("profile");
         w.raw(profile_json_);
       }
+      for (const auto& [k, raw] : sections_) {
+        w.key(k);
+        w.raw(raw);
+      }
       w.key("timing");
       w.begin_object();
       w.kv("wall_ms", wall_ms);
@@ -486,6 +511,7 @@ class Report {
   std::string flow_jsonl_;
   std::string timeseries_json_;
   std::string profile_json_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 }  // namespace dcpl::bench

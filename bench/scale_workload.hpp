@@ -13,6 +13,7 @@
 // are switched off so memory stays bounded by live state, not by history.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -40,13 +41,17 @@ constexpr std::size_t kResponseBytes = 1024;
 constexpr std::size_t kOnionBytes = 512;
 constexpr std::size_t kOnionShrink = 48;  // stripped layer per mix hop
 
-// Shared tallies one sweep point accumulates across all its nodes.
+// Shared tallies one sweep point accumulates across all its nodes. The
+// counters are atomic so the same workload runs unchanged on the sharded
+// engine, where nodes tick on worker threads; on the serial path the
+// uncontended atomics cost a few percent at most and keep the two
+// configurations structurally identical.
 struct Tally {
-  std::uint64_t ohttp_responses = 0;
+  std::atomic<std::uint64_t> ohttp_responses{0};
   // Indexed by the chain's total hop count (1..kMaxHops).
-  std::uint64_t sink_arrivals[kMaxHops + 1] = {};
-  std::uint64_t mix_forwards[kMaxHops + 1] = {};
-  std::uint64_t mix_wire_bytes[kMaxHops + 1] = {};
+  std::atomic<std::uint64_t> sink_arrivals[kMaxHops + 1] = {};
+  std::atomic<std::uint64_t> mix_forwards[kMaxHops + 1] = {};
+  std::atomic<std::uint64_t> mix_wire_bytes[kMaxHops + 1] = {};
 };
 
 // Onion payload layout: [0] = remaining mix forwards, [1] = total hop count
@@ -103,8 +108,9 @@ class ScaleMix : public net::Node {
 
   void on_packet(const net::Packet& p, net::Simulator& sim) override {
     const int total_hops = p.payload[1];
-    ++tally_->mix_forwards[total_hops];
-    tally_->mix_wire_bytes[total_hops] += p.payload.size();
+    tally_->mix_forwards[total_hops].fetch_add(1, std::memory_order_relaxed);
+    tally_->mix_wire_bytes[total_hops].fetch_add(p.payload.size(),
+                                                 std::memory_order_relaxed);
     Bytes peeled(p.payload.begin(), p.payload.end() - kOnionShrink);
     if (peeled[0] == 0) {
       sim.send(
@@ -128,8 +134,9 @@ class ScaleSink : public net::Node {
       : Node(std::move(address)), tally_(&tally) {}
   void on_packet(const net::Packet& p, net::Simulator&) override {
     const int total_hops = p.payload[1];
-    ++tally_->sink_arrivals[total_hops];
-    tally_->mix_wire_bytes[total_hops] += p.payload.size();
+    tally_->sink_arrivals[total_hops].fetch_add(1, std::memory_order_relaxed);
+    tally_->mix_wire_bytes[total_hops].fetch_add(p.payload.size(),
+                                                 std::memory_order_relaxed);
   }
 
  private:
@@ -157,7 +164,9 @@ class ScaleClient : public net::Node {
   }
 
   void on_packet(const net::Packet& p, net::Simulator&) override {
-    if (p.protocol == "ohttp-r") ++tally_->ohttp_responses;
+    if (p.protocol == "ohttp-r") {
+      tally_->ohttp_responses.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -178,6 +187,14 @@ struct PointResult {
   bool ohttp_complete = false;
   bool mix_complete = false;
   bool overhead_exact = false;
+  // Populated when the point ran on the sharded engine (shards > 1).
+  std::uint32_t shards = 1;
+  double lookahead_us = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t total_deliveries = 0;
+  std::vector<std::uint64_t> shard_events;
+  std::vector<std::uint64_t> shard_deliveries;
+  std::vector<std::uint64_t> shard_cross_sends;
 };
 
 /// Attachments for one sweep point. `registry` receives the simulator's
@@ -189,6 +206,10 @@ struct PointResult {
 struct PointOptions {
   obs::Registry* registry = nullptr;
   obs::FlowLedger* ledger = nullptr;
+  /// > 1 runs the point on the sharded engine: infrastructure nodes are
+  /// pinned round-robin across shards and the unpinned clients fall to
+  /// their id-modulo shard.
+  std::uint32_t shards = 1;
   std::function<void(net::Simulator&, const Tally&)> on_ready;
   /// Runs after sim.run() returns (telemetry already detached) with the
   /// drained simulator — the hook bench_profile uses to capture run-scoped
@@ -248,6 +269,28 @@ inline PointResult run_point(std::size_t n_users,
         mixes[i], mixes[(i + 1) % kMixes], "sink", tally));
     sim.add_node(*infra.back());
   }
+  if (opts.shards > 1) {
+    // Pin the shared infrastructure round-robin (count-agnostic: affinity
+    // is reduced modulo the shard count at run time); clients stay
+    // unpinned and spread by interned-id order. The sink takes shard 0
+    // alongside the run callbacks.
+    sim.set_shard_affinity("sink", 0);
+    for (int i = 0; i < kOrigins; ++i) {
+      sim.set_shard_affinity("origin" + std::to_string(i),
+                             static_cast<std::uint32_t>(i));
+    }
+    for (int i = 0; i < kGateways; ++i) {
+      sim.set_shard_affinity("gw" + std::to_string(i),
+                             static_cast<std::uint32_t>(i));
+    }
+    for (int i = 0; i < kRelays; ++i) {
+      sim.set_shard_affinity(relays[i], static_cast<std::uint32_t>(i));
+    }
+    for (int i = 0; i < kMixes; ++i) {
+      sim.set_shard_affinity(mixes[i], static_cast<std::uint32_t>(i));
+    }
+    sim.set_shards(opts.shards);
+  }
   // Infra links get explicit latencies; the user edge falls back to the
   // simulator default, so the link table stays O(infrastructure).
   for (int i = 0; i < kRelays; ++i) {
@@ -304,6 +347,17 @@ inline PointResult run_point(std::size_t n_users,
       wall_s > 0 ? static_cast<double>(sim.bytes_delivered()) / wall_s : 0;
   r.peak_queue_depth = registry.gauge("queue_depth").peak();
 
+  if (opts.shards > 1) {
+    const net::Simulator::ShardRunStats& ss = sim.shard_stats();
+    r.shards = ss.shards;
+    r.lookahead_us = static_cast<double>(ss.lookahead_us);
+    r.windows = ss.windows;
+    r.total_deliveries = sim.packets_delivered();
+    r.shard_events = ss.events;
+    r.shard_deliveries = ss.deliveries;
+    r.shard_cross_sends = ss.cross_sends;
+  }
+
   r.ohttp_complete = tally.ohttp_responses == n_users;
   std::uint64_t sink_total = 0;
   r.overhead_exact = true;
@@ -334,6 +388,27 @@ inline std::size_t parse_users(int argc, char** argv,
     }
   }
   return fallback;
+}
+
+/// --shards <n>: cap of the shard sweep bench_scale appends at the largest
+/// population point (1 = skip the sharded sweep, the default).
+inline std::uint32_t parse_shards(int argc, char** argv,
+                                  std::uint32_t fallback = 1) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      const long v = std::atol(argv[i + 1]);
+      if (v > 0) return static_cast<std::uint32_t>(v);
+    }
+  }
+  return fallback;
+}
+
+/// Shard counts to sweep under `cap`: powers of two up to and including it.
+inline std::vector<std::uint32_t> shard_counts(std::uint32_t cap) {
+  std::vector<std::uint32_t> counts;
+  for (std::uint32_t s = 2; s <= cap; s *= 2) counts.push_back(s);
+  if (!counts.empty() && counts.back() != cap) counts.push_back(cap);
+  return counts;
 }
 
 /// The standard 1k -> 1M sweep, clipped to `cap` (which is always included

@@ -38,6 +38,36 @@ void CalendarQueue::migrate() {
   }
 }
 
+Time CalendarQueue::next_time() const {
+  if (size_ == 0) return kNever;
+  Time best = kNever;
+  if (draining_) {
+    // Hot case: the active drain cursor (sorted) and the same-slot merge
+    // heap hold the minimum between them.
+    if (drain_idx_ < drain_.size()) best = drain_[drain_idx_].time;
+    if (!incoming_.empty() && incoming_.top().time < best) {
+      best = incoming_.top().time;
+    }
+    if (best != kNever) return best;
+  }
+  if (wheel_count_ > 0) {
+    // First nonempty bucket in window order holds the wheel's earliest
+    // slot; buckets are per-slot, so its minimum is the wheel minimum.
+    for (std::uint64_t s = cur_slot_; s < cur_slot_ + slot_count_; ++s) {
+      const std::vector<EngineEvent>& bucket = wheel_[s & mask_];
+      if (bucket.empty()) continue;
+      for (const EngineEvent& ev : bucket) {
+        if (ev.time < best) best = ev.time;
+      }
+      break;
+    }
+  }
+  if (!overflow_.empty() && overflow_.top().time < best) {
+    best = overflow_.top().time;
+  }
+  return best;
+}
+
 EngineEvent CalendarQueue::pop() {
   if (size_ == 0) throw std::logic_error("CalendarQueue: pop on empty queue");
   for (;;) {

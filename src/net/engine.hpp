@@ -77,6 +77,16 @@ class CalendarQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
+  /// "No pending event" sentinel for next_time().
+  static constexpr Time kNever = ~Time{0};
+
+  /// The earliest pending event time without popping (kNever when empty).
+  /// The sharded run loop uses this to decide whether the next event falls
+  /// inside the current lookahead window. O(1) amortized: it inspects the
+  /// active drain cursor, the same-slot merge heap, the first nonempty
+  /// wheel bucket, and the overflow top.
+  Time next_time() const;
+
   /// Events currently parked on the overflow rung (observability/tests).
   std::size_t overflow_size() const { return overflow_.size(); }
 

@@ -1,0 +1,58 @@
+#include "net/mailbox.hpp"
+
+namespace dcpl::net {
+
+bool ShardMailbox::try_push(ShardEvent&& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) {
+    ++rejected_closed_;
+    return false;
+  }
+  if (q_.size() >= capacity_) {
+    ++rejected_full_;
+    return false;
+  }
+  q_.push_back(std::move(ev));
+  ++accepted_;
+  return true;
+}
+
+std::size_t ShardMailbox::drain(std::vector<ShardEvent>& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t n = q_.size();
+  for (ShardEvent& ev : q_) out.push_back(std::move(ev));
+  q_.clear();
+  return n;
+}
+
+void ShardMailbox::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+}
+
+bool ShardMailbox::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t ShardMailbox::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+std::uint64_t ShardMailbox::accepted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return accepted_;
+}
+
+std::uint64_t ShardMailbox::rejected_full() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_full_;
+}
+
+std::uint64_t ShardMailbox::rejected_closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_closed_;
+}
+
+}  // namespace dcpl::net

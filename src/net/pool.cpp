@@ -49,6 +49,19 @@ void BufferPool::release(PayloadHandle h) {
   }
 }
 
+Bytes BufferPool::take(PayloadHandle h) {
+  Slot& slot = checked(h);
+  Bytes out;
+  if (slot.refs == 1) {
+    out = std::move(slot.buf);
+    slot.buf = Bytes{};  // moved-from state is unspecified; make it empty
+  } else {
+    out = slot.buf;
+  }
+  release(h);
+  return out;
+}
+
 Bytes& BufferPool::at(PayloadHandle h) { return checked(h).buf; }
 
 const Bytes& BufferPool::at(PayloadHandle h) const { return checked(h).buf; }

@@ -37,6 +37,13 @@ class BufferPool {
   /// capacity) and returns the slot to the free list.
   void release(PayloadHandle h);
 
+  /// Extracts the payload bytes *out of* the pool, consuming one reference:
+  /// a sole reference moves the buffer (the slot frees without keeping the
+  /// capacity), other references get a copy and keep seeing their bytes.
+  /// The sharded engine uses this to re-home a payload into the owning
+  /// shard's pool when an event migrates across the shard boundary.
+  Bytes take(PayloadHandle h);
+
   /// The live slot's buffer. Throws std::logic_error for a freed handle.
   Bytes& at(PayloadHandle h);
   const Bytes& at(PayloadHandle h) const;

@@ -1,13 +1,19 @@
 #include "net/sim.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "net/profile.hpp"
 #include "obs/flow.hpp"
 #include "obs/sampler.hpp"
 
 namespace dcpl::net {
+
+thread_local Simulator::Shard* Simulator::tls_shard_ = nullptr;
 
 namespace {
 
@@ -63,6 +69,9 @@ Simulator::Simulator()
       tracer_(&obs::global_tracer()) {
   bind_metrics();
 }
+
+// Out of line: Shard is an incomplete type at the class definition.
+Simulator::~Simulator() = default;
 
 void Simulator::bind_metrics() {
   events_processed_m_ = &metrics_->counter("events_processed");
@@ -175,7 +184,8 @@ ProtocolId Simulator::intern_protocol(const std::string& name) {
   auto it = protocol_ids_.find(name);
   if (it != protocol_ids_.end()) return it->second;
   const ProtocolId id = static_cast<ProtocolId>(protocols_.size());
-  protocols_.push_back(ProtocolInfo{name, "deliver:" + name});
+  protocols_.push_back(
+      std::make_unique<ProtocolInfo>(ProtocolInfo{name, "deliver:" + name}));
   protocol_ids_.emplace(name, id);
   return id;
 }
@@ -310,6 +320,13 @@ Simulator::SendPlan Simulator::plan_send(AddressId src_id,
 }
 
 void Simulator::send(Packet packet, Time extra_delay) {
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    const AddressId src_id = intern_mt(packet.src);
+    const AddressId dst_id = intern_mt(packet.dst);
+    sharded_send(*sh, src_id, dst_id, packet.dst, std::move(packet.payload),
+                 packet.context, packet.protocol, extra_delay);
+    return;
+  }
   const AddressId src_id = interner_.intern(packet.src);
   const AddressId dst_id = interner_.intern(packet.dst);
   if (dst_id >= nodes_.size() || nodes_[dst_id] == nullptr) {
@@ -331,12 +348,30 @@ void Simulator::send(Packet packet, Time extra_delay) {
 }
 
 PayloadRef Simulator::make_payload(Bytes bytes) {
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    return sharded_make_payload(*sh, std::move(bytes));
+  }
   return PayloadRef(&pool_, pool_.acquire(std::move(bytes)));
 }
 
 void Simulator::send_shared(const Address& src, const Address& dst,
                             const PayloadRef& payload, std::uint64_t context,
                             const std::string& protocol, Time extra_delay) {
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    // Sharded mode: sharing degrades to a copy — the payload may cross a
+    // shard boundary into another pool, and the global pool is frozen
+    // while workers run. Fault rolls and ordering still match send().
+    if (!payload || !shard_local_pool(sh, payload.pool())) {
+      throw std::invalid_argument(
+          "Simulator::send_shared: payload not from this simulator's pool");
+    }
+    const AddressId src_id = intern_mt(src);
+    const AddressId dst_id = intern_mt(dst);
+    Bytes bytes = payload.bytes();
+    sharded_send(*sh, src_id, dst_id, dst, std::move(bytes), context,
+                 protocol, extra_delay);
+    return;
+  }
   if (!payload || payload.pool() != &pool_) {
     throw std::invalid_argument(
         "Simulator::send_shared: payload not from this simulator's pool");
@@ -361,6 +396,10 @@ void Simulator::send_shared(const Address& src, const Address& dst,
 }
 
 void Simulator::at(Time t, std::function<void()> fn) {
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    sharded_at(*sh, t, std::move(fn));
+    return;
+  }
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
   std::uint32_t slot;
   if (!callback_free_.empty()) {
@@ -389,7 +428,7 @@ void Simulator::deliver(const EngineEvent& ev) {
     return;
   }
   delivery_latency_m_->observe(static_cast<double>(ev.latency_sample));
-  const ProtocolInfo& proto = protocols_[ev.protocol];
+  const ProtocolInfo& proto = *protocols_[ev.protocol];
   const Address& src = interner_.name(link_src(ev.link_key));
   const Address& dst = interner_.name(dst_id);
   const bool traced = tracer_->enabled();
@@ -438,6 +477,7 @@ void Simulator::dispatch(const EngineEvent& ev) {
 }
 
 Time Simulator::run() {
+  if (shards_ > 1) return run_sharded();
   // Attach this simulator's virtual clock so any span opened while an event
   // handler runs carries simulated time alongside wall time.
   tracer_->set_virtual_clock([this] { return now_; });
@@ -502,7 +542,44 @@ void Simulator::rebuild_fault_tables() {
   }
 }
 
+void Simulator::fire_breach(const BreachEvent& ev) {
+  Shard* sh = tls_shard_;
+  const bool sharded = sh != nullptr && owns_shard(sh) && sharded_running_;
+  const AddressId id = sharded ? intern_mt(ev.party) : interner_.intern(ev.party);
+  if (id < breached_.size() && breached_[id] != kNotBreached) {
+    return;  // first breach wins
+  }
+  if (id >= breached_.size()) breached_.resize(id + 1, kNotBreached);
+  breached_[id] = now();
+  // Record the implant before the handler runs: everything the handler
+  // marks (and everything the implant subsequently sees) is causally
+  // downstream of this event. The ledger dedups per party, so the
+  // handler's mark_compromised flowing back through an ObservationSink
+  // is a no-op. Under shards the flow record is deferred and replayed by
+  // the coordinator in (time, shard, seq) order at the next barrier.
+  if (sharded) {
+    note_sharded_breach(*sh, ev.party);
+    if (breach_handler_) breach_handler_(ev);
+    return;
+  }
+  ++fault_stats_.breaches_fired;
+  faults_breaches_m_->inc();
+  obs::Span span(*tracer_, "fault.breach", "net");
+  span.arg("party", ev.party);
+  if (flow_) flow_->record_compromise(ev.party, obs::FlowCause::kBreachImplant);
+  if (breach_handler_) breach_handler_(ev);
+}
+
 void Simulator::set_fault_plan(FaultPlan plan) {
+  if (sharded_running_) {
+    // Mid-run plan swap from a worker thread: stash it; the coordinator
+    // applies it at the next window barrier (a deterministic point), when
+    // every worker is parked and per-shard fault tables/RNG streams can be
+    // rebuilt race-free.
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_plan_ = std::move(plan);
+    return;
+  }
   fault_plan_ = std::move(plan);
   fault_rng_ = std::make_unique<XoshiroRng>(fault_plan_->seed());
   fault_stats_ = FaultStats{};
@@ -512,32 +589,15 @@ void Simulator::set_fault_plan(FaultPlan plan) {
   for (const BreachEvent& ev : fault_plan_->breaches()) {
     // A plan installed mid-run may carry an already-elapsed breach time;
     // clamp it so the breach fires immediately instead of at() throwing.
-    at(std::max(ev.time, now_), [this, ev] {
-      const AddressId id = interner_.intern(ev.party);
-      if (id < breached_.size() && breached_[id] != kNotBreached) {
-        return;  // first breach wins
-      }
-      if (id >= breached_.size()) breached_.resize(id + 1, kNotBreached);
-      breached_[id] = now_;
-      ++fault_stats_.breaches_fired;
-      faults_breaches_m_->inc();
-      obs::Span span(*tracer_, "fault.breach", "net");
-      span.arg("party", ev.party);
-      // Record the implant before the handler runs: everything the handler
-      // marks (and everything the implant subsequently sees) is causally
-      // downstream of this event. The ledger dedups per party, so the
-      // handler's mark_compromised flowing back through an ObservationSink
-      // is a no-op.
-      if (flow_) flow_->record_compromise(ev.party,
-                                          obs::FlowCause::kBreachImplant);
-      if (breach_handler_) breach_handler_(ev);
-    });
+    at(std::max(ev.time, now_), [this, ev] { fire_breach(ev); });
   }
 }
 
 void Simulator::set_flow(obs::FlowLedger* ledger) {
   flow_ = ledger;
-  if (flow_) flow_->set_clock([this] { return now_; });
+  // now() (not now_): on a sharded worker thread the TLS route stamps the
+  // shard's clock, which is the delivering event's exact virtual time.
+  if (flow_) flow_->set_clock([this] { return now(); });
 }
 
 void Simulator::set_sampler(obs::TimeSeriesSampler* sampler) {
@@ -548,8 +608,765 @@ void Simulator::set_sampler(obs::TimeSeriesSampler* sampler) {
 std::vector<std::string> Simulator::protocol_names() const {
   std::vector<std::string> names;
   names.reserve(protocols_.size());
-  for (const ProtocolInfo& p : protocols_) names.push_back(p.name);
+  for (const auto& p : protocols_) names.push_back(p->name);
   return names;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parallel engine.
+//
+// Conservative synchronization: every worker advances its shard's calendar
+// queue through the window [T_min, T_min + L) where T_min is the global
+// minimum pending event time and L is the lookahead — the minimum latency
+// any cross-shard delivery can possibly take. Any send issued inside the
+// window lands at >= T_min + L, i.e. never inside the window, so workers
+// can process their windows with no mid-window communication; cross-shard
+// deliveries accumulate in bounded mailboxes and are folded into the
+// owner's queue at the barrier in (time, src_shard, src_seq) order.
+// Determinism argument (DESIGN.md §13): the window schedule is a pure
+// function of event content, the per-window mailbox batch *set* is
+// interleaving-independent (every send for the window happens before
+// barrier 1), and the merge key is a total order — so a fixed shard count
+// replays bit-for-bit no matter how threads interleave.
+
+namespace {
+/// Decorrelates per-shard fault RNG streams while leaving shard 0 on the
+/// plan's own seed (stream = seed + stride * shard).
+constexpr std::uint64_t kShardSeedStride = 0x9E3779B97F4A7C15ull;
+/// Mailbox bound: big enough that barrier-rate draining never backpressures
+/// in practice, small enough to bound memory under a pathological window.
+constexpr std::size_t kMailboxCapacity = 16384;
+}  // namespace
+
+/// Delivery observability record (trace entry / wiretap / link-byte
+/// accounting) produced on a worker thread and replayed by the coordinator
+/// at the next barrier in (time, shard, buffer-order) order. Flow-ledger
+/// ops take the parallel FlowLedger staging path instead (see obs/flow.hpp).
+struct Simulator::DeferredOb {
+  Time time = 0;
+  std::uint64_t link_key = 0;
+  std::size_t size = 0;
+  std::uint64_t context = 0;
+  ProtocolId protocol = 0;
+};
+
+/// Per-shard engine state. Between barriers a worker touches only its own
+/// Shard — plus other shards' mailboxes (internally locked) and the
+/// simulator's read-only tables (nodes, links, fault windows).
+struct Simulator::Shard {
+  std::uint32_t id = 0;
+  Simulator* sim = nullptr;
+  // pool before callbacks: parked callbacks may hold PayloadRefs into it.
+  BufferPool pool;
+  CalendarQueue queue;
+  std::vector<std::function<void()>> callbacks;
+  std::vector<std::uint32_t> callback_free;
+  ShardMailbox inbox{kMailboxCapacity};
+  std::vector<ShardEvent> staged;  // drained but not yet enqueued
+  std::uint64_t event_seq = 0;     // local (time, seq) tiebreaker
+  std::uint64_t xfer_seq = 0;      // outgoing cross-shard merge key
+  Time now = 0;
+  std::uint64_t context_counter = 0;
+  std::unique_ptr<XoshiroRng> fault_rng;
+  FaultStats stats;
+  Packet scratch;
+  obs::Histogram latency_hist{std::vector<double>{}};
+  std::vector<DeferredOb> deferred;
+  std::uint64_t events = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t cross_sends = 0;
+  std::size_t queue_peak = 0;
+  std::exception_ptr error;
+};
+
+bool Simulator::owns_shard(const Shard* sh) const { return sh->sim == this; }
+
+bool Simulator::shard_local_pool(const Shard* sh,
+                                 const BufferPool* pool) const {
+  return pool == &pool_ || pool == &sh->pool;
+}
+
+PayloadRef Simulator::sharded_make_payload(Shard& sh, Bytes bytes) {
+  return PayloadRef(&sh.pool, sh.pool.acquire(std::move(bytes)));
+}
+
+void Simulator::note_sharded_breach(Shard& sh, const Address& party) {
+  ++sh.stats.breaches_fired;
+  // Staged capture: the ledger buffers the compromise on this shard's lane
+  // and commits it at the barrier in deterministic merged order.
+  if (flow_ != nullptr) {
+    flow_->record_compromise(party, obs::FlowCause::kBreachImplant);
+  }
+}
+
+Time Simulator::now() const {
+  if (const Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    return sh->now;
+  }
+  return now_;
+}
+
+std::uint64_t Simulator::new_context() {
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    // Shard-namespaced: concurrent allocations can't collide, and the ids
+    // a node sees depend only on its own shard's deterministic schedule.
+    return (static_cast<std::uint64_t>(sh->id + 1) << 48) |
+           ++sh->context_counter;
+  }
+  return ++context_counter_;
+}
+
+std::size_t Simulator::queue_depth() const {
+  std::size_t total = queue_.size();
+  if (sharded_running_) {
+    for (const auto& sh : shard_v_) total += sh->queue.size();
+  }
+  return total;
+}
+
+void Simulator::set_shards(std::uint32_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("Simulator::set_shards: n must be >= 1");
+  }
+  if (sharded_running_) {
+    throw std::logic_error("Simulator::set_shards: run in progress");
+  }
+  shards_ = n;
+}
+
+void Simulator::set_shard_affinity(const Address& address,
+                                   std::uint32_t shard) {
+  shard_pin_[interner_.intern(address)] = shard;
+}
+
+std::uint32_t Simulator::shard_of_id(AddressId id) const {
+  if (auto it = shard_pin_.find(id); it != shard_pin_.end()) {
+    return it->second % shards_;
+  }
+  return id % shards_;
+}
+
+AddressId Simulator::intern_mt(const Address& name) {
+  {
+    std::shared_lock<std::shared_mutex> lk(interner_mu_);
+    if (auto id = interner_.lookup(name)) return *id;
+  }
+  std::unique_lock<std::shared_mutex> lk(interner_mu_);
+  return interner_.intern(name);
+}
+
+const Address& Simulator::name_mt(AddressId id) const {
+  // The returned reference is node-stable (interner keys); only the id ->
+  // pointer table needs the lock.
+  std::shared_lock<std::shared_mutex> lk(interner_mu_);
+  return interner_.name(id);
+}
+
+ProtocolId Simulator::intern_protocol_mt(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lk(protocol_mu_);
+    if (auto it = protocol_ids_.find(name); it != protocol_ids_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lk(protocol_mu_);
+  if (auto it = protocol_ids_.find(name); it != protocol_ids_.end()) {
+    return it->second;
+  }
+  const ProtocolId id = static_cast<ProtocolId>(protocols_.size());
+  protocols_.push_back(
+      std::make_unique<ProtocolInfo>(ProtocolInfo{name, "deliver:" + name}));
+  protocol_ids_.emplace(name, id);
+  return id;
+}
+
+const Simulator::ProtocolInfo& Simulator::protocol_info_mt(
+    ProtocolId id) const {
+  // Entries are heap-stable (unique_ptr); the lock covers table growth.
+  std::shared_lock<std::shared_mutex> lk(protocol_mu_);
+  return *protocols_[id];
+}
+
+Time Simulator::compute_lookahead() const {
+  // Unpinned/unconnected pairs fall back to the default latency, so it
+  // always bounds the lookahead; explicit cross-shard links can only
+  // tighten it. Jitter, bandwidth serialization, and extra_delay only add.
+  Time lookahead = default_latency_;
+  for (const auto& [key, ls] : links_) {
+    if (!ls.has_latency) continue;
+    if (shard_of_id(link_src(key)) == shard_of_id(link_dst(key))) continue;
+    lookahead = std::min(lookahead, ls.latency);
+  }
+  return lookahead;
+}
+
+void Simulator::build_shards() {
+  shard_v_.clear();
+  shard_v_.reserve(shards_);
+  for (std::uint32_t i = 0; i < shards_; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->id = i;
+    sh->sim = this;
+    if (fault_plan_) {
+      sh->fault_rng = std::make_unique<XoshiroRng>(
+          fault_plan_->seed() + kShardSeedStride * i);
+    }
+    shard_v_.push_back(std::move(sh));
+  }
+}
+
+void Simulator::redistribute_initial_events() {
+  // Drain the serial queue in its exact (time, seq) order and re-home each
+  // event on its owning shard with a fresh shard-local seq — relative order
+  // within a shard is preserved, so the partition is deterministic.
+  while (!queue_.empty()) {
+    const EngineEvent ev = queue_.pop();
+    if (ev.kind == EngineEvent::kCallback) {
+      // Callbacks have no address: they run on shard 0 (pre-run at()
+      // callbacks are workload scaffolding — client start staggering,
+      // plan installs — not per-node hot work).
+      std::function<void()> fn = std::move(callbacks_[ev.handle]);
+      callbacks_[ev.handle] = nullptr;
+      callback_free_.push_back(ev.handle);
+      sharded_at(*shard_v_[0], ev.time, std::move(fn));
+      continue;
+    }
+    Shard& sh = *shard_v_[shard_of_id(link_dst(ev.link_key))];
+    EngineEvent nev = ev;
+    nev.seq = ++sh.event_seq;
+    nev.handle = sh.pool.acquire(pool_.take(ev.handle));
+    sh.queue.push(nev);
+    const std::size_t depth = sh.queue.size();
+    if (depth > sh.queue_peak) sh.queue_peak = depth;
+  }
+}
+
+void Simulator::sharded_at(Shard& sh, Time t, std::function<void()> fn) {
+  if (t < sh.now) {
+    throw std::invalid_argument("Simulator::at: time in the past");
+  }
+  std::uint32_t slot;
+  if (!sh.callback_free.empty()) {
+    slot = sh.callback_free.back();
+    sh.callback_free.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(sh.callbacks.size());
+    sh.callbacks.emplace_back();
+  }
+  sh.callbacks[slot] = std::move(fn);
+  EngineEvent ev;
+  ev.time = t;
+  ev.seq = ++sh.event_seq;
+  ev.handle = slot;
+  ev.kind = EngineEvent::kCallback;
+  sh.queue.push(ev);
+  const std::size_t depth = sh.queue.size();
+  if (depth > sh.queue_peak) sh.queue_peak = depth;
+}
+
+void Simulator::sharded_push_local(Shard& sh, Time deliver_at,
+                                   std::uint64_t link_key, PayloadHandle h,
+                                   std::uint64_t context,
+                                   ProtocolId protocol) {
+  EngineEvent ev;
+  ev.time = deliver_at;
+  ev.seq = ++sh.event_seq;
+  ev.link_key = link_key;
+  ev.context = context;
+  ev.latency_sample = deliver_at - sh.now;
+  ev.handle = h;
+  ev.protocol = protocol;
+  ev.kind = EngineEvent::kDelivery;
+  sh.queue.push(ev);
+  const std::size_t depth = sh.queue.size();
+  if (depth > sh.queue_peak) sh.queue_peak = depth;
+}
+
+void Simulator::sharded_push_remote(Shard& sh, std::uint32_t dst_shard,
+                                    ShardEvent ev) {
+  ++sh.cross_sends;
+  ShardMailbox& box = shard_v_[dst_shard]->inbox;
+  while (!box.try_push(std::move(ev))) {
+    if (run_abort_ != nullptr &&
+        run_abort_->load(std::memory_order_relaxed)) {
+      return;  // another shard failed; the run is unwinding — drop
+    }
+    // Full: make progress instead of spinning a potential producer cycle —
+    // drain our *own* inbox into the staging buffer (freeing space someone
+    // may be blocked on) and yield to the mailbox owner. Staged events are
+    // enqueued only at the barrier, so drain timing can't affect the merge
+    // order.
+    sh.inbox.drain(sh.staged);
+    std::this_thread::yield();
+  }
+}
+
+Simulator::SendPlan Simulator::plan_send_sharded(Shard& sh,
+                                                 std::uint64_t link_key,
+                                                 AddressId src_id,
+                                                 std::size_t payload_size,
+                                                 Time extra_delay) {
+  // Mirrors plan_send exactly — same roll order, same arithmetic — but
+  // reads the shard's clock/RNG/stats and skips tracer spans + registry
+  // counters (replayed or folded at barriers instead; the metrics objects
+  // are not thread-safe).
+  const LinkState* link = nullptr;
+  if (auto it = links_.find(link_key); it != links_.end()) {
+    link = &it->second;
+  }
+  SendPlan plan;
+  Time fault_delay = 0;
+  Time dup_delay = 0;
+  if (fault_plan_) {
+    if (partitioned_at(link_key, sh.now)) {
+      ++sh.stats.partition_dropped;
+      plan.dropped = true;
+      return plan;
+    }
+    if (offline_at_id(src_id, sh.now)) {
+      ++sh.stats.offline_dropped;
+      plan.dropped = true;
+      return plan;
+    }
+    const Impairment& imp = link && link->impairment
+                                ? *link->impairment
+                                : fault_plan_->global_impairment();
+    if (imp.active()) {
+      XoshiroRng& rng = *sh.fault_rng;
+      if (imp.loss > 0 && rng.unit() < imp.loss) {
+        ++sh.stats.lost;
+        plan.dropped = true;
+        return plan;
+      }
+      if (imp.duplicate > 0 && rng.unit() < imp.duplicate) {
+        plan.duplicated = true;
+      }
+      if (imp.jitter > 0 && rng.unit() < imp.jitter) {
+        fault_delay =
+            imp.jitter_max_us ? rng.below(imp.jitter_max_us + 1) : 0;
+        ++sh.stats.jittered;
+      }
+      if (plan.duplicated && imp.jitter > 0 && rng.unit() < imp.jitter) {
+        dup_delay = imp.jitter_max_us ? rng.below(imp.jitter_max_us + 1) : 0;
+      }
+    }
+  }
+  Time serialization = 0;
+  if (link && link->bandwidth > 0) {
+    serialization = payload_size * 1000 / link->bandwidth;  // us
+  }
+  const Time latency =
+      link && link->has_latency ? link->latency : default_latency_;
+  const Time base = sh.now + latency + serialization + extra_delay;
+  plan.deliver_at = base + fault_delay;
+  if (plan.duplicated) {
+    ++sh.stats.duplicated;
+    plan.dup_at = base + dup_delay;
+  }
+  return plan;
+}
+
+void Simulator::sharded_send(Shard& sh, AddressId src_id, AddressId dst_id,
+                             const Address& dst, Bytes payload,
+                             std::uint64_t context,
+                             const std::string& protocol, Time extra_delay) {
+  if (dst_id >= nodes_.size() || nodes_[dst_id] == nullptr) {
+    throw std::out_of_range("Simulator: unknown destination " + dst);
+  }
+  const std::uint64_t link_key = pack_link(src_id, dst_id);
+  const SendPlan plan =
+      plan_send_sharded(sh, link_key, src_id, payload.size(), extra_delay);
+  if (plan.dropped) return;
+  const ProtocolId proto = intern_protocol_mt(protocol);
+  const std::uint32_t dst_shard = shard_of_id(dst_id);
+  if (dst_shard == sh.id) {
+    const PayloadHandle h = sh.pool.acquire(std::move(payload));
+    if (plan.duplicated) {
+      // Duplicate first — lower seq — exactly the serial engine's order.
+      sh.pool.add_ref(h);
+      sharded_push_local(sh, plan.dup_at, link_key, h, context, proto);
+    }
+    sharded_push_local(sh, plan.deliver_at, link_key, h, context, proto);
+    return;
+  }
+  ShardEvent xev;
+  xev.src_shard = sh.id;
+  xev.link_key = link_key;
+  xev.context = context;
+  xev.protocol = proto;
+  if (plan.duplicated) {
+    ShardEvent dup = xev;
+    dup.time = plan.dup_at;
+    dup.latency_sample = plan.dup_at - sh.now;
+    dup.src_seq = ++sh.xfer_seq;  // lower merge key: duplicate first
+    dup.payload = payload;        // shares degrade to a copy across shards
+    sharded_push_remote(sh, dst_shard, std::move(dup));
+  }
+  xev.time = plan.deliver_at;
+  xev.latency_sample = plan.deliver_at - sh.now;
+  xev.src_seq = ++sh.xfer_seq;
+  xev.payload = std::move(payload);
+  sharded_push_remote(sh, dst_shard, std::move(xev));
+}
+
+void Simulator::sharded_deliver(Shard& sh, const EngineEvent& ev) {
+  const AddressId dst_id = link_dst(ev.link_key);
+  if (fault_plan_ && offline_at_id(dst_id, sh.now)) {
+    ++sh.stats.offline_dropped;
+    sh.pool.release(ev.handle);
+    return;
+  }
+  sh.latency_hist.observe(static_cast<double>(ev.latency_sample));
+  const ProtocolInfo& proto = protocol_info_mt(ev.protocol);
+  const Address& src = name_mt(link_src(ev.link_key));
+  const Address& dst = name_mt(dst_id);
+  PayloadGuard payload(sh.pool, ev.handle, sh.scratch.payload);
+  sh.scratch.src = src;
+  sh.scratch.dst = dst;
+  sh.scratch.context = ev.context;
+  sh.scratch.protocol = proto.name;
+  ++sh.deliveries;
+  sh.delivered_bytes += sh.scratch.payload.size();
+  if (defer_observability_) {
+    DeferredOb ob;
+    ob.time = sh.now;
+    ob.link_key = ev.link_key;
+    ob.size = sh.scratch.payload.size();
+    ob.context = ev.context;
+    ob.protocol = ev.protocol;
+    sh.deferred.push_back(std::move(ob));
+  }
+  // The delivery scope is staged on this shard's ledger lane, so exposures
+  // the handler records land inside it when the batch commits.
+  FlowDeliveryScope flow_scope(flow_, ev.context, proto.name);
+  nodes_[dst_id]->on_packet(sh.scratch, *this);
+}
+
+void Simulator::sharded_dispatch(Shard& sh, const EngineEvent& ev) {
+  if (ev.kind == EngineEvent::kDelivery) {
+    sharded_deliver(sh, ev);
+  } else {
+    std::function<void()> fn = std::move(sh.callbacks[ev.handle]);
+    sh.callbacks[ev.handle] = nullptr;
+    sh.callback_free.push_back(ev.handle);
+    fn();
+  }
+}
+
+void Simulator::process_window(Shard& sh, Time window_end) {
+  std::atomic<bool>* abort = run_abort_;
+  for (;;) {
+    if (abort->load(std::memory_order_relaxed)) return;
+    const Time t = sh.queue.next_time();
+    if (t == CalendarQueue::kNever || t >= window_end) return;
+    const EngineEvent ev = sh.queue.pop();
+    sh.now = ev.time;
+    ++sh.events;
+    sharded_dispatch(sh, ev);
+  }
+}
+
+void Simulator::drain_inbox_into_queue(Shard& sh) {
+  sh.inbox.drain(sh.staged);
+  if (sh.staged.empty()) return;
+  // The deterministic merge: sort the complete window batch by
+  // (time, src_shard, src_seq) — a total order independent of arrival
+  // interleaving — then enqueue with fresh local seqs. Local events pushed
+  // during the window already hold lower seqs, so at equal times local
+  // fires before incoming: a fixed, interleaving-free rule.
+  std::sort(sh.staged.begin(), sh.staged.end(),
+            [](const ShardEvent& a, const ShardEvent& b) {
+              return merges_before(a, b);
+            });
+  for (ShardEvent& xev : sh.staged) {
+    EngineEvent ev;
+    ev.time = xev.time;
+    ev.seq = ++sh.event_seq;
+    ev.link_key = xev.link_key;
+    ev.context = xev.context;
+    ev.latency_sample = xev.latency_sample;
+    ev.handle = sh.pool.acquire(std::move(xev.payload));
+    ev.protocol = xev.protocol;
+    ev.kind = EngineEvent::kDelivery;
+    sh.queue.push(ev);
+  }
+  const std::size_t depth = sh.queue.size();
+  if (depth > sh.queue_peak) sh.queue_peak = depth;
+  sh.staged.clear();
+}
+
+void Simulator::replay_deferred() {
+  // K-way merge of the per-shard buffers by (time, shard, buffer order).
+  // Each buffer is already time-sorted (shards process nondecreasing
+  // times), so a linear index per shard suffices.
+  std::vector<std::size_t> idx(shard_v_.size(), 0);
+  for (;;) {
+    std::size_t best = shard_v_.size();
+    Time best_time = 0;
+    for (std::size_t s = 0; s < shard_v_.size(); ++s) {
+      const auto& dq = shard_v_[s]->deferred;
+      if (idx[s] >= dq.size()) continue;
+      const Time t = dq[idx[s]].time;
+      if (best == shard_v_.size() || t < best_time) {
+        best = s;
+        best_time = t;
+      }
+    }
+    if (best == shard_v_.size()) break;
+    DeferredOb& ob = shard_v_[best]->deferred[idx[best]++];
+    now_ = ob.time;  // taps reading the main clock see the event's time
+    const Address& src = interner_.name(link_src(ob.link_key));
+    const Address& dst = interner_.name(link_dst(ob.link_key));
+    const ProtocolInfo& proto = *protocols_[ob.protocol];
+    if (link_byte_accounting_) {
+      link_bytes_counter(ob.link_key, src, dst).inc(ob.size);
+    }
+    if (record_trace_ || !wiretaps_.empty()) {
+      TraceEntry entry{ob.time, src, dst, ob.size, ob.context, proto.name};
+      for (auto& tap : wiretaps_) tap(entry);
+      if (record_trace_) trace_.push_back(std::move(entry));
+    }
+  }
+  for (auto& sh : shard_v_) sh->deferred.clear();
+}
+
+void Simulator::apply_pending_plan(Time window_start) {
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    fault_plan_ = std::move(*pending_plan_);
+    pending_plan_.reset();
+  }
+  fault_rng_ = std::make_unique<XoshiroRng>(fault_plan_->seed());
+  fault_stats_ = FaultStats{};
+  breached_.assign(breached_.size(), kNotBreached);
+  bind_fault_metrics();
+  rebuild_fault_tables();
+  for (auto& shp : shard_v_) {
+    shp->stats = FaultStats{};
+    shp->fault_rng = std::make_unique<XoshiroRng>(
+        fault_plan_->seed() + kShardSeedStride * shp->id);
+  }
+  // Breach implants run on shard 0 (like every addressless callback). The
+  // floor keeps the calendar's monotonic-push contract: shard 0 may have
+  // processed past the next window's start.
+  Shard& sh0 = *shard_v_[0];
+  const Time floor = std::max(window_start, sh0.now);
+  for (const BreachEvent& ev : fault_plan_->breaches()) {
+    sharded_at(sh0, std::max(ev.time, floor), [this, ev] { fire_breach(ev); });
+  }
+}
+
+void Simulator::finish_sharded_run(std::uint64_t windows) {
+  replay_deferred();  // idempotent; covers an abandoned final window
+  shard_stats_.windows = windows;
+  Time end = now_;
+  std::uint64_t events = 0, packets = 0, bytes = 0;
+  FaultStats faults;
+  std::size_t peak = 0;
+  std::size_t pool_live = pool_.live();
+  std::size_t pool_slots = pool_.slots();
+  for (const auto& shp : shard_v_) {
+    const Shard& sh = *shp;
+    end = std::max(end, sh.now);
+    events += sh.events;
+    packets += sh.deliveries;
+    bytes += sh.delivered_bytes;
+    peak += sh.queue_peak;
+    pool_live += sh.pool.live();
+    pool_slots += sh.pool.slots();
+    faults.lost += sh.stats.lost;
+    faults.duplicated += sh.stats.duplicated;
+    faults.jittered += sh.stats.jittered;
+    faults.partition_dropped += sh.stats.partition_dropped;
+    faults.offline_dropped += sh.stats.offline_dropped;
+    faults.breaches_fired += sh.stats.breaches_fired;
+    delivery_latency_m_->merge(sh.latency_hist);
+    shard_stats_.events[sh.id] = sh.events;
+    shard_stats_.deliveries[sh.id] = sh.deliveries;
+    shard_stats_.cross_sends[sh.id] = sh.cross_sends;
+  }
+  now_ = end;
+  packets_delivered_ += packets;
+  bytes_delivered_ += bytes;
+  events_processed_m_->inc(events);
+  packets_m_->inc(packets);
+  bytes_m_->inc(bytes);
+  fault_stats_.lost += faults.lost;
+  fault_stats_.duplicated += faults.duplicated;
+  fault_stats_.jittered += faults.jittered;
+  fault_stats_.partition_dropped += faults.partition_dropped;
+  fault_stats_.offline_dropped += faults.offline_dropped;
+  fault_stats_.breaches_fired += faults.breaches_fired;
+  if (fault_plan_) {
+    faults_lost_m_->inc(faults.lost);
+    faults_duplicated_m_->inc(faults.duplicated);
+    faults_jittered_m_->inc(faults.jittered);
+    faults_partition_m_->inc(faults.partition_dropped);
+    faults_offline_m_->inc(faults.offline_dropped);
+    faults_breaches_m_->inc(faults.breaches_fired);
+  }
+  // Peak queue depth is the sum of per-shard peaks — an upper bound on the
+  // true global instantaneous peak, deterministic and shard-attributable.
+  queue_depth_m_->set(static_cast<double>(peak));
+  queue_depth_m_->set(0.0);
+  pool_live_m_->set(static_cast<double>(pool_live));
+  pool_slots_m_->set(static_cast<double>(pool_slots));
+  if (sampler_ != nullptr) {
+    sampler_->sample_now(now_);
+    sampler_next_ = sampler_->next_due();
+  }
+}
+
+Time Simulator::run_sharded() {
+  if (sharded_running_) {
+    throw std::logic_error("Simulator::run: sharded run already in progress");
+  }
+  const Time lookahead = compute_lookahead();
+  if (lookahead == 0) {
+    throw std::invalid_argument(
+        "Simulator: sharded run requires a positive minimum cross-shard "
+        "link latency (the lookahead window would be empty)");
+  }
+  build_shards();
+  redistribute_initial_events();
+  // The bench fast path (trace off, link accounting off, no taps) skips
+  // the deferred-delivery buffers entirely; flow-ledger ops ride the
+  // ledger's own staging lanes instead.
+  defer_observability_ =
+      record_trace_ || !wiretaps_.empty() || link_byte_accounting_;
+  if (flow_ != nullptr) flow_->begin_staging(shards_);
+
+  shard_stats_ = ShardRunStats{};
+  shard_stats_.shards = shards_;
+  shard_stats_.lookahead_us = lookahead;
+  shard_stats_.events.assign(shards_, 0);
+  shard_stats_.deliveries.assign(shards_, 0);
+  shard_stats_.cross_sends.assign(shards_, 0);
+
+  // Window state: written by the main thread here and by the barrier
+  // completion function (all workers parked), read by workers only after a
+  // barrier release — which synchronizes-with the completing write.
+  Time window_end = 0;
+  bool done = false;
+  std::uint64_t windows = 0;
+  std::atomic<bool> abort{false};
+  std::exception_ptr coordinator_error;
+
+  {
+    Time t_min = CalendarQueue::kNever;
+    for (const auto& sh : shard_v_) {
+      t_min = std::min(t_min, sh->queue.next_time());
+    }
+    if (t_min == CalendarQueue::kNever) {
+      done = true;
+    } else {
+      window_end = t_min + lookahead;
+    }
+  }
+
+  run_abort_ = &abort;
+  sharded_running_ = true;
+  tracer_->set_virtual_clock([this] { return now_; });
+
+  auto on_window_complete = [&]() noexcept {
+    // Runs with every worker parked: exclusive access to all state. The
+    // hosting thread is whichever worker arrived last — blank its TLS so
+    // now()/send routing behave as on the main thread (deterministically),
+    // whatever thread won the race.
+    Shard* const tls_saved = tls_shard_;
+    tls_shard_ = nullptr;
+    try {
+      ++windows;
+      if (defer_observability_) replay_deferred();
+      if (flow_ != nullptr) flow_->commit_staged();
+      Time t_min = CalendarQueue::kNever;
+      for (const auto& sh : shard_v_) {
+        t_min = std::min(t_min, sh->queue.next_time());
+      }
+      bool pending = false;
+      {
+        std::lock_guard<std::mutex> lk(pending_mu_);
+        pending = pending_plan_.has_value();
+      }
+      if (pending) {
+        apply_pending_plan(t_min == CalendarQueue::kNever ? window_end
+                                                          : t_min);
+        t_min = CalendarQueue::kNever;
+        for (const auto& sh : shard_v_) {
+          t_min = std::min(t_min, sh->queue.next_time());
+        }
+      }
+      if (abort.load(std::memory_order_relaxed) ||
+          t_min == CalendarQueue::kNever) {
+        done = true;
+      } else {
+        now_ = t_min;
+        if (sampler_ != nullptr && t_min >= sampler_next_) {
+          // Window-granular sampling: probes see barrier-consistent state
+          // stamped at the window's opening virtual time.
+          sampler_->sample_now(t_min);
+          sampler_next_ = sampler_->next_due();
+        }
+        window_end = t_min + lookahead;
+      }
+    } catch (...) {
+      coordinator_error = std::current_exception();
+      done = true;
+    }
+    tls_shard_ = tls_saved;
+  };
+
+  std::barrier sends_done(static_cast<std::ptrdiff_t>(shards_));
+  std::barrier window_done(static_cast<std::ptrdiff_t>(shards_),
+                           on_window_complete);
+
+  auto worker = [&](std::uint32_t idx) {
+    Shard& sh = *shard_v_[idx];
+    tls_shard_ = &sh;
+    obs::FlowLedger::set_lane(idx);
+    while (!done) {
+      if (!abort.load(std::memory_order_relaxed)) {
+        try {
+          process_window(sh, window_end);
+        } catch (...) {
+          sh.error = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      // Barrier 1: all sends for this window have landed — every inbox
+      // holds its complete batch.
+      sends_done.arrive_and_wait();
+      drain_inbox_into_queue(sh);
+      // Barrier 2: the completion function replays observability, applies
+      // any pending fault plan, and opens the next window.
+      window_done.arrive_and_wait();
+    }
+    tls_shard_ = nullptr;
+  };
+
+  if (!done) {
+    std::vector<std::thread> threads;
+    threads.reserve(shards_);
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      threads.emplace_back(worker, i);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  tracer_->clear_virtual_clock();
+  sharded_running_ = false;
+  run_abort_ = nullptr;
+  // Leave the ledger usable (and flush any last staged ops) even when the
+  // run is about to rethrow a worker error.
+  if (flow_ != nullptr) flow_->end_staging();
+
+  if (coordinator_error) std::rethrow_exception(coordinator_error);
+  for (const auto& sh : shard_v_) {
+    if (sh->error) std::rethrow_exception(sh->error);
+  }
+  finish_sharded_run(windows);
+  return now_;
 }
 
 bool Simulator::is_breached(const Address& party) const {

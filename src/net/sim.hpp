@@ -8,8 +8,13 @@
 // noise to anyone without the key), and wiretap observers can be attached to
 // record traffic metadata for traffic-analysis experiments.
 //
-// Everything is single-threaded and ordered by (time, sequence-number), so
-// runs are exactly reproducible.
+// Everything is ordered by (time, sequence-number), so runs are exactly
+// reproducible. The default engine is single-threaded; set_shards(n>1)
+// switches run() to a conservative parallel engine — one worker per
+// topology shard, advancing in lookahead-bounded windows and merging
+// cross-shard deliveries in a deterministic (time, src_shard, src_seq)
+// order — that is equally bit-reproducible for a fixed shard count (see
+// DESIGN.md §13).
 //
 // Hot-path layout: the public API speaks string addresses (observation logs
 // and traces need them), but internally every address is interned once into
@@ -30,10 +35,13 @@
 // byte-identical to the seed heap engine (tests/test_engine.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +51,7 @@
 #include "net/address.hpp"
 #include "net/engine.hpp"
 #include "net/faults.hpp"
+#include "net/mailbox.hpp"
 #include "net/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -110,6 +119,7 @@ struct TraceEntry {
 class Simulator {
  public:
   Simulator();
+  ~Simulator();
 
   /// Registers a node. The caller retains ownership and must keep the node
   /// alive until run() returns.
@@ -158,12 +168,50 @@ class Simulator {
   void at(Time t, std::function<void()> fn);
 
   /// Runs until the event queue drains. Returns the final virtual time.
+  /// With set_shards(n>1) this dispatches to the sharded parallel engine;
+  /// the default single-shard path is byte-identical to the seed engine.
   Time run();
 
-  Time now() const { return now_; }
+  /// Current virtual time. On a shard worker thread this is the shard's
+  /// local clock (the time of the event being processed).
+  Time now() const;
 
-  /// Fresh linkage-context id (never zero).
-  std::uint64_t new_context() { return ++context_counter_; }
+  /// Fresh linkage-context id (never zero). On a shard worker thread the
+  /// id is drawn from a shard-namespaced range — (shard+1) << 48 | counter
+  /// — so concurrent allocations never collide and stay deterministic.
+  std::uint64_t new_context();
+
+  // ---- Sharded parallel execution (conservative synchronization) ----
+
+  /// Splits the topology into `n` shards, one worker thread each, for the
+  /// next run(). Workers advance their calendar queues in lockstep windows
+  /// of one lookahead (the minimum latency any cross-shard delivery can
+  /// take), exchanging cross-shard deliveries through bounded mailboxes
+  /// and merging them in deterministic (time, src_shard, src_seq) order —
+  /// a fixed shard count replays bit-identically regardless of thread
+  /// interleaving. n == 1 (default) is the serial engine. Must not be
+  /// called while a run is in progress.
+  void set_shards(std::uint32_t n);
+  std::uint32_t shards() const { return shards_; }
+
+  /// Pins an address to a shard (reduced modulo the shard count at run
+  /// time, so "relay i -> shard i" pinning is count-agnostic). Unpinned
+  /// addresses default to interned-id order round-robin (id % shards).
+  void set_shard_affinity(const Address& address, std::uint32_t shard);
+
+  /// The shard owning `id` under the current shard count.
+  std::uint32_t shard_of_id(AddressId id) const;
+
+  /// Summary of the last sharded run (empty if none ran).
+  struct ShardRunStats {
+    std::uint32_t shards = 0;
+    Time lookahead_us = 0;         ///< conservative window width
+    std::uint64_t windows = 0;     ///< barrier rounds executed
+    std::vector<std::uint64_t> events;        ///< per shard, all kinds
+    std::vector<std::uint64_t> deliveries;    ///< per shard
+    std::vector<std::uint64_t> cross_sends;   ///< per shard, mailbox pushes
+  };
+  const ShardRunStats& shard_stats() const { return shard_stats_; }
 
   /// Adds a passive observer of all deliveries (a global wiretap).
   void add_wiretap(std::function<void(const TraceEntry&)> tap);
@@ -197,7 +245,8 @@ class Simulator {
   const BufferPool& payload_pool() const { return pool_; }
 
   /// Events currently pending in the engine queue (telemetry probes).
-  std::size_t queue_depth() const { return queue_.size(); }
+  /// During a sharded run: the sum over shard queues, valid at barriers.
+  std::size_t queue_depth() const;
 
   /// Trace labels for every interned protocol, indexed by ProtocolId — the
   /// name table EngineProfiler::write_json resolves its buckets against.
@@ -321,8 +370,53 @@ class Simulator {
   void deliver(const EngineEvent& ev);
   void note_queue_push();
   void note_queue_pop();
+  void fire_breach(const BreachEvent& ev);
   obs::Counter& link_bytes_counter(std::uint64_t link_key, const Address& src,
                                    const Address& dst);
+
+  // ---- Sharded engine internals (defined in sim.cpp) ----
+
+  /// Per-shard execution state: calendar queue, payload pool, callback
+  /// slots, fault RNG stream, local clock/seq, inbox, and deferred
+  /// observability buffer. Workers touch only their own Shard between
+  /// barriers (plus other shards' mailboxes, which are internally locked).
+  struct Shard;
+
+  /// One observability record produced on a worker thread and replayed by
+  /// the coordinator at the next barrier in (time, shard, seq) order, so
+  /// FlowLedger / wiretap / trace ordering stays causally consistent.
+  struct DeferredOb;
+
+  Time run_sharded();
+  Time compute_lookahead() const;
+  void build_shards();
+  void redistribute_initial_events();
+  void process_window(Shard& sh, Time window_end);
+  void drain_inbox_into_queue(Shard& sh);
+  void sharded_dispatch(Shard& sh, const EngineEvent& ev);
+  void sharded_deliver(Shard& sh, const EngineEvent& ev);
+  bool owns_shard(const Shard* sh) const;
+  bool shard_local_pool(const Shard* sh, const BufferPool* pool) const;
+  PayloadRef sharded_make_payload(Shard& sh, Bytes bytes);
+  void note_sharded_breach(Shard& sh, const Address& party);
+  void sharded_send(Shard& sh, AddressId src_id, AddressId dst_id,
+                    const Address& dst, Bytes payload, std::uint64_t context,
+                    const std::string& protocol, Time extra_delay);
+  void sharded_push_local(Shard& sh, Time deliver_at, std::uint64_t link_key,
+                          PayloadHandle h, std::uint64_t context,
+                          ProtocolId protocol);
+  void sharded_push_remote(Shard& sh, std::uint32_t dst_shard, ShardEvent ev);
+  SendPlan plan_send_sharded(Shard& sh, std::uint64_t link_key,
+                             AddressId src_id, std::size_t payload_size,
+                             Time extra_delay);
+  void sharded_at(Shard& sh, Time t, std::function<void()> fn);
+  void replay_deferred();
+  void apply_pending_plan(Time window_start);
+  void finish_sharded_run(std::uint64_t windows);
+  AddressId intern_mt(const Address& name);
+  const Address& name_mt(AddressId id) const;
+  ProtocolId intern_protocol_mt(const std::string& name);
+  const ProtocolInfo& protocol_info_mt(ProtocolId id) const;
 
   AddressInterner interner_;
   std::vector<Node*> nodes_;  // dense, indexed by AddressId; null = no node
@@ -336,7 +430,10 @@ class Simulator {
   CalendarQueue queue_;
   std::vector<std::function<void()>> callbacks_;  // at() slot pool
   std::vector<std::uint32_t> callback_free_;
-  std::vector<ProtocolInfo> protocols_;
+  // unique_ptr per entry: references to a ProtocolInfo stay valid across
+  // the table growing, which the sharded path relies on to read labels
+  // outside the protocol lock.
+  std::vector<std::unique_ptr<ProtocolInfo>> protocols_;
   std::unordered_map<std::string, ProtocolId> protocol_ids_;
   Packet scratch_;  // re-materialized per delivery; capacity is recycled
 
@@ -397,6 +494,27 @@ class Simulator {
   obs::Counter* faults_partition_m_ = nullptr;
   obs::Counter* faults_offline_m_ = nullptr;
   obs::Counter* faults_breaches_m_ = nullptr;
+
+  // Sharding state. Declared *after* pool_ so per-shard pools (and parked
+  // callbacks holding PayloadRefs into them) tear down before the global
+  // pool. The mutexes guard the interner and protocol tables only while a
+  // sharded run is in flight; the serial path never locks them.
+  std::uint32_t shards_ = 1;
+  std::unordered_map<AddressId, std::uint32_t> shard_pin_;
+  std::vector<std::unique_ptr<Shard>> shard_v_;
+  ShardRunStats shard_stats_;
+  bool sharded_running_ = false;
+  bool defer_observability_ = false;
+  std::optional<FaultPlan> pending_plan_;
+  mutable std::mutex pending_mu_;           // guards pending_plan_
+  std::atomic<bool>* run_abort_ = nullptr;  // live only inside run_sharded()
+  mutable std::shared_mutex interner_mu_;
+  mutable std::shared_mutex protocol_mu_;
+
+  /// The shard whose worker thread is currently executing (null on the
+  /// main thread and in serial runs). send/at/now/new_context route through
+  /// it so node handlers transparently use shard-local state.
+  static thread_local Shard* tls_shard_;
 };
 
 }  // namespace dcpl::net

@@ -58,9 +58,88 @@ std::map<core::Party, core::KnowledgeTuple> fold_tuples(
 // FlowLedger
 // ---------------------------------------------------------------------------
 
+thread_local std::uint32_t FlowLedger::tls_lane_ = 0;
+
 FlowLedger::FlowLedger(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.resize(capacity_);
+}
+
+void FlowLedger::set_lane(std::uint32_t lane) { tls_lane_ = lane; }
+
+void FlowLedger::begin_staging(std::uint32_t lanes) {
+  lanes_.assign(lanes == 0 ? 1 : lanes, {});
+  staging_ = true;
+}
+
+bool FlowLedger::stage(StagedOp op) {
+  if (!staging_) return false;
+  op.time = clock_ ? clock_() : 0;
+  lanes_[tls_lane_ < lanes_.size() ? tls_lane_ : 0].push_back(std::move(op));
+  return true;
+}
+
+void FlowLedger::replay_op(const StagedOp& op) {
+  switch (op.kind) {
+    case StagedOp::Kind::kExposure:
+      record_exposure(op.party, op.atom, op.context);
+      break;
+    case StagedOp::Kind::kLink:
+      record_link(op.party, op.context, op.context_b);
+      break;
+    case StagedOp::Kind::kCompromise:
+      record_compromise(op.party, op.cause);
+      break;
+    case StagedOp::Kind::kBeginDelivery:
+      begin_delivery(op.context, op.protocol);
+      break;
+    case StagedOp::Kind::kEndDelivery:
+      end_delivery();
+      break;
+  }
+}
+
+void FlowLedger::commit_staged() {
+  // (time, lane, capture order): each lane is time-nondecreasing (workers
+  // process events in nondecreasing virtual time), so a stable sort on
+  // (time, lane) yields the canonical merge. Ops of one delivery share a
+  // lane and a timestamp, so its begin/exposures/end stay contiguous.
+  struct Ref {
+    std::uint64_t time;
+    std::uint32_t lane;
+    std::uint32_t idx;
+  };
+  std::vector<Ref> order;
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  if (total == 0) return;
+  order.reserve(total);
+  for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+    for (std::uint32_t i = 0; i < lanes_[l].size(); ++i) {
+      order.push_back({lanes_[l][i].time, l, i});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.idx < b.idx;
+  });
+  staging_ = false;  // replay through the immediate path
+  for (const Ref& r : order) {
+    const StagedOp& op = lanes_[r.lane][r.idx];
+    time_override_ = &op.time;
+    replay_op(op);
+  }
+  time_override_ = nullptr;
+  staging_ = true;
+  for (auto& lane : lanes_) lane.clear();
+}
+
+void FlowLedger::end_staging() {
+  if (!staging_) return;
+  commit_staged();
+  staging_ = false;
+  lanes_.clear();
 }
 
 void FlowLedger::on_observe(const core::Observation& o) {
@@ -82,7 +161,8 @@ FlowLedger::Frontier& FlowLedger::frontier_entry(std::uint64_t context) {
 
 FlowEvent& FlowLedger::append(FlowEvent ev) {
   ev.id = next_id_++;
-  ev.virtual_time = clock_ ? clock_() : 0;
+  ev.virtual_time =
+      time_override_ ? *time_override_ : (clock_ ? clock_() : 0);
   if (in_delivery_ && ev.protocol.empty()) ev.protocol = delivery_protocol_;
   if (!recording_) {
     scratch_ = std::move(ev);
@@ -101,6 +181,15 @@ void FlowLedger::notify(const FlowEvent& ev) {
 
 void FlowLedger::record_exposure(const core::Party& party, core::Atom atom,
                                  std::uint64_t context) {
+  if (staging_) {
+    StagedOp op;
+    op.kind = StagedOp::Kind::kExposure;
+    op.party = party;
+    op.atom = std::move(atom);
+    op.context = context;
+    stage(std::move(op));
+    return;
+  }
   {
     auto& seen = seen_[party];
     if (!seen.insert(atom).second) {
@@ -140,6 +229,15 @@ void FlowLedger::record_exposure(const core::Party& party, core::Atom atom,
 
 void FlowLedger::record_link(const core::Party& party, std::uint64_t a,
                              std::uint64_t b) {
+  if (staging_) {
+    StagedOp op;
+    op.kind = StagedOp::Kind::kLink;
+    op.party = party;
+    op.context = a;
+    op.context_b = b;
+    stage(std::move(op));
+    return;
+  }
   FlowEvent ev;
   ev.kind = FlowEventKind::kLink;
   ev.cause = FlowCause::kProtocolStep;
@@ -162,6 +260,14 @@ void FlowLedger::record_link(const core::Party& party, std::uint64_t a,
 }
 
 void FlowLedger::record_compromise(const core::Party& party, FlowCause cause) {
+  if (staging_) {
+    StagedOp op;
+    op.kind = StagedOp::Kind::kCompromise;
+    op.party = party;
+    op.cause = cause;
+    stage(std::move(op));
+    return;
+  }
   if (compromise_events_.count(party) > 0) return;  // first implant wins
 
   FlowEvent ev;
@@ -187,12 +293,26 @@ void FlowLedger::set_clock(std::function<std::uint64_t()> clock) {
 
 void FlowLedger::begin_delivery(std::uint64_t context,
                                 std::string_view protocol) {
+  if (staging_) {
+    StagedOp op;
+    op.kind = StagedOp::Kind::kBeginDelivery;
+    op.context = context;
+    op.protocol.assign(protocol.data(), protocol.size());
+    stage(std::move(op));
+    return;
+  }
   in_delivery_ = true;
   delivery_context_ = context;
   delivery_protocol_.assign(protocol.data(), protocol.size());
 }
 
 void FlowLedger::end_delivery() {
+  if (staging_) {
+    StagedOp op;
+    op.kind = StagedOp::Kind::kEndDelivery;
+    stage(std::move(op));
+    return;
+  }
   in_delivery_ = false;
   delivery_context_ = 0;
   delivery_protocol_.clear();

@@ -123,6 +123,30 @@ class FlowLedger final : public core::ObservationSink {
   /// recording is off. Pass nullptr to detach.
   void attach_monitor(DecouplingMonitor* monitor);
 
+  // --- sharded capture ----------------------------------------------------
+  //
+  // The sharded net::Simulator runs Node::on_packet on worker threads, so
+  // record_*/begin_delivery calls would otherwise race on the ledger.
+  // Between begin_staging(lanes) and end_staging(), every mutating call
+  // appends a timestamped op to its calling thread's lane (set per thread
+  // with set_lane; lanes never contend) instead of touching ledger state.
+  // commit_staged() — invoked by the coordinator at window barriers, all
+  // workers parked — replays the buffered ops through the normal
+  // dedup/frontier/monitor path in (capture time, lane, capture order):
+  // a total order independent of thread interleaving, so event ids, chains,
+  // and monitor verdicts are bit-stable for a fixed shard count.
+
+  /// Enters staged mode with `lanes` producer lanes (one per shard).
+  void begin_staging(std::uint32_t lanes);
+  /// Replays and clears all staged ops. Only call with producers parked.
+  void commit_staged();
+  /// Commits any remaining ops and leaves staged mode.
+  void end_staging();
+  bool staging() const { return staging_; }
+  /// Binds the calling thread to a lane index (thread-local, process-wide:
+  /// at most one sharded run is in flight at a time).
+  static void set_lane(std::uint32_t lane);
+
   /// When off, the ring stops accumulating (a wrapped flight recorder that
   /// has been switched off), but dedup, per-party tuples, and the monitor
   /// keep running — invariant checking does not require event retention.
@@ -184,8 +208,31 @@ class FlowLedger final : public core::ObservationSink {
     std::uint32_t depth = 0;
   };
 
+  /// One buffered mutating call captured while staging.
+  struct StagedOp {
+    enum class Kind : std::uint8_t {
+      kExposure,
+      kLink,
+      kCompromise,
+      kBeginDelivery,
+      kEndDelivery,
+    };
+    Kind kind = Kind::kExposure;
+    std::uint64_t time = 0;  // clock_() at capture
+    core::Party party;
+    core::Atom atom;              // kExposure
+    std::uint64_t context = 0;    // exposure ctx / link a / delivery ctx
+    std::uint64_t context_b = 0;  // kLink
+    FlowCause cause = FlowCause::kProtocolStep;  // kCompromise
+    std::string protocol;                        // kBeginDelivery
+  };
+
   FlowEvent& append(FlowEvent ev);  // assigns id, stores if recording
   void notify(const FlowEvent& ev);
+  /// Captures a staged op on the calling thread's lane. Returns false when
+  /// not staging (caller proceeds down the immediate path).
+  bool stage(StagedOp op);
+  void replay_op(const StagedOp& op);
 
   Frontier& frontier_entry(std::uint64_t context);
 
@@ -216,6 +263,13 @@ class FlowLedger final : public core::ObservationSink {
 
   DecouplingMonitor* monitor_ = nullptr;
   FlowEvent scratch_;  // returned by append() when not recording
+
+  // Staged-capture state. During replay, time_override_ points at the op's
+  // captured timestamp so append() stamps capture time, not commit time.
+  bool staging_ = false;
+  std::vector<std::vector<StagedOp>> lanes_;
+  const std::uint64_t* time_override_ = nullptr;
+  static thread_local std::uint32_t tls_lane_;
 };
 
 /// Online §2.4 invariant checker: only exempt parties (the users) may hold

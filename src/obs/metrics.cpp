@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace dcpl::obs {
 
@@ -25,6 +26,19 @@ void Histogram::observe(double v) {
   sum_ += v;
   min_ = std::min(min_, v);
   max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: mismatched bucket bounds");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 void Histogram::reset() {

@@ -73,6 +73,12 @@ class Histogram {
   void observe(double v);
   void reset();
 
+  /// Folds another histogram's observations into this one. Both must share
+  /// identical bucket bounds (throws std::invalid_argument otherwise). The
+  /// sharded simulator records per-shard delivery-latency histograms
+  /// thread-locally and merges them into the registry at run end.
+  void merge(const Histogram& other);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ ? min_ : 0; }

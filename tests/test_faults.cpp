@@ -6,9 +6,11 @@
 // run didn't have.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -549,6 +551,122 @@ TEST(ImpairedTables, T8Vpn) {
   expect_tables_unchanged(testutil::run_vpn, 1008);
   // The cautionary tale stays coupled with and without faults.
   EXPECT_FALSE(testutil::run_vpn(nullptr).decoupled);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine: window faults are count-independent.
+// ---------------------------------------------------------------------------
+
+/// Replies to every packet with the same payload until a virtual-time cutoff,
+/// keeping a conversation alive across the fault windows.
+class Chatter final : public net::Node {
+ public:
+  Chatter(net::Address address, net::Time stop_at)
+      : net::Node(std::move(address)), stop_at_(stop_at) {}
+
+  void on_packet(const net::Packet& p, net::Simulator& sim) override {
+    rx.push_back({sim.now(), p.src, to_string(p.payload)});
+    if (sim.now() < stop_at_) {
+      sim.send(net::Packet{address(), p.src, p.payload, p.context, "chat"});
+    }
+  }
+
+  struct Rx {
+    net::Time time;
+    net::Address src;
+    std::string payload;
+    auto key() const { return std::tie(time, src, payload); }
+    bool operator==(const Rx& o) const { return key() == o.key(); }
+    bool operator<(const Rx& o) const { return key() < o.key(); }
+  };
+  std::vector<Rx> rx;
+
+ private:
+  net::Time stop_at_;
+};
+
+// A FaultPlan installed mid-run (partitions, a crash, and two breach
+// implants) must produce the identical breach schedule, fault counters, and
+// reception multiset whether the run is serial or split across 2 or 4
+// worker shards. Window faults carry explicit virtual times, so unlike the
+// per-shard stochastic impairment streams they are shard-count-independent.
+TEST(FaultsSharded, MidRunPlanAndBreachImplantsMatchSerial) {
+  constexpr net::Time kStop = 180'000;
+  struct Outcome {
+    std::vector<std::pair<net::Address, net::Time>> breaches;
+    net::FaultStats stats;
+    std::vector<Chatter::Rx> rx;  // sorted multiset over all nodes
+    std::uint64_t packets = 0;
+    net::Time end = 0;
+  };
+  const auto run_with = [&](std::uint32_t shards) {
+    net::Simulator sim;
+    std::vector<std::unique_ptr<Chatter>> nodes;
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(
+          std::make_unique<Chatter>("ping" + std::to_string(i), kStop));
+      nodes.push_back(
+          std::make_unique<Chatter>("pong" + std::to_string(i), kStop));
+      sim.add_node(*nodes[nodes.size() - 2]);
+      sim.add_node(*nodes[nodes.size() - 1]);
+      if (shards > 1) {
+        // Split each pair across shards so every reply crosses a boundary.
+        sim.set_shard_affinity("ping" + std::to_string(i),
+                               static_cast<std::uint32_t>(i));
+        sim.set_shard_affinity("pong" + std::to_string(i),
+                               static_cast<std::uint32_t>(i + 1));
+      }
+    }
+    if (shards > 1) sim.set_shards(shards);
+
+    Outcome out;
+    sim.set_breach_handler([&](const net::BreachEvent& e) {
+      out.breaches.emplace_back(e.party, sim.now());
+    });
+    for (int i = 0; i < 4; ++i) {
+      sim.send(net::Packet{"ping" + std::to_string(i),
+                           "pong" + std::to_string(i), to_bytes("hello"), 0,
+                           "chat"},
+               /*extra_delay=*/static_cast<net::Time>(i) * 500);
+    }
+    // Install the plan mid-run; every window/implant lies beyond the install
+    // point plus one lookahead window, so barrier-quantized application in
+    // the sharded engine sees exactly what the serial engine sees.
+    sim.at(35'000, [&sim] {
+      net::FaultPlan plan(1);
+      plan.partition("ping1", "pong1", 60'000, 120'000);
+      plan.crash("pong2", 70'000, 130'000);
+      plan.breach("pong0", 90'000);
+      plan.breach("ping3", 150'000);
+      sim.set_fault_plan(plan);
+    });
+    out.end = sim.run();
+    out.stats = sim.fault_stats();
+    out.packets = sim.packets_delivered();
+    for (const auto& n : nodes) {
+      out.rx.insert(out.rx.end(), n->rx.begin(), n->rx.end());
+    }
+    std::sort(out.rx.begin(), out.rx.end());
+    EXPECT_TRUE(sim.is_breached("pong0"));
+    EXPECT_TRUE(sim.is_breached("ping3"));
+    EXPECT_EQ(sim.breached_at("pong0"), 90'000u);
+    EXPECT_EQ(sim.breached_at("ping3"), 150'000u);
+    return out;
+  };
+
+  const Outcome serial = run_with(1);
+  ASSERT_EQ(serial.breaches.size(), 2u);
+  EXPECT_GT(serial.stats.partition_dropped, 0u);
+  EXPECT_GT(serial.stats.offline_dropped, 0u);
+  EXPECT_EQ(serial.stats.breaches_fired, 2u);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const Outcome sharded = run_with(shards);
+    EXPECT_EQ(sharded.breaches, serial.breaches) << "shards=" << shards;
+    EXPECT_EQ(sharded.stats, serial.stats) << "shards=" << shards;
+    EXPECT_EQ(sharded.rx, serial.rx) << "shards=" << shards;
+    EXPECT_EQ(sharded.packets, serial.packets) << "shards=" << shards;
+    EXPECT_EQ(sharded.end, serial.end) << "shards=" << shards;
+  }
 }
 
 }  // namespace

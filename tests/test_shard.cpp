@@ -1,0 +1,496 @@
+// Deterministic-parallelism tier for the sharded engine.
+//
+// The contract under test (DESIGN.md §13): with set_shards(N) fixed, a run
+// is bit-stable across repetitions regardless of thread interleaving — same
+// trace, same flow-ledger event stream, same per-shard stats — and for any
+// N the *aggregate* outcome (per-node reception multisets, delivered
+// packet/byte totals, end time, window-only fault effects, folded knowledge
+// tuples) matches the serial engine. Impairment RNG streams are per-shard
+// by design, so stochastic faults are asserted per-count only.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/faults.hpp"
+#include "net/sim.hpp"
+#include "obs/flow.hpp"
+
+namespace dcpl::net {
+namespace {
+
+constexpr std::uint32_t kClients = 24;
+constexpr std::uint32_t kRelays = 4;
+constexpr std::uint32_t kRounds = 6;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+constexpr std::uint64_t kFnvSeed = 0xCBF29CE484222325ull;
+
+/// One reception as a node saw it. Sorted multisets of these are the
+/// shard-count-independent ground truth. The context id is excluded from
+/// the cross-count key: new_context() namespaces ids by shard, so the raw
+/// values differ between shard counts by design. Per-count digests still
+/// hash contexts, so their bit-stability is covered separately.
+struct Reception {
+  Time time;
+  Address src;
+  std::uint64_t context;
+  std::string payload;
+
+  auto key() const { return std::tie(time, src, payload); }
+  bool operator<(const Reception& o) const { return key() < o.key(); }
+  bool operator==(const Reception& o) const { return key() == o.key(); }
+};
+
+/// Client i ping-pongs kRounds requests with relay (i % kRelays); payload
+/// content depends only on (seed, client, round), so the global event set
+/// is a pure function of the workload parameters.
+class ClientNode final : public Node {
+ public:
+  ClientNode(std::uint32_t id, std::uint64_t seed, obs::FlowLedger* ledger)
+      : Node("client" + std::to_string(id)),
+        id_(id),
+        seed_(seed),
+        ledger_(ledger) {}
+
+  void kickoff(Simulator& sim) { send_round(sim, 0); }
+
+  void on_packet(const Packet& p, Simulator& sim) override {
+    log.push_back({sim.now(), p.src, p.context, to_string(p.payload)});
+    if (ledger_ != nullptr) {
+      ledger_->record_exposure(address(),
+                               core::benign_data(to_string(p.payload)),
+                               p.context);
+    }
+    if (++replies_ < kRounds) send_round(sim, replies_);
+  }
+
+  std::vector<Reception> log;
+
+ private:
+  void send_round(Simulator& sim, std::uint32_t round) {
+    const std::string body =
+        "c" + std::to_string(id_) + ".r" + std::to_string(round) + ".s" +
+        std::to_string((seed_ * 131 + id_ * 31 + round * 7) % 9973);
+    Packet req{address(), "relay" + std::to_string(id_ % kRelays),
+               to_bytes(body), sim.new_context(), "pingpong"};
+    sim.send(std::move(req), /*extra_delay=*/(id_ % 3) * 100);
+  }
+
+  std::uint32_t id_;
+  std::uint64_t seed_;
+  obs::FlowLedger* ledger_;
+  std::uint32_t replies_ = 0;
+};
+
+/// Replies to the client and forwards a copy to the sink — every request
+/// fans into one same-or-cross-shard reply plus one cross-shard forward.
+class RelayNode final : public Node {
+ public:
+  RelayNode(std::uint32_t id, obs::FlowLedger* ledger)
+      : Node("relay" + std::to_string(id)), ledger_(ledger) {}
+
+  void on_packet(const Packet& p, Simulator& sim) override {
+    log.push_back({sim.now(), p.src, p.context, to_string(p.payload)});
+    if (ledger_ != nullptr) {
+      ledger_->record_exposure(address(),
+                              core::benign_data(to_string(p.payload)),
+                              p.context);
+    }
+    Packet reply{address(), p.src, p.payload, p.context, "pingpong"};
+    sim.send(std::move(reply));
+    Packet fwd{address(), "sink", p.payload, p.context, "forward"};
+    sim.send(std::move(fwd));
+  }
+
+  std::vector<Reception> log;
+
+ private:
+  obs::FlowLedger* ledger_;
+};
+
+class SinkNode final : public Node {
+ public:
+  explicit SinkNode(obs::FlowLedger* ledger)
+      : Node("sink"), ledger_(ledger) {}
+
+  void on_packet(const Packet& p, Simulator& sim) override {
+    log.push_back({sim.now(), p.src, p.context, to_string(p.payload)});
+    if (ledger_ != nullptr) {
+      ledger_->record_exposure(address(),
+                              core::sensitive_data(to_string(p.payload)),
+                              p.context);
+    }
+  }
+
+  std::vector<Reception> log;
+
+ private:
+  obs::FlowLedger* ledger_;
+};
+
+struct RunOptions {
+  std::uint32_t shards = 1;
+  std::uint64_t seed = 1;
+  bool with_flow = false;
+  bool with_window_faults = false;  // deterministic: partition/crash/breach
+  bool with_impairments = false;    // stochastic: per-shard RNG streams
+};
+
+struct RunResult {
+  std::map<Address, std::vector<Reception>> sorted_logs;
+  std::size_t packets = 0;
+  std::uint64_t bytes = 0;
+  Time end = 0;
+  FaultStats faults;
+  Simulator::ShardRunStats shard_stats;
+  // Flow-ledger summary (aggregate view, shard-count independent).
+  std::uint64_t flow_exposures = 0;
+  std::uint64_t flow_compromises = 0;
+  std::uint64_t flow_deduped = 0;
+  std::string flow_tuples;
+  /// Full bit-level digest: trace order, flow event stream, per-shard
+  /// stats. Stable per shard count, NOT across counts.
+  std::uint64_t digest = kFnvSeed;
+};
+
+RunResult run_workload(const RunOptions& opt) {
+  Simulator sim;
+  obs::FlowLedger ledger;
+  obs::FlowLedger* flow = opt.with_flow ? &ledger : nullptr;
+  if (flow != nullptr) sim.set_flow(flow);
+
+  std::vector<std::unique_ptr<ClientNode>> clients;
+  std::vector<std::unique_ptr<RelayNode>> relays;
+  SinkNode sink(flow);
+  for (std::uint32_t r = 0; r < kRelays; ++r) {
+    relays.push_back(std::make_unique<RelayNode>(r, flow));
+    sim.add_node(*relays.back());
+  }
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<ClientNode>(c, opt.seed, flow));
+    sim.add_node(*clients.back());
+  }
+  sim.add_node(sink);
+
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    sim.connect("client" + std::to_string(c),
+                "relay" + std::to_string(c % kRelays),
+                3000 + (c % 5) * 500);
+  }
+  for (std::uint32_t r = 0; r < kRelays; ++r) {
+    sim.connect("relay" + std::to_string(r), "sink", 2500 + r * 250);
+  }
+
+  if (opt.with_window_faults || opt.with_impairments) {
+    FaultPlan plan(opt.seed);
+    if (opt.with_window_faults) {
+      plan.partition("client1", "relay1", 8000, 22000);
+      plan.crash("client2", 10000, 30000);
+      plan.breach("relay0", 15000);
+      plan.breach("sink", 26000);
+    }
+    if (opt.with_impairments) {
+      plan.impair({.loss = 0.05, .duplicate = 0.07, .jitter = 0.20,
+                   .jitter_max_us = 900});
+    }
+    sim.set_fault_plan(std::move(plan));
+  }
+
+  sim.set_shards(opt.shards);
+  for (auto& c : clients) c->kickoff(sim);
+  const Time end = sim.run();
+
+  RunResult res;
+  res.end = end;
+  res.packets = sim.packets_delivered();
+  res.bytes = sim.bytes_delivered();
+  res.faults = sim.fault_stats();
+  res.shard_stats = sim.shard_stats();
+  for (auto& c : clients) {
+    std::sort(c->log.begin(), c->log.end());
+    res.sorted_logs[c->address()] = c->log;
+  }
+  for (auto& r : relays) {
+    std::sort(r->log.begin(), r->log.end());
+    res.sorted_logs[r->address()] = r->log;
+  }
+  std::sort(sink.log.begin(), sink.log.end());
+  res.sorted_logs[sink.address()] = sink.log;
+
+  std::uint64_t h = kFnvSeed;
+  for (const TraceEntry& e : sim.trace()) {
+    h = fnv1a_u64(h, e.time);
+    h = fnv1a_str(h, e.src);
+    h = fnv1a_str(h, e.dst);
+    h = fnv1a_u64(h, e.size);
+    h = fnv1a_u64(h, e.context);
+    h = fnv1a_str(h, e.protocol);
+  }
+  if (flow != nullptr) {
+    res.flow_exposures = ledger.exposures();
+    res.flow_compromises = ledger.compromises();
+    res.flow_deduped = ledger.deduped();
+    std::ostringstream tuples;
+    for (const auto& [party, tuple] : ledger.tuples()) {
+      tuples << party << "=" << tuple.to_string() << ";";
+    }
+    res.flow_tuples = tuples.str();
+    for (const obs::FlowEvent& ev : ledger.events()) {
+      h = fnv1a_u64(h, ev.id);
+      h = fnv1a_u64(h, ev.virtual_time);
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.kind));
+      h = fnv1a_str(h, ev.party);
+      h = fnv1a_str(h, ev.atom.label);
+      h = fnv1a_u64(h, ev.context);
+      h = fnv1a_u64(h, ev.hop_index);
+      h = fnv1a_u64(h, ev.parent_id);
+      h = fnv1a_str(h, ev.protocol);
+    }
+  }
+  for (const auto& [addr, log] : res.sorted_logs) {
+    h = fnv1a_str(h, addr);
+    for (const Reception& r : log) {
+      h = fnv1a_u64(h, r.time);
+      h = fnv1a_str(h, r.src);
+      h = fnv1a_u64(h, r.context);
+      h = fnv1a_str(h, r.payload);
+    }
+  }
+  h = fnv1a_u64(h, res.end);
+  h = fnv1a_u64(h, res.packets);
+  h = fnv1a_u64(h, res.bytes);
+  h = fnv1a_u64(h, res.faults.lost);
+  h = fnv1a_u64(h, res.faults.duplicated);
+  h = fnv1a_u64(h, res.faults.jittered);
+  h = fnv1a_u64(h, res.faults.partition_dropped);
+  h = fnv1a_u64(h, res.faults.offline_dropped);
+  h = fnv1a_u64(h, res.faults.breaches_fired);
+  for (std::size_t s = 0; s < res.shard_stats.events.size(); ++s) {
+    h = fnv1a_u64(h, res.shard_stats.events[s]);
+    h = fnv1a_u64(h, res.shard_stats.deliveries[s]);
+    h = fnv1a_u64(h, res.shard_stats.cross_sends[s]);
+  }
+  res.digest = h;
+  return res;
+}
+
+void expect_same_aggregates(const RunResult& serial, const RunResult& sharded,
+                            std::uint32_t shards, std::uint64_t seed) {
+  SCOPED_TRACE("shards=" + std::to_string(shards) +
+               " seed=" + std::to_string(seed));
+  EXPECT_EQ(sharded.end, serial.end);
+  EXPECT_EQ(sharded.packets, serial.packets);
+  EXPECT_EQ(sharded.bytes, serial.bytes);
+  EXPECT_EQ(sharded.faults, serial.faults);
+  ASSERT_EQ(sharded.sorted_logs.size(), serial.sorted_logs.size());
+  for (const auto& [addr, log] : serial.sorted_logs) {
+    auto it = sharded.sorted_logs.find(addr);
+    ASSERT_NE(it, sharded.sorted_logs.end()) << addr;
+    EXPECT_EQ(it->second, log) << "reception multiset diverged at " << addr;
+  }
+}
+
+// --- cross-count equivalence ----------------------------------------------
+
+TEST(ShardDeterminism, AggregatesMatchSerialAcrossShardCountsAndSeeds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    RunOptions base;
+    base.seed = seed;
+    base.shards = 1;
+    const RunResult serial = run_workload(base);
+    ASSERT_GT(serial.packets, 0u);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+      RunOptions opt = base;
+      opt.shards = shards;
+      const RunResult sharded = run_workload(opt);
+      expect_same_aggregates(serial, sharded, shards, seed);
+      // Structural invariants of the sharded run itself.
+      ASSERT_EQ(sharded.shard_stats.shards, shards);
+      ASSERT_GT(sharded.shard_stats.lookahead_us, 0u);
+      ASSERT_GT(sharded.shard_stats.windows, 0u);
+      std::uint64_t deliveries = 0;
+      for (auto d : sharded.shard_stats.deliveries) deliveries += d;
+      EXPECT_EQ(deliveries, sharded.packets);
+    }
+  }
+}
+
+TEST(ShardDeterminism, WindowFaultsAndBreachesMatchSerial) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    RunOptions base;
+    base.seed = seed;
+    base.with_window_faults = true;
+    const RunResult serial = run_workload(base);
+    ASSERT_GT(serial.faults.partition_dropped + serial.faults.offline_dropped,
+              0u);
+    EXPECT_EQ(serial.faults.breaches_fired, 2u);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+      RunOptions opt = base;
+      opt.shards = shards;
+      const RunResult sharded = run_workload(opt);
+      expect_same_aggregates(serial, sharded, shards, seed);
+    }
+  }
+}
+
+TEST(ShardDeterminism, FlowLedgerFoldMatchesSerial) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    RunOptions base;
+    base.seed = seed;
+    base.with_flow = true;
+    base.with_window_faults = true;
+    const RunResult serial = run_workload(base);
+    ASSERT_GT(serial.flow_exposures, 0u);
+    EXPECT_EQ(serial.flow_compromises, 2u);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+      RunOptions opt = base;
+      opt.shards = shards;
+      const RunResult sharded = run_workload(opt);
+      expect_same_aggregates(serial, sharded, shards, seed);
+      // The folded knowledge tuples — the paper-facing outcome — are
+      // identical whatever the shard count; so are the dedup-exact
+      // exposure/compromise totals.
+      EXPECT_EQ(sharded.flow_tuples, serial.flow_tuples);
+      EXPECT_EQ(sharded.flow_exposures, serial.flow_exposures);
+      EXPECT_EQ(sharded.flow_compromises, serial.flow_compromises);
+      EXPECT_EQ(sharded.flow_deduped, serial.flow_deduped);
+    }
+  }
+}
+
+// --- per-count bit stability ----------------------------------------------
+
+TEST(ShardDeterminism, BitStableAcrossTenRepetitionsPerShardCount) {
+  for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      RunOptions opt;
+      opt.shards = shards;
+      opt.seed = seed;
+      opt.with_flow = true;
+      opt.with_window_faults = true;
+      opt.with_impairments = true;  // per-shard RNG streams: per-count only
+      const RunResult first = run_workload(opt);
+      for (int rep = 1; rep < 10; ++rep) {
+        const RunResult again = run_workload(opt);
+        ASSERT_EQ(again.digest, first.digest)
+            << "shards=" << shards << " seed=" << seed << " rep=" << rep;
+      }
+    }
+  }
+}
+
+// --- golden digests -------------------------------------------------------
+
+// Bit-level goldens: the full digest (trace order, flow event ids/parents,
+// per-shard stats) for one pinned workload per shard count. A change here
+// is a determinism-contract break (merge rule, seq assignment, RNG stream
+// layout, replay order) and must be deliberate.
+TEST(ShardDeterminism, GoldenDigests) {
+  const std::map<std::uint32_t, std::uint64_t> kGolden = {
+      // To regenerate after an intentional engine change:
+      //   build/tests/test_shard --gtest_filter=ShardDeterminism.GoldenDigests
+      // and copy the printed actuals.
+      {1u, 0x9BE8FDD2EC29AFE5ull},
+      {2u, 0xEDA800ADEE4C530Full},
+      {4u, 0x3F9B823471046A84ull},
+      {8u, 0xB1BBA4340D818963ull},
+  };
+  for (const auto& [shards, want] : kGolden) {
+    RunOptions opt;
+    opt.shards = shards;
+    opt.seed = 7;
+    opt.with_flow = true;
+    opt.with_window_faults = true;
+    opt.with_impairments = true;
+    const RunResult res = run_workload(opt);
+    if (want == 0) {
+      printf("golden shards=%u digest=0x%016llXull\n", shards,
+             static_cast<unsigned long long>(res.digest));
+    }
+    EXPECT_EQ(res.digest, want)
+        << "shards=" << shards << std::hex << " actual=0x" << res.digest;
+  }
+}
+
+// --- API surface ----------------------------------------------------------
+
+TEST(ShardApi, SetShardsValidation) {
+  Simulator sim;
+  EXPECT_THROW(sim.set_shards(0), std::invalid_argument);
+  sim.set_shards(3);
+  EXPECT_EQ(sim.shards(), 3u);
+}
+
+TEST(ShardApi, ZeroLookaheadIsRejected) {
+  Simulator sim;
+  SinkNode a(nullptr);
+  Simulator simb;  // separate sim: "sink" name reused
+  ClientNode c0(0, 1, nullptr);
+  sim.add_node(a);
+  sim.add_node(c0);
+  // client0 and sink land on different shards (ids 0 and 1 of 2); a
+  // zero-latency cross-shard link collapses the conservative window.
+  sim.connect("client0", "sink", 0);
+  sim.set_shards(2);
+  sim.send(Packet{"client0", "sink", to_bytes("x"), 1, "t"});
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(ShardApi, ShardAffinityPinsNodes) {
+  Simulator sim;
+  SinkNode sink(nullptr);
+  RelayNode relay(0, nullptr);
+  ClientNode client(0, 1, nullptr);
+  sim.add_node(relay);
+  sim.add_node(client);
+  sim.add_node(sink);
+  sim.connect("client0", "relay0", 3000);
+  sim.connect("relay0", "sink", 3000);
+  sim.set_shards(4);
+  // Pin everything to shard 2: all deliveries must land there.
+  sim.set_shard_affinity("client0", 2);
+  sim.set_shard_affinity("relay0", 2);
+  sim.set_shard_affinity("sink", 2);
+  client.kickoff(sim);
+  sim.run();
+  const auto& stats = sim.shard_stats();
+  ASSERT_EQ(stats.deliveries.size(), 4u);
+  EXPECT_GT(stats.deliveries[2], 0u);
+  EXPECT_EQ(stats.deliveries[0] + stats.deliveries[1] + stats.deliveries[3],
+            0u);
+  std::uint64_t cross = 0;
+  for (auto c : stats.cross_sends) cross += c;
+  EXPECT_EQ(cross, 0u);  // co-pinned chatter never crosses a mailbox
+}
+
+TEST(ShardApi, SerialRunLeavesShardStatsEmptyAndSharedQueueReusable) {
+  RunOptions opt;  // shards = 1: serial path
+  const RunResult res = run_workload(opt);
+  EXPECT_EQ(res.shard_stats.shards, 0u);  // never populated by serial runs
+  EXPECT_GT(res.packets, 0u);
+}
+
+}  // namespace
+}  // namespace dcpl::net
