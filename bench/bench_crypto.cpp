@@ -1,7 +1,15 @@
-// E6: cost of the crypto substrate every decoupled hop pays — hashes, AEAD,
-// X25519, HPKE seal/open, RSA blind signatures. google-benchmark timings.
-#include <benchmark/benchmark.h>
-
+// E6/E13: cost of the crypto substrate every decoupled hop pays — hashes,
+// AEAD (including the fused in-place seal the wire path uses), X25519, HPKE
+// single-shot vs multi-message session contexts, and RSA blind signatures.
+//
+// Unlike the paper-table benches this one has no expected column; it is a
+// throughput report. It emits the shared dcpl-bench-report/2 schema with a
+// "crypto" section (per-op iters / ns_per_op / ops_per_sec) plus flat
+// "values" keys named crypto_*_ops_per_sec, which report_check --baseline
+// gates against the committed BENCH_crypto.json exactly like the scale
+// sweep is gated by BENCH_scale.json.
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -14,157 +22,243 @@
 #include "crypto/sha256.hpp"
 #include "crypto/x25519.hpp"
 #include "hpke/hpke.hpp"
+#include "obs/json.hpp"
+#include "report_util.hpp"
+#include "systems/channel.hpp"
 
 namespace {
 
 using namespace dcpl;
 using namespace dcpl::crypto;
 
-void BM_Sha256(benchmark::State& state) {
-  ChaChaRng rng(1);
-  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha256::hash(data));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+/// Defeats dead-code elimination without google-benchmark: fold a byte of
+/// every result into a sink the compiler must assume is read.
+volatile std::uint8_t g_sink = 0;
 
-void BM_HkdfExpand(benchmark::State& state) {
-  Bytes prk = hkdf_extract(to_bytes("salt"), to_bytes("ikm"));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hkdf_expand(prk, to_bytes("info"), 32));
-  }
-}
-BENCHMARK(BM_HkdfExpand);
-
-void BM_AeadSeal(benchmark::State& state) {
-  ChaChaRng rng(2);
-  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
-  Bytes pt = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(aead_seal(key, nonce, {}, pt));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1500)->Arg(16384);
-
-void BM_AeadOpen(benchmark::State& state) {
-  ChaChaRng rng(3);
-  Bytes key = rng.bytes(32), nonce = rng.bytes(12);
-  Bytes ct = aead_seal(key, nonce, {}, rng.bytes(1500));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(aead_open(key, nonce, {}, ct));
-  }
-}
-BENCHMARK(BM_AeadOpen);
-
-void BM_X25519(benchmark::State& state) {
-  ChaChaRng rng(4);
-  auto kp = X25519KeyPair::generate(rng);
-  auto peer = X25519KeyPair::generate(rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(x25519(kp.private_key, peer.public_key));
-  }
-}
-BENCHMARK(BM_X25519);
-
-void BM_HpkeSeal(benchmark::State& state) {
-  ChaChaRng rng(5);
-  auto kp = hpke::KeyPair::generate(rng);
-  Bytes pt = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hpke::seal(kp.public_key, {}, {}, pt, rng));
-  }
-}
-BENCHMARK(BM_HpkeSeal)->Arg(256)->Arg(4096);
-
-void BM_HpkeOpen(benchmark::State& state) {
-  ChaChaRng rng(6);
-  auto kp = hpke::KeyPair::generate(rng);
-  Bytes ct = hpke::seal(kp.public_key, {}, {}, rng.bytes(1024), rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hpke::open(kp, {}, {}, ct));
-  }
-}
-BENCHMARK(BM_HpkeOpen);
-
-const RsaPrivateKey& bench_key(std::size_t bits) {
-  static std::map<std::size_t, RsaPrivateKey> keys;
-  auto it = keys.find(bits);
-  if (it == keys.end()) {
-    ChaChaRng rng(7000 + bits);
-    it = keys.emplace(bits, rsa_generate(bits, rng)).first;
-  }
-  return it->second;
+inline void consume(BytesView b) {
+  if (!b.empty()) g_sink = static_cast<std::uint8_t>(g_sink ^ b[0] ^ b.back());
 }
 
-void BM_RsaBlind(benchmark::State& state) {
-  const auto& key = bench_key(static_cast<std::size_t>(state.range(0)));
-  ChaChaRng rng(8);
-  Bytes msg = rng.bytes(32);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(blind(key.pub, msg, rng));
-  }
+inline void consume(std::uint64_t v) {
+  g_sink = static_cast<std::uint8_t>(g_sink ^ v);
 }
-BENCHMARK(BM_RsaBlind)->Arg(1024)->Arg(2048);
 
-void BM_RsaBlindSign(benchmark::State& state) {
-  const auto& key = bench_key(static_cast<std::size_t>(state.range(0)));
-  ChaChaRng rng(9);
-  Bytes msg = rng.bytes(32);
-  BlindingState st = blind(key.pub, msg, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(blind_sign(key, st.blinded_message));
-  }
-}
-BENCHMARK(BM_RsaBlindSign)->Arg(1024)->Arg(2048);
+struct OpResult {
+  std::string name;
+  std::uint64_t iters = 0;
+  double ns_per_op = 0;
+  double ops_per_sec = 0;
+  double mb_per_sec = 0;  // 0 when the op has no natural byte count
+};
 
-void BM_RsaVerify(benchmark::State& state) {
-  const auto& key = bench_key(static_cast<std::size_t>(state.range(0)));
-  ChaChaRng rng(10);
-  Bytes msg = rng.bytes(32);
-  BlindingState st = blind(key.pub, msg, rng);
-  Bytes sig = finalize(key.pub, msg, st,
-                       blind_sign(key, st.blinded_message).value())
-                  .value();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(blind_verify(key.pub, msg, sig));
+/// Self-calibrating timer: doubles the batch size until one batch spends at
+/// least `budget_ms` of wall time, then reports that batch. The doubling
+/// warms caches and branch predictors, so the measured batch is steady
+/// state.
+template <typename Fn>
+OpResult time_op(const std::string& name, std::uint64_t bytes_per_op,
+                 double budget_ms, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t iters = 1;
+  double elapsed_ns = 0;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn(i);
+    elapsed_ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    if (elapsed_ns >= budget_ms * 1e6 || iters >= (1ull << 22)) break;
+    iters *= 2;
   }
+  OpResult r;
+  r.name = name;
+  r.iters = iters;
+  r.ns_per_op = elapsed_ns / static_cast<double>(iters);
+  r.ops_per_sec = r.ns_per_op > 0 ? 1e9 / r.ns_per_op : 0;
+  if (bytes_per_op > 0) {
+    r.mb_per_sec =
+        r.ops_per_sec * static_cast<double>(bytes_per_op) / (1024.0 * 1024.0);
+  }
+  return r;
 }
-BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048);
 
-void BM_RsaKeygen1024(benchmark::State& state) {
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    ChaChaRng rng(20'000 + seed++);
-    benchmark::DoNotOptimize(rsa_generate(1024, rng));
+void print_row(const OpResult& r) {
+  if (r.mb_per_sec > 0) {
+    std::printf("  %-28s %12.1f ns/op %14.0f ops/s %10.1f MiB/s\n",
+                r.name.c_str(), r.ns_per_op, r.ops_per_sec, r.mb_per_sec);
+  } else {
+    std::printf("  %-28s %12.1f ns/op %14.0f ops/s\n", r.name.c_str(),
+                r.ns_per_op, r.ops_per_sec);
   }
 }
-BENCHMARK(BM_RsaKeygen1024)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// google-benchmark's own driver, plus a --json alias so every bench binary
-// in this repo shares one machine-readable-output flag.
 int main(int argc, char** argv) {
-  std::vector<std::string> args;
-  args.reserve(static_cast<std::size_t>(argc) + 1);
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
-      args.push_back("--benchmark_out_format=json");
-      ++i;
-    } else {
-      args.push_back(argv[i]);
+  bench::Report report("bench_crypto", argc, argv);
+  double budget_ms = 120.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget-ms") == 0) {
+      budget_ms = std::strtod(argv[i + 1], nullptr);
     }
   }
-  std::vector<char*> cargs;
-  for (auto& a : args) cargs.push_back(a.data());
-  int cargc = static_cast<int>(cargs.size());
-  benchmark::Initialize(&cargc, cargs.data());
-  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  std::vector<OpResult> ops;
+  auto run = [&](const std::string& name, std::uint64_t bytes_per_op,
+                 auto&& fn) {
+    ops.push_back(time_op(name, bytes_per_op, budget_ms, fn));
+    print_row(ops.back());
+    report.value("crypto_" + name + "_ops_per_sec", ops.back().ops_per_sec);
+    return ops.back().ops_per_sec;
+  };
+
+  std::printf("== crypto substrate throughput (budget %.0f ms/op)\n",
+              budget_ms);
+
+  // --- hashes / KDF ---------------------------------------------------------
+  {
+    ChaChaRng rng(1);
+    Bytes data = rng.bytes(1024);
+    run("sha256_1k", data.size(),
+        [&](std::uint64_t) { consume(Sha256::hash(data)); });
+    Bytes prk = hkdf_extract(to_bytes("salt"), to_bytes("ikm"));
+    run("hkdf_expand_32", 0,
+        [&](std::uint64_t) { consume(hkdf_expand(prk, to_bytes("info"), 32)); });
+  }
+
+  // --- AEAD: allocating seal vs fused in-place seal_append ------------------
+  double seal_ops = 0, seal_append_ops = 0;
+  {
+    ChaChaRng rng(2);
+    Bytes key = rng.bytes(kAeadKeySize), nonce = rng.bytes(kAeadNonceSize);
+    Bytes pt = rng.bytes(1500);
+    seal_ops = run("aead_seal_1500", pt.size(), [&](std::uint64_t) {
+      consume(aead_seal(key, nonce, {}, pt));
+    });
+    // The wire path's fused variant: ciphertext lands in a reused frame, no
+    // intermediate mac_input copy, no fresh allocation per packet.
+    Bytes frame;
+    frame.reserve(pt.size() + kAeadTagSize);
+    seal_append_ops =
+        run("aead_seal_append_1500", pt.size(), [&](std::uint64_t) {
+          frame.clear();
+          aead_seal_append(key, nonce, {}, pt, frame);
+          consume(frame);
+        });
+    Bytes ct = aead_seal(key, nonce, {}, pt);
+    run("aead_open_1500", pt.size(), [&](std::uint64_t) {
+      auto opened = aead_open(key, nonce, {}, ct);
+      consume(opened.ok() ? BytesView(opened.value()) : BytesView{});
+    });
+  }
+
+  // --- Key agreement --------------------------------------------------------
+  {
+    ChaChaRng rng(3);
+    auto kp = X25519KeyPair::generate(rng);
+    auto peer = X25519KeyPair::generate(rng);
+    run("x25519", 0, [&](std::uint64_t) {
+      consume(x25519(kp.private_key, peer.public_key));
+    });
+  }
+
+  // --- HPKE: per-message KEM vs amortized session context -------------------
+  double single_seal_ops = 0, context_seal_ops = 0;
+  {
+    ChaChaRng rng(4);
+    auto kp = hpke::KeyPair::generate(rng);
+    Bytes pt = rng.bytes(256);
+    single_seal_ops = run("hpke_single_seal_256", pt.size(), [&](std::uint64_t) {
+      consume(hpke::seal(kp.public_key, {}, {}, pt, rng));
+    });
+    Bytes ct = hpke::seal(kp.public_key, {}, {}, rng.bytes(256), rng);
+    run("hpke_single_open_256", 0, [&](std::uint64_t) {
+      auto opened = hpke::open(kp, {}, {}, ct);
+      consume(opened.ok() ? BytesView(opened.value()) : BytesView{});
+    });
+    // RFC 9180 §5.2 multi-message context: one KEM setup amortized across
+    // every frame, sealing into a reused buffer.
+    hpke::Sender session = hpke::setup_base_sender(kp.public_key, {}, rng);
+    Bytes frame;
+    frame.reserve(pt.size() + hpke::kNt);
+    context_seal_ops =
+        run("hpke_context_seal_256", pt.size(), [&](std::uint64_t) {
+          frame.clear();
+          session.context.seal_append({}, pt, frame);
+          consume(frame);
+        });
+  }
+
+  // --- Session channel frame (varint framing + context AEAD) ----------------
+  {
+    ChaChaRng rng(5);
+    auto kp = hpke::KeyPair::generate(rng);
+    systems::SessionSender sender(kp.public_key, to_bytes("bench"), rng);
+    Bytes msg = rng.bytes(256);
+    run("session_frame_256", msg.size(),
+        [&](std::uint64_t) { consume(sender.seal(msg)); });
+  }
+
+  // --- RSA blind signatures (Privacy Pass substrate) ------------------------
+  {
+    ChaChaRng rng(6);
+    RsaPrivateKey key = rsa_generate(1024, rng);
+    Bytes msg = rng.bytes(32);
+    run("rsa1024_blind", 0,
+        [&](std::uint64_t) { consume(blind(key.pub, msg, rng).blinded_message); });
+    BlindingState st = blind(key.pub, msg, rng);
+    run("rsa1024_blind_sign", 0, [&](std::uint64_t) {
+      auto sig = blind_sign(key, st.blinded_message);
+      consume(sig.ok() ? BytesView(sig.value()) : BytesView{});
+    });
+    Bytes sig = finalize(key.pub, msg, st,
+                         blind_sign(key, st.blinded_message).value())
+                    .value();
+    run("rsa1024_verify", 0, [&](std::uint64_t) {
+      consume(static_cast<std::uint64_t>(blind_verify(key.pub, msg, sig)));
+    });
+  }
+
+  // Derived amortization ratios: the headline numbers for DESIGN.md §14.
+  const double amortization =
+      single_seal_ops > 0 ? context_seal_ops / single_seal_ops : 0;
+  const double fused_gain = seal_ops > 0 ? seal_append_ops / seal_ops : 0;
+  std::printf("\n  hpke context vs single-shot: %.1fx\n", amortization);
+  std::printf("  fused seal_append vs seal:   %.2fx\n", fused_gain);
+  report.value("crypto_hpke_amortization_x", amortization);
+  report.value("crypto_fused_seal_gain_x", fused_gain);
+
+  bool ok = true;
+  for (const OpResult& r : ops) {
+    ok &= report.check("crypto_" + r.name + "_measured",
+                       r.iters > 0 && r.ops_per_sec > 0);
+  }
+  // The session context must beat paying a KEM per message by a wide
+  // margin — that is the reason the batched wire path exists.
+  ok &= report.check("hpke_context_amortizes", amortization > 2.0);
+
+  // Machine-readable "crypto" section (validated by report_check
+  // --require-crypto).
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("budget_ms", budget_ms);
+    w.key("ops");
+    w.begin_object();
+    for (const OpResult& r : ops) {
+      w.key(r.name);
+      w.begin_object();
+      w.kv("iters", r.iters);
+      w.kv("ns_per_op", r.ns_per_op);
+      w.kv("ops_per_sec", r.ops_per_sec);
+      if (r.mb_per_sec > 0) w.kv("mib_per_sec", r.mb_per_sec);
+      w.end_object();
+    }
+    w.end_object();
+    w.kv("hpke_amortization_x", amortization);
+    w.kv("fused_seal_gain_x", fused_gain);
+    w.end_object();
+    report.section("crypto", w.take());
+  }
+
+  return report.finish(ok);
 }

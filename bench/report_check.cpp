@@ -397,13 +397,51 @@ bool check_trace(const JsonValue& t) {
   return true;
 }
 
+// The optional "crypto" object bench_crypto emits: a positive time budget
+// and an ops{} map where every entry carries consistent iters / ns_per_op /
+// ops_per_sec (ops_per_sec must equal 1e9 / ns_per_op within rounding).
+// With `required`, the section must exist and measure at least one op.
+bool check_crypto(const JsonValue& r, bool required) {
+  const JsonValue* c = r.find("crypto");
+  if (!c) {
+    return required ? fail("missing crypto{} (--require-crypto)") : true;
+  }
+  if (!c->is_object()) return fail("crypto is not an object");
+  if (!c->has("budget_ms") || !c->at("budget_ms").is_number() ||
+      c->at("budget_ms").number <= 0) {
+    return fail("crypto.budget_ms not positive");
+  }
+  const JsonValue* ops = c->find("ops");
+  if (!ops || !ops->is_object()) return fail("crypto missing ops{}");
+  for (const auto& [name, op] : ops->object) {
+    if (name.empty()) return fail("crypto op with empty name");
+    for (const char* k : {"iters", "ns_per_op", "ops_per_sec"}) {
+      if (!op.has(k) || !op.at(k).is_number() || op.at(k).number <= 0) {
+        std::fprintf(stderr, "report_check: crypto op %s missing %s\n",
+                     name.c_str(), k);
+        return false;
+      }
+    }
+    const double implied = 1e9 / op.at("ns_per_op").number;
+    const double stated = op.at("ops_per_sec").number;
+    if (stated < implied * 0.99 || stated > implied * 1.01) {
+      return fail("crypto ops_per_sec inconsistent with ns_per_op");
+    }
+  }
+  if (required && ops->object.empty()) {
+    return fail("crypto{} present but measured no ops");
+  }
+  return true;
+}
+
 // Compares the report's throughput values against a committed baseline
-// report (BENCH_scale.json): every "*_events_per_sec" key present in BOTH
-// files must not fall more than tolerance_pct below the baseline's value.
-// Keys only one side carries are ignored (a CI smoke run sweeps fewer
-// points than the committed full sweep). Running faster than the band only
-// warns — it means the committed baseline is stale and worth regenerating,
-// but a faster machine is not a regression.
+// report (BENCH_scale.json / BENCH_crypto.json): every "*_events_per_sec"
+// or "*_ops_per_sec" key present in BOTH files must not fall more than
+// tolerance_pct below the baseline's value. Keys only one side carries are
+// ignored (a CI smoke run sweeps fewer points than the committed full
+// sweep). Running faster than the band only warns — it means the committed
+// baseline is stale and worth regenerating, but a faster machine is not a
+// regression.
 bool check_baseline(const JsonValue& r, const JsonValue& base,
                     double tolerance_pct) {
   const JsonValue* values = r.find("values");
@@ -412,17 +450,20 @@ bool check_baseline(const JsonValue& r, const JsonValue& base,
   if (!base_values || !base_values->is_object()) {
     return fail("baseline missing values{}");
   }
-  const std::string suffix = "_events_per_sec";
+  const auto has_suffix = [](const std::string& key, const std::string& sfx) {
+    return key.size() >= sfx.size() &&
+           key.compare(key.size() - sfx.size(), sfx.size(), sfx) == 0;
+  };
   std::size_t compared = 0;
   for (const auto& [key, val] : values->object) {
-    if (key.size() < suffix.size() ||
-        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    if (!has_suffix(key, "_events_per_sec") &&
+        !has_suffix(key, "_ops_per_sec")) {
       continue;
     }
     const JsonValue* ref = base_values->find(key);
     if (!ref) continue;
     if (!val.is_number() || !ref->is_number() || ref->number <= 0) {
-      return fail("baseline/report events_per_sec not a positive number");
+      return fail("baseline/report throughput not a positive number");
     }
     const double delta_pct = (val.number - ref->number) / ref->number * 100.0;
     std::printf("report_check: %s = %.0f vs baseline %.0f (%+.1f%%)\n",
@@ -437,13 +478,13 @@ bool check_baseline(const JsonValue& r, const JsonValue& base,
     if (delta_pct > tolerance_pct) {
       std::fprintf(stderr,
                    "report_check: warning: %s is %.1f%% above baseline — "
-                   "consider regenerating BENCH_scale.json\n",
+                   "consider regenerating the committed baseline\n",
                    key.c_str(), delta_pct);
     }
     ++compared;
   }
   if (compared == 0) {
-    return fail("no events_per_sec keys shared with baseline");
+    return fail("no throughput keys shared with baseline");
   }
   return true;
 }
@@ -461,6 +502,7 @@ int main(int argc, char** argv) {
   bool require_timeseries = false;
   bool require_profile = false;
   bool require_shards = false;
+  bool require_crypto = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -481,6 +523,8 @@ int main(int argc, char** argv) {
       require_profile = true;
     } else if (std::strcmp(argv[i], "--require-shards") == 0) {
       require_shards = true;
+    } else if (std::strcmp(argv[i], "--require-crypto") == 0) {
+      require_crypto = true;
     } else {
       report_path = argv[i];
     }
@@ -489,7 +533,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: report_check <report.json> [--min-tables N] "
                  "[--require-faults] [--require-flow] [--require-timeseries] "
-                 "[--require-profile] [--require-shards] "
+                 "[--require-profile] [--require-shards] [--require-crypto] "
                  "[--trace trace.json] "
                  "[--baseline baseline.json [--tolerance pct]]\n");
     return 2;
@@ -500,7 +544,8 @@ int main(int argc, char** argv) {
       !check_flow(report, require_flow) ||
       !check_timeseries(report, require_timeseries) ||
       !check_profile(report, require_profile) ||
-      !check_shards(report, require_shards)) {
+      !check_shards(report, require_shards) ||
+      !check_crypto(report, require_crypto)) {
     return 1;
   }
   if (trace_path) {

@@ -46,6 +46,12 @@
 //                                         // optional; present when the bench
 //                                         // ran the sharded engine (emitted
 //                                         // via Report::section)
+//     "crypto": { "budget_ms",
+//                 "ops": { <name>: {"iters","ns_per_op","ops_per_sec"} },
+//                 "hpke_amortization_x", "fused_seal_gain_x" }
+//                                         // optional; bench_crypto's per-op
+//                                         // throughput table (emitted via
+//                                         // Report::section)
 //     "timing": { "wall_ms": <number> }
 //   }
 //

@@ -75,15 +75,18 @@ class ScaleForwarder : public net::Node {
       : Node(std::move(address)), next_(std::move(next)) {}
 
   void on_packet(const net::Packet& p, net::Simulator& sim) override {
+    // forward() moves the delivered buffer into the outgoing send (and, on
+    // the sharded engine, through the cross-shard mailbox) — the relay hop
+    // never copies payload bytes.
     if (p.protocol == "ohttp") {
       const std::uint64_t fwd = sim.new_context();
       pending_.emplace(fwd, Inbound{p.src, p.context});
-      sim.send(net::Packet{address(), next_, p.payload, fwd, "ohttp"});
+      sim.forward(address(), next_, fwd, "ohttp");
     } else {
       auto it = pending_.find(p.context);
       if (it == pending_.end()) return;
-      sim.send(net::Packet{address(), it->second.requester, p.payload,
-                           it->second.context, "ohttp-r"});
+      sim.forward(address(), it->second.requester, it->second.context,
+                  "ohttp-r");
       pending_.erase(it);
     }
   }
@@ -111,7 +114,10 @@ class ScaleMix : public net::Node {
     tally_->mix_forwards[total_hops].fetch_add(1, std::memory_order_relaxed);
     tally_->mix_wire_bytes[total_hops].fetch_add(p.payload.size(),
                                                  std::memory_order_relaxed);
-    Bytes peeled(p.payload.begin(), p.payload.end() - kOnionShrink);
+    // Peel by trimming the delivered buffer in place: detach_payload moves
+    // the heap buffer out of the pool (shrunk one layer), so a hop costs
+    // zero allocations instead of a fresh copy of the remaining onion.
+    Bytes peeled = sim.detach_payload(p.payload.size() - kOnionShrink);
     if (peeled[0] == 0) {
       sim.send(
           net::Packet{address(), sink_, std::move(peeled), p.context, "mix"});

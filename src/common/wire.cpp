@@ -1,0 +1,214 @@
+#include "common/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dcpl::wire {
+
+std::size_t varint_size(std::uint64_t v) {
+  if (v < 0x40) return 1;
+  if (v < 0x4000) return 2;
+  if (v < 0x40000000) return 4;
+  if (v <= kVarintMax) return 8;
+  throw std::invalid_argument("varint: value exceeds 2^62 - 1");
+}
+
+void varint_append(std::uint64_t v, Bytes& out) {
+  const std::size_t n = varint_size(v);
+  // Two-bit length prefix (00/01/10/11 for 1/2/4/8 bytes) in the top bits
+  // of the big-endian encoding.
+  const std::uint8_t prefix =
+      n == 1 ? 0x00 : n == 2 ? 0x40 : n == 4 ? 0x80 : 0xC0;
+  const std::size_t start = out.size();
+  out.resize(start + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[start + n - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  out[start] |= prefix;
+}
+
+std::uint64_t varint_decode(BytesView data, std::size_t& pos) {
+  if (pos >= data.size()) throw ParseError("varint: truncated input");
+  const std::size_t n = std::size_t{1} << (data[pos] >> 6);
+  if (data.size() - pos < n) throw ParseError("varint: truncated input");
+  std::uint64_t v = data[pos] & 0x3F;
+  for (std::size_t i = 1; i < n; ++i) {
+    v = (v << 8) | data[pos + i];
+  }
+  pos += n;
+  return v;
+}
+
+WireArena::WireArena(std::size_t chunk_size)
+    : chunk_size_(chunk_size == 0 ? 1 : chunk_size) {}
+
+WireArena::Chunk& WireArena::chunk_with_room(std::size_t n) {
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    if (c.size - c.used >= n) return c;
+    ++active_;
+  }
+  Chunk c;
+  c.size = n > chunk_size_ ? n : chunk_size_;
+  c.data = std::make_unique<std::uint8_t[]>(c.size);
+  reserved_total_ += c.size;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  return chunks_.back();
+}
+
+std::uint8_t* WireArena::alloc(std::size_t n) {
+  Chunk& c = chunk_with_room(n);
+  std::uint8_t* p = c.data.get() + c.used;
+  c.used += n;
+  used_total_ += n;
+  return p;
+}
+
+bool WireArena::grow_in_place(const std::uint8_t* p, std::size_t old_size,
+                              std::size_t new_size) {
+  if (new_size <= old_size) return true;
+  if (active_ >= chunks_.size()) return false;
+  Chunk& c = chunks_[active_];
+  // Only the latest allocation can extend: it must end exactly at the
+  // chunk's high-water mark.
+  if (c.data.get() + c.used != p + old_size) return false;
+  if (c.size - c.used < new_size - old_size) return false;
+  c.used += new_size - old_size;
+  used_total_ += new_size - old_size;
+  return true;
+}
+
+void WireArena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  used_total_ = 0;
+}
+
+WireWriter::WireWriter(WireArena& arena, std::size_t reserve)
+    : arena_(&arena),
+      data_(arena.alloc(reserve == 0 ? 1 : reserve)),
+      capacity_(reserve == 0 ? 1 : reserve) {}
+
+WireWriter::WireWriter() = default;
+
+std::uint8_t* WireWriter::grow(std::size_t need) {
+  if (arena_ == nullptr) {
+    owned_.resize(size_ + need);
+    return owned_.data() + size_;
+  }
+  if (capacity_ - size_ < need) {
+    std::size_t want = capacity_ * 2;
+    while (want - size_ < need) want *= 2;
+    if (arena_->grow_in_place(data_, capacity_, want)) {
+      capacity_ = want;
+    } else {
+      std::uint8_t* moved = arena_->alloc(want);
+      std::memcpy(moved, data_, size_);
+      data_ = moved;
+      capacity_ = want;
+    }
+  }
+  return data_ + size_;
+}
+
+void WireWriter::u8(std::uint8_t v) {
+  *grow(1) = v;
+  size_ += 1;
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  std::uint8_t* p = grow(2);
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+  size_ += 2;
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  std::uint8_t* p = grow(4);
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * (3 - i)));
+  }
+  size_ += 4;
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  std::uint8_t* p = grow(8);
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+  }
+  size_ += 8;
+}
+
+void WireWriter::varint(std::uint64_t v) {
+  const std::size_t n = varint_size(v);
+  const std::uint8_t prefix =
+      n == 1 ? 0x00 : n == 2 ? 0x40 : n == 4 ? 0x80 : 0xC0;
+  std::uint8_t* p = grow(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[n - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  p[0] |= prefix;
+  size_ += n;
+}
+
+void WireWriter::raw(BytesView b) {
+  if (b.empty()) return;
+  std::memcpy(grow(b.size()), b.data(), b.size());
+  size_ += b.size();
+}
+
+BytesView WireWriter::finish() const {
+  if (arena_ == nullptr) {
+    throw std::logic_error("WireWriter::finish: owned mode, use take()");
+  }
+  return BytesView(data_, size_);
+}
+
+Bytes WireWriter::take() && {
+  if (arena_ != nullptr) {
+    throw std::logic_error("WireWriter::take: arena mode, use finish()");
+  }
+  owned_.resize(size_);
+  return std::move(owned_);
+}
+
+std::uint8_t WireReader::u8() { return view(1)[0]; }
+
+std::uint16_t WireReader::u16() {
+  BytesView v = view(2);
+  return static_cast<std::uint16_t>((v[0] << 8) | v[1]);
+}
+
+std::uint32_t WireReader::u32() {
+  BytesView v = view(4);
+  std::uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r = (r << 8) | v[static_cast<std::size_t>(i)];
+  return r;
+}
+
+std::uint64_t WireReader::u64() {
+  BytesView v = view(8);
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = (r << 8) | v[static_cast<std::size_t>(i)];
+  return r;
+}
+
+std::uint64_t WireReader::varint() { return varint_decode(data_, pos_); }
+
+BytesView WireReader::view(std::size_t n) {
+  if (remaining() < n) throw ParseError("WireReader: truncated input");
+  BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+BytesView WireReader::vec() {
+  const std::uint64_t len = varint();
+  if (len > remaining()) throw ParseError("WireReader: truncated vec");
+  return view(static_cast<std::size_t>(len));
+}
+
+BytesView WireReader::rest() { return view(remaining()); }
+
+}  // namespace dcpl::wire

@@ -1,0 +1,165 @@
+// Arena-backed, varint-framed wire buffer: the zero-copy complement to the
+// owned-Bytes ByteWriter/ByteReader in common/io.hpp.
+//
+// Three pieces, composable but independently useful:
+//
+//  * varint_*  — QUIC-style variable-length integers (RFC 9000 §16): the
+//    top two bits of the first byte select a 1/2/4/8-byte big-endian
+//    encoding, so short lengths cost one byte and the framing stays
+//    self-describing.
+//  * WireArena — a bump allocator over reusable chunks. reset() rewinds to
+//    empty without releasing memory, so a relay/mix hop that frames one
+//    message per event reuses the same few chunks for the whole run.
+//  * WireWriter / WireReader — framing over either an arena (finish()
+//    returns a BytesView into it; zero owned allocations) or a plain Bytes
+//    (for callers that must hand off ownership). The reader returns
+//    subspan views, never copies: payloads travel by view/offset through
+//    relays and mix hops, and ownership only changes where a buffer really
+//    crosses a boundary (e.g. the shard mailbox).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/io.hpp"  // ParseError
+
+namespace dcpl::wire {
+
+/// Largest value a QUIC-style varint can carry (2^62 - 1).
+constexpr std::uint64_t kVarintMax = (std::uint64_t{1} << 62) - 1;
+
+/// Encoded size of `v` in bytes (1, 2, 4, or 8). Throws
+/// std::invalid_argument above kVarintMax.
+std::size_t varint_size(std::uint64_t v);
+
+/// Appends the varint encoding of `v` to `out`.
+void varint_append(std::uint64_t v, Bytes& out);
+
+/// Decodes one varint at `data[pos]`, advancing `pos`. Throws ParseError on
+/// truncation.
+std::uint64_t varint_decode(BytesView data, std::size_t& pos);
+
+/// Bump allocator for wire frames. Allocations are chunked (default 16 KiB,
+/// oversized requests get a dedicated chunk); nothing is freed until
+/// destruction, and reset() rewinds every chunk for reuse. Single-threaded
+/// by design — each shard/hop owns its own arena.
+class WireArena {
+ public:
+  explicit WireArena(std::size_t chunk_size = 16 * 1024);
+
+  /// Uninitialized storage for `n` bytes (never null; n == 0 yields a
+  /// valid unique pointer into the current chunk).
+  std::uint8_t* alloc(std::size_t n);
+
+  /// Tries to extend the allocation at `p` (which must be the most recent
+  /// alloc of `old_size` bytes) to `new_size` without moving it. Returns
+  /// false when the chunk tail is exhausted — the caller then relocates.
+  bool grow_in_place(const std::uint8_t* p, std::size_t old_size,
+                     std::size_t new_size);
+
+  /// Rewinds to empty; keeps every chunk for reuse.
+  void reset();
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t bytes_used() const { return used_total_; }
+  std::size_t bytes_reserved() const { return reserved_total_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Chunk& chunk_with_room(std::size_t n);
+
+  std::size_t chunk_size_;
+  std::size_t active_ = 0;  // chunks before this index are full/skipped
+  std::size_t used_total_ = 0;
+  std::size_t reserved_total_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+/// Builds one frame, appending varints / fixed-width ints / raw spans.
+/// Arena mode writes into `arena` storage and finish() returns a view that
+/// lives until the arena resets; owned mode accumulates into a Bytes
+/// returned by take().
+class WireWriter {
+ public:
+  /// Arena-backed writer. `reserve` sizes the initial region; the writer
+  /// grows (in place when it is the arena's latest allocation) as needed.
+  explicit WireWriter(WireArena& arena, std::size_t reserve = 256);
+
+  /// Owned-buffer writer (no arena): for frames whose bytes must outlive
+  /// any arena reset, e.g. a payload handed to the simulator.
+  WireWriter();
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void varint(std::uint64_t v);
+  void raw(BytesView b);
+
+  /// Varint length prefix followed by the bytes.
+  void vec(BytesView b) {
+    varint(b.size());
+    raw(b);
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Arena mode: the finished frame as a view into the arena (valid until
+  /// the next arena reset). Throws std::logic_error in owned mode.
+  BytesView finish() const;
+
+  /// Owned mode: moves the frame out. Throws std::logic_error in arena
+  /// mode — arena storage cannot transfer ownership; copy the view if it
+  /// must escape.
+  Bytes take() &&;
+
+ private:
+  std::uint8_t* grow(std::size_t need);
+
+  WireArena* arena_ = nullptr;   // null in owned mode
+  std::uint8_t* data_ = nullptr; // arena mode storage
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+  Bytes owned_;                  // owned mode storage
+};
+
+/// Zero-copy frame reader: every read returns a subspan of the input, so
+/// nested payloads alias the original buffer instead of being copied out.
+/// Throws ParseError on truncation, like ByteReader.
+class WireReader {
+ public:
+  explicit WireReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+
+  /// The next `n` bytes as a view (no copy).
+  BytesView view(std::size_t n);
+
+  /// Varint length prefix, then that many bytes as a view.
+  BytesView vec();
+
+  /// Remaining unread bytes as a view, consumed.
+  BytesView rest();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dcpl::wire

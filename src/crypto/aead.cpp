@@ -1,5 +1,6 @@
 #include "crypto/aead.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "crypto/chacha20.hpp"
@@ -10,47 +11,58 @@ namespace dcpl::crypto {
 
 namespace {
 
-Bytes le64(std::uint64_t v) {
-  Bytes b(8);
-  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
-  return b;
-}
-
-// mac_data = aad || pad16 || ct || pad16 || le64(len(aad)) || le64(len(ct))
-Bytes mac_input(BytesView aad, BytesView ct) {
-  Bytes out(aad.begin(), aad.end());
-  out.resize((out.size() + 15) / 16 * 16, 0);
-  append(out, ct);
-  out.resize((out.size() + 15) / 16 * 16, 0);
-  append(out, le64(aad.size()));
-  append(out, le64(ct.size()));
-  return out;
-}
-
-Bytes poly_key(BytesView key, BytesView nonce) {
-  auto block = chacha20_block(key, 0, nonce);
-  return Bytes(block.begin(), block.begin() + 32);
+// Folds mac_data = aad || pad16 || ct || pad16 || le64(len(aad)) ||
+// le64(len(ct)) through one incremental Poly1305 pass — nothing is copied
+// into a scratch vector.
+std::array<std::uint8_t, kAeadTagSize> compute_tag(BytesView key,
+                                                   BytesView nonce,
+                                                   BytesView aad,
+                                                   BytesView ct) {
+  const auto block = chacha20_block(key, 0, nonce);
+  Poly1305 mac(BytesView(block.data(), 32));
+  mac.update(aad);
+  mac.pad16();
+  mac.update(ct);
+  mac.pad16();
+  std::uint8_t lens[16];
+  for (int i = 0; i < 8; ++i) {
+    lens[i] = static_cast<std::uint8_t>(aad.size() >> (8 * i));
+    lens[8 + i] = static_cast<std::uint8_t>(ct.size() >> (8 * i));
+  }
+  mac.update(BytesView(lens, 16));
+  return mac.finish();
 }
 
 }  // namespace
 
-Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
-                BytesView plaintext) {
-  static obs::Counter& ops = obs::op_counter("crypto", "aead_seal");
+void aead_seal_append(BytesView key, BytesView nonce, BytesView aad,
+                      BytesView plaintext, Bytes& out) {
+  static obs::OpCounter ops("crypto", "aead_seal");
   ops.inc();
   if (key.size() != kAeadKeySize) throw std::invalid_argument("aead: key size");
   if (nonce.size() != kAeadNonceSize) {
     throw std::invalid_argument("aead: nonce size");
   }
-  Bytes ct = chacha20_xor(key, 1, nonce, plaintext);
-  Bytes tag = poly1305_mac(poly_key(key, nonce), mac_input(aad, ct));
-  append(ct, tag);
-  return ct;
+  const std::size_t ct_off = out.size();
+  out.resize(ct_off + plaintext.size() + kAeadTagSize);
+  chacha20_xor_into(key, 1, nonce, plaintext, out.data() + ct_off);
+  const auto tag = compute_tag(
+      key, nonce, aad, BytesView(out.data() + ct_off, plaintext.size()));
+  std::copy(tag.begin(), tag.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(ct_off + plaintext.size()));
+}
+
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                BytesView plaintext) {
+  Bytes out;
+  out.reserve(plaintext.size() + kAeadTagSize);
+  aead_seal_append(key, nonce, aad, plaintext, out);
+  return out;
 }
 
 Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
                         BytesView ciphertext) {
-  static obs::Counter& ops = obs::op_counter("crypto", "aead_open");
+  static obs::OpCounter ops("crypto", "aead_open");
   ops.inc();
   if (key.size() != kAeadKeySize) throw std::invalid_argument("aead: key size");
   if (nonce.size() != kAeadNonceSize) {
@@ -61,8 +73,8 @@ Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
   }
   BytesView ct = ciphertext.first(ciphertext.size() - kAeadTagSize);
   BytesView tag = ciphertext.last(kAeadTagSize);
-  Bytes expected = poly1305_mac(poly_key(key, nonce), mac_input(aad, ct));
-  if (!ct_equal(expected, tag)) {
+  const auto expected = compute_tag(key, nonce, aad, ct);
+  if (!ct_equal(BytesView(expected.data(), expected.size()), tag)) {
     return Result<Bytes>::failure("aead_open: authentication failed");
   }
   return chacha20_xor(key, 1, nonce, ct);

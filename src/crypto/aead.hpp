@@ -15,6 +15,13 @@ constexpr std::size_t kAeadTagSize = 16;
 Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
                 BytesView plaintext);
 
+/// Zero-copy framing variant: appends ciphertext || tag directly onto
+/// `out`, so a caller assembling a frame (header ‖ enc ‖ ct) pays no
+/// intermediate concat. The MAC input (aad‖pad‖ct‖pad‖lengths) is folded
+/// through an incremental Poly1305 pass instead of being materialized.
+void aead_seal_append(BytesView key, BytesView nonce, BytesView aad,
+                      BytesView plaintext, Bytes& out);
+
 /// Opens ciphertext || tag produced by aead_seal. Fails (never throws) on
 /// forgery or truncation — attacker-controlled input path.
 Result<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,

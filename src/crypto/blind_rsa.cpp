@@ -5,7 +5,7 @@
 namespace dcpl::crypto {
 
 BlindingState blind(const RsaPublicKey& pub, BytesView message, Rng& rng) {
-  static obs::Counter& ops = obs::op_counter("crypto", "rsa_blind");
+  static obs::OpCounter ops("crypto", "rsa_blind");
   ops.inc();
   const std::size_t em_bits = pub.modulus_bits() - 1;
   Bytes em = pss_encode(message, em_bits, rng);
@@ -26,7 +26,7 @@ BlindingState blind(const RsaPublicKey& pub, BytesView message, Rng& rng) {
 }
 
 Result<Bytes> blind_sign(const RsaPrivateKey& priv, BytesView blinded_message) {
-  static obs::Counter& ops = obs::op_counter("crypto", "rsa_blind_sign");
+  static obs::OpCounter ops("crypto", "rsa_blind_sign");
   ops.inc();
   if (blinded_message.size() != priv.pub.modulus_bytes()) {
     return Result<Bytes>::failure("blind_sign: wrong message size");
@@ -58,7 +58,7 @@ Result<Bytes> finalize(const RsaPublicKey& pub, BytesView message,
 
 bool blind_verify(const RsaPublicKey& pub, BytesView message,
                   BytesView signature) {
-  static obs::Counter& ops = obs::op_counter("crypto", "rsa_blind_verify");
+  static obs::OpCounter ops("crypto", "rsa_blind_verify");
   ops.inc();
   return rsa_pss_verify(pub, message, signature);
 }

@@ -64,9 +64,17 @@ std::array<std::uint8_t, 64> chacha20_block(BytesView key, std::uint32_t counter
   return out;
 }
 
-Bytes chacha20_xor(BytesView key, std::uint32_t initial_counter,
-                   BytesView nonce, BytesView data) {
-  Bytes out(data.size());
+void chacha20_xor_into(BytesView key, std::uint32_t initial_counter,
+                       BytesView nonce, BytesView data, std::uint8_t* out) {
+  // The 32-bit block counter must not wrap: state word 12 has no carry
+  // into the nonce, so block `initial_counter + k` with k past the wrap
+  // would repeat keystream emitted for low counters. Reject up front.
+  const std::uint64_t blocks = (static_cast<std::uint64_t>(data.size()) + 63) / 64;
+  const std::uint64_t available =
+      (std::uint64_t{1} << 32) - initial_counter;
+  if (blocks > available) {
+    throw std::length_error("chacha20: 32-bit block counter would wrap");
+  }
   std::uint32_t counter = initial_counter;
   std::size_t off = 0;
   while (off < data.size()) {
@@ -75,6 +83,12 @@ Bytes chacha20_xor(BytesView key, std::uint32_t initial_counter,
     for (std::size_t i = 0; i < take; ++i) out[off + i] = data[off + i] ^ block[i];
     off += take;
   }
+}
+
+Bytes chacha20_xor(BytesView key, std::uint32_t initial_counter,
+                   BytesView nonce, BytesView data) {
+  Bytes out(data.size());
+  chacha20_xor_into(key, initial_counter, nonce, data, out.data());
   return out;
 }
 

@@ -17,8 +17,17 @@ std::array<std::uint8_t, 64> chacha20_block(BytesView key, std::uint32_t counter
                                             BytesView nonce);
 
 /// XORs `data` with the ChaCha20 keystream starting at `initial_counter`.
-/// Encrypt and decrypt are the same operation.
+/// Encrypt and decrypt are the same operation. Throws std::length_error if
+/// the keystream would exhaust the 32-bit block counter (the RFC 8439
+/// state has no carry into the nonce words — wrapping would reuse
+/// keystream blocks).
 Bytes chacha20_xor(BytesView key, std::uint32_t initial_counter,
                    BytesView nonce, BytesView data);
+
+/// Same keystream XOR, written to `out` (which must hold data.size()
+/// bytes; `out == data.data()` encrypts in place). Zero-allocation variant
+/// for callers that append into an existing frame buffer.
+void chacha20_xor_into(BytesView key, std::uint32_t initial_counter,
+                       BytesView nonce, BytesView data, std::uint8_t* out);
 
 }  // namespace dcpl::crypto

@@ -7,6 +7,8 @@ namespace dcpl::crypto {
 
 namespace {
 
+constexpr std::uint32_t kMask = 0x3ffffff;
+
 std::uint32_t load_le32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) |
          static_cast<std::uint32_t>(p[1]) << 8 |
@@ -17,86 +19,124 @@ std::uint32_t load_le32(const std::uint8_t* p) {
 }  // namespace
 
 // 26-bit limb implementation (poly1305-donna style).
-Bytes poly1305_mac(BytesView key, BytesView msg) {
+Poly1305::Poly1305(BytesView key) {
   if (key.size() != kPoly1305KeySize) {
     throw std::invalid_argument("poly1305: key size");
   }
-  constexpr std::uint32_t kMask = 0x3ffffff;
-
   // r is clamped per the spec.
-  std::uint32_t r0 = load_le32(key.data() + 0) & 0x3ffffff;
-  std::uint32_t r1 = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
-  std::uint32_t r2 = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
-  std::uint32_t r3 = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
-  std::uint32_t r4 = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+  r_[0] = load_le32(key.data() + 0) & 0x3ffffff;
+  r_[1] = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
+  r_[2] = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
+  r_[4] = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+  for (int i = 0; i < 4; ++i) s_[i] = load_le32(key.data() + 16 + 4 * i);
+}
 
-  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+void Poly1305::process_block(const std::uint8_t* block, std::uint32_t hibit) {
+  const std::uint32_t s1 = r_[1] * 5, s2 = r_[2] * 5, s3 = r_[3] * 5,
+                      s4 = r_[4] * 5;
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
 
-  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+  h0 += load_le32(block + 0) & kMask;
+  h1 += (load_le32(block + 3) >> 2) & kMask;
+  h2 += (load_le32(block + 6) >> 4) & kMask;
+  h3 += (load_le32(block + 9) >> 6) & kMask;
+  h4 += (load_le32(block + 12) >> 8) | hibit;
 
-  std::size_t off = 0;
-  while (off < msg.size()) {
-    std::uint8_t block[16] = {0};
-    std::size_t take = std::min<std::size_t>(16, msg.size() - off);
-    std::memcpy(block, msg.data() + off, take);
-    std::uint32_t hibit = 1u << 24;
-    if (take < 16) {
-      block[take] = 1;  // pad the final partial block with 0x01 then zeros
-      hibit = 0;
-    }
-    off += take;
+  std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r_[0] +
+                     static_cast<std::uint64_t>(h1) * s4 +
+                     static_cast<std::uint64_t>(h2) * s3 +
+                     static_cast<std::uint64_t>(h3) * s2 +
+                     static_cast<std::uint64_t>(h4) * s1;
+  std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r_[1] +
+                     static_cast<std::uint64_t>(h1) * r_[0] +
+                     static_cast<std::uint64_t>(h2) * s4 +
+                     static_cast<std::uint64_t>(h3) * s3 +
+                     static_cast<std::uint64_t>(h4) * s2;
+  std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r_[2] +
+                     static_cast<std::uint64_t>(h1) * r_[1] +
+                     static_cast<std::uint64_t>(h2) * r_[0] +
+                     static_cast<std::uint64_t>(h3) * s4 +
+                     static_cast<std::uint64_t>(h4) * s3;
+  std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r_[3] +
+                     static_cast<std::uint64_t>(h1) * r_[2] +
+                     static_cast<std::uint64_t>(h2) * r_[1] +
+                     static_cast<std::uint64_t>(h3) * r_[0] +
+                     static_cast<std::uint64_t>(h4) * s4;
+  std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r_[4] +
+                     static_cast<std::uint64_t>(h1) * r_[3] +
+                     static_cast<std::uint64_t>(h2) * r_[2] +
+                     static_cast<std::uint64_t>(h3) * r_[1] +
+                     static_cast<std::uint64_t>(h4) * r_[0];
 
-    h0 += load_le32(block + 0) & kMask;
-    h1 += (load_le32(block + 3) >> 2) & kMask;
-    h2 += (load_le32(block + 6) >> 4) & kMask;
-    h3 += (load_le32(block + 9) >> 6) & kMask;
-    h4 += (load_le32(block + 12) >> 8) | hibit;
+  std::uint64_t c = d0 >> 26;
+  h0 = static_cast<std::uint32_t>(d0) & kMask;
+  d1 += c;
+  c = d1 >> 26;
+  h1 = static_cast<std::uint32_t>(d1) & kMask;
+  d2 += c;
+  c = d2 >> 26;
+  h2 = static_cast<std::uint32_t>(d2) & kMask;
+  d3 += c;
+  c = d3 >> 26;
+  h3 = static_cast<std::uint32_t>(d3) & kMask;
+  d4 += c;
+  c = d4 >> 26;
+  h4 = static_cast<std::uint32_t>(d4) & kMask;
+  h0 += static_cast<std::uint32_t>(c) * 5;
+  c = h0 >> 26;
+  h0 &= kMask;
+  h1 += static_cast<std::uint32_t>(c);
 
-    std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 +
-                       static_cast<std::uint64_t>(h1) * s4 +
-                       static_cast<std::uint64_t>(h2) * s3 +
-                       static_cast<std::uint64_t>(h3) * s2 +
-                       static_cast<std::uint64_t>(h4) * s1;
-    std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 +
-                       static_cast<std::uint64_t>(h1) * r0 +
-                       static_cast<std::uint64_t>(h2) * s4 +
-                       static_cast<std::uint64_t>(h3) * s3 +
-                       static_cast<std::uint64_t>(h4) * s2;
-    std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 +
-                       static_cast<std::uint64_t>(h1) * r1 +
-                       static_cast<std::uint64_t>(h2) * r0 +
-                       static_cast<std::uint64_t>(h3) * s4 +
-                       static_cast<std::uint64_t>(h4) * s3;
-    std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 +
-                       static_cast<std::uint64_t>(h1) * r2 +
-                       static_cast<std::uint64_t>(h2) * r1 +
-                       static_cast<std::uint64_t>(h3) * r0 +
-                       static_cast<std::uint64_t>(h4) * s4;
-    std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 +
-                       static_cast<std::uint64_t>(h1) * r3 +
-                       static_cast<std::uint64_t>(h2) * r2 +
-                       static_cast<std::uint64_t>(h3) * r1 +
-                       static_cast<std::uint64_t>(h4) * r0;
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+  h_[3] = h3;
+  h_[4] = h4;
+}
 
-    std::uint64_t c = d0 >> 26;
-    h0 = static_cast<std::uint32_t>(d0) & kMask;
-    d1 += c;
-    c = d1 >> 26;
-    h1 = static_cast<std::uint32_t>(d1) & kMask;
-    d2 += c;
-    c = d2 >> 26;
-    h2 = static_cast<std::uint32_t>(d2) & kMask;
-    d3 += c;
-    c = d3 >> 26;
-    h3 = static_cast<std::uint32_t>(d3) & kMask;
-    d4 += c;
-    c = d4 >> 26;
-    h4 = static_cast<std::uint32_t>(d4) & kMask;
-    h0 += static_cast<std::uint32_t>(c) * 5;
-    c = h0 >> 26;
-    h0 &= kMask;
-    h1 += static_cast<std::uint32_t>(c);
+void Poly1305::update(BytesView data) {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  absorbed_ += n;
+  if (buffered_ != 0) {
+    const std::size_t take = std::min<std::size_t>(16 - buffered_, n);
+    std::memcpy(buf_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ < 16) return;
+    process_block(buf_, 1u << 24);
+    buffered_ = 0;
   }
+  while (n >= 16) {
+    process_block(p, 1u << 24);
+    p += 16;
+    n -= 16;
+  }
+  if (n != 0) {
+    std::memcpy(buf_, p, n);
+    buffered_ = n;
+  }
+}
+
+void Poly1305::pad16() {
+  const std::size_t rem = absorbed_ % 16;
+  if (rem == 0) return;
+  static constexpr std::uint8_t kZeros[16] = {0};
+  update(BytesView(kZeros, 16 - rem));
+}
+
+std::array<std::uint8_t, kPoly1305TagSize> Poly1305::finish() {
+  if (buffered_ != 0) {
+    // Pad the final partial block with 0x01 then zeros; no high bit.
+    buf_[buffered_] = 1;
+    for (std::size_t i = buffered_ + 1; i < 16; ++i) buf_[i] = 0;
+    process_block(buf_, 0);
+    buffered_ = 0;
+  }
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
 
   // Full reduction.
   std::uint32_t c = h1 >> 26;
@@ -143,16 +183,16 @@ Bytes poly1305_mac(BytesView key, BytesView msg) {
   std::uint32_t w2 = (h2 >> 12) | (h3 << 14);
   std::uint32_t w3 = (h3 >> 18) | (h4 << 8);
 
-  std::uint64_t f = static_cast<std::uint64_t>(w0) + load_le32(key.data() + 16);
+  std::uint64_t f = static_cast<std::uint64_t>(w0) + s_[0];
   w0 = static_cast<std::uint32_t>(f);
-  f = static_cast<std::uint64_t>(w1) + load_le32(key.data() + 20) + (f >> 32);
+  f = static_cast<std::uint64_t>(w1) + s_[1] + (f >> 32);
   w1 = static_cast<std::uint32_t>(f);
-  f = static_cast<std::uint64_t>(w2) + load_le32(key.data() + 24) + (f >> 32);
+  f = static_cast<std::uint64_t>(w2) + s_[2] + (f >> 32);
   w2 = static_cast<std::uint32_t>(f);
-  f = static_cast<std::uint64_t>(w3) + load_le32(key.data() + 28) + (f >> 32);
+  f = static_cast<std::uint64_t>(w3) + s_[3] + (f >> 32);
   w3 = static_cast<std::uint32_t>(f);
 
-  Bytes tag(kPoly1305TagSize);
+  std::array<std::uint8_t, kPoly1305TagSize> tag;
   const std::uint32_t words[4] = {w0, w1, w2, w3};
   for (int i = 0; i < 4; ++i) {
     tag[4 * i] = static_cast<std::uint8_t>(words[i]);
@@ -161,6 +201,13 @@ Bytes poly1305_mac(BytesView key, BytesView msg) {
     tag[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
   }
   return tag;
+}
+
+Bytes poly1305_mac(BytesView key, BytesView msg) {
+  Poly1305 mac(key);
+  mac.update(msg);
+  const auto tag = mac.finish();
+  return Bytes(tag.begin(), tag.end());
 }
 
 }  // namespace dcpl::crypto

@@ -191,7 +191,7 @@ Fe fe_invert(const Fe& a) {
 }  // namespace
 
 Bytes x25519(BytesView scalar, BytesView u) {
-  static obs::Counter& ops = obs::op_counter("crypto", "x25519");
+  static obs::OpCounter ops("crypto", "x25519");
   ops.inc();
   if (scalar.size() != kX25519KeySize || u.size() != kX25519KeySize) {
     throw std::invalid_argument("x25519: inputs must be 32 bytes");

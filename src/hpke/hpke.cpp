@@ -89,17 +89,27 @@ Bytes Context::compute_nonce() const {
   return nonce;
 }
 
-Bytes Context::seal(BytesView aad, BytesView plaintext) {
-  static obs::Counter& ops = obs::op_counter("crypto", "hpke_seal");
+void Context::seal_append(BytesView aad, BytesView plaintext, Bytes& out) {
+  static obs::OpCounter ops("crypto", "hpke_seal");
   ops.inc();
-  Bytes ct = crypto::aead_seal(key_, compute_nonce(), aad, plaintext);
+  if (seq_ >= kSeqLimit) throw MessageLimitReached();
+  crypto::aead_seal_append(key_, compute_nonce(), aad, plaintext, out);
   ++seq_;
+}
+
+Bytes Context::seal(BytesView aad, BytesView plaintext) {
+  Bytes ct;
+  ct.reserve(plaintext.size() + kNt);
+  seal_append(aad, plaintext, ct);
   return ct;
 }
 
 Result<Bytes> Context::open(BytesView aad, BytesView ciphertext) {
-  static obs::Counter& ops = obs::op_counter("crypto", "hpke_open");
+  static obs::OpCounter ops("crypto", "hpke_open");
   ops.inc();
+  if (seq_ >= kSeqLimit) {
+    return Result<Bytes>::failure("hpke: context message limit reached");
+  }
   auto pt = crypto::aead_open(key_, compute_nonce(), aad, ciphertext);
   if (pt.ok()) ++seq_;
   return pt;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -36,14 +37,37 @@ struct KeyPair {
   static KeyPair derive(BytesView ikm);
 };
 
+/// RFC 9180 §5.2: a context's message sequence is exhausted. The wire
+/// bound is 2^(8*Nn) - 1; with Nn = 12 the sequence counter (uint64)
+/// saturates first, so this is the practically enforceable limit — a
+/// context must never XOR a wrapped sequence number into its nonce.
+class MessageLimitReached : public std::runtime_error {
+ public:
+  MessageLimitReached()
+      : std::runtime_error("hpke: context message limit reached") {}
+};
+
+/// Largest sequence number a Context will seal/open. seq_ saturates at
+/// uint64 max; allowing it to wrap would silently reuse (key, nonce) pairs.
+constexpr std::uint64_t kSeqLimit = ~std::uint64_t{0};
+
 /// An established HPKE context (sender or recipient side): a sequence of
-/// AEAD operations plus the exporter interface.
+/// AEAD operations plus the exporter interface. Contexts are multi-message
+/// by design (§5.2): one KEM encapsulation amortizes across every
+/// seal/open on the context, which is what the session channels in
+/// systems/channel.hpp build on.
 class Context {
  public:
-  /// Sender: encrypts the next message in sequence.
+  /// Sender: encrypts the next message in sequence. Throws
+  /// MessageLimitReached once the sequence space is exhausted.
   Bytes seal(BytesView aad, BytesView plaintext);
 
-  /// Recipient: decrypts the next message in sequence. Fails on forgery.
+  /// Zero-copy framing variant of seal(): appends ciphertext || tag onto
+  /// `out` without an intermediate buffer.
+  void seal_append(BytesView aad, BytesView plaintext, Bytes& out);
+
+  /// Recipient: decrypts the next message in sequence. Fails on forgery
+  /// and (without consuming the sequence) once the message limit is hit.
   Result<Bytes> open(BytesView aad, BytesView ciphertext);
 
   /// Exports a secret bound to this context (RFC 9180 §5.3).
@@ -51,6 +75,14 @@ class Context {
 
   const Bytes& key() const { return key_; }
   const Bytes& base_nonce() const { return base_nonce_; }
+
+  /// Messages sealed/opened so far (the next sequence number).
+  std::uint64_t seq() const { return seq_; }
+
+  /// Test hook: jump the sequence counter (e.g. to just below kSeqLimit to
+  /// exercise exhaustion without 2^64 seal calls). Not for production use —
+  /// skipping sequence numbers desynchronizes sender and recipient.
+  void set_seq_for_testing(std::uint64_t seq) { seq_ = seq; }
 
  private:
   friend struct Sender;

@@ -62,6 +62,21 @@ class PayloadGuard {
   Bytes& borrow_;
 };
 
+/// Marks the delivery whose handler is currently running so
+/// Simulator::detach_payload can find (and possibly steal) its buffer.
+class CurrentDeliveryScope {
+ public:
+  CurrentDeliveryScope(PayloadHandle& slot, PayloadHandle h) : slot_(slot) {
+    slot_ = h;
+  }
+  ~CurrentDeliveryScope() { slot_ = BufferPool::kInvalid; }
+  CurrentDeliveryScope(const CurrentDeliveryScope&) = delete;
+  CurrentDeliveryScope& operator=(const CurrentDeliveryScope&) = delete;
+
+ private:
+  PayloadHandle& slot_;
+};
+
 }  // namespace
 
 Simulator::Simulator()
@@ -358,18 +373,12 @@ void Simulator::send_shared(const Address& src, const Address& dst,
                             const PayloadRef& payload, std::uint64_t context,
                             const std::string& protocol, Time extra_delay) {
   if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
-    // Sharded mode: sharing degrades to a copy — the payload may cross a
-    // shard boundary into another pool, and the global pool is frozen
-    // while workers run. Fault rolls and ordering still match send().
     if (!payload || !shard_local_pool(sh, payload.pool())) {
       throw std::invalid_argument(
           "Simulator::send_shared: payload not from this simulator's pool");
     }
-    const AddressId src_id = intern_mt(src);
-    const AddressId dst_id = intern_mt(dst);
-    Bytes bytes = payload.bytes();
-    sharded_send(*sh, src_id, dst_id, dst, std::move(bytes), context,
-                 protocol, extra_delay);
+    sharded_send_shared(*sh, src, dst, payload, context, protocol,
+                        extra_delay);
     return;
   }
   if (!payload || payload.pool() != &pool_) {
@@ -460,7 +469,20 @@ void Simulator::deliver(const EngineEvent& ev) {
     for (auto& tap : wiretaps_) tap(entry);
     if (record_trace_) trace_.push_back(std::move(entry));
   }
+  CurrentDeliveryScope current(current_handle_, ev.handle);
   nodes_[dst_id]->on_packet(scratch_, *this);
+}
+
+void Simulator::forward(const Address& src, const Address& dst,
+                        std::uint64_t context, const std::string& protocol,
+                        Time extra_delay, std::size_t prefix_len) {
+  Packet fwd;
+  fwd.payload = detach_payload(prefix_len);
+  fwd.src = src;
+  fwd.dst = dst;
+  fwd.context = context;
+  fwd.protocol = protocol;
+  send(std::move(fwd), extra_delay);
 }
 
 void Simulator::dispatch(const EngineEvent& ev) {
@@ -670,6 +692,7 @@ struct Simulator::Shard {
   std::unique_ptr<XoshiroRng> fault_rng;
   FaultStats stats;
   Packet scratch;
+  PayloadHandle current_handle = BufferPool::kInvalid;
   obs::Histogram latency_hist{std::vector<double>{}};
   std::vector<DeferredOb> deferred;
   std::uint64_t events = 0;
@@ -689,6 +712,71 @@ bool Simulator::shard_local_pool(const Shard* sh,
 
 PayloadRef Simulator::sharded_make_payload(Shard& sh, Bytes bytes) {
   return PayloadRef(&sh.pool, sh.pool.acquire(std::move(bytes)));
+}
+
+void Simulator::sharded_send_shared(Shard& sh, const Address& src,
+                                    const Address& dst,
+                                    const PayloadRef& payload,
+                                    std::uint64_t context,
+                                    const std::string& protocol,
+                                    Time extra_delay) {
+  const AddressId src_id = intern_mt(src);
+  const AddressId dst_id = intern_mt(dst);
+  const std::uint32_t dst_shard = shard_of_id(dst_id);
+  if (dst_shard == sh.id && payload.pool() == &sh.pool) {
+    // Shard-local share: reference the pooled buffer exactly like the
+    // serial path — no copy. Fault rolls and ordering match send().
+    if (dst_id >= nodes_.size() || nodes_[dst_id] == nullptr) {
+      throw std::out_of_range("Simulator: unknown destination " + dst);
+    }
+    const std::uint64_t link_key = pack_link(src_id, dst_id);
+    const SendPlan plan = plan_send_sharded(sh, link_key, src_id,
+                                            payload.bytes().size(),
+                                            extra_delay);
+    if (plan.dropped) return;
+    const ProtocolId proto = intern_protocol_mt(protocol);
+    const PayloadHandle h = payload.handle();
+    if (plan.duplicated) {
+      sh.pool.add_ref(h);
+      sharded_push_local(sh, plan.dup_at, link_key, h, context, proto);
+    }
+    sh.pool.add_ref(h);
+    sharded_push_local(sh, plan.deliver_at, link_key, h, context, proto);
+    return;
+  }
+  // Crossing a shard boundary (or sharing a frozen global-pool buffer):
+  // ownership must change pools, so the share degrades to one copy.
+  Bytes bytes = payload.bytes();
+  sharded_send(sh, src_id, dst_id, dst, std::move(bytes), context, protocol,
+               extra_delay);
+}
+
+Bytes Simulator::detach_payload(std::size_t prefix_len) {
+  BufferPool* pool = &pool_;
+  PayloadHandle h = current_handle_;
+  Bytes* borrowed = &scratch_.payload;
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    pool = &sh->pool;
+    h = sh->current_handle;
+    borrowed = &sh->scratch.payload;
+  }
+  if (h == BufferPool::kInvalid) {
+    throw std::logic_error(
+        "Simulator::detach_payload: no delivery in progress");
+  }
+  const std::size_t size = std::min(prefix_len, borrowed->size());
+  Bytes bytes;
+  if (pool->refs(h) == 1) {
+    // Sole reference: the slot dies when this delivery ends, so the buffer
+    // can leave the pool by move. The guard swaps an empty Bytes back.
+    bytes = std::move(*borrowed);
+    bytes.resize(size);
+  } else {
+    // A pending fault-duplicate still needs these bytes: copy the prefix.
+    bytes.assign(borrowed->begin(),
+                 borrowed->begin() + static_cast<std::ptrdiff_t>(size));
+  }
+  return bytes;
 }
 
 void Simulator::note_sharded_breach(Shard& sh, const Address& party) {
@@ -1040,6 +1128,7 @@ void Simulator::sharded_deliver(Shard& sh, const EngineEvent& ev) {
   // The delivery scope is staged on this shard's ledger lane, so exposures
   // the handler records land inside it when the batch commits.
   FlowDeliveryScope flow_scope(flow_, ev.context, proto.name);
+  CurrentDeliveryScope current(sh.current_handle, ev.handle);
   nodes_[dst_id]->on_packet(sh.scratch, *this);
 }
 

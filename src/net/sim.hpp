@@ -164,6 +164,27 @@ class Simulator {
                    const PayloadRef& payload, std::uint64_t context,
                    const std::string& protocol, Time extra_delay = 0);
 
+  /// Pass prefix_len to keep the whole delivered payload.
+  static constexpr std::size_t kWholePayload = ~std::size_t{0};
+
+  /// Detaches the payload of the packet currently being delivered, trimmed
+  /// to its first `prefix_len` bytes — the zero-copy intake for relays and
+  /// mix hops. When this delivery holds the buffer's sole pool reference
+  /// (the common case; a pending fault-duplicate shares it) the heap buffer
+  /// is *moved* out, never copied, and the delivered packet's payload is
+  /// left empty — detach last, after every read of packet.payload. Only
+  /// callable inside Node::on_packet (throws std::logic_error otherwise).
+  Bytes detach_payload(std::size_t prefix_len = kWholePayload);
+
+  /// Zero-copy forward: detach_payload() + send() in one call. The relay
+  /// idiom — the delivered buffer travels on to the next hop by move, and a
+  /// cross-shard forward moves the same heap buffer through the mailbox
+  /// ShardEvent instead of deep-copying it. Same fault rolls, delivery
+  /// ordering, and wire bytes as copying the payload into a fresh send().
+  void forward(const Address& src, const Address& dst, std::uint64_t context,
+               const std::string& protocol, Time extra_delay = 0,
+               std::size_t prefix_len = kWholePayload);
+
   /// Schedules an arbitrary callback at absolute time `t` (>= now).
   void at(Time t, std::function<void()> fn);
 
@@ -402,6 +423,9 @@ class Simulator {
   void sharded_send(Shard& sh, AddressId src_id, AddressId dst_id,
                     const Address& dst, Bytes payload, std::uint64_t context,
                     const std::string& protocol, Time extra_delay);
+  void sharded_send_shared(Shard& sh, const Address& src, const Address& dst,
+                           const PayloadRef& payload, std::uint64_t context,
+                           const std::string& protocol, Time extra_delay);
   void sharded_push_local(Shard& sh, Time deliver_at, std::uint64_t link_key,
                           PayloadHandle h, std::uint64_t context,
                           ProtocolId protocol);
@@ -436,6 +460,9 @@ class Simulator {
   std::vector<std::unique_ptr<ProtocolInfo>> protocols_;
   std::unordered_map<std::string, ProtocolId> protocol_ids_;
   Packet scratch_;  // re-materialized per delivery; capacity is recycled
+  /// Handle of the delivery currently inside Node::on_packet (kInvalid
+  /// outside one) — what detach_payload() consults to steal or share.
+  PayloadHandle current_handle_ = BufferPool::kInvalid;
 
   std::uint64_t event_seq_ = 0;
   Time now_ = 0;

@@ -133,12 +133,14 @@ void Snapshot::write_json(JsonWriter& w) const {
 }
 
 Counter& Registry::counter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[{name, sorted(std::move(labels))}];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[{name, sorted(std::move(labels))}];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -146,18 +148,21 @@ Gauge& Registry::gauge(const std::string& name, Labels labels) {
 
 Histogram& Registry::histogram(const std::string& name, Labels labels,
                                std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[{name, sorted(std::move(labels))}];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 Registry& Registry::scope(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = children_[name];
   if (!slot) slot = std::make_unique<Registry>();
   return *slot;
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [k, c] : counters_) c->reset();
   for (auto& [k, g] : gauges_) g->reset();
   for (auto& [k, h] : histograms_) h->reset();
@@ -171,6 +176,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::snapshot_into(const std::string& prefix, Snapshot& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, c] : counters_) {
     SnapshotEntry e;
     e.kind = SnapshotEntry::Kind::kCounter;
@@ -277,6 +283,7 @@ void prom_type(std::string& out, std::string& last_family,
 
 void Registry::prometheus_into(const std::string& prefix,
                                std::string& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string last_family;
   for (const auto& [key, c] : counters_) {
     const std::string family = prom_name(prefix + key.first);
@@ -338,6 +345,26 @@ std::string metrics_to_prometheus(const Registry& registry,
 Registry& global_registry() {
   static Registry registry;
   return registry;
+}
+
+namespace {
+
+std::atomic<Registry*>& op_registry_slot() {
+  static std::atomic<Registry*> slot{nullptr};  // nullptr = global default
+  return slot;
+}
+
+}  // namespace
+
+Registry& op_registry() {
+  Registry* r = op_registry_slot().load(std::memory_order_acquire);
+  return r != nullptr ? *r : global_registry();
+}
+
+Registry* set_op_registry(Registry* registry) {
+  Registry* prev =
+      op_registry_slot().exchange(registry, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : &global_registry();
 }
 
 }  // namespace dcpl::obs

@@ -6,14 +6,19 @@
 //
 // Handles returned by counter()/gauge()/histogram() are stable for the
 // lifetime of the registry, so hot paths can cache the reference and pay a
-// single add on each event. Everything is single-threaded, matching the
-// simulator.
+// single add on each event. Counter/Gauge mutation is atomic (relaxed —
+// they are statistics, not synchronization), and metric *creation* takes a
+// registry mutex, so shard worker threads may resolve and bump shared
+// counters concurrently. Histograms stay single-writer by contract: the
+// sharded simulator records them per shard and merge()s at run end.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,36 +31,55 @@ namespace dcpl::obs {
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing count (events, packets, bytes, op counts).
+/// Increments are atomic with relaxed ordering: concurrent shard threads
+/// never lose counts, but a counter read mid-run is only a statistical
+/// snapshot, not a synchronization point.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time level (queue depth, wallet size, active circuits). Also
 /// tracks the high-watermark since construction/reset(), so scale benches
-/// can report peak queue depth without sampling every set().
+/// can report peak queue depth without sampling every set(). Mutation is
+/// atomic (relaxed); the peak is maintained with a CAS-max loop so
+/// concurrent writers cannot regress it.
 class Gauge {
  public:
   void set(double v) {
-    value_ = v;
-    if (v > peak_) peak_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    raise_peak(v);
   }
   void add(double d) {
-    value_ += d;
-    if (value_ > peak_) peak_ = value_;
+    const double now = value_.fetch_add(d, std::memory_order_relaxed) + d;
+    raise_peak(now);
   }
-  double value() const { return value_; }
-  double peak() const { return peak_; }
-  void reset() { value_ = 0; peak_ = 0; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0;
-  double peak_ = 0;
+  void raise_peak(double v) {
+    double cur = peak_.load(std::memory_order_relaxed);
+    while (v > cur && !peak_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> value_{0};
+  std::atomic<double> peak_{0};
 };
 
 /// Fixed-bucket histogram. Bounds are inclusive upper edges of each bucket;
@@ -124,7 +148,9 @@ struct Snapshot {
 
 /// Metric namespace. Metrics are identified by (name, labels); requesting
 /// the same pair twice returns the same object. scope() children are owned
-/// by the parent and share its lifetime.
+/// by the parent and share its lifetime. Creation/lookup and snapshotting
+/// lock a per-registry mutex, so shard worker threads may lazily resolve
+/// metrics; returned references stay valid without the lock.
 class Registry {
  public:
   Registry() = default;
@@ -161,6 +187,7 @@ class Registry {
   void snapshot_into(const std::string& prefix, Snapshot& out) const;
   void prometheus_into(const std::string& prefix, std::string& out) const;
 
+  mutable std::mutex mu_;  // guards map mutation/iteration, not the metrics
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
@@ -179,17 +206,78 @@ Registry& global_registry();
 std::string metrics_to_prometheus(const Registry& registry,
                                   const std::string& prefix = "dcpl");
 
-/// Hot-path op counter in a scope of the global registry. Call sites cache
-/// the handle in a function-local static so the steady-state cost is one
-/// increment:  static obs::Counter& c = obs::op_counter("crypto", "x25519");
-/// Only appropriate for metrics that always live in the *global* registry;
-/// code whose sink can be redirected (Simulator::set_metrics, scoped bench
-/// registries) must use CounterHandle instead, or the static reference
-/// silently keeps counting against the registry seen at first call.
+/// The process-wide *active* op-counter registry: the sink every OpCounter
+/// below resolves against. Defaults to global_registry(); a bench or test
+/// that wants crypto/system op counts namespaced into its own registry
+/// swaps it with set_op_registry() and OpCounters rebind on their next
+/// increment — no stale static references.
+Registry& op_registry();
+
+/// Redirects op_registry() to `registry` (nullptr restores the global
+/// default). Returns the previously active registry so callers can scope
+/// the swap. The new registry must outlive every OpCounter increment made
+/// while it is active.
+Registry* set_op_registry(Registry* registry);
+
+/// Resolves an op counter in the *currently active* op registry. Prefer
+/// caching an OpCounter (below) on hot paths; this free function is for
+/// one-shot lookups and tests.
 inline Counter& op_counter(const std::string& scope_name,
                            const std::string& name) {
-  return global_registry().scope(scope_name).counter(name);
+  return op_registry().scope(scope_name).counter(name);
 }
+
+/// Hot-path op counter that follows registry swaps. Call sites keep one in
+/// a function-local static:
+///   static obs::OpCounter ops("crypto", "x25519_ops");
+///   ops.inc();
+/// Steady state is one atomic pointer load + compare + one relaxed add.
+/// When set_op_registry() changes the active registry the next inc()
+/// re-resolves — unlike the old `static Counter&` pattern that bound once
+/// to whichever registry was live at first call and silently dropped every
+/// count after a swap. Thread-safe: rebinds publish an immutable
+/// (registry, counter) pair, so concurrent shard threads never observe a
+/// counter paired with the wrong registry.
+class OpCounter {
+ public:
+  OpCounter(std::string scope, std::string name)
+      : scope_(std::move(scope)), name_(std::move(name)) {}
+
+  void inc(std::uint64_t n = 1) { resolve().inc(n); }
+
+  /// The counter in the currently active op registry.
+  Counter& resolve() {
+    Registry* cur = &op_registry();
+    const Binding* b = binding_.load(std::memory_order_acquire);
+    if (b == nullptr || b->registry != cur) b = rebind(cur);
+    return *b->counter;
+  }
+
+ private:
+  struct Binding {
+    Registry* registry;
+    Counter* counter;
+  };
+
+  const Binding* rebind(Registry* cur) {
+    std::lock_guard<std::mutex> lock(rebind_mu_);
+    const Binding* b = binding_.load(std::memory_order_acquire);
+    if (b != nullptr && b->registry == cur) return b;
+    retired_.push_back(std::make_unique<Binding>(
+        Binding{cur, scope_.empty() ? &cur->counter(name_)
+                                    : &cur->scope(scope_).counter(name_)}));
+    binding_.store(retired_.back().get(), std::memory_order_release);
+    return retired_.back().get();
+  }
+
+  std::string scope_, name_;
+  std::atomic<const Binding*> binding_{nullptr};
+  std::mutex rebind_mu_;
+  // Old bindings stay alive (readers may still hold them mid-inc); swaps
+  // are rare test/bench boundary events, so this never grows in steady
+  // state.
+  std::vector<std::unique_ptr<Binding>> retired_;
+};
 
 /// Cheap pre-resolved, rebindable counter handle. Caches the Counter*
 /// resolved from (scope, name) in one registry and re-resolves only when

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/wire.hpp"
 #include "crypto/aead.hpp"
 #include "obs/metrics.hpp"
 
@@ -9,17 +10,21 @@ namespace dcpl::systems {
 
 namespace {
 constexpr std::string_view kExportLabel = "dcpl response key";
+constexpr std::string_view kSessionExportLabel = "dcpl session response key";
 }  // namespace
 
 RequestState seal_request(BytesView server_public, BytesView info,
                           BytesView request, Rng& rng) {
-  static obs::Counter& ops = obs::op_counter("channel", "seal_request");
+  static obs::OpCounter ops("channel", "seal_request");
   ops.inc();
   hpke::Sender sender = hpke::setup_base_sender(server_public, info, rng);
-  Bytes ct = sender.context.seal({}, request);
 
   RequestState state;
-  state.encapsulated = concat({sender.enc, ct});
+  // Frame layout (unchanged): enc || AEAD ct || tag — assembled in one
+  // exactly-sized buffer, the ciphertext sealed in place behind enc.
+  state.encapsulated.reserve(sender.enc.size() + request.size() + hpke::kNt);
+  append(state.encapsulated, sender.enc);
+  sender.context.seal_append({}, request, state.encapsulated);
   state.response_key =
       sender.context.export_secret(to_bytes(kExportLabel), crypto::kAeadKeySize);
   return state;
@@ -27,7 +32,7 @@ RequestState seal_request(BytesView server_public, BytesView info,
 
 Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
                                  BytesView encapsulated) {
-  static obs::Counter& ops = obs::op_counter("channel", "open_request");
+  static obs::OpCounter ops("channel", "open_request");
   ops.inc();
   if (encapsulated.size() < hpke::kNenc) {
     return Result<ServerState>::failure("open_request: too short");
@@ -49,15 +54,19 @@ Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
 }
 
 Bytes seal_response(BytesView response_key, BytesView response, Rng& rng) {
-  static obs::Counter& ops = obs::op_counter("channel", "seal_response");
+  static obs::OpCounter ops("channel", "seal_response");
   ops.inc();
-  Bytes nonce = rng.bytes(crypto::kAeadNonceSize);
-  Bytes ct = crypto::aead_seal(response_key, nonce, {}, response);
-  return concat({nonce, ct});
+  Bytes out = rng.bytes(crypto::kAeadNonceSize);
+  // Frame layout (unchanged): nonce || AEAD ct || tag, sealed in place.
+  out.reserve(crypto::kAeadNonceSize + response.size() + crypto::kAeadTagSize);
+  crypto::aead_seal_append(response_key,
+                           BytesView(out.data(), crypto::kAeadNonceSize), {},
+                           response, out);
+  return out;
 }
 
 Result<Bytes> open_response(BytesView response_key, BytesView sealed) {
-  static obs::Counter& ops = obs::op_counter("channel", "open_response");
+  static obs::OpCounter ops("channel", "open_response");
   ops.inc();
   if (sealed.size() < crypto::kAeadNonceSize) {
     return Result<Bytes>::failure("open_response: too short");
@@ -82,6 +91,102 @@ Result<Bytes> unpad(BytesView padded) {
     return Result<Bytes>::failure("unpad: malformed padding");
   }
   return Bytes(padded.begin(), padded.begin() + static_cast<long>(i - 1));
+}
+
+// --- Session channels -------------------------------------------------------
+
+namespace {
+
+// Response-direction nonce: the response key is unique per session, so a
+// deterministic sequence-derived nonce (le64(seq) in the tail, zero head)
+// never repeats under it and needs no wire bytes.
+Bytes response_nonce(std::uint64_t seq) {
+  Bytes nonce(crypto::kAeadNonceSize, 0);
+  for (int i = 0; i < 8; ++i) {
+    nonce[crypto::kAeadNonceSize - 1 - i] =
+        static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace
+
+SessionSender::SessionSender(BytesView server_public, BytesView info,
+                             Rng& rng) {
+  static obs::OpCounter ops("channel", "session_setup");
+  ops.inc();
+  hpke::Sender sender = hpke::setup_base_sender(server_public, info, rng);
+  context_ = std::move(sender.context);
+  enc_ = std::move(sender.enc);
+  response_key_ = context_.export_secret(to_bytes(kSessionExportLabel),
+                                         crypto::kAeadKeySize);
+}
+
+Bytes SessionSender::seal(BytesView message) {
+  static obs::OpCounter ops("channel", "session_seal");
+  ops.inc();
+  Bytes frame;
+  frame.reserve(wire::varint_size(context_.seq()) + message.size() + hpke::kNt);
+  wire::varint_append(context_.seq(), frame);
+  context_.seal_append({}, message, frame);
+  return frame;
+}
+
+Result<Bytes> SessionSender::open_response(BytesView frame) {
+  wire::WireReader r(frame);
+  std::uint64_t seq = 0;
+  try {
+    seq = r.varint();
+  } catch (const ParseError&) {
+    return Result<Bytes>::failure("session: truncated response frame");
+  }
+  if (seq != response_seq_) {
+    return Result<Bytes>::failure("session: response out of sequence");
+  }
+  auto pt = crypto::aead_open(response_key_, response_nonce(response_seq_), {},
+                              r.rest());
+  if (pt.ok()) ++response_seq_;
+  return pt;
+}
+
+Result<SessionReceiver> SessionReceiver::accept(const hpke::KeyPair& server_kp,
+                                                BytesView info, BytesView enc) {
+  static obs::OpCounter ops("channel", "session_accept");
+  ops.inc();
+  auto ctx = hpke::setup_base_recipient(enc, server_kp, info);
+  if (!ctx.ok()) return Result<SessionReceiver>::failure(ctx.error().message);
+  SessionReceiver receiver;
+  receiver.context_ = std::move(ctx.value());
+  receiver.response_key_ = receiver.context_.export_secret(
+      to_bytes(kSessionExportLabel), crypto::kAeadKeySize);
+  return receiver;
+}
+
+Result<Bytes> SessionReceiver::open(BytesView frame) {
+  static obs::OpCounter ops("channel", "session_open");
+  ops.inc();
+  wire::WireReader r(frame);
+  std::uint64_t seq = 0;
+  try {
+    seq = r.varint();
+  } catch (const ParseError&) {
+    return Result<Bytes>::failure("session: truncated frame");
+  }
+  if (seq != context_.seq()) {
+    return Result<Bytes>::failure("session: frame out of sequence");
+  }
+  return context_.open({}, r.rest());
+}
+
+Bytes SessionReceiver::seal_response(BytesView message) {
+  Bytes frame;
+  frame.reserve(wire::varint_size(response_seq_) + message.size() +
+                crypto::kAeadTagSize);
+  wire::varint_append(response_seq_, frame);
+  crypto::aead_seal_append(response_key_, response_nonce(response_seq_), {},
+                           message, frame);
+  ++response_seq_;
+  return frame;
 }
 
 }  // namespace dcpl::systems

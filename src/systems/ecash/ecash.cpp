@@ -58,7 +58,7 @@ void Bank::on_packet(const net::Packet& p, net::Simulator& sim) {
       if (!blind_sig.ok()) return;
       it->second -= 1;
       ++issued_;
-      static obs::Counter& coins = obs::op_counter("systems", "ecash_issued");
+      static obs::OpCounter coins("systems", "ecash_issued");
       coins.inc();
 
       ByteWriter w;

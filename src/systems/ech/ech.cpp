@@ -108,7 +108,7 @@ void TlsServer::on_packet(const net::Packet& p, net::Simulator& sim) {
   log_->observe(address(), core::sensitive_data("sni:" + negotiated),
                 p.context);
   ++handshakes_;
-  static obs::Counter& handshakes = obs::op_counter("systems", "ech_handshakes");
+  static obs::OpCounter handshakes("systems", "ech_handshakes");
   handshakes.inc();
 
   Bytes payload = to_bytes("handshake-ok:" + negotiated);

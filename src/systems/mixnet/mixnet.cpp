@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/io.hpp"
+#include "common/wire.hpp"
 #include "crypto/aead.hpp"
 #include "obs/trace.hpp"
 
@@ -45,19 +46,6 @@ Bytes encode_layer(const Layer& layer) {
   return std::move(w).take();
 }
 
-Result<Layer> decode_layer(BytesView data) {
-  try {
-    ByteReader r(data);
-    Layer layer;
-    layer.next = to_string(r.vec(2));
-    layer.blob = r.vec(4);
-    if (!r.done()) return Result<Layer>::failure("mix layer: trailing bytes");
-    return layer;
-  } catch (const ParseError& e) {
-    return Result<Layer>::failure(e.what());
-  }
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -75,37 +63,44 @@ MixNode::MixNode(net::Address address, std::size_t batch_size,
 
 void MixNode::on_packet(const net::Packet& p, net::Simulator& sim) {
   obs::Span span("mixnet.peel_layer");
-  static obs::Counter& peeled = obs::op_counter("systems", "mixnet_peeled");
+  static obs::OpCounter peeled("systems", "mixnet_peeled");
   peeled.inc();
   book_->observe_src(*log_, address(), p.src, p.context);
 
   if (p.protocol == "mixreply") {
     // Untraceable return address: peel our header layer, ENCRYPT the body
-    // with the key the sender hid inside, batch-forward.
+    // with the key the sender hid inside, batch-forward. The frame is
+    // parsed by view (wire::WireReader never copies) and the output built
+    // in one buffer, the AEAD sealing the body directly into its tail —
+    // byte-for-byte the frame the old concat-based assembly produced.
     try {
-      ByteReader r(p.payload);
-      Bytes header = r.vec(4);
-      Bytes body = r.vec(4);
+      wire::WireReader r(p.payload);
+      BytesView header = r.view(r.u32());
+      BytesView body = r.view(r.u32());
       auto opened = open_request(kp_, to_bytes(kReplyInfo), header);
       if (!opened.ok()) return;
-      ByteReader hr(opened->request);
-      net::Address next = to_string(hr.vec(2));
-      Bytes key = hr.raw(crypto::kAeadKeySize);
-      Bytes inner_header = hr.vec(4);
+      wire::WireReader hr(opened->request);
+      net::Address next = to_string(hr.view(hr.u16()));
+      BytesView key = hr.view(crypto::kAeadKeySize);
+      BytesView inner_header = hr.view(hr.u32());
 
       Bytes nonce = rng_.bytes(crypto::kAeadNonceSize);
-      Bytes wrapped =
-          concat({nonce, crypto::aead_seal(key, nonce, {}, body)});
-      ByteWriter out;
-      out.vec(inner_header, 4);
-      out.vec(wrapped, 4);
+      // frame = vec4(inner_header) ‖ vec4(nonce ‖ ct ‖ tag).
+      ByteWriter w;
+      w.vec(inner_header, 4);
+      w.u32(static_cast<std::uint32_t>(crypto::kAeadNonceSize + body.size() +
+                                       crypto::kAeadTagSize));
+      w.raw(nonce);
+      Bytes frame = std::move(w).take();
+      frame.reserve(frame.size() + body.size() + crypto::kAeadTagSize);
+      crypto::aead_seal_append(key, nonce, {}, body, frame);
 
       log_->observe(address(), core::benign_data("mix:reply-ciphertext"),
                     p.context);
       const std::uint64_t out_ctx = sim.new_context();
       log_->link(address(), p.context, out_ctx);
       queue_.push_back(
-          Queued{next, std::move(out).take(), out_ctx, kReplyProto});
+          Queued{std::move(next), std::move(frame), out_ctx, kReplyProto});
       ++processed_;
       if (queue_.size() >= batch_size_) {
         flush(sim);
@@ -123,15 +118,30 @@ void MixNode::on_packet(const net::Packet& p, net::Simulator& sim) {
 
   auto opened = open_request(kp_, to_bytes(kLayerInfo), p.payload);
   if (!opened.ok()) return;
-  auto layer = decode_layer(opened->request);
-  if (!layer.ok()) return;
+  // Fused layer decode: parse {next, blob} as views into the decrypted
+  // buffer, then trim that buffer in place down to the blob — the onion
+  // sheds its header by memmove instead of reallocating the remainder.
+  net::Address next;
+  std::size_t blob_off = 0;
+  try {
+    wire::WireReader r(opened->request);
+    next = to_string(r.view(r.u16()));
+    const std::size_t blob_len = r.u32();
+    blob_off = r.position();
+    r.view(blob_len);
+    if (!r.done()) return;  // trailing bytes: same rejection as before
+  } catch (const ParseError&) {
+    return;
+  }
+  Bytes blob = std::move(opened.value().request);
+  blob.erase(blob.begin(),
+             blob.begin() + static_cast<std::ptrdiff_t>(blob_off));
 
   log_->observe(address(), core::benign_data("mix:ciphertext"), p.context);
 
   const std::uint64_t out_ctx = sim.new_context();
   log_->link(address(), p.context, out_ctx);
-  queue_.push_back(
-      Queued{layer->next, std::move(layer->blob), out_ctx, kMixProto});
+  queue_.push_back(Queued{std::move(next), std::move(blob), out_ctx, kMixProto});
   ++processed_;
 
   if (queue_.size() >= batch_size_) {

@@ -114,7 +114,7 @@ void OnionRelay::on_packet(const net::Packet& p, net::Simulator& sim) {
   log_->link(address(), p.context, upstream_ctx);
   pending_[upstream_ctx] = Pending{p.src, p.context};
   ++forwarded_;
-  static obs::Counter& hops = obs::op_counter("systems", "mpr_hops");
+  static obs::OpCounter hops("systems", "mpr_hops");
   hops.inc();
   sim.send(net::Packet{address(), layer->next, layer->blob, upstream_ctx,
                        "mpr"});

@@ -298,7 +298,7 @@ void OdohProxy::on_packet(const net::Packet& p, net::Simulator& sim) {
   log_->link(address(), p.context, ctx);
   pending_[ctx] = Pending{p.src, p.context};
   ++forwarded_;
-  static obs::Counter& proxied = obs::op_counter("systems", "odoh_proxied");
+  static obs::OpCounter proxied("systems", "odoh_proxied");
   proxied.inc();
   sim.send(net::Packet{address(), target_, p.payload, ctx, "odoh"});
 }

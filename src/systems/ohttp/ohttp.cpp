@@ -150,11 +150,11 @@ Relay::Relay(net::Address address, net::Address gateway,
 
 void Relay::on_packet(const net::Packet& p, net::Simulator& sim) {
   if (auto it = pending_.find(p.context); it != pending_.end()) {
-    // Response from the gateway: hand it back to the client untouched.
+    // Response from the gateway: hand it back to the client untouched — the
+    // delivered buffer moves straight into the next hop, never copied.
     Pending state = std::move(it->second);
     pending_.erase(it);
-    sim.send(net::Packet{address(), state.client, p.payload,
-                         state.client_context, "ohttp"});
+    sim.forward(address(), state.client, state.client_context, "ohttp");
     return;
   }
 
@@ -170,9 +170,9 @@ void Relay::on_packet(const net::Packet& p, net::Simulator& sim) {
   log_->link(address(), p.context, upstream_ctx);
   pending_[upstream_ctx] = Pending{p.src, p.context};
   ++forwarded_;
-  static obs::Counter& relayed = obs::op_counter("systems", "ohttp_relayed");
+  static obs::OpCounter relayed("systems", "ohttp_relayed");
   relayed.inc();
-  sim.send(net::Packet{address(), gateway_, p.payload, upstream_ctx, "ohttp"});
+  sim.forward(address(), gateway_, upstream_ctx, "ohttp");
 }
 
 // ---------------------------------------------------------------------------

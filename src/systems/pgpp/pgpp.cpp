@@ -69,7 +69,7 @@ void Gateway::on_packet(const net::Packet& p, net::Simulator& sim) {
     auto blind_sig = crypto::blind_sign(key_, blinded);
     if (!blind_sig.ok()) return;
     ++issued_;
-    static obs::Counter& tokens = obs::op_counter("systems", "pgpp_tokens_issued");
+    static obs::OpCounter tokens("systems", "pgpp_tokens_issued");
     tokens.inc();
 
     ByteWriter w;

@@ -347,7 +347,7 @@ void ForwardProxy::on_packet(const net::Packet& p, net::Simulator& sim) {
     const std::uint64_t ctx = sim.new_context();
     log_->link(address(), p.context, ctx);
     ++forwarded_;
-    static obs::Counter& shares = obs::op_counter("systems", "ppm_shares_forwarded");
+    static obs::OpCounter shares("systems", "ppm_shares_forwarded");
     shares.inc();
     sim.send(net::Packet{address(), dst, std::move(blob), ctx, "ppm"});
   } catch (const ParseError&) {

@@ -78,8 +78,7 @@ void Issuer::on_packet(const net::Packet& p, net::Simulator& sim) {
     }
     ++issued_;
     ++issued_per_account_[account];
-    static obs::Counter& tokens =
-        obs::op_counter("systems", "privacypass_issued");
+    static obs::OpCounter tokens("systems", "privacypass_issued");
     tokens.inc();
 
     ByteWriter w;

@@ -177,6 +177,43 @@ INSTANTIATE_TEST_SUITE_P(Lengths, AeadRoundTrip,
                          ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 255,
                                            256, 1000, 4096));
 
+// RFC 8439's state has no carry from the 32-bit block counter into the
+// nonce words, so a wrap would replay keystream blocks 0, 1, ... under the
+// same (key, nonce). The guard must reject exactly the wrapping calls.
+TEST(ChaCha20, CounterWrapGuard) {
+  Bytes key(kChaChaKeySize, 0x01);
+  Bytes nonce(kChaChaNonceSize, 0x02);
+  const std::uint32_t last = 0xFFFFFFFFu;  // one block left before the wrap
+
+  // 64 bytes = exactly the final block: allowed.
+  EXPECT_NO_THROW(chacha20_xor(key, last, nonce, Bytes(64, 0)));
+  // 65 bytes needs a second block at counter 0: keystream reuse, rejected.
+  EXPECT_THROW(chacha20_xor(key, last, nonce, Bytes(65, 0)),
+               std::length_error);
+  // Same guard on the in-place variant.
+  Bytes buf(65, 0);
+  EXPECT_THROW(chacha20_xor_into(key, last, nonce, buf, buf.data()),
+               std::length_error);
+  // Two blocks starting one before the end: allowed, the last usable pair.
+  EXPECT_NO_THROW(chacha20_xor(key, last - 1, nonce, Bytes(128, 0)));
+  EXPECT_THROW(chacha20_xor(key, last - 1, nonce, Bytes(129, 0)),
+               std::length_error);
+}
+
+TEST(ChaCha20, XorIntoMatchesXorIncludingInPlace) {
+  ChaChaRng rng(77);
+  Bytes key = rng.bytes(kChaChaKeySize), nonce = rng.bytes(kChaChaNonceSize);
+  Bytes data = rng.bytes(300);
+  Bytes want = chacha20_xor(key, 7, nonce, data);
+  Bytes out(data.size());
+  chacha20_xor_into(key, 7, nonce, data, out.data());
+  EXPECT_EQ(out, want);
+  // In-place: out aliases data.
+  Bytes in_place = data;
+  chacha20_xor_into(key, 7, nonce, in_place, in_place.data());
+  EXPECT_EQ(in_place, want);
+}
+
 TEST(ChaChaRng, DeterministicAndSeedSensitive) {
   ChaChaRng a(BytesView(to_bytes("seed"))), b(BytesView(to_bytes("seed")));
   EXPECT_EQ(a.bytes(100), b.bytes(100));

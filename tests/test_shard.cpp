@@ -492,5 +492,234 @@ TEST(ShardApi, SerialRunLeavesShardStatsEmptyAndSharedQueueReusable) {
   EXPECT_GT(res.packets, 0u);
 }
 
+// --- zero-copy wire path (DESIGN.md §14) ----------------------------------
+
+// Records the heap address of every delivered buffer and forwards the
+// buffer itself (detach + send) rather than a copy.
+class TapRelay final : public Node {
+ public:
+  TapRelay(std::string name, Address next, std::size_t trim = 0)
+      : Node(std::move(name)), next_(std::move(next)), trim_(trim) {}
+
+  void on_packet(const Packet& p, Simulator& sim) override {
+    seen.push_back(p.payload.data());
+    if (trim_ > 0 && p.payload.size() >= trim_) {
+      Bytes trimmed = sim.detach_payload(p.payload.size() - trim_);
+      sim.send(Packet{address(), next_, std::move(trimmed), p.context, "fwd"});
+    } else {
+      sim.forward(address(), next_, p.context, "fwd");
+    }
+  }
+
+  std::vector<const std::uint8_t*> seen;
+
+ private:
+  Address next_;
+  std::size_t trim_;
+};
+
+class TapSink final : public Node {
+ public:
+  explicit TapSink(std::string name) : Node(std::move(name)) {}
+
+  void on_packet(const Packet& p, Simulator&) override {
+    seen.push_back(p.payload.data());
+    payloads.push_back(p.payload);
+  }
+
+  std::vector<const std::uint8_t*> seen;
+  std::vector<Bytes> payloads;
+};
+
+Bytes big_payload(std::uint8_t tag) {
+  Bytes b(512);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return b;
+}
+
+// The acceptance check for the zero-copy wire path: the exact heap buffer a
+// relay received is the one the next hop receives — through the serial
+// engine, and through the shard mailbox when the forward crosses shards.
+// (If any hop deep-copied, the sink would see a different allocation while
+// the original stayed alive in the source pool, so pointer equality is a
+// sound no-copy witness.)
+TEST(ZeroCopyWire, ForwardMovesBufferSerial) {
+  Simulator sim;
+  TapRelay relay("relay", "sink");
+  TapSink sink("sink");
+  sim.add_node(relay);
+  sim.add_node(sink);
+  sim.connect("origin", "relay", 1000);
+  sim.connect("relay", "sink", 1000);
+
+  const Bytes body = big_payload(7);
+  sim.send(Packet{"origin", "relay", body, 1, "fwd"});
+  sim.run();
+
+  ASSERT_EQ(relay.seen.size(), 1u);
+  ASSERT_EQ(sink.seen.size(), 1u);
+  EXPECT_EQ(sink.seen[0], relay.seen[0]) << "forward copied the payload";
+  EXPECT_EQ(sink.payloads[0], body);
+  // Pool accounting: every slot drained back once the run finished.
+  EXPECT_EQ(sim.payload_pool().live(), 0u);
+}
+
+TEST(ZeroCopyWire, ForwardMovesBufferAcrossShardMailbox) {
+  Simulator sim;
+  TapRelay relay("relay", "sink");
+  TapSink sink("sink");
+  sim.add_node(relay);
+  sim.add_node(sink);
+  sim.connect("origin", "relay", 1000);
+  sim.connect("relay", "sink", 1000);
+  sim.set_shards(2);
+  sim.set_shard_affinity("relay", 0);
+  sim.set_shard_affinity("sink", 1);  // forward must cross the mailbox
+
+  const Bytes body = big_payload(11);
+  sim.send(Packet{"origin", "relay", body, 1, "fwd"});
+  sim.run();
+
+  ASSERT_EQ(relay.seen.size(), 1u);
+  ASSERT_EQ(sink.seen.size(), 1u);
+  EXPECT_EQ(sink.seen[0], relay.seen[0])
+      << "cross-shard send deep-copied the payload";
+  EXPECT_EQ(sink.payloads[0], body);
+}
+
+// Trimmed detach (mix-style onion shrink): shrinking never reallocates, so
+// the sink still sees the same buffer, minus the tail.
+TEST(ZeroCopyWire, DetachPrefixKeepsAllocation) {
+  Simulator sim;
+  TapRelay relay("relay", "sink", /*trim=*/16);
+  TapSink sink("sink");
+  sim.add_node(relay);
+  sim.add_node(sink);
+  sim.connect("origin", "relay", 1000);
+  sim.connect("relay", "sink", 1000);
+
+  const Bytes body = big_payload(3);
+  sim.send(Packet{"origin", "relay", body, 1, "fwd"});
+  sim.run();
+
+  ASSERT_EQ(sink.seen.size(), 1u);
+  EXPECT_EQ(sink.seen[0], relay.seen[0]);
+  Bytes want(body.begin(), body.end() - 16);
+  EXPECT_EQ(sink.payloads[0], want);
+  EXPECT_EQ(sim.payload_pool().live(), 0u);
+}
+
+// Fault duplication shares one slot between two deliveries: the first
+// detach sees refs > 1 and must copy, the second may steal. Both hops must
+// still deliver intact bytes and the pool must drain.
+TEST(ZeroCopyWire, DetachUnderFaultDuplicationStaysCorrect) {
+  Simulator sim;
+  TapRelay relay("relay", "sink");
+  TapSink sink("sink");
+  sim.add_node(relay);
+  sim.add_node(sink);
+  sim.connect("origin", "relay", 1000);
+  sim.connect("relay", "sink", 1000);
+  FaultPlan plan(9);
+  plan.impair({.duplicate = 1.0});
+  sim.set_fault_plan(std::move(plan));
+
+  const Bytes body = big_payload(5);
+  sim.send(Packet{"origin", "relay", body, 1, "fwd"});
+  sim.run();
+
+  // origin->relay duplicated, and each forward duplicated again.
+  ASSERT_EQ(relay.seen.size(), 2u);
+  ASSERT_EQ(sink.seen.size(), 4u);
+  for (const Bytes& got : sink.payloads) EXPECT_EQ(got, body);
+  EXPECT_EQ(sim.payload_pool().live(), 0u);
+}
+
+TEST(ZeroCopyWire, DetachOutsideDeliveryThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.detach_payload(), std::logic_error);
+}
+
+// send_shared references one pooled slot per send instead of copying: the
+// slot's refcount, not its count of allocations, tracks the fan-out.
+TEST(ZeroCopyWire, SendSharedAddsReferencesNotCopies) {
+  Simulator sim;
+  TapSink a("sink-a");
+  TapSink b("sink-b");
+  sim.add_node(a);
+  sim.add_node(b);
+  sim.connect("origin", "sink-a", 1000);
+  sim.connect("origin", "sink-b", 1000);
+
+  PayloadRef wire = sim.make_payload(big_payload(1));
+  EXPECT_EQ(sim.payload_pool().refs(wire.handle()), 1u);
+  sim.send_shared("origin", "sink-a", wire, 1, "shared");
+  sim.send_shared("origin", "sink-b", wire, 2, "shared");
+  // One reference per queued delivery plus the caller's: no new slots.
+  EXPECT_EQ(sim.payload_pool().refs(wire.handle()), 3u);
+  EXPECT_EQ(sim.payload_pool().live(), 1u);
+  sim.run();
+  ASSERT_EQ(a.payloads.size(), 1u);
+  ASSERT_EQ(b.payloads.size(), 1u);
+  wire.reset();
+  EXPECT_EQ(sim.payload_pool().live(), 0u);
+}
+
+// A node fanning out via make_payload + send_shared from inside on_packet
+// exercises the sharded shard-local share (no copy) and cross-pool copy
+// branches; receptions must match the serial engine either way.
+class SharedFanRelay final : public Node {
+ public:
+  SharedFanRelay(std::string name, std::vector<Address> dests)
+      : Node(std::move(name)), dests_(std::move(dests)) {}
+
+  void on_packet(const Packet& p, Simulator& sim) override {
+    PayloadRef wire = sim.make_payload(p.payload);
+    for (std::size_t i = 0; i < dests_.size(); ++i) {
+      sim.send_shared(address(), dests_[i], wire, p.context, "shared");
+    }
+  }
+
+ private:
+  std::vector<Address> dests_;
+};
+
+TEST(ZeroCopyWire, ShardedSendSharedMatchesSerial) {
+  auto run = [](std::uint32_t shards) {
+    Simulator sim;
+    SharedFanRelay relay("relay", {"sink-a", "sink-b", "sink-c"});
+    TapSink a("sink-a"), b("sink-b"), c("sink-c");
+    sim.add_node(relay);
+    sim.add_node(a);
+    sim.add_node(b);
+    sim.add_node(c);
+    sim.connect("origin", "relay", 1000);
+    sim.connect("relay", "sink-a", 1000);
+    sim.connect("relay", "sink-b", 1500);
+    sim.connect("relay", "sink-c", 2000);
+    if (shards > 1) {
+      sim.set_shards(shards);
+      // Same shard as the relay (share path) and a different one (copy).
+      sim.set_shard_affinity("relay", 0);
+      sim.set_shard_affinity("sink-a", 0);
+      sim.set_shard_affinity("sink-b", 0);
+      sim.set_shard_affinity("sink-c", 1);
+    }
+    sim.send(Packet{"origin", "relay", big_payload(9), 1, "fwd"});
+    sim.run();
+    std::vector<Bytes> got;
+    for (const TapSink* s : {&a, &b, &c}) {
+      for (const Bytes& x : s->payloads) got.push_back(x);
+    }
+    return got;
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), 3u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+}
+
 }  // namespace
 }  // namespace dcpl::net
