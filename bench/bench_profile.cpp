@@ -2,10 +2,17 @@
 // (1k -> 1M, clipped by --users, default 100k) twice per point — once bare,
 // once with the full telemetry plane attached (obs::TimeSeriesSampler on a
 // 10 ms virtual cadence + net::EngineProfiler with sampled hardware
-// counters) — and reports both the telemetry itself and what the telemetry
-// costs. The overhead of the instrumented run must stay under
+// counters + the net::LatencyTracer request-tracing plane with stage
+// recording on) — and reports both the telemetry itself and what the
+// telemetry costs. The overhead of the instrumented run must stay under
 // --overhead-budget (default 5%) at the largest swept point, so the plane
-// is safe to leave on for full-scale investigations.
+// is safe to leave on for full-scale investigations. A second gate
+// isolates the tracing plane alone: extra bare-vs-tracer-only run pairs at
+// the largest point must show tracing costing under the same budget.
+//
+// The sampler also carries the shard-contention probes (worker busy ns,
+// barrier wait ns, mailbox backpressure) — flat zero on this serial
+// harness, populated when the same probes poll a sharded run.
 //
 // The largest point's series and attribution land in the report's
 // "timeseries" and "profile" sections (dcpl-bench-report/2, validated by
@@ -31,6 +38,8 @@
 
 #include "core/metrics.hpp"
 #include "net/profile.hpp"
+#include "net/tracing.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "report_util.hpp"
@@ -61,6 +70,7 @@ struct Instrumented {
   scale::PointResult result;
   std::unique_ptr<obs::TimeSeriesSampler> sampler;
   std::unique_ptr<net::EngineProfiler> profiler;
+  std::unique_ptr<net::LatencyTracer> tracer;
   std::vector<std::string> protocol_names;
 };
 
@@ -72,9 +82,12 @@ Instrumented run_instrumented(std::size_t n, obs::Registry& registry) {
   Instrumented run;
   run.sampler = std::make_unique<obs::TimeSeriesSampler>(kSampleIntervalUs);
   run.profiler = std::make_unique<net::EngineProfiler>();
+  run.tracer = std::make_unique<net::LatencyTracer>();
 
   scale::PointOptions opts;
   opts.registry = &registry;
+  opts.tracer = run.tracer.get();
+  obs::set_stage_recording(true);
   obs::TimeSeriesSampler* sampler = run.sampler.get();
   net::EngineProfiler* profiler = run.profiler.get();
   opts.on_ready = [sampler, profiler](net::Simulator& sim,
@@ -83,6 +96,17 @@ Instrumented run_instrumented(std::size_t n, obs::Registry& registry) {
     sim.set_profiler(profiler);
     sampler->add_probe("queue_depth", [&sim] {
       return static_cast<double>(sim.queue_depth());
+    });
+    // Shard-contention probes: zero on this serial harness, live numbers
+    // when the same registration polls a sharded engine run.
+    sampler->add_probe("worker_busy_ns", [&sim] {
+      return static_cast<double>(sim.worker_busy_ns());
+    });
+    sampler->add_probe("barrier_wait_ns", [&sim] {
+      return static_cast<double>(sim.barrier_wait_ns());
+    });
+    sampler->add_probe("mailbox_backpressure", [&sim] {
+      return static_cast<double>(sim.mailbox_backpressure());
     });
     sampler->add_counter("events_processed",
                          sim.metrics_registry().counter("events_processed"));
@@ -110,6 +134,7 @@ Instrumented run_instrumented(std::size_t n, obs::Registry& registry) {
   };
 
   run.result = scale::run_point(n, opts);
+  obs::set_stage_recording(false);
   return run;
 }
 
@@ -339,6 +364,46 @@ int main(int argc, char** argv) {
               under_budget ? "ok" : "OVER BUDGET");
   ok &= report.check("telemetry_overhead_under_budget", under_budget);
   report.value("overhead_budget_pct", budget_pct);
+
+  // Tracing plane in isolation, same largest point: interleaved bare vs
+  // tracer-only (no sampler, no profiler) run pairs, best-of each side.
+  // The per-event cost is one trace-context stamp per send plus one
+  // recorder fetch_add per terminal hop and per stage — it must fit the
+  // same budget so tracing can stay on wherever the telemetry plane does.
+  double trace_bare_best = 0.0, traced_best = 0.0;
+  std::uint64_t traced_requests = 0;
+  for (int i = 0; i < repeats; ++i) {
+    const scale::PointResult bare = scale::run_point(cap);
+    trace_bare_best = std::max(trace_bare_best, bare.events_per_sec);
+    net::LatencyTracer tracer;
+    scale::PointOptions topts;
+    topts.tracer = &tracer;
+    obs::set_stage_recording(true);
+    const scale::PointResult traced = scale::run_point(cap, topts);
+    obs::set_stage_recording(false);
+    if (traced.events_per_sec > traced_best) {
+      traced_best = traced.events_per_sec;
+      traced_requests = 0;
+      for (std::size_t p = 0; p < net::LatencyTracer::kMaxProtocols; ++p) {
+        traced_requests +=
+            tracer.e2e(static_cast<net::ProtocolId>(p)).count();
+      }
+    }
+  }
+  const double tracing_overhead_pct =
+      trace_bare_best > 0
+          ? (trace_bare_best - traced_best) / trace_bare_best * 100.0
+          : 0.0;
+  const bool tracing_under_budget =
+      std::max(0.0, tracing_overhead_pct) < budget_pct;
+  std::printf("  tracing overhead at n=%zu: %.1f%% (budget %.1f%%) — %s\n",
+              cap, tracing_overhead_pct, budget_pct,
+              tracing_under_budget ? "ok" : "OVER BUDGET");
+  report.value("tracing_overhead_pct", tracing_overhead_pct);
+  ok &= report.check("tracing_overhead_under_budget", tracing_under_budget);
+  // One end-to-end sample per OHTTP round trip and per mix send.
+  ok &= report.check("tracing_traced_all_requests",
+                     traced_requests == 2 * static_cast<std::uint64_t>(cap));
 
   std::printf("\n== cost attribution at n=%zu (%s hardware counters)\n", cap,
               last.profiler->hw_available() ? "with" : "no");

@@ -21,17 +21,32 @@
 // point: the same workload re-runs at shard counts 2, 4, ... n on the
 // conservative-window parallel engine, reporting per-count throughput,
 // speedup vs. the serial point, and a "shards" report section with the
-// per-shard event/delivery/cross-send split of the largest count.
+// per-shard event/delivery/cross-send split (and contention telemetry:
+// busy vs barrier-wait time, mailbox backpressure, cross-shard traffic)
+// of the largest count.
+//
+// The largest serial point and every sharded point additionally run with
+// the request-tracing plane attached (net::LatencyTracer): per-protocol
+// end-to-end virtual-latency percentiles and the per-hop stage breakdown
+// go to the "latency" report section and to n<cap>_latency_* values the
+// baseline gate compares lower-is-better; --waterfall <path> writes the
+// sampled per-request spans as a Chrome trace. Because trace ids come from
+// deterministic counters and the recorders are commutative, every sharded
+// point's percentiles must be bit-identical to the serial point's — checked
+// per shard count.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "net/tracing.hpp"
 #include "obs/metrics.hpp"
 #include "report_util.hpp"
 #include "scale_workload.hpp"
 
 namespace {
 
+namespace net = dcpl::net;
 namespace obs = dcpl::obs;
 namespace scale = dcpl::bench::scale;
 
@@ -42,8 +57,53 @@ bool parse_flow(int argc, char** argv) {
   return false;
 }
 
+std::string parse_waterfall(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--waterfall") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
 double overhead_pct(double baseline, double with_ledger) {
   return baseline > 0 ? (baseline - with_ledger) / baseline * 100.0 : 0.0;
+}
+
+// Name-keyed digest of one tracer's end-to-end recorders. Protocol ids are
+// interned per run (and in nondeterministic order on the sharded engine),
+// so cross-run comparison goes through the name table, sorted.
+struct ProtoLatency {
+  std::string name;
+  std::uint64_t count = 0, p50 = 0, p99 = 0, p999 = 0, max = 0;
+  bool operator==(const ProtoLatency&) const = default;
+};
+
+std::vector<ProtoLatency> latency_digest(const net::LatencyTracer& tracer,
+                                         const std::vector<std::string>& names) {
+  std::vector<ProtoLatency> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const obs::LatencyRecorder& r =
+        tracer.e2e(static_cast<net::ProtocolId>(i));
+    if (r.count() == 0) continue;
+    out.push_back({names[i], r.count(), r.quantile(0.50), r.quantile(0.99),
+                   r.quantile(0.999), r.max()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProtoLatency& a, const ProtoLatency& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void stage_json(obs::JsonWriter& w, const char* name, const char* unit,
+                const obs::LatencyRecorder& r) {
+  w.key(name);
+  w.begin_object();
+  w.kv("unit", unit);
+  w.kv("count", static_cast<double>(r.count()));
+  w.kv("p50", static_cast<double>(r.quantile(0.50)));
+  w.kv("p99", static_cast<double>(r.quantile(0.99)));
+  w.kv("max", static_cast<double>(r.max()));
+  w.end_object();
 }
 
 }  // namespace
@@ -59,8 +119,12 @@ int main(int argc, char** argv) {
               "events", "events/sec", "bytes/sec", "peak_q");
 
   const bool flow = parse_flow(argc, argv);
+  const std::string waterfall_path = parse_waterfall(argc, argv);
   bool ok = true;
   scale::PointResult cap_serial;  // serial reference for the shard sweep
+  net::LatencyTracer cap_tracer;  // tracing plane at the largest point
+  std::vector<std::string> cap_names;
+  std::vector<ProtoLatency> cap_latency;
   for (std::size_t n : sweep) {
     // Snapshot point: metrics land in a per-size scope of the global
     // registry, which Report::finish serializes as the "metrics" section.
@@ -68,6 +132,13 @@ int main(int argc, char** argv) {
     opts.registry = &obs::global_registry()
                          .scope("scale")
                          .scope("n" + std::to_string(n));
+    if (n == sweep.back()) {
+      opts.tracer = &cap_tracer;
+      opts.on_done = [&cap_names](dcpl::net::Simulator& sim,
+                                  const scale::Tally&) {
+        cap_names = sim.protocol_names();
+      };
+    }
     const scale::PointResult r = scale::run_point(n, opts);
     if (n == sweep.back()) cap_serial = r;
     std::printf("  %10zu %10.1f %12.0f %14.0f %12.0f %10.0f\n", r.users,
@@ -126,6 +197,80 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Latency section from the cap point's tracer: per-protocol end-to-end
+  // virtual percentiles plus the per-hop stage breakdown. The e2e numbers
+  // are virtual-time differences — deterministic for the workload — so
+  // they double as baseline-gated values (lower is better). Wall-clock
+  // crypto/wire stages come from the global stage registry; this workload
+  // runs wire-pattern replicas with no crypto, so those counts are zero
+  // here and populate in the system benches.
+  cap_latency = latency_digest(cap_tracer, cap_names);
+  {
+    const std::string ntag = "n" + std::to_string(cap) + "_";
+    std::printf("== end-to-end latency at %zu users (virtual us)\n", cap);
+    std::printf("  %10s %12s %10s %10s %10s %10s\n", "protocol", "count",
+                "p50", "p99", "p99.9", "max");
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("users", static_cast<double>(cap));
+    w.kv("waterfall_period",
+         static_cast<double>(cap_tracer.waterfall_period()));
+    w.kv("waterfall_spans", static_cast<double>(cap_tracer.span_count()));
+    w.kv("waterfall_dropped",
+         static_cast<double>(cap_tracer.spans_dropped()));
+    w.key("protocols");
+    w.begin_object();
+    for (const ProtoLatency& p : cap_latency) {
+      std::printf("  %10s %12llu %10llu %10llu %10llu %10llu\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  static_cast<unsigned long long>(p.p50),
+                  static_cast<unsigned long long>(p.p99),
+                  static_cast<unsigned long long>(p.p999),
+                  static_cast<unsigned long long>(p.max));
+      w.key(p.name);
+      w.begin_object();
+      w.kv("count", static_cast<double>(p.count));
+      w.kv("p50_us", static_cast<double>(p.p50));
+      w.kv("p99_us", static_cast<double>(p.p99));
+      w.kv("p999_us", static_cast<double>(p.p999));
+      w.kv("max_us", static_cast<double>(p.max));
+      w.end_object();
+      const std::string vtag = ntag + "latency_" + p.name + "_";
+      report.value(vtag + "p50_us", static_cast<double>(p.p50));
+      report.value(vtag + "p99_us", static_cast<double>(p.p99));
+      report.value(vtag + "p999_us", static_cast<double>(p.p999));
+      report.value(vtag + "max_us", static_cast<double>(p.max));
+    }
+    w.end_object();
+    w.key("stages");
+    w.begin_object();
+    stage_json(w, "queue_wait", "us", cap_tracer.stage_queue_wait());
+    stage_json(w, "link", "us", cap_tracer.stage_link());
+    stage_json(w, "crypto_seal", "ns",
+               obs::stage_recorder(obs::Stage::kCryptoSeal));
+    stage_json(w, "crypto_open", "ns",
+               obs::stage_recorder(obs::Stage::kCryptoOpen));
+    stage_json(w, "wire_frame", "ns",
+               obs::stage_recorder(obs::Stage::kWireFrame));
+    w.end_object();
+    w.end_object();
+    report.section("latency", w.take());
+    // Every OHTTP round trip terminates at its client and every mix send
+    // at the sink — one end-to-end sample each, nothing dropped or
+    // double-counted.
+    std::uint64_t e2e_total = 0;
+    for (const ProtoLatency& p : cap_latency) e2e_total += p.count;
+    ok &= report.check(ntag + "latency_all_requests_traced",
+                       e2e_total == 2 * static_cast<std::uint64_t>(cap));
+  }
+  if (!waterfall_path.empty()) {
+    if (!cap_tracer.write_chrome_trace_file(waterfall_path, cap_names)) {
+      std::fprintf(stderr, "bench_scale: cannot write waterfall %s\n",
+                   waterfall_path.c_str());
+      ok = false;
+    }
+  }
+
   // Sharded sweep at the cap point: same workload, conservative-window
   // parallel engine. Aggregate behaviour must be unchanged — identical
   // event count, every OHTTP round-trip and mix send completing — while
@@ -144,6 +289,13 @@ int main(int argc, char** argv) {
                            .scope("n" + std::to_string(cap) + "_s" +
                                   std::to_string(s));
       opts.shards = s;
+      net::LatencyTracer shard_tracer;
+      std::vector<std::string> shard_names;
+      opts.tracer = &shard_tracer;
+      opts.on_done = [&shard_names](dcpl::net::Simulator& sim,
+                                    const scale::Tally&) {
+        shard_names = sim.protocol_names();
+      };
       const scale::PointResult r = scale::run_point(cap, opts);
       const double speedup = cap_serial.events_per_sec > 0
                                  ? r.events_per_sec / cap_serial.events_per_sec
@@ -169,6 +321,14 @@ int main(int argc, char** argv) {
       ok &= report.check(tag + "deliveries_sum_to_total",
                          delivered == r.total_deliveries);
       ok &= report.check(tag + "lookahead_positive", r.lookahead_us > 0);
+      // Bit-identical percentiles vs the serial cap point: trace ids come
+      // from deterministic counters and recorder merging is a commutative
+      // bucket add, so the sharded engine must reproduce the serial
+      // latency distribution exactly — any drift is a lost or duplicated
+      // delivery the aggregate counters could mask.
+      ok &= report.check(tag + "latency_matches_serial",
+                         latency_digest(shard_tracer, shard_names) ==
+                             cap_latency);
 
       // The largest count's per-shard split becomes the report section.
       obs::JsonWriter w;
@@ -186,6 +346,26 @@ int main(int argc, char** argv) {
         w.kv("events", static_cast<double>(r.shard_events[i]));
         w.kv("deliveries", static_cast<double>(r.shard_deliveries[i]));
         w.kv("cross_sends", static_cast<double>(r.shard_cross_sends[i]));
+        // Contention telemetry (wall-clock, machine-dependent): how much
+        // of the worker's time went to executing windows vs waiting at
+        // the window barrier, plus backpressure stalls on full outboxes
+        // and this shard's cross-shard traffic row (destination-indexed
+        // remote sends, deterministic).
+        if (i < r.shard_busy_ns.size()) {
+          w.kv("busy_ns", static_cast<double>(r.shard_busy_ns[i]));
+          w.kv("barrier_wait_ns",
+               static_cast<double>(r.shard_barrier_ns[i]));
+          w.kv("mailbox_stalls",
+               static_cast<double>(r.shard_mailbox_stalls[i]));
+        }
+        if (i < r.shard_traffic.size()) {
+          w.key("traffic");
+          w.begin_array();
+          for (std::uint64_t t : r.shard_traffic[i]) {
+            w.value(static_cast<double>(t));
+          }
+          w.end_array();
+        }
         w.end_object();
       }
       w.end_array();

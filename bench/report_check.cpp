@@ -293,6 +293,117 @@ bool check_shards(const JsonValue& r, bool required) {
     }
     if (deliveries <= 0) return fail("shards{} saw no deliveries");
   }
+  // Contention telemetry rides per_shard[] when the engine recorded it
+  // (absent in /1-era baselines): numeric counters plus a traffic row of
+  // exactly `count` destination cells.
+  for (const auto& b : per->array) {
+    for (const char* k : {"busy_ns", "barrier_wait_ns", "mailbox_stalls"}) {
+      if (b.has(k) && !b.at(k).is_number()) {
+        return fail("per_shard contention counter not numeric");
+      }
+    }
+    if (const JsonValue* traffic = b.find("traffic")) {
+      if (!traffic->is_array() ||
+          static_cast<double>(traffic->array.size()) !=
+              s->at("count").number) {
+        return fail("per_shard traffic row length != count");
+      }
+      for (const auto& t : traffic->array) {
+        if (!t.is_number() || t.number < 0) {
+          return fail("per_shard traffic cell not a non-negative number");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// One percentile summary inside the "latency" object: numeric count /
+// quantile fields with non-decreasing p50 <= p99 (<= p999) <= max whenever
+// any samples were recorded.
+bool check_latency_summary(const JsonValue& b, const char* what,
+                           bool has_p999) {
+  if (!b.is_object()) return fail("latency summary is not an object");
+  const char* suffix_keys[] = {"count", "p50_us", "p99_us", "p999_us",
+                               "max_us"};
+  const char* plain_keys[] = {"count", "p50", "p99", "p999", "max"};
+  const char** keys = has_p999 ? suffix_keys : plain_keys;
+  for (int i = 0; i < 5; ++i) {
+    if (!has_p999 && i == 3) continue;  // stage summaries skip p999
+    if (!b.has(keys[i]) || !b.at(keys[i]).is_number() ||
+        b.at(keys[i]).number < 0) {
+      std::fprintf(stderr,
+                   "report_check: latency %s missing numeric %s\n", what,
+                   keys[i]);
+      return false;
+    }
+  }
+  if (b.at(keys[0]).number > 0) {
+    const double p50 = b.at(keys[1]).number;
+    const double p99 = b.at(keys[2]).number;
+    const double max = b.at(keys[4]).number;
+    if (p50 > p99 || p99 > max) {
+      return fail("latency percentiles not non-decreasing");
+    }
+    if (has_p999 &&
+        (p99 > b.at(keys[3]).number || b.at(keys[3]).number > max)) {
+      return fail("latency percentiles not non-decreasing");
+    }
+  }
+  return true;
+}
+
+// The optional "latency" object the tracing plane emits: per-protocol
+// end-to-end percentile summaries plus the per-hop stage breakdown (each
+// stage tagged with its unit — virtual us for queue_wait/link, wall ns for
+// the crypto/wire stages). With `required`, at least one protocol must
+// carry samples and the virtual link stage must have recorded — a bench
+// claiming the tracer was attached must show traced requests.
+bool check_latency(const JsonValue& r, bool required) {
+  const JsonValue* l = r.find("latency");
+  if (!l) {
+    return required ? fail("missing latency{} (--require-latency)") : true;
+  }
+  if (!l->is_object()) return fail("latency is not an object");
+  for (const char* k : {"users", "waterfall_period", "waterfall_spans",
+                        "waterfall_dropped"}) {
+    if (!l->has(k) || !l->at(k).is_number()) {
+      return fail("latency missing numeric field");
+    }
+  }
+  const JsonValue* protos = l->find("protocols");
+  if (!protos || !protos->is_object()) {
+    return fail("latency missing protocols{}");
+  }
+  double traced = 0;
+  for (const auto& [name, b] : protos->object) {
+    if (name.empty()) return fail("latency protocol with empty name");
+    if (!check_latency_summary(b, name.c_str(), /*has_p999=*/true)) {
+      return false;
+    }
+    traced += b.at("count").number;
+  }
+  const JsonValue* stages = l->find("stages");
+  if (!stages || !stages->is_object()) return fail("latency missing stages{}");
+  for (const char* k :
+       {"queue_wait", "link", "crypto_seal", "crypto_open", "wire_frame"}) {
+    const JsonValue* b = stages->find(k);
+    if (!b) return fail("latency stages missing a stage");
+    if (!b->has("unit") || !b->at("unit").is_string()) {
+      return fail("latency stage missing unit");
+    }
+    if (!check_latency_summary(*b, k, /*has_p999=*/false)) return false;
+  }
+  if (required) {
+    if (traced <= 0) return fail("latency{} present but traced no requests");
+    if (stages->at("link").at("count").number <= 0) {
+      return fail("latency{} link stage recorded no hops");
+    }
+    if (l->at("waterfall_period").number > 0 &&
+        l->at("waterfall_spans").number <= 0) {
+      return fail("latency{} waterfall sampling on but captured no spans");
+    }
+  }
   return true;
 }
 
@@ -434,14 +545,17 @@ bool check_crypto(const JsonValue& r, bool required) {
   return true;
 }
 
-// Compares the report's throughput values against a committed baseline
-// report (BENCH_scale.json / BENCH_crypto.json): every "*_events_per_sec"
-// or "*_ops_per_sec" key present in BOTH files must not fall more than
-// tolerance_pct below the baseline's value. Keys only one side carries are
-// ignored (a CI smoke run sweeps fewer points than the committed full
-// sweep). Running faster than the band only warns — it means the committed
-// baseline is stale and worth regenerating, but a faster machine is not a
-// regression.
+// Compares the report's values against a committed baseline report
+// (BENCH_scale.json / BENCH_crypto.json). Two key families gate, with
+// opposite polarity:
+//   * throughput ("*_events_per_sec" / "*_ops_per_sec", higher is
+//     better): must not fall more than tolerance_pct below the baseline;
+//   * latency percentiles ("*latency_*_us", lower is better): must not
+//     rise more than tolerance_pct above the baseline.
+// Keys present in only one file are ignored (a CI smoke run sweeps fewer
+// points than the committed full sweep). Improving past the band only
+// warns — it means the committed baseline is stale and worth
+// regenerating, but a faster machine is not a regression.
 bool check_baseline(const JsonValue& r, const JsonValue& base,
                     double tolerance_pct) {
   const JsonValue* values = r.find("values");
@@ -456,35 +570,39 @@ bool check_baseline(const JsonValue& r, const JsonValue& base,
   };
   std::size_t compared = 0;
   for (const auto& [key, val] : values->object) {
-    if (!has_suffix(key, "_events_per_sec") &&
-        !has_suffix(key, "_ops_per_sec")) {
-      continue;
-    }
+    const bool higher_better = has_suffix(key, "_events_per_sec") ||
+                               has_suffix(key, "_ops_per_sec");
+    const bool lower_better = !higher_better &&
+                              key.find("latency_") != std::string::npos &&
+                              has_suffix(key, "_us");
+    if (!higher_better && !lower_better) continue;
     const JsonValue* ref = base_values->find(key);
     if (!ref) continue;
     if (!val.is_number() || !ref->is_number() || ref->number <= 0) {
-      return fail("baseline/report throughput not a positive number");
+      return fail("baseline/report value not a positive number");
     }
     const double delta_pct = (val.number - ref->number) / ref->number * 100.0;
     std::printf("report_check: %s = %.0f vs baseline %.0f (%+.1f%%)\n",
                 key.c_str(), val.number, ref->number, delta_pct);
-    if (delta_pct < -tolerance_pct) {
+    const double regress_pct = higher_better ? -delta_pct : delta_pct;
+    if (regress_pct > tolerance_pct) {
       std::fprintf(stderr,
                    "report_check: %s regressed %.1f%% vs baseline "
-                   "(tolerance -%.0f%%)\n",
-                   key.c_str(), -delta_pct, tolerance_pct);
+                   "(tolerance %.0f%%)\n",
+                   key.c_str(), regress_pct, tolerance_pct);
       return false;
     }
-    if (delta_pct > tolerance_pct) {
+    if (regress_pct < -tolerance_pct) {
       std::fprintf(stderr,
-                   "report_check: warning: %s is %.1f%% above baseline — "
-                   "consider regenerating the committed baseline\n",
-                   key.c_str(), delta_pct);
+                   "report_check: warning: %s improved %.1f%% past the "
+                   "baseline band — consider regenerating the committed "
+                   "baseline\n",
+                   key.c_str(), -regress_pct);
     }
     ++compared;
   }
   if (compared == 0) {
-    return fail("no throughput keys shared with baseline");
+    return fail("no gated keys shared with baseline");
   }
   return true;
 }
@@ -503,6 +621,7 @@ int main(int argc, char** argv) {
   bool require_profile = false;
   bool require_shards = false;
   bool require_crypto = false;
+  bool require_latency = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -525,6 +644,8 @@ int main(int argc, char** argv) {
       require_shards = true;
     } else if (std::strcmp(argv[i], "--require-crypto") == 0) {
       require_crypto = true;
+    } else if (std::strcmp(argv[i], "--require-latency") == 0) {
+      require_latency = true;
     } else {
       report_path = argv[i];
     }
@@ -534,7 +655,7 @@ int main(int argc, char** argv) {
                  "usage: report_check <report.json> [--min-tables N] "
                  "[--require-faults] [--require-flow] [--require-timeseries] "
                  "[--require-profile] [--require-shards] [--require-crypto] "
-                 "[--trace trace.json] "
+                 "[--require-latency] [--trace trace.json] "
                  "[--baseline baseline.json [--tolerance pct]]\n");
     return 2;
   }
@@ -545,7 +666,8 @@ int main(int argc, char** argv) {
       !check_timeseries(report, require_timeseries) ||
       !check_profile(report, require_profile) ||
       !check_shards(report, require_shards) ||
-      !check_crypto(report, require_crypto)) {
+      !check_crypto(report, require_crypto) ||
+      !check_latency(report, require_latency)) {
     return 1;
   }
   if (trace_path) {

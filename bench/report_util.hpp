@@ -42,10 +42,27 @@
 //     "shards": { "count", "users", "lookahead_us", "windows",
 //                 "total_deliveries",
 //                 "per_shard": [{"shard","events","deliveries",
-//                                "cross_sends"}] },
+//                                "cross_sends",
+//                                // contention telemetry (wall-clock,
+//                                // machine-dependent; optional):
+//                                "busy_ns","barrier_wait_ns",
+//                                "mailbox_stalls",
+//                                "traffic": [<deliveries sent to shard j>]}] },
 //                                         // optional; present when the bench
 //                                         // ran the sharded engine (emitted
 //                                         // via Report::section)
+//     "latency": { "users", "waterfall_period", "waterfall_spans",
+//                  "waterfall_dropped",
+//                  "protocols": { "<name>": {"count","p50_us","p99_us",
+//                                            "p999_us","max_us"} },
+//                  "stages": { "queue_wait"|"link"|"crypto_seal"|
+//                              "crypto_open"|"wire_frame":
+//                                {"unit","count","p50","p99","max"} } },
+//                                         // optional; present when the bench
+//                                         // attached a net::LatencyTracer.
+//                                         // Virtual-time stages are exact
+//                                         // and deterministic; crypto/wire
+//                                         // stages are wall-clock ns
 //     "crypto": { "budget_ms",
 //                 "ops": { <name>: {"iters","ns_per_op","ops_per_sec"} },
 //                 "hpke_amortization_x", "fused_seal_gain_x" }

@@ -26,6 +26,7 @@
 
 #include "core/knowledge.hpp"
 #include "net/sim.hpp"
+#include "net/tracing.hpp"
 #include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 
@@ -201,6 +202,13 @@ struct PointResult {
   std::vector<std::uint64_t> shard_events;
   std::vector<std::uint64_t> shard_deliveries;
   std::vector<std::uint64_t> shard_cross_sends;
+  // Contention telemetry (wall-clock, machine-dependent — reported, never
+  // baselined): per-worker busy vs barrier-wait time, mailbox backpressure
+  // stalls, and the cross-shard traffic matrix.
+  std::vector<std::uint64_t> shard_busy_ns;
+  std::vector<std::uint64_t> shard_barrier_ns;
+  std::vector<std::uint64_t> shard_mailbox_stalls;
+  std::vector<std::vector<std::uint64_t>> shard_traffic;
 };
 
 /// Attachments for one sweep point. `registry` receives the simulator's
@@ -212,6 +220,11 @@ struct PointResult {
 struct PointOptions {
   obs::Registry* registry = nullptr;
   obs::FlowLedger* ledger = nullptr;
+  /// Attaches the request-tracing plane for the point: every client send
+  /// opens a trace, terminal hops record end-to-end virtual latency, and
+  /// sampled traces emit waterfall spans. Caller-owned; reset it between
+  /// points unless accumulating a whole sweep is intended.
+  net::LatencyTracer* tracer = nullptr;
   /// > 1 runs the point on the sharded engine: infrastructure nodes are
   /// pinned round-robin across shards and the unpinned clients fall to
   /// their id-modulo shard.
@@ -234,6 +247,7 @@ inline PointResult run_point(std::size_t n_users,
   sim.set_metrics(registry);
   sim.set_trace_recording(false);
   sim.set_link_byte_accounting(false);
+  if (opts.tracer != nullptr) sim.set_latency_tracer(opts.tracer);
   if (opts.ledger != nullptr) {
     // Worst-case ledger load: every delivery becomes an exposure with a
     // per-context label, so nothing dedups and the causal frontier grows
@@ -343,6 +357,7 @@ inline PointResult run_point(std::size_t n_users,
   // attachments (on_ready-registered probes may reference `tally`).
   sim.set_sampler(nullptr);
   sim.set_profiler(nullptr);
+  sim.set_latency_tracer(nullptr);
   if (opts.on_done) opts.on_done(sim, tally);
 
   r.wall_ms = wall_s * 1e3;
@@ -351,7 +366,9 @@ inline PointResult run_point(std::size_t n_users,
   r.events_per_sec = wall_s > 0 ? r.events / wall_s : 0;
   r.bytes_per_sec =
       wall_s > 0 ? static_cast<double>(sim.bytes_delivered()) / wall_s : 0;
-  r.peak_queue_depth = registry.gauge("queue_depth").peak();
+  // The live queue_depth gauge is zeroed at drain; the run's high-water
+  // mark lives on the dedicated peak gauge.
+  r.peak_queue_depth = registry.gauge("queue_depth_peak").peak();
 
   if (opts.shards > 1) {
     const net::Simulator::ShardRunStats& ss = sim.shard_stats();
@@ -362,6 +379,10 @@ inline PointResult run_point(std::size_t n_users,
     r.shard_events = ss.events;
     r.shard_deliveries = ss.deliveries;
     r.shard_cross_sends = ss.cross_sends;
+    r.shard_busy_ns = ss.busy_ns;
+    r.shard_barrier_ns = ss.barrier_wait_ns;
+    r.shard_mailbox_stalls = ss.mailbox_full_stalls;
+    r.shard_traffic = ss.traffic;
   }
 
   r.ohttp_complete = tally.ohttp_responses == n_users;

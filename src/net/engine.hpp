@@ -42,6 +42,12 @@ struct EngineEvent {
   std::uint64_t link_key = 0;  ///< delivery: packed (src_id, dst_id)
   std::uint64_t context = 0;   ///< delivery: linkage context
   Time latency_sample = 0;     ///< delivery: deliver_at - send-time now
+  // Tracing-plane fields (zero when no LatencyTracer is attached): which
+  // request trace this delivery belongs to, the virtual time the trace's
+  // originating send happened, and this delivery's hop index within it.
+  std::uint64_t trace_id = 0;
+  Time trace_origin = 0;
+  std::uint32_t trace_hop = 0;
   std::uint32_t handle = 0;    ///< delivery: payload slot; callback: fn slot
   ProtocolId protocol = 0;     ///< delivery: interned protocol label
   enum Kind : std::uint8_t { kDelivery = 0, kCallback = 1 };

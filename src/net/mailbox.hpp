@@ -38,6 +38,11 @@ struct ShardEvent {
   std::uint64_t link_key = 0;   ///< packed (src_id, dst_id)
   std::uint64_t context = 0;    ///< linkage context
   Time latency_sample = 0;      ///< deliver_at - send-time now
+  // Tracing-plane fields — carried verbatim into the destination shard's
+  // EngineEvent so a trace survives crossing shard boundaries.
+  std::uint64_t trace_id = 0;
+  Time trace_origin = 0;
+  std::uint32_t trace_hop = 0;
   std::uint32_t protocol = 0;   ///< interned protocol label
   Bytes payload;
 };

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "net/profile.hpp"
+#include "net/tracing.hpp"
 #include "obs/flow.hpp"
 #include "obs/sampler.hpp"
 
@@ -93,6 +95,7 @@ void Simulator::bind_metrics() {
   packets_m_ = &metrics_->counter("packets_delivered");
   bytes_m_ = &metrics_->counter("bytes_delivered");
   queue_depth_m_ = &metrics_->gauge("queue_depth");
+  queue_depth_peak_m_ = &metrics_->gauge("queue_depth_peak");
   pool_live_m_ = &metrics_->gauge("pool_live");
   pool_slots_m_ = &metrics_->gauge("pool_slots");
   delivery_latency_m_ = &metrics_->histogram("delivery_latency_us");
@@ -225,7 +228,8 @@ void Simulator::note_queue_pop() {
 
 void Simulator::push_delivery(Time deliver_at, std::uint64_t link_key,
                               PayloadHandle h, std::uint64_t context,
-                              ProtocolId protocol) {
+                              ProtocolId protocol,
+                              const obs::TraceContext& tc) {
   EngineEvent ev;
   ev.time = deliver_at;
   ev.seq = ++event_seq_;
@@ -235,11 +239,33 @@ void Simulator::push_delivery(Time deliver_at, std::uint64_t link_key,
   // a packet later dropped by a crash window must not contribute to the
   // delivery-latency histogram.
   ev.latency_sample = deliver_at - now_;
+  ev.trace_id = tc.trace_id;
+  ev.trace_origin = tc.origin_us;
+  ev.trace_hop = tc.hop;
   ev.handle = h;
   ev.protocol = protocol;
   ev.kind = EngineEvent::kDelivery;
   queue_.push(ev);
   note_queue_push();
+}
+
+obs::TraceContext Simulator::next_trace() {
+  if (latency_ == nullptr) return {};
+  if (cur_trace_.active()) {
+    // A send issued while a delivery is in flight continues that packet's
+    // trace one hop further (the relay/forward idiom).
+    trace_continued_ = true;
+    obs::TraceContext tc = cur_trace_;
+    ++tc.hop;
+    return tc;
+  }
+  obs::TraceContext tc;
+  const std::uint64_t seq = ++trace_seq_;
+  tc.trace_id =
+      latency_->waterfall_trace(seq) ? (seq | obs::kTraceWaterfallBit) : seq;
+  tc.origin_us = now_;
+  tc.hop = 0;
+  return tc;
 }
 
 Simulator::SendPlan Simulator::plan_send(AddressId src_id,
@@ -331,6 +357,15 @@ Simulator::SendPlan Simulator::plan_send(AddressId src_id,
     }
     plan.dup_at = base + dup_delay;
   }
+  if (latency_ != nullptr) {
+    // Per-hop stage attribution, stamped once per surviving send (the
+    // fault-duplicate shares the primary's stages): the link flight time,
+    // and everything else the hop waited on (serialization + caller delay
+    // + jitter) — fired − scheduled minus the link component.
+    latency_->stage_link().record(latency);
+    latency_->stage_queue_wait().record(serialization + extra_delay +
+                                        fault_delay);
+  }
   return plan;
 }
 
@@ -352,14 +387,15 @@ void Simulator::send(Packet packet, Time extra_delay) {
                                   packet.payload.size(), extra_delay);
   if (plan.dropped) return;
   const ProtocolId proto = intern_protocol(packet.protocol);
+  const obs::TraceContext tc = next_trace();
   const PayloadHandle h = pool_.acquire(std::move(packet.payload));
   if (plan.duplicated) {
     // The duplicate shares the original's buffer and is pushed first, so it
     // takes the lower sequence number — exactly the seed engine's order.
     pool_.add_ref(h);
-    push_delivery(plan.dup_at, link_key, h, packet.context, proto);
+    push_delivery(plan.dup_at, link_key, h, packet.context, proto, tc);
   }
-  push_delivery(plan.deliver_at, link_key, h, packet.context, proto);
+  push_delivery(plan.deliver_at, link_key, h, packet.context, proto, tc);
 }
 
 PayloadRef Simulator::make_payload(Bytes bytes) {
@@ -395,13 +431,14 @@ void Simulator::send_shared(const Address& src, const Address& dst,
                                   payload.bytes().size(), extra_delay);
   if (plan.dropped) return;
   const ProtocolId proto = intern_protocol(protocol);
+  const obs::TraceContext tc = next_trace();
   const PayloadHandle h = payload.handle();
   if (plan.duplicated) {
     pool_.add_ref(h);
-    push_delivery(plan.dup_at, link_key, h, context, proto);
+    push_delivery(plan.dup_at, link_key, h, context, proto, tc);
   }
   pool_.add_ref(h);
-  push_delivery(plan.deliver_at, link_key, h, context, proto);
+  push_delivery(plan.deliver_at, link_key, h, context, proto, tc);
 }
 
 void Simulator::at(Time t, std::function<void()> fn) {
@@ -470,7 +507,24 @@ void Simulator::deliver(const EngineEvent& ev) {
     if (record_trace_) trace_.push_back(std::move(entry));
   }
   CurrentDeliveryScope current(current_handle_, ev.handle);
+  cur_trace_.trace_id = ev.trace_id;
+  cur_trace_.origin_us = ev.trace_origin;
+  cur_trace_.hop = ev.trace_hop;
+  trace_continued_ = false;
   nodes_[dst_id]->on_packet(scratch_, *this);
+  if (latency_ != nullptr && ev.trace_id != 0) {
+    if (!trace_continued_) {
+      // Terminal hop: nothing inside the handler carried the trace on, so
+      // the request ends here — stamp its end-to-end virtual latency under
+      // the terminal protocol.
+      latency_->e2e(ev.protocol).record(now_ - ev.trace_origin);
+    }
+    if ((ev.trace_id & obs::kTraceWaterfallBit) != 0) {
+      latency_->add_span({ev.trace_id, ev.trace_hop, ev.protocol,
+                          ev.time - ev.latency_sample, ev.time});
+    }
+  }
+  cur_trace_.trace_id = 0;
 }
 
 void Simulator::forward(const Address& src, const Address& dst,
@@ -524,9 +578,9 @@ Time Simulator::run() {
         dispatch(ev);
       }
     }
-    // Publish the exact high-watermark through the gauge's peak tracking,
-    // then settle the sampled value at the true drained depth of zero.
-    queue_depth_m_->set(static_cast<double>(queue_peak_));
+    // Publish the exact high-watermark on its own gauge: samplers polling
+    // queue_depth at run end never observe a phantom peak-then-zero spike.
+    queue_depth_peak_m_->set(static_cast<double>(queue_peak_));
     queue_depth_m_->set(0.0);
     pool_live_m_->set(static_cast<double>(pool_.live()));
     pool_slots_m_->set(static_cast<double>(pool_.slots()));
@@ -700,6 +754,20 @@ struct Simulator::Shard {
   std::uint64_t delivered_bytes = 0;
   std::uint64_t cross_sends = 0;
   std::size_t queue_peak = 0;
+  // Tracing plane: shard-namespaced trace-id counter, the trace of the
+  // delivery currently inside on_packet, and a private recorder lane so
+  // hop recording never shares cache lines across workers.
+  std::uint64_t trace_seq = 0;
+  obs::TraceContext cur_trace;
+  bool trace_continued = false;
+  std::unique_ptr<LatencyLane> lane;
+  // Contention telemetry: wall time split between processing and barrier
+  // waits, failed mailbox pushes, and the outgoing traffic row
+  // (traffic[dst] = events pushed to shard dst — deterministic).
+  std::uint64_t busy_ns = 0;
+  std::uint64_t barrier_ns = 0;
+  std::uint64_t mailbox_full_stalls = 0;
+  std::vector<std::uint64_t> traffic;
   std::exception_ptr error;
 };
 
@@ -735,13 +803,14 @@ void Simulator::sharded_send_shared(Shard& sh, const Address& src,
                                             extra_delay);
     if (plan.dropped) return;
     const ProtocolId proto = intern_protocol_mt(protocol);
+    const obs::TraceContext tc = sharded_next_trace(sh);
     const PayloadHandle h = payload.handle();
     if (plan.duplicated) {
       sh.pool.add_ref(h);
-      sharded_push_local(sh, plan.dup_at, link_key, h, context, proto);
+      sharded_push_local(sh, plan.dup_at, link_key, h, context, proto, tc);
     }
     sh.pool.add_ref(h);
-    sharded_push_local(sh, plan.deliver_at, link_key, h, context, proto);
+    sharded_push_local(sh, plan.deliver_at, link_key, h, context, proto, tc);
     return;
   }
   // Crossing a shard boundary (or sharing a frozen global-pool buffer):
@@ -896,6 +965,8 @@ void Simulator::build_shards() {
     auto sh = std::make_unique<Shard>();
     sh->id = i;
     sh->sim = this;
+    sh->lane = std::make_unique<LatencyLane>();
+    sh->traffic.assign(shards_, 0);
     if (fault_plan_) {
       sh->fault_rng = std::make_unique<XoshiroRng>(
           fault_plan_->seed() + kShardSeedStride * i);
@@ -953,16 +1024,40 @@ void Simulator::sharded_at(Shard& sh, Time t, std::function<void()> fn) {
   if (depth > sh.queue_peak) sh.queue_peak = depth;
 }
 
+obs::TraceContext Simulator::sharded_next_trace(Shard& sh) {
+  if (latency_ == nullptr) return {};
+  if (sh.cur_trace.active()) {
+    sh.trace_continued = true;
+    obs::TraceContext tc = sh.cur_trace;
+    ++tc.hop;
+    return tc;
+  }
+  // Shard-namespaced fresh trace, mirroring new_context(): ids depend only
+  // on the shard's own deterministic schedule, never the wall clock or
+  // thread interleaving.
+  obs::TraceContext tc;
+  const std::uint64_t seq = ++sh.trace_seq;
+  std::uint64_t id = (static_cast<std::uint64_t>(sh.id + 1) << 48) | seq;
+  if (latency_->waterfall_trace(seq)) id |= obs::kTraceWaterfallBit;
+  tc.trace_id = id;
+  tc.origin_us = sh.now;
+  tc.hop = 0;
+  return tc;
+}
+
 void Simulator::sharded_push_local(Shard& sh, Time deliver_at,
                                    std::uint64_t link_key, PayloadHandle h,
-                                   std::uint64_t context,
-                                   ProtocolId protocol) {
+                                   std::uint64_t context, ProtocolId protocol,
+                                   const obs::TraceContext& tc) {
   EngineEvent ev;
   ev.time = deliver_at;
   ev.seq = ++sh.event_seq;
   ev.link_key = link_key;
   ev.context = context;
   ev.latency_sample = deliver_at - sh.now;
+  ev.trace_id = tc.trace_id;
+  ev.trace_origin = tc.origin_us;
+  ev.trace_hop = tc.hop;
   ev.handle = h;
   ev.protocol = protocol;
   ev.kind = EngineEvent::kDelivery;
@@ -974,6 +1069,7 @@ void Simulator::sharded_push_local(Shard& sh, Time deliver_at,
 void Simulator::sharded_push_remote(Shard& sh, std::uint32_t dst_shard,
                                     ShardEvent ev) {
   ++sh.cross_sends;
+  ++sh.traffic[dst_shard];
   ShardMailbox& box = shard_v_[dst_shard]->inbox;
   while (!box.try_push(std::move(ev))) {
     if (run_abort_ != nullptr &&
@@ -985,6 +1081,7 @@ void Simulator::sharded_push_remote(Shard& sh, std::uint32_t dst_shard,
     // may be blocked on) and yield to the mailbox owner. Staged events are
     // enqueued only at the barrier, so drain timing can't affect the merge
     // order.
+    ++sh.mailbox_full_stalls;
     sh.inbox.drain(sh.staged);
     std::this_thread::yield();
   }
@@ -1052,6 +1149,11 @@ Simulator::SendPlan Simulator::plan_send_sharded(Shard& sh,
     ++sh.stats.duplicated;
     plan.dup_at = base + dup_delay;
   }
+  if (latency_ != nullptr) {
+    // Same stage stamps as plan_send, into the shard's private lane.
+    sh.lane->link.record(latency);
+    sh.lane->queue_wait.record(serialization + extra_delay + fault_delay);
+  }
   return plan;
 }
 
@@ -1067,21 +1169,25 @@ void Simulator::sharded_send(Shard& sh, AddressId src_id, AddressId dst_id,
       plan_send_sharded(sh, link_key, src_id, payload.size(), extra_delay);
   if (plan.dropped) return;
   const ProtocolId proto = intern_protocol_mt(protocol);
+  const obs::TraceContext tc = sharded_next_trace(sh);
   const std::uint32_t dst_shard = shard_of_id(dst_id);
   if (dst_shard == sh.id) {
     const PayloadHandle h = sh.pool.acquire(std::move(payload));
     if (plan.duplicated) {
       // Duplicate first — lower seq — exactly the serial engine's order.
       sh.pool.add_ref(h);
-      sharded_push_local(sh, plan.dup_at, link_key, h, context, proto);
+      sharded_push_local(sh, plan.dup_at, link_key, h, context, proto, tc);
     }
-    sharded_push_local(sh, plan.deliver_at, link_key, h, context, proto);
+    sharded_push_local(sh, plan.deliver_at, link_key, h, context, proto, tc);
     return;
   }
   ShardEvent xev;
   xev.src_shard = sh.id;
   xev.link_key = link_key;
   xev.context = context;
+  xev.trace_id = tc.trace_id;
+  xev.trace_origin = tc.origin_us;
+  xev.trace_hop = tc.hop;
   xev.protocol = proto;
   if (plan.duplicated) {
     ShardEvent dup = xev;
@@ -1129,7 +1235,25 @@ void Simulator::sharded_deliver(Shard& sh, const EngineEvent& ev) {
   // the handler records land inside it when the batch commits.
   FlowDeliveryScope flow_scope(flow_, ev.context, proto.name);
   CurrentDeliveryScope current(sh.current_handle, ev.handle);
+  sh.cur_trace.trace_id = ev.trace_id;
+  sh.cur_trace.origin_us = ev.trace_origin;
+  sh.cur_trace.hop = ev.trace_hop;
+  sh.trace_continued = false;
   nodes_[dst_id]->on_packet(sh.scratch, *this);
+  if (latency_ != nullptr && ev.trace_id != 0) {
+    if (!sh.trace_continued) {
+      sh.lane->e2e[ev.protocol < LatencyTracer::kMaxProtocols
+                       ? ev.protocol
+                       : LatencyTracer::kMaxProtocols - 1]
+          .record(sh.now - ev.trace_origin);
+    }
+    if ((ev.trace_id & obs::kTraceWaterfallBit) != 0) {
+      // Rare (sampled traces only), so the tracer's span mutex is fine.
+      latency_->add_span({ev.trace_id, ev.trace_hop, ev.protocol,
+                          ev.time - ev.latency_sample, ev.time});
+    }
+  }
+  sh.cur_trace.trace_id = 0;
 }
 
 void Simulator::sharded_dispatch(Shard& sh, const EngineEvent& ev) {
@@ -1175,6 +1299,9 @@ void Simulator::drain_inbox_into_queue(Shard& sh) {
     ev.link_key = xev.link_key;
     ev.context = xev.context;
     ev.latency_sample = xev.latency_sample;
+    ev.trace_id = xev.trace_id;
+    ev.trace_origin = xev.trace_origin;
+    ev.trace_hop = xev.trace_hop;
     ev.handle = sh.pool.acquire(std::move(xev.payload));
     ev.protocol = xev.protocol;
     ev.kind = EngineEvent::kDelivery;
@@ -1271,9 +1398,14 @@ void Simulator::finish_sharded_run(std::uint64_t windows) {
     faults.offline_dropped += sh.stats.offline_dropped;
     faults.breaches_fired += sh.stats.breaches_fired;
     delivery_latency_m_->merge(sh.latency_hist);
+    if (latency_ != nullptr) latency_->merge_lane(*sh.lane);
     shard_stats_.events[sh.id] = sh.events;
     shard_stats_.deliveries[sh.id] = sh.deliveries;
     shard_stats_.cross_sends[sh.id] = sh.cross_sends;
+    shard_stats_.busy_ns[sh.id] = sh.busy_ns;
+    shard_stats_.barrier_wait_ns[sh.id] = sh.barrier_ns;
+    shard_stats_.mailbox_full_stalls[sh.id] = sh.mailbox_full_stalls;
+    shard_stats_.traffic[sh.id] = sh.traffic;
   }
   now_ = end;
   packets_delivered_ += packets;
@@ -1297,7 +1429,9 @@ void Simulator::finish_sharded_run(std::uint64_t windows) {
   }
   // Peak queue depth is the sum of per-shard peaks — an upper bound on the
   // true global instantaneous peak, deterministic and shard-attributable.
-  queue_depth_m_->set(static_cast<double>(peak));
+  // Published on the dedicated peak gauge so queue_depth itself settles at
+  // the drained depth without a phantom end-of-run spike.
+  queue_depth_peak_m_->set(static_cast<double>(peak));
   queue_depth_m_->set(0.0);
   pool_live_m_->set(static_cast<double>(pool_live));
   pool_slots_m_->set(static_cast<double>(pool_slots));
@@ -1332,6 +1466,11 @@ Time Simulator::run_sharded() {
   shard_stats_.events.assign(shards_, 0);
   shard_stats_.deliveries.assign(shards_, 0);
   shard_stats_.cross_sends.assign(shards_, 0);
+  shard_stats_.busy_ns.assign(shards_, 0);
+  shard_stats_.barrier_wait_ns.assign(shards_, 0);
+  shard_stats_.mailbox_full_stalls.assign(shards_, 0);
+  shard_stats_.traffic.assign(shards_,
+                              std::vector<std::uint64_t>(shards_, 0));
 
   // Window state: written by the main thread here and by the barrier
   // completion function (all workers parked), read by workers only after a
@@ -1414,7 +1553,18 @@ Time Simulator::run_sharded() {
     Shard& sh = *shard_v_[idx];
     tls_shard_ = &sh;
     obs::FlowLedger::set_lane(idx);
+    // Contention attribution: split each round's wall time between doing
+    // work (process + drain) and waiting on the two barriers. The updates
+    // land after the barriers release, so coordinator-side probe reads
+    // (which run with all workers parked) never race — they just lag one
+    // barrier segment.
+    using wall = std::chrono::steady_clock;
+    const auto ns_between = [](wall::time_point a, wall::time_point b) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+    };
     while (!done) {
+      const auto t0 = wall::now();
       if (!abort.load(std::memory_order_relaxed)) {
         try {
           process_window(sh, window_end);
@@ -1423,13 +1573,19 @@ Time Simulator::run_sharded() {
           abort.store(true, std::memory_order_relaxed);
         }
       }
+      const auto t1 = wall::now();
       // Barrier 1: all sends for this window have landed — every inbox
       // holds its complete batch.
       sends_done.arrive_and_wait();
+      const auto t2 = wall::now();
       drain_inbox_into_queue(sh);
+      const auto t3 = wall::now();
       // Barrier 2: the completion function replays observability, applies
       // any pending fault plan, and opens the next window.
       window_done.arrive_and_wait();
+      const auto t4 = wall::now();
+      sh.busy_ns += ns_between(t0, t1) + ns_between(t2, t3);
+      sh.barrier_ns += ns_between(t1, t2) + ns_between(t3, t4);
     }
     tls_shard_ = nullptr;
   };
@@ -1456,6 +1612,24 @@ Time Simulator::run_sharded() {
   }
   finish_sharded_run(windows);
   return now_;
+}
+
+std::uint64_t Simulator::worker_busy_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shard_v_) total += sh->busy_ns;
+  return total;
+}
+
+std::uint64_t Simulator::barrier_wait_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shard_v_) total += sh->barrier_ns;
+  return total;
+}
+
+std::uint64_t Simulator::mailbox_backpressure() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shard_v_) total += sh->mailbox_full_stalls;
+  return total;
 }
 
 bool Simulator::is_breached(const Address& party) const {

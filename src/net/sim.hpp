@@ -53,6 +53,7 @@
 #include "net/faults.hpp"
 #include "net/mailbox.hpp"
 #include "net/pool.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -76,6 +77,7 @@ struct Packet {
 
 class Simulator;
 class EngineProfiler;
+class LatencyTracer;
 
 /// A participant in the network. Systems subclass this per party
 /// (client, relay, resolver, ...). Nodes are owned by the systems that
@@ -231,8 +233,25 @@ class Simulator {
     std::vector<std::uint64_t> events;        ///< per shard, all kinds
     std::vector<std::uint64_t> deliveries;    ///< per shard
     std::vector<std::uint64_t> cross_sends;   ///< per shard, mailbox pushes
+    // Contention telemetry (wall-clock, excluded from determinism checks
+    // like wall_ms): where each worker's time went, and how often its
+    // cross-shard pushes hit a full mailbox.
+    std::vector<std::uint64_t> busy_ns;             ///< per shard
+    std::vector<std::uint64_t> barrier_wait_ns;     ///< per shard
+    std::vector<std::uint64_t> mailbox_full_stalls; ///< per shard
+    /// Deterministic cross-shard traffic matrix: traffic[src][dst] counts
+    /// mailbox events pushed from shard src to shard dst.
+    std::vector<std::vector<std::uint64_t>> traffic;
   };
   const ShardRunStats& shard_stats() const { return shard_stats_; }
+
+  /// Live contention aggregates over the current/last sharded run, for
+  /// TimeSeriesSampler probes. Mid-run reads are barrier-consistent (the
+  /// sampler fires in the window-barrier completion, workers parked); all
+  /// return 0 before any sharded run.
+  std::uint64_t worker_busy_ns() const;
+  std::uint64_t barrier_wait_ns() const;
+  std::uint64_t mailbox_backpressure() const;
 
   /// Adds a passive observer of all deliveries (a global wiretap).
   void add_wiretap(std::function<void(const TraceEntry&)> tap);
@@ -286,6 +305,18 @@ class Simulator {
   /// profiler must outlive the simulator or be detached first.
   void set_profiler(EngineProfiler* profiler) { profiler_ = profiler; }
   EngineProfiler* profiler() const { return profiler_; }
+
+  /// Attaches a request-latency tracer (nullptr detaches). While attached,
+  /// every top-level send opens a TraceContext that rides the event PODs
+  /// hop by hop (sends issued inside a delivery continue the delivering
+  /// packet's trace); terminal hops record end-to-end virtual latency into
+  /// the tracer's per-protocol LatencyRecorders, and every hop stamps its
+  /// link / non-link virtual components into the stage recorders. Trace
+  /// ids derive from deterministic sequence counters (shard-namespaced
+  /// under sharding), never wall clock, so percentiles are reproducible.
+  /// The tracer must outlive the simulator or be detached first.
+  void set_latency_tracer(LatencyTracer* tracer) { latency_ = tracer; }
+  LatencyTracer* latency_tracer() const { return latency_; }
 
   /// Redirects this simulator's metrics into `registry` (default: the
   /// "sim" scope of the global registry). Handles are re-resolved lazily.
@@ -385,8 +416,16 @@ class Simulator {
                      std::size_t payload_size, Time extra_delay);
 
   ProtocolId intern_protocol(const std::string& name);
+
+  /// Trace context for a send issued now: inherits the in-delivery trace
+  /// with hop+1, or opens a fresh one (serial counter id) when a tracer is
+  /// attached; inactive otherwise. Marks the current delivery's trace as
+  /// continued, which is what terminal-hop detection keys off.
+  obs::TraceContext next_trace();
+
   void push_delivery(Time deliver_at, std::uint64_t link_key, PayloadHandle h,
-                     std::uint64_t context, ProtocolId protocol);
+                     std::uint64_t context, ProtocolId protocol,
+                     const obs::TraceContext& tc);
   void dispatch(const EngineEvent& ev);
   void deliver(const EngineEvent& ev);
   void note_queue_push();
@@ -426,9 +465,10 @@ class Simulator {
   void sharded_send_shared(Shard& sh, const Address& src, const Address& dst,
                            const PayloadRef& payload, std::uint64_t context,
                            const std::string& protocol, Time extra_delay);
+  obs::TraceContext sharded_next_trace(Shard& sh);
   void sharded_push_local(Shard& sh, Time deliver_at, std::uint64_t link_key,
                           PayloadHandle h, std::uint64_t context,
-                          ProtocolId protocol);
+                          ProtocolId protocol, const obs::TraceContext& tc);
   void sharded_push_remote(Shard& sh, std::uint32_t dst_shard, ShardEvent ev);
   SendPlan plan_send_sharded(Shard& sh, std::uint64_t link_key,
                              AddressId src_id, std::size_t payload_size,
@@ -499,6 +539,14 @@ class Simulator {
   Time sampler_next_ = ~Time{0};
   EngineProfiler* profiler_ = nullptr;
 
+  // Request-tracing plane. cur_trace_ / trace_continued_ track the trace
+  // of the delivery currently inside Node::on_packet on the serial path
+  // (shards keep their own copies); trace_seq_ issues serial trace ids.
+  LatencyTracer* latency_ = nullptr;
+  std::uint64_t trace_seq_ = 0;
+  obs::TraceContext cur_trace_;
+  bool trace_continued_ = false;
+
   // Observability sinks: metric handles are cached (stable for the
   // registry's lifetime) so the per-event cost is one add each. Per-link
   // byte counters are pre-resolved into a flat id-pair-keyed cache — the
@@ -509,6 +557,7 @@ class Simulator {
   obs::Counter* packets_m_ = nullptr;
   obs::Counter* bytes_m_ = nullptr;
   obs::Gauge* queue_depth_m_ = nullptr;
+  obs::Gauge* queue_depth_peak_m_ = nullptr;
   obs::Gauge* pool_live_m_ = nullptr;
   obs::Gauge* pool_slots_m_ = nullptr;
   obs::Histogram* delivery_latency_m_ = nullptr;

@@ -1,0 +1,77 @@
+#include "obs/latency.hpp"
+
+namespace dcpl::obs {
+
+std::uint64_t LatencyRecorder::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the sample we want, 1-based; q=0 maps to the first sample.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      std::uint64_t v = bucket_upper(i);
+      const std::uint64_t lo = min();
+      const std::uint64_t hi = max();
+      if (v < lo) v = lo;
+      if (v > hi) v = hi;
+      return v;
+    }
+  }
+  return max();
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kLink:
+      return "link";
+    case Stage::kCryptoSeal:
+      return "crypto_seal";
+    case Stage::kCryptoOpen:
+      return "crypto_open";
+    case Stage::kWireFrame:
+      return "wire_frame";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::atomic<bool> g_stage_recording{false};
+
+LatencyRecorder& stage_recorders() {
+  static LatencyRecorder recorders[kStageCount];
+  return recorders[0];
+}
+
+}  // namespace
+
+bool stage_recording_enabled() {
+  return g_stage_recording.load(std::memory_order_relaxed);
+}
+
+void set_stage_recording(bool enabled) {
+  g_stage_recording.store(enabled, std::memory_order_relaxed);
+}
+
+LatencyRecorder& stage_recorder(Stage s) {
+  return (&stage_recorders())[static_cast<std::size_t>(s)];
+}
+
+void reset_stage_recorders() {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    (&stage_recorders())[i].reset();
+  }
+}
+
+}  // namespace dcpl::obs

@@ -4,6 +4,7 @@
 
 #include "common/wire.hpp"
 #include "crypto/aead.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 
 namespace dcpl::systems {
@@ -17,6 +18,7 @@ RequestState seal_request(BytesView server_public, BytesView info,
                           BytesView request, Rng& rng) {
   static obs::OpCounter ops("channel", "seal_request");
   ops.inc();
+  obs::StageTimer stage(obs::Stage::kCryptoSeal);
   hpke::Sender sender = hpke::setup_base_sender(server_public, info, rng);
 
   RequestState state;
@@ -34,6 +36,7 @@ Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
                                  BytesView encapsulated) {
   static obs::OpCounter ops("channel", "open_request");
   ops.inc();
+  obs::StageTimer stage(obs::Stage::kCryptoOpen);
   if (encapsulated.size() < hpke::kNenc) {
     return Result<ServerState>::failure("open_request: too short");
   }
@@ -56,6 +59,7 @@ Result<ServerState> open_request(const hpke::KeyPair& server_kp, BytesView info,
 Bytes seal_response(BytesView response_key, BytesView response, Rng& rng) {
   static obs::OpCounter ops("channel", "seal_response");
   ops.inc();
+  obs::StageTimer stage(obs::Stage::kCryptoSeal);
   Bytes out = rng.bytes(crypto::kAeadNonceSize);
   // Frame layout (unchanged): nonce || AEAD ct || tag, sealed in place.
   out.reserve(crypto::kAeadNonceSize + response.size() + crypto::kAeadTagSize);
@@ -68,6 +72,7 @@ Bytes seal_response(BytesView response_key, BytesView response, Rng& rng) {
 Result<Bytes> open_response(BytesView response_key, BytesView sealed) {
   static obs::OpCounter ops("channel", "open_response");
   ops.inc();
+  obs::StageTimer stage(obs::Stage::kCryptoOpen);
   if (sealed.size() < crypto::kAeadNonceSize) {
     return Result<Bytes>::failure("open_response: too short");
   }
@@ -126,8 +131,13 @@ Bytes SessionSender::seal(BytesView message) {
   static obs::OpCounter ops("channel", "session_seal");
   ops.inc();
   Bytes frame;
-  frame.reserve(wire::varint_size(context_.seq()) + message.size() + hpke::kNt);
-  wire::varint_append(context_.seq(), frame);
+  {
+    obs::StageTimer stage(obs::Stage::kWireFrame);
+    frame.reserve(wire::varint_size(context_.seq()) + message.size() +
+                  hpke::kNt);
+    wire::varint_append(context_.seq(), frame);
+  }
+  obs::StageTimer stage(obs::Stage::kCryptoSeal);
   context_.seal_append({}, message, frame);
   return frame;
 }
@@ -136,6 +146,7 @@ Result<Bytes> SessionSender::open_response(BytesView frame) {
   wire::WireReader r(frame);
   std::uint64_t seq = 0;
   try {
+    obs::StageTimer stage(obs::Stage::kWireFrame);
     seq = r.varint();
   } catch (const ParseError&) {
     return Result<Bytes>::failure("session: truncated response frame");
@@ -143,6 +154,7 @@ Result<Bytes> SessionSender::open_response(BytesView frame) {
   if (seq != response_seq_) {
     return Result<Bytes>::failure("session: response out of sequence");
   }
+  obs::StageTimer stage(obs::Stage::kCryptoOpen);
   auto pt = crypto::aead_open(response_key_, response_nonce(response_seq_), {},
                               r.rest());
   if (pt.ok()) ++response_seq_;
@@ -168,6 +180,7 @@ Result<Bytes> SessionReceiver::open(BytesView frame) {
   wire::WireReader r(frame);
   std::uint64_t seq = 0;
   try {
+    obs::StageTimer stage(obs::Stage::kWireFrame);
     seq = r.varint();
   } catch (const ParseError&) {
     return Result<Bytes>::failure("session: truncated frame");
@@ -175,14 +188,19 @@ Result<Bytes> SessionReceiver::open(BytesView frame) {
   if (seq != context_.seq()) {
     return Result<Bytes>::failure("session: frame out of sequence");
   }
+  obs::StageTimer stage(obs::Stage::kCryptoOpen);
   return context_.open({}, r.rest());
 }
 
 Bytes SessionReceiver::seal_response(BytesView message) {
   Bytes frame;
-  frame.reserve(wire::varint_size(response_seq_) + message.size() +
-                crypto::kAeadTagSize);
-  wire::varint_append(response_seq_, frame);
+  {
+    obs::StageTimer stage(obs::Stage::kWireFrame);
+    frame.reserve(wire::varint_size(response_seq_) + message.size() +
+                  crypto::kAeadTagSize);
+    wire::varint_append(response_seq_, frame);
+  }
+  obs::StageTimer stage(obs::Stage::kCryptoSeal);
   crypto::aead_seal_append(response_key_, response_nonce(response_seq_), {},
                            message, frame);
   ++response_seq_;

@@ -254,8 +254,11 @@ class SinkNode : public net::Node {
 };
 
 // The gauge is sampled every 1024 queue ops, so with 2500 pushes the
-// sampled values alone would top out at 2048 — the drain-time peak flush
-// must still report the exact high-watermark of 2500.
+// sampled values alone would top out at 2048 — the drain-time flush must
+// still report the exact high-watermark of 2500 on the dedicated
+// queue_depth_peak gauge, while the live queue_depth gauge ends at zero
+// (the old single-gauge scheme double-set queue_depth to the peak and then
+// to zero, so which value a scraper saw depended on timing).
 TEST(SimulatorEngine, QueueDepthPeakIsExactDespiteSampling) {
   obs::Registry reg;
   net::Simulator sim;
@@ -272,8 +275,14 @@ TEST(SimulatorEngine, QueueDepthPeakIsExactDespiteSampling) {
   sim.run();
 
   EXPECT_EQ(sink.payloads.size(), static_cast<std::size_t>(kPackets));
-  EXPECT_EQ(reg.gauge("queue_depth").peak(), static_cast<double>(kPackets));
+  EXPECT_EQ(reg.gauge("queue_depth_peak").peak(),
+            static_cast<double>(kPackets));
+  EXPECT_EQ(reg.gauge("queue_depth_peak").value(),
+            static_cast<double>(kPackets));
   EXPECT_EQ(reg.gauge("queue_depth").value(), 0.0);
+  // The live gauge's own high-watermark is the sampled one — it must never
+  // exceed the exact drain-time peak.
+  EXPECT_LE(reg.gauge("queue_depth").peak(), static_cast<double>(kPackets));
 }
 
 // Fault duplication must hand both deliveries the same pooled buffer: the

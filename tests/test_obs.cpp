@@ -1,9 +1,13 @@
 // Tests for the observability layer: metrics registry (counter/gauge/
 // histogram quantiles, scopes, snapshot/reset), the minimal JSON writer/
-// parser, and span tracing including the Chrome trace-event schema and the
-// simulator's virtual-time track.
+// parser, span tracing including the Chrome trace-event schema and the
+// simulator's virtual-time track, and the log-bucketed LatencyRecorder
+// behind the request-tracing plane.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <thread>
@@ -11,6 +15,7 @@
 
 #include "net/sim.hpp"
 #include "obs/json.hpp"
+#include "obs/latency.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -624,6 +629,214 @@ TEST(Trace, SimulatorRunProducesVirtualTimeTrace) {
   const obs::SnapshotEntry* by = snap.find("bytes_delivered");
   ASSERT_NE(by, nullptr);
   EXPECT_EQ(by->value, 64.0);
+}
+
+// ---- LatencyRecorder ------------------------------------------------------
+
+// Deterministic value stream with a wide dynamic range: small exact values,
+// mid-range, and multi-octave outliers.
+std::vector<std::uint64_t> latency_stream(std::size_t n) {
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t r = x >> 33;
+    switch (i % 4) {
+      case 0: v.push_back(r % 8); break;            // exact sub-8 buckets
+      case 1: v.push_back(100 + r % 900); break;    // ~queue-wait range
+      case 2: v.push_back(10'000 + r % 90'000); break;  // ~link range
+      default: v.push_back(r % 100'000'000); break;     // long tail
+    }
+  }
+  return v;
+}
+
+// The exact value LatencyRecorder::quantile targets: the rank-ceil(q*n)
+// sample of the sorted stream.
+std::uint64_t exact_quantile(std::vector<std::uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+TEST(LatencyRecorder, BucketIndexCoversFullRangeWithBoundedError) {
+  using R = obs::LatencyRecorder;
+  // Values below the sub-bucket count get exact buckets.
+  for (std::uint64_t v = 0; v < R::kSubBuckets; ++v) {
+    EXPECT_EQ(R::bucket_index(v), v);
+    EXPECT_EQ(R::bucket_upper(R::bucket_index(v)), v);
+  }
+  // Everywhere else the bucket's upper edge over-reports by at most
+  // 2^-kSubBits (12.5%), including around octave boundaries and at the
+  // top of the range.
+  for (std::uint64_t v : latency_stream(4096)) {
+    const std::size_t i = R::bucket_index(v);
+    ASSERT_LT(i, R::kBucketCount);
+    const std::uint64_t upper = R::bucket_upper(i);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(upper - v, v / R::kSubBuckets + 1);
+  }
+  EXPECT_EQ(R::bucket_index(~std::uint64_t{0}), R::kBucketCount - 1);
+  EXPECT_EQ(R::bucket_upper(R::kBucketCount - 1), ~std::uint64_t{0});
+}
+
+TEST(LatencyRecorder, QuantilesTrackExactQuantilesWithinLogBucketError) {
+  const std::vector<std::uint64_t> stream = latency_stream(20'000);
+  obs::LatencyRecorder rec;
+  for (std::uint64_t v : stream) rec.record(v);
+
+  EXPECT_EQ(rec.count(), stream.size());
+  EXPECT_EQ(rec.min(), *std::min_element(stream.begin(), stream.end()));
+  EXPECT_EQ(rec.max(), *std::max_element(stream.begin(), stream.end()));
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t exact = exact_quantile(stream, q);
+    const std::uint64_t got = rec.quantile(q);
+    // The reported value is the rank sample's bucket upper edge: never
+    // below the exact quantile, never more than one sub-bucket above it.
+    EXPECT_GE(got, exact) << "q=" << q;
+    EXPECT_LE(got, exact + exact / obs::LatencyRecorder::kSubBuckets + 1)
+        << "q=" << q;
+  }
+}
+
+// The bounds-based obs::Histogram on the identical stream: with power-of-two
+// bounds its quantile error is at most 2x, strictly looser than the
+// recorder's 12.5% — the reason the tracing plane gets its own recorder
+// instead of reusing Histogram (which also needs its range chosen up front
+// and is single-writer).
+TEST(LatencyRecorder, TighterThanBoundsHistogramOnIdenticalStream) {
+  const std::vector<std::uint64_t> stream = latency_stream(20'000);
+  obs::LatencyRecorder rec;
+  std::vector<double> bounds;
+  for (double b = 1; b <= 1e9; b *= 2) bounds.push_back(b);
+  obs::Histogram hist(bounds);
+  for (std::uint64_t v : stream) {
+    rec.record(v);
+    hist.observe(static_cast<double>(v));
+  }
+  EXPECT_EQ(rec.count(), hist.count());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = static_cast<double>(exact_quantile(stream, q));
+    const double h = hist.quantile(q);
+    const double r = static_cast<double>(rec.quantile(q));
+    ASSERT_GT(exact, 0.0);
+    EXPECT_LE(h, exact * 2.0 + 1) << "q=" << q;       // log2-bounds: <= 2x
+    EXPECT_GE(h, exact * 0.5 - 1) << "q=" << q;
+    EXPECT_LE(r, exact * 1.125 + 1) << "q=" << q;     // recorder: <= 12.5%
+    EXPECT_GE(r, exact) << "q=" << q;
+  }
+}
+
+TEST(LatencyRecorder, MergeIsExactAndCommutative) {
+  const std::vector<std::uint64_t> stream = latency_stream(9'000);
+  obs::LatencyRecorder whole;
+  obs::LatencyRecorder parts[3];
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    whole.record(stream[i]);
+    parts[i % 3].record(stream[i]);
+  }
+  obs::LatencyRecorder merged;
+  for (const auto& p : parts) merged.merge(p);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+  // Bit-identical bucket state, not just matching quantiles — recording is
+  // a commutative add, so any partition of the stream merges back to the
+  // same histogram. This is what makes sharded-run percentiles identical
+  // to serial-run percentiles.
+  for (std::size_t i = 0; i < obs::LatencyRecorder::kBucketCount; ++i) {
+    ASSERT_EQ(merged.bucket(i), whole.bucket(i)) << "bucket " << i;
+  }
+  // Merging an empty recorder must not disturb min/max.
+  obs::LatencyRecorder empty;
+  merged.merge(empty);
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(LatencyRecorder, TopBucketAndExtremesStayExact) {
+  obs::LatencyRecorder rec;
+  rec.record(0);
+  rec.record(~std::uint64_t{0});
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_EQ(rec.min(), 0u);
+  EXPECT_EQ(rec.max(), ~std::uint64_t{0});
+  EXPECT_EQ(rec.quantile(0.0), 0u);    // clamped to min
+  EXPECT_EQ(rec.quantile(1.0), ~std::uint64_t{0});
+  rec.reset();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.min(), 0u);
+  EXPECT_EQ(rec.max(), 0u);
+  EXPECT_EQ(rec.quantile(0.5), 0u);
+}
+
+TEST(LatencyRecorder, ConcurrentRecordingMatchesSerialBitForBit) {
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerThread = 50'000;
+  const std::vector<std::uint64_t> stream =
+      latency_stream(kThreads * kPerThread);
+
+  obs::LatencyRecorder serial;
+  for (std::uint64_t v : stream) serial.record(v);
+
+  obs::LatencyRecorder shared;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, &stream, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        shared.record(stream[t * kPerThread + i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(shared.count(), stream.size());
+  EXPECT_EQ(shared.min(), serial.min());
+  EXPECT_EQ(shared.max(), serial.max());
+  for (std::size_t i = 0; i < obs::LatencyRecorder::kBucketCount; ++i) {
+    ASSERT_EQ(shared.bucket(i), serial.bucket(i)) << "bucket " << i;
+  }
+}
+
+// ---- Stage registry -------------------------------------------------------
+
+TEST(StageRegistry, TimerRecordsOnlyWhileEnabled) {
+  obs::reset_stage_recorders();
+  obs::set_stage_recording(false);
+  {
+    obs::StageTimer t(obs::Stage::kCryptoSeal);
+  }
+  EXPECT_EQ(obs::stage_recorder(obs::Stage::kCryptoSeal).count(), 0u);
+
+  obs::set_stage_recording(true);
+  {
+    obs::StageTimer t(obs::Stage::kCryptoSeal);
+  }
+  {
+    obs::StageTimer t(obs::Stage::kWireFrame);
+  }
+  obs::set_stage_recording(false);
+  EXPECT_EQ(obs::stage_recorder(obs::Stage::kCryptoSeal).count(), 1u);
+  EXPECT_EQ(obs::stage_recorder(obs::Stage::kWireFrame).count(), 1u);
+  EXPECT_EQ(obs::stage_recorder(obs::Stage::kCryptoOpen).count(), 0u);
+
+  obs::reset_stage_recorders();
+  EXPECT_EQ(obs::stage_recorder(obs::Stage::kCryptoSeal).count(), 0u);
+  EXPECT_EQ(obs::stage_recorder(obs::Stage::kWireFrame).count(), 0u);
+}
+
+TEST(StageRegistry, StageNamesAreStable) {
+  EXPECT_STREQ(obs::stage_name(obs::Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(obs::stage_name(obs::Stage::kLink), "link");
+  EXPECT_STREQ(obs::stage_name(obs::Stage::kCryptoSeal), "crypto_seal");
+  EXPECT_STREQ(obs::stage_name(obs::Stage::kCryptoOpen), "crypto_open");
+  EXPECT_STREQ(obs::stage_name(obs::Stage::kWireFrame), "wire_frame");
 }
 
 }  // namespace

@@ -19,7 +19,9 @@
 
 #include "net/faults.hpp"
 #include "net/sim.hpp"
+#include "net/tracing.hpp"
 #include "obs/flow.hpp"
+#include "obs/latency.hpp"
 
 namespace dcpl::net {
 namespace {
@@ -156,6 +158,7 @@ struct RunOptions {
   bool with_flow = false;
   bool with_window_faults = false;  // deterministic: partition/crash/breach
   bool with_impairments = false;    // stochastic: per-shard RNG streams
+  bool with_tracer = false;         // attach a LatencyTracer for the run
 };
 
 struct RunResult {
@@ -173,6 +176,15 @@ struct RunResult {
   /// Full bit-level digest: trace order, flow event stream, per-shard
   /// stats. Stable per shard count, NOT across counts.
   std::uint64_t digest = kFnvSeed;
+  // Request-tracing plane (with_tracer only). The digest hashes every
+  // bucket + min/max of every non-empty e2e recorder keyed by protocol
+  // NAME (sharded interning order is thread-timing dependent, so raw
+  // ProtocolIds are not cross-count comparable) plus the virtual-time
+  // stage recorders. It IS cross-shard-count comparable: latencies are
+  // virtual time and bucket adds commute.
+  std::uint64_t traced = 0;
+  std::uint64_t latency_digest = kFnvSeed;
+  std::string latency_summary;  // readable name:count/p50/p99/max list
 };
 
 RunResult run_workload(const RunOptions& opt) {
@@ -180,6 +192,10 @@ RunResult run_workload(const RunOptions& opt) {
   obs::FlowLedger ledger;
   obs::FlowLedger* flow = opt.with_flow ? &ledger : nullptr;
   if (flow != nullptr) sim.set_flow(flow);
+  // Waterfall capture off: span sampling keys on trace sequence numbers,
+  // which are engine-specific by design; the recorders are not.
+  LatencyTracer tracer(/*waterfall_period=*/0);
+  if (opt.with_tracer) sim.set_latency_tracer(&tracer);
 
   std::vector<std::unique_ptr<ClientNode>> clients;
   std::vector<std::unique_ptr<RelayNode>> relays;
@@ -221,6 +237,7 @@ RunResult run_workload(const RunOptions& opt) {
   sim.set_shards(opt.shards);
   for (auto& c : clients) c->kickoff(sim);
   const Time end = sim.run();
+  if (opt.with_tracer) sim.set_latency_tracer(nullptr);
 
   RunResult res;
   res.end = end;
@@ -293,6 +310,32 @@ RunResult run_workload(const RunOptions& opt) {
     h = fnv1a_u64(h, res.shard_stats.cross_sends[s]);
   }
   res.digest = h;
+
+  if (opt.with_tracer) {
+    const std::vector<std::string> names = sim.protocol_names();
+    std::map<std::string, const obs::LatencyRecorder*> recs;
+    for (ProtocolId p = 0;
+         p < names.size() && p < LatencyTracer::kMaxProtocols; ++p) {
+      if (tracer.e2e(p).count() != 0) recs["e2e:" + names[p]] = &tracer.e2e(p);
+    }
+    recs["stage:link"] = &tracer.stage_link();
+    recs["stage:queue_wait"] = &tracer.stage_queue_wait();
+    std::uint64_t lh = kFnvSeed;
+    std::ostringstream summary;
+    for (const auto& [name, rec] : recs) {
+      lh = fnv1a_str(lh, name);
+      lh = fnv1a_u64(lh, rec->min());
+      lh = fnv1a_u64(lh, rec->max());
+      for (std::size_t i = 0; i < obs::LatencyRecorder::kBucketCount; ++i) {
+        lh = fnv1a_u64(lh, rec->bucket(i));
+      }
+      summary << name << "=" << rec->count() << "/" << rec->quantile(0.5)
+              << "/" << rec->quantile(0.99) << "/" << rec->max() << ";";
+      if (name.rfind("e2e:", 0) == 0) res.traced += rec->count();
+    }
+    res.latency_digest = lh;
+    res.latency_summary = summary.str();
+  }
   return res;
 }
 
@@ -352,6 +395,55 @@ TEST(ShardDeterminism, WindowFaultsAndBreachesMatchSerial) {
       const RunResult sharded = run_workload(opt);
       expect_same_aggregates(serial, sharded, shards, seed);
     }
+  }
+}
+
+// The request-tracing plane must not weaken the determinism contract:
+// e2e and stage latency percentiles from a sharded run are bit-identical
+// to the serial run — and to every other shard count — because recorders
+// take commutative bucket adds over virtual-time values that themselves
+// match across engines. Compared at the bucket level (strictly stronger
+// than comparing the derived percentiles), keyed by protocol name.
+TEST(ShardDeterminism, LatencyPercentilesBitIdenticalAcrossShardCounts) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    RunOptions base;
+    base.seed = seed;
+    base.with_tracer = true;
+    const RunResult serial = run_workload(base);
+    ASSERT_GT(serial.traced, 0u);
+    ASSERT_FALSE(serial.latency_summary.empty());
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+      RunOptions opt = base;
+      opt.shards = shards;
+      const RunResult sharded = run_workload(opt);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " seed=" + std::to_string(seed));
+      EXPECT_EQ(sharded.traced, serial.traced);
+      EXPECT_EQ(sharded.latency_summary, serial.latency_summary);
+      EXPECT_EQ(sharded.latency_digest, serial.latency_digest)
+          << "bucket-level divergence despite matching summaries:\n"
+          << "serial:  " << serial.latency_summary << "\n"
+          << "sharded: " << sharded.latency_summary;
+    }
+  }
+}
+
+// Deterministic window faults (partitions, crashes, breaches) drop and
+// delay traffic identically across engines, so traced latencies must stay
+// bit-identical under them too.
+TEST(ShardDeterminism, LatencyMatchesSerialUnderWindowFaults) {
+  RunOptions base;
+  base.with_window_faults = true;
+  base.with_tracer = true;
+  const RunResult serial = run_workload(base);
+  ASSERT_GT(serial.traced, 0u);
+  for (std::uint32_t shards : {2u, 4u}) {
+    RunOptions opt = base;
+    opt.shards = shards;
+    const RunResult sharded = run_workload(opt);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(sharded.latency_summary, serial.latency_summary);
+    EXPECT_EQ(sharded.latency_digest, serial.latency_digest);
   }
 }
 
