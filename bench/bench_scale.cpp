@@ -64,6 +64,84 @@ std::string parse_waterfall(int argc, char** argv) {
   return {};
 }
 
+// --affinity-from <report.json> (or --affinity-from=<report.json>): seed the
+// min-cut partitioner with the traffic matrix a previous sharded run
+// recorded in its report's "shards" section.
+std::string parse_affinity_from(int argc, char** argv) {
+  constexpr const char* kFlag = "--affinity-from";
+  const std::size_t flag_len = std::strlen(kFlag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], kFlag) == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], kFlag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
+    }
+  }
+  return {};
+}
+
+// Pulls shards.per_shard[*].traffic out of a prior report. Returns an empty
+// matrix (and warns) on any shape problem — a stale or foreign report must
+// degrade to the unseeded partitioner, not kill the bench.
+std::vector<std::vector<std::uint64_t>> load_traffic_matrix(
+    const std::string& path) {
+  std::vector<std::vector<std::uint64_t>> matrix;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scale: cannot open --affinity-from %s\n",
+                 path.c_str());
+    return matrix;
+  }
+  std::string body;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, got);
+  std::fclose(f);
+  obs::JsonValue root;
+  const obs::JsonValue* shards = nullptr;
+  const obs::JsonValue* per_shard = nullptr;
+  if (!obs::JsonParser::parse(body, root) ||
+      (shards = root.find("shards")) == nullptr ||
+      (per_shard = shards->find("per_shard")) == nullptr ||
+      !per_shard->is_array()) {
+    std::fprintf(stderr,
+                 "bench_scale: no shards.per_shard section in %s; "
+                 "running the partitioner unseeded\n",
+                 path.c_str());
+    return matrix;
+  }
+  for (const obs::JsonValue& row : per_shard->array) {
+    const obs::JsonValue* traffic = row.find("traffic");
+    if (traffic == nullptr || !traffic->is_array()) {
+      matrix.clear();
+      std::fprintf(stderr,
+                   "bench_scale: %s has per_shard entries without traffic "
+                   "rows; running the partitioner unseeded\n",
+                   path.c_str());
+      return matrix;
+    }
+    std::vector<std::uint64_t> cells;
+    for (const obs::JsonValue& cell : traffic->array) {
+      cells.push_back(cell.is_number() && cell.number > 0
+                          ? static_cast<std::uint64_t>(cell.number)
+                          : 0);
+    }
+    matrix.push_back(std::move(cells));
+  }
+  return matrix;
+}
+
+// Share of sends that crossed a shard boundary, over all sends.
+double cross_share_pct(const scale::PointResult& r) {
+  std::uint64_t cross = 0, local = 0;
+  for (std::uint64_t c : r.shard_cross_sends) cross += c;
+  for (std::uint64_t l : r.shard_local_sends) local += l;
+  const std::uint64_t total = cross + local;
+  return total > 0 ? 100.0 * static_cast<double>(cross) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
 double overhead_pct(double baseline, double with_ledger) {
   return baseline > 0 ? (baseline - with_ledger) / baseline * 100.0 : 0.0;
 }
@@ -272,80 +350,149 @@ int main(int argc, char** argv) {
   }
 
   // Sharded sweep at the cap point: same workload, conservative-window
-  // parallel engine. Aggregate behaviour must be unchanged — identical
+  // parallel engine, each shard count run under BOTH placement policies —
+  // the id-modulo seed and the traffic-aware min-cut partitioner (tentpole
+  // comparison: cross-shard send share and barrier rounds must drop under
+  // min-cut). Aggregate behaviour must be unchanged either way — identical
   // event count, every OHTTP round-trip and mix send completing — while
   // the per-shard split goes to the "shards" report section.
   const std::uint32_t shard_cap = scale::parse_shards(argc, argv);
   if (shard_cap > 1) {
+    const std::string affinity_from = parse_affinity_from(argc, argv);
+    std::vector<std::vector<std::uint64_t>> seed_traffic;
+    if (!affinity_from.empty()) {
+      seed_traffic = load_traffic_matrix(affinity_from);
+      if (!seed_traffic.empty()) {
+        std::printf("== partitioner seeded from %s (%zux%zu traffic)\n",
+                    affinity_from.c_str(), seed_traffic.size(),
+                    seed_traffic[0].size());
+      }
+    }
     std::printf("== sharded engine at %zu users\n", cap);
-    std::printf("  %10s %10s %14s %10s %10s %12s\n", "shards", "wall_ms",
-                "events/sec", "speedup", "windows", "cross_sends");
+    std::printf("  %10s %8s %10s %14s %10s %10s %12s %8s\n", "shards",
+                "policy", "wall_ms", "events/sec", "speedup", "windows",
+                "cross_sends", "cross%");
     const std::string ntag = "n" + std::to_string(cap) + "_";
+    // The serial point anchors the scaling curve as its 1-shard entry.
+    report.value(ntag + "s1_wall_ms", cap_serial.wall_ms);
+    report.value(ntag + "s1_events_per_sec", cap_serial.events_per_sec);
+    report.value(ntag + "s1_cross_sends_pct", 0.0);
     std::string shards_json;
     for (std::uint32_t s : scale::shard_counts(shard_cap)) {
-      scale::PointOptions opts;
-      opts.registry = &obs::global_registry()
-                           .scope("scale")
-                           .scope("n" + std::to_string(cap) + "_s" +
-                                  std::to_string(s));
-      opts.shards = s;
-      net::LatencyTracer shard_tracer;
-      std::vector<std::string> shard_names;
-      opts.tracer = &shard_tracer;
-      opts.on_done = [&shard_names](dcpl::net::Simulator& sim,
-                                    const scale::Tally&) {
-        shard_names = sim.protocol_names();
-      };
-      const scale::PointResult r = scale::run_point(cap, opts);
-      const double speedup = cap_serial.events_per_sec > 0
-                                 ? r.events_per_sec / cap_serial.events_per_sec
-                                 : 0.0;
-      std::uint64_t cross = 0, delivered = 0;
-      for (std::uint64_t c : r.shard_cross_sends) cross += c;
-      for (std::uint64_t d : r.shard_deliveries) delivered += d;
-      std::printf("  %10u %10.1f %14.0f %9.2fx %10llu %12llu\n", r.shards,
-                  r.wall_ms, r.events_per_sec, speedup,
-                  static_cast<unsigned long long>(r.windows),
-                  static_cast<unsigned long long>(cross));
       const std::string tag = ntag + "s" + std::to_string(s) + "_";
-      report.value(tag + "wall_ms", r.wall_ms);
-      report.value(tag + "events_per_sec", r.events_per_sec);
-      report.value(tag + "speedup_vs_serial", speedup);
-      report.value(tag + "windows", static_cast<double>(r.windows));
-      report.value(tag + "cross_sends", static_cast<double>(cross));
-      ok &= report.check(tag + "run_complete",
-                         r.ohttp_complete && r.mix_complete &&
-                             r.overhead_exact);
-      ok &= report.check(tag + "event_count_matches_serial",
-                         r.events == cap_serial.events);
-      ok &= report.check(tag + "deliveries_sum_to_total",
-                         delivered == r.total_deliveries);
-      ok &= report.check(tag + "lookahead_positive", r.lookahead_us > 0);
-      // Bit-identical percentiles vs the serial cap point: trace ids come
-      // from deterministic counters and recorder merging is a commutative
-      // bucket add, so the sharded engine must reproduce the serial
-      // latency distribution exactly — any drift is a lost or duplicated
-      // delivery the aggregate counters could mask.
-      ok &= report.check(tag + "latency_matches_serial",
-                         latency_digest(shard_tracer, shard_names) ==
-                             cap_latency);
+      scale::PointResult modulo_r;  // placement-comparison anchor
+      scale::PointResult auto_r;
+      for (const bool auto_affinity : {false, true}) {
+        scale::PointOptions opts;
+        opts.registry = &obs::global_registry()
+                             .scope("scale")
+                             .scope("n" + std::to_string(cap) + "_s" +
+                                    std::to_string(s) +
+                                    (auto_affinity ? "_auto" : ""));
+        opts.shards = s;
+        if (auto_affinity) {
+          opts.affinity = net::Simulator::AffinityPolicy::kMinCut;
+          opts.affinity_traffic = seed_traffic;
+        }
+        net::LatencyTracer shard_tracer;
+        std::vector<std::string> shard_names;
+        opts.tracer = &shard_tracer;
+        opts.on_done = [&shard_names](dcpl::net::Simulator& sim,
+                                      const scale::Tally&) {
+          shard_names = sim.protocol_names();
+        };
+        const scale::PointResult r = scale::run_point(cap, opts);
+        (auto_affinity ? auto_r : modulo_r) = r;
+        const double speedup =
+            cap_serial.events_per_sec > 0
+                ? r.events_per_sec / cap_serial.events_per_sec
+                : 0.0;
+        std::uint64_t cross = 0, delivered = 0;
+        for (std::uint64_t c : r.shard_cross_sends) cross += c;
+        for (std::uint64_t d : r.shard_deliveries) delivered += d;
+        const double cross_pct = cross_share_pct(r);
+        std::printf("  %10u %8s %10.1f %14.0f %9.2fx %10llu %12llu %7.1f%%\n",
+                    r.shards, auto_affinity ? "min-cut" : "modulo", r.wall_ms,
+                    r.events_per_sec, speedup,
+                    static_cast<unsigned long long>(r.windows),
+                    static_cast<unsigned long long>(cross), cross_pct);
+        // The id-modulo run keeps the seed's unprefixed key names (so old
+        // baselines stay comparable); the min-cut run adds the auto_
+        // family next to them.
+        const std::string ptag = auto_affinity ? tag + "auto_" : tag;
+        report.value(ptag + "wall_ms", r.wall_ms);
+        report.value(ptag + "events_per_sec", r.events_per_sec);
+        report.value(ptag + "speedup_vs_serial", speedup);
+        report.value(ptag + "windows", static_cast<double>(r.windows));
+        report.value(ptag + "cross_sends", static_cast<double>(cross));
+        report.value(ptag + "cross_sends_pct", cross_pct);
+        ok &= report.check(ptag + "run_complete",
+                           r.ohttp_complete && r.mix_complete &&
+                               r.overhead_exact);
+        ok &= report.check(ptag + "event_count_matches_serial",
+                           r.events == cap_serial.events);
+        ok &= report.check(ptag + "deliveries_sum_to_total",
+                           delivered == r.total_deliveries);
+        ok &= report.check(ptag + "lookahead_positive", r.lookahead_us > 0);
+        // Bit-identical percentiles vs the serial cap point: trace ids come
+        // from deterministic counters and recorder merging is a commutative
+        // bucket add, so the sharded engine must reproduce the serial
+        // latency distribution exactly — any drift is a lost or duplicated
+        // delivery the aggregate counters could mask.
+        ok &= report.check(ptag + "latency_matches_serial",
+                           latency_digest(shard_tracer, shard_names) ==
+                               cap_latency);
+      }
+
+      // Tentpole yield, gated where the acceptance bar sits (4 shards):
+      // the traffic-aware partition must cut the cross-shard send share by
+      // at least 30% and spend fewer barrier rounds than id-modulo.
+      const double modulo_pct = cross_share_pct(modulo_r);
+      const double auto_pct = cross_share_pct(auto_r);
+      const double reduction_pct =
+          modulo_pct > 0 ? (modulo_pct - auto_pct) / modulo_pct * 100.0 : 0.0;
+      report.value(tag + "cross_reduction_pct", reduction_pct);
+      if (s == 4) {
+        ok &= report.check(tag + "auto_cross_reduction_at_least_30pct",
+                           reduction_pct >= 30.0);
+        ok &= report.check(tag + "auto_windows_reduced",
+                           auto_r.windows < modulo_r.windows);
+      }
 
       // The largest count's per-shard split becomes the report section.
+      // Headline and per_shard (including traffic rows) come from the
+      // id-modulo run: the recorded n x n matrix is then labeled by
+      // placement-independent modulo classes, which is exactly the space
+      // --affinity-from seeding maps node ids into. The min-cut run's
+      // numbers ride in "auto" for the placement comparison.
       obs::JsonWriter w;
       w.begin_object();
-      w.kv("count", static_cast<double>(r.shards));
-      w.kv("users", static_cast<double>(r.users));
-      w.kv("lookahead_us", r.lookahead_us);
-      w.kv("windows", static_cast<double>(r.windows));
-      w.kv("total_deliveries", static_cast<double>(r.total_deliveries));
+      w.kv("count", static_cast<double>(modulo_r.shards));
+      w.kv("users", static_cast<double>(modulo_r.users));
+      w.kv("policy", "modulo");
+      w.kv("lookahead_us", modulo_r.lookahead_us);
+      w.kv("windows", static_cast<double>(modulo_r.windows));
+      w.kv("total_deliveries",
+           static_cast<double>(modulo_r.total_deliveries));
+      w.kv("cross_sends_pct", modulo_pct);
+      w.key("auto");
+      w.begin_object();
+      w.kv("policy", "min_cut");
+      w.kv("lookahead_us", auto_r.lookahead_us);
+      w.kv("windows", static_cast<double>(auto_r.windows));
+      w.kv("cross_sends_pct", auto_pct);
+      w.kv("cross_reduction_pct", reduction_pct);
+      w.end_object();
       w.key("per_shard");
       w.begin_array();
-      for (std::size_t i = 0; i < r.shard_events.size(); ++i) {
+      for (std::size_t i = 0; i < modulo_r.shard_events.size(); ++i) {
+        const scale::PointResult& r = modulo_r;
         w.begin_object();
         w.kv("shard", static_cast<double>(i));
         w.kv("events", static_cast<double>(r.shard_events[i]));
         w.kv("deliveries", static_cast<double>(r.shard_deliveries[i]));
         w.kv("cross_sends", static_cast<double>(r.shard_cross_sends[i]));
+        w.kv("local_sends", static_cast<double>(r.shard_local_sends[i]));
         // Contention telemetry (wall-clock, machine-dependent): how much
         // of the worker's time went to executing windows vs waiting at
         // the window barrier, plus backpressure stalls on full outboxes

@@ -313,6 +313,42 @@ bool check_shards(const JsonValue& r, bool required) {
           return fail("per_shard traffic cell not a non-negative number");
         }
       }
+      // Structural consistency of the n x n send matrix against the
+      // shard's own counters: the diagonal cell is its same-shard sends
+      // and the full row must sum to local + cross (engines that predate
+      // local_sends skip the row-sum leg).
+      const std::size_t shard = static_cast<std::size_t>(
+          b.at("shard").number);
+      if (shard < traffic->array.size()) {
+        const double diagonal = traffic->array[shard].number;
+        if (b.has("local_sends")) {
+          if (!b.at("local_sends").is_number() ||
+              b.at("local_sends").number < 0) {
+            return fail("per_shard local_sends not a non-negative number");
+          }
+          if (diagonal != b.at("local_sends").number) {
+            return fail("per_shard traffic diagonal != local_sends");
+          }
+          double row_sum = 0;
+          for (const auto& t : traffic->array) row_sum += t.number;
+          if (row_sum !=
+              b.at("local_sends").number + b.at("cross_sends").number) {
+            return fail(
+                "per_shard traffic row does not sum to local + cross sends");
+          }
+        }
+        double off_diagonal = 0;
+        for (std::size_t j = 0; j < traffic->array.size(); ++j) {
+          if (j != shard) off_diagonal += traffic->array[j].number;
+        }
+        if (off_diagonal != b.at("cross_sends").number) {
+          return fail("per_shard traffic off-diagonal != cross_sends");
+        }
+      }
+    } else if (required) {
+      // A current-engine parallel run always records its traffic matrix;
+      // only /1-era baseline files may omit it.
+      return fail("per_shard entry missing traffic row (--require-shards)");
     }
   }
   return true;
@@ -551,7 +587,12 @@ bool check_crypto(const JsonValue& r, bool required) {
 //   * throughput ("*_events_per_sec" / "*_ops_per_sec", higher is
 //     better): must not fall more than tolerance_pct below the baseline;
 //   * latency percentiles ("*latency_*_us", lower is better): must not
-//     rise more than tolerance_pct above the baseline.
+//     rise more than tolerance_pct above the baseline;
+//   * cross-shard send share ("*_cross_sends_pct", lower is better,
+//     deterministic): the partitioning quality gate — a placement change
+//     that pushes more traffic across shard boundaries fails the same way
+//     a latency regression does. Zero baselines (e.g. the serial 1-shard
+//     entry) must stay zero.
 // Keys present in only one file are ignored (a CI smoke run sweeps fewer
 // points than the committed full sweep). Improving past the band only
 // warns — it means the committed baseline is stale and worth
@@ -572,14 +613,31 @@ bool check_baseline(const JsonValue& r, const JsonValue& base,
   for (const auto& [key, val] : values->object) {
     const bool higher_better = has_suffix(key, "_events_per_sec") ||
                                has_suffix(key, "_ops_per_sec");
-    const bool lower_better = !higher_better &&
-                              key.find("latency_") != std::string::npos &&
-                              has_suffix(key, "_us");
+    const bool cross_pct = has_suffix(key, "_cross_sends_pct");
+    const bool lower_better =
+        !higher_better &&
+        (cross_pct || (key.find("latency_") != std::string::npos &&
+                       has_suffix(key, "_us")));
     if (!higher_better && !lower_better) continue;
     const JsonValue* ref = base_values->find(key);
     if (!ref) continue;
-    if (!val.is_number() || !ref->is_number() || ref->number <= 0) {
-      return fail("baseline/report value not a positive number");
+    if (!val.is_number() || !ref->is_number()) {
+      return fail("baseline/report value not a number");
+    }
+    if (ref->number <= 0) {
+      if (!cross_pct || ref->number < 0) {
+        return fail("baseline value not a positive number");
+      }
+      // A zero cross-share baseline (the serial anchor, or a perfectly
+      // partitioned point) tolerates no relative band: it must stay zero.
+      if (val.number > 0) {
+        std::fprintf(stderr,
+                     "report_check: %s grew to %.2f from a zero baseline\n",
+                     key.c_str(), val.number);
+        return false;
+      }
+      ++compared;
+      continue;
     }
     const double delta_pct = (val.number - ref->number) / ref->number * 100.0;
     std::printf("report_check: %s = %.0f vs baseline %.0f (%+.1f%%)\n",

@@ -36,7 +36,15 @@ constexpr int kRelays = 16;
 constexpr int kGateways = 4;
 constexpr int kOrigins = 4;
 constexpr int kMixes = 16;
+// Mixes form disjoint 4-cycles (mix0-3, mix4-7, ...), not one global ring:
+// chains of up to kMaxHops stay inside one cycle, so the tightly-linked
+// subgraph decomposes into per-cycle components a shard partitioner can
+// place whole. Hop counts, message counts, and wire bytes per send are
+// identical to a global ring.
+constexpr int kMixRing = 4;
 constexpr int kMaxHops = 3;
+static_assert(kMaxHops < kMixRing,
+              "a chain must not lap its mix cycle");
 constexpr std::size_t kRequestBytes = 256;
 constexpr std::size_t kResponseBytes = 1024;
 constexpr std::size_t kOnionBytes = 512;
@@ -196,12 +204,15 @@ struct PointResult {
   bool overhead_exact = false;
   // Populated when the point ran on the sharded engine (shards > 1).
   std::uint32_t shards = 1;
+  net::Simulator::AffinityPolicy policy =
+      net::Simulator::AffinityPolicy::kModulo;
   double lookahead_us = 0;
   std::uint64_t windows = 0;
   std::uint64_t total_deliveries = 0;
   std::vector<std::uint64_t> shard_events;
   std::vector<std::uint64_t> shard_deliveries;
   std::vector<std::uint64_t> shard_cross_sends;
+  std::vector<std::uint64_t> shard_local_sends;
   // Contention telemetry (wall-clock, machine-dependent — reported, never
   // baselined): per-worker busy vs barrier-wait time, mailbox backpressure
   // stalls, and the cross-shard traffic matrix.
@@ -225,10 +236,17 @@ struct PointOptions {
   /// sampled traces emit waterfall spans. Caller-owned; reset it between
   /// points unless accumulating a whole sweep is intended.
   net::LatencyTracer* tracer = nullptr;
-  /// > 1 runs the point on the sharded engine: infrastructure nodes are
-  /// pinned round-robin across shards and the unpinned clients fall to
-  /// their id-modulo shard.
+  /// > 1 runs the point on the sharded engine. Under kModulo the
+  /// infrastructure nodes are pinned round-robin across shards and the
+  /// unpinned clients fall to their id-modulo shard; under kMinCut nothing
+  /// is pinned and the traffic-aware partitioner places every node from the
+  /// link table plus per-client affinity hints.
   std::uint32_t shards = 1;
+  net::Simulator::AffinityPolicy affinity =
+      net::Simulator::AffinityPolicy::kModulo;
+  /// Optional recorded traffic matrix (a prior run's per-shard send rows)
+  /// used to scale the partitioner's edge weights under kMinCut.
+  std::vector<std::vector<std::uint64_t>> affinity_traffic;
   std::function<void(net::Simulator&, const Tally&)> on_ready;
   /// Runs after sim.run() returns (telemetry already detached) with the
   /// drained simulator — the hook bench_profile uses to capture run-scoped
@@ -284,30 +302,44 @@ inline PointResult run_point(std::size_t n_users,
     sim.add_node(*infra.back());
   }
   for (int i = 0; i < kMixes; ++i) mixes.push_back("mix" + std::to_string(i));
+  const auto ring_next = [](int i) {
+    const int base = i - i % kMixRing;
+    return base + (i - base + 1) % kMixRing;
+  };
   for (int i = 0; i < kMixes; ++i) {
-    infra.push_back(std::make_unique<ScaleMix>(
-        mixes[i], mixes[(i + 1) % kMixes], "sink", tally));
+    infra.push_back(std::make_unique<ScaleMix>(mixes[i], mixes[ring_next(i)],
+                                               "sink", tally));
     sim.add_node(*infra.back());
   }
   if (opts.shards > 1) {
-    // Pin the shared infrastructure round-robin (count-agnostic: affinity
-    // is reduced modulo the shard count at run time); clients stay
-    // unpinned and spread by interned-id order. The sink takes shard 0
-    // alongside the run callbacks.
-    sim.set_shard_affinity("sink", 0);
-    for (int i = 0; i < kOrigins; ++i) {
-      sim.set_shard_affinity("origin" + std::to_string(i),
-                             static_cast<std::uint32_t>(i));
-    }
-    for (int i = 0; i < kGateways; ++i) {
-      sim.set_shard_affinity("gw" + std::to_string(i),
-                             static_cast<std::uint32_t>(i));
-    }
-    for (int i = 0; i < kRelays; ++i) {
-      sim.set_shard_affinity(relays[i], static_cast<std::uint32_t>(i));
-    }
-    for (int i = 0; i < kMixes; ++i) {
-      sim.set_shard_affinity(mixes[i], static_cast<std::uint32_t>(i));
+    if (opts.affinity == net::Simulator::AffinityPolicy::kMinCut) {
+      // No pins: the partitioner owns placement, seeded by the link table
+      // (and, when supplied, a recorded traffic matrix). Per-client hints
+      // land below, once the clients exist.
+      sim.set_auto_affinity(net::Simulator::AffinityPolicy::kMinCut);
+      if (!opts.affinity_traffic.empty()) {
+        sim.set_affinity_traffic(opts.affinity_traffic);
+      }
+    } else {
+      // Pin the shared infrastructure round-robin (count-agnostic: affinity
+      // is reduced modulo the shard count at run time); clients stay
+      // unpinned and spread by interned-id order. The sink takes shard 0
+      // alongside the run callbacks.
+      sim.set_shard_affinity("sink", 0);
+      for (int i = 0; i < kOrigins; ++i) {
+        sim.set_shard_affinity("origin" + std::to_string(i),
+                               static_cast<std::uint32_t>(i));
+      }
+      for (int i = 0; i < kGateways; ++i) {
+        sim.set_shard_affinity("gw" + std::to_string(i),
+                               static_cast<std::uint32_t>(i));
+      }
+      for (int i = 0; i < kRelays; ++i) {
+        sim.set_shard_affinity(relays[i], static_cast<std::uint32_t>(i));
+      }
+      for (int i = 0; i < kMixes; ++i) {
+        sim.set_shard_affinity(mixes[i], static_cast<std::uint32_t>(i));
+      }
     }
     sim.set_shards(opts.shards);
   }
@@ -320,9 +352,13 @@ inline PointResult run_point(std::size_t n_users,
     sim.connect("gw" + std::to_string(i),
                 "origin" + std::to_string(i % kOrigins), 5'000);
   }
+  // Mix cycles get explicit links; the mix -> sink hand-off rides the
+  // default latency (like the user edges), so the tight 5 ms subgraph
+  // stays a union of per-cycle and per-gateway components — exactly the
+  // structure that lets the min-cut policy place it with zero tight-link
+  // cuts, which in turn widens every shard pair's lookahead window.
   for (int i = 0; i < kMixes; ++i) {
-    sim.connect(mixes[i], mixes[(i + 1) % kMixes], 5'000);
-    sim.connect(mixes[i], "sink", 5'000);
+    sim.connect(mixes[i], mixes[ring_next(i)], 5'000);
   }
 
   std::vector<std::unique_ptr<ScaleClient>> clients;
@@ -333,16 +369,38 @@ inline PointResult run_point(std::size_t n_users,
     const int hops = 1 + static_cast<int>(i % kMaxHops);
     ++class_counts[hops];
     expected_forwards[hops] += static_cast<std::uint64_t>(hops);
+    // Align each client's mix cycle with its relay's gateway group: the
+    // tight 5 ms subgraph (relay->gw->origin trees, mix cycles) plus the
+    // clients hanging off it then decomposes into kGateways components
+    // with coherent placement pulls — a traffic-aware partition can keep
+    // every tight link internal. Per-mix load stays uniform.
+    const int tree = static_cast<int>(i % static_cast<std::size_t>(kGateways));
+    const int mix_idx =
+        tree * kMixRing +
+        static_cast<int>((i / static_cast<std::size_t>(kGateways)) %
+                         static_cast<std::size_t>(kMixRing));
     clients.push_back(std::make_unique<ScaleClient>(
-        "u" + std::to_string(i), relays[i % kRelays], mixes[i % kMixes], hops,
+        "u" + std::to_string(i), relays[i % kRelays], mixes[mix_idx], hops,
         tally));
     sim.add_node(*clients.back());
+    if (opts.shards > 1 &&
+        opts.affinity == net::Simulator::AffinityPolicy::kMinCut) {
+      // Client edges ride the default link, so they never appear in the
+      // link table; hint the partitioner with the client's real per-round
+      // send pattern (2 packets to/from its relay, 1 into its first mix).
+      sim.add_affinity_hint(clients.back()->address(), relays[i % kRelays],
+                            2);
+      sim.add_affinity_hint(clients.back()->address(), mixes[mix_idx], 1);
+    }
   }
   // Stagger starts across 1 s of virtual time so the event queue holds an
-  // in-flight window, not the whole population.
+  // in-flight window, not the whole population. at_node lands each kickoff
+  // on its client's own shard (under either placement policy), so the
+  // start burst is spread instead of serialized through shard 0 — and on
+  // the serial engine it degrades to a plain at().
   for (std::size_t i = 0; i < n_users; ++i) {
     ScaleClient* c = clients[i].get();
-    sim.at((i % 1000) * 1'000, [c, &sim] { c->start(sim); });
+    sim.at_node(c->address(), (i % 1000) * 1'000, [c, &sim] { c->start(sim); });
   }
 
   if (opts.on_ready) opts.on_ready(sim, tally);
@@ -373,12 +431,14 @@ inline PointResult run_point(std::size_t n_users,
   if (opts.shards > 1) {
     const net::Simulator::ShardRunStats& ss = sim.shard_stats();
     r.shards = ss.shards;
+    r.policy = ss.policy;
     r.lookahead_us = static_cast<double>(ss.lookahead_us);
     r.windows = ss.windows;
     r.total_deliveries = sim.packets_delivered();
     r.shard_events = ss.events;
     r.shard_deliveries = ss.deliveries;
     r.shard_cross_sends = ss.cross_sends;
+    r.shard_local_sends = ss.local_sends;
     r.shard_busy_ns = ss.busy_ns;
     r.shard_barrier_ns = ss.barrier_wait_ns;
     r.shard_mailbox_stalls = ss.mailbox_full_stalls;

@@ -1,0 +1,211 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dcpl::net {
+
+namespace {
+
+std::uint64_t pack_pair(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = a < b ? a : b;
+  const std::uint32_t hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+void ShardPartitioner::ensure_vertex(std::uint32_t v) {
+  if (v >= verts_.size()) verts_.resize(static_cast<std::size_t>(v) + 1);
+  if (!verts_[v].present) {
+    verts_[v].present = true;
+    verts_[v].load = 1;
+  }
+}
+
+void ShardPartitioner::add_vertex(std::uint32_t v, std::uint64_t load) {
+  const bool fresh = v >= verts_.size() || !verts_[v].present;
+  ensure_vertex(v);
+  // ensure_vertex seeds fresh vertices with load 1; replace that seed, and
+  // accumulate on repeats so callers can add traffic contributions.
+  verts_[v].load = fresh ? load : verts_[v].load + load;
+  if (verts_[v].load == 0) verts_[v].load = 1;
+}
+
+void ShardPartitioner::add_edge(std::uint32_t a, std::uint32_t b,
+                                std::uint64_t weight) {
+  if (a == b || weight == 0) return;
+  ensure_vertex(a);
+  ensure_vertex(b);
+  edges_[pack_pair(a, b)] += weight;
+}
+
+void ShardPartitioner::pin(std::uint32_t v, std::uint32_t shard) {
+  ensure_vertex(v);
+  verts_[v].pin = opts_.shards ? shard % opts_.shards : 0;
+}
+
+ShardPartitioner::Result ShardPartitioner::partition() const {
+  Result res;
+  const std::uint32_t S = opts_.shards ? opts_.shards : 1;
+  res.assignment.assign(verts_.size(), kUnassigned);
+  res.loads.assign(S, 0);
+
+  // Canonicalize: sorted edge list, CSR adjacency. unordered_map iteration
+  // order must never reach a placement decision.
+  struct Edge {
+    std::uint32_t a, b;
+    std::uint64_t w;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(edges_.size());
+  for (const auto& [key, w] : edges_) {
+    edges.push_back({static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xFFFFFFFFu), w});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  for (const Edge& e : edges) res.total_weight += e.w;
+
+  const std::size_t n = verts_.size();
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const Edge& e : edges) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offset[v + 1] = offset[v] + degree[v];
+  struct Adj {
+    std::uint32_t to;
+    std::uint64_t w;
+  };
+  std::vector<Adj> adj(offset[n]);
+  {
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (const Edge& e : edges) {
+      adj[cursor[e.a]++] = {e.b, e.w};
+      adj[cursor[e.b]++] = {e.a, e.w};
+    }
+  }
+
+  std::uint64_t total_load = 0;
+  for (const Vertex& v : verts_) {
+    if (v.present) total_load += v.load;
+  }
+  if (total_load == 0) return res;
+
+  // Hard cap: ceil((1 + epsilon) * mean). Never below the heaviest single
+  // vertex — a placement must always exist.
+  const double mean = static_cast<double>(total_load) / S;
+  std::uint64_t cap =
+      static_cast<std::uint64_t>(mean * (1.0 + opts_.epsilon)) + 1;
+  for (const Vertex& v : verts_) {
+    if (v.present && v.load > cap) cap = v.load;
+  }
+
+  // Pins first: authoritative, exempt from the cap (the caller asked).
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (verts_[v].present && verts_[v].pin != kUnassigned) {
+      res.assignment[v] = verts_[v].pin;
+      res.loads[verts_[v].pin] += verts_[v].load;
+    }
+  }
+
+  // Greedy seeding in descending adjacent-weight order (heaviest talkers
+  // place first, so lighter vertices can follow their partners), id
+  // ascending on ties.
+  std::vector<std::uint64_t> adj_weight(n, 0);
+  for (const Edge& e : edges) {
+    adj_weight[e.a] += e.w;
+    adj_weight[e.b] += e.w;
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (verts_[v].present && verts_[v].pin == kUnassigned) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&adj_weight](std::uint32_t x, std::uint32_t y) {
+              return adj_weight[x] != adj_weight[y]
+                         ? adj_weight[x] > adj_weight[y]
+                         : x < y;
+            });
+
+  std::vector<std::uint64_t> conn(S, 0);
+  auto connection_to = [&](std::uint32_t v) {
+    std::fill(conn.begin(), conn.end(), 0);
+    for (std::size_t i = offset[v]; i < offset[v + 1]; ++i) {
+      const std::uint32_t s = res.assignment[adj[i].to];
+      if (s != kUnassigned) conn[s] += adj[i].w;
+    }
+  };
+
+  for (std::uint32_t v : order) {
+    connection_to(v);
+    const std::uint64_t load = verts_[v].load;
+    std::uint32_t best = kUnassigned;
+    std::uint64_t best_conn = 0;
+    for (std::uint32_t s = 0; s < S; ++s) {
+      if (res.loads[s] + load > cap) continue;
+      if (best == kUnassigned || conn[s] > best_conn) {
+        best = s;
+        best_conn = conn[s];
+      }
+    }
+    if (best == kUnassigned) {
+      // Every shard is at cap (pins can overfill): least-loaded wins.
+      best = 0;
+      for (std::uint32_t s = 1; s < S; ++s) {
+        if (res.loads[s] < res.loads[best]) best = s;
+      }
+    } else if (best_conn == 0) {
+      // Isolated so far: least-loaded shard under the cap, lowest index on
+      // ties, so seeding spreads load instead of piling onto shard 0.
+      for (std::uint32_t s = 0; s < S; ++s) {
+        if (res.loads[s] + load <= cap && res.loads[s] < res.loads[best]) {
+          best = s;
+        }
+      }
+    }
+    res.assignment[v] = best;
+    res.loads[best] += load;
+  }
+
+  // FM-style refinement: sweep movable vertices in id order, move on
+  // strictly positive gain while the cap holds. Each pass stops at a
+  // fixpoint; gains are recomputed from the live assignment so the result
+  // depends only on the canonical graph.
+  for (int pass = 0; pass < opts_.refine_passes; ++pass) {
+    bool moved = false;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!verts_[v].present || verts_[v].pin != kUnassigned) continue;
+      const std::uint32_t cur = res.assignment[v];
+      connection_to(v);
+      const std::uint64_t load = verts_[v].load;
+      std::uint32_t best = cur;
+      std::uint64_t best_conn = conn[cur];
+      for (std::uint32_t s = 0; s < S; ++s) {
+        if (s == cur || res.loads[s] + load > cap) continue;
+        if (conn[s] > best_conn) {
+          best = s;
+          best_conn = conn[s];
+        }
+      }
+      if (best != cur) {
+        res.assignment[v] = best;
+        res.loads[cur] -= load;
+        res.loads[best] += load;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  for (const Edge& e : edges) {
+    if (res.assignment[e.a] != res.assignment[e.b]) res.cut_weight += e.w;
+  }
+  return res;
+}
+
+}  // namespace dcpl::net

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "net/partition.hpp"
 #include "net/profile.hpp"
 #include "net/tracing.hpp"
 #include "obs/flow.hpp"
@@ -465,6 +466,38 @@ void Simulator::at(Time t, std::function<void()> fn) {
   note_queue_push();
 }
 
+void Simulator::at_node(const Address& affine, Time t,
+                        std::function<void()> fn) {
+  if (Shard* sh = tls_shard_; sh != nullptr && owns_shard(sh)) {
+    // Mid-run the handler is already on a deterministic shard; scheduling
+    // stays shard-local, exactly like at().
+    sharded_at(*sh, t, std::move(fn));
+    return;
+  }
+  const AddressId id = interner_.intern(affine);
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  std::uint32_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.emplace_back();
+  }
+  callbacks_[slot] = std::move(fn);
+  EngineEvent ev;
+  ev.time = t;
+  ev.seq = ++event_seq_;
+  // Callback events never read context on dispatch; stash the affinity as
+  // id + 1 (0 = untagged) for redistribute_initial_events to route on.
+  // Identical (time, seq) keys to at(), so serial runs are byte-identical.
+  ev.context = static_cast<std::uint64_t>(id) + 1;
+  ev.handle = slot;
+  ev.kind = EngineEvent::kCallback;
+  queue_.push(ev);
+  note_queue_push();
+}
+
 void Simulator::deliver(const EngineEvent& ev) {
   const AddressId dst_id = link_dst(ev.link_key);
   if (fault_plan_ && offline_at_id(dst_id, now_)) {
@@ -752,7 +785,6 @@ struct Simulator::Shard {
   std::uint64_t events = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t delivered_bytes = 0;
-  std::uint64_t cross_sends = 0;
   std::size_t queue_peak = 0;
   // Tracing plane: shard-namespaced trace-id counter, the trace of the
   // delivery currently inside on_packet, and a private recorder lane so
@@ -763,7 +795,8 @@ struct Simulator::Shard {
   std::unique_ptr<LatencyLane> lane;
   // Contention telemetry: wall time split between processing and barrier
   // waits, failed mailbox pushes, and the outgoing traffic row
-  // (traffic[dst] = events pushed to shard dst — deterministic).
+  // (traffic[dst] = events pushed to shard dst, diagonal = same-shard
+  // pushes — deterministic; cross/local send counts derive from it).
   std::uint64_t busy_ns = 0;
   std::uint64_t barrier_ns = 0;
   std::uint64_t mailbox_full_stalls = 0;
@@ -901,7 +934,68 @@ std::uint32_t Simulator::shard_of_id(AddressId id) const {
   if (auto it = shard_pin_.find(id); it != shard_pin_.end()) {
     return it->second % shards_;
   }
+  if (id < auto_shard_.size() && auto_shard_[id] != kUnassignedShard) {
+    return auto_shard_[id] % shards_;
+  }
   return id % shards_;
+}
+
+void Simulator::add_affinity_hint(const Address& a, const Address& b,
+                                  std::uint64_t weight) {
+  if (weight == 0 || a == b) return;
+  affinity_hints_.push_back({interner_.intern(a), interner_.intern(b), weight});
+}
+
+void Simulator::compute_auto_affinity() {
+  auto_shard_.clear();
+  if (affinity_policy_ != AffinityPolicy::kMinCut || shards_ <= 1) return;
+  ShardPartitioner::Options opts;
+  opts.shards = shards_;
+  ShardPartitioner part(opts);
+  // Optional traffic seeding: up-weight an edge by how hot the recorded
+  // run's shard pair was, approximating the previous placement by
+  // id-modulo over the recorded matrix dimension. Only OFF-diagonal cells
+  // scale: they measure where the recorded placement bled cross-shard
+  // sends, which is what the partitioner can still fix. Diagonal (local)
+  // traffic is usually the largest cell, and boosting same-class edges by
+  // it would just drag the cut back toward the recorded placement. The
+  // structural edges do the partitioning; the seed steers ties toward
+  // measured hot pairs.
+  const std::size_t prev = affinity_traffic_.size();
+  std::uint64_t t_max = 0;
+  for (std::size_t i = 0; i < prev; ++i) {
+    for (std::size_t j = 0; j < affinity_traffic_[i].size(); ++j) {
+      if (i != j) t_max = std::max(t_max, affinity_traffic_[i][j]);
+    }
+  }
+  // Weights are integers, so "steering ties" needs headroom: structural
+  // weights are scaled x16 and the traffic bump tops out at 7, strictly
+  // below one structural unit. The seed can therefore reorder edges of
+  // equal structural weight but never outvote the topology or a hint.
+  const auto scaled = [&](AddressId a, AddressId b, std::uint64_t w) {
+    if (prev == 0 || t_max == 0) return w;
+    const std::size_t sa = a % prev, sb = b % prev;
+    if (sa == sb) return w * 16;
+    const std::uint64_t t =
+        affinity_traffic_[sa][sb] + affinity_traffic_[sb][sa];
+    return w * 16 + 7 * t / t_max;
+  };
+  // Vertices: every address that can receive a delivery. Edge weights are
+  // accumulated commutatively, so unordered link-table iteration cannot
+  // perturb the (canonicalized) partition.
+  for (AddressId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id] != nullptr) part.add_vertex(id);
+  }
+  for (const auto& [key, ls] : links_) {
+    if (!ls.has_latency) continue;
+    const AddressId a = link_src(key), b = link_dst(key);
+    part.add_edge(a, b, scaled(a, b, 1));
+  }
+  for (const AffinityHint& h : affinity_hints_) {
+    part.add_edge(h.a, h.b, scaled(h.a, h.b, h.weight));
+  }
+  for (const auto& [id, shard] : shard_pin_) part.pin(id, shard % shards_);
+  auto_shard_ = part.partition().assignment;
 }
 
 AddressId Simulator::intern_mt(const Address& name) {
@@ -945,17 +1039,49 @@ const Simulator::ProtocolInfo& Simulator::protocol_info_mt(
   return *protocols_[id];
 }
 
-Time Simulator::compute_lookahead() const {
-  // Unpinned/unconnected pairs fall back to the default latency, so it
-  // always bounds the lookahead; explicit cross-shard links can only
-  // tighten it. Jitter, bandwidth serialization, and extra_delay only add.
-  Time lookahead = default_latency_;
+std::vector<std::vector<Time>> Simulator::compute_lookahead_matrix() const {
+  // L[src][dst] = the minimum latency any src-shard -> dst-shard delivery
+  // can take. Unconnected pairs fall back to the default latency, so it
+  // always bounds every cell; explicit cross-shard links only tighten
+  // their own cell. Jitter, bandwidth serialization, and extra_delay only
+  // add. Shard pairs without a tight link keep the (wider) default, which
+  // is exactly what lets them advance in wider windows than the old global
+  // minimum allowed.
+  std::vector<std::vector<Time>> m(shards_,
+                                   std::vector<Time>(shards_,
+                                                     default_latency_));
   for (const auto& [key, ls] : links_) {
     if (!ls.has_latency) continue;
-    if (shard_of_id(link_src(key)) == shard_of_id(link_dst(key))) continue;
-    lookahead = std::min(lookahead, ls.latency);
+    const std::uint32_t s = shard_of_id(link_src(key));
+    const std::uint32_t d = shard_of_id(link_dst(key));
+    if (s == d) continue;
+    m[s][d] = std::min(m[s][d], ls.latency);
   }
-  return lookahead;
+  // Per-pair windows must bound *every* chain an event can ride, not just
+  // the direct hop: an event leaving shard k can be relayed through any
+  // other shard (even one whose queue is empty right now) and reach i via
+  // a path cheaper than the direct k->i cell. Close the matrix to
+  // all-pairs shortest paths (Floyd–Warshall; shards_ is small), with the
+  // diagonal holding the minimum *cycle* through each shard — the earliest
+  // a shard's own pending work can boomerang back into its inbox.
+  std::vector<std::vector<Time>> d(shards_,
+                                   std::vector<Time>(shards_,
+                                                     CalendarQueue::kNever));
+  for (std::uint32_t i = 0; i < shards_; ++i) {
+    for (std::uint32_t j = 0; j < shards_; ++j) {
+      if (i != j) d[i][j] = m[i][j];
+    }
+  }
+  for (std::uint32_t k = 0; k < shards_; ++k) {
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      if (d[i][k] == CalendarQueue::kNever) continue;
+      for (std::uint32_t j = 0; j < shards_; ++j) {
+        if (d[k][j] == CalendarQueue::kNever) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
 }
 
 void Simulator::build_shards() {
@@ -982,13 +1108,19 @@ void Simulator::redistribute_initial_events() {
   while (!queue_.empty()) {
     const EngineEvent ev = queue_.pop();
     if (ev.kind == EngineEvent::kCallback) {
-      // Callbacks have no address: they run on shard 0 (pre-run at()
-      // callbacks are workload scaffolding — client start staggering,
-      // plan installs — not per-node hot work).
+      // at_node() callbacks carry their owning address (context = id + 1)
+      // and run on that address's shard — a workload kickoff originates on
+      // the client's own shard instead of turning into a cross-shard push.
+      // Untagged at() callbacks stay on shard 0 (workload scaffolding —
+      // plan installs, global staging — not per-node hot work).
       std::function<void()> fn = std::move(callbacks_[ev.handle]);
       callbacks_[ev.handle] = nullptr;
       callback_free_.push_back(ev.handle);
-      sharded_at(*shard_v_[0], ev.time, std::move(fn));
+      const std::uint32_t target =
+          ev.context != 0
+              ? shard_of_id(static_cast<AddressId>(ev.context - 1))
+              : 0;
+      sharded_at(*shard_v_[target], ev.time, std::move(fn));
       continue;
     }
     Shard& sh = *shard_v_[shard_of_id(link_dst(ev.link_key))];
@@ -1061,6 +1193,7 @@ void Simulator::sharded_push_local(Shard& sh, Time deliver_at,
   ev.handle = h;
   ev.protocol = protocol;
   ev.kind = EngineEvent::kDelivery;
+  ++sh.traffic[sh.id];  // diagonal: same-shard sends
   sh.queue.push(ev);
   const std::size_t depth = sh.queue.size();
   if (depth > sh.queue_peak) sh.queue_peak = depth;
@@ -1068,7 +1201,6 @@ void Simulator::sharded_push_local(Shard& sh, Time deliver_at,
 
 void Simulator::sharded_push_remote(Shard& sh, std::uint32_t dst_shard,
                                     ShardEvent ev) {
-  ++sh.cross_sends;
   ++sh.traffic[dst_shard];
   ShardMailbox& box = shard_v_[dst_shard]->inbox;
   while (!box.try_push(std::move(ev))) {
@@ -1312,10 +1444,13 @@ void Simulator::drain_inbox_into_queue(Shard& sh) {
   sh.staged.clear();
 }
 
-void Simulator::replay_deferred() {
-  // K-way merge of the per-shard buffers by (time, shard, buffer order).
-  // Each buffer is already time-sorted (shards process nondecreasing
-  // times), so a linear index per shard suffices.
+void Simulator::replay_deferred(Time cutoff) {
+  // K-way merge of the per-shard buffers by (time, shard, buffer order),
+  // stopping at `cutoff`. Each buffer is already time-sorted (shards
+  // process nondecreasing times), so a linear index per shard suffices —
+  // and every record left behind carries time >= cutoff, so successive
+  // prefix replays concatenate into the same global order one end-of-run
+  // merge would produce. Incremental barrier work is O(newly safe records).
   std::vector<std::size_t> idx(shard_v_.size(), 0);
   for (;;) {
     std::size_t best = shard_v_.size();
@@ -1324,6 +1459,7 @@ void Simulator::replay_deferred() {
       const auto& dq = shard_v_[s]->deferred;
       if (idx[s] >= dq.size()) continue;
       const Time t = dq[idx[s]].time;
+      if (t >= cutoff) continue;
       if (best == shard_v_.size() || t < best_time) {
         best = s;
         best_time = t;
@@ -1344,7 +1480,10 @@ void Simulator::replay_deferred() {
       if (record_trace_) trace_.push_back(std::move(entry));
     }
   }
-  for (auto& sh : shard_v_) sh->deferred.clear();
+  for (std::size_t s = 0; s < shard_v_.size(); ++s) {
+    auto& dq = shard_v_[s]->deferred;
+    dq.erase(dq.begin(), dq.begin() + static_cast<std::ptrdiff_t>(idx[s]));
+  }
 }
 
 void Simulator::apply_pending_plan(Time window_start) {
@@ -1374,7 +1513,7 @@ void Simulator::apply_pending_plan(Time window_start) {
 }
 
 void Simulator::finish_sharded_run(std::uint64_t windows) {
-  replay_deferred();  // idempotent; covers an abandoned final window
+  replay_deferred(~Time{0});  // full drain; covers an abandoned final window
   shard_stats_.windows = windows;
   Time end = now_;
   std::uint64_t events = 0, packets = 0, bytes = 0;
@@ -1401,7 +1540,15 @@ void Simulator::finish_sharded_run(std::uint64_t windows) {
     if (latency_ != nullptr) latency_->merge_lane(*sh.lane);
     shard_stats_.events[sh.id] = sh.events;
     shard_stats_.deliveries[sh.id] = sh.deliveries;
-    shard_stats_.cross_sends[sh.id] = sh.cross_sends;
+    // The send split derives from the traffic matrix — row sum minus
+    // diagonal and the diagonal itself — so the three views can never
+    // disagree (what report_check --require-shards asserts structurally).
+    std::uint64_t cross = 0;
+    for (std::uint32_t d = 0; d < shards_; ++d) {
+      if (d != sh.id) cross += sh.traffic[d];
+    }
+    shard_stats_.cross_sends[sh.id] = cross;
+    shard_stats_.local_sends[sh.id] = sh.traffic[sh.id];
     shard_stats_.busy_ns[sh.id] = sh.busy_ns;
     shard_stats_.barrier_wait_ns[sh.id] = sh.barrier_ns;
     shard_stats_.mailbox_full_stalls[sh.id] = sh.mailbox_full_stalls;
@@ -1445,8 +1592,18 @@ Time Simulator::run_sharded() {
   if (sharded_running_) {
     throw std::logic_error("Simulator::run: sharded run already in progress");
   }
-  const Time lookahead = compute_lookahead();
-  if (lookahead == 0) {
+  // Placement before lookahead: the pairwise matrix and the initial event
+  // redistribution both depend on shard_of_id, which the kMinCut policy
+  // rewires here (deterministically — same topology, same placement).
+  compute_auto_affinity();
+  const std::vector<std::vector<Time>> lookahead = compute_lookahead_matrix();
+  Time min_lookahead = default_latency_;
+  for (std::uint32_t i = 0; i < shards_; ++i) {
+    for (std::uint32_t j = 0; j < shards_; ++j) {
+      if (i != j) min_lookahead = std::min(min_lookahead, lookahead[i][j]);
+    }
+  }
+  if (min_lookahead == 0) {
     throw std::invalid_argument(
         "Simulator: sharded run requires a positive minimum cross-shard "
         "link latency (the lookahead window would be empty)");
@@ -1458,14 +1615,20 @@ Time Simulator::run_sharded() {
   // ledger's own staging lanes instead.
   defer_observability_ =
       record_trace_ || !wiretaps_.empty() || link_byte_accounting_;
-  if (flow_ != nullptr) flow_->begin_staging(shards_);
+  // One lane per shard plus a dedicated coordinator lane: wiretap taps that
+  // record flow ops during the barrier replay must not interleave into a
+  // worker's (time-monotone) lane, or the incremental prefix commit would
+  // see a non-monotone lane and commit out of order.
+  if (flow_ != nullptr) flow_->begin_staging(shards_ + 1);
 
   shard_stats_ = ShardRunStats{};
   shard_stats_.shards = shards_;
-  shard_stats_.lookahead_us = lookahead;
+  shard_stats_.lookahead_us = min_lookahead;
+  shard_stats_.policy = affinity_policy_;
   shard_stats_.events.assign(shards_, 0);
   shard_stats_.deliveries.assign(shards_, 0);
   shard_stats_.cross_sends.assign(shards_, 0);
+  shard_stats_.local_sends.assign(shards_, 0);
   shard_stats_.busy_ns.assign(shards_, 0);
   shard_stats_.barrier_wait_ns.assign(shards_, 0);
   shard_stats_.mailbox_full_stalls.assign(shards_, 0);
@@ -1475,22 +1638,49 @@ Time Simulator::run_sharded() {
   // Window state: written by the main thread here and by the barrier
   // completion function (all workers parked), read by workers only after a
   // barrier release — which synchronizes-with the completing write.
-  Time window_end = 0;
+  // Per-pair windows: shard i may advance to the earliest instant any
+  // pending work anywhere could still reach it — end_i = min over shards j
+  // with a nonempty queue of (t_j + D[j][i]), where D is the shortest-path
+  // closure of the latency matrix (D[i][i] = min cycle, bounding i's own
+  // work boomeranging back). Every future cross-shard arrival at i descends
+  // from some event pending now at a nonempty shard j with time >= t_j, and
+  // every relay chain j -> ... -> i (empty intermediates included) costs at
+  // least D[j][i], so it lands at >= t_j + D[j][i] >= end_i: nothing a
+  // shard processes this round can be preceded by a later merge, and shard
+  // pairs with slack advance in wider windows than the old global minimum.
+  std::vector<Time> window_end(shards_, 0);
+  std::vector<Time> next(shards_, CalendarQueue::kNever);
   bool done = false;
   std::uint64_t windows = 0;
   std::atomic<bool> abort{false};
   std::exception_ptr coordinator_error;
 
-  {
+  auto refresh_next = [&]() {
     Time t_min = CalendarQueue::kNever;
-    for (const auto& sh : shard_v_) {
-      t_min = std::min(t_min, sh->queue.next_time());
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      next[i] = shard_v_[i]->queue.next_time();
+      t_min = std::min(t_min, next[i]);
     }
-    if (t_min == CalendarQueue::kNever) {
-      done = true;
-    } else {
-      window_end = t_min + lookahead;
+    return t_min;
+  };
+  auto open_windows = [&]() {
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      Time end = CalendarQueue::kNever;
+      for (std::uint32_t j = 0; j < shards_; ++j) {
+        if (next[j] == CalendarQueue::kNever ||
+            lookahead[j][i] == CalendarQueue::kNever) {
+          continue;
+        }
+        end = std::min(end, next[j] + lookahead[j][i]);
+      }
+      window_end[i] = end;  // kNever: nothing can reach i — run to empty
     }
+  };
+
+  if (refresh_next() == CalendarQueue::kNever) {
+    done = true;
+  } else {
+    open_windows();
   }
 
   run_abort_ = &abort;
@@ -1499,31 +1689,32 @@ Time Simulator::run_sharded() {
 
   auto on_window_complete = [&]() noexcept {
     // Runs with every worker parked: exclusive access to all state. The
-    // hosting thread is whichever worker arrived last — blank its TLS so
-    // now()/send routing behave as on the main thread (deterministically),
+    // hosting thread is whichever worker arrived last — blank its TLS (and
+    // park its ledger lane on the coordinator lane) so now()/send routing
+    // and staged flow ops behave as on the main thread (deterministically),
     // whatever thread won the race.
     Shard* const tls_saved = tls_shard_;
     tls_shard_ = nullptr;
+    const std::uint32_t lane_saved = obs::FlowLedger::lane();
+    obs::FlowLedger::set_lane(shards_);
     try {
       ++windows;
-      if (defer_observability_) replay_deferred();
-      if (flow_ != nullptr) flow_->commit_staged();
-      Time t_min = CalendarQueue::kNever;
-      for (const auto& sh : shard_v_) {
-        t_min = std::min(t_min, sh->queue.next_time());
-      }
+      // Incremental commit: everything strictly before the next round's
+      // first event is safe — no future event (including a pending-plan
+      // breach, floored at t_min) can produce an earlier record. Records
+      // at exactly t_min stay buffered so they merge with that event's
+      // own output next round.
+      Time t_min = refresh_next();
+      if (defer_observability_) replay_deferred(t_min);
+      if (flow_ != nullptr) flow_->commit_staged_before(t_min);
       bool pending = false;
       {
         std::lock_guard<std::mutex> lk(pending_mu_);
         pending = pending_plan_.has_value();
       }
       if (pending) {
-        apply_pending_plan(t_min == CalendarQueue::kNever ? window_end
-                                                          : t_min);
-        t_min = CalendarQueue::kNever;
-        for (const auto& sh : shard_v_) {
-          t_min = std::min(t_min, sh->queue.next_time());
-        }
+        apply_pending_plan(t_min == CalendarQueue::kNever ? now_ : t_min);
+        t_min = refresh_next();
       }
       if (abort.load(std::memory_order_relaxed) ||
           t_min == CalendarQueue::kNever) {
@@ -1536,12 +1727,13 @@ Time Simulator::run_sharded() {
           sampler_->sample_now(t_min);
           sampler_next_ = sampler_->next_due();
         }
-        window_end = t_min + lookahead;
+        open_windows();
       }
     } catch (...) {
       coordinator_error = std::current_exception();
       done = true;
     }
+    obs::FlowLedger::set_lane(lane_saved);
     tls_shard_ = tls_saved;
   };
 
@@ -1567,7 +1759,7 @@ Time Simulator::run_sharded() {
       const auto t0 = wall::now();
       if (!abort.load(std::memory_order_relaxed)) {
         try {
-          process_window(sh, window_end);
+          process_window(sh, window_end[idx]);
         } catch (...) {
           sh.error = std::current_exception();
           abort.store(true, std::memory_order_relaxed);

@@ -190,6 +190,13 @@ class Simulator {
   /// Schedules an arbitrary callback at absolute time `t` (>= now).
   void at(Time t, std::function<void()> fn);
 
+  /// Like at(), but tags the callback with an address so a sharded run
+  /// executes it on the shard owning that address (serial runs are
+  /// byte-identical to at()). The idiom for workload kickoffs: a client's
+  /// first send should originate on the client's own shard, not shard 0,
+  /// or every kickoff becomes a cross-shard push.
+  void at_node(const Address& affine, Time t, std::function<void()> fn);
+
   /// Runs until the event queue drains. Returns the final virtual time.
   /// With set_shards(n>1) this dispatches to the sharded parallel engine;
   /// the default single-shard path is byte-identical to the seed engine.
@@ -222,25 +229,60 @@ class Simulator {
   /// addresses default to interned-id order round-robin (id % shards).
   void set_shard_affinity(const Address& address, std::uint32_t shard);
 
-  /// The shard owning `id` under the current shard count.
+  /// The shard owning `id` under the current shard count. Precedence:
+  /// explicit pin, then the auto-affinity placement (if a policy is set),
+  /// then id-modulo round-robin.
   std::uint32_t shard_of_id(AddressId id) const;
+
+  /// How unpinned addresses map to shards. kModulo (default) is blanket
+  /// id % shards. kMinCut runs a net::ShardPartitioner over the link
+  /// table (plus affinity hints and an optional recorded traffic matrix)
+  /// at the start of each sharded run — deterministic, so a fixed shard
+  /// count still replays bit-identically. Explicit pins stay
+  /// authoritative under every policy.
+  enum class AffinityPolicy : std::uint8_t { kModulo, kMinCut };
+  void set_auto_affinity(AffinityPolicy policy) { affinity_policy_ = policy; }
+  AffinityPolicy auto_affinity() const { return affinity_policy_; }
+
+  /// Adds a partitioner-only edge between two addresses. For traffic the
+  /// link table cannot see: pairs that exchange packets over the default
+  /// latency without an explicit connect() (bench_scale clients are the
+  /// motivating case). No effect under kModulo or in serial runs.
+  void add_affinity_hint(const Address& a, const Address& b,
+                         std::uint64_t weight);
+
+  /// Seeds the kMinCut partitioner with a measured shard traffic matrix
+  /// from a previous run at the same topology (ShardRunStats::traffic,
+  /// e.g. via `bench_scale --affinity-from=report.json`). Edges between
+  /// addresses whose previous shards exchanged heavy traffic are
+  /// up-weighted, steering the cut toward the hot pairs.
+  void set_affinity_traffic(std::vector<std::vector<std::uint64_t>> matrix) {
+    affinity_traffic_ = std::move(matrix);
+  }
 
   /// Summary of the last sharded run (empty if none ran).
   struct ShardRunStats {
     std::uint32_t shards = 0;
-    Time lookahead_us = 0;         ///< conservative window width
+    Time lookahead_us = 0;  ///< min pairwise lookahead (window floor)
     std::uint64_t windows = 0;     ///< barrier rounds executed
+    AffinityPolicy policy = AffinityPolicy::kModulo;  ///< placement used
     std::vector<std::uint64_t> events;        ///< per shard, all kinds
+    /// Per-shard deliveries and send split. cross_sends/local_sends are
+    /// derived from the traffic matrix (row sum minus diagonal / the
+    /// diagonal), so the three views can never disagree.
     std::vector<std::uint64_t> deliveries;    ///< per shard
     std::vector<std::uint64_t> cross_sends;   ///< per shard, mailbox pushes
+    std::vector<std::uint64_t> local_sends;   ///< per shard, same-shard pushes
     // Contention telemetry (wall-clock, excluded from determinism checks
     // like wall_ms): where each worker's time went, and how often its
     // cross-shard pushes hit a full mailbox.
     std::vector<std::uint64_t> busy_ns;             ///< per shard
     std::vector<std::uint64_t> barrier_wait_ns;     ///< per shard
     std::vector<std::uint64_t> mailbox_full_stalls; ///< per shard
-    /// Deterministic cross-shard traffic matrix: traffic[src][dst] counts
-    /// mailbox events pushed from shard src to shard dst.
+    /// Deterministic shard traffic matrix: traffic[src][dst] counts events
+    /// pushed from shard src to shard dst — off-diagonal cells are mailbox
+    /// pushes (per destination-shard pair, feeding the partitioner), the
+    /// diagonal is same-shard pushes.
     std::vector<std::vector<std::uint64_t>> traffic;
   };
   const ShardRunStats& shard_stats() const { return shard_stats_; }
@@ -448,7 +490,14 @@ class Simulator {
   struct DeferredOb;
 
   Time run_sharded();
-  Time compute_lookahead() const;
+  /// Pairwise conservative lookahead: L[src][dst] = the minimum latency any
+  /// src-shard → dst-shard delivery can take (default latency floor for
+  /// pairs without an explicit link). Diagonal entries are unused.
+  std::vector<std::vector<Time>> compute_lookahead_matrix() const;
+  /// Runs the ShardPartitioner over links_ + affinity hints (+ recorded
+  /// traffic) and fills auto_shard_. Called at the start of run_sharded
+  /// when the policy is kMinCut; pins are pre-seeded and stay authoritative.
+  void compute_auto_affinity();
   void build_shards();
   void redistribute_initial_events();
   void process_window(Shard& sh, Time window_end);
@@ -474,7 +523,12 @@ class Simulator {
                              AddressId src_id, std::size_t payload_size,
                              Time extra_delay);
   void sharded_at(Shard& sh, Time t, std::function<void()> fn);
-  void replay_deferred();
+  /// Replays deferred observability records with time < cutoff in global
+  /// (time, shard, buffer-order) order and erases the replayed prefixes.
+  /// Per-shard buffers are time-nondecreasing (shard clocks are monotone),
+  /// so a prefix cutoff at the next window's start commits exactly the
+  /// records no future event can precede. Pass ~Time{0} to drain fully.
+  void replay_deferred(Time cutoff);
   void apply_pending_plan(Time window_start);
   void finish_sharded_run(std::uint64_t windows);
   AddressId intern_mt(const Address& name);
@@ -577,6 +631,19 @@ class Simulator {
   // sharded run is in flight; the serial path never locks them.
   std::uint32_t shards_ = 1;
   std::unordered_map<AddressId, std::uint32_t> shard_pin_;
+  // Auto-affinity placement (kMinCut): recomputed at the start of each
+  // sharded run; dense by AddressId with kUnassignedShard for addresses
+  // the partitioner never saw (those fall through to id-modulo).
+  static constexpr std::uint32_t kUnassignedShard = ~std::uint32_t{0};
+  AffinityPolicy affinity_policy_ = AffinityPolicy::kModulo;
+  std::vector<std::uint32_t> auto_shard_;
+  struct AffinityHint {
+    AddressId a;
+    AddressId b;
+    std::uint64_t weight;
+  };
+  std::vector<AffinityHint> affinity_hints_;
+  std::vector<std::vector<std::uint64_t>> affinity_traffic_;
   std::vector<std::unique_ptr<Shard>> shard_v_;
   ShardRunStats shard_stats_;
   bool sharded_running_ = false;

@@ -136,16 +136,29 @@ class FlowLedger final : public core::ObservationSink {
   // a total order independent of thread interleaving, so event ids, chains,
   // and monitor verdicts are bit-stable for a fixed shard count.
 
-  /// Enters staged mode with `lanes` producer lanes (one per shard).
+  /// Enters staged mode with `lanes` producer lanes (one per shard, plus
+  /// the simulator's coordinator lane).
   void begin_staging(std::uint32_t lanes);
   /// Replays and clears all staged ops. Only call with producers parked.
   void commit_staged();
+  /// Incremental barrier commit: replays and erases only the ops with
+  /// capture time < cutoff. Each lane is time-nondecreasing (shard clocks
+  /// are monotone), so those ops form a per-lane prefix, and no op staged
+  /// later can carry an earlier time — concatenating successive prefix
+  /// commits yields the exact global (time, lane, capture order) sequence
+  /// one end-of-run sort would. Barrier work is O(newly safe ops) instead
+  /// of O(window batch). Only call with producers parked.
+  void commit_staged_before(std::uint64_t cutoff);
   /// Commits any remaining ops and leaves staged mode.
   void end_staging();
   bool staging() const { return staging_; }
   /// Binds the calling thread to a lane index (thread-local, process-wide:
   /// at most one sharded run is in flight at a time).
   static void set_lane(std::uint32_t lane);
+  /// The calling thread's current lane binding (save/restore idiom for the
+  /// coordinator, which runs on whichever worker thread reached the
+  /// barrier last).
+  static std::uint32_t lane();
 
   /// When off, the ring stops accumulating (a wrapped flight recorder that
   /// has been switched off), but dedup, per-party tuples, and the monitor

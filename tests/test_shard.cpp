@@ -159,6 +159,7 @@ struct RunOptions {
   bool with_window_faults = false;  // deterministic: partition/crash/breach
   bool with_impairments = false;    // stochastic: per-shard RNG streams
   bool with_tracer = false;         // attach a LatencyTracer for the run
+  bool auto_affinity = false;       // kMinCut placement instead of id-modulo
 };
 
 struct RunResult {
@@ -235,6 +236,9 @@ RunResult run_workload(const RunOptions& opt) {
   }
 
   sim.set_shards(opt.shards);
+  if (opt.auto_affinity) {
+    sim.set_auto_affinity(Simulator::AffinityPolicy::kMinCut);
+  }
   for (auto& c : clients) c->kickoff(sim);
   const Time end = sim.run();
   if (opt.with_tracer) sim.set_latency_tracer(nullptr);
@@ -523,6 +527,74 @@ TEST(ShardDeterminism, GoldenDigests) {
     }
     EXPECT_EQ(res.digest, want)
         << "shards=" << shards << std::hex << " actual=0x" << res.digest;
+  }
+}
+
+// --- auto-affinity (min-cut placement) ------------------------------------
+
+// Under set_auto_affinity(kMinCut) the partitioner replaces id-modulo for
+// unpinned nodes, but every determinism obligation is unchanged: aggregates
+// match serial for any shard count, and a fixed count replays bit-identical.
+TEST(ShardDeterminism, AutoAffinityAggregatesMatchSerial) {
+  for (std::uint64_t seed : {1ull, 5ull}) {
+    RunOptions base;
+    base.seed = seed;
+    base.shards = 1;
+    base.with_flow = true;
+    const RunResult serial = run_workload(base);
+    ASSERT_GT(serial.packets, 0u);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+      RunOptions opt = base;
+      opt.shards = shards;
+      opt.auto_affinity = true;
+      const RunResult sharded = run_workload(opt);
+      expect_same_aggregates(serial, sharded, shards, seed);
+      EXPECT_EQ(sharded.shard_stats.policy,
+                Simulator::AffinityPolicy::kMinCut);
+      EXPECT_EQ(sharded.flow_tuples, serial.flow_tuples);
+      EXPECT_EQ(sharded.flow_exposures, serial.flow_exposures);
+      std::uint64_t deliveries = 0;
+      for (auto d : sharded.shard_stats.deliveries) deliveries += d;
+      EXPECT_EQ(deliveries, sharded.packets);
+    }
+  }
+}
+
+// Bit-level goldens for the min-cut placement, mirroring GoldenDigests.
+// These pin down the partitioner itself as well as the engine: a different
+// placement changes shard-local trace interleavings and therefore the
+// digest, so any partitioner behavior change shows up here deliberately.
+TEST(ShardDeterminism, AutoAffinityGoldenDigests) {
+  const std::map<std::uint32_t, std::uint64_t> kGolden = {
+      // Regenerate like GoldenDigests: run with a 0 entry and copy actuals.
+      // Counts 2 and 4 coincide with the modulo goldens: node interning
+      // gives relay r id r and client c id c+4, so id-modulo already lands
+      // each client on its relay's shard and min-cut reproduces the exact
+      // same placement. At 8 shards modulo scatters the communities and
+      // the two policies (and digests) genuinely diverge.
+      {2u, 0xEDA800ADEE4C530Full},
+      {4u, 0x3F9B823471046A84ull},
+      {8u, 0xAF5C7001AF80C138ull},
+  };
+  for (const auto& [shards, want] : kGolden) {
+    RunOptions opt;
+    opt.shards = shards;
+    opt.seed = 7;
+    opt.with_flow = true;
+    opt.with_window_faults = true;
+    opt.with_impairments = true;
+    opt.auto_affinity = true;
+    const RunResult first = run_workload(opt);
+    const RunResult second = run_workload(opt);
+    EXPECT_EQ(first.digest, second.digest)
+        << "auto-affinity replay unstable at shards=" << shards;
+    if (want == 0) {
+      printf("auto golden shards=%u digest=0x%016llXull\n", shards,
+             static_cast<unsigned long long>(first.digest));
+      continue;
+    }
+    EXPECT_EQ(first.digest, want)
+        << "shards=" << shards << std::hex << " actual=0x" << first.digest;
   }
 }
 

@@ -123,6 +123,36 @@ TEST(SystemSharded, OhttpStackSpreadAcrossShardsMatchesSerial) {
   }
 }
 
+// Same OHTTP estate under set_auto_affinity(kMinCut): the partitioner
+// places parties from the link table instead of id-modulo, and every
+// serial-equivalence obligation still holds. Runs under the TSan CI job,
+// so partitioner-driven placement gets race coverage on real traffic too.
+TEST(SystemSharded, OhttpStackWithAutoAffinityMatchesSerial) {
+  Estate serial;
+  serial.run_workload();
+
+  for (std::uint32_t shards : {2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    Estate sharded;
+    sharded.sim.set_shards(shards);
+    sharded.sim.set_auto_affinity(net::Simulator::AffinityPolicy::kMinCut);
+    sharded.run_workload();
+
+    EXPECT_EQ(sharded.sim.shard_stats().policy,
+              net::Simulator::AffinityPolicy::kMinCut);
+    EXPECT_EQ(sharded.origin->requests_served(),
+              serial.origin->requests_served());
+    EXPECT_EQ(sharded.relay->forwarded(), serial.relay->forwarded());
+    for (int i = 0; i < kClients; ++i) {
+      EXPECT_EQ(sharded.clients[i]->responses_received(),
+                serial.clients[i]->responses_received())
+          << "client " << i;
+    }
+    EXPECT_EQ(sharded.sim.packets_delivered(), serial.sim.packets_delivered());
+    EXPECT_EQ(sharded.sim.bytes_delivered(), serial.sim.bytes_delivered());
+  }
+}
+
 TEST(SystemSharded, RepeatedShardedRunsAreBitStable) {
   auto digest = [](Estate& e) {
     std::uint64_t h = 0xCBF29CE484222325ull;
